@@ -1,0 +1,38 @@
+# Convenience targets for the REFINE reproduction.
+
+PY ?= python3
+SAMPLES ?= 60
+
+.PHONY: install test bench bench-paper campaign examples lint-docs clean
+
+install:
+	pip install -e .
+
+test:
+	$(PY) -m pytest tests/
+
+test-fast:
+	$(PY) -m pytest tests/ -x -q -p no:warnings
+
+bench:
+	REPRO_SAMPLES=$(SAMPLES) $(PY) -m pytest benchmarks/ --benchmark-only
+
+# The paper's statistical setting (n = 1068): expect ~30 min on one core.
+bench-paper:
+	REPRO_SAMPLES=1068 $(PY) -m pytest benchmarks/ --benchmark-only
+
+# Full 44,856-experiment campaign -> results/full_campaign.json
+campaign:
+	$(PY) scripts/run_full_campaign.py 1068 results/full_campaign.json
+
+results-tables:
+	$(PY) scripts/render_results.py results/full_campaign.json
+
+examples:
+	@for f in examples/*.py; do \
+	  echo "== $$f"; REPRO_SAMPLES=50 $(PY) $$f || exit 1; \
+	done
+
+clean:
+	rm -rf .pytest_cache .hypothesis .benchmarks results/bench_artifacts
+	find . -name __pycache__ -type d -exec rm -rf {} +

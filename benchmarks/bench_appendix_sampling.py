@@ -1,0 +1,42 @@
+"""Appendix A: statistical sample sizing (Leveugle et al.).
+
+Regenerates the 1068-sample calculation (margin of error <= 3% at 95%
+confidence) and benchmarks the statistics kernels used throughout the
+evaluation.
+"""
+
+from __future__ import annotations
+
+from repro.stats import (
+    chi2_contingency,
+    leveugle_sample_size,
+    margin_of_error,
+    normal_interval,
+)
+
+from benchmarks.conftest import emit_artifact
+
+
+def test_appendix_sample_sizing(benchmark):
+    n = benchmark(leveugle_sample_size)
+    lines = [
+        "Appendix A: statistical fault injection sizing",
+        f"  samples for <=3% margin at 95% confidence: {n}",
+        f"  total experiments (14 apps x 3 tools):     {n * 14 * 3}",
+        f"  margin of error actually achieved at 1068: "
+        f"{margin_of_error(1068) * 100:.3f}%",
+    ]
+    emit_artifact("appendix_sampling.txt", "\n".join(lines))
+    assert n == 1068
+    assert n * 14 * 3 == 44856  # the paper's experiment count
+
+
+def test_chi2_kernel_speed(benchmark):
+    table = [[395, 168, 505], [269, 70, 729]]
+    result = benchmark(chi2_contingency, table)
+    assert result.significant
+
+
+def test_interval_kernel_speed(benchmark):
+    iv = benchmark(normal_interval, 254, 1068)
+    assert 0.2 < iv.p < 0.3

@@ -1,0 +1,44 @@
+"""Figure 4: fault-injection outcome distributions per application.
+
+Regenerates every panel (a)-(n): the crash/SOC/benign percentages with
+confidence intervals for the three tools plus the stacked PMF bars.  The
+benchmark times a single fault-injection experiment per tool — the unit of
+work Figure 4 aggregates 1068x.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.campaign import OUTCOME_ORDER
+from repro.fi import LLFITool, PinfiTool, RefineTool
+from repro.reporting import render_figure4
+from repro.workloads import get_workload
+
+from benchmarks.conftest import emit_artifact
+
+
+def test_figure4_all_panels(benchmark, campaign_matrix, workloads, tools):
+    text = benchmark(render_figure4, campaign_matrix, workloads, tools)
+    emit_artifact("figure4_outcomes.txt", text)
+    for workload in workloads:
+        assert workload in text
+    # Sanity: proportions sum to 1 for every (workload, tool).
+    for (workload, tool), res in campaign_matrix.items():
+        assert sum(res.proportion(o) for o in OUTCOME_ORDER) == pytest.approx(1.0)
+
+
+@pytest.mark.parametrize("tool_cls", [LLFITool, RefineTool, PinfiTool],
+                         ids=["LLFI", "REFINE", "PINFI"])
+def test_single_experiment_throughput(benchmark, tool_cls):
+    """Wall-clock cost of one injection run (compile/profile amortized)."""
+    spec = get_workload("AMG2013")
+    tool = tool_cls(spec.source, spec.name)
+    _ = tool.profile  # warm the cached compile + profile
+    seeds = iter(range(100000))
+
+    def one_experiment():
+        return tool.inject(next(seeds))
+
+    run = benchmark(one_experiment)
+    assert run.result.fault is not None

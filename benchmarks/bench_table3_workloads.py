@@ -1,0 +1,47 @@
+"""Table 3: the benchmark programs and their inputs.
+
+Regenerates the table (original paper input next to our scaled input) and
+benchmarks the profiling phase of each tool on a representative workload —
+profiling is the once-per-(app, input) step of Figure 3a.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.fi import LLFITool, PinfiTool, RefineTool
+from repro.workloads import all_workloads, get_workload
+
+from benchmarks.conftest import emit_artifact
+
+
+def test_table3_workload_inventory(benchmark):
+    def render():
+        lines = [
+            "Table 3: benchmark programs and their input",
+            f"{'Program':12s} {'paper input':42s} {'our input':s}",
+        ]
+        for name, spec in all_workloads().items():
+            lines.append(
+                f"{name:12s} {spec.paper_input:42s} {spec.input_desc}"
+            )
+        return "\n".join(lines)
+
+    text = benchmark(render)
+    emit_artifact("table3_workloads.txt", text)
+    assert len(text.splitlines()) == 2 + 14
+
+
+@pytest.mark.parametrize("tool_cls", [LLFITool, RefineTool, PinfiTool],
+                         ids=["LLFI", "REFINE", "PINFI"])
+def test_profiling_phase(benchmark, tool_cls):
+    """Time the profiling run (compile + golden execution + counting)."""
+    spec = get_workload("XSBench")
+
+    def profile():
+        tool = tool_cls(spec.source, spec.name)
+        return tool.profile
+
+    result = benchmark(profile)
+    assert result.total_candidates > 0
+    assert result.exit_code == 0

@@ -1,0 +1,29 @@
+"""Table 4: the LLFI-vs-PINFI contingency table for AMG2013.
+
+Regenerated from the session campaign matrix; the benchmark times the
+chi-squared test on the resulting table (the analysis step of Section 5.4.2).
+"""
+
+from __future__ import annotations
+
+from repro.reporting import render_table4
+from repro.stats import ContingencyTable
+
+from benchmarks.conftest import emit_artifact
+
+
+def test_table4_amg_contingency(benchmark, campaign_matrix):
+    table = ContingencyTable.from_results(
+        campaign_matrix[("AMG2013", "LLFI")],
+        campaign_matrix[("AMG2013", "PINFI")],
+    )
+    result = benchmark(table.test)
+    text = render_table4(campaign_matrix) + (
+        f"\n\nchi-squared = {result.statistic:.2f}, dof = {result.dof}, "
+        f"p = {result.p_value:.4g} -> "
+        f"{'significantly different' if result.significant else 'similar'}"
+    )
+    emit_artifact("table4_contingency.txt", text)
+    # Row sums must equal the sample count per tool.
+    assert sum(table.row_a) == campaign_matrix[("AMG2013", "LLFI")].n
+    assert sum(table.row_b) == campaign_matrix[("AMG2013", "PINFI")].n

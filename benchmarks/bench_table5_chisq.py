@@ -1,0 +1,42 @@
+"""Table 5: chi-squared tests of each tool against the PINFI baseline.
+
+The paper's headline accuracy result: LLFI is significantly different from
+PINFI for *all* applications; REFINE is *never* significantly different.
+At the bench default sample count (REPRO_SAMPLES=60) small per-app effects
+may not reach significance, so the assertion is on the aggregate direction;
+with REPRO_SAMPLES=1068 the full per-app result reproduces (see
+EXPERIMENTS.md).
+"""
+
+from __future__ import annotations
+
+from repro.reporting import render_table5
+from repro.stats import ContingencyTable
+
+from benchmarks.conftest import SAMPLES, emit_artifact
+
+
+def test_table5_chi_squared(benchmark, campaign_matrix, workloads):
+    text = benchmark(render_table5, campaign_matrix, workloads)
+    emit_artifact("table5_chisq.txt", text)
+
+    llfi_rejects = 0
+    refine_rejects = 0
+    for workload in workloads:
+        for tool in ("LLFI", "REFINE"):
+            table = ContingencyTable.from_results(
+                campaign_matrix[(workload, tool)],
+                campaign_matrix[(workload, "PINFI")],
+            )
+            if table.test().significant:
+                if tool == "LLFI":
+                    llfi_rejects += 1
+                else:
+                    refine_rejects += 1
+
+    # Directional claim at any sample size; exact per-app reproduction
+    # requires the paper's n=1068 (documented in EXPERIMENTS.md).
+    assert llfi_rejects > refine_rejects
+    if SAMPLES >= 1000:
+        assert llfi_rejects == len(workloads)
+        assert refine_rejects <= 1  # alpha = 0.05 admits rare false alarms

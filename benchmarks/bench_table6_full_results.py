@@ -1,0 +1,21 @@
+"""Table 6: the complete outcome-frequency table (14 apps x 3 tools).
+
+Also dumps the machine-readable CSV used by downstream analysis.
+"""
+
+from __future__ import annotations
+
+from repro.reporting import matrix_to_csv, render_table6
+
+from benchmarks.conftest import SAMPLES, emit_artifact
+
+
+def test_table6_complete_results(benchmark, campaign_matrix, workloads, tools):
+    text = benchmark(render_table6, campaign_matrix, workloads, tools)
+    emit_artifact("table6_full_results.txt", text)
+    emit_artifact("table6_full_results.csv", matrix_to_csv(campaign_matrix))
+
+    # Every (workload, tool) row present with frequencies summing to n.
+    assert len(campaign_matrix) == len(workloads) * len(tools)
+    for res in campaign_matrix.values():
+        assert sum(res.frequencies()) == SAMPLES

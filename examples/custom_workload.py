@@ -1,0 +1,86 @@
+#!/usr/bin/env python3
+"""Steering fault injection with the Table 2 flags on your own program.
+
+Shows the ``-fi-funcs`` / ``-fi-instrs`` interface: inject only into a
+selected function, or only into a selected instruction class, and observe
+how the candidate population and the outcome distribution change — the
+workflow for targeted resilience studies (e.g. "is my solver kernel more
+SDC-prone than my setup code?").
+"""
+
+from repro.campaign import Outcome, run_campaign
+from repro.fi import FIConfig, RefineTool
+
+# A user program with two very different phases: integer table setup and a
+# floating-point relaxation kernel.
+SOURCE = """
+double field[40];
+int perm[40];
+
+void setup() {
+  int seed = 12345;
+  for (int i = 0; i < 40; i = i + 1) {
+    seed = (seed * 1103515245 + 12345) % 2147483648;
+    perm[i] = seed % 40;
+    field[i] = (double)(seed % 1000) * 0.001;
+  }
+}
+
+double relax(int sweeps) {
+  double total = 0.0;
+  for (int s = 0; s < sweeps; s = s + 1) {
+    for (int i = 1; i < 39; i = i + 1) {
+      field[perm[i]] = 0.25 * field[i - 1] + 0.5 * field[i]
+                     + 0.25 * field[i + 1];
+    }
+  }
+  for (int i = 0; i < 40; i = i + 1) { total = total + field[i]; }
+  return total;
+}
+
+int main() {
+  setup();
+  print_double(relax(6));
+  return 0;
+}
+"""
+
+N = 150
+
+
+def campaign(flags: str) -> None:
+    config = FIConfig.from_flags(flags)
+    tool = RefineTool(SOURCE, workload="custom", config=config)
+    profile = tool.profile
+    result = run_campaign(tool, n=N)
+    print(f"\n--- {flags}")
+    print(f"    dynamic candidates: {profile.total_candidates}")
+    row = "  ".join(
+        f"{o.value}={result.proportion(o) * 100:5.1f}%" for o in Outcome
+    )
+    print(f"    outcomes: {row}")
+
+
+def main() -> None:
+    print(f"{N} injections per configuration (REFINE backend pass)\n")
+    print("The paper's default — everything is a target:")
+    campaign("-fi=true -fi-funcs=* -fi-instrs=all")
+
+    print("\nSteering by function (source-level abstraction, the key "
+          "advantage\nof compiler-based FI over binary tools):")
+    campaign("-fi=true -fi-funcs=relax -fi-instrs=all")
+    campaign("-fi=true -fi-funcs=setup -fi-instrs=all")
+
+    print("\nSteering by instruction class:")
+    campaign("-fi=true -fi-funcs=* -fi-instrs=arithm")
+    campaign("-fi=true -fi-funcs=* -fi-instrs=mem")
+    campaign("-fi=true -fi-funcs=* -fi-instrs=stack")
+    print(
+        "\nNote: the 'stack' class (function setup, push/pop) exists ONLY "
+        "at the\nbackend/binary level — an IR-level injector would report "
+        "zero candidates."
+    )
+
+
+if __name__ == "__main__":
+    main()

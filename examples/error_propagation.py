@@ -1,0 +1,57 @@
+#!/usr/bin/env python3
+"""Combining static error-propagation analysis with fault injection.
+
+The paper's introduction argues that compiler-based FI "permits close
+integration with error-propagation analysis as both classes of analysis
+operate in the same software layer."  This example shows that workflow:
+
+1. statically rank the IR fault sites of a kernel by how far a corrupted
+   value can propagate (forward slice over def-use chains, memory and
+   calls);
+2. run an FI campaign and compare: functions hosting far-reaching sites
+   should show fewer benign outcomes.
+"""
+
+from repro.campaign import by_function, render_sensitivity, run_campaign
+from repro.fi import LLFITool, PropagationAnalysis, rank_sites
+from repro.frontend import compile_source
+from repro.irpasses import optimize_module
+from repro.workloads import get_workload
+
+WORKLOAD = "HPCCG-1.0"
+
+
+def main() -> None:
+    spec = get_workload(WORKLOAD)
+
+    # --- static view ------------------------------------------------------
+    module = compile_source(spec.source, WORKLOAD)
+    optimize_module(module, "O2")
+    print(f"static error-propagation ranking for {WORKLOAD}:\n")
+    for fn in module.defined_functions():
+        reports = rank_sites(module, fn)
+        if not reports:
+            continue
+        widest = reports[0]
+        outputy = sum(1 for r in reports if r.reaches_output)
+        addressy = sum(1 for r in reports if r.reaches_address)
+        print(f"  @{fn.name:12s} {len(reports):3d} sites | widest: "
+              f"{widest.summary()}")
+        print(f"  {'':12s} reaching output: {outputy:3d}   "
+              f"reaching addresses: {addressy:3d}")
+
+    # --- dynamic view ------------------------------------------------------
+    print("\nfault-injection ground truth (LLFI, IR-level sites, n=300):\n")
+    tool = LLFITool(spec.source, WORKLOAD)
+    result = run_campaign(tool, n=300, keep_records=True)
+    print(render_sensitivity(by_function(result), "outcomes by function"))
+
+    print(
+        "\nReading guide: the static slice is a sound over-approximation — "
+        "every SDC\nmust originate at a site whose slice reaches output; "
+        "sites flagged as\naddress-reaching are the crash candidates."
+    )
+
+
+if __name__ == "__main__":
+    main()

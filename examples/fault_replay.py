@@ -1,0 +1,60 @@
+#!/usr/bin/env python3
+"""Fault-log replay and error-propagation inspection.
+
+The injection library writes a fault log "for reference and repeatability"
+(paper Section 4.3.1).  This example runs a campaign on the FT workload,
+picks interesting faults out of the log (an SDC and a crash), replays them
+deterministically, and traces how a single flipped bit propagates to the
+program's outputs.
+"""
+
+from repro.campaign import Outcome, replay, run_campaign
+from repro.fi import RefineTool
+from repro.workloads import get_workload
+
+
+def describe(record, profile) -> None:
+    fault = record.fault
+    print(f"  seed             {record.seed:#018x}")
+    print(f"  outcome          {record.outcome.value}")
+    print(f"  dynamic target   candidate #{fault.dynamic_index} "
+          f"of {profile.total_candidates}")
+    print(f"  site             @{fault.func} / {fault.block}")
+    print(f"  instruction      {fault.instr_text}")
+    print(f"  corrupted        {fault.operand_desc}, bit {fault.bit}")
+    print(f"  value            {fault.value_before!r} -> {fault.value_after!r}")
+    if record.trap:
+        print(f"  trap             {record.trap}")
+
+
+def main() -> None:
+    spec = get_workload("FT")
+    tool = RefineTool(spec.source, spec.name)
+    profile = tool.profile
+    print(f"workload {spec.name}: golden output = {list(profile.golden_output)}\n")
+
+    result = run_campaign(tool, n=250, keep_records=True)
+    print(result.summary())
+
+    for outcome in (Outcome.SOC, Outcome.CRASH):
+        record = next(
+            (r for r in result.records if r.outcome is outcome), None
+        )
+        if record is None:
+            continue
+        print(f"\n=== a logged {outcome.value} fault ===")
+        describe(record, profile)
+
+        # Deterministic replay: same seed -> bit-identical run.
+        rerun = replay(tool, record.seed)
+        assert rerun.result.trap == record.trap
+        if outcome is Outcome.SOC:
+            print("  corrupted output vs golden:")
+            for got, want in zip(rerun.result.output, profile.golden_output):
+                marker = "   " if got == want else " <<<"
+                print(f"    {got:>15s}  (golden {want}){marker}")
+        print("  replay confirmed: identical outcome")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,53 @@
+#!/usr/bin/env python3
+"""Source-correlated sensitivity analysis — why compiler-based FI matters.
+
+Table 1 of the paper credits compiler-based injection with "access to
+source code abstractions": every fault site maps back to a source
+function.  This example runs a REFINE campaign on the miniFE workload and
+breaks the outcomes down three ways:
+
+* per source function  (where would an error detector pay off?)
+* per corrupted register kind  (int vs float vs FLAGS)
+* per flipped bit position  (low mantissa bits get masked; high bits kill)
+"""
+
+import os
+
+from repro.campaign import (
+    by_bit_range,
+    by_function,
+    by_operand_kind,
+    render_sensitivity,
+    run_campaign,
+)
+from repro.fi import RefineTool
+from repro.workloads import get_workload
+
+N = int(os.environ.get("REPRO_SAMPLES", "400"))
+
+
+def main() -> None:
+    spec = get_workload("miniFE")
+    tool = RefineTool(spec.source, spec.name)
+    print(f"workload: {spec.name} — {spec.description}")
+    print(f"running {N} injections with fault logging...\n")
+
+    result = run_campaign(tool, n=N, keep_records=True)
+    print(result.summary())
+    print()
+    print(render_sensitivity(by_function(result), "by source function"))
+    print()
+    print(render_sensitivity(by_operand_kind(result), "by corrupted register kind"))
+    print()
+    print(render_sensitivity(by_bit_range(result, buckets=4), "by bit position"))
+
+    print(
+        "\nReading guide: functions at the top of the first table are the "
+        "crash-prone\nplaces (pointer/stack traffic); FLAGS faults mostly "
+        "flip one branch; low-bit\nfloat flips vanish below the printed "
+        "precision (benign), high bits do not."
+    )
+
+
+if __name__ == "__main__":
+    main()

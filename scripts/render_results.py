@@ -1,0 +1,81 @@
+#!/usr/bin/env python3
+"""Render campaign-results JSON (from run_full_campaign.py) as the
+EXPERIMENTS.md tables: Table 5 (chi-squared), Table 6 (frequencies) and the
+Figure 5 normalization table.
+
+Usage: python scripts/render_results.py results/full_campaign.json
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+
+ORDER = [
+    "AMG2013", "CoMD", "HPCCG-1.0", "lulesh", "miniFE", "BT", "CG",
+    "DC", "EP", "FT", "LU", "SP", "UA", "XSBench",
+]
+
+
+def main() -> int:
+    path = sys.argv[1] if len(sys.argv) > 1 else "results/full_campaign.json"
+    data = json.load(open(path))
+    n = data["n"]
+    print(f"# results from {path}: n={n}, "
+          f"moe={data['margin_of_error'] * 100:.2f}%, "
+          f"elapsed={data['elapsed_seconds']:.0f}s\n")
+
+    print("## Table 5 (markdown)\n")
+    print("| app | LLFI vs PINFI p | signif.? | REFINE vs PINFI p | signif.? |")
+    print("|---|---|---|---|---|")
+    llfi_sig = refine_sig = 0
+    for w in ORDER:
+        l = data["chi2"][f"{w}/LLFI-vs-PINFI"]
+        r = data["chi2"][f"{w}/REFINE-vs-PINFI"]
+        llfi_sig += l["significant"]
+        refine_sig += r["significant"]
+        lsig = "yes" if l["significant"] else "no"
+        rsig = "**yes**" if r["significant"] else "no"
+        print(f"| {w} | {l['p_value']:.1e} | {lsig} | "
+              f"{r['p_value']:.3f} | {rsig} |")
+    print(f"\nLLFI significant: {llfi_sig}/14; REFINE significant: "
+          f"{refine_sig}/14\n")
+
+    print("## Table 6 (markdown)\n")
+    print("| app | tool | crash | soc | benign |")
+    print("|---|---|---|---|---|")
+    for w in ORDER:
+        for t in ("LLFI", "REFINE", "PINFI"):
+            r = data["results"][f"{w}/{t}"]
+            print(f"| {w} | {t} | {r['crash']} | {r['soc']} | {r['benign']} |")
+
+    print("\n## Figure 5 normalization (markdown)\n")
+    print("| app | LLFI | REFINE |")
+    print("|---|---|---|")
+    totals = {"LLFI": 0.0, "REFINE": 0.0, "PINFI": 0.0}
+    for w in ORDER:
+        base = data["results"][f"{w}/PINFI"]["total_cycles"]
+        row = []
+        for t in ("LLFI", "REFINE"):
+            cycles = data["results"][f"{w}/{t}"]["total_cycles"]
+            totals[t] += cycles
+            row.append(cycles / base)
+        totals["PINFI"] += base
+        print(f"| {w} | {row[0]:.2f} | {row[1]:.2f} |")
+    print(f"| **Total** | **{totals['LLFI'] / totals['PINFI']:.2f}** | "
+          f"**{totals['REFINE'] / totals['PINFI']:.2f}** |")
+
+    # Candidate-population and dynamic-length summaries for the Listing rows.
+    print("\n## Candidate populations (LLFI / PINFI)\n")
+    ratios = []
+    for w in ORDER:
+        l = data["results"][f"{w}/LLFI"]["total_candidates"]
+        p = data["results"][f"{w}/PINFI"]["total_candidates"]
+        ratios.append(l / p)
+        print(f"  {w:12s} {l:8d} / {p:8d}  ({l / p * 100:.0f}%)")
+    print(f"  range: {min(ratios) * 100:.0f}%–{max(ratios) * 100:.0f}%")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,80 @@
+#!/usr/bin/env python3
+"""Run the paper-scale campaign (1068 samples x 14 workloads x 3 tools =
+44,856 experiments) and persist the results for EXPERIMENTS.md and the
+benchmark harness.
+
+Usage: python scripts/run_full_campaign.py [N] [outfile.json]
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+import time
+
+from repro.campaign import PAPER_SAMPLES, run_matrix
+from repro.fi import TOOL_ORDER
+from repro.stats import ContingencyTable, margin_of_error
+from repro.workloads import workload_sources
+
+
+def main() -> int:
+    n = int(sys.argv[1]) if len(sys.argv) > 1 else PAPER_SAMPLES
+    outfile = sys.argv[2] if len(sys.argv) > 2 else "results/full_campaign.json"
+    seed = int(sys.argv[3], 0) if len(sys.argv) > 3 else None
+
+    sources = workload_sources()
+    t0 = time.time()
+    print(
+        f"running {n} x {len(sources)} x {len(TOOL_ORDER)} = "
+        f"{n * len(sources) * len(TOOL_ORDER)} experiments "
+        f"(margin of error {margin_of_error(n) * 100:.1f}%)",
+        flush=True,
+    )
+
+    def progress(w, t, i, total):
+        if i == total:
+            print(f"  [{time.time() - t0:7.0f}s] {w}/{t} done", flush=True)
+
+    kwargs = {} if seed is None else {"base_seed": seed}
+    matrix = run_matrix(sources, TOOL_ORDER, n=n, progress=progress, **kwargs)
+
+    payload = {
+        "n": n,
+        "margin_of_error": margin_of_error(n),
+        "elapsed_seconds": time.time() - t0,
+        "results": {},
+        "chi2": {},
+    }
+    for (workload, tool), res in matrix.items():
+        crash, soc, benign = res.frequencies()
+        payload["results"][f"{workload}/{tool}"] = {
+            "crash": crash,
+            "soc": soc,
+            "benign": benign,
+            "total_cycles": res.total_cycles,
+            "total_candidates": res.total_candidates,
+        }
+    for workload in sources:
+        for tool in ("LLFI", "REFINE"):
+            table = ContingencyTable.from_results(
+                matrix[(workload, tool)], matrix[(workload, "PINFI")]
+            )
+            test = table.test()
+            payload["chi2"][f"{workload}/{tool}-vs-PINFI"] = {
+                "statistic": test.statistic,
+                "p_value": test.p_value,
+                "significant": test.significant,
+            }
+
+    import os
+
+    os.makedirs(os.path.dirname(outfile) or ".", exist_ok=True)
+    with open(outfile, "w") as fh:
+        json.dump(payload, fh, indent=2)
+    print(f"wrote {outfile} after {time.time() - t0:.0f}s", flush=True)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

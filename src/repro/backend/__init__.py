@@ -1,0 +1,78 @@
+"""The compiler backend: MIR, isel, register allocation, frame lowering.
+
+This layer is where REFINE lives (paper Section 4): its instrumentation
+pass runs over the final machine instructions, after all code generation
+and optimization, right before emission.
+"""
+
+from repro.backend.asmprinter import format_function, format_instr, format_program
+from repro.backend.binary import Binary, GlobalDef
+from repro.backend.compiler import (
+    CompileOptions,
+    CompileStats,
+    compile_ir,
+    compile_minic,
+)
+from repro.backend.frame import lower_frame
+from repro.backend.isel import select_function
+from repro.backend.mir import (
+    FImm,
+    FuncRef,
+    Imm,
+    Label,
+    MachineBlock,
+    MachineFunction,
+    MachineInstr,
+    Mem,
+    OPCODES,
+    PReg,
+    VReg,
+)
+from repro.backend.peephole import run_peephole
+from repro.backend.prepare import prepare_function, prepare_module
+from repro.backend.regalloc import (
+    AllocationResult,
+    LiveInterval,
+    Slot,
+    allocate,
+    build_intervals,
+    compute_liveness,
+    rewrite,
+)
+from repro.backend import target
+
+__all__ = [
+    "format_function",
+    "format_instr",
+    "format_program",
+    "Binary",
+    "GlobalDef",
+    "CompileOptions",
+    "CompileStats",
+    "compile_ir",
+    "compile_minic",
+    "lower_frame",
+    "select_function",
+    "FImm",
+    "FuncRef",
+    "Imm",
+    "Label",
+    "MachineBlock",
+    "MachineFunction",
+    "MachineInstr",
+    "Mem",
+    "OPCODES",
+    "PReg",
+    "VReg",
+    "run_peephole",
+    "prepare_function",
+    "prepare_module",
+    "AllocationResult",
+    "LiveInterval",
+    "Slot",
+    "allocate",
+    "build_intervals",
+    "compute_liveness",
+    "rewrite",
+    "target",
+]

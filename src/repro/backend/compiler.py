@@ -1,0 +1,106 @@
+"""The compilation driver: MiniC source (or IR) -> Binary.
+
+Pipeline, mirroring the paper's Figure 1:
+
+    frontend -> IR optimization (O0/O1/O2) -> [LLFI IR pass, if requested]
+    -> pre-isel lowering -> instruction selection -> register allocation
+    -> frame lowering -> peephole -> [REFINE MIR pass, if requested]
+    -> Binary
+
+FI instrumentation hooks are injected by the :mod:`repro.fi` layer through
+the ``ir_pass`` / ``mir_pass`` callbacks so the backend itself stays
+injection-agnostic, like upstream LLVM.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable
+
+from repro.backend.binary import Binary
+from repro.backend.frame import lower_frame
+from repro.backend.isel import select_function
+from repro.backend.peephole import run_peephole
+from repro.backend.prepare import prepare_module
+from repro.backend.regalloc import allocate, rewrite
+from repro.frontend import compile_source
+from repro.ir.module import Module
+from repro.ir.verifier import verify_module
+from repro.irpasses.base import optimize_module
+
+
+@dataclass
+class CompileOptions:
+    """Knobs for one compilation."""
+
+    opt_level: str = "O2"
+    verify: bool = True
+    #: IR-level instrumentation hook (LLFI runs here, *before* the backend)
+    ir_pass: Callable[[Module], None] | None = None
+    #: MIR-level instrumentation hook (REFINE runs here, after regalloc and
+    #: peephole, right before "emission" — paper Section 4.2.2)
+    mir_pass: Callable[[Binary], None] | None = None
+    #: extra provenance recorded in the binary
+    meta: dict[str, object] = field(default_factory=dict)
+
+
+@dataclass
+class CompileStats:
+    """Statistics of interest for the evaluation."""
+
+    ir_instructions: int = 0
+    machine_instructions: int = 0
+    spilled_vregs: int = 0
+    intervals: int = 0
+
+
+def compile_ir(module: Module, options: CompileOptions | None = None) -> Binary:
+    """Compile an IR module to a Binary."""
+    options = options or CompileOptions()
+    stats = CompileStats()
+
+    optimize_module(module, options.opt_level)
+    if options.ir_pass is not None:
+        options.ir_pass(module)
+        if options.verify:
+            verify_module(module)
+    stats.ir_instructions = sum(
+        1 for fn in module.defined_functions() for _ in fn.instructions()
+    )
+
+    prepare_module(module)
+    if options.verify:
+        verify_module(module)
+
+    binary = Binary(module.name, meta=dict(options.meta))
+    for gv in module.globals.values():
+        binary.add_global(gv.name, gv.value_type, gv.initializer)
+    for fn in module.functions.values():
+        if fn.is_declaration:
+            binary.intrinsics.add(fn.name)
+            continue
+        mf = select_function(fn)
+        result = allocate(mf)
+        rewrite(mf, result)
+        lower_frame(mf)
+        run_peephole(mf)
+        stats.spilled_vregs += result.num_spilled
+        stats.intervals += result.num_intervals
+        binary.add_function(mf)
+
+    if options.mir_pass is not None:
+        options.mir_pass(binary)
+    stats.machine_instructions = binary.total_instructions()
+    binary.meta["stats"] = stats
+    binary.validate()
+    return binary
+
+
+def compile_minic(
+    source: str, name: str = "program", options: CompileOptions | None = None
+) -> Binary:
+    """Compile MiniC source text all the way to a Binary."""
+    module = compile_source(source, name)
+    if options is None or options.verify:
+        verify_module(module)
+    return compile_ir(module, options)

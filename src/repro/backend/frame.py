@@ -1,0 +1,266 @@
+"""Frame lowering: pseudo expansion, prologue/epilogue, slot resolution.
+
+Runs after register allocation.  Expands the ``pargs``/``pcall``/``pret``
+pseudo-instructions into real machine code, assigns rbp-relative offsets to
+every frame slot (allocas + spill slots), and inserts the function prologue
+and epilogue.
+
+The prologue/epilogue and the spill code emitted here are *exactly* the
+instruction population that IR-level fault injectors never see (paper
+Section 3.3.1) — their existence in the final instruction stream is what
+REFINE and PINFI observe and LLFI cannot.
+"""
+
+from __future__ import annotations
+
+from repro.errors import BackendError
+from repro.backend.mir import (
+    FImm,
+    FuncRef,
+    Imm,
+    MachineFunction,
+    MachineInstr,
+    Mem,
+    Operand,
+    PReg,
+)
+from repro.backend.regalloc import Slot
+from repro.backend.target import (
+    FLOAT_ARG_REGS,
+    FLOAT_RET_REG,
+    FPR,
+    FPR_SCRATCH,
+    GPR,
+    GPR_SCRATCH,
+    INT_ARG_REGS,
+    INT_RET_REG,
+    RBP,
+    RSP,
+    reg_class,
+)
+
+
+def _operand_class(op: Operand) -> str:
+    if isinstance(op, PReg):
+        return reg_class(op.name)
+    if isinstance(op, Slot):
+        return op.cls
+    if isinstance(op, FImm):
+        return FPR
+    if isinstance(op, Imm):
+        return GPR
+    raise BackendError(f"cannot classify operand {op}")
+
+
+class FrameLowering:
+    """Applies frame lowering to one machine function."""
+
+    def __init__(self, mf: MachineFunction) -> None:
+        self.mf = mf
+        self.offsets: list[int] = []
+        self._compute_offsets()
+
+    def _compute_offsets(self) -> None:
+        frame = self.mf.frame
+        base = 8 * len(frame.saved_regs)
+        running = base
+        for size in frame.slot_sizes:
+            aligned = (size + 7) & ~7
+            running += aligned
+            self.offsets.append(-running)
+        frame.frame_size = running - base
+        frame.slot_offsets = list(self.offsets)
+
+    # -- operand helpers ------------------------------------------------------
+
+    def _slot_mem(self, slot_index: int, extra_disp: int = 0) -> Mem:
+        return Mem(base=PReg(RBP), disp=self.offsets[slot_index] + extra_disp)
+
+    def _resolve_mem(self, mem: Mem) -> Mem:
+        if mem.frame_slot is not None:
+            return self._slot_mem(mem.frame_slot, mem.disp)
+        return mem
+
+    # -- parallel moves -----------------------------------------------------
+
+    def _emit_parallel_moves(
+        self,
+        moves: list[tuple[str, Operand]],
+        out: list[MachineInstr],
+    ) -> None:
+        """Emit moves ``dst_physreg <- src`` respecting read-before-write.
+
+        Destinations are distinct physical registers; sources may be
+        registers (possibly equal to other destinations), immediates or
+        stack slots.  Cycles are broken through a reserved scratch register.
+        """
+        pending = list(moves)
+        while pending:
+            progressed = False
+            for i, (dst, src) in enumerate(pending):
+                blocked = any(
+                    isinstance(s, PReg) and s.name == dst
+                    for j, (_, s) in enumerate(pending)
+                    if j != i
+                )
+                if blocked:
+                    continue
+                self._emit_move(dst, src, out)
+                pending.pop(i)
+                progressed = True
+                break
+            if progressed:
+                continue
+            # All remaining moves form register cycles; rotate via scratch.
+            dst, src = pending[0]
+            assert isinstance(src, PReg)
+            cls = reg_class(src.name)
+            scratch = FPR_SCRATCH[0] if cls == FPR else GPR_SCRATCH[0]
+            self._emit_move(scratch, src, out)
+            pending[0] = (dst, PReg(scratch))
+
+    def _emit_move(self, dst: str, src: Operand, out: list[MachineInstr]) -> None:
+        cls = reg_class(dst)
+        if isinstance(src, PReg):
+            if src.name == dst:
+                return
+            out.append(MachineInstr("fmov" if cls == FPR else "mov", [PReg(dst), src]))
+        elif isinstance(src, Imm):
+            out.append(MachineInstr("mov", [PReg(dst), src]))
+        elif isinstance(src, FImm):
+            out.append(MachineInstr("fconst", [PReg(dst), src]))
+        elif isinstance(src, Slot):
+            mem = self._slot_mem(src.index)
+            op = "fload" if cls == FPR else "load"
+            out.append(MachineInstr(op, [PReg(dst), mem]))
+        else:  # pragma: no cover - defensive
+            raise BackendError(f"cannot move {src} into {dst}")
+
+    def _store_to(self, dst: Slot, src_reg: str, out: list[MachineInstr]) -> None:
+        mem = self._slot_mem(dst.index)
+        op = "fstore" if dst.cls == FPR else "store"
+        out.append(MachineInstr(op, [mem, PReg(src_reg)]))
+
+    # -- pseudo expansion ---------------------------------------------------
+
+    def _expand_pargs(self, instr: MachineInstr, out: list[MachineInstr]) -> None:
+        """Copy incoming arguments (in ABI registers) to their locations."""
+        int_idx = 0
+        float_idx = 0
+        reg_moves: list[tuple[str, Operand]] = []
+        slot_stores: list[tuple[Slot, str]] = []
+        for op in instr.operands:
+            cls = _operand_class(op)
+            if cls == FPR:
+                if float_idx >= len(FLOAT_ARG_REGS):
+                    raise BackendError(f"@{self.mf.name}: too many float args")
+                src = FLOAT_ARG_REGS[float_idx]
+                float_idx += 1
+            else:
+                if int_idx >= len(INT_ARG_REGS):
+                    raise BackendError(f"@{self.mf.name}: too many int args")
+                src = INT_ARG_REGS[int_idx]
+                int_idx += 1
+            if isinstance(op, Slot):
+                slot_stores.append((op, src))
+            elif isinstance(op, PReg):
+                if op.name != src:
+                    reg_moves.append((op.name, PReg(src)))
+            else:  # pragma: no cover - defensive
+                raise BackendError(f"bad pargs operand {op}")
+        # Spill stores first (sources are still pristine), then the
+        # register-to-register parallel move.
+        for slot, src in slot_stores:
+            self._store_to(slot, src, out)
+        self._emit_parallel_moves(reg_moves, out)
+
+    def _expand_pcall(self, instr: MachineInstr, out: list[MachineInstr]) -> None:
+        callee = instr.operands[0]
+        assert isinstance(callee, FuncRef)
+        ret_op = instr.operands[1]
+        args = instr.operands[2:]
+
+        int_idx = 0
+        float_idx = 0
+        moves: list[tuple[str, Operand]] = []
+        for op in args:
+            cls = _operand_class(op)
+            if cls == FPR:
+                if float_idx >= len(FLOAT_ARG_REGS):
+                    raise BackendError(f"@{self.mf.name}: too many float args in call")
+                moves.append((FLOAT_ARG_REGS[float_idx], op))
+                float_idx += 1
+            else:
+                if int_idx >= len(INT_ARG_REGS):
+                    raise BackendError(f"@{self.mf.name}: too many int args in call")
+                moves.append((INT_ARG_REGS[int_idx], op))
+                int_idx += 1
+        self._emit_parallel_moves(moves, out)
+        out.append(MachineInstr("call", [callee]))
+        # Return value.
+        if isinstance(ret_op, (PReg, Slot)):
+            cls = _operand_class(ret_op)
+            src = FLOAT_RET_REG if cls == FPR else INT_RET_REG
+            if isinstance(ret_op, Slot):
+                self._store_to(ret_op, src, out)
+            elif ret_op.name != src:
+                op = "fmov" if cls == FPR else "mov"
+                out.append(MachineInstr(op, [ret_op, PReg(src)]))
+
+    def _expand_pret(self, instr: MachineInstr, out: list[MachineInstr]) -> None:
+        if instr.operands:
+            value = instr.operands[0]
+            cls = _operand_class(value)
+            dst = FLOAT_RET_REG if cls == FPR else INT_RET_REG
+            self._emit_move(dst, value, out)
+        self._emit_epilogue(out)
+        out.append(MachineInstr("ret"))
+
+    # -- prologue / epilogue ---------------------------------------------------
+
+    def _emit_prologue(self) -> list[MachineInstr]:
+        frame = self.mf.frame
+        out = [
+            MachineInstr("push", [PReg(RBP)]),
+            MachineInstr("mov", [PReg(RBP), PReg(RSP)]),
+        ]
+        for reg in frame.saved_regs:
+            out.append(MachineInstr("push", [PReg(reg)]))
+        if frame.frame_size:
+            out.append(MachineInstr("sub", [PReg(RSP), Imm(frame.frame_size)]))
+        return out
+
+    def _emit_epilogue(self, out: list[MachineInstr]) -> None:
+        frame = self.mf.frame
+        if frame.frame_size:
+            out.append(MachineInstr("add", [PReg(RSP), Imm(frame.frame_size)]))
+        for reg in reversed(frame.saved_regs):
+            out.append(MachineInstr("pop", [PReg(reg)]))
+        out.append(MachineInstr("pop", [PReg(RBP)]))
+
+    # -- driver -----------------------------------------------------------
+
+    def run(self) -> None:
+        for block in self.mf.blocks:
+            new_instrs: list[MachineInstr] = []
+            for instr in block.instructions:
+                if instr.opcode == "pargs":
+                    self._expand_pargs(instr, new_instrs)
+                elif instr.opcode == "pcall":
+                    self._expand_pcall(instr, new_instrs)
+                elif instr.opcode == "pret":
+                    self._expand_pret(instr, new_instrs)
+                else:
+                    for i, op in enumerate(instr.operands):
+                        if isinstance(op, Mem):
+                            instr.operands[i] = self._resolve_mem(op)
+                    new_instrs.append(instr)
+            block.instructions = new_instrs
+        # Prologue goes at the very top of the entry block.
+        entry = self.mf.blocks[0]
+        entry.instructions[0:0] = self._emit_prologue()
+
+
+def lower_frame(mf: MachineFunction) -> None:
+    """Run frame lowering on one machine function."""
+    FrameLowering(mf).run()

@@ -1,0 +1,480 @@
+"""Instruction selection: IR -> MIR with virtual registers.
+
+Produces two-address sx64 code.  Calls, returns and the incoming-argument
+copy are emitted as pseudo-instructions (``pcall``/``pret``/``pargs``) that
+frame lowering expands after register allocation, so the allocator never has
+to reason about physical-register constraints directly — values that live
+across a call are simply restricted to callee-saved registers.
+
+Phi nodes are eliminated here: each predecessor gets a sequentialized
+parallel-copy of the phi inputs (critical edges were split in
+:mod:`repro.backend.prepare`).
+"""
+
+from __future__ import annotations
+
+from repro.errors import BackendError
+from repro.backend.mir import (
+    FImm,
+    FuncRef,
+    Imm,
+    Label,
+    MachineBlock,
+    MachineFunction,
+    MachineInstr,
+    Mem,
+    Operand,
+    VReg,
+)
+from repro.backend.target import FPR, GPR
+from repro.ir.function import Function
+from repro.ir.instructions import (
+    Alloca,
+    BinaryOp,
+    Branch,
+    Call,
+    Cast,
+    CondBranch,
+    FCmp,
+    GetElementPtr,
+    ICmp,
+    Instruction,
+    Load,
+    Phi,
+    Ret,
+    Store,
+)
+from repro.ir.values import (
+    Argument,
+    ConstantFloat,
+    ConstantInt,
+    GlobalVariable,
+    Value,
+)
+
+_INT_OP_MAP = {
+    "add": "add",
+    "sub": "sub",
+    "mul": "imul",
+    "sdiv": "idiv",
+    "srem": "irem",
+    "and": "and",
+    "or": "or",
+    "xor": "xor",
+    "shl": "shl",
+    "ashr": "sar",
+}
+_FLOAT_OP_MAP = {"fadd": "fadd", "fsub": "fsub", "fmul": "fmul", "fdiv": "fdiv"}
+
+#: icmp predicate -> x86 condition code (signed comparisons)
+_ICC = {"eq": "e", "ne": "ne", "slt": "l", "sle": "le", "sgt": "g", "sge": "ge"}
+
+#: fcmp predicate -> (condition code, swap operands?) using unsigned-style
+#: condition codes, the way compilers lower ``ucomisd`` (swapping for <, <=
+#: so NaN comparisons still branch correctly).
+_FCC = {
+    "oeq": ("e", False),
+    "one": ("ne", False),
+    "ogt": ("a", False),
+    "oge": ("ae", False),
+    "olt": ("a", True),
+    "ole": ("ae", True),
+}
+
+
+class InstructionSelector:
+    """Lowers one IR function to a MachineFunction."""
+
+    def __init__(self, fn: Function) -> None:
+        self.fn = fn
+        self.mf = MachineFunction(fn.name)
+        #: IR value id -> operand (VReg for instructions/args)
+        self.vmap: dict[int, Operand] = {}
+        #: alloca id -> frame slot index
+        self.alloca_slots: dict[int, int] = {}
+        self.cur: MachineBlock | None = None
+
+    # -- small emit helpers ---------------------------------------------------
+
+    def emit(self, opcode: str, *operands: Operand, cc: str | None = None) -> MachineInstr:
+        assert self.cur is not None
+        return self.cur.append(MachineInstr(opcode, list(operands), cc=cc))
+
+    def _vreg_for(self, value: Instruction | Argument, cls: str) -> VReg:
+        existing = self.vmap.get(id(value))
+        if isinstance(existing, VReg):
+            return existing
+        vreg = self.mf.new_vreg(cls)
+        self.vmap[id(value)] = vreg
+        return vreg
+
+    def _class_of(self, value: Value) -> str:
+        return FPR if value.type.is_float() else GPR
+
+    def operand_of(self, value: Value) -> Operand:
+        """Operand for an IR value; constants become immediates."""
+        if isinstance(value, ConstantInt):
+            return Imm(value.value)
+        if isinstance(value, ConstantFloat):
+            return FImm(value.value)
+        if isinstance(value, GlobalVariable):
+            # Materialize the global's address.
+            vreg = self.mf.new_vreg(GPR)
+            self.emit("lea", vreg, Mem(global_name=value.name))
+            return vreg
+        op = self.vmap.get(id(value))
+        if op is None:
+            raise BackendError(
+                f"@{self.fn.name}: no operand for {value!r} (isel ordering bug)"
+            )
+        return op
+
+    def reg_of(self, value: Value) -> VReg:
+        """Like operand_of but forces the value into a (virtual) register."""
+        op = self.operand_of(value)
+        if isinstance(op, VReg):
+            return op
+        if isinstance(op, Imm):
+            vreg = self.mf.new_vreg(GPR)
+            self.emit("mov", vreg, op)
+            return vreg
+        if isinstance(op, FImm):
+            vreg = self.mf.new_vreg(FPR)
+            self.emit("fconst", vreg, op)
+            return vreg
+        raise BackendError(f"cannot put operand {op} in a register")
+
+    # -- addressing -----------------------------------------------------------
+
+    def addr_of(self, ptr: Value) -> Mem:
+        """Best-effort addressing-mode selection for a pointer value."""
+        if isinstance(ptr, GlobalVariable):
+            return Mem(global_name=ptr.name)
+        if isinstance(ptr, Alloca):
+            return Mem(frame_slot=self.alloca_slots[id(ptr)])
+        if isinstance(ptr, GetElementPtr):
+            # Fold a constant-index gep on a global/alloca base into a
+            # displacement — only if we haven't already materialized it.
+            if id(ptr) not in self.vmap and isinstance(ptr.index, ConstantInt):
+                base = ptr.ptr
+                disp = ptr.index.value * ptr.element_type.size_bytes
+                if isinstance(base, GlobalVariable):
+                    return Mem(global_name=base.name, disp=disp)
+                if isinstance(base, Alloca):
+                    return Mem(
+                        frame_slot=self.alloca_slots[id(base)], disp=disp
+                    )
+        reg = self.reg_of(ptr)
+        return Mem(base=reg)
+
+    # -- driver -----------------------------------------------------------
+
+    def select(self) -> MachineFunction:
+        # Frame slots for allocas, in declaration order.
+        for instr in self.fn.instructions():
+            if isinstance(instr, Alloca):
+                size = instr.allocated_type.size_bytes
+                self.alloca_slots[id(instr)] = self.mf.frame.new_slot(size)
+
+        # Machine blocks mirror IR blocks one-to-one.
+        for block in self.fn.blocks:
+            self.mf.add_block(block.name)
+
+        # Entry: incoming-argument pseudo (expanded post-RA).
+        self.cur = self.mf.get_block(self.fn.entry.name)
+        if self.fn.args:
+            arg_vregs: list[Operand] = []
+            for arg in self.fn.args:
+                vreg = self._vreg_for(arg, self._class_of(arg))
+                arg_vregs.append(vreg)
+            self.emit("pargs", *arg_vregs)
+
+        # Pre-create vregs for phis so predecessors can write them.
+        for block in self.fn.blocks:
+            for phi in block.phis():
+                self._vreg_for(phi, self._class_of(phi))
+
+        for block in self.fn.blocks:
+            self.cur = self.mf.get_block(block.name)
+            self._select_block(block)
+        return self.mf
+
+    def _select_block(self, block) -> None:
+        instrs = block.instructions
+        for i, instr in enumerate(instrs):
+            if isinstance(instr, Phi):
+                continue  # handled by predecessors
+            if isinstance(instr, (Branch, CondBranch, Ret)):
+                self._emit_phi_copies(block)
+            if isinstance(instr, CondBranch):
+                self._select_condbr(block, instr, instrs, i)
+            else:
+                self._select_instr(instr, instrs, i)
+
+    # -- phi elimination ------------------------------------------------------
+
+    def _emit_phi_copies(self, block) -> None:
+        """Emit parallel copies for every successor's phi nodes."""
+        for succ in block.successors():
+            phis = succ.phis()
+            if not phis:
+                continue
+            moves: list[tuple[VReg, Operand]] = []
+            for phi in phis:
+                dst = self.vmap[id(phi)]
+                assert isinstance(dst, VReg)
+                src_val = phi.incoming_for(block)
+                src = self.operand_of(src_val)
+                if src != dst:
+                    moves.append((dst, src))
+            self._sequentialize_copies(moves)
+
+    def _sequentialize_copies(self, moves: list[tuple[VReg, Operand]]) -> None:
+        """Order a parallel copy; break cycles with a temporary register."""
+        pending = list(moves)
+        while pending:
+            progressed = False
+            # A move is safe when its destination is not a pending source.
+            for i, (dst, src) in enumerate(pending):
+                if any(s == dst for _, s in pending if s is not src):
+                    continue
+                if src == dst:
+                    pending.pop(i)
+                    progressed = True
+                    break
+                self._emit_copy(dst, src)
+                pending.pop(i)
+                progressed = True
+                break
+            if progressed:
+                continue
+            # Cycle: rotate through a temp.
+            dst, src = pending[0]
+            tmp = self.mf.new_vreg(dst.cls)
+            self._emit_copy(tmp, src)
+            pending[0] = (dst, tmp)
+        return
+
+    def _emit_copy(self, dst: VReg, src: Operand) -> None:
+        if dst.cls == FPR:
+            if isinstance(src, FImm):
+                self.emit("fconst", dst, src)
+            else:
+                self.emit("fmov", dst, src)
+        else:
+            self.emit("mov", dst, src)
+
+    # -- instruction selection -------------------------------------------------
+
+    def _select_instr(self, instr: Instruction, instrs, index: int) -> None:
+        if isinstance(instr, Alloca):
+            # Address materialization happens lazily via addr_of/lea.
+            if any(not isinstance(u, (Load, Store)) or
+                   (isinstance(u, Store) and u.value is instr)
+                   for u in instr.users):
+                vreg = self._vreg_for(instr, GPR)
+                self.emit("lea", vreg, Mem(frame_slot=self.alloca_slots[id(instr)]))
+            return
+        if isinstance(instr, Load):
+            dst = self._vreg_for(instr, self._class_of(instr))
+            mem = self.addr_of(instr.ptr)
+            self.emit("fload" if dst.cls == FPR else "load", dst, mem)
+            return
+        if isinstance(instr, Store):
+            mem = self.addr_of(instr.ptr)
+            value = instr.value
+            if isinstance(value, ConstantInt):
+                self.emit("store", mem, Imm(value.value))
+            elif value.type.is_float():
+                self.emit("fstore", mem, self.reg_of(value))
+            else:
+                self.emit("store", mem, self.reg_of(value))
+            return
+        if isinstance(instr, BinaryOp):
+            self._select_binop(instr)
+            return
+        if isinstance(instr, (ICmp, FCmp)):
+            # If the only use is a fused compare-and-branch, skip: the
+            # branch emits the compare itself.
+            if self._fusable_with_branch(instr, instrs, index):
+                return
+            self._materialize_cmp(instr)
+            return
+        if isinstance(instr, Cast):
+            src = instr.operands[0]
+            if instr.opcode == "sitofp":
+                dst = self._vreg_for(instr, FPR)
+                self.emit("cvtsi2sd", dst, self.reg_of(src))
+            elif instr.opcode == "fptosi":
+                dst = self._vreg_for(instr, GPR)
+                self.emit("cvttsd2si", dst, self.reg_of(src))
+            else:  # zext i1 -> i64: bool vregs already hold 0/1
+                dst = self._vreg_for(instr, GPR)
+                self.emit("mov", dst, self.operand_of(src))
+            return
+        if isinstance(instr, GetElementPtr):
+            self._select_gep(instr)
+            return
+        if isinstance(instr, Call):
+            ops: list[Operand] = [FuncRef(instr.callee.name)]
+            if instr.type.is_void():
+                ops.append(Imm(0))  # placeholder: no return register
+            else:
+                ops.append(self._vreg_for(instr, self._class_of(instr)))
+            for arg in instr.args:
+                ops.append(self.operand_of(arg))
+            self.emit("pcall", *ops)
+            return
+        if isinstance(instr, Branch):
+            self.emit("jmp", Label(instr.target.name))
+            self.cur.successors.append(instr.target.name)
+            return
+        if isinstance(instr, Ret):
+            if instr.value is None:
+                self.emit("pret")
+            else:
+                self.emit("pret", self.operand_of(instr.value))
+            return
+        raise BackendError(
+            f"@{self.fn.name}: cannot select {instr.opcode} ({instr!r})"
+        )
+
+    def _select_binop(self, instr: BinaryOp) -> None:
+        lhs, rhs = instr.operands
+        if instr.opcode in _FLOAT_OP_MAP:
+            dst = self._vreg_for(instr, FPR)
+            lhs_op = self.operand_of(lhs)
+            if isinstance(lhs_op, FImm):
+                self.emit("fconst", dst, lhs_op)
+            else:
+                self.emit("fmov", dst, lhs_op)
+            self.emit(_FLOAT_OP_MAP[instr.opcode], dst, self.reg_of(rhs))
+            return
+        opcode = _INT_OP_MAP[instr.opcode]
+        dst = self._vreg_for(instr, GPR)
+        self.emit("mov", dst, self.operand_of(lhs))
+        rhs_op = self.operand_of(rhs)
+        # Immediates are allowed as the second source of ALU ops.
+        self.emit(opcode, dst, rhs_op)
+
+    def _fusable_with_branch(self, cmp, instrs, index: int) -> bool:
+        """True when the compare's only user is the very next instruction and
+        that is a conditional branch (so FLAGS survive from cmp to jcc).
+
+        ``oeq``/``one`` float compares are never fused: after ``ucomisd``
+        their truth needs the parity flag too (NaN => unordered), so they are
+        materialized with the two-setcc sequence real compilers emit.
+        """
+        if isinstance(cmp, FCmp) and cmp.pred in ("oeq", "one"):
+            return False
+        if cmp.num_uses != 1:
+            return False
+        user = cmp.users[0]
+        return (
+            isinstance(user, CondBranch)
+            and index + 1 < len(instrs)
+            and instrs[index + 1] is user
+        )
+
+    def _emit_compare(self, cmp) -> str:
+        """Emit the cmp/fcmp; return the condition code for 'true'."""
+        lhs, rhs = cmp.operands
+        if isinstance(cmp, ICmp):
+            lhs_reg = self.reg_of(lhs)
+            rhs_op = self.operand_of(rhs)
+            if isinstance(rhs_op, FImm):  # pragma: no cover - type safety
+                raise BackendError("icmp with float operand")
+            self.emit("cmp", lhs_reg, rhs_op)
+            return _ICC[cmp.pred]
+        cc, swap = _FCC[cmp.pred]
+        a, b = (rhs, lhs) if swap else (lhs, rhs)
+        self.emit("fcmp", self.reg_of(a), self.reg_of(b))
+        return cc
+
+    def _materialize_cmp(self, cmp) -> None:
+        if isinstance(cmp, FCmp) and cmp.pred in ("oeq", "one"):
+            # ucomisd sets ZF|PF|CF on unordered; plain sete/setne would
+            # report NaN == NaN as true.  Emit the standard sequence:
+            #   oeq: sete t; setnp u; and t, u
+            #   one: setne t; setp u; or t, u
+            self.emit("fcmp", self.reg_of(cmp.operands[0]),
+                      self.reg_of(cmp.operands[1]))
+            dst = self._vreg_for(cmp, GPR)
+            parity = self.mf.new_vreg(GPR)
+            if cmp.pred == "oeq":
+                self.emit("setcc", dst, cc="e")
+                self.emit("setcc", parity, cc="np")
+                self.emit("and", dst, parity)
+            else:
+                self.emit("setcc", dst, cc="ne")
+                self.emit("setcc", parity, cc="p")
+                self.emit("or", dst, parity)
+            return
+        cc = self._emit_compare(cmp)
+        dst = self._vreg_for(cmp, GPR)
+        self.emit("setcc", dst, cc=cc)
+
+    def _select_condbr(self, block, instr: CondBranch, instrs, index: int) -> None:
+        cond = instr.cond
+        if (
+            isinstance(cond, (ICmp, FCmp))
+            and cond.num_uses == 1
+            and index > 0
+            and instrs[index - 1] is cond
+            and not (isinstance(cond, FCmp) and cond.pred in ("oeq", "one"))
+        ):
+            cc = self._emit_compare(cond)
+        else:
+            # Condition is a materialized 0/1 value (or constant).
+            cond_op = self.operand_of(cond)
+            if isinstance(cond_op, Imm):
+                reg = self.mf.new_vreg(GPR)
+                self.emit("mov", reg, cond_op)
+                cond_op = reg
+            self.emit("cmp", cond_op, Imm(0))
+            cc = "ne"
+        self.emit("jcc", Label(instr.if_true.name), cc=cc)
+        self.emit("jmp", Label(instr.if_false.name))
+        self.cur.successors.append(instr.if_true.name)
+        self.cur.successors.append(instr.if_false.name)
+
+    def _select_gep(self, instr: GetElementPtr) -> None:
+        # If every use was folded into addressing modes, skip entirely.
+        if id(instr) in self.vmap:
+            dst = self.vmap[id(instr)]
+        elif all(
+            isinstance(u, (Load, Store)) and self._foldable_gep(instr)
+            for u in instr.users
+        ) and instr.users:
+            return  # folded into Mem by addr_of at each use
+        else:
+            dst = self._vreg_for(instr, GPR)
+        assert isinstance(dst, VReg)
+        size = instr.element_type.size_bytes
+        base = instr.ptr
+        index = instr.index
+        if isinstance(index, ConstantInt):
+            base_op = self.operand_of(base)
+            self.emit("mov", dst, base_op)
+            disp = index.value * size
+            if disp:
+                self.emit("add", dst, Imm(disp))
+            return
+        # dst = index; dst <<= log2(size) (or *= size); dst += base
+        self.emit("mov", dst, self.operand_of(index))
+        if size != 1:
+            if size & (size - 1) == 0:
+                self.emit("shl", dst, Imm(size.bit_length() - 1))
+            else:
+                self.emit("imul", dst, Imm(size))
+        self.emit("add", dst, self.reg_of(base))
+
+    def _foldable_gep(self, gep: GetElementPtr) -> bool:
+        return isinstance(gep.index, ConstantInt) and isinstance(
+            gep.ptr, (GlobalVariable, Alloca)
+        )
+
+
+def select_function(fn: Function) -> MachineFunction:
+    """Run instruction selection on one IR function."""
+    return InstructionSelector(fn).select()

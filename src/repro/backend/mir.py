@@ -1,0 +1,373 @@
+"""Machine IR (MIR): the backend's instruction representation.
+
+Mirrors LLVM's MachineInstr layer: target-flavoured instructions over
+virtual or physical registers, organized in machine basic blocks.  REFINE's
+instrumentation pass operates on this representation *after* register
+allocation — exactly the paper's design (Section 4.2).
+
+Operand kinds:
+
+* :class:`VReg` — virtual register (pre-RA only)
+* :class:`PReg` — physical register
+* :class:`Imm` / :class:`FImm` — integer / float immediates
+* :class:`Mem` — memory reference ``[base + disp]``, a global symbol, or a
+  frame slot (pre-frame-lowering placeholder)
+* :class:`Label` — branch target
+* :class:`FuncRef` — call target
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterator, Optional
+
+from repro.errors import BackendError
+from repro.backend.target import FLAGS, FPR
+
+
+# -- operands ----------------------------------------------------------------
+
+@dataclass(frozen=True)
+class VReg:
+    """Virtual register: unlimited supply, assigned by the allocator."""
+
+    id: int
+    cls: str  # GPR | FPR
+
+    def __str__(self) -> str:
+        prefix = "%vf" if self.cls == FPR else "%v"
+        return f"{prefix}{self.id}"
+
+
+@dataclass(frozen=True)
+class PReg:
+    """Physical register."""
+
+    name: str
+
+    def __str__(self) -> str:
+        return self.name
+
+
+@dataclass(frozen=True)
+class Imm:
+    """64-bit integer immediate."""
+
+    value: int
+
+    def __str__(self) -> str:
+        return f"${self.value}"
+
+
+@dataclass(frozen=True)
+class FImm:
+    """Double immediate (stands in for a constant-pool reference)."""
+
+    value: float
+
+    def __str__(self) -> str:
+        return f"${self.value!r}"
+
+
+@dataclass(frozen=True)
+class Mem:
+    """Memory operand: ``[base + disp]``, ``[@global + disp]``, or a frame
+    slot placeholder (``frame`` index resolved during frame lowering)."""
+
+    base: Optional[VReg | PReg] = None
+    disp: int = 0
+    global_name: Optional[str] = None
+    frame_slot: Optional[int] = None
+
+    def __str__(self) -> str:
+        if self.frame_slot is not None:
+            return f"[frame#{self.frame_slot}{self.disp:+d}]"
+        if self.global_name is not None:
+            return f"[@{self.global_name}{self.disp:+d}]"
+        if self.disp:
+            return f"[{self.base}{self.disp:+d}]"
+        return f"[{self.base}]"
+
+
+@dataclass(frozen=True)
+class Label:
+    """Branch target (machine basic block name)."""
+
+    name: str
+
+    def __str__(self) -> str:
+        return self.name
+
+
+@dataclass(frozen=True)
+class FuncRef:
+    """Direct call target."""
+
+    name: str
+
+    def __str__(self) -> str:
+        return f"@{self.name}"
+
+
+Operand = VReg | PReg | Imm | FImm | Mem | Label | FuncRef
+
+
+# -- opcode semantics table ---------------------------------------------------
+
+@dataclass(frozen=True)
+class OpcodeInfo:
+    """Dataflow semantics of an opcode.
+
+    ``defs``/``uses`` are operand indices.  ``reads_mem_base`` marks operands
+    whose embedded base register is read.  A two-address instruction lists
+    operand 0 in both defs and uses.
+    """
+
+    defs: tuple[int, ...] = ()
+    uses: tuple[int, ...] = ()
+    writes_flags: bool = False
+    reads_flags: bool = False
+    is_terminator: bool = False
+    is_call: bool = False
+
+
+#: The sx64 instruction set.
+OPCODES: dict[str, OpcodeInfo] = {
+    # data movement
+    "mov": OpcodeInfo(defs=(0,), uses=(1,)),
+    "fmov": OpcodeInfo(defs=(0,), uses=(1,)),
+    "fconst": OpcodeInfo(defs=(0,), uses=(1,)),
+    "lea": OpcodeInfo(defs=(0,), uses=(1,)),
+    "load": OpcodeInfo(defs=(0,), uses=(1,)),
+    "store": OpcodeInfo(uses=(0, 1)),
+    "fload": OpcodeInfo(defs=(0,), uses=(1,)),
+    "fstore": OpcodeInfo(uses=(0, 1)),
+    # integer ALU (two-address, writes FLAGS like x86)
+    "add": OpcodeInfo(defs=(0,), uses=(0, 1), writes_flags=True),
+    "sub": OpcodeInfo(defs=(0,), uses=(0, 1), writes_flags=True),
+    "imul": OpcodeInfo(defs=(0,), uses=(0, 1), writes_flags=True),
+    "and": OpcodeInfo(defs=(0,), uses=(0, 1), writes_flags=True),
+    "or": OpcodeInfo(defs=(0,), uses=(0, 1), writes_flags=True),
+    "xor": OpcodeInfo(defs=(0,), uses=(0, 1), writes_flags=True),
+    "shl": OpcodeInfo(defs=(0,), uses=(0, 1), writes_flags=True),
+    "sar": OpcodeInfo(defs=(0,), uses=(0, 1), writes_flags=True),
+    "neg": OpcodeInfo(defs=(0,), uses=(0,), writes_flags=True),
+    "idiv": OpcodeInfo(defs=(0,), uses=(0, 1), writes_flags=True),
+    "irem": OpcodeInfo(defs=(0,), uses=(0, 1), writes_flags=True),
+    # floating ALU (two-address, no flags — like SSE)
+    "fadd": OpcodeInfo(defs=(0,), uses=(0, 1)),
+    "fsub": OpcodeInfo(defs=(0,), uses=(0, 1)),
+    "fmul": OpcodeInfo(defs=(0,), uses=(0, 1)),
+    "fdiv": OpcodeInfo(defs=(0,), uses=(0, 1)),
+    # comparisons and conditions
+    "cmp": OpcodeInfo(uses=(0, 1), writes_flags=True),
+    "fcmp": OpcodeInfo(uses=(0, 1), writes_flags=True),
+    "setcc": OpcodeInfo(defs=(0,), reads_flags=True),  # ops: dst (cc field)
+    "cmov": OpcodeInfo(defs=(0,), uses=(0, 1), reads_flags=True),  # dst, src
+    # control flow
+    "jmp": OpcodeInfo(is_terminator=True),
+    "jcc": OpcodeInfo(reads_flags=True),  # conditional: falls through
+    "call": OpcodeInfo(is_call=True, writes_flags=True),
+    "ret": OpcodeInfo(is_terminator=True),
+    # stack
+    "push": OpcodeInfo(uses=(0,)),
+    "pop": OpcodeInfo(defs=(0,)),
+    # conversions
+    "cvtsi2sd": OpcodeInfo(defs=(0,), uses=(1,)),
+    "cvttsd2si": OpcodeInfo(defs=(0,), uses=(1,)),
+    # REFINE instrumentation pseudo (see repro.fi.refine)
+    "fi_check": OpcodeInfo(),
+}
+
+#: Pseudo-instructions that exist only before frame lowering.
+PSEUDO_OPCODES: dict[str, OpcodeInfo] = {
+    # CALL pseudo: ops = [FuncRef, ret-vreg-or-None, arg0, arg1, ...]
+    "pcall": OpcodeInfo(is_call=True, writes_flags=True),
+    # RET pseudo: ops = [value-vreg] or []
+    "pret": OpcodeInfo(is_terminator=True),
+    # incoming-arguments pseudo: ops = [dst-vreg, ...] (all defs)
+    "pargs": OpcodeInfo(),
+}
+
+
+class MachineInstr:
+    """One machine instruction."""
+
+    __slots__ = ("opcode", "operands", "cc", "fi_meta")
+
+    def __init__(
+        self,
+        opcode: str,
+        operands: list[Operand] | tuple[Operand, ...] = (),
+        cc: str | None = None,
+    ) -> None:
+        if opcode not in OPCODES and opcode not in PSEUDO_OPCODES:
+            raise BackendError(f"unknown opcode {opcode!r}")
+        self.opcode = opcode
+        self.operands: list[Operand] = list(operands)
+        #: condition code for jcc/setcc/cmov
+        self.cc = cc
+        #: fault-injection metadata slot (set by FI passes)
+        self.fi_meta: object = None
+
+    # -- dataflow queries ---------------------------------------------------
+
+    @property
+    def info(self) -> OpcodeInfo:
+        return OPCODES.get(self.opcode) or PSEUDO_OPCODES[self.opcode]
+
+    def reg_defs(self) -> list[VReg | PReg]:
+        """Registers written by this instruction (excluding FLAGS/rsp)."""
+        if self.opcode == "pcall":
+            ret = self.operands[1]
+            return [ret] if isinstance(ret, (VReg, PReg)) else []
+        if self.opcode == "pargs":
+            return [op for op in self.operands if isinstance(op, (VReg, PReg))]
+        out: list[VReg | PReg] = []
+        for idx in self.info.defs:
+            op = self.operands[idx]
+            if isinstance(op, (VReg, PReg)):
+                out.append(op)
+        return out
+
+    def reg_uses(self) -> list[VReg | PReg]:
+        """Registers read by this instruction (incl. memory base registers)."""
+        out: list[VReg | PReg] = []
+        if self.opcode == "pcall":
+            for op in self.operands[2:]:
+                if isinstance(op, (VReg, PReg)):
+                    out.append(op)
+            return out
+        if self.opcode == "pret":
+            for op in self.operands:
+                if isinstance(op, (VReg, PReg)):
+                    out.append(op)
+            return out
+        for idx in self.info.uses:
+            op = self.operands[idx]
+            if isinstance(op, (VReg, PReg)):
+                out.append(op)
+        # Base registers of any memory operand are reads.
+        for op in self.operands:
+            if isinstance(op, Mem) and isinstance(op.base, (VReg, PReg)):
+                out.append(op.base)
+        return out
+
+    def output_registers(self) -> list[str]:
+        """Names of *physical* output registers — the fault-injection
+        targets of this instruction (destination registers plus FLAGS).
+
+        Only meaningful after register allocation.
+        """
+        outs: list[str] = []
+        for op in self.reg_defs():
+            if isinstance(op, PReg):
+                outs.append(op.name)
+        if self.info.writes_flags:
+            outs.append(FLAGS)
+        if self.opcode in ("push", "pop"):
+            outs.append("rsp")
+        return outs
+
+    @property
+    def is_fi_candidate(self) -> bool:
+        """True when the single-bit-flip fault model applies: the instruction
+        dynamically writes at least one architectural register.
+
+        ``call``/``jmp``/``ret``/``fi_check`` are excluded (matching PINFI's
+        register-output targeting); stores write memory, not registers.
+        """
+        if self.opcode in ("call", "pcall", "jmp", "ret", "pret", "jcc", "fi_check"):
+            return False
+        return bool(self.output_registers())
+
+    def __str__(self) -> str:
+        mnemonic = self.opcode
+        if self.cc is not None:
+            mnemonic = self.opcode.replace("cc", "") + self.cc
+        ops = ", ".join(str(o) for o in self.operands)
+        return f"{mnemonic} {ops}".rstrip()
+
+    def __repr__(self) -> str:
+        return f"<MI {self}>"
+
+
+class MachineBlock:
+    """A machine basic block."""
+
+    __slots__ = ("name", "instructions", "successors")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.instructions: list[MachineInstr] = []
+        #: successor block names (filled by the builder/isel)
+        self.successors: list[str] = []
+
+    def append(self, instr: MachineInstr) -> MachineInstr:
+        self.instructions.append(instr)
+        return instr
+
+    def __iter__(self) -> Iterator[MachineInstr]:
+        return iter(self.instructions)
+
+    def __len__(self) -> int:
+        return len(self.instructions)
+
+    def __repr__(self) -> str:
+        return f"<MachineBlock {self.name} ({len(self.instructions)})>"
+
+
+@dataclass
+class FrameInfo:
+    """Stack frame bookkeeping for one function."""
+
+    #: slot index -> size in bytes (all 8 here, arrays larger)
+    slot_sizes: list[int] = field(default_factory=list)
+    #: resolved slot offsets relative to rbp (filled by frame lowering)
+    slot_offsets: list[int] = field(default_factory=list)
+    #: callee-saved registers this function must preserve
+    saved_regs: list[str] = field(default_factory=list)
+    frame_size: int = 0
+
+    def new_slot(self, size: int = 8) -> int:
+        self.slot_sizes.append(size)
+        return len(self.slot_sizes) - 1
+
+
+class MachineFunction:
+    """Machine code for one function."""
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.blocks: list[MachineBlock] = []
+        self._block_map: dict[str, MachineBlock] = {}
+        self.frame = FrameInfo()
+        self._next_vreg = 0
+
+    def new_vreg(self, cls: str) -> VReg:
+        self._next_vreg += 1
+        return VReg(self._next_vreg, cls)
+
+    def add_block(self, name: str) -> MachineBlock:
+        if name in self._block_map:
+            raise BackendError(f"duplicate machine block {name!r} in @{self.name}")
+        block = MachineBlock(name)
+        self.blocks.append(block)
+        self._block_map[name] = block
+        return block
+
+    def get_block(self, name: str) -> MachineBlock:
+        try:
+            return self._block_map[name]
+        except KeyError:
+            raise BackendError(f"@{self.name} has no machine block {name!r}") from None
+
+    def instructions(self) -> Iterator[MachineInstr]:
+        for block in self.blocks:
+            yield from block.instructions
+
+    def instr_count(self) -> int:
+        return sum(len(b) for b in self.blocks)
+
+    def __repr__(self) -> str:
+        return f"<MachineFunction @{self.name} ({self.instr_count()} instrs)>"

@@ -1,0 +1,326 @@
+"""Linear-scan register allocation with spilling.
+
+Classic Poletto–Sarkar linear scan over single live intervals, extended with
+the constraint that intervals live across a call may only occupy callee-saved
+registers (SysV has none for FP, so FP values that live across calls always
+spill — the dominant effect in LLFI-instrumented code, cf. Listing 2(c) of
+the paper).
+
+Spilled virtual registers are rewritten with reserved scratch registers
+(``r10``/``r11``, ``xmm14``/``xmm15``): every use loads from the stack slot,
+every def stores back.  Pseudo-instructions (``pargs``/``pcall``/``pret``)
+keep symbolic :class:`Slot` operands; frame lowering expands them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import BackendError
+from repro.backend.mir import (
+    MachineFunction,
+    MachineInstr,
+    Mem,
+    Operand,
+    PReg,
+    VReg,
+)
+from repro.backend.target import (
+    CALLEE_SAVED_FPR,
+    CALLEE_SAVED_GPR,
+    FPR,
+    FPR_ALLOC,
+    FPR_SCRATCH,
+    GPR,
+    GPR_ALLOC,
+    GPR_SCRATCH,
+)
+
+
+@dataclass(frozen=True)
+class Slot:
+    """Symbolic spill-slot operand, resolved by frame lowering."""
+
+    index: int
+    cls: str
+
+    def __str__(self) -> str:
+        return f"slot#{self.index}"
+
+
+@dataclass
+class LiveInterval:
+    vreg: VReg
+    start: int
+    end: int
+    crosses_call: bool = False
+    reg: str | None = None
+    slot: int | None = None
+
+    @property
+    def spilled(self) -> bool:
+        return self.slot is not None
+
+
+@dataclass
+class AllocationResult:
+    """Outcome of register allocation for one function."""
+
+    assignments: dict[VReg, str] = field(default_factory=dict)
+    spills: dict[VReg, int] = field(default_factory=dict)
+    used_callee_saved: list[str] = field(default_factory=list)
+    num_spilled: int = 0
+    num_intervals: int = 0
+
+
+# -- liveness -----------------------------------------------------------------
+
+def _block_positions(mf: MachineFunction) -> dict[str, tuple[int, int]]:
+    """Linear [start, end) instruction index range of each block."""
+    positions = {}
+    pos = 0
+    for block in mf.blocks:
+        positions[block.name] = (pos, pos + len(block.instructions))
+        pos += len(block.instructions)
+    return positions
+
+
+def compute_liveness(mf: MachineFunction) -> tuple[dict[str, set], dict[str, set]]:
+    """Per-block live-in/live-out sets of virtual registers."""
+    use_sets: dict[str, set] = {}
+    def_sets: dict[str, set] = {}
+    for block in mf.blocks:
+        uses: set = set()
+        defs: set = set()
+        for instr in block.instructions:
+            for u in instr.reg_uses():
+                if isinstance(u, VReg) and u not in defs:
+                    uses.add(u)
+            for d in instr.reg_defs():
+                if isinstance(d, VReg):
+                    defs.add(d)
+        use_sets[block.name] = uses
+        def_sets[block.name] = defs
+
+    live_in: dict[str, set] = {b.name: set() for b in mf.blocks}
+    live_out: dict[str, set] = {b.name: set() for b in mf.blocks}
+    changed = True
+    while changed:
+        changed = False
+        for block in reversed(mf.blocks):
+            out: set = set()
+            for succ in block.successors:
+                out |= live_in[succ]
+            new_in = use_sets[block.name] | (out - def_sets[block.name])
+            if out != live_out[block.name] or new_in != live_in[block.name]:
+                live_out[block.name] = out
+                live_in[block.name] = new_in
+                changed = True
+    return live_in, live_out
+
+
+def build_intervals(mf: MachineFunction) -> tuple[list[LiveInterval], list[int]]:
+    """Single-range live intervals plus the linear positions of calls."""
+    live_in, live_out = compute_liveness(mf)
+    block_pos = _block_positions(mf)
+
+    starts: dict[VReg, int] = {}
+    ends: dict[VReg, int] = {}
+    call_positions: list[int] = []
+
+    def note(v: VReg, pos: int) -> None:
+        if v not in starts or pos < starts[v]:
+            starts[v] = pos
+        if v not in ends or pos > ends[v]:
+            ends[v] = pos
+
+    pos = 0
+    for block in mf.blocks:
+        bstart, bend = block_pos[block.name]
+        for v in live_in[block.name]:
+            note(v, bstart)
+        for v in live_out[block.name]:
+            note(v, bend - 1 if bend > bstart else bstart)
+        for instr in block.instructions:
+            if instr.opcode in ("pcall", "call"):
+                call_positions.append(pos)
+            for u in instr.reg_uses():
+                if isinstance(u, VReg):
+                    note(u, pos)
+            for d in instr.reg_defs():
+                if isinstance(d, VReg):
+                    note(d, pos)
+            pos += 1
+
+    intervals = []
+    for v, s in starts.items():
+        iv = LiveInterval(v, s, ends[v])
+        iv.crosses_call = any(s < c < iv.end for c in call_positions)
+        intervals.append(iv)
+    intervals.sort(key=lambda iv: (iv.start, iv.end))
+    return intervals, call_positions
+
+
+# -- allocation ---------------------------------------------------------------
+
+_POOLS = {
+    GPR: {"any": list(GPR_ALLOC), "callee": list(CALLEE_SAVED_GPR)},
+    FPR: {"any": list(FPR_ALLOC), "callee": list(CALLEE_SAVED_FPR)},
+}
+
+
+def allocate(mf: MachineFunction) -> AllocationResult:
+    """Run linear scan; returns assignments and spill slots (frame indices)."""
+    intervals, _ = build_intervals(mf)
+    result = AllocationResult(num_intervals=len(intervals))
+
+    active: list[LiveInterval] = []
+    in_use: dict[str, LiveInterval] = {}
+
+    def allowed_regs(iv: LiveInterval) -> list[str]:
+        pool = _POOLS[iv.vreg.cls]
+        return pool["callee"] if iv.crosses_call else pool["any"]
+
+    def spill(iv: LiveInterval) -> None:
+        iv.slot = mf.frame.new_slot(8)
+        result.spills[iv.vreg] = iv.slot
+        result.num_spilled += 1
+
+    for iv in intervals:
+        # Expire finished intervals.
+        for old in list(active):
+            if old.end < iv.start:
+                active.remove(old)
+                if old.reg is not None:
+                    del in_use[old.reg]
+        free = [r for r in allowed_regs(iv) if r not in in_use]
+        if free:
+            iv.reg = free[0]
+            in_use[iv.reg] = iv
+            active.append(iv)
+            continue
+        # No free register: consider stealing from the active interval with
+        # the furthest end whose register this interval may legally hold.
+        candidates = [
+            a for a in active
+            if a.reg is not None and a.reg in allowed_regs(iv)
+        ]
+        victim = max(candidates, key=lambda a: a.end, default=None)
+        if victim is not None and victim.end > iv.end:
+            iv.reg = victim.reg
+            victim.reg = None
+            spill(victim)
+            active.remove(victim)
+            in_use[iv.reg] = iv
+            active.append(iv)
+        else:
+            spill(iv)
+
+    for iv in intervals:
+        if iv.reg is not None:
+            result.assignments[iv.vreg] = iv.reg
+            if iv.reg in CALLEE_SAVED_GPR or iv.reg in CALLEE_SAVED_FPR:
+                if iv.reg not in result.used_callee_saved:
+                    result.used_callee_saved.append(iv.reg)
+    return result
+
+
+# -- rewriting ----------------------------------------------------------------
+
+def rewrite(mf: MachineFunction, result: AllocationResult) -> None:
+    """Replace virtual registers with physical ones; emit spill code.
+
+    After this pass the only non-physical operands are :class:`Slot`
+    references inside pseudo-instructions, which frame lowering expands.
+    """
+    assignments = result.assignments
+    spills = result.spills
+
+    for block in mf.blocks:
+        new_instrs: list[MachineInstr] = []
+        for instr in block.instructions:
+            if instr.opcode in ("pargs", "pcall", "pret"):
+                _rewrite_pseudo(instr, assignments, spills)
+                new_instrs.append(instr)
+                continue
+            before, after = _rewrite_instr(instr, assignments, spills)
+            new_instrs.extend(before)
+            new_instrs.append(instr)
+            new_instrs.extend(after)
+        block.instructions = new_instrs
+    mf.frame.saved_regs = list(result.used_callee_saved)
+
+
+def _loc(op: VReg, assignments, spills) -> Operand:
+    reg = assignments.get(op)
+    if reg is not None:
+        return PReg(reg)
+    slot = spills.get(op)
+    if slot is None:
+        raise BackendError(f"vreg {op} has neither register nor slot")
+    return Slot(slot, op.cls)
+
+
+def _rewrite_pseudo(instr: MachineInstr, assignments, spills) -> None:
+    for i, op in enumerate(instr.operands):
+        if isinstance(op, VReg):
+            instr.operands[i] = _loc(op, assignments, spills)
+
+
+def _rewrite_instr(
+    instr: MachineInstr, assignments, spills
+) -> tuple[list[MachineInstr], list[MachineInstr]]:
+    before: list[MachineInstr] = []
+    after: list[MachineInstr] = []
+    scratch_map: dict[VReg, str] = {}
+    scratch_free = {GPR: list(GPR_SCRATCH), FPR: list(FPR_SCRATCH)}
+
+    def scratch_for(v: VReg) -> str:
+        if v in scratch_map:
+            return scratch_map[v]
+        pool = scratch_free[v.cls]
+        if not pool:
+            raise BackendError(f"out of scratch registers rewriting {instr}")
+        reg = pool.pop(0)
+        scratch_map[v] = reg
+        return reg
+
+    info = instr.info
+    defs = set(info.defs)
+    uses = set(info.uses)
+
+    def map_reg(v: VReg, is_use: bool, is_def: bool) -> PReg:
+        reg = assignments.get(v)
+        if reg is not None:
+            return PReg(reg)
+        slot = spills[v]
+        name = scratch_for(v)
+        if is_use:
+            load_op = "fload" if v.cls == FPR else "load"
+            # Avoid duplicate reloads of the same vreg in one instruction.
+            if not any(
+                m.opcode == load_op and m.operands[0] == PReg(name)
+                for m in before
+            ):
+                before.append(
+                    MachineInstr(load_op, [PReg(name), Mem(frame_slot=slot)])
+                )
+        if is_def:
+            store_op = "fstore" if v.cls == FPR else "store"
+            after.append(
+                MachineInstr(store_op, [Mem(frame_slot=slot), PReg(name)])
+            )
+        return PReg(name)
+
+    for i, op in enumerate(instr.operands):
+        if isinstance(op, VReg):
+            instr.operands[i] = map_reg(op, i in uses, i in defs)
+        elif isinstance(op, Mem) and isinstance(op.base, VReg):
+            base = map_reg(op.base, True, False)
+            instr.operands[i] = Mem(
+                base=base,
+                disp=op.disp,
+                global_name=op.global_name,
+                frame_slot=op.frame_slot,
+            )
+    return before, after

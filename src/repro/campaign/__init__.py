@@ -1,0 +1,52 @@
+"""Campaign orchestration: experiments, classification, result aggregation."""
+
+from repro.campaign.analysis import (
+    GroupSensitivity,
+    by_bit_range,
+    by_function,
+    by_operand_kind,
+    render_sensitivity,
+)
+from repro.campaign.classify import OUTCOME_ORDER, Outcome, classify
+from repro.campaign.io import (
+    load_matrix,
+    merge_results,
+    result_from_dict,
+    result_to_dict,
+    save_matrix,
+)
+from repro.campaign.parallel import run_campaign_parallel
+from repro.campaign.results import CampaignResult, ExperimentRecord
+from repro.campaign.runner import (
+    DEFAULT_SEED,
+    PAPER_SAMPLES,
+    make_tool,
+    replay,
+    run_campaign,
+    run_matrix,
+)
+
+__all__ = [
+    "GroupSensitivity",
+    "by_bit_range",
+    "by_function",
+    "by_operand_kind",
+    "render_sensitivity",
+    "load_matrix",
+    "merge_results",
+    "result_from_dict",
+    "result_to_dict",
+    "save_matrix",
+    "run_campaign_parallel",
+    "OUTCOME_ORDER",
+    "Outcome",
+    "classify",
+    "CampaignResult",
+    "ExperimentRecord",
+    "DEFAULT_SEED",
+    "PAPER_SAMPLES",
+    "make_tool",
+    "replay",
+    "run_campaign",
+    "run_matrix",
+]

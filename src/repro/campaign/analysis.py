@@ -1,0 +1,112 @@
+"""Post-campaign analysis: correlating faults with source-level structure.
+
+The paper motivates compiler-based FI with "access to source code
+abstractions" (Table 1): unlike a binary tool, REFINE knows which source
+function every fault site belongs to.  This module turns a campaign's fault
+log into per-function and per-fault-target sensitivity breakdowns — the
+analysis a resilience study would use to decide where to place detectors
+(cf. the IPAS line of work the paper cites).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.campaign.classify import OUTCOME_ORDER, Outcome
+from repro.campaign.results import CampaignResult, ExperimentRecord
+from repro.errors import CampaignError
+from repro.stats.intervals import Interval, wilson_interval
+
+
+@dataclass
+class GroupSensitivity:
+    """Outcome breakdown for one group (function, operand kind, bit range)."""
+
+    key: str
+    counts: dict[Outcome, int] = field(default_factory=dict)
+
+    @property
+    def total(self) -> int:
+        return sum(self.counts.values())
+
+    def frequency(self, outcome: Outcome) -> int:
+        return self.counts.get(outcome, 0)
+
+    def proportion(self, outcome: Outcome) -> float:
+        return self.frequency(outcome) / self.total if self.total else 0.0
+
+    def interval(self, outcome: Outcome, confidence: float = 0.95) -> Interval:
+        return wilson_interval(self.frequency(outcome), self.total, confidence)
+
+
+def _group_records(
+    records: list[ExperimentRecord], key_of
+) -> list[GroupSensitivity]:
+    groups: dict[str, GroupSensitivity] = {}
+    for rec in records:
+        if rec.fault is None:
+            continue
+        key = key_of(rec)
+        group = groups.get(key)
+        if group is None:
+            group = groups[key] = GroupSensitivity(key, {o: 0 for o in Outcome})
+        group.counts[rec.outcome] += 1
+    return sorted(
+        groups.values(), key=lambda g: g.proportion(Outcome.CRASH), reverse=True
+    )
+
+
+def _require_records(result: CampaignResult) -> list[ExperimentRecord]:
+    if not result.records:
+        raise CampaignError(
+            "sensitivity analysis needs a campaign run with keep_records=True"
+        )
+    return result.records
+
+
+def by_function(result: CampaignResult) -> list[GroupSensitivity]:
+    """Outcome breakdown per source function — the source-correlation
+    capability binary-level tools lack."""
+    return _group_records(_require_records(result), lambda r: r.fault.func)
+
+
+def by_operand_kind(result: CampaignResult) -> list[GroupSensitivity]:
+    """Breakdown by corrupted register kind (int / float / flags / value)."""
+
+    def kind(rec: ExperimentRecord) -> str:
+        desc = rec.fault.operand_desc
+        return desc.split(":")[0]
+
+    return _group_records(_require_records(result), kind)
+
+
+def by_bit_range(
+    result: CampaignResult, buckets: int = 8
+) -> list[GroupSensitivity]:
+    """Breakdown by flipped bit position (low mantissa bits vs sign/exponent
+    and address high bits behave very differently)."""
+    if not 1 <= buckets <= 64:
+        raise CampaignError("buckets must be in [1, 64]")
+    width = 64 // buckets
+
+    def bucket(rec: ExperimentRecord) -> str:
+        lo = (rec.fault.bit // width) * width
+        return f"bits[{lo:02d}-{min(lo + width - 1, 63):02d}]"
+
+    groups = _group_records(_require_records(result), bucket)
+    return sorted(groups, key=lambda g: g.key)
+
+
+def render_sensitivity(
+    groups: list[GroupSensitivity], title: str
+) -> str:
+    """Terminal rendering of a sensitivity breakdown."""
+    lines = [f"== {title} ==",
+             f"  {'group':24s} {'n':>6s} " +
+             " ".join(f"{o.value:>8s}" for o in OUTCOME_ORDER)]
+    for g in groups:
+        row = " ".join(
+            f"{g.proportion(o) * 100:7.1f}%" for o in OUTCOME_ORDER
+        )
+        lines.append(f"  {g.key:24s} {g.total:>6d} {row}")
+    return "\n".join(lines)

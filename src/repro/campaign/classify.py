@@ -1,0 +1,45 @@
+"""Outcome classification (paper Section 4.3.2).
+
+Each fault-injection run is classified as:
+
+* **CRASH** — a machine trap (segfault, illegal instruction, divide error,
+  stack overflow), a timeout (> 10x the profiled execution length), or a
+  non-zero exit code;
+* **SOC** — silent output corruption: the run terminates cleanly but the
+  final printed output differs from the golden (fault-free) output;
+* **BENIGN** — output identical to the golden output.
+
+Classification compares only final printed results (the workloads print
+checksums/residuals, not intermediate data), matching the paper's method.
+"""
+
+from __future__ import annotations
+
+from enum import Enum
+from typing import Sequence
+
+from repro.machine.cpu import ExecutionResult
+
+
+class Outcome(str, Enum):
+    CRASH = "crash"
+    SOC = "soc"
+    BENIGN = "benign"
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return self.value
+
+
+#: Fixed category order used by tables and chi-squared tests.
+OUTCOME_ORDER = (Outcome.CRASH, Outcome.SOC, Outcome.BENIGN)
+
+
+def classify(result: ExecutionResult, golden_output: Sequence[str]) -> Outcome:
+    """Classify one run against the golden output."""
+    if result.trap is not None:
+        return Outcome.CRASH
+    if result.exit_code != 0:
+        return Outcome.CRASH
+    if tuple(result.output) != tuple(golden_output):
+        return Outcome.SOC
+    return Outcome.BENIGN

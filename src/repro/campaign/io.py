@@ -1,0 +1,166 @@
+"""Campaign persistence: JSON serialization of results and fault logs.
+
+Large FI studies run in batches (the paper's 44,856 experiments ran on a
+cluster); results must round-trip losslessly so analysis and reporting can
+happen offline.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Iterable
+
+from repro.campaign.classify import Outcome
+from repro.campaign.results import CampaignResult, ExperimentRecord
+from repro.errors import CampaignError
+from repro.machine.cpu import FaultRecord
+
+FORMAT_VERSION = 1
+
+
+def _fault_to_dict(fault: FaultRecord | None) -> dict | None:
+    if fault is None:
+        return None
+    return {
+        "tool": fault.tool,
+        "dynamic_index": fault.dynamic_index,
+        "pc": fault.pc,
+        "func": fault.func,
+        "block": fault.block,
+        "instr_text": fault.instr_text,
+        "operand_index": fault.operand_index,
+        "operand_desc": fault.operand_desc,
+        "bit": fault.bit,
+        "value_before": repr(fault.value_before),
+        "value_after": repr(fault.value_after),
+    }
+
+
+def _fault_from_dict(data: dict | None) -> FaultRecord | None:
+    if data is None:
+        return None
+    return FaultRecord(
+        tool=data["tool"],
+        dynamic_index=data["dynamic_index"],
+        pc=data["pc"],
+        func=data["func"],
+        block=data["block"],
+        instr_text=data["instr_text"],
+        operand_index=data["operand_index"],
+        operand_desc=data["operand_desc"],
+        bit=data["bit"],
+        value_before=data["value_before"],
+        value_after=data["value_after"],
+    )
+
+
+def result_to_dict(result: CampaignResult) -> dict:
+    """Serialize one campaign result (records included when kept)."""
+    return {
+        "workload": result.workload,
+        "tool": result.tool,
+        "n": result.n,
+        "counts": {o.value: result.frequency(o) for o in Outcome},
+        "total_cycles": result.total_cycles,
+        "total_steps": result.total_steps,
+        "golden_output": list(result.golden_output),
+        "total_candidates": result.total_candidates,
+        "records": [
+            {
+                "seed": rec.seed,
+                "outcome": rec.outcome.value,
+                "cycles": rec.cycles,
+                "steps": rec.steps,
+                "trap": rec.trap,
+                "exit_code": rec.exit_code,
+                "fault": _fault_to_dict(rec.fault),
+            }
+            for rec in result.records
+        ],
+    }
+
+
+def result_from_dict(data: dict) -> CampaignResult:
+    result = CampaignResult(
+        workload=data["workload"],
+        tool=data["tool"],
+        n=data["n"],
+        counts={Outcome(k): v for k, v in data["counts"].items()},
+        total_cycles=data["total_cycles"],
+        total_steps=data["total_steps"],
+        golden_output=tuple(data["golden_output"]),
+        total_candidates=data["total_candidates"],
+    )
+    for rec in data.get("records", ()):
+        result.records.append(
+            ExperimentRecord(
+                seed=rec["seed"],
+                outcome=Outcome(rec["outcome"]),
+                cycles=rec["cycles"],
+                steps=rec["steps"],
+                trap=rec["trap"],
+                exit_code=rec["exit_code"],
+                fault=_fault_from_dict(rec["fault"]),
+            )
+        )
+    return result
+
+
+def save_matrix(
+    matrix: dict[tuple[str, str], CampaignResult], path: str | Path
+) -> None:
+    """Persist a campaign matrix to a JSON file."""
+    payload = {
+        "version": FORMAT_VERSION,
+        "cells": [result_to_dict(res) for res in matrix.values()],
+    }
+    Path(path).write_text(json.dumps(payload, indent=1))
+
+
+def load_matrix(path: str | Path) -> dict[tuple[str, str], CampaignResult]:
+    """Load a campaign matrix saved by :func:`save_matrix`."""
+    try:
+        payload = json.loads(Path(path).read_text())
+    except (OSError, json.JSONDecodeError) as exc:
+        raise CampaignError(f"cannot load campaign matrix: {exc}") from exc
+    if payload.get("version") != FORMAT_VERSION:
+        raise CampaignError(
+            f"unsupported campaign file version {payload.get('version')!r}"
+        )
+    matrix = {}
+    for cell in payload["cells"]:
+        result = result_from_dict(cell)
+        matrix[(result.workload, result.tool)] = result
+    return matrix
+
+
+def merge_results(parts: Iterable[CampaignResult]) -> CampaignResult:
+    """Combine partial campaigns of the same (workload, tool) — the batch
+    aggregation step of a cluster run."""
+    parts = list(parts)
+    if not parts:
+        raise CampaignError("cannot merge zero campaign parts")
+    first = parts[0]
+    for other in parts[1:]:
+        if (other.workload, other.tool) != (first.workload, first.tool):
+            raise CampaignError(
+                "cannot merge campaigns of different (workload, tool)"
+            )
+        if other.golden_output != first.golden_output:
+            raise CampaignError("golden outputs disagree between parts")
+    merged = CampaignResult(
+        workload=first.workload,
+        tool=first.tool,
+        n=sum(p.n for p in parts),
+        counts={
+            o: sum(p.frequency(o) for p in parts) for o in Outcome
+        },
+        total_cycles=sum(p.total_cycles for p in parts),
+        total_steps=sum(p.total_steps for p in parts),
+        golden_output=first.golden_output,
+        total_candidates=first.total_candidates,
+    )
+    for p in parts:
+        merged.records.extend(p.records)
+    return merged

@@ -1,0 +1,53 @@
+"""Result containers for fault-injection campaigns."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.campaign.classify import OUTCOME_ORDER, Outcome
+from repro.machine.cpu import FaultRecord
+
+
+@dataclass
+class ExperimentRecord:
+    """One experiment: its seed, outcome and (if a fault fired) the log entry
+    needed for replay (paper Section 4.3.1)."""
+
+    seed: int
+    outcome: Outcome
+    cycles: float
+    steps: int
+    trap: str | None = None
+    exit_code: int = 0
+    fault: FaultRecord | None = None
+
+
+@dataclass
+class CampaignResult:
+    """Aggregated outcome of one (workload, tool) campaign."""
+
+    workload: str
+    tool: str
+    n: int
+    counts: dict[Outcome, int] = field(default_factory=dict)
+    total_cycles: float = 0.0
+    total_steps: int = 0
+    golden_output: tuple[str, ...] = ()
+    total_candidates: int = 0
+    records: list[ExperimentRecord] = field(default_factory=list)
+
+    def frequency(self, outcome: Outcome) -> int:
+        return self.counts.get(outcome, 0)
+
+    def proportion(self, outcome: Outcome) -> float:
+        return self.frequency(outcome) / self.n if self.n else 0.0
+
+    def frequencies(self) -> tuple[int, int, int]:
+        """(crash, soc, benign) in the canonical order."""
+        return tuple(self.frequency(o) for o in OUTCOME_ORDER)  # type: ignore[return-value]
+
+    def summary(self) -> str:
+        parts = ", ".join(
+            f"{o.value}={self.proportion(o) * 100:.1f}%" for o in OUTCOME_ORDER
+        )
+        return f"{self.workload}/{self.tool} (n={self.n}): {parts}"

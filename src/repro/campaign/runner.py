@@ -1,0 +1,112 @@
+"""Campaign orchestration: many single-fault experiments per (workload, tool).
+
+Each experiment is a pure function of ``(base_seed, workload, tool, index)``
+via :func:`repro.utils.rng.derive_seed`, so campaigns are reproducible and
+each tool samples independent fault coordinates (the paper runs independent
+random campaigns per tool and compares the resulting outcome distributions).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterable
+
+from repro.campaign.classify import Outcome, classify
+from repro.campaign.results import CampaignResult, ExperimentRecord
+from repro.errors import CampaignError
+from repro.fi.config import FIConfig
+from repro.fi.tools import FITool, TOOL_CLASSES
+from repro.utils.rng import derive_seed
+
+#: The paper's sample count (Leveugle et al.: <=3% error at 95% confidence).
+PAPER_SAMPLES = 1068
+
+#: Default base seed for campaigns.
+DEFAULT_SEED = 0x5EED0EF1
+
+
+def make_tool(
+    tool_name: str,
+    source: str,
+    workload: str,
+    config: FIConfig | None = None,
+    opt_level: str = "O2",
+) -> FITool:
+    try:
+        cls = TOOL_CLASSES[tool_name]
+    except KeyError:
+        raise CampaignError(
+            f"unknown tool {tool_name!r}; choose from {sorted(TOOL_CLASSES)}"
+        ) from None
+    return cls(source, workload, config=config, opt_level=opt_level)
+
+
+def run_campaign(
+    tool: FITool,
+    n: int,
+    base_seed: int = DEFAULT_SEED,
+    keep_records: bool = False,
+    progress: Callable[[int, int], None] | None = None,
+) -> CampaignResult:
+    """Run ``n`` single-fault experiments with the given tool."""
+    if n <= 0:
+        raise CampaignError("campaign needs n >= 1 experiments")
+    profile = tool.profile  # compiles + profiles on first access
+    result = CampaignResult(
+        workload=tool.workload,
+        tool=tool.name,
+        n=n,
+        counts={o: 0 for o in Outcome},
+        golden_output=profile.golden_output,
+        total_candidates=profile.total_candidates,
+    )
+    for i in range(n):
+        seed = derive_seed(base_seed, tool.workload, tool.name, i)
+        run = tool.inject(seed)
+        outcome = classify(run.result, profile.golden_output)
+        result.counts[outcome] += 1
+        result.total_cycles += run.cycles
+        result.total_steps += run.result.steps
+        if keep_records:
+            result.records.append(
+                ExperimentRecord(
+                    seed=seed,
+                    outcome=outcome,
+                    cycles=run.cycles,
+                    steps=run.result.steps,
+                    trap=run.result.trap,
+                    exit_code=run.result.exit_code,
+                    fault=run.result.fault,
+                )
+            )
+        if progress is not None:
+            progress(i + 1, n)
+    return result
+
+
+def run_matrix(
+    sources: dict[str, str],
+    tool_names: Iterable[str],
+    n: int,
+    base_seed: int = DEFAULT_SEED,
+    config: FIConfig | None = None,
+    opt_level: str = "O2",
+    progress: Callable[[str, str, int, int], None] | None = None,
+) -> dict[tuple[str, str], CampaignResult]:
+    """Run the full (workload x tool) campaign matrix, like the paper's
+    44,856-experiment evaluation (14 apps x 3 tools x 1068 samples)."""
+    results: dict[tuple[str, str], CampaignResult] = {}
+    for workload, source in sources.items():
+        for tool_name in tool_names:
+            tool = make_tool(tool_name, source, workload, config, opt_level)
+            cb = None
+            if progress is not None:
+                cb = lambda i, total, w=workload, t=tool_name: progress(w, t, i, total)
+            results[(workload, tool_name)] = run_campaign(
+                tool, n, base_seed, progress=cb
+            )
+    return results
+
+
+def replay(tool: FITool, seed: int):
+    """Re-run a single logged experiment deterministically."""
+    return tool.inject(seed)

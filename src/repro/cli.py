@@ -1,0 +1,189 @@
+"""Command-line entry points.
+
+* ``refine-compile`` — compile a MiniC file (optionally with REFINE or LLFI
+  instrumentation) and print the assembly, like invoking the paper's
+  modified Clang driver with ``-mllvm -fi=true ...``.
+* ``refine-campaign`` — run a fault-injection campaign matrix and dump CSV.
+* ``refine-report`` — render the paper's figures/tables from a campaign.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.backend import compile_minic, format_function
+from repro.backend.compiler import CompileOptions
+from repro.campaign import run_matrix
+from repro.fi import FIConfig, TOOL_ORDER, llfi_instrument, refine_instrument
+from repro.reporting import (
+    matrix_to_csv,
+    render_figure4,
+    render_figure5,
+    render_table4,
+    render_table5,
+    render_table6,
+)
+from repro.stats import margin_of_error
+from repro.workloads import workload_sources
+
+
+def _config_from_args(args) -> FIConfig:
+    return FIConfig(enabled=True, funcs=args.fi_funcs, instrs=args.fi_instrs)
+
+
+def compile_main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="refine-compile",
+        description="Compile MiniC to sx64 assembly, optionally with FI "
+        "instrumentation (paper Table 2 flags).",
+    )
+    parser.add_argument("file", help="MiniC source file ('-' for stdin)")
+    parser.add_argument("-O", dest="opt", default="O2",
+                        choices=["O0", "O1", "O2"])
+    parser.add_argument("--fi", default="false", choices=["true", "false"])
+    parser.add_argument("--fi-tool", default="refine",
+                        choices=["refine", "llfi"])
+    parser.add_argument("--fi-funcs", default="*")
+    parser.add_argument("--fi-instrs", default="all",
+                        choices=["stack", "arithm", "mem", "all"])
+    parser.add_argument("--expand-fi", action="store_true",
+                        help="expand REFINE fi_check sites into the "
+                        "PreFI/SetupFI/FI/PostFI block form (Figure 2)")
+    args = parser.parse_args(argv)
+
+    source = sys.stdin.read() if args.file == "-" else open(args.file).read()
+    options = CompileOptions(opt_level=args.opt)
+    if args.fi == "true":
+        config = _config_from_args(args)
+        if args.fi_tool == "refine":
+            options.mir_pass = lambda b: refine_instrument(b, config)
+        else:
+            options.ir_pass = lambda m: llfi_instrument(m, config)
+    binary = compile_minic(source, "cli", options)
+    for mf in binary.functions.values():
+        print(format_function(mf, expand_fi_checks=args.expand_fi))
+        print()
+    return 0
+
+
+def campaign_main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="refine-campaign",
+        description="Run a fault-injection campaign over the paper's "
+        "workloads and tools; prints CSV results.",
+    )
+    parser.add_argument("-n", "--samples", type=int, default=120,
+                        help="experiments per (workload, tool); the paper "
+                        "uses 1068 (<=3%% error at 95%% confidence)")
+    parser.add_argument("-w", "--workloads", default="all",
+                        help="comma-separated workload names or 'all'")
+    parser.add_argument("-t", "--tools", default="all",
+                        help="comma-separated tools (LLFI,REFINE,PINFI)")
+    parser.add_argument("--seed", type=int, default=0x5EED0EF1)
+    parser.add_argument("--fi-funcs", default="*")
+    parser.add_argument("--fi-instrs", default="all",
+                        choices=["stack", "arithm", "mem", "all"])
+    parser.add_argument("-q", "--quiet", action="store_true")
+    args = parser.parse_args(argv)
+
+    sources = workload_sources()
+    if args.workloads != "all":
+        wanted = args.workloads.split(",")
+        sources = {w: sources[w] for w in wanted}
+    tools = list(TOOL_ORDER) if args.tools == "all" else args.tools.split(",")
+
+    moe = margin_of_error(args.samples)
+    if not args.quiet:
+        print(
+            f"# campaign: n={args.samples} per (workload, tool) — margin of "
+            f"error {moe * 100:.1f}% at 95% confidence",
+            file=sys.stderr,
+        )
+
+    def progress(w, t, i, total):
+        if not args.quiet and (i == total or i % 50 == 0):
+            print(f"# {w}/{t}: {i}/{total}", file=sys.stderr)
+
+    matrix = run_matrix(
+        sources, tools, args.samples, args.seed,
+        config=_config_from_args(args), progress=progress,
+    )
+    print(matrix_to_csv(matrix))
+    return 0
+
+
+def report_main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="refine-report",
+        description="Run a campaign and render the paper's figures/tables.",
+    )
+    parser.add_argument("-n", "--samples", type=int, default=120)
+    parser.add_argument("-w", "--workloads", default="all")
+    parser.add_argument("--seed", type=int, default=0x5EED0EF1)
+    parser.add_argument(
+        "--artifact", default="all",
+        choices=["figure4", "figure5", "table4", "table5", "table6", "all"],
+    )
+    args = parser.parse_args(argv)
+
+    sources = workload_sources()
+    if args.workloads != "all":
+        sources = {w: sources[w] for w in args.workloads.split(",")}
+    names = list(sources)
+    tools = list(TOOL_ORDER)
+
+    matrix = run_matrix(sources, tools, args.samples, args.seed)
+    out: list[str] = []
+    if args.artifact in ("figure4", "all"):
+        out.append(render_figure4(matrix, names, tools))
+    if args.artifact in ("figure5", "all"):
+        out.append(render_figure5(matrix, names))
+    if args.artifact in ("table4", "all") and "AMG2013" in names:
+        out.append(render_table4(matrix))
+    if args.artifact in ("table5", "all"):
+        out.append(render_table5(matrix, names))
+    if args.artifact in ("table6", "all"):
+        out.append(render_table6(matrix, names, tools))
+    print("\n\n".join(out))
+    return 0
+
+
+def opt_main(argv: list[str] | None = None) -> int:
+    """``refine-opt``: run IR pass pipelines on textual IR (or MiniC)."""
+    parser = argparse.ArgumentParser(
+        prog="refine-opt",
+        description="Parse IR text (or compile MiniC with --minic), run an "
+        "optimization pipeline, and print the resulting IR.",
+    )
+    parser.add_argument("file", help="input file ('-' for stdin)")
+    parser.add_argument("-O", dest="opt", default="O2",
+                        choices=["O0", "O1", "O2"])
+    parser.add_argument("--minic", action="store_true",
+                        help="treat the input as MiniC source, not IR text")
+    parser.add_argument("--llfi", action="store_true",
+                        help="apply LLFI instrumentation after optimizing")
+    parser.add_argument("--verify", action="store_true",
+                        help="verify the module after every pass")
+    args = parser.parse_args(argv)
+
+    from repro.frontend import compile_source
+    from repro.ir import format_module, parse_module, verify_module
+    from repro.irpasses import optimize_module
+
+    source = sys.stdin.read() if args.file == "-" else open(args.file).read()
+    if args.minic:
+        module = compile_source(source, "cli")
+    else:
+        module = parse_module(source)
+    verify_module(module)
+    optimize_module(module, args.opt, verify_each=args.verify)
+    if args.llfi:
+        llfi_instrument(module, FIConfig())
+        verify_module(module)
+    print(format_module(module), end="")
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(campaign_main())

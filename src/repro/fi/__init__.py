@@ -1,0 +1,52 @@
+"""Fault injection: the REFINE pass, LLFI and PINFI comparison tools,
+configuration flags, and the shared fault model."""
+
+from repro.fi.config import FIConfig, INSTR_CLASSES
+from repro.fi.llfi import LLFIPass, llfi_instrument
+from repro.fi.propagation import (
+    PropagationAnalysis,
+    PropagationReport,
+    analyze_site,
+    rank_sites,
+)
+from repro.fi.refine import FISiteMeta, RefinePass, refine_instrument
+from repro.fi.tools import (
+    FITool,
+    InjectionRun,
+    LLFITool,
+    PIN_ATTACH_COST,
+    PIN_CALLBACK_COST,
+    PIN_DBI_FACTOR,
+    PinfiTool,
+    ProfileResult,
+    RefineTool,
+    TIMEOUT_FACTOR,
+    TOOL_CLASSES,
+    TOOL_ORDER,
+)
+
+__all__ = [
+    "FIConfig",
+    "INSTR_CLASSES",
+    "LLFIPass",
+    "llfi_instrument",
+    "PropagationAnalysis",
+    "PropagationReport",
+    "analyze_site",
+    "rank_sites",
+    "FISiteMeta",
+    "RefinePass",
+    "refine_instrument",
+    "FITool",
+    "InjectionRun",
+    "LLFITool",
+    "PIN_ATTACH_COST",
+    "PIN_CALLBACK_COST",
+    "PIN_DBI_FACTOR",
+    "PinfiTool",
+    "ProfileResult",
+    "RefineTool",
+    "TIMEOUT_FACTOR",
+    "TOOL_CLASSES",
+    "TOOL_ORDER",
+]

@@ -1,0 +1,108 @@
+"""LLFI-style IR-level fault injection (the state of the art REFINE improves
+on; paper Sections 2 and 3.3).
+
+Instruments the *optimized IR*, before the backend runs, by wrapping each
+candidate instruction's result in a call to the injection library::
+
+    %sub = fsub double %0, %1
+    %fi  = call double @__fi_inject_f64(i64 <site>, double %sub)
+    ... all further uses read %fi ...
+
+This reproduces both accuracy problems the paper identifies:
+
+* the candidate population contains only IR-visible values — never the
+  prologue/epilogue, register spills, or other backend-generated
+  instructions (Section 3.3.1); and
+* the inserted calls interfere with code generation: values become live
+  across calls, caller-saved registers are unusable for them, spills and
+  reloads appear, and the resulting binary is structurally different from
+  the one users actually run (Section 3.3.2, Listing 2).
+
+Faults flip one bit of the *value* flowing through the stub — LLFI can
+never corrupt FLAGS or any other implicit output, another fidelity gap
+versus machine-level injection.
+"""
+
+from __future__ import annotations
+
+from repro.ir.function import Function
+from repro.ir.instructions import (
+    BinaryOp,
+    Call,
+    Cast,
+    FCmp,
+    ICmp,
+    Instruction,
+    Load,
+)
+from repro.ir.module import Module
+from repro.ir.types import F64, FunctionType, I1, I64
+from repro.ir.values import ConstantInt
+from repro.fi.config import FIConfig
+
+#: IR instruction kinds LLFI instruments (results only, like upstream LLFI).
+_CANDIDATE_TYPES = (BinaryOp, ICmp, FCmp, Cast, Load)
+
+
+class LLFIPass:
+    """The LLFI instrumentation pass over an IR module."""
+
+    def __init__(self, config: FIConfig | None = None) -> None:
+        self.config = config or FIConfig()
+        self.sites = 0
+
+    # -- stub declarations ----------------------------------------------------
+
+    def _stub_for(self, module: Module, value_type) -> Function:
+        if value_type == F64:
+            name, ftype = "__fi_inject_f64", FunctionType(F64, [I64, F64])
+        elif value_type == I1:
+            name, ftype = "__fi_inject_i1", FunctionType(I1, [I64, I1])
+        else:
+            name, ftype = "__fi_inject_i64", FunctionType(I64, [I64, I64])
+        fn = module.declare_function(name, ftype)
+        fn.attributes["intrinsic"] = True
+        return fn
+
+    # -- instrumentation ------------------------------------------------------
+
+    def run_on_module(self, module: Module) -> int:
+        if not self.config.enabled:
+            return 0
+        for fn in module.defined_functions():
+            if not self.config.match_function(fn.name):
+                continue
+            self.run_on_function(module, fn)
+        return self.sites
+
+    def run_on_function(self, module: Module, fn: Function) -> None:
+        for block in fn.blocks:
+            # Take a snapshot: we mutate the instruction list while walking.
+            for instr in list(block.instructions):
+                if not self._is_candidate(instr):
+                    continue
+                self._instrument(module, fn, block, instr)
+
+    def _is_candidate(self, instr: Instruction) -> bool:
+        if not isinstance(instr, _CANDIDATE_TYPES):
+            return False
+        if instr.type.is_pointer() or instr.type.is_void():
+            return False
+        return self.config.match_ir_opcode(instr.opcode)
+
+    def _instrument(self, module, fn: Function, block, instr: Instruction) -> None:
+        self.sites += 1
+        stub = self._stub_for(module, instr.type)
+        call = Call(stub, [ConstantInt(self.sites), instr])
+        call.name = fn.next_name("fi")
+        # All existing uses of the value must read the (possibly corrupted)
+        # stub result; the stub's own argument keeps the original value.
+        instr.replace_all_uses_with(call)
+        call.set_operand(1, instr)
+        idx = block.instructions.index(instr)
+        block.insert(idx + 1, call)
+
+
+def llfi_instrument(module: Module, config: FIConfig | None = None) -> int:
+    """Instrument an IR module in place with LLFI-style injection calls."""
+    return LLFIPass(config).run_on_module(module)

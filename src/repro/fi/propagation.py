@@ -1,0 +1,228 @@
+"""Static error-propagation analysis at the IR level.
+
+The paper's introduction names this as a core advantage of compiler-based
+FI: error-propagation analysis and fault injection can share one software
+layer.  This module computes, for any IR instruction, the **forward slice**
+a corrupted value can flow through — across def-use chains, phi nodes,
+memory (conservatively, store -> loads of the same region) and calls — and
+summarizes it as a :class:`PropagationReport`:
+
+* how many instructions the error can reach,
+* whether it can reach program output (``print_*``) or a ``ret``,
+* whether it can corrupt an address computation (a crash precursor),
+* whether it can reach branch conditions (control-flow divergence).
+
+The campaign layer can then contrast predicted reach with observed FI
+outcomes (see ``tests/fi/test_propagation.py``) — the static analysis is a
+sound over-approximation: faults observed to cause SDC must sit at sites
+whose slice reaches output.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import CampaignError
+from repro.ir.function import Function
+from repro.ir.instructions import (
+    Call,
+    CondBranch,
+    GetElementPtr,
+    Instruction,
+    Load,
+    Phi,
+    Ret,
+    Store,
+)
+from repro.ir.module import Module
+from repro.ir.values import GlobalVariable, Value
+
+_OUTPUT_INTRINSICS = frozenset({"print_int", "print_double"})
+
+
+@dataclass
+class PropagationReport:
+    """Forward-slice summary for one fault site."""
+
+    site: Instruction
+    #: all instructions a corrupted value can reach (site excluded)
+    reached: set = field(default_factory=set)
+    reaches_output: bool = False
+    reaches_return: bool = False
+    reaches_memory: bool = False
+    reaches_address: bool = False
+    reaches_branch: bool = False
+    #: functions the error can cross into via calls/returns
+    functions_reached: set = field(default_factory=set)
+
+    @property
+    def reach_count(self) -> int:
+        return len(self.reached)
+
+    def summary(self) -> str:
+        flags = [
+            name
+            for name, on in (
+                ("output", self.reaches_output),
+                ("return", self.reaches_return),
+                ("memory", self.reaches_memory),
+                ("address", self.reaches_address),
+                ("branch", self.reaches_branch),
+            )
+            if on
+        ]
+        return (
+            f"{self.site.opcode} -> {self.reach_count} instructions"
+            + (f" [{', '.join(flags)}]" if flags else " [contained]")
+        )
+
+
+class PropagationAnalysis:
+    """Whole-module forward error-propagation analysis.
+
+    Memory is modeled conservatively by *region*: a store through a pointer
+    derived from global ``@g`` (or from an alloca) taints every load from
+    the same region; stores through unresolvable pointers taint all loads.
+    """
+
+    def __init__(self, module: Module) -> None:
+        self.module = module
+        self._region_loads = self._index_loads_by_region()
+        self._callers = self._index_call_sites()
+
+    # -- memory regions -----------------------------------------------------
+
+    @staticmethod
+    def _region_of(ptr: Value) -> object:
+        """Best-effort allocation site of a pointer value."""
+        seen = set()
+        while isinstance(ptr, GetElementPtr):
+            if id(ptr) in seen:  # pragma: no cover - cyclic safety
+                return None
+            seen.add(id(ptr))
+            ptr = ptr.ptr
+        if isinstance(ptr, GlobalVariable):
+            return ptr
+        if isinstance(ptr, Instruction) and ptr.opcode == "alloca":
+            return ptr
+        return None  # unknown region (pointer argument, loaded pointer...)
+
+    def _index_loads_by_region(self) -> dict:
+        loads: dict = {}
+        for fn in self.module.defined_functions():
+            for instr in fn.instructions():
+                if isinstance(instr, Load):
+                    region = self._region_of(instr.ptr)
+                    loads.setdefault(region, []).append(instr)
+        return loads
+
+    def _index_call_sites(self) -> dict[str, list[Call]]:
+        callers: dict[str, list[Call]] = {}
+        for fn in self.module.defined_functions():
+            for instr in fn.instructions():
+                if isinstance(instr, Call):
+                    callers.setdefault(instr.callee.name, []).append(instr)
+        return callers
+
+    # -- slicing ------------------------------------------------------------
+
+    def analyze(self, site: Instruction) -> PropagationReport:
+        """Forward slice from a corrupted instruction result."""
+        if site.type.is_void():
+            raise CampaignError(
+                f"{site.opcode} produces no value; nothing to propagate"
+            )
+        report = PropagationReport(site)
+        work: list[Instruction] = [site]
+        visited = {id(site)}
+
+        def push(instr: Instruction) -> None:
+            if id(instr) not in visited:
+                visited.add(id(instr))
+                report.reached.add(instr)
+                work.append(instr)
+
+        while work:
+            value = work.pop()
+            for user in list(value.users):
+                self._visit_user(value, user, push, report)
+        report.reached.discard(site)
+        return report
+
+    def _visit_user(self, value, user: Instruction, push, report) -> None:
+        fn = user.parent.parent if user.parent is not None else None
+        if fn is not None:
+            report.functions_reached.add(fn.name)
+
+        if isinstance(user, Store):
+            report.reaches_memory = True
+            if user.ptr is value and user.value is not value:
+                # Corrupted *address*: the store lands somewhere unknown.
+                report.reaches_address = True
+                for load in self._region_loads.get(None, ()):
+                    push(load)
+                return
+            # Corrupted stored value: taints loads of the same region.
+            region = self._region_of(user.ptr)
+            for load in self._region_loads.get(region, ()):
+                push(load)
+            if region is not None:
+                return
+            for load in self._region_loads.get(None, ()):
+                push(load)
+            return
+        if isinstance(user, Load) and user.ptr is value:
+            report.reaches_address = True
+            push(user)
+            return
+        if isinstance(user, GetElementPtr):
+            report.reaches_address = True
+            push(user)
+            return
+        if isinstance(user, CondBranch):
+            report.reaches_branch = True
+            return
+        if isinstance(user, Ret):
+            report.reaches_return = True
+            # Propagate into every caller's call result.
+            fn_name = fn.name if fn is not None else None
+            for call in self._callers.get(fn_name, ()):
+                push(call)
+            return
+        if isinstance(user, Call):
+            callee = user.callee
+            if callee.name in _OUTPUT_INTRINSICS:
+                report.reaches_output = True
+                return
+            if callee.is_declaration:
+                # Math intrinsics: result is tainted.
+                push(user)
+                return
+            # Into the callee through the matching parameter(s).
+            for arg, param in zip(user.args, callee.args):
+                if arg is value:
+                    report.functions_reached.add(callee.name)
+                    for param_user in list(param.users):
+                        self._visit_user(param, param_user, push, report)
+            return
+        # Ordinary dataflow (binops, casts, phis, selects, compares).
+        if isinstance(user, (Phi, Instruction)):
+            push(user)
+
+
+def analyze_site(module: Module, site: Instruction) -> PropagationReport:
+    """Convenience wrapper for one-off queries."""
+    return PropagationAnalysis(module).analyze(site)
+
+
+def rank_sites(module: Module, fn: Function) -> list[PropagationReport]:
+    """Analyze every value-producing instruction in ``fn``, most-reaching
+    first — a static pre-screen for where injections will matter."""
+    analysis = PropagationAnalysis(module)
+    reports = [
+        analysis.analyze(instr)
+        for instr in fn.instructions()
+        if not instr.type.is_void()
+    ]
+    reports.sort(key=lambda r: r.reach_count, reverse=True)
+    return reports

@@ -1,0 +1,322 @@
+"""The three fault-injection tools behind one interface.
+
+Each tool owns the full workflow of the paper's Figure 3: compile (with its
+kind of instrumentation), **profile** (one run that counts dynamic
+candidates and records the golden output), then **inject** (one run per
+experiment with a single pre-drawn bit flip and a 10x timeout budget).
+
+* :class:`RefineTool` — backend MIR instrumentation (this paper).
+* :class:`LLFITool` — IR-level call instrumentation (state of the art).
+* :class:`PinfiTool` — binary-level DBI on the unmodified binary
+  (accuracy baseline), including the detach-after-injection optimization
+  the authors added to PINFI.
+
+Simulated campaign time (Figure 5) comes from the cycle cost model: REFINE
+and LLFI pay their overheads through real instructions in the stream
+(``fi_check`` pseudos, ``call __fi_inject*`` sequences and the spill code
+they induce); PINFI pays a DBI translation factor while attached plus a
+per-candidate callback, then runs at native speed after detaching.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from functools import cached_property
+
+import numpy as np
+
+from repro.backend.compiler import CompileOptions, compile_minic
+from repro.backend.binary import Binary
+from repro.errors import CampaignError
+from repro.fi.config import FIConfig
+from repro.fi.llfi import llfi_instrument
+from repro.fi.refine import refine_instrument
+from repro.machine.cpu import CPU, ExecutionResult, FaultPlan
+from repro.machine.loader import LoadedProgram, load_binary
+from repro.utils.rng import SplitMix64
+
+#: PIN-style DBI cost model: translation slowdown while attached, callback
+#: cost per candidate instruction, fixed attach/instrumentation cost.
+PIN_DBI_FACTOR = 1.45
+PIN_CALLBACK_COST = 2.0
+PIN_ATTACH_COST = 5_000.0
+
+#: Timeout rule from the paper: 10x the profiled execution length.
+TIMEOUT_FACTOR = 10
+
+
+@dataclass
+class ProfileResult:
+    """Outcome of a tool's profiling phase (Figure 3a)."""
+
+    golden_output: tuple[str, ...]
+    total_candidates: int
+    steps: int
+    cycles: float
+    exit_code: int
+
+
+@dataclass
+class InjectionRun:
+    """One fault-injection experiment's raw observables."""
+
+    result: ExecutionResult
+    cycles: float
+    target_index: int
+
+
+class FITool:
+    """Base class: compile/profile/inject workflow shared by all tools."""
+
+    name = "base"
+
+    #: whether the tool's observation level can corrupt instruction
+    #: encodings (machine/binary level only; IR tools cannot).
+    supports_opcode_faults = True
+
+    def __init__(
+        self,
+        source: str,
+        workload: str = "program",
+        config: FIConfig | None = None,
+        opt_level: str = "O2",
+        opcode_faults: float = 0.0,
+    ) -> None:
+        self.source = source
+        self.workload = workload
+        self.config = config or FIConfig()
+        self.opt_level = opt_level
+        if not 0.0 <= opcode_faults <= 1.0:
+            raise CampaignError("opcode_faults must be a probability")
+        if opcode_faults and not self.supports_opcode_faults:
+            raise CampaignError(
+                f"{self.name} operates above the instruction encoding and "
+                "cannot model OP-code corruption"
+            )
+        #: probability that a fault lands in the OP-code encoding instead of
+        #: an output register (paper Section 4.5 extension; default off).
+        self.opcode_faults = opcode_faults
+
+    # -- compilation (tool-specific) -----------------------------------------
+
+    def _compile(self) -> Binary:
+        raise NotImplementedError
+
+    @cached_property
+    def binary(self) -> Binary:
+        return self._compile()
+
+    @cached_property
+    def program(self) -> LoadedProgram:
+        return load_binary(self.binary)
+
+    # -- execution ----------------------------------------------------------
+
+    def _make_cpu(self, plan: FaultPlan | None) -> CPU:
+        raise NotImplementedError
+
+    def _dynamic_candidates(self, cpu: CPU) -> int:
+        raise NotImplementedError
+
+    def _cycles(self, cpu: CPU, result: ExecutionResult) -> float:
+        base = float(np.dot(result.counts, self._cost_array))
+        return base
+
+    @cached_property
+    def _cost_array(self) -> np.ndarray:
+        return np.asarray(self.program.cost, dtype=np.float64)
+
+    @cached_property
+    def profile(self) -> ProfileResult:
+        """Profiling run: no injection, count candidates, capture golden
+        output (Figure 3a).  Must terminate cleanly."""
+        cpu = self._make_cpu(plan=None)
+        result = cpu.run(budget=200_000_000)
+        if result.trap is not None or result.exit_code != 0:
+            raise CampaignError(
+                f"{self.name}: profiling run of {self.workload!r} failed "
+                f"(trap={result.trap}, exit={result.exit_code})"
+            )
+        total = self._dynamic_candidates(cpu)
+        if total <= 0:
+            raise CampaignError(
+                f"{self.name}: no dynamic FI candidates in {self.workload!r}"
+            )
+        return ProfileResult(
+            golden_output=tuple(result.output),
+            total_candidates=total,
+            steps=result.steps,
+            cycles=self._cycles(cpu, result),
+            exit_code=result.exit_code,
+        )
+
+    def plan_from_seed(self, seed: int) -> FaultPlan:
+        """Draw (dynamic instruction, operand, bit) uniformly — the paper's
+        fault model (Section 3.1)."""
+        rng = SplitMix64(seed)
+        target = 1 + rng.randrange(self.profile.total_candidates)
+        plan = FaultPlan(
+            target_index=target,
+            operand_pick=rng.random(),
+            bit_pick=rng.random(),
+            tool=self.name,
+        )
+        if self.opcode_faults:
+            plan.corrupt_opcode = rng.random() < self.opcode_faults
+        return plan
+
+    def inject(self, seed: int) -> InjectionRun:
+        """Run one experiment with a single bit flip drawn from ``seed``."""
+        plan = self.plan_from_seed(seed)
+        cpu = self._make_cpu(plan)
+        budget = self.profile.steps * TIMEOUT_FACTOR
+        result = cpu.run(budget=budget)
+        return InjectionRun(
+            result=result,
+            cycles=self._cycles(cpu, result),
+            target_index=plan.target_index,
+        )
+
+
+class RefineTool(FITool):
+    """REFINE: compile-time backend instrumentation (paper Section 4)."""
+
+    name = "REFINE"
+
+    def _compile(self) -> Binary:
+        options = CompileOptions(
+            opt_level=self.opt_level,
+            mir_pass=lambda binary: refine_instrument(binary, self.config),
+            meta={"tool": self.name},
+        )
+        return compile_minic(self.source, self.workload, options)
+
+    def _make_cpu(self, plan: FaultPlan | None) -> CPU:
+        cpu = CPU(self.program)
+        if plan is not None:
+            cpu.arm_refine(plan)
+        return cpu
+
+    def _dynamic_candidates(self, cpu: CPU) -> int:
+        return cpu.refine_dynamic_count
+
+
+class LLFITool(FITool):
+    """LLFI: IR-level call instrumentation (paper Sections 2, 3.3)."""
+
+    name = "LLFI"
+    #: IR-level injection never touches instruction encodings.
+    supports_opcode_faults = False
+
+    def _compile(self) -> Binary:
+        options = CompileOptions(
+            opt_level=self.opt_level,
+            ir_pass=lambda module: llfi_instrument(module, self.config),
+            meta={"tool": self.name},
+        )
+        return compile_minic(self.source, self.workload, options)
+
+    def _make_cpu(self, plan: FaultPlan | None) -> CPU:
+        cpu = CPU(self.program)
+        if plan is not None:
+            cpu.arm_llfi(plan)
+        return cpu
+
+    def _dynamic_candidates(self, cpu: CPU) -> int:
+        return cpu.llfi_dynamic_count
+
+
+class PinfiTool(FITool):
+    """PINFI: dynamic binary instrumentation of the clean binary (accuracy
+    baseline), with detach-after-injection."""
+
+    name = "PINFI"
+
+    def _compile(self) -> Binary:
+        options = CompileOptions(
+            opt_level=self.opt_level, meta={"tool": self.name}
+        )
+        return compile_minic(self.source, self.workload, options)
+
+    def _make_cpu(self, plan: FaultPlan | None) -> CPU:
+        cpu = CPU(self.program)
+        # Profiling also runs under the DBI tool (candidate counting needs
+        # the instrumentation callbacks), exactly like real PIN.
+        cpu.attach_pinfi(plan)
+        # PINFI honours the candidate filter at callback time.
+        self._apply_filter(cpu)
+        return cpu
+
+    def _apply_filter(self, cpu: CPU) -> None:
+        """Restrict the candidate stream per -fi-funcs/-fi-instrs."""
+        if self.config.funcs == "*" and self.config.instrs == "all":
+            return
+        prog = self.program
+        # Rebuild the candidate bitmap under the filter (cached per tool).
+        if not hasattr(self, "_filtered_candidates"):
+            filtered = list(prog.is_candidate)
+            for pc, info in enumerate(prog.info):
+                if not filtered[pc]:
+                    continue
+                opcode = info.text.split()[0]
+                # map printed mnemonic back to opcode family
+                base = opcode.rstrip("0123456789")
+                if not self.config.match_function(info.func):
+                    filtered[pc] = False
+                elif not self.config.match_machine_opcode(_unmnemonic(base)):
+                    filtered[pc] = False
+            self._filtered_candidates = filtered
+        cpu.program = _FilteredProgramView(prog, self._filtered_candidates)
+
+    def _dynamic_candidates(self, cpu: CPU) -> int:
+        return cpu.pinfi_dynamic_count
+
+    def _cycles(self, cpu: CPU, result: ExecutionResult) -> float:
+        costs = self._cost_array
+        attached = result.counts_attached
+        detached = result.counts
+        if attached is None:
+            raise CampaignError("PINFI run without attached counts")
+        attached_cycles = float(np.dot(attached, costs))
+        if attached is detached:
+            detached_cycles = 0.0
+        else:
+            detached_cycles = float(np.dot(detached, costs))
+        return (
+            PIN_ATTACH_COST
+            + PIN_DBI_FACTOR * attached_cycles
+            + PIN_CALLBACK_COST * result.attached_candidates
+            + detached_cycles
+        )
+
+
+class _FilteredProgramView:
+    """LoadedProgram proxy with a replaced candidate bitmap (PINFI filter)."""
+
+    def __init__(self, prog: LoadedProgram, is_candidate: list[bool]) -> None:
+        self._prog = prog
+        self.is_candidate = is_candidate
+
+    def __getattr__(self, name):
+        return getattr(self._prog, name)
+
+
+def _unmnemonic(mnemonic: str) -> str:
+    """Best-effort inverse of the assembly printer's mnemonic mapping."""
+    if mnemonic.startswith("j") and mnemonic != "jmp":
+        return "jcc"
+    if mnemonic.startswith("set"):
+        return "setcc"
+    if mnemonic.startswith("cmov"):
+        return "cmov"
+    return mnemonic
+
+
+#: Registry used by campaigns and the CLI.
+TOOL_CLASSES: dict[str, type[FITool]] = {
+    "LLFI": LLFITool,
+    "REFINE": RefineTool,
+    "PINFI": PinfiTool,
+}
+
+TOOL_ORDER = ("LLFI", "REFINE", "PINFI")

@@ -1,0 +1,26 @@
+"""MiniC frontend: lexer, parser, semantic analysis, lowering to IR."""
+
+from repro.frontend.lexer import Token, tokenize
+from repro.frontend.lower import lower_program
+from repro.frontend.parser import parse
+from repro.frontend.sema import BUILTINS, analyze
+
+from repro.ir import Module
+
+
+def compile_source(source: str, name: str = "module") -> Module:
+    """Compile MiniC source text to an (unoptimized) IR module."""
+    program = analyze(parse(source))
+    return lower_program(program, name)
+
+
+__all__ = [
+    "Token",
+    "tokenize",
+    "parse",
+    "analyze",
+    "lower_program",
+    "compile_source",
+    "BUILTINS",
+    "Module",
+]

@@ -1,0 +1,201 @@
+"""Abstract syntax tree for MiniC.
+
+Nodes carry source positions for diagnostics.  Expression nodes grow a
+``ctype`` attribute during semantic analysis (:mod:`repro.frontend.sema`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+
+# -- C-level types (distinct from IR types; sema maps between them) ----------
+
+@dataclass(frozen=True)
+class CType:
+    """MiniC type: ``int``, ``double``, ``void``, pointer, or sized array."""
+
+    kind: str  # 'int' | 'double' | 'void' | 'ptr' | 'array'
+    inner: Optional["CType"] = None
+    count: int = 0
+
+    def __str__(self) -> str:
+        if self.kind == "ptr":
+            return f"{self.inner}*"
+        if self.kind == "array":
+            return f"{self.inner}[{self.count}]"
+        return self.kind
+
+    @property
+    def is_arith(self) -> bool:
+        return self.kind in ("int", "double")
+
+
+C_INT = CType("int")
+C_DOUBLE = CType("double")
+C_VOID = CType("void")
+
+
+def c_ptr(inner: CType) -> CType:
+    return CType("ptr", inner)
+
+
+def c_array(inner: CType, count: int) -> CType:
+    return CType("array", inner, count)
+
+
+# -- expressions ----------------------------------------------------------
+
+@dataclass
+class Expr:
+    line: int = 0
+    col: int = 0
+    #: filled in by sema
+    ctype: CType | None = field(default=None, compare=False)
+
+
+@dataclass
+class IntLiteral(Expr):
+    value: int = 0
+
+
+@dataclass
+class FloatLiteral(Expr):
+    value: float = 0.0
+
+
+@dataclass
+class VarRef(Expr):
+    name: str = ""
+
+
+@dataclass
+class UnaryOp(Expr):
+    op: str = ""  # '-' | '!'
+    operand: Expr | None = None
+
+
+@dataclass
+class BinOp(Expr):
+    op: str = ""  # + - * / % < <= > >= == != && || & | ^ << >>
+    lhs: Expr | None = None
+    rhs: Expr | None = None
+
+
+@dataclass
+class CastExpr(Expr):
+    target: CType | None = None
+    operand: Expr | None = None
+
+
+@dataclass
+class IndexExpr(Expr):
+    base: Expr | None = None
+    index: Expr | None = None
+
+
+@dataclass
+class CallExpr(Expr):
+    name: str = ""
+    args: list[Expr] = field(default_factory=list)
+
+
+# -- statements --------------------------------------------------------------
+
+@dataclass
+class Stmt:
+    line: int = 0
+    col: int = 0
+
+
+@dataclass
+class DeclStmt(Stmt):
+    ctype: CType | None = None
+    name: str = ""
+    init: Expr | None = None
+
+
+@dataclass
+class AssignStmt(Stmt):
+    target: Expr | None = None  # VarRef or IndexExpr
+    value: Expr | None = None
+
+
+@dataclass
+class ExprStmt(Stmt):
+    expr: Expr | None = None
+
+
+@dataclass
+class BlockStmt(Stmt):
+    """A bare compound statement ``{ ... }`` introducing a scope."""
+
+    body: list[Stmt] = field(default_factory=list)
+
+
+@dataclass
+class IfStmt(Stmt):
+    cond: Expr | None = None
+    then_body: list[Stmt] = field(default_factory=list)
+    else_body: list[Stmt] = field(default_factory=list)
+
+
+@dataclass
+class WhileStmt(Stmt):
+    cond: Expr | None = None
+    body: list[Stmt] = field(default_factory=list)
+
+
+@dataclass
+class ForStmt(Stmt):
+    init: Stmt | None = None
+    cond: Expr | None = None
+    step: Stmt | None = None
+    body: list[Stmt] = field(default_factory=list)
+
+
+@dataclass
+class ReturnStmt(Stmt):
+    value: Expr | None = None
+
+
+@dataclass
+class BreakStmt(Stmt):
+    pass
+
+
+@dataclass
+class ContinueStmt(Stmt):
+    pass
+
+
+# -- top level -----------------------------------------------------------
+
+@dataclass
+class Param:
+    ctype: CType
+    name: str
+
+
+@dataclass
+class FuncDef:
+    name: str
+    ret: CType
+    params: list[Param]
+    body: list[Stmt]
+    line: int = 0
+
+
+@dataclass
+class GlobalDecl:
+    name: str
+    ctype: CType
+    init: list[float] | list[int] | int | float | None = None
+    line: int = 0
+
+
+@dataclass
+class Program:
+    globals: list[GlobalDecl] = field(default_factory=list)
+    functions: list[FuncDef] = field(default_factory=list)

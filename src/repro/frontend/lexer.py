@@ -1,0 +1,159 @@
+"""Lexer for MiniC, the small C-like language the workloads are written in.
+
+MiniC gives the benchmark programs genuine ``source -> IR -> machine code``
+provenance, which the paper's FI tools rely on (e.g. steering injection by
+function name with ``-fi-funcs``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import LexError
+
+KEYWORDS = frozenset(
+    {
+        "int",
+        "double",
+        "void",
+        "if",
+        "else",
+        "while",
+        "for",
+        "return",
+        "break",
+        "continue",
+    }
+)
+
+#: multi-char operators first so maximal munch works
+_OPERATORS = (
+    "&&",
+    "||",
+    "==",
+    "!=",
+    "<=",
+    ">=",
+    "<<",
+    ">>",
+    "+",
+    "-",
+    "*",
+    "/",
+    "%",
+    "<",
+    ">",
+    "=",
+    "!",
+    "&",
+    "|",
+    "^",
+    "(",
+    ")",
+    "{",
+    "}",
+    "[",
+    "]",
+    ",",
+    ";",
+)
+
+
+@dataclass(frozen=True)
+class Token:
+    """A lexical token with its source position (1-based line/column)."""
+
+    kind: str  # 'ident' | 'int' | 'float' | 'kw' | 'op' | 'eof'
+    text: str
+    line: int
+    col: int
+
+    def __repr__(self) -> str:
+        return f"Token({self.kind} {self.text!r} @{self.line}:{self.col})"
+
+
+def tokenize(source: str) -> list[Token]:
+    """Convert MiniC source text into a token list ending with an EOF token."""
+    tokens: list[Token] = []
+    i = 0
+    line = 1
+    col = 1
+    n = len(source)
+
+    def advance(count: int) -> None:
+        nonlocal i, line, col
+        for _ in range(count):
+            if i < n and source[i] == "\n":
+                line += 1
+                col = 1
+            else:
+                col += 1
+            i += 1
+
+    while i < n:
+        ch = source[i]
+        # whitespace
+        if ch in " \t\r\n":
+            advance(1)
+            continue
+        # comments
+        if source.startswith("//", i):
+            while i < n and source[i] != "\n":
+                advance(1)
+            continue
+        if source.startswith("/*", i):
+            start_line, start_col = line, col
+            advance(2)
+            while i < n and not source.startswith("*/", i):
+                advance(1)
+            if i >= n:
+                raise LexError("unterminated block comment", start_line, start_col)
+            advance(2)
+            continue
+        # numbers
+        if ch.isdigit() or (ch == "." and i + 1 < n and source[i + 1].isdigit()):
+            start = i
+            start_line, start_col = line, col
+            is_float = False
+            while i < n and source[i].isdigit():
+                advance(1)
+            if i < n and source[i] == ".":
+                is_float = True
+                advance(1)
+                while i < n and source[i].isdigit():
+                    advance(1)
+            if i < n and source[i] in "eE":
+                is_float = True
+                advance(1)
+                if i < n and source[i] in "+-":
+                    advance(1)
+                if i >= n or not source[i].isdigit():
+                    raise LexError("malformed exponent", line, col)
+                while i < n and source[i].isdigit():
+                    advance(1)
+            text = source[start:i]
+            tokens.append(
+                Token("float" if is_float else "int", text, start_line, start_col)
+            )
+            continue
+        # identifiers / keywords
+        if ch.isalpha() or ch == "_":
+            start = i
+            start_line, start_col = line, col
+            while i < n and (source[i].isalnum() or source[i] == "_"):
+                advance(1)
+            text = source[start:i]
+            kind = "kw" if text in KEYWORDS else "ident"
+            tokens.append(Token(kind, text, start_line, start_col))
+            continue
+        # operators / punctuation
+        for op in _OPERATORS:
+            if source.startswith(op, i):
+                tokens.append(Token("op", op, line, col))
+                advance(len(op))
+                break
+        else:
+            raise LexError(f"unexpected character {ch!r}", line, col)
+
+    tokens.append(Token("eof", "", line, col))
+    return tokens

@@ -1,0 +1,389 @@
+"""Lowering: typed MiniC AST -> IR module.
+
+Follows the clang ``-O0`` recipe: every variable gets an entry-block alloca,
+reads are loads and writes are stores, and the mem2reg pass later promotes
+scalars to SSA.  Short-circuit ``&&``/``||`` lower to control flow with phi
+nodes; comparisons used as conditions stay as ``i1`` without round-tripping
+through ``i64``.
+"""
+
+from __future__ import annotations
+
+from repro.errors import SemaError
+from repro.frontend import ast as A
+from repro.frontend.sema import BUILTINS, FuncSig, Symbol
+from repro.ir import (
+    BasicBlock,
+    ConstantFloat,
+    ConstantInt,
+    F64,
+    Function,
+    FunctionType,
+    I64,
+    IRBuilder,
+    Module,
+    PointerType,
+    Type,
+    VOID,
+    Value,
+)
+from repro.ir.types import ArrayType
+
+
+def _ir_type(ctype: A.CType) -> Type:
+    if ctype.kind == "int":
+        return I64
+    if ctype.kind == "double":
+        return F64
+    if ctype.kind == "void":
+        return VOID
+    if ctype.kind == "ptr":
+        assert ctype.inner is not None
+        return PointerType(_ir_type(ctype.inner))
+    if ctype.kind == "array":
+        assert ctype.inner is not None
+        return ArrayType(_ir_type(ctype.inner), ctype.count)
+    raise SemaError(f"cannot map type {ctype} to IR")
+
+
+class FunctionLowering:
+    """Lowers one function body."""
+
+    def __init__(self, module: Module, fn: Function, func_ast: A.FuncDef) -> None:
+        self.module = module
+        self.fn = fn
+        self.func_ast = func_ast
+        self.builder = IRBuilder()
+        #: maps id(Symbol) -> alloca / global pointer value
+        self.slots: dict[int, Value] = {}
+        #: (break_target, continue_target) stack
+        self.loop_stack: list[tuple[BasicBlock, BasicBlock]] = []
+        self.entry = fn.add_block("entry")
+        #: index where the next alloca goes (keeps allocas grouped at entry)
+        self._alloca_count = 0
+
+    # -- plumbing ------------------------------------------------------------
+
+    def _entry_alloca(self, ir_ty: Type, name: str) -> Value:
+        from repro.ir.instructions import Alloca
+
+        instr = Alloca(ir_ty)
+        instr.name = self.fn.next_name(name)
+        self.entry.insert(self._alloca_count, instr)
+        instr.parent = self.entry
+        self._alloca_count += 1
+        return instr
+
+    def lower(self) -> None:
+        self.builder.set_block(self.entry)
+        # Spill parameters into allocas (clang -O0 style).
+        for arg, param in zip(self.fn.args, self.func_ast.params):
+            slot = self._entry_alloca(arg.type, param.name)
+            self.builder.store(arg, slot)
+            sym = param.symbol  # type: ignore[attr-defined]
+            self.slots[id(sym)] = slot
+        self._lower_stmts(self.func_ast.body)
+        # Implicit return for fall-off-the-end.
+        if not self.builder.block.is_terminated:
+            ret_ty = self.fn.return_type
+            if ret_ty.is_void():
+                self.builder.ret()
+            elif ret_ty.is_float():
+                self.builder.ret(ConstantFloat(0.0))
+            else:
+                self.builder.ret(ConstantInt(0, I64))
+
+    def _slot_for(self, sym: Symbol) -> Value:
+        if sym.kind == "global":
+            return self.module.get_global(sym.name)
+        slot = self.slots.get(id(sym))
+        if slot is None:
+            raise SemaError(f"no storage for {sym.name!r}")
+        return slot
+
+    # -- statements --------------------------------------------------------
+
+    def _lower_stmts(self, stmts: list[A.Stmt]) -> None:
+        for stmt in stmts:
+            if self.builder.block.is_terminated:
+                return  # dead code after break/continue/return
+            self._lower_stmt(stmt)
+
+    def _lower_stmt(self, stmt: A.Stmt) -> None:
+        if isinstance(stmt, A.DeclStmt):
+            assert stmt.ctype is not None
+            ir_ty = _ir_type(stmt.ctype)
+            slot = self._entry_alloca(ir_ty, stmt.name)
+            self.slots[id(stmt.symbol)] = slot  # type: ignore[attr-defined]
+            if stmt.init is not None:
+                value = self._lower_expr(stmt.init)
+                self.builder.store(value, slot)
+        elif isinstance(stmt, A.AssignStmt):
+            assert stmt.target is not None and stmt.value is not None
+            addr = self._lower_address(stmt.target)
+            value = self._lower_expr(stmt.value)
+            self.builder.store(value, addr)
+        elif isinstance(stmt, A.ExprStmt):
+            assert stmt.expr is not None
+            self._lower_expr(stmt.expr, discard=True)
+        elif isinstance(stmt, A.BlockStmt):
+            self._lower_stmts(stmt.body)
+        elif isinstance(stmt, A.IfStmt):
+            self._lower_if(stmt)
+        elif isinstance(stmt, A.WhileStmt):
+            self._lower_while(stmt)
+        elif isinstance(stmt, A.ForStmt):
+            self._lower_for(stmt)
+        elif isinstance(stmt, A.ReturnStmt):
+            if stmt.value is None:
+                self.builder.ret()
+            else:
+                self.builder.ret(self._lower_expr(stmt.value))
+        elif isinstance(stmt, A.BreakStmt):
+            self.builder.br(self.loop_stack[-1][0])
+        elif isinstance(stmt, A.ContinueStmt):
+            self.builder.br(self.loop_stack[-1][1])
+        else:  # pragma: no cover - defensive
+            raise SemaError(f"cannot lower {type(stmt).__name__}")
+
+    def _lower_if(self, stmt: A.IfStmt) -> None:
+        assert stmt.cond is not None
+        then_bb = self.fn.add_block(self.fn.next_name("if.then"))
+        merge_bb = self.fn.add_block(self.fn.next_name("if.end"))
+        else_bb = (
+            self.fn.add_block(self.fn.next_name("if.else"))
+            if stmt.else_body
+            else merge_bb
+        )
+        cond = self._lower_condition(stmt.cond)
+        self.builder.cond_br(cond, then_bb, else_bb)
+        self.builder.set_block(then_bb)
+        self._lower_stmts(stmt.then_body)
+        if not self.builder.block.is_terminated:
+            self.builder.br(merge_bb)
+        if stmt.else_body:
+            self.builder.set_block(else_bb)
+            self._lower_stmts(stmt.else_body)
+            if not self.builder.block.is_terminated:
+                self.builder.br(merge_bb)
+        self.builder.set_block(merge_bb)
+        # If both arms returned, merge is unreachable; terminate it so the
+        # verifier is satisfied (simplifycfg removes it later).
+        if not merge_bb.predecessors() and not merge_bb.is_terminated:
+            self._terminate_unreachable()
+
+    def _lower_while(self, stmt: A.WhileStmt) -> None:
+        assert stmt.cond is not None
+        cond_bb = self.fn.add_block(self.fn.next_name("while.cond"))
+        body_bb = self.fn.add_block(self.fn.next_name("while.body"))
+        end_bb = self.fn.add_block(self.fn.next_name("while.end"))
+        self.builder.br(cond_bb)
+        self.builder.set_block(cond_bb)
+        cond = self._lower_condition(stmt.cond)
+        self.builder.cond_br(cond, body_bb, end_bb)
+        self.builder.set_block(body_bb)
+        self.loop_stack.append((end_bb, cond_bb))
+        self._lower_stmts(stmt.body)
+        self.loop_stack.pop()
+        if not self.builder.block.is_terminated:
+            self.builder.br(cond_bb)
+        self.builder.set_block(end_bb)
+
+    def _lower_for(self, stmt: A.ForStmt) -> None:
+        if stmt.init is not None:
+            self._lower_stmt(stmt.init)
+        cond_bb = self.fn.add_block(self.fn.next_name("for.cond"))
+        body_bb = self.fn.add_block(self.fn.next_name("for.body"))
+        step_bb = self.fn.add_block(self.fn.next_name("for.step"))
+        end_bb = self.fn.add_block(self.fn.next_name("for.end"))
+        self.builder.br(cond_bb)
+        self.builder.set_block(cond_bb)
+        if stmt.cond is not None:
+            cond = self._lower_condition(stmt.cond)
+            self.builder.cond_br(cond, body_bb, end_bb)
+        else:
+            self.builder.br(body_bb)
+        self.builder.set_block(body_bb)
+        self.loop_stack.append((end_bb, step_bb))
+        self._lower_stmts(stmt.body)
+        self.loop_stack.pop()
+        if not self.builder.block.is_terminated:
+            self.builder.br(step_bb)
+        self.builder.set_block(step_bb)
+        if stmt.step is not None:
+            self._lower_stmt(stmt.step)
+        if not self.builder.block.is_terminated:
+            self.builder.br(cond_bb)
+        self.builder.set_block(end_bb)
+
+    def _terminate_unreachable(self) -> None:
+        ret_ty = self.fn.return_type
+        if ret_ty.is_void():
+            self.builder.ret()
+        elif ret_ty.is_float():
+            self.builder.ret(ConstantFloat(0.0))
+        else:
+            self.builder.ret(ConstantInt(0, I64))
+
+    # -- addresses (lvalues) ------------------------------------------------
+
+    def _lower_address(self, expr: A.Expr) -> Value:
+        if isinstance(expr, A.VarRef):
+            sym: Symbol = expr.symbol  # type: ignore[attr-defined]
+            return self._slot_for(sym)
+        if isinstance(expr, A.IndexExpr):
+            assert expr.base is not None and expr.index is not None
+            base = self._lower_expr(expr.base)  # decayed pointer
+            index = self._lower_expr(expr.index)
+            return self.builder.gep(base, index)
+        raise SemaError(f"expression is not an lvalue: {type(expr).__name__}")
+
+    # -- expressions ----------------------------------------------------------
+
+    def _lower_expr(self, expr: A.Expr, discard: bool = False) -> Value:
+        if isinstance(expr, A.IntLiteral):
+            return ConstantInt(expr.value, I64)
+        if isinstance(expr, A.FloatLiteral):
+            return ConstantFloat(expr.value)
+        if isinstance(expr, A.VarRef):
+            sym: Symbol = expr.symbol  # type: ignore[attr-defined]
+            slot = self._slot_for(sym)
+            if sym.ctype.kind == "array":
+                # Array decays to a pointer to its first element.
+                return self.builder.gep(slot, ConstantInt(0, I64), sym.name)
+            return self.builder.load(slot, sym.name)
+        if isinstance(expr, A.UnaryOp):
+            assert expr.operand is not None
+            operand = self._lower_expr(expr.operand)
+            if expr.op == "-":
+                if operand.type.is_float():
+                    return self.builder.binop("fsub", ConstantFloat(-0.0), operand)
+                return self.builder.binop("sub", ConstantInt(0, I64), operand)
+            # '!' : result is int 0/1
+            cond = self._to_i1(operand)
+            inv = self.builder.icmp("eq", self.builder.cast("zext", cond), ConstantInt(0, I64))
+            return self.builder.cast("zext", inv)
+        if isinstance(expr, A.CastExpr):
+            assert expr.operand is not None and expr.target is not None
+            operand = self._lower_expr(expr.operand)
+            if expr.target.kind == "double" and operand.type.is_integer():
+                return self.builder.cast("sitofp", operand)
+            if expr.target.kind == "int" and operand.type.is_float():
+                return self.builder.cast("fptosi", operand)
+            return operand  # identity cast
+        if isinstance(expr, A.BinOp):
+            return self._lower_binop(expr)
+        if isinstance(expr, A.IndexExpr):
+            addr = self._lower_address(expr)
+            return self.builder.load(addr)
+        if isinstance(expr, A.CallExpr):
+            return self._lower_call(expr, discard)
+        raise SemaError(f"cannot lower expression {type(expr).__name__}")
+
+    _INT_OPS = {
+        "+": "add", "-": "sub", "*": "mul", "/": "sdiv", "%": "srem",
+        "&": "and", "|": "or", "^": "xor", "<<": "shl", ">>": "ashr",
+    }
+    _FLOAT_OPS = {"+": "fadd", "-": "fsub", "*": "fmul", "/": "fdiv"}
+    _ICMP = {"==": "eq", "!=": "ne", "<": "slt", "<=": "sle", ">": "sgt", ">=": "sge"}
+    _FCMP = {"==": "oeq", "!=": "one", "<": "olt", "<=": "ole", ">": "ogt", ">=": "oge"}
+
+    def _lower_binop(self, expr: A.BinOp) -> Value:
+        assert expr.lhs is not None and expr.rhs is not None
+        if expr.op in ("&&", "||"):
+            return self.builder.cast("zext", self._lower_shortcircuit(expr))
+        if expr.op in self._ICMP:
+            return self.builder.cast("zext", self._lower_comparison(expr))
+        lhs = self._lower_expr(expr.lhs)
+        rhs = self._lower_expr(expr.rhs)
+        if lhs.type.is_float():
+            return self.builder.binop(self._FLOAT_OPS[expr.op], lhs, rhs)
+        return self.builder.binop(self._INT_OPS[expr.op], lhs, rhs)
+
+    def _lower_comparison(self, expr: A.BinOp) -> Value:
+        assert expr.lhs is not None and expr.rhs is not None
+        lhs = self._lower_expr(expr.lhs)
+        rhs = self._lower_expr(expr.rhs)
+        if lhs.type.is_float():
+            return self.builder.fcmp(self._FCMP[expr.op], lhs, rhs)
+        return self.builder.icmp(self._ICMP[expr.op], lhs, rhs)
+
+    def _lower_shortcircuit(self, expr: A.BinOp) -> Value:
+        """Lower ``&&``/``||`` with control flow, yielding an ``i1``."""
+        assert expr.lhs is not None and expr.rhs is not None
+        rhs_bb = self.fn.add_block(self.fn.next_name("sc.rhs"))
+        merge_bb = self.fn.add_block(self.fn.next_name("sc.end"))
+        lhs = self._lower_condition(expr.lhs)
+        lhs_block = self.builder.block
+        assert lhs_block is not None
+        if expr.op == "&&":
+            self.builder.cond_br(lhs, rhs_bb, merge_bb)
+            short_value = ConstantInt(0, _I1())
+        else:
+            self.builder.cond_br(lhs, merge_bb, rhs_bb)
+            short_value = ConstantInt(1, _I1())
+        self.builder.set_block(rhs_bb)
+        rhs = self._lower_condition(expr.rhs)
+        rhs_block = self.builder.block
+        assert rhs_block is not None
+        self.builder.br(merge_bb)
+        self.builder.set_block(merge_bb)
+        phi = self.builder.phi(_I1(), "sc")
+        phi.add_incoming(short_value, lhs_block)
+        phi.add_incoming(rhs, rhs_block)
+        return phi
+
+    def _lower_condition(self, expr: A.Expr) -> Value:
+        """Lower an expression in boolean context directly to ``i1``."""
+        if isinstance(expr, A.BinOp) and expr.op in self._ICMP:
+            return self._lower_comparison(expr)
+        if isinstance(expr, A.BinOp) and expr.op in ("&&", "||"):
+            return self._lower_shortcircuit(expr)
+        if isinstance(expr, A.UnaryOp) and expr.op == "!":
+            assert expr.operand is not None
+            inner = self._lower_condition(expr.operand)
+            return self.builder.icmp(
+                "eq", self.builder.cast("zext", inner), ConstantInt(0, I64)
+            )
+        value = self._lower_expr(expr)
+        return self._to_i1(value)
+
+    def _to_i1(self, value: Value) -> Value:
+        if value.type == _I1():
+            return value
+        if value.type.is_float():
+            return self.builder.fcmp("one", value, ConstantFloat(0.0))
+        return self.builder.icmp("ne", value, ConstantInt(0, I64))
+
+    def _lower_call(self, expr: A.CallExpr, discard: bool) -> Value:
+        sig: FuncSig = expr.signature  # type: ignore[attr-defined]
+        callee = self.module.get_function(sig.name)
+        args = [self._lower_expr(a) for a in expr.args]
+        return self.builder.call(callee, args, sig.name)
+
+
+def _I1():
+    from repro.ir import I1
+
+    return I1
+
+
+def lower_program(program: A.Program, name: str = "module") -> Module:
+    """Lower a sema-checked program to an IR module."""
+    module = Module(name)
+    for g in program.globals:
+        module.add_global(g.name, _ir_type(g.ctype), g.init)
+    # Declare builtins used anywhere (harmless to declare all).
+    for bname, (ret, params) in BUILTINS.items():
+        ftype = FunctionType(_ir_type(ret), [_ir_type(p) for p in params])
+        fn = module.declare_function(bname, ftype)
+        fn.attributes["intrinsic"] = True
+    # Create all function shells first (forward references).
+    for f in program.functions:
+        ftype = FunctionType(
+            _ir_type(f.ret), [_ir_type(p.ctype) for p in f.params]
+        )
+        module.add_function(f.name, ftype, [p.name for p in f.params])
+    for f in program.functions:
+        FunctionLowering(module, module.get_function(f.name), f).lower()
+    return module

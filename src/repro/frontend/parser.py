@@ -1,0 +1,397 @@
+"""Recursive-descent parser for MiniC.
+
+Grammar (EBNF-ish):
+
+    program      := (global_decl | func_def)*
+    global_decl  := type IDENT ('[' INT ']')? ('=' ginit)? ';'
+    func_def     := type IDENT '(' params? ')' block
+    params       := param (',' param)*
+    param        := type IDENT
+    type         := ('int' | 'double' | 'void') '*'*
+    block        := '{' stmt* '}'
+    stmt         := decl | if | while | for | return | break ';'
+                  | continue ';' | block | simple ';'
+    simple       := lvalue '=' expr | expr
+    expr         := or
+    or           := and ('||' and)*
+    and          := bitor ('&&' bitor)*
+    bitor        := bitxor ('|' bitxor)*
+    bitxor       := bitand ('^' bitand)*
+    bitand       := equality ('&' equality)*
+    equality     := relational (('=='|'!=') relational)*
+    relational   := shift (('<'|'<='|'>'|'>=') shift)*
+    shift        := additive (('<<'|'>>') additive)*
+    additive     := multiplicative (('+'|'-') multiplicative)*
+    multiplicative := unary (('*'|'/'|'%') unary)*
+    unary        := ('-'|'!') unary | cast
+    cast         := '(' type ')' unary | postfix
+    postfix      := primary ('[' expr ']')*
+    primary      := INT | FLOAT | IDENT ('(' args? ')')? | '(' expr ')'
+"""
+
+from __future__ import annotations
+
+from repro.errors import ParseError
+from repro.frontend.ast import (
+    AssignStmt,
+    BinOp,
+    BlockStmt,
+    BreakStmt,
+    C_DOUBLE,
+    C_INT,
+    C_VOID,
+    CallExpr,
+    CastExpr,
+    ContinueStmt,
+    CType,
+    DeclStmt,
+    Expr,
+    ExprStmt,
+    FloatLiteral,
+    ForStmt,
+    FuncDef,
+    GlobalDecl,
+    IfStmt,
+    IndexExpr,
+    IntLiteral,
+    Param,
+    Program,
+    ReturnStmt,
+    Stmt,
+    UnaryOp,
+    VarRef,
+    WhileStmt,
+    c_array,
+    c_ptr,
+)
+from repro.frontend.lexer import Token, tokenize
+
+_BASE_TYPES = {"int": C_INT, "double": C_DOUBLE, "void": C_VOID}
+
+
+class Parser:
+    """One-token-lookahead recursive-descent parser."""
+
+    def __init__(self, tokens: list[Token]) -> None:
+        self.tokens = tokens
+        self.pos = 0
+
+    # -- token helpers ------------------------------------------------------
+
+    @property
+    def cur(self) -> Token:
+        return self.tokens[self.pos]
+
+    def peek(self, offset: int = 1) -> Token:
+        idx = min(self.pos + offset, len(self.tokens) - 1)
+        return self.tokens[idx]
+
+    def advance(self) -> Token:
+        tok = self.cur
+        if tok.kind != "eof":
+            self.pos += 1
+        return tok
+
+    def expect(self, kind: str, text: str | None = None) -> Token:
+        tok = self.cur
+        if tok.kind != kind or (text is not None and tok.text != text):
+            want = text or kind
+            raise ParseError(
+                f"expected {want!r}, found {tok.text or tok.kind!r}",
+                tok.line,
+                tok.col,
+            )
+        return self.advance()
+
+    def accept(self, kind: str, text: str | None = None) -> Token | None:
+        tok = self.cur
+        if tok.kind == kind and (text is None or tok.text == text):
+            return self.advance()
+        return None
+
+    def at_type(self) -> bool:
+        return self.cur.kind == "kw" and self.cur.text in _BASE_TYPES
+
+    # -- top level ---------------------------------------------------------
+
+    def parse_program(self) -> Program:
+        program = Program()
+        while self.cur.kind != "eof":
+            if not self.at_type():
+                raise ParseError(
+                    f"expected declaration, found {self.cur.text!r}",
+                    self.cur.line,
+                    self.cur.col,
+                )
+            ctype = self.parse_type()
+            name_tok = self.expect("ident")
+            if self.cur.kind == "op" and self.cur.text == "(":
+                program.functions.append(self.parse_func(ctype, name_tok))
+            else:
+                program.globals.append(self.parse_global(ctype, name_tok))
+        return program
+
+    def parse_type(self) -> CType:
+        tok = self.expect("kw")
+        if tok.text not in _BASE_TYPES:
+            raise ParseError(f"unknown type {tok.text!r}", tok.line, tok.col)
+        ctype = _BASE_TYPES[tok.text]
+        while self.accept("op", "*"):
+            ctype = c_ptr(ctype)
+        return ctype
+
+    def parse_global(self, ctype: CType, name_tok: Token) -> GlobalDecl:
+        decl = GlobalDecl(name=name_tok.text, ctype=ctype, line=name_tok.line)
+        if self.accept("op", "["):
+            count_tok = self.expect("int")
+            self.expect("op", "]")
+            decl.ctype = c_array(ctype, int(count_tok.text))
+        if self.accept("op", "="):
+            if self.accept("op", "{"):
+                items: list[float] = []
+                while not self.accept("op", "}"):
+                    items.append(self._parse_const_scalar())
+                    if self.cur.text != "}":
+                        self.expect("op", ",")
+                decl.init = items
+            else:
+                decl.init = self._parse_const_scalar()
+        self.expect("op", ";")
+        return decl
+
+    def _parse_const_scalar(self) -> int | float:
+        neg = bool(self.accept("op", "-"))
+        tok = self.advance()
+        if tok.kind == "int":
+            value: int | float = int(tok.text)
+        elif tok.kind == "float":
+            value = float(tok.text)
+        else:
+            raise ParseError(
+                f"expected numeric constant, found {tok.text!r}", tok.line, tok.col
+            )
+        return -value if neg else value
+
+    def parse_func(self, ret: CType, name_tok: Token) -> FuncDef:
+        self.expect("op", "(")
+        params: list[Param] = []
+        if not self.accept("op", ")"):
+            while True:
+                ptype = self.parse_type()
+                pname = self.expect("ident")
+                params.append(Param(ptype, pname.text))
+                if self.accept("op", ")"):
+                    break
+                self.expect("op", ",")
+        body = self.parse_block()
+        return FuncDef(
+            name=name_tok.text, ret=ret, params=params, body=body, line=name_tok.line
+        )
+
+    # -- statements ----------------------------------------------------------
+
+    def parse_block(self) -> list[Stmt]:
+        self.expect("op", "{")
+        stmts: list[Stmt] = []
+        while not self.accept("op", "}"):
+            stmts.append(self.parse_stmt())
+        return stmts
+
+    def parse_stmt(self) -> Stmt:
+        tok = self.cur
+        if tok.kind == "op" and tok.text == "{":
+            return BlockStmt(line=tok.line, col=tok.col, body=self.parse_block())
+        if self.at_type():
+            return self.parse_decl()
+        if tok.kind == "kw":
+            if tok.text == "if":
+                return self.parse_if()
+            if tok.text == "while":
+                return self.parse_while()
+            if tok.text == "for":
+                return self.parse_for()
+            if tok.text == "return":
+                self.advance()
+                value = None
+                if not (self.cur.kind == "op" and self.cur.text == ";"):
+                    value = self.parse_expr()
+                self.expect("op", ";")
+                return ReturnStmt(line=tok.line, col=tok.col, value=value)
+            if tok.text == "break":
+                self.advance()
+                self.expect("op", ";")
+                return BreakStmt(line=tok.line, col=tok.col)
+            if tok.text == "continue":
+                self.advance()
+                self.expect("op", ";")
+                return ContinueStmt(line=tok.line, col=tok.col)
+        stmt = self.parse_simple()
+        self.expect("op", ";")
+        return stmt
+
+    def parse_decl(self) -> DeclStmt:
+        tok = self.cur
+        ctype = self.parse_type()
+        name = self.expect("ident")
+        decl = DeclStmt(line=tok.line, col=tok.col, ctype=ctype, name=name.text)
+        if self.accept("op", "["):
+            count = self.expect("int")
+            self.expect("op", "]")
+            decl.ctype = c_array(ctype, int(count.text))
+        if self.accept("op", "="):
+            decl.init = self.parse_expr()
+        self.expect("op", ";")
+        return decl
+
+    def parse_if(self) -> IfStmt:
+        tok = self.expect("kw", "if")
+        self.expect("op", "(")
+        cond = self.parse_expr()
+        self.expect("op", ")")
+        then_body = self._stmt_or_block()
+        else_body: list[Stmt] = []
+        if self.accept("kw", "else"):
+            else_body = self._stmt_or_block()
+        return IfStmt(
+            line=tok.line, col=tok.col, cond=cond, then_body=then_body,
+            else_body=else_body,
+        )
+
+    def parse_while(self) -> WhileStmt:
+        tok = self.expect("kw", "while")
+        self.expect("op", "(")
+        cond = self.parse_expr()
+        self.expect("op", ")")
+        body = self._stmt_or_block()
+        return WhileStmt(line=tok.line, col=tok.col, cond=cond, body=body)
+
+    def parse_for(self) -> ForStmt:
+        tok = self.expect("kw", "for")
+        self.expect("op", "(")
+        init: Stmt | None = None
+        if not self.accept("op", ";"):
+            if self.at_type():
+                init = self.parse_decl()  # consumes its own ';'
+            else:
+                init = self.parse_simple()
+                self.expect("op", ";")
+        cond: Expr | None = None
+        if not self.accept("op", ";"):
+            cond = self.parse_expr()
+            self.expect("op", ";")
+        step: Stmt | None = None
+        if not (self.cur.kind == "op" and self.cur.text == ")"):
+            step = self.parse_simple()
+        self.expect("op", ")")
+        body = self._stmt_or_block()
+        return ForStmt(
+            line=tok.line, col=tok.col, init=init, cond=cond, step=step, body=body
+        )
+
+    def _stmt_or_block(self) -> list[Stmt]:
+        if self.cur.kind == "op" and self.cur.text == "{":
+            return self.parse_block()
+        return [self.parse_stmt()]
+
+    def parse_simple(self) -> Stmt:
+        tok = self.cur
+        expr = self.parse_expr()
+        if self.accept("op", "="):
+            if not isinstance(expr, (VarRef, IndexExpr)):
+                raise ParseError("invalid assignment target", tok.line, tok.col)
+            value = self.parse_expr()
+            return AssignStmt(line=tok.line, col=tok.col, target=expr, value=value)
+        return ExprStmt(line=tok.line, col=tok.col, expr=expr)
+
+    # -- expressions (precedence climbing) ---------------------------------
+
+    _LEVELS: list[tuple[str, ...]] = [
+        ("||",),
+        ("&&",),
+        ("|",),
+        ("^",),
+        ("&",),
+        ("==", "!="),
+        ("<", "<=", ">", ">="),
+        ("<<", ">>"),
+        ("+", "-"),
+        ("*", "/", "%"),
+    ]
+
+    def parse_expr(self) -> Expr:
+        return self._parse_binary(0)
+
+    def _parse_binary(self, level: int) -> Expr:
+        if level >= len(self._LEVELS):
+            return self.parse_unary()
+        ops = self._LEVELS[level]
+        lhs = self._parse_binary(level + 1)
+        while self.cur.kind == "op" and self.cur.text in ops:
+            op_tok = self.advance()
+            rhs = self._parse_binary(level + 1)
+            lhs = BinOp(
+                line=op_tok.line, col=op_tok.col, op=op_tok.text, lhs=lhs, rhs=rhs
+            )
+        return lhs
+
+    def parse_unary(self) -> Expr:
+        tok = self.cur
+        if tok.kind == "op" and tok.text in ("-", "!"):
+            self.advance()
+            operand = self.parse_unary()
+            return UnaryOp(line=tok.line, col=tok.col, op=tok.text, operand=operand)
+        return self.parse_cast()
+
+    def parse_cast(self) -> Expr:
+        tok = self.cur
+        if (
+            tok.kind == "op"
+            and tok.text == "("
+            and self.peek().kind == "kw"
+            and self.peek().text in _BASE_TYPES
+        ):
+            self.advance()
+            target = self.parse_type()
+            self.expect("op", ")")
+            operand = self.parse_unary()
+            return CastExpr(line=tok.line, col=tok.col, target=target, operand=operand)
+        return self.parse_postfix()
+
+    def parse_postfix(self) -> Expr:
+        expr = self.parse_primary()
+        while self.accept("op", "["):
+            index = self.parse_expr()
+            close = self.expect("op", "]")
+            expr = IndexExpr(line=close.line, col=close.col, base=expr, index=index)
+        return expr
+
+    def parse_primary(self) -> Expr:
+        tok = self.advance()
+        if tok.kind == "int":
+            return IntLiteral(line=tok.line, col=tok.col, value=int(tok.text))
+        if tok.kind == "float":
+            return FloatLiteral(line=tok.line, col=tok.col, value=float(tok.text))
+        if tok.kind == "ident":
+            if self.cur.kind == "op" and self.cur.text == "(":
+                self.advance()
+                args: list[Expr] = []
+                if not self.accept("op", ")"):
+                    while True:
+                        args.append(self.parse_expr())
+                        if self.accept("op", ")"):
+                            break
+                        self.expect("op", ",")
+                return CallExpr(line=tok.line, col=tok.col, name=tok.text, args=args)
+            return VarRef(line=tok.line, col=tok.col, name=tok.text)
+        if tok.kind == "op" and tok.text == "(":
+            expr = self.parse_expr()
+            self.expect("op", ")")
+            return expr
+        raise ParseError(
+            f"unexpected token {tok.text or tok.kind!r}", tok.line, tok.col
+        )
+
+
+def parse(source: str) -> Program:
+    """Parse MiniC source text into an AST."""
+    return Parser(tokenize(source)).parse_program()

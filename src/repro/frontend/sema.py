@@ -1,0 +1,413 @@
+"""Semantic analysis for MiniC.
+
+Resolves names, checks types, and *normalizes* the AST so lowering is
+mechanical:
+
+* implicit arithmetic conversions become explicit :class:`CastExpr` nodes
+  (usual arithmetic conversions: ``int`` promotes to ``double`` when mixed);
+* every expression node gets a ``ctype``;
+* ``VarRef``/``CallExpr`` nodes get resolved ``symbol``/``signature`` info.
+
+Builtins (``print_int``, ``sqrt``, ...) are runtime intrinsics provided by
+the simulated machine, mirroring libc/libm calls in the paper's benchmarks.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import SemaError
+from repro.frontend.ast import (
+    AssignStmt,
+    BinOp,
+    BlockStmt,
+    BreakStmt,
+    C_DOUBLE,
+    C_INT,
+    C_VOID,
+    CallExpr,
+    CastExpr,
+    ContinueStmt,
+    CType,
+    DeclStmt,
+    Expr,
+    ExprStmt,
+    FloatLiteral,
+    ForStmt,
+    FuncDef,
+    GlobalDecl,
+    IfStmt,
+    IndexExpr,
+    IntLiteral,
+    Program,
+    ReturnStmt,
+    Stmt,
+    UnaryOp,
+    VarRef,
+    WhileStmt,
+    c_ptr,
+)
+
+#: Builtin functions provided by the simulated runtime.
+BUILTINS: dict[str, tuple[CType, tuple[CType, ...]]] = {
+    "print_int": (C_VOID, (C_INT,)),
+    "print_double": (C_VOID, (C_DOUBLE,)),
+    "sqrt": (C_DOUBLE, (C_DOUBLE,)),
+    "fabs": (C_DOUBLE, (C_DOUBLE,)),
+    "exp": (C_DOUBLE, (C_DOUBLE,)),
+    "log": (C_DOUBLE, (C_DOUBLE,)),
+    "sin": (C_DOUBLE, (C_DOUBLE,)),
+    "cos": (C_DOUBLE, (C_DOUBLE,)),
+    "floor": (C_DOUBLE, (C_DOUBLE,)),
+    "pow": (C_DOUBLE, (C_DOUBLE, C_DOUBLE)),
+    "fmod": (C_DOUBLE, (C_DOUBLE, C_DOUBLE)),
+}
+
+
+@dataclass
+class Symbol:
+    """A resolved name: where it lives and its MiniC type."""
+
+    name: str
+    ctype: CType
+    kind: str  # 'local' | 'param' | 'global' | 'func'
+
+
+@dataclass
+class FuncSig:
+    name: str
+    ret: CType
+    params: tuple[CType, ...]
+    is_builtin: bool = False
+
+
+class Scope:
+    def __init__(self, parent: "Scope | None" = None) -> None:
+        self.parent = parent
+        self.symbols: dict[str, Symbol] = {}
+
+    def define(self, sym: Symbol, line: int, col: int) -> None:
+        if sym.name in self.symbols:
+            raise SemaError(f"redefinition of {sym.name!r}", line, col)
+        self.symbols[sym.name] = sym
+
+    def lookup(self, name: str) -> Symbol | None:
+        scope: Scope | None = self
+        while scope is not None:
+            if name in scope.symbols:
+                return scope.symbols[name]
+            scope = scope.parent
+        return None
+
+
+class SemanticAnalyzer:
+    """Type checker and AST normalizer."""
+
+    def __init__(self) -> None:
+        self.globals = Scope()
+        self.functions: dict[str, FuncSig] = {}
+        self.current_ret: CType = C_VOID
+        self.loop_depth = 0
+
+    # -- entry point ---------------------------------------------------------
+
+    def analyze(self, program: Program) -> Program:
+        for name, (ret, params) in BUILTINS.items():
+            self.functions[name] = FuncSig(name, ret, params, is_builtin=True)
+        for g in program.globals:
+            self._check_global(g)
+            self.globals.define(Symbol(g.name, g.ctype, "global"), g.line, 0)
+        for fn in program.functions:
+            if fn.name in self.functions:
+                raise SemaError(f"redefinition of function {fn.name!r}", fn.line)
+            self.functions[fn.name] = FuncSig(
+                fn.name, fn.ret, tuple(p.ctype for p in fn.params)
+            )
+        for fn in program.functions:
+            self._check_function(fn)
+        if "main" not in self.functions:
+            raise SemaError("program has no main() function")
+        main = self.functions["main"]
+        if main.ret != C_INT or main.params:
+            raise SemaError("main must have signature: int main()")
+        return program
+
+    # -- declarations --------------------------------------------------------
+
+    def _check_global(self, g: GlobalDecl) -> None:
+        if g.ctype.kind == "void":
+            raise SemaError(f"global {g.name!r} cannot be void", g.line)
+        if g.ctype.kind == "ptr":
+            raise SemaError(f"global pointer {g.name!r} is not supported", g.line)
+        if g.ctype.kind == "array":
+            if g.init is not None:
+                if not isinstance(g.init, list):
+                    raise SemaError(
+                        f"array global {g.name!r} needs a brace initializer", g.line
+                    )
+                if len(g.init) != g.ctype.count:
+                    raise SemaError(
+                        f"array global {g.name!r}: {len(g.init)} initializers "
+                        f"for {g.ctype.count} elements",
+                        g.line,
+                    )
+        elif g.init is not None and isinstance(g.init, list):
+            raise SemaError(f"scalar global {g.name!r} has brace initializer", g.line)
+
+    def _check_function(self, fn: FuncDef) -> None:
+        for p in fn.params:
+            if not (p.ctype.is_arith or p.ctype.kind == "ptr"):
+                raise SemaError(
+                    f"parameter {p.name!r} of @{fn.name} has invalid type {p.ctype}",
+                    fn.line,
+                )
+        if not (fn.ret.is_arith or fn.ret.kind == "void"):
+            raise SemaError(f"@{fn.name} has invalid return type {fn.ret}", fn.line)
+        self.current_ret = fn.ret
+        scope = Scope(self.globals)
+        for p in fn.params:
+            sym = Symbol(p.name, p.ctype, "param")
+            p.symbol = sym  # type: ignore[attr-defined]
+            scope.define(sym, fn.line, 0)
+        self._check_block(fn.body, scope)
+
+    # -- statements --------------------------------------------------------
+
+    def _check_block(self, stmts: list[Stmt], scope: Scope) -> None:
+        inner = Scope(scope)
+        for stmt in stmts:
+            self._check_stmt(stmt, inner)
+
+    def _check_stmt(self, stmt: Stmt, scope: Scope) -> None:
+        if isinstance(stmt, DeclStmt):
+            assert stmt.ctype is not None
+            if stmt.ctype.kind == "void":
+                raise SemaError(f"variable {stmt.name!r} cannot be void", stmt.line)
+            if stmt.init is not None:
+                if stmt.ctype.kind == "array":
+                    raise SemaError(
+                        f"local array {stmt.name!r} cannot have an initializer",
+                        stmt.line,
+                    )
+                stmt.init = self._coerce(
+                    self._check_expr(stmt.init, scope), stmt.ctype, stmt.line
+                )
+            sym = Symbol(stmt.name, stmt.ctype, "local")
+            stmt.symbol = sym  # type: ignore[attr-defined]
+            scope.define(sym, stmt.line, stmt.col)
+        elif isinstance(stmt, AssignStmt):
+            assert stmt.target is not None and stmt.value is not None
+            target = self._check_expr(stmt.target, scope, lvalue=True)
+            value = self._check_expr(stmt.value, scope)
+            assert target.ctype is not None
+            if not target.ctype.is_arith:
+                raise SemaError(
+                    f"cannot assign to value of type {target.ctype}", stmt.line
+                )
+            stmt.target = target
+            stmt.value = self._coerce(value, target.ctype, stmt.line)
+        elif isinstance(stmt, ExprStmt):
+            assert stmt.expr is not None
+            stmt.expr = self._check_expr(stmt.expr, scope)
+        elif isinstance(stmt, BlockStmt):
+            self._check_block(stmt.body, scope)
+        elif isinstance(stmt, IfStmt):
+            assert stmt.cond is not None
+            stmt.cond = self._check_condition(stmt.cond, scope)
+            self._check_block(stmt.then_body, scope)
+            self._check_block(stmt.else_body, scope)
+        elif isinstance(stmt, WhileStmt):
+            assert stmt.cond is not None
+            stmt.cond = self._check_condition(stmt.cond, scope)
+            self.loop_depth += 1
+            self._check_block(stmt.body, scope)
+            self.loop_depth -= 1
+        elif isinstance(stmt, ForStmt):
+            header = Scope(scope)
+            if stmt.init is not None:
+                self._check_stmt(stmt.init, header)
+            if stmt.cond is not None:
+                stmt.cond = self._check_condition(stmt.cond, header)
+            if stmt.step is not None:
+                self._check_stmt(stmt.step, header)
+            self.loop_depth += 1
+            self._check_block(stmt.body, header)
+            self.loop_depth -= 1
+        elif isinstance(stmt, ReturnStmt):
+            if self.current_ret.kind == "void":
+                if stmt.value is not None:
+                    raise SemaError("return with value in void function", stmt.line)
+            else:
+                if stmt.value is None:
+                    raise SemaError("return without value", stmt.line)
+                stmt.value = self._coerce(
+                    self._check_expr(stmt.value, scope), self.current_ret, stmt.line
+                )
+        elif isinstance(stmt, (BreakStmt, ContinueStmt)):
+            if self.loop_depth == 0:
+                raise SemaError("break/continue outside of loop", stmt.line)
+        else:  # pragma: no cover - defensive
+            raise SemaError(f"unknown statement {type(stmt).__name__}", stmt.line)
+
+    # -- expressions ----------------------------------------------------------
+
+    def _check_condition(self, expr: Expr, scope: Scope) -> Expr:
+        checked = self._check_expr(expr, scope)
+        assert checked.ctype is not None
+        if not checked.ctype.is_arith:
+            raise SemaError(
+                f"condition has non-arithmetic type {checked.ctype}", expr.line
+            )
+        return checked
+
+    def _check_expr(self, expr: Expr, scope: Scope, lvalue: bool = False) -> Expr:
+        if isinstance(expr, IntLiteral):
+            expr.ctype = C_INT
+            return expr
+        if isinstance(expr, FloatLiteral):
+            expr.ctype = C_DOUBLE
+            return expr
+        if isinstance(expr, VarRef):
+            sym = scope.lookup(expr.name)
+            if sym is None:
+                raise SemaError(f"undefined variable {expr.name!r}", expr.line, expr.col)
+            expr.symbol = sym  # type: ignore[attr-defined]
+            if sym.ctype.kind == "array" and not lvalue:
+                # Array decays to pointer-to-element in rvalue context.
+                expr.ctype = c_ptr(sym.ctype.inner)  # type: ignore[arg-type]
+            else:
+                expr.ctype = sym.ctype
+            return expr
+        if isinstance(expr, UnaryOp):
+            assert expr.operand is not None
+            operand = self._check_expr(expr.operand, scope)
+            assert operand.ctype is not None
+            if expr.op == "-":
+                if not operand.ctype.is_arith:
+                    raise SemaError(f"cannot negate {operand.ctype}", expr.line)
+                expr.ctype = operand.ctype
+            else:  # '!'
+                if not operand.ctype.is_arith:
+                    raise SemaError(f"cannot apply ! to {operand.ctype}", expr.line)
+                expr.ctype = C_INT
+            expr.operand = operand
+            return expr
+        if isinstance(expr, CastExpr):
+            assert expr.operand is not None and expr.target is not None
+            operand = self._check_expr(expr.operand, scope)
+            assert operand.ctype is not None
+            if not (operand.ctype.is_arith and expr.target.is_arith):
+                raise SemaError(
+                    f"invalid cast from {operand.ctype} to {expr.target}", expr.line
+                )
+            expr.operand = operand
+            expr.ctype = expr.target
+            return expr
+        if isinstance(expr, BinOp):
+            return self._check_binop(expr, scope)
+        if isinstance(expr, IndexExpr):
+            assert expr.base is not None and expr.index is not None
+            base = self._check_expr(expr.base, scope)
+            index = self._check_expr(expr.index, scope)
+            assert base.ctype is not None and index.ctype is not None
+            if base.ctype.kind not in ("ptr", "array"):
+                raise SemaError(f"cannot index into {base.ctype}", expr.line)
+            if index.ctype != C_INT:
+                raise SemaError(f"array index must be int, got {index.ctype}", expr.line)
+            expr.base = base
+            expr.index = index
+            expr.ctype = base.ctype.inner
+            return expr
+        if isinstance(expr, CallExpr):
+            sig = self.functions.get(expr.name)
+            if sig is None:
+                raise SemaError(f"call to undefined function {expr.name!r}", expr.line)
+            if len(expr.args) != len(sig.params):
+                raise SemaError(
+                    f"call to {expr.name!r}: expected {len(sig.params)} args, "
+                    f"got {len(expr.args)}",
+                    expr.line,
+                )
+            new_args = []
+            for i, (arg, want) in enumerate(zip(expr.args, sig.params)):
+                checked = self._check_expr(arg, scope)
+                assert checked.ctype is not None
+                if want.kind == "ptr":
+                    if checked.ctype != want:
+                        raise SemaError(
+                            f"call to {expr.name!r}: arg {i} has type "
+                            f"{checked.ctype}, expected {want}",
+                            expr.line,
+                        )
+                    new_args.append(checked)
+                else:
+                    new_args.append(self._coerce(checked, want, expr.line))
+            expr.args = new_args
+            expr.signature = sig  # type: ignore[attr-defined]
+            expr.ctype = sig.ret
+            return expr
+        raise SemaError(f"unknown expression {type(expr).__name__}", expr.line)
+
+    def _check_binop(self, expr: BinOp, scope: Scope) -> Expr:
+        assert expr.lhs is not None and expr.rhs is not None
+        lhs = self._check_expr(expr.lhs, scope)
+        rhs = self._check_expr(expr.rhs, scope)
+        assert lhs.ctype is not None and rhs.ctype is not None
+        op = expr.op
+
+        if op in ("&&", "||"):
+            if not (lhs.ctype.is_arith and rhs.ctype.is_arith):
+                raise SemaError(f"invalid operands to {op}", expr.line)
+            expr.lhs, expr.rhs = lhs, rhs
+            expr.ctype = C_INT
+            return expr
+
+        if op in ("%", "&", "|", "^", "<<", ">>"):
+            if lhs.ctype != C_INT or rhs.ctype != C_INT:
+                raise SemaError(
+                    f"operator {op} requires int operands, got "
+                    f"{lhs.ctype} and {rhs.ctype}",
+                    expr.line,
+                )
+            expr.lhs, expr.rhs = lhs, rhs
+            expr.ctype = C_INT
+            return expr
+
+        if not (lhs.ctype.is_arith and rhs.ctype.is_arith):
+            raise SemaError(
+                f"invalid operands to {op}: {lhs.ctype} and {rhs.ctype}", expr.line
+            )
+        # Usual arithmetic conversions.
+        common = C_DOUBLE if C_DOUBLE in (lhs.ctype, rhs.ctype) else C_INT
+        lhs = self._coerce(lhs, common, expr.line)
+        rhs = self._coerce(rhs, common, expr.line)
+        expr.lhs, expr.rhs = lhs, rhs
+        if op in ("==", "!=", "<", "<=", ">", ">="):
+            expr.ctype = C_INT
+        else:
+            expr.ctype = common
+        return expr
+
+    @staticmethod
+    def _coerce(expr: Expr, target: CType, line: int) -> Expr:
+        assert expr.ctype is not None
+        if expr.ctype == target:
+            return expr
+        if expr.ctype.is_arith and target.is_arith:
+            # Fold literal conversions directly for cleaner IR.
+            if isinstance(expr, IntLiteral) and target == C_DOUBLE:
+                return FloatLiteral(
+                    line=expr.line, col=expr.col, value=float(expr.value),
+                    ctype=C_DOUBLE,
+                )
+            cast = CastExpr(
+                line=expr.line, col=expr.col, target=target, operand=expr
+            )
+            cast.ctype = target
+            return cast
+        raise SemaError(f"cannot convert {expr.ctype} to {target}", line)
+
+
+def analyze(program: Program) -> Program:
+    """Run semantic analysis; returns the normalized program."""
+    return SemanticAnalyzer().analyze(program)

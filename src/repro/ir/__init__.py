@@ -1,0 +1,102 @@
+"""SSA intermediate representation: types, values, instructions, modules.
+
+The IR mirrors the slice of LLVM that the REFINE reproduction needs — enough
+to demonstrate why IR-level fault injection (LLFI-style) sees a different
+instruction population than backend/binary-level injection.
+"""
+
+from repro.ir.basicblock import BasicBlock
+from repro.ir.builder import IRBuilder
+from repro.ir.dominators import DominatorTree
+from repro.ir.function import Function
+from repro.ir.instructions import (
+    Alloca,
+    BinaryOp,
+    Branch,
+    Call,
+    Cast,
+    CondBranch,
+    FCmp,
+    GetElementPtr,
+    ICmp,
+    Instruction,
+    Load,
+    Phi,
+    Ret,
+    Select,
+    Store,
+)
+from repro.ir.module import Module
+from repro.ir.parser import parse_module, parse_type
+from repro.ir.printer import format_function, format_instruction, format_module
+from repro.ir.types import (
+    ArrayType,
+    F64,
+    FloatType,
+    FunctionType,
+    I1,
+    I64,
+    IntType,
+    PointerType,
+    Type,
+    VOID,
+    VoidType,
+    pointer_to,
+)
+from repro.ir.values import (
+    Argument,
+    Constant,
+    ConstantFloat,
+    ConstantInt,
+    GlobalVariable,
+    Value,
+)
+from repro.ir.verifier import verify_function, verify_module
+
+__all__ = [
+    "BasicBlock",
+    "IRBuilder",
+    "DominatorTree",
+    "Function",
+    "Alloca",
+    "BinaryOp",
+    "Branch",
+    "Call",
+    "Cast",
+    "CondBranch",
+    "FCmp",
+    "GetElementPtr",
+    "ICmp",
+    "Instruction",
+    "Load",
+    "Phi",
+    "Ret",
+    "Select",
+    "Store",
+    "Module",
+    "parse_module",
+    "parse_type",
+    "format_function",
+    "format_instruction",
+    "format_module",
+    "ArrayType",
+    "F64",
+    "FloatType",
+    "FunctionType",
+    "I1",
+    "I64",
+    "IntType",
+    "PointerType",
+    "Type",
+    "VOID",
+    "VoidType",
+    "pointer_to",
+    "Argument",
+    "Constant",
+    "ConstantFloat",
+    "ConstantInt",
+    "GlobalVariable",
+    "Value",
+    "verify_function",
+    "verify_module",
+]

@@ -1,0 +1,92 @@
+"""Basic blocks: straight-line instruction sequences ended by a terminator."""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Iterator
+
+from repro.errors import IRError
+from repro.ir.instructions import Branch, CondBranch, Instruction, Phi, Ret
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.ir.function import Function
+
+
+class BasicBlock:
+    """A labelled sequence of instructions within a function."""
+
+    __slots__ = ("name", "instructions", "parent")
+
+    def __init__(self, name: str, parent: "Function | None" = None) -> None:
+        self.name = name
+        self.instructions: list[Instruction] = []
+        self.parent = parent
+
+    # -- structural queries ----------------------------------------------
+
+    @property
+    def terminator(self) -> Instruction | None:
+        if self.instructions and self.instructions[-1].is_terminator:
+            return self.instructions[-1]
+        return None
+
+    @property
+    def is_terminated(self) -> bool:
+        return self.terminator is not None
+
+    def successors(self) -> list["BasicBlock"]:
+        term = self.terminator
+        if term is None:
+            return []
+        if isinstance(term, (Branch, CondBranch, Ret)):
+            return term.successors
+        raise IRError(f"unknown terminator {term.opcode}")  # pragma: no cover
+
+    def predecessors(self) -> list["BasicBlock"]:
+        """Blocks that branch here.  Computed by scanning the function."""
+        if self.parent is None:
+            raise IRError(f"block {self.name} has no parent function")
+        preds = []
+        for block in self.parent.blocks:
+            if self in block.successors():
+                preds.append(block)
+        return preds
+
+    def phis(self) -> list[Phi]:
+        result = []
+        for instr in self.instructions:
+            if isinstance(instr, Phi):
+                result.append(instr)
+            else:
+                break
+        return result
+
+    # -- mutation ----------------------------------------------------------
+
+    def append(self, instr: Instruction) -> Instruction:
+        if self.is_terminated:
+            raise IRError(f"block {self.name} is already terminated")
+        instr.parent = self
+        self.instructions.append(instr)
+        return instr
+
+    def insert(self, index: int, instr: Instruction) -> Instruction:
+        instr.parent = self
+        self.instructions.insert(index, instr)
+        return instr
+
+    def insert_before_terminator(self, instr: Instruction) -> Instruction:
+        pos = len(self.instructions) - (1 if self.is_terminated else 0)
+        return self.insert(pos, instr)
+
+    def remove(self, instr: Instruction) -> None:
+        self.instructions.remove(instr)
+        instr.parent = None
+
+    def __iter__(self) -> Iterator[Instruction]:
+        return iter(self.instructions)
+
+    def __len__(self) -> int:
+        return len(self.instructions)
+
+    def __repr__(self) -> str:
+        return f"<BasicBlock {self.name} ({len(self.instructions)} instrs)>"

@@ -1,0 +1,114 @@
+"""IRBuilder: convenience layer for emitting instructions at an insert point.
+
+Mirrors LLVM's ``IRBuilder``: the frontend lowering code positions the
+builder at a basic block and calls typed ``emit_*`` helpers that allocate
+fresh SSA names from the enclosing function.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.errors import IRError
+from repro.ir.basicblock import BasicBlock
+from repro.ir.function import Function
+from repro.ir.instructions import (
+    Alloca,
+    BinaryOp,
+    Branch,
+    Call,
+    Cast,
+    CondBranch,
+    FCmp,
+    GetElementPtr,
+    ICmp,
+    Instruction,
+    Load,
+    Phi,
+    Ret,
+    Select,
+    Store,
+)
+from repro.ir.types import Type
+from repro.ir.values import Value
+
+
+class IRBuilder:
+    """Stateful emitter appending instructions to a current block."""
+
+    def __init__(self, block: BasicBlock | None = None) -> None:
+        self.block = block
+
+    # -- positioning ---------------------------------------------------------
+
+    def set_block(self, block: BasicBlock) -> None:
+        self.block = block
+
+    @property
+    def function(self) -> Function:
+        if self.block is None or self.block.parent is None:
+            raise IRError("builder has no insertion point")
+        return self.block.parent
+
+    def _emit(self, instr: Instruction, hint: str) -> Instruction:
+        if self.block is None:
+            raise IRError("builder has no insertion point")
+        if not instr.name and not instr.type.is_void():
+            instr.name = self.function.next_name(hint)
+        return self.block.append(instr)
+
+    # -- arithmetic ------------------------------------------------------------
+
+    def binop(self, opcode: str, lhs: Value, rhs: Value) -> Value:
+        return self._emit(BinaryOp(opcode, lhs, rhs), opcode)
+
+    def icmp(self, pred: str, lhs: Value, rhs: Value) -> Value:
+        return self._emit(ICmp(pred, lhs, rhs), "cmp")
+
+    def fcmp(self, pred: str, lhs: Value, rhs: Value) -> Value:
+        return self._emit(FCmp(pred, lhs, rhs), "fcmp")
+
+    def select(self, cond: Value, if_true: Value, if_false: Value) -> Value:
+        return self._emit(Select(cond, if_true, if_false), "sel")
+
+    def cast(self, opcode: str, value: Value) -> Value:
+        return self._emit(Cast(opcode, value), opcode)
+
+    # -- memory ------------------------------------------------------------
+
+    def alloca(self, type_: Type, name_hint: str = "") -> Value:
+        instr = Alloca(type_)
+        return self._emit(instr, name_hint or "addr")
+
+    def load(self, ptr: Value, hint: str = "ld") -> Value:
+        return self._emit(Load(ptr), hint)
+
+    def store(self, value: Value, ptr: Value) -> Instruction:
+        return self._emit(Store(value, ptr), "st")
+
+    def gep(self, ptr: Value, index: Value, hint: str = "gep") -> Value:
+        return self._emit(GetElementPtr(ptr, index), hint)
+
+    # -- control flow ---------------------------------------------------------
+
+    def call(self, callee: Function, args: Sequence[Value], hint: str = "call") -> Value:
+        return self._emit(Call(callee, args), hint)
+
+    def br(self, target: BasicBlock) -> Instruction:
+        return self._emit(Branch(target), "br")
+
+    def cond_br(self, cond: Value, if_true: BasicBlock, if_false: BasicBlock) -> Instruction:
+        return self._emit(CondBranch(cond, if_true, if_false), "br")
+
+    def ret(self, value: Value | None = None) -> Instruction:
+        return self._emit(Ret(value), "ret")
+
+    def phi(self, type_: Type, hint: str = "phi") -> Phi:
+        """Phi nodes must sit at the block head, so they bypass ``append``."""
+        if self.block is None:
+            raise IRError("builder has no insertion point")
+        node = Phi(type_)
+        node.name = self.function.next_name(hint)
+        n_phis = len(self.block.phis())
+        self.block.insert(n_phis, node)
+        return node

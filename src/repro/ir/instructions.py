@@ -1,0 +1,431 @@
+"""IR instruction set.
+
+A deliberately LLVM-flavoured core: SSA values produced by arithmetic,
+comparisons, memory operations, ``phi`` nodes and calls, with ``br``/``ret``
+terminators.  Each instruction tracks its operands with use lists so the
+optimization passes can rewrite code safely.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Sequence
+
+from repro.errors import IRError
+from repro.ir.types import (
+    ArrayType,
+    F64,
+    FunctionType,
+    I1,
+    I64,
+    PointerType,
+    Type,
+    VOID,
+)
+from repro.ir.values import Value
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.ir.basicblock import BasicBlock
+    from repro.ir.function import Function
+
+
+# -- opcode groups -----------------------------------------------------------
+
+INT_BINOPS = ("add", "sub", "mul", "sdiv", "srem", "and", "or", "xor", "shl", "ashr")
+FLOAT_BINOPS = ("fadd", "fsub", "fmul", "fdiv")
+ICMP_PREDS = ("eq", "ne", "slt", "sle", "sgt", "sge")
+FCMP_PREDS = ("oeq", "one", "olt", "ole", "ogt", "oge")
+
+#: Binops whose IR-level evaluation commutes (used by CSE canonicalization).
+COMMUTATIVE_OPS = frozenset({"add", "mul", "and", "or", "xor", "fadd", "fmul"})
+
+
+class Instruction(Value):
+    """Base class: an SSA value computed inside a basic block."""
+
+    __slots__ = ("opcode", "operands", "parent")
+
+    def __init__(
+        self,
+        opcode: str,
+        type_: Type,
+        operands: Sequence[Value],
+        name: str = "",
+    ) -> None:
+        super().__init__(type_, name)
+        self.opcode = opcode
+        self.operands: list[Value] = []
+        self.parent: "BasicBlock | None" = None
+        for op in operands:
+            self._append_operand(op)
+
+    # -- operand bookkeeping -------------------------------------------------
+
+    def _append_operand(self, value: Value) -> None:
+        if not isinstance(value, Value):
+            raise IRError(f"operand of {self.opcode} is not a Value: {value!r}")
+        self.operands.append(value)
+        value.add_user(self)
+
+    def set_operand(self, index: int, value: Value) -> None:
+        old = self.operands[index]
+        old.remove_user(self)
+        self.operands[index] = value
+        value.add_user(self)
+
+    def replace_operand(self, old: Value, new: Value) -> None:
+        """Replace *every* occurrence of ``old`` among the operands."""
+        replaced = False
+        for i, op in enumerate(self.operands):
+            if op is old:
+                self.operands[i] = new
+                old.remove_user(self)
+                new.add_user(self)
+                replaced = True
+        if not replaced:  # pragma: no cover - defensive
+            raise IRError(f"{old!r} is not an operand of {self!r}")
+
+    def drop_operands(self) -> None:
+        """Release all operand uses (called when erasing the instruction)."""
+        for op in self.operands:
+            op.remove_user(self)
+        self.operands.clear()
+
+    # -- classification ------------------------------------------------------
+
+    @property
+    def is_terminator(self) -> bool:
+        return self.opcode in ("br", "condbr", "ret")
+
+    @property
+    def has_side_effects(self) -> bool:
+        return self.opcode in ("store", "call") or self.is_terminator
+
+    def erase(self) -> None:
+        """Remove this instruction from its block and drop its operands."""
+        if self.num_uses:
+            raise IRError(f"cannot erase {self!r}: it still has uses")
+        if self.parent is not None:
+            self.parent.remove(self)
+        self.drop_operands()
+
+    def __repr__(self) -> str:
+        return f"<{type(self).__name__} {self.opcode} {self.ref()}>"
+
+
+class BinaryOp(Instruction):
+    """Two-operand arithmetic/logic on ``i64`` or ``f64``."""
+
+    __slots__ = ()
+
+    def __init__(self, opcode: str, lhs: Value, rhs: Value, name: str = "") -> None:
+        if opcode in INT_BINOPS:
+            expected: Type = I64
+        elif opcode in FLOAT_BINOPS:
+            expected = F64
+        else:
+            raise IRError(f"unknown binary opcode: {opcode}")
+        if lhs.type != expected or rhs.type != expected:
+            raise IRError(
+                f"{opcode} expects {expected} operands, got {lhs.type}, {rhs.type}"
+            )
+        super().__init__(opcode, expected, [lhs, rhs], name)
+
+    @property
+    def lhs(self) -> Value:
+        return self.operands[0]
+
+    @property
+    def rhs(self) -> Value:
+        return self.operands[1]
+
+
+class CmpBase(Instruction):
+    """Shared lhs/rhs accessors for the comparison instructions."""
+
+    __slots__ = ("pred",)
+
+    @property
+    def lhs(self) -> Value:
+        return self.operands[0]
+
+    @property
+    def rhs(self) -> Value:
+        return self.operands[1]
+
+
+class ICmp(CmpBase):
+    """Signed integer comparison producing ``i1``."""
+
+    __slots__ = ()
+
+    def __init__(self, pred: str, lhs: Value, rhs: Value, name: str = "") -> None:
+        if pred not in ICMP_PREDS:
+            raise IRError(f"unknown icmp predicate: {pred}")
+        if not (lhs.type == rhs.type and (lhs.type.is_integer() or lhs.type.is_pointer())):
+            raise IRError(f"icmp operand types mismatch: {lhs.type}, {rhs.type}")
+        super().__init__("icmp", I1, [lhs, rhs], name)
+        self.pred = pred
+
+
+class FCmp(CmpBase):
+    """Ordered floating comparison producing ``i1``."""
+
+    __slots__ = ()
+
+    def __init__(self, pred: str, lhs: Value, rhs: Value, name: str = "") -> None:
+        if pred not in FCMP_PREDS:
+            raise IRError(f"unknown fcmp predicate: {pred}")
+        if lhs.type != F64 or rhs.type != F64:
+            raise IRError(f"fcmp expects f64 operands, got {lhs.type}, {rhs.type}")
+        super().__init__("fcmp", I1, [lhs, rhs], name)
+        self.pred = pred
+
+
+class Select(Instruction):
+    """``select i1 %c, T %a, T %b`` — branchless conditional value."""
+
+    __slots__ = ()
+
+    def __init__(self, cond: Value, if_true: Value, if_false: Value, name: str = "") -> None:
+        if cond.type != I1:
+            raise IRError(f"select condition must be i1, got {cond.type}")
+        if if_true.type != if_false.type:
+            raise IRError("select arm types differ")
+        super().__init__("select", if_true.type, [cond, if_true, if_false], name)
+
+    @property
+    def cond(self) -> Value:
+        return self.operands[0]
+
+
+class Alloca(Instruction):
+    """Stack slot for a scalar or array; yields a pointer."""
+
+    __slots__ = ("allocated_type",)
+
+    def __init__(self, allocated_type: Type, name: str = "") -> None:
+        if not (allocated_type.is_scalar() or allocated_type.is_array()):
+            raise IRError(f"cannot alloca type {allocated_type}")
+        super().__init__("alloca", PointerType(allocated_type), [], name)
+        self.allocated_type = allocated_type
+
+
+class Load(Instruction):
+    """Load a scalar through a pointer."""
+
+    __slots__ = ()
+
+    def __init__(self, ptr: Value, name: str = "") -> None:
+        if not ptr.type.is_pointer():
+            raise IRError(f"load needs a pointer operand, got {ptr.type}")
+        pointee = ptr.type.pointee  # type: ignore[attr-defined]
+        if not pointee.is_scalar():
+            raise IRError(f"cannot load value of type {pointee}")
+        super().__init__("load", pointee, [ptr], name)
+
+    @property
+    def ptr(self) -> Value:
+        return self.operands[0]
+
+
+class Store(Instruction):
+    """Store a scalar through a pointer.  Produces no value."""
+
+    __slots__ = ()
+
+    def __init__(self, value: Value, ptr: Value) -> None:
+        if not ptr.type.is_pointer():
+            raise IRError(f"store needs a pointer operand, got {ptr.type}")
+        pointee = ptr.type.pointee  # type: ignore[attr-defined]
+        if value.type != pointee:
+            raise IRError(f"store type mismatch: {value.type} into {ptr.type}")
+        super().__init__("store", VOID, [value, ptr])
+
+    @property
+    def value(self) -> Value:
+        return self.operands[0]
+
+    @property
+    def ptr(self) -> Value:
+        return self.operands[1]
+
+
+class GetElementPtr(Instruction):
+    """Pointer arithmetic: index into an array or offset a scalar pointer.
+
+    For a pointer to ``[N x T]`` the result is ``T*`` (array decay + index);
+    for a pointer to scalar ``T`` the result is ``T*`` (element offset).
+    """
+
+    __slots__ = ("element_type",)
+
+    def __init__(self, ptr: Value, index: Value, name: str = "") -> None:
+        if not ptr.type.is_pointer():
+            raise IRError(f"gep needs a pointer operand, got {ptr.type}")
+        if index.type != I64:
+            raise IRError(f"gep index must be i64, got {index.type}")
+        pointee = ptr.type.pointee  # type: ignore[attr-defined]
+        if isinstance(pointee, ArrayType):
+            element = pointee.element
+        elif pointee.is_scalar():
+            element = pointee
+        else:
+            raise IRError(f"cannot gep into {pointee}")
+        super().__init__("gep", PointerType(element), [ptr, index], name)
+        self.element_type = element
+
+    @property
+    def ptr(self) -> Value:
+        return self.operands[0]
+
+    @property
+    def index(self) -> Value:
+        return self.operands[1]
+
+
+class Cast(Instruction):
+    """Type conversions: ``sitofp``, ``fptosi``, ``zext`` (i1 → i64)."""
+
+    __slots__ = ()
+
+    _RULES = {
+        "sitofp": (I64, F64),
+        "fptosi": (F64, I64),
+        "zext": (I1, I64),
+    }
+
+    def __init__(self, opcode: str, value: Value, name: str = "") -> None:
+        if opcode not in self._RULES:
+            raise IRError(f"unknown cast opcode: {opcode}")
+        src, dst = self._RULES[opcode]
+        if value.type != src:
+            raise IRError(f"{opcode} expects {src}, got {value.type}")
+        super().__init__(opcode, dst, [value], name)
+
+
+class Call(Instruction):
+    """Direct call to a function (defined, declared, or runtime intrinsic)."""
+
+    __slots__ = ("callee",)
+
+    def __init__(self, callee: "Function", args: Sequence[Value], name: str = "") -> None:
+        ftype = callee.type
+        if not isinstance(ftype, FunctionType):  # pragma: no cover - defensive
+            raise IRError(f"call target {callee.name} is not a function")
+        if len(args) != len(ftype.params):
+            raise IRError(
+                f"call to @{callee.name}: expected {len(ftype.params)} args, "
+                f"got {len(args)}"
+            )
+        for i, (arg, want) in enumerate(zip(args, ftype.params)):
+            if arg.type != want:
+                raise IRError(
+                    f"call to @{callee.name}: arg {i} has type {arg.type}, "
+                    f"expected {want}"
+                )
+        super().__init__("call", ftype.ret, list(args), name)
+        self.callee = callee
+
+    @property
+    def args(self) -> list[Value]:
+        return self.operands
+
+
+class Branch(Instruction):
+    """Unconditional ``br label`` terminator."""
+
+    __slots__ = ("target",)
+
+    def __init__(self, target: "BasicBlock") -> None:
+        super().__init__("br", VOID, [])
+        self.target = target
+
+    @property
+    def successors(self) -> list["BasicBlock"]:
+        return [self.target]
+
+    def replace_successor(self, old: "BasicBlock", new: "BasicBlock") -> None:
+        if self.target is old:
+            self.target = new
+
+
+class CondBranch(Instruction):
+    """Conditional ``br i1 %c, label %t, label %f`` terminator."""
+
+    __slots__ = ("if_true", "if_false")
+
+    def __init__(self, cond: Value, if_true: "BasicBlock", if_false: "BasicBlock") -> None:
+        if cond.type != I1:
+            raise IRError(f"branch condition must be i1, got {cond.type}")
+        super().__init__("condbr", VOID, [cond])
+        self.if_true = if_true
+        self.if_false = if_false
+
+    @property
+    def cond(self) -> Value:
+        return self.operands[0]
+
+    @property
+    def successors(self) -> list["BasicBlock"]:
+        return [self.if_true, self.if_false]
+
+    def replace_successor(self, old: "BasicBlock", new: "BasicBlock") -> None:
+        if self.if_true is old:
+            self.if_true = new
+        if self.if_false is old:
+            self.if_false = new
+
+
+class Ret(Instruction):
+    """Function return, optionally with a value."""
+
+    __slots__ = ()
+
+    def __init__(self, value: Value | None = None) -> None:
+        super().__init__("ret", VOID, [] if value is None else [value])
+
+    @property
+    def value(self) -> Value | None:
+        return self.operands[0] if self.operands else None
+
+    @property
+    def successors(self) -> list["BasicBlock"]:
+        return []
+
+
+class Phi(Instruction):
+    """SSA phi node.  Incoming blocks are kept parallel to the operands."""
+
+    __slots__ = ("incoming_blocks",)
+
+    def __init__(self, type_: Type, name: str = "") -> None:
+        if not type_.is_scalar():
+            raise IRError(f"phi of type {type_} is not supported")
+        super().__init__("phi", type_, [], name)
+        self.incoming_blocks: list["BasicBlock"] = []
+
+    def add_incoming(self, value: Value, block: "BasicBlock") -> None:
+        if value.type != self.type:
+            raise IRError(
+                f"phi incoming type {value.type} does not match {self.type}"
+            )
+        self._append_operand(value)
+        self.incoming_blocks.append(block)
+
+    def incoming(self) -> list[tuple[Value, "BasicBlock"]]:
+        return list(zip(self.operands, self.incoming_blocks))
+
+    def incoming_for(self, block: "BasicBlock") -> Value:
+        for value, blk in zip(self.operands, self.incoming_blocks):
+            if blk is block:
+                return value
+        raise IRError(f"phi {self.ref()} has no incoming value for {block.name}")
+
+    def remove_incoming(self, block: "BasicBlock") -> None:
+        for i, blk in enumerate(self.incoming_blocks):
+            if blk is block:
+                op = self.operands.pop(i)
+                op.remove_user(self)
+                self.incoming_blocks.pop(i)
+                return
+        raise IRError(f"phi {self.ref()} has no incoming edge from {block.name}")

@@ -1,0 +1,78 @@
+"""Module: the IR compilation unit (globals + functions)."""
+
+from __future__ import annotations
+
+from repro.errors import IRError
+from repro.ir.function import Function
+from repro.ir.types import FunctionType, Type
+from repro.ir.values import GlobalVariable
+
+
+class Module:
+    """Top-level container of functions and global variables."""
+
+    def __init__(self, name: str = "module") -> None:
+        self.name = name
+        self.functions: dict[str, Function] = {}
+        self.globals: dict[str, GlobalVariable] = {}
+
+    # -- functions ---------------------------------------------------------
+
+    def add_function(
+        self,
+        name: str,
+        ftype: FunctionType,
+        arg_names: list[str] | None = None,
+    ) -> Function:
+        if name in self.functions:
+            raise IRError(f"function @{name} already defined in module")
+        fn = Function(name, ftype, arg_names, module=self)
+        self.functions[name] = fn
+        return fn
+
+    def declare_function(self, name: str, ftype: FunctionType) -> Function:
+        """Get-or-create a declaration (used for intrinsics and FI stubs)."""
+        existing = self.functions.get(name)
+        if existing is not None:
+            if existing.type != ftype:
+                raise IRError(
+                    f"conflicting declaration for @{name}: "
+                    f"{existing.type} vs {ftype}"
+                )
+            return existing
+        return self.add_function(name, ftype)
+
+    def get_function(self, name: str) -> Function:
+        try:
+            return self.functions[name]
+        except KeyError:
+            raise IRError(f"module has no function @{name}") from None
+
+    def defined_functions(self) -> list[Function]:
+        return [f for f in self.functions.values() if not f.is_declaration]
+
+    # -- globals -------------------------------------------------------------
+
+    def add_global(
+        self,
+        name: str,
+        value_type: Type,
+        initializer=None,
+    ) -> GlobalVariable:
+        if name in self.globals:
+            raise IRError(f"global @{name} already defined in module")
+        gv = GlobalVariable(name, value_type, initializer)
+        self.globals[name] = gv
+        return gv
+
+    def get_global(self, name: str) -> GlobalVariable:
+        try:
+            return self.globals[name]
+        except KeyError:
+            raise IRError(f"module has no global @{name}") from None
+
+    def __repr__(self) -> str:
+        return (
+            f"<Module {self.name}: {len(self.functions)} functions, "
+            f"{len(self.globals)} globals>"
+        )

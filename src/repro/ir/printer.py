@@ -1,0 +1,120 @@
+"""Textual IR printing in an LLVM-like syntax.
+
+The exact format is stable so tests can assert on it, and examples can show
+the same "IR vs machine code" contrast as Listings 1 and 2 of the paper.
+"""
+
+from __future__ import annotations
+
+from repro.ir.function import Function
+from repro.ir.instructions import (
+    Alloca,
+    Branch,
+    Call,
+    Cast,
+    CondBranch,
+    FCmp,
+    GetElementPtr,
+    ICmp,
+    Instruction,
+    Load,
+    Phi,
+    Ret,
+    Select,
+    Store,
+)
+from repro.ir.module import Module
+from repro.ir.values import GlobalVariable
+
+
+def format_instruction(instr: Instruction) -> str:
+    """Render a single instruction (without indentation)."""
+    if isinstance(instr, Alloca):
+        return f"%{instr.name} = alloca {instr.allocated_type}"
+    if isinstance(instr, Load):
+        return f"%{instr.name} = load {instr.type}, {instr.ptr.type} {instr.ptr.ref()}"
+    if isinstance(instr, Store):
+        return (
+            f"store {instr.value.type} {instr.value.ref()}, "
+            f"{instr.ptr.type} {instr.ptr.ref()}"
+        )
+    if isinstance(instr, GetElementPtr):
+        return (
+            f"%{instr.name} = getelementptr {instr.ptr.type} {instr.ptr.ref()}, "
+            f"i64 {instr.index.ref()}"
+        )
+    if isinstance(instr, ICmp):
+        return (
+            f"%{instr.name} = icmp {instr.pred} {instr.lhs.type} "
+            f"{instr.lhs.ref()}, {instr.rhs.ref()}"
+        )
+    if isinstance(instr, FCmp):
+        return (
+            f"%{instr.name} = fcmp {instr.pred} f64 "
+            f"{instr.lhs.ref()}, {instr.rhs.ref()}"
+        )
+    if isinstance(instr, Select):
+        c, t, f = instr.operands
+        return (
+            f"%{instr.name} = select i1 {c.ref()}, {t.type} {t.ref()}, "
+            f"{f.type} {f.ref()}"
+        )
+    if isinstance(instr, Cast):
+        src = instr.operands[0]
+        return (
+            f"%{instr.name} = {instr.opcode} {src.type} {src.ref()} to {instr.type}"
+        )
+    if isinstance(instr, Call):
+        args = ", ".join(f"{a.type} {a.ref()}" for a in instr.args)
+        if instr.type.is_void():
+            return f"call void @{instr.callee.name}({args})"
+        return f"%{instr.name} = call {instr.type} @{instr.callee.name}({args})"
+    if isinstance(instr, Branch):
+        return f"br label %{instr.target.name}"
+    if isinstance(instr, CondBranch):
+        return (
+            f"br i1 {instr.cond.ref()}, label %{instr.if_true.name}, "
+            f"label %{instr.if_false.name}"
+        )
+    if isinstance(instr, Ret):
+        if instr.value is None:
+            return "ret void"
+        return f"ret {instr.value.type} {instr.value.ref()}"
+    if isinstance(instr, Phi):
+        pairs = ", ".join(
+            f"[ {v.ref()}, %{b.name} ]" for v, b in instr.incoming()
+        )
+        return f"%{instr.name} = phi {instr.type} {pairs}"
+    # Generic binary op fallthrough.
+    lhs, rhs = instr.operands
+    return f"%{instr.name} = {instr.opcode} {instr.type} {lhs.ref()}, {rhs.ref()}"
+
+
+def format_function(fn: Function) -> str:
+    ftype = fn.type
+    params = ", ".join(
+        f"{a.type} %{a.name}" for a in fn.args
+    )
+    if fn.is_declaration:
+        return f"declare {ftype.ret} @{fn.name}({params})"
+    lines = [f"define {ftype.ret} @{fn.name}({params}) {{"]
+    for block in fn.blocks:
+        lines.append(f"{block.name}:")
+        for instr in block.instructions:
+            lines.append(f"  {format_instruction(instr)}")
+    lines.append("}")
+    return "\n".join(lines)
+
+
+def format_global(gv: GlobalVariable) -> str:
+    return f"@{gv.name} = global {gv.value_type} {gv.initializer!r}"
+
+
+def format_module(module: Module) -> str:
+    parts = [f"; module {module.name}"]
+    for gv in module.globals.values():
+        parts.append(format_global(gv))
+    for fn in module.functions.values():
+        parts.append("")
+        parts.append(format_function(fn))
+    return "\n".join(parts) + "\n"

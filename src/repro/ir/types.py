@@ -1,0 +1,188 @@
+"""Type system for the intermediate representation.
+
+Mirrors the slice of LLVM's type system the reproduction needs: ``i1`` for
+compare results, ``i64`` for integers and pointers-as-integers arithmetic,
+``f64`` for floating point, typed pointers, fixed-size arrays and function
+types.  Types are immutable and compared structurally; the common scalar
+types are exposed as module-level singletons (``I1``, ``I64``, ``F64``,
+``VOID``).
+"""
+
+from __future__ import annotations
+
+from repro.errors import IRError
+
+
+class Type:
+    """Base class of all IR types."""
+
+    def __eq__(self, other: object) -> bool:  # pragma: no cover - trivial
+        return type(self) is type(other)
+
+    def __hash__(self) -> int:
+        return hash(type(self))
+
+    def __repr__(self) -> str:
+        return str(self)
+
+    @property
+    def size_bytes(self) -> int:
+        """Storage footprint of a value of this type, in bytes."""
+        raise IRError(f"type {self} has no storage size")
+
+    def is_integer(self) -> bool:
+        return isinstance(self, IntType)
+
+    def is_float(self) -> bool:
+        return isinstance(self, FloatType)
+
+    def is_pointer(self) -> bool:
+        return isinstance(self, PointerType)
+
+    def is_void(self) -> bool:
+        return isinstance(self, VoidType)
+
+    def is_array(self) -> bool:
+        return isinstance(self, ArrayType)
+
+    def is_scalar(self) -> bool:
+        """True for types that fit in one machine register."""
+        return self.is_integer() or self.is_float() or self.is_pointer()
+
+
+class VoidType(Type):
+    """Absence of a value (function returns only)."""
+
+    def __str__(self) -> str:
+        return "void"
+
+
+class IntType(Type):
+    """Integer type of a fixed bit width (``i1`` or ``i64`` in practice)."""
+
+    __slots__ = ("bits",)
+
+    def __init__(self, bits: int) -> None:
+        if bits not in (1, 8, 32, 64):
+            raise IRError(f"unsupported integer width: {bits}")
+        self.bits = bits
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, IntType) and other.bits == self.bits
+
+    def __hash__(self) -> int:
+        return hash(("int", self.bits))
+
+    def __str__(self) -> str:
+        return f"i{self.bits}"
+
+    @property
+    def size_bytes(self) -> int:
+        return max(1, self.bits // 8)
+
+
+class FloatType(Type):
+    """IEEE-754 binary64."""
+
+    def __str__(self) -> str:
+        return "f64"
+
+    @property
+    def size_bytes(self) -> int:
+        return 8
+
+
+class PointerType(Type):
+    """Pointer to a pointee type.  Stored as a 64-bit machine word."""
+
+    __slots__ = ("pointee",)
+
+    def __init__(self, pointee: Type) -> None:
+        if pointee.is_void():
+            raise IRError("pointer to void is not supported; use i8*")
+        self.pointee = pointee
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, PointerType) and other.pointee == self.pointee
+
+    def __hash__(self) -> int:
+        return hash(("ptr", self.pointee))
+
+    def __str__(self) -> str:
+        return f"{self.pointee}*"
+
+    @property
+    def size_bytes(self) -> int:
+        return 8
+
+
+class ArrayType(Type):
+    """Fixed-length homogeneous array, e.g. ``[27 x i64]``."""
+
+    __slots__ = ("element", "count")
+
+    def __init__(self, element: Type, count: int) -> None:
+        if count <= 0:
+            raise IRError(f"array length must be positive, got {count}")
+        if not element.is_scalar() and not element.is_array():
+            raise IRError(f"invalid array element type: {element}")
+        self.element = element
+        self.count = count
+
+    def __eq__(self, other: object) -> bool:
+        return (
+            isinstance(other, ArrayType)
+            and other.element == self.element
+            and other.count == self.count
+        )
+
+    def __hash__(self) -> int:
+        return hash(("array", self.element, self.count))
+
+    def __str__(self) -> str:
+        return f"[{self.count} x {self.element}]"
+
+    @property
+    def size_bytes(self) -> int:
+        return self.element.size_bytes * self.count
+
+
+class FunctionType(Type):
+    """Signature of a function: return type plus parameter types."""
+
+    __slots__ = ("ret", "params")
+
+    def __init__(self, ret: Type, params: tuple[Type, ...] | list[Type]) -> None:
+        for p in params:
+            if not p.is_scalar():
+                raise IRError(f"function parameter type must be scalar, got {p}")
+        if not (ret.is_scalar() or ret.is_void()):
+            raise IRError(f"function return type must be scalar or void, got {ret}")
+        self.ret = ret
+        self.params = tuple(params)
+
+    def __eq__(self, other: object) -> bool:
+        return (
+            isinstance(other, FunctionType)
+            and other.ret == self.ret
+            and other.params == self.params
+        )
+
+    def __hash__(self) -> int:
+        return hash(("fn", self.ret, self.params))
+
+    def __str__(self) -> str:
+        params = ", ".join(str(p) for p in self.params)
+        return f"{self.ret} ({params})"
+
+
+#: Singleton instances for the common scalar types.
+VOID = VoidType()
+I1 = IntType(1)
+I64 = IntType(64)
+F64 = FloatType()
+
+
+def pointer_to(pointee: Type) -> PointerType:
+    """Convenience constructor mirroring LLVM's ``Type::getPointerTo``."""
+    return PointerType(pointee)

@@ -1,0 +1,163 @@
+"""Value hierarchy of the IR: constants, globals, arguments.
+
+Instructions (which are also values) live in :mod:`repro.ir.instructions`.
+Use-def chains are tracked on each :class:`Value` as a list of using
+instructions, enough to implement ``replace_all_uses_with`` for the
+optimization passes.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Iterable
+
+from repro.errors import IRError
+from repro.ir.types import ArrayType, F64, I1, I64, PointerType, Type
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.ir.instructions import Instruction
+
+
+class Value:
+    """Anything that can appear as an instruction operand."""
+
+    __slots__ = ("type", "name", "users")
+
+    def __init__(self, type_: Type, name: str = "") -> None:
+        self.type = type_
+        self.name = name
+        #: Instructions currently using this value (with multiplicity).
+        self.users: list["Instruction"] = []
+
+    # -- use-def maintenance -------------------------------------------------
+
+    def add_user(self, instr: "Instruction") -> None:
+        self.users.append(instr)
+
+    def remove_user(self, instr: "Instruction") -> None:
+        try:
+            self.users.remove(instr)
+        except ValueError as exc:  # pragma: no cover - defensive
+            raise IRError(f"{instr} is not a user of {self}") from exc
+
+    @property
+    def num_uses(self) -> int:
+        return len(self.users)
+
+    def replace_all_uses_with(self, other: "Value") -> None:
+        """Rewrite every operand referring to ``self`` to refer to ``other``."""
+        if other is self:
+            return
+        # A user appears once per operand slot; replace_operand rewrites all
+        # of that user's slots at once, so visit each user only once.
+        seen: set[int] = set()
+        for user in list(self.users):
+            if id(user) not in seen:
+                seen.add(id(user))
+                user.replace_operand(self, other)
+
+    # -- printing ------------------------------------------------------------
+
+    def ref(self) -> str:
+        """Short reference used when this value appears as an operand."""
+        return f"%{self.name}"
+
+    def __repr__(self) -> str:
+        return f"<{type(self).__name__} {self.ref()}: {self.type}>"
+
+
+class Constant(Value):
+    """Base class for immediates."""
+
+    __slots__ = ()
+
+
+class ConstantInt(Constant):
+    """Integer immediate of type ``i1`` or ``i64``."""
+
+    __slots__ = ("value",)
+
+    def __init__(self, value: int, type_: Type = I64) -> None:
+        if not type_.is_integer():
+            raise IRError(f"ConstantInt needs an integer type, got {type_}")
+        bits = type_.bits  # type: ignore[attr-defined]
+        lo = -(1 << (bits - 1)) if bits > 1 else 0
+        hi = (1 << (bits - 1)) - 1 if bits > 1 else 1
+        if not lo <= value <= hi:
+            raise IRError(f"constant {value} does not fit in i{bits}")
+        super().__init__(type_)
+        self.value = value
+
+    def ref(self) -> str:
+        return str(self.value)
+
+    def __repr__(self) -> str:
+        return f"<ConstantInt {self.value}: {self.type}>"
+
+
+class ConstantFloat(Constant):
+    """Double-precision immediate."""
+
+    __slots__ = ("value",)
+
+    def __init__(self, value: float) -> None:
+        super().__init__(F64)
+        self.value = float(value)
+
+    def ref(self) -> str:
+        return repr(self.value)
+
+    def __repr__(self) -> str:
+        return f"<ConstantFloat {self.value}>"
+
+
+TRUE = ConstantInt(1, I1)
+FALSE = ConstantInt(0, I1)
+
+
+class GlobalVariable(Value):
+    """Module-level storage (scalars or arrays) with an optional initializer.
+
+    The value itself has pointer type (like LLVM globals); ``value_type`` is
+    the pointee.
+    """
+
+    __slots__ = ("value_type", "initializer")
+
+    def __init__(
+        self,
+        name: str,
+        value_type: Type,
+        initializer: Iterable[float] | Iterable[int] | int | float | None = None,
+    ) -> None:
+        if not (value_type.is_scalar() or value_type.is_array()):
+            raise IRError(f"global of type {value_type} is not supported")
+        super().__init__(PointerType(value_type), name)
+        self.value_type = value_type
+        if initializer is None:
+            if isinstance(value_type, ArrayType):
+                initializer = [0] * value_type.count
+            else:
+                initializer = 0
+        if isinstance(value_type, ArrayType):
+            init_list = list(initializer)  # type: ignore[arg-type]
+            if len(init_list) != value_type.count:
+                raise IRError(
+                    f"initializer length {len(init_list)} != array length "
+                    f"{value_type.count} for @{name}"
+                )
+            self.initializer: object = init_list
+        else:
+            self.initializer = initializer
+
+    def ref(self) -> str:
+        return f"@{self.name}"
+
+
+class Argument(Value):
+    """Formal parameter of a function."""
+
+    __slots__ = ("index",)
+
+    def __init__(self, type_: Type, name: str, index: int) -> None:
+        super().__init__(type_, name)
+        self.index = index

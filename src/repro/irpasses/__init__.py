@@ -1,0 +1,33 @@
+"""IR optimization passes and pipelines (O0/O1/O2)."""
+
+from repro.irpasses.base import (
+    FunctionPass,
+    PassManager,
+    build_pipeline,
+    optimize_module,
+)
+from repro.irpasses.constfold import ConstantFold, c_sdiv, c_srem
+from repro.irpasses.cse import CommonSubexprElim
+from repro.irpasses.dce import DeadCodeElim
+from repro.irpasses.instcombine import InstCombine
+from repro.irpasses.licm import LoopInvariantCodeMotion, NaturalLoop, find_loops
+from repro.irpasses.mem2reg import PromoteMemToReg
+from repro.irpasses.simplifycfg import SimplifyCFG
+
+__all__ = [
+    "FunctionPass",
+    "PassManager",
+    "build_pipeline",
+    "optimize_module",
+    "ConstantFold",
+    "c_sdiv",
+    "c_srem",
+    "CommonSubexprElim",
+    "DeadCodeElim",
+    "InstCombine",
+    "LoopInvariantCodeMotion",
+    "NaturalLoop",
+    "find_loops",
+    "PromoteMemToReg",
+    "SimplifyCFG",
+]

@@ -1,0 +1,132 @@
+"""Pass infrastructure: FunctionPass base class and the PassManager.
+
+The manager mirrors LLVM's ``opt`` pipelines: named optimization levels
+(``O0``/``O1``/``O2``) assemble a fixed sequence of passes; each pass reports
+whether it changed the function so pipelines can iterate to fixpoint.
+"""
+
+from __future__ import annotations
+
+from repro.errors import PassError
+from repro.ir.function import Function
+from repro.ir.module import Module
+from repro.ir.verifier import verify_function
+
+
+class FunctionPass:
+    """Base class: transforms one function, returns True if it changed it."""
+
+    #: short name used in pipeline descriptions and logs
+    name = "pass"
+
+    def run(self, fn: Function) -> bool:
+        raise NotImplementedError
+
+    def __repr__(self) -> str:
+        return f"<{type(self).__name__}>"
+
+
+class PassManager:
+    """Runs a sequence of function passes over every defined function."""
+
+    def __init__(self, passes: list[FunctionPass], verify_each: bool = False) -> None:
+        self.passes = passes
+        self.verify_each = verify_each
+        #: per-pass change counters from the last ``run`` call
+        self.stats: dict[str, int] = {}
+
+    def run(self, module: Module) -> bool:
+        """Apply every pass once per function.  Returns True on any change."""
+        self.stats = {p.name: 0 for p in self.passes}
+        changed_any = False
+        for fn in module.defined_functions():
+            for p in self.passes:
+                try:
+                    changed = p.run(fn)
+                except PassError:
+                    raise
+                except Exception as exc:  # pragma: no cover - diagnostics
+                    raise PassError(f"pass {p.name} failed on @{fn.name}: {exc}") from exc
+                if changed:
+                    self.stats[p.name] += 1
+                    changed_any = True
+                if self.verify_each:
+                    verify_function(fn)
+        return changed_any
+
+    def run_to_fixpoint(self, module: Module, max_iters: int = 8) -> int:
+        """Repeat the pipeline until no pass makes a change. Returns #iters."""
+        total_stats: dict[str, int] = {}
+        for iteration in range(1, max_iters + 1):
+            changed = self.run(module)
+            for k, v in self.stats.items():
+                total_stats[k] = total_stats.get(k, 0) + v
+            if not changed:
+                self.stats = total_stats
+                return iteration
+        self.stats = total_stats
+        return max_iters
+
+
+def build_pipeline(level: str, verify_each: bool = False) -> PassManager:
+    """Construct the pass pipeline for an optimization level.
+
+    * ``O0`` — no optimization: the frontend's alloca/load/store code goes to
+      the backend untouched (like ``clang -O0``).
+    * ``O1`` — SSA promotion plus scalar cleanups.
+    * ``O2`` — O1 plus CSE across blocks and loop-invariant code motion,
+      iterated to fixpoint (what the paper's ``-O3`` workflow approximates).
+    """
+    # Imports here to avoid cycles at package import time.
+    from repro.irpasses.constfold import ConstantFold
+    from repro.irpasses.cse import CommonSubexprElim
+    from repro.irpasses.dce import DeadCodeElim
+    from repro.irpasses.instcombine import InstCombine
+    from repro.irpasses.licm import LoopInvariantCodeMotion
+    from repro.irpasses.mem2reg import PromoteMemToReg
+    from repro.irpasses.simplifycfg import SimplifyCFG
+
+    if level == "O0":
+        return PassManager([], verify_each=verify_each)
+    if level == "O1":
+        return PassManager(
+            [
+                PromoteMemToReg(),
+                InstCombine(),
+                ConstantFold(),
+                CommonSubexprElim(),
+                DeadCodeElim(),
+                SimplifyCFG(),
+            ],
+            verify_each=verify_each,
+        )
+    if level == "O2":
+        return PassManager(
+            [
+                PromoteMemToReg(),
+                InstCombine(),
+                ConstantFold(),
+                CommonSubexprElim(),
+                DeadCodeElim(),
+                SimplifyCFG(),
+                LoopInvariantCodeMotion(),
+                InstCombine(),
+                ConstantFold(),
+                CommonSubexprElim(),
+                DeadCodeElim(),
+                SimplifyCFG(),
+            ],
+            verify_each=verify_each,
+        )
+    raise PassError(f"unknown optimization level: {level}")
+
+
+def optimize_module(module: Module, level: str = "O2", verify_each: bool = False) -> None:
+    """Convenience wrapper: run the named pipeline to fixpoint and verify."""
+    pm = build_pipeline(level, verify_each=verify_each)
+    if level == "O2":
+        pm.run_to_fixpoint(module)
+    else:
+        pm.run(module)
+    for fn in module.defined_functions():
+        verify_function(fn)

@@ -1,0 +1,178 @@
+"""Constant folding with C evaluation semantics.
+
+Integer division truncates toward zero and remainder takes the dividend's
+sign (C99), unlike Python's floor semantics — the VM implements the same
+rules, so folding is observation-equivalent.  Folds that would trap at
+runtime (division by zero) or overflow (``INT64_MIN / -1``) are left alone.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.ir.function import Function
+from repro.ir.instructions import (
+    BinaryOp,
+    Cast,
+    FCmp,
+    ICmp,
+    Select,
+)
+from repro.ir.types import I1, I64
+from repro.ir.values import ConstantFloat, ConstantInt, Value
+from repro.irpasses.base import FunctionPass
+from repro.utils.bits import INT64_MAX, INT64_MIN, to_signed64
+
+
+def c_sdiv(a: int, b: int) -> int:
+    """C99 signed division: truncation toward zero, 64-bit wrap."""
+    q = abs(a) // abs(b)
+    if (a < 0) != (b < 0):
+        q = -q
+    return to_signed64(q)
+
+
+def c_srem(a: int, b: int) -> int:
+    """C99 signed remainder: sign follows the dividend."""
+    r = abs(a) % abs(b)
+    if a < 0:
+        r = -r
+    return to_signed64(r)
+
+
+def eval_int_binop(opcode: str, a: int, b: int) -> int | None:
+    """Evaluate an i64 binop; None when the fold must be skipped."""
+    if opcode == "add":
+        return to_signed64(a + b)
+    if opcode == "sub":
+        return to_signed64(a - b)
+    if opcode == "mul":
+        return to_signed64(a * b)
+    if opcode == "sdiv":
+        if b == 0 or (a == INT64_MIN and b == -1):
+            return None
+        return c_sdiv(a, b)
+    if opcode == "srem":
+        if b == 0 or (a == INT64_MIN and b == -1):
+            return None
+        return c_srem(a, b)
+    if opcode == "and":
+        return to_signed64(a & b)
+    if opcode == "or":
+        return to_signed64(a | b)
+    if opcode == "xor":
+        return to_signed64(a ^ b)
+    if opcode == "shl":
+        if not 0 <= b < 64:
+            return None
+        return to_signed64(a << b)
+    if opcode == "ashr":
+        if not 0 <= b < 64:
+            return None
+        return to_signed64(a >> b)
+    return None
+
+
+def eval_float_binop(opcode: str, a: float, b: float) -> float | None:
+    """Evaluate an f64 binop with IEEE semantics (inf/nan propagate)."""
+    try:
+        if opcode == "fadd":
+            return a + b
+        if opcode == "fsub":
+            return a - b
+        if opcode == "fmul":
+            return a * b
+        if opcode == "fdiv":
+            if b == 0.0:
+                # IEEE: x/0 = +-inf, 0/0 = nan; Python raises instead.
+                if a == 0.0 or math.isnan(a):
+                    return math.nan
+                return math.copysign(math.inf, a) * math.copysign(1.0, b)
+            return a / b
+    except OverflowError:
+        return math.inf
+    return None
+
+
+_ICMP = {
+    "eq": lambda a, b: a == b,
+    "ne": lambda a, b: a != b,
+    "slt": lambda a, b: a < b,
+    "sle": lambda a, b: a <= b,
+    "sgt": lambda a, b: a > b,
+    "sge": lambda a, b: a >= b,
+}
+
+_FCMP = {
+    "oeq": lambda a, b: a == b,
+    "one": lambda a, b: a != b and not (math.isnan(a) or math.isnan(b)),
+    "olt": lambda a, b: a < b,
+    "ole": lambda a, b: a <= b,
+    "ogt": lambda a, b: a > b,
+    "oge": lambda a, b: a >= b,
+}
+
+
+class ConstantFold(FunctionPass):
+    """Fold instructions whose operands are all constants."""
+
+    name = "constfold"
+
+    def run(self, fn: Function) -> bool:
+        changed = False
+        for block in fn.blocks:
+            for instr in list(block.instructions):
+                replacement = self._fold(instr)
+                if replacement is not None:
+                    instr.replace_all_uses_with(replacement)
+                    if instr.num_uses == 0:
+                        instr.erase()
+                    changed = True
+        return changed
+
+    @staticmethod
+    def _fold(instr) -> Value | None:
+        if isinstance(instr, BinaryOp):
+            lhs, rhs = instr.operands
+            if isinstance(lhs, ConstantInt) and isinstance(rhs, ConstantInt):
+                value = eval_int_binop(instr.opcode, lhs.value, rhs.value)
+                if value is not None:
+                    return ConstantInt(value, I64)
+            if isinstance(lhs, ConstantFloat) and isinstance(rhs, ConstantFloat):
+                value = eval_float_binop(instr.opcode, lhs.value, rhs.value)
+                if value is not None:
+                    return ConstantFloat(value)
+            return None
+        if isinstance(instr, ICmp):
+            lhs, rhs = instr.operands
+            if isinstance(lhs, ConstantInt) and isinstance(rhs, ConstantInt):
+                return ConstantInt(int(_ICMP[instr.pred](lhs.value, rhs.value)), I1)
+            return None
+        if isinstance(instr, FCmp):
+            lhs, rhs = instr.operands
+            if isinstance(lhs, ConstantFloat) and isinstance(rhs, ConstantFloat):
+                return ConstantInt(int(_FCMP[instr.pred](lhs.value, rhs.value)), I1)
+            return None
+        if isinstance(instr, Cast):
+            src = instr.operands[0]
+            if instr.opcode == "sitofp" and isinstance(src, ConstantInt):
+                return ConstantFloat(float(src.value))
+            if instr.opcode == "fptosi" and isinstance(src, ConstantFloat):
+                v = src.value
+                if math.isnan(v) or math.isinf(v):
+                    return None
+                t = math.trunc(v)
+                if not INT64_MIN <= t <= INT64_MAX:
+                    return None
+                return ConstantInt(t, I64)
+            if instr.opcode == "zext" and isinstance(src, ConstantInt):
+                return ConstantInt(src.value & 1, I64)
+            return None
+        if isinstance(instr, Select):
+            cond, t, f = instr.operands
+            if isinstance(cond, ConstantInt):
+                return t if cond.value else f
+            if t is f:
+                return t
+            return None
+        return None

@@ -1,0 +1,44 @@
+"""Dead code elimination (mark and sweep).
+
+Roots are instructions with side effects (stores, calls, terminators); every
+instruction transitively feeding a root is live, everything else is erased.
+Mark-and-sweep handles cyclic dead code — e.g. a pair of phis produced by
+mem2reg for a variable that is updated in a loop but never read — which a
+naive "no uses" scan would miss.
+"""
+
+from __future__ import annotations
+
+from repro.ir.function import Function
+from repro.ir.instructions import Instruction
+from repro.irpasses.base import FunctionPass
+
+
+class DeadCodeElim(FunctionPass):
+    """Erase every instruction that no side-effecting instruction depends on."""
+
+    name = "dce"
+
+    def run(self, fn: Function) -> bool:
+        live: set[int] = set()
+        work: list[Instruction] = []
+        for block in fn.blocks:
+            for instr in block.instructions:
+                if instr.has_side_effects:
+                    live.add(id(instr))
+                    work.append(instr)
+        while work:
+            instr = work.pop()
+            for op in instr.operands:
+                if isinstance(op, Instruction) and id(op) not in live:
+                    live.add(id(op))
+                    work.append(op)
+
+        changed = False
+        for block in fn.blocks:
+            for instr in list(block.instructions):
+                if id(instr) not in live:
+                    instr.drop_operands()
+                    block.remove(instr)
+                    changed = True
+        return changed

@@ -1,0 +1,149 @@
+"""Peephole algebraic simplifications on the IR (a small InstCombine).
+
+Only identities that hold for C/IEEE semantics are applied; in particular no
+floating-point reassociation, and ``x * 0.0`` is *not* folded to ``0.0``
+(NaN/-0.0 would change).
+"""
+
+from __future__ import annotations
+
+from repro.ir.function import Function
+from repro.ir.instructions import BinaryOp, ICmp, Select
+from repro.ir.types import I64
+from repro.ir.values import ConstantFloat, ConstantInt, Value
+from repro.irpasses.base import FunctionPass
+
+
+def _int_const(value: Value) -> int | None:
+    return value.value if isinstance(value, ConstantInt) else None
+
+
+def _is_power_of_two(n: int) -> bool:
+    return n > 0 and (n & (n - 1)) == 0
+
+
+class InstCombine(FunctionPass):
+    """Algebraic identity simplification."""
+
+    name = "instcombine"
+
+    def run(self, fn: Function) -> bool:
+        changed = False
+        for block in fn.blocks:
+            for instr in list(block.instructions):
+                result = self._simplify(instr)
+                if result is None:
+                    continue
+                if isinstance(result, tuple):
+                    # Strength reduction: replace instr with a new instruction.
+                    opcode, lhs, rhs = result
+                    new = BinaryOp(opcode, lhs, rhs)
+                    new.name = fn.next_name(opcode)
+                    idx = block.instructions.index(instr)
+                    block.insert(idx, new)
+                    instr.replace_all_uses_with(new)
+                    instr.erase()
+                else:
+                    instr.replace_all_uses_with(result)
+                    if instr.num_uses == 0:
+                        instr.erase()
+                changed = True
+        return changed
+
+    @staticmethod
+    def _simplify(instr) -> Value | tuple | None:
+        if isinstance(instr, BinaryOp):
+            op = instr.opcode
+            lhs, rhs = instr.operands
+            rc = _int_const(rhs)
+            lc = _int_const(lhs)
+            # --- integer identities -----------------------------------------
+            if op == "add":
+                if rc == 0:
+                    return lhs
+                if lc == 0:
+                    return rhs
+            elif op == "sub":
+                if rc == 0:
+                    return lhs
+                if lhs is rhs:
+                    return ConstantInt(0, I64)
+            elif op == "mul":
+                if rc == 1:
+                    return lhs
+                if lc == 1:
+                    return rhs
+                if rc == 0 or lc == 0:
+                    return ConstantInt(0, I64)
+                # Strength-reduce multiply by power of two to a shift —
+                # the same transformation LLVM applies, and it matters for
+                # FI realism: the machine instruction mix changes.
+                if rc is not None and _is_power_of_two(rc):
+                    return ("shl", lhs, ConstantInt(rc.bit_length() - 1, I64))
+                if lc is not None and _is_power_of_two(lc):
+                    return ("shl", rhs, ConstantInt(lc.bit_length() - 1, I64))
+            elif op == "sdiv":
+                if rc == 1:
+                    return lhs
+            elif op == "srem":
+                if rc == 1:
+                    return ConstantInt(0, I64)
+            elif op in ("and", "or"):
+                if lhs is rhs:
+                    return lhs
+                if op == "and" and (rc == 0 or lc == 0):
+                    return ConstantInt(0, I64)
+                if op == "and" and rc == -1:
+                    return lhs
+                if op == "or" and rc == 0:
+                    return lhs
+                if op == "or" and lc == 0:
+                    return rhs
+            elif op == "xor":
+                if lhs is rhs:
+                    return ConstantInt(0, I64)
+                if rc == 0:
+                    return lhs
+                if lc == 0:
+                    return rhs
+            elif op in ("shl", "ashr"):
+                if rc == 0:
+                    return lhs
+            # --- float identities (IEEE-safe only) ---------------------------
+            elif op == "fadd":
+                if isinstance(rhs, ConstantFloat) and rhs.value == 0.0 and not _neg_zero(rhs.value):
+                    # x + (+0.0) == x for all x including -0.0? No:
+                    # -0.0 + 0.0 == +0.0, so this is unsafe; skip.
+                    return None
+            elif op == "fmul":
+                if isinstance(rhs, ConstantFloat) and rhs.value == 1.0:
+                    return lhs
+                if isinstance(lhs, ConstantFloat) and lhs.value == 1.0:
+                    return rhs
+            elif op == "fdiv":
+                if isinstance(rhs, ConstantFloat) and rhs.value == 1.0:
+                    return lhs
+            return None
+        if isinstance(instr, Select):
+            cond = instr.operands[0]
+            if isinstance(cond, ConstantInt):
+                return instr.operands[1] if cond.value else instr.operands[2]
+            if instr.operands[1] is instr.operands[2]:
+                return instr.operands[1]
+            return None
+        if isinstance(instr, ICmp):
+            lhs, rhs = instr.operands
+            if lhs is rhs:
+                from repro.ir.types import I1
+
+                return ConstantInt(
+                    int(instr.pred in ("eq", "sle", "sge")), I1
+                )
+            return None
+        return None
+
+
+def _neg_zero(x: float) -> bool:
+    import math
+
+    return x == 0.0 and math.copysign(1.0, x) < 0

@@ -1,0 +1,31 @@
+"""The simulated machine: loader, CPU interpreter, runtime intrinsics."""
+
+from repro.machine.cpu import (
+    CPU,
+    ExecutionResult,
+    FaultPlan,
+    FaultRecord,
+    execute,
+)
+from repro.machine.loader import (
+    DEFAULT_MEM_SIZE,
+    InstrInfo,
+    LoadedProgram,
+    NULL_GUARD,
+    load_binary,
+)
+from repro.machine.intrinsics import INTRINSIC_TABLE
+
+__all__ = [
+    "CPU",
+    "ExecutionResult",
+    "FaultPlan",
+    "FaultRecord",
+    "execute",
+    "DEFAULT_MEM_SIZE",
+    "InstrInfo",
+    "LoadedProgram",
+    "NULL_GUARD",
+    "load_binary",
+    "INTRINSIC_TABLE",
+]

@@ -1,0 +1,838 @@
+"""The sx64 CPU interpreter.
+
+Executes a :class:`~repro.machine.loader.LoadedProgram` with full
+architectural state: 64-bit two's-complement integer registers, IEEE-754
+double float registers, an x86-layout FLAGS register, and a flat byte-
+addressed memory with null/stack guard regions.
+
+Fault-injection observation points (one CPU, three tools):
+
+* **PINFI** (binary level) — ``attach_pinfi`` arms a per-candidate dynamic
+  counter in the main loop (the DBI view of the unmodified binary); after
+  the single injection the tool *detaches*, mirroring the paper's optimized
+  PINFI.
+* **REFINE** (backend level) — ``fi_check`` pseudo-instructions compiled
+  into the binary consult the same kind of counter.
+* **LLFI** (IR level) — ``__fi_inject_*`` intrinsic stubs called from the
+  instrumented code route through :meth:`llfi_visit_int`/``_float``.
+
+Crashes surface as :class:`~repro.errors.MachineTrap` subclasses recorded in
+the :class:`ExecutionResult` (segfault, illegal instruction, divide-by-zero,
+stack overflow, timeout, abnormal exit).
+"""
+
+from __future__ import annotations
+
+import math
+import struct
+from dataclasses import dataclass, field
+
+from repro.errors import (
+    DivideByZero,
+    ExecutionTimeout,
+    IllegalInstruction,
+    MachineTrap,
+    SegmentationFault,
+    StackOverflow,
+)
+from repro.machine import opcodes as O
+from repro.machine.intrinsics import INTRINSIC_TABLE
+from repro.machine.loader import NULL_GUARD, LoadedProgram
+from repro.machine.registers import (
+    RAX_IDX,
+    RBP_IDX,
+    RSP_IDX,
+    SPACE_FLOAT,
+    SPACE_INT,
+)
+from repro.utils.bits import MASK64, to_signed64
+from repro.utils.ieee754 import flip_double_bit
+
+_PACK_D = struct.Struct("<d")
+
+#: x86 status-flag bit positions.
+_CF = 1
+_PF = 1 << 2
+_ZF = 1 << 6
+_SF = 1 << 7
+_OF = 1 << 11
+
+#: Sentinel return address that terminates the program.
+HALT_PC = -1
+
+_INT64_MIN = -(1 << 63)
+
+
+@dataclass
+class FaultRecord:
+    """One injected fault, with everything needed for replay (the paper's
+    fault log: target instruction, operand, and bit)."""
+
+    tool: str
+    dynamic_index: int
+    pc: int
+    func: str
+    block: str
+    instr_text: str
+    operand_index: int
+    operand_desc: str
+    bit: int
+    value_before: object = None
+    value_after: object = None
+
+
+@dataclass
+class ExecutionResult:
+    """Observable outcome of one program execution."""
+
+    exit_code: int = 0
+    output: list[str] = field(default_factory=list)
+    steps: int = 0
+    trap: str | None = None
+    trap_pc: int = -1
+    fault: FaultRecord | None = None
+    #: dynamic execution count per static instruction
+    counts: list[int] = field(default_factory=list)
+    #: counts while a DBI tool was attached (PINFI only)
+    counts_attached: list[int] | None = None
+    #: number of candidate instructions executed while attached (PINFI)
+    attached_candidates: int = 0
+
+    @property
+    def crashed(self) -> bool:
+        return self.trap is not None or self.exit_code != 0
+
+
+class FaultPlan:
+    """Pre-drawn fault coordinates: which dynamic candidate, and how the
+    operand/bit are chosen once the candidate's outputs are known.
+
+    ``operand_pick`` and ``bit_pick`` are uniform draws in [0, 1) made
+    up-front so an experiment is a pure function of its seed.
+
+    ``corrupt_opcode`` models the paper's Section 4.5 extension: a flip in
+    the instruction's OP-code field rather than an output register.  The
+    assembly-emitting stage of the real REFINE rejects invalid OP codes, so
+    like the paper this is off by default; when enabled the corrupted
+    instruction raises an illegal-instruction trap.
+    """
+
+    __slots__ = (
+        "target_index", "operand_pick", "bit_pick", "tool", "corrupt_opcode",
+    )
+
+    def __init__(
+        self,
+        target_index: int,
+        operand_pick: float,
+        bit_pick: float,
+        tool: str,
+        corrupt_opcode: bool = False,
+    ) -> None:
+        self.target_index = target_index
+        self.operand_pick = operand_pick
+        self.bit_pick = bit_pick
+        self.tool = tool
+        self.corrupt_opcode = corrupt_opcode
+
+    def choose(self, outputs: tuple) -> tuple[int, int, int, int, int]:
+        """Select (operand_index, space, reg_index, width, bit)."""
+        op_idx = min(int(self.operand_pick * len(outputs)), len(outputs) - 1)
+        space, reg_idx, width = outputs[op_idx]
+        bit = min(int(self.bit_pick * width), width - 1)
+        return op_idx, space, reg_idx, width, bit
+
+
+class CPU:
+    """One execution context over a loaded program."""
+
+    def __init__(self, program: LoadedProgram) -> None:
+        self.program = program
+        self.mem = program.fresh_memory()
+        self.iregs: list[int] = [0] * 14
+        self.fregs: list[float] = [0.0] * 16
+        self.flags = 0
+        self.output: list[str] = []
+        self.counts = [0] * len(program.code)
+        self.steps = 0
+        self.budget = 1 << 62
+
+        # PINFI state
+        self._attached = False
+        self._pin_count = 0
+        self._pin_plan: FaultPlan | None = None
+        self.counts_attached: list[int] | None = None
+        self.attached_candidates = 0
+
+        # REFINE state
+        self._refine_count = 0
+        self._refine_plan: FaultPlan | None = None
+
+        # LLFI state
+        self._llfi_count = 0
+        self._llfi_plan: FaultPlan | None = None
+
+        self.fault: FaultRecord | None = None
+        #: pc of the instruction currently executing an intrinsic
+        self._cur_pc = 0
+
+    # -- tool arming ---------------------------------------------------------
+
+    def attach_pinfi(self, plan: FaultPlan | None) -> None:
+        """Attach the DBI tool (candidate counting + optional injection)."""
+        self._attached = True
+        self._pin_plan = plan
+        self.counts_attached = self.counts
+        # Execution counts accumulate into the attached array until detach.
+
+    def arm_refine(self, plan: FaultPlan) -> None:
+        self._refine_plan = plan
+
+    def arm_llfi(self, plan: FaultPlan) -> None:
+        self._llfi_plan = plan
+
+    # -- fault application ----------------------------------------------------
+
+    def _apply_flip(
+        self, plan: FaultPlan, pc: int, outputs: tuple, dynamic_index: int
+    ) -> None:
+        info = self.program.info[pc]
+        if plan.corrupt_opcode:
+            # Section 4.5 extension: the bit lands in the OP-code encoding,
+            # yielding an undecodable instruction.
+            self.fault = FaultRecord(
+                tool=plan.tool,
+                dynamic_index=dynamic_index,
+                pc=pc,
+                func=info.func,
+                block=info.block,
+                instr_text=info.text,
+                operand_index=-1,
+                operand_desc="opcode",
+                bit=min(int(plan.bit_pick * 8), 7),
+                value_before=info.text,
+                value_after="<invalid opcode>",
+            )
+            raise IllegalInstruction("corrupted opcode", pc)
+        op_idx, space, reg_idx, width, bit = plan.choose(outputs)
+        if space == SPACE_INT:
+            before = self.iregs[reg_idx]
+            after = to_signed64((before & MASK64) ^ (1 << bit))
+            self.iregs[reg_idx] = after
+            desc = f"ireg:{reg_idx}"
+        elif space == SPACE_FLOAT:
+            before = self.fregs[reg_idx]
+            after = flip_double_bit(before, bit)
+            self.fregs[reg_idx] = after
+            desc = f"freg:{reg_idx}"
+        else:
+            before = self.flags
+            after = self.flags ^ (1 << bit)
+            self.flags = after
+            desc = "flags"
+        self.fault = FaultRecord(
+            tool=plan.tool,
+            dynamic_index=dynamic_index,
+            pc=pc,
+            func=info.func,
+            block=info.block,
+            instr_text=info.text,
+            operand_index=op_idx,
+            operand_desc=desc,
+            bit=bit,
+            value_before=before,
+            value_after=after,
+        )
+
+    # -- LLFI stub hooks (invoked from intrinsics) ---------------------------
+
+    def llfi_visit_int(self, value: int, width: int = 64) -> int:
+        self._llfi_count += 1
+        plan = self._llfi_plan
+        if plan is None or self._llfi_count != plan.target_index:
+            return value
+        # LLFI flips a bit of the IR value, uniform over its bit width.
+        bit = min(int(plan.bit_pick * width), width - 1)
+        after = to_signed64((value & MASK64) ^ (1 << bit))
+        pc = self._cur_pc
+        info = self.program.info[pc]
+        self.fault = FaultRecord(
+            tool=plan.tool,
+            dynamic_index=self._llfi_count,
+            pc=pc,
+            func=info.func,
+            block=info.block,
+            instr_text=info.text,
+            operand_index=0,
+            operand_desc="ir-value:i64",
+            bit=bit,
+            value_before=value,
+            value_after=after,
+        )
+        return after
+
+    def llfi_visit_float(self, value: float) -> float:
+        self._llfi_count += 1
+        plan = self._llfi_plan
+        if plan is None or self._llfi_count != plan.target_index:
+            return value
+        bit = min(int(plan.bit_pick * 64), 63)
+        after = flip_double_bit(value, bit)
+        pc = self._cur_pc
+        info = self.program.info[pc]
+        self.fault = FaultRecord(
+            tool=plan.tool,
+            dynamic_index=self._llfi_count,
+            pc=pc,
+            func=info.func,
+            block=info.block,
+            instr_text=info.text,
+            operand_index=0,
+            operand_desc="ir-value:f64",
+            bit=bit,
+            value_before=value,
+            value_after=after,
+        )
+        return after
+
+    @property
+    def llfi_dynamic_count(self) -> int:
+        return self._llfi_count
+
+    @property
+    def refine_dynamic_count(self) -> int:
+        return self._refine_count
+
+    @property
+    def pinfi_dynamic_count(self) -> int:
+        return self._pin_count
+
+    # -- memory ---------------------------------------------------------------
+
+    def _read_i64(self, addr: int, pc: int) -> int:
+        if addr < NULL_GUARD or addr + 8 > self.program.mem_size:
+            raise SegmentationFault(f"load from {addr:#x}", pc)
+        return int.from_bytes(self.mem[addr : addr + 8], "little", signed=True)
+
+    def _write_i64(self, addr: int, value: int, pc: int) -> None:
+        if addr < NULL_GUARD or addr + 8 > self.program.mem_size:
+            raise SegmentationFault(f"store to {addr:#x}", pc)
+        self.mem[addr : addr + 8] = (value & MASK64).to_bytes(8, "little")
+
+    def _read_f64(self, addr: int, pc: int) -> float:
+        if addr < NULL_GUARD or addr + 8 > self.program.mem_size:
+            raise SegmentationFault(f"fload from {addr:#x}", pc)
+        return _PACK_D.unpack_from(self.mem, addr)[0]
+
+    def _write_f64(self, addr: int, value: float, pc: int) -> None:
+        if addr < NULL_GUARD or addr + 8 > self.program.mem_size:
+            raise SegmentationFault(f"fstore to {addr:#x}", pc)
+        _PACK_D.pack_into(self.mem, addr, value)
+
+    # -- main loop ----------------------------------------------------------
+
+    def run(self, budget: int | None = None) -> ExecutionResult:
+        """Execute from the entry point until halt, trap, or budget."""
+        if budget is not None:
+            self.budget = budget
+        prog = self.program
+        entry = prog.func_entry[prog.binary.entry]
+
+        # Initial stack: sentinel return address at the top.
+        self.iregs[RSP_IDX] = prog.stack_top
+        self.iregs[RBP_IDX] = prog.stack_top
+        self._write_i64(prog.stack_top, HALT_PC & MASK64, -1)
+        # (stored as unsigned; read back signed gives -1)
+
+        result = ExecutionResult()
+        try:
+            self._loop(entry)
+        except MachineTrap as trap:
+            result.trap = trap.kind
+            result.trap_pc = trap.pc
+        result.exit_code = (
+            self.iregs[RAX_IDX] if result.trap is None else result.exit_code
+        )
+        result.output = self.output
+        result.steps = self.steps
+        result.fault = self.fault
+        result.counts = self.counts
+        result.counts_attached = self.counts_attached
+        result.attached_candidates = self.attached_candidates
+        return result
+
+    def _loop(self, entry_pc: int) -> None:  # noqa: C901 - dispatch loop
+        prog = self.program
+        code = prog.code
+        costs = prog.cost
+        is_cand = prog.is_candidate
+        outputs = prog.outputs
+        iregs = self.iregs
+        fregs = self.fregs
+        mem = self.mem
+        mem_size = prog.mem_size
+        stack_limit = prog.stack_limit
+        counts = self.counts
+        n_code = len(code)
+        intr_impls = INTRINSIC_TABLE.impls
+
+        pc = entry_pc
+        steps = self.steps
+        budget = self.budget
+        flags = self.flags
+        attached = self._attached
+        pin_count = self._pin_count
+        pin_plan = self._pin_plan
+        refine_count = self._refine_count
+        refine_plan = self._refine_plan
+
+        try:
+            while True:
+                cur = pc
+                t = code[cur]
+                op = t[0]
+
+                if op == O.MOV_RR:
+                    iregs[t[1]] = iregs[t[2]]
+                    pc = cur + 1
+                elif op == O.MOV_RI:
+                    iregs[t[1]] = t[2]
+                    pc = cur + 1
+                elif op == O.LOAD_RD:
+                    addr = iregs[t[2]] + t[3]
+                    if addr < NULL_GUARD or addr + 8 > mem_size:
+                        raise SegmentationFault(f"load from {addr:#x}", cur)
+                    iregs[t[1]] = int.from_bytes(
+                        mem[addr : addr + 8], "little", signed=True
+                    )
+                    pc = cur + 1
+                elif op == O.FLOAD_RD:
+                    addr = iregs[t[2]] + t[3]
+                    if addr < NULL_GUARD or addr + 8 > mem_size:
+                        raise SegmentationFault(f"fload from {addr:#x}", cur)
+                    fregs[t[1]] = _PACK_D.unpack_from(mem, addr)[0]
+                    pc = cur + 1
+                elif op == O.ADD_RR or op == O.ADD_RI:
+                    a = iregs[t[1]]
+                    b = iregs[t[2]] if op == O.ADD_RR else t[2]
+                    r = a + b
+                    wrapped = r if _INT64_MIN <= r < -_INT64_MIN else to_signed64(r)
+                    iregs[t[1]] = wrapped
+                    flags = 0
+                    if wrapped == 0:
+                        flags = _ZF
+                    elif wrapped < 0:
+                        flags = _SF
+                    if r != wrapped:
+                        flags |= _OF
+                    if (a & MASK64) + (b & MASK64) > MASK64:
+                        flags |= _CF
+                    pc = cur + 1
+                elif op == O.SUB_RR or op == O.SUB_RI:
+                    a = iregs[t[1]]
+                    b = iregs[t[2]] if op == O.SUB_RR else t[2]
+                    r = a - b
+                    wrapped = r if _INT64_MIN <= r < -_INT64_MIN else to_signed64(r)
+                    iregs[t[1]] = wrapped
+                    flags = 0
+                    if wrapped == 0:
+                        flags = _ZF
+                    elif wrapped < 0:
+                        flags = _SF
+                    if r != wrapped:
+                        flags |= _OF
+                    if (a & MASK64) < (b & MASK64):
+                        flags |= _CF
+                    pc = cur + 1
+                elif op == O.CMP_RR or op == O.CMP_RI:
+                    a = iregs[t[1]]
+                    b = iregs[t[2]] if op == O.CMP_RR else t[2]
+                    r = a - b
+                    wrapped = r if _INT64_MIN <= r < -_INT64_MIN else to_signed64(r)
+                    flags = 0
+                    if wrapped == 0:
+                        flags = _ZF
+                    elif wrapped < 0:
+                        flags = _SF
+                    if r != wrapped:
+                        flags |= _OF
+                    if (a & MASK64) < (b & MASK64):
+                        flags |= _CF
+                    pc = cur + 1
+                elif op == O.JCC:
+                    cc = t[1]
+                    if cc == 1:  # ne
+                        taken = not flags & _ZF
+                    elif cc == 0:  # e
+                        taken = bool(flags & _ZF)
+                    elif cc == 2:  # l
+                        taken = bool(flags & _SF) != bool(flags & _OF)
+                    elif cc == 3:  # le
+                        taken = bool(flags & _ZF) or (
+                            bool(flags & _SF) != bool(flags & _OF)
+                        )
+                    elif cc == 4:  # g
+                        taken = not flags & _ZF and (
+                            bool(flags & _SF) == bool(flags & _OF)
+                        )
+                    elif cc == 5:  # ge
+                        taken = bool(flags & _SF) == bool(flags & _OF)
+                    elif cc == 6:  # b
+                        taken = bool(flags & _CF)
+                    elif cc == 7:  # be
+                        taken = bool(flags & (_CF | _ZF))
+                    elif cc == 8:  # a
+                        taken = not flags & (_CF | _ZF)
+                    elif cc == 9:  # ae
+                        taken = not flags & _CF
+                    elif cc == 10:  # s
+                        taken = bool(flags & _SF)
+                    elif cc == 11:  # ns
+                        taken = not flags & _SF
+                    elif cc == 12:  # p
+                        taken = bool(flags & _PF)
+                    else:  # np
+                        taken = not flags & _PF
+                    pc = t[2] if taken else cur + 1
+                elif op == O.JMP:
+                    pc = t[1]
+                elif op == O.FADD:
+                    fregs[t[1]] = fregs[t[1]] + fregs[t[2]]
+                    pc = cur + 1
+                elif op == O.FMUL:
+                    fregs[t[1]] = fregs[t[1]] * fregs[t[2]]
+                    pc = cur + 1
+                elif op == O.FSUB:
+                    fregs[t[1]] = fregs[t[1]] - fregs[t[2]]
+                    pc = cur + 1
+                elif op == O.FDIV:
+                    a = fregs[t[1]]
+                    b = fregs[t[2]]
+                    if b == 0.0:
+                        if a == 0.0 or a != a:
+                            fregs[t[1]] = math.nan
+                        else:
+                            fregs[t[1]] = math.copysign(
+                                math.inf, a
+                            ) * math.copysign(1.0, b)
+                    else:
+                        fregs[t[1]] = a / b
+                    pc = cur + 1
+                elif op == O.STORE_RD:
+                    addr = iregs[t[1]] + t[2]
+                    if addr < NULL_GUARD or addr + 8 > mem_size:
+                        raise SegmentationFault(f"store to {addr:#x}", cur)
+                    mem[addr : addr + 8] = (iregs[t[3]] & MASK64).to_bytes(
+                        8, "little"
+                    )
+                    pc = cur + 1
+                elif op == O.FSTORE_RD:
+                    addr = iregs[t[1]] + t[2]
+                    if addr < NULL_GUARD or addr + 8 > mem_size:
+                        raise SegmentationFault(f"fstore to {addr:#x}", cur)
+                    _PACK_D.pack_into(mem, addr, fregs[t[3]])
+                    pc = cur + 1
+                elif op == O.FMOV:
+                    fregs[t[1]] = fregs[t[2]]
+                    pc = cur + 1
+                elif op == O.FCONST:
+                    fregs[t[1]] = t[2]
+                    pc = cur + 1
+                elif op == O.SHL_RI or op == O.SHL_RR:
+                    count = (t[2] if op == O.SHL_RI else iregs[t[2]]) & 63
+                    r = to_signed64(iregs[t[1]] << count)
+                    iregs[t[1]] = r
+                    flags = _ZF if r == 0 else (_SF if r < 0 else 0)
+                    pc = cur + 1
+                elif op == O.SAR_RI or op == O.SAR_RR:
+                    count = (t[2] if op == O.SAR_RI else iregs[t[2]]) & 63
+                    r = iregs[t[1]] >> count
+                    iregs[t[1]] = r
+                    flags = _ZF if r == 0 else (_SF if r < 0 else 0)
+                    pc = cur + 1
+                elif op == O.IMUL_RR or op == O.IMUL_RI:
+                    a = iregs[t[1]]
+                    b = iregs[t[2]] if op == O.IMUL_RR else t[2]
+                    r = a * b
+                    wrapped = r if _INT64_MIN <= r < -_INT64_MIN else to_signed64(r)
+                    iregs[t[1]] = wrapped
+                    flags = _ZF if wrapped == 0 else (_SF if wrapped < 0 else 0)
+                    if r != wrapped:
+                        flags |= _OF | _CF
+                    pc = cur + 1
+                elif op == O.AND_RR or op == O.AND_RI:
+                    b = iregs[t[2]] if op == O.AND_RR else t[2]
+                    r = iregs[t[1]] & b
+                    iregs[t[1]] = r
+                    flags = _ZF if r == 0 else (_SF if r < 0 else 0)
+                    pc = cur + 1
+                elif op == O.OR_RR or op == O.OR_RI:
+                    b = iregs[t[2]] if op == O.OR_RR else t[2]
+                    r = iregs[t[1]] | b
+                    iregs[t[1]] = r
+                    flags = _ZF if r == 0 else (_SF if r < 0 else 0)
+                    pc = cur + 1
+                elif op == O.XOR_RR or op == O.XOR_RI:
+                    b = iregs[t[2]] if op == O.XOR_RR else t[2]
+                    r = iregs[t[1]] ^ b
+                    iregs[t[1]] = r
+                    flags = _ZF if r == 0 else (_SF if r < 0 else 0)
+                    pc = cur + 1
+                elif op == O.NEG:
+                    r = to_signed64(-iregs[t[1]])
+                    iregs[t[1]] = r
+                    flags = _ZF if r == 0 else (_SF if r < 0 else 0)
+                    pc = cur + 1
+                elif op == O.IDIV_RR or op == O.IDIV_RI:
+                    a = iregs[t[1]]
+                    b = iregs[t[2]] if op == O.IDIV_RR else t[2]
+                    if b == 0 or (a == _INT64_MIN and b == -1):
+                        raise DivideByZero(f"{a} idiv {b}", cur)
+                    q = abs(a) // abs(b)
+                    if (a < 0) != (b < 0):
+                        q = -q
+                    iregs[t[1]] = q
+                    flags = _ZF if q == 0 else (_SF if q < 0 else 0)
+                    pc = cur + 1
+                elif op == O.IREM_RR or op == O.IREM_RI:
+                    a = iregs[t[1]]
+                    b = iregs[t[2]] if op == O.IREM_RR else t[2]
+                    if b == 0 or (a == _INT64_MIN and b == -1):
+                        raise DivideByZero(f"{a} irem {b}", cur)
+                    r = abs(a) % abs(b)
+                    if a < 0:
+                        r = -r
+                    iregs[t[1]] = r
+                    flags = _ZF if r == 0 else (_SF if r < 0 else 0)
+                    pc = cur + 1
+                elif op == O.FCMP:
+                    a = fregs[t[1]]
+                    b = fregs[t[2]]
+                    # ucomisd semantics
+                    if a != a or b != b:  # unordered (NaN)
+                        flags = _ZF | _PF | _CF
+                    elif a == b:
+                        flags = _ZF
+                    elif a < b:
+                        flags = _CF
+                    else:
+                        flags = 0
+                    pc = cur + 1
+                elif op == O.SETCC:
+                    cc = t[2]
+                    if cc == 0:
+                        v = bool(flags & _ZF)
+                    elif cc == 1:
+                        v = not flags & _ZF
+                    elif cc == 2:
+                        v = bool(flags & _SF) != bool(flags & _OF)
+                    elif cc == 3:
+                        v = bool(flags & _ZF) or (
+                            bool(flags & _SF) != bool(flags & _OF)
+                        )
+                    elif cc == 4:
+                        v = not flags & _ZF and (
+                            bool(flags & _SF) == bool(flags & _OF)
+                        )
+                    elif cc == 5:
+                        v = bool(flags & _SF) == bool(flags & _OF)
+                    elif cc == 6:
+                        v = bool(flags & _CF)
+                    elif cc == 7:
+                        v = bool(flags & (_CF | _ZF))
+                    elif cc == 8:
+                        v = not flags & (_CF | _ZF)
+                    elif cc == 9:
+                        v = not flags & _CF
+                    elif cc == 10:
+                        v = bool(flags & _SF)
+                    elif cc == 11:
+                        v = not flags & _SF
+                    elif cc == 12:
+                        v = bool(flags & _PF)
+                    else:
+                        v = not flags & _PF
+                    iregs[t[1]] = 1 if v else 0
+                    pc = cur + 1
+                elif op == O.CMOV:
+                    cc = t[3]
+                    if _cc_holds(cc, flags):
+                        iregs[t[1]] = iregs[t[2]]
+                    pc = cur + 1
+                elif op == O.LEA_RD:
+                    iregs[t[1]] = iregs[t[2]] + t[3]
+                    pc = cur + 1
+                elif op == O.LEA_ABS:
+                    iregs[t[1]] = t[2]
+                    pc = cur + 1
+                elif op == O.LOAD_ABS:
+                    addr = t[2]
+                    iregs[t[1]] = int.from_bytes(
+                        mem[addr : addr + 8], "little", signed=True
+                    )
+                    pc = cur + 1
+                elif op == O.FLOAD_ABS:
+                    fregs[t[1]] = _PACK_D.unpack_from(mem, t[2])[0]
+                    pc = cur + 1
+                elif op == O.STORE_ABS:
+                    addr = t[1]
+                    mem[addr : addr + 8] = (iregs[t[2]] & MASK64).to_bytes(
+                        8, "little"
+                    )
+                    pc = cur + 1
+                elif op == O.STORE_ABS_I:
+                    addr = t[1]
+                    mem[addr : addr + 8] = (t[2] & MASK64).to_bytes(8, "little")
+                    pc = cur + 1
+                elif op == O.FSTORE_ABS:
+                    _PACK_D.pack_into(mem, t[1], fregs[t[2]])
+                    pc = cur + 1
+                elif op == O.STORE_RD_I:
+                    addr = iregs[t[1]] + t[2]
+                    if addr < NULL_GUARD or addr + 8 > mem_size:
+                        raise SegmentationFault(f"store to {addr:#x}", cur)
+                    mem[addr : addr + 8] = (t[3] & MASK64).to_bytes(8, "little")
+                    pc = cur + 1
+                elif op == O.PUSH:
+                    sp = iregs[RSP_IDX] - 8
+                    if sp < stack_limit:
+                        raise StackOverflow(f"rsp={sp:#x}", cur)
+                    if sp + 8 > mem_size:
+                        raise SegmentationFault(f"push to {sp:#x}", cur)
+                    iregs[RSP_IDX] = sp
+                    mem[sp : sp + 8] = (iregs[t[1]] & MASK64).to_bytes(8, "little")
+                    pc = cur + 1
+                elif op == O.POP:
+                    sp = iregs[RSP_IDX]
+                    if sp < NULL_GUARD or sp + 8 > mem_size:
+                        raise SegmentationFault(f"pop from {sp:#x}", cur)
+                    iregs[t[1]] = int.from_bytes(
+                        mem[sp : sp + 8], "little", signed=True
+                    )
+                    iregs[RSP_IDX] = sp + 8
+                    pc = cur + 1
+                elif op == O.CALL:
+                    sp = iregs[RSP_IDX] - 8
+                    if sp < stack_limit:
+                        raise StackOverflow(f"rsp={sp:#x}", cur)
+                    if sp + 8 > mem_size:
+                        raise SegmentationFault(f"call push to {sp:#x}", cur)
+                    iregs[RSP_IDX] = sp
+                    mem[sp : sp + 8] = ((cur + 1) & MASK64).to_bytes(8, "little")
+                    pc = t[1]
+                elif op == O.INTR:
+                    self._cur_pc = cur
+                    self.flags = flags
+                    intr_impls[t[1]](self)
+                    flags = self.flags
+                    pc = cur + 1
+                elif op == O.RET:
+                    sp = iregs[RSP_IDX]
+                    if sp < NULL_GUARD or sp + 8 > mem_size:
+                        raise SegmentationFault(f"ret pop from {sp:#x}", cur)
+                    ret_pc = int.from_bytes(
+                        mem[sp : sp + 8], "little", signed=True
+                    )
+                    iregs[RSP_IDX] = sp + 8
+                    if ret_pc == HALT_PC:
+                        counts[cur] += 1
+                        steps += 1
+                        break
+                    if not 0 <= ret_pc < n_code:
+                        raise IllegalInstruction(
+                            f"ret to {ret_pc:#x}", cur
+                        )
+                    pc = ret_pc
+                elif op == O.CVTSI2SD:
+                    fregs[t[1]] = float(iregs[t[2]])
+                    pc = cur + 1
+                elif op == O.CVTTSD2SI:
+                    v = fregs[t[2]]
+                    if v != v or v in (math.inf, -math.inf):
+                        iregs[t[1]] = _INT64_MIN
+                    else:
+                        truncated = math.trunc(v)
+                        if not _INT64_MIN <= truncated < -_INT64_MIN:
+                            iregs[t[1]] = _INT64_MIN
+                        else:
+                            iregs[t[1]] = truncated
+                    pc = cur + 1
+                elif op == O.FI_CHECK:
+                    refine_count += 1
+                    if (
+                        refine_plan is not None
+                        and refine_count == refine_plan.target_index
+                    ):
+                        # Inject into the guarded instruction's outputs
+                        # (flags are live here; sync before flipping).
+                        self.flags = flags
+                        self._apply_flip(
+                            refine_plan, cur, t[1], refine_count
+                        )
+                        flags = self.flags
+                    pc = cur + 1
+                else:
+                    raise IllegalInstruction(f"opcode {op}", cur)
+
+                counts[cur] += 1
+                steps += 1
+                if steps >= budget:
+                    raise ExecutionTimeout(f"budget {budget} exhausted", cur)
+                if attached and is_cand[cur]:
+                    pin_count += 1
+                    if (
+                        pin_plan is not None
+                        and pin_count == pin_plan.target_index
+                    ):
+                        self.flags = flags
+                        self._apply_flip(
+                            pin_plan, cur, outputs[cur], pin_count
+                        )
+                        flags = self.flags
+                        # Detach: instrumentation overhead ends here.
+                        attached = False
+                        self.attached_candidates = pin_count
+                        counts = [0] * n_code
+                        self.counts = counts
+        finally:
+            self.steps = steps
+            self.flags = flags
+            self._pin_count = pin_count
+            self._refine_count = refine_count
+            if attached:
+                self.attached_candidates = pin_count
+                # Never detached: all counts are attached counts.
+                if self.counts_attached is not self.counts:
+                    self.counts_attached = self.counts
+
+
+def _cc_holds(cc: int, flags: int) -> bool:
+    """Out-of-line condition evaluation for rare opcodes (cmov)."""
+    zf = bool(flags & _ZF)
+    sf = bool(flags & _SF)
+    of = bool(flags & _OF)
+    cf = bool(flags & _CF)
+    return (
+        (cc == 0 and zf)
+        or (cc == 1 and not zf)
+        or (cc == 2 and sf != of)
+        or (cc == 3 and (zf or sf != of))
+        or (cc == 4 and not zf and sf == of)
+        or (cc == 5 and sf == of)
+        or (cc == 6 and cf)
+        or (cc == 7 and (cf or zf))
+        or (cc == 8 and not cf and not zf)
+        or (cc == 9 and not cf)
+        or (cc == 10 and sf)
+        or (cc == 11 and not sf)
+        or (cc == 12 and bool(flags & _PF))
+        or (cc == 13 and not flags & _PF)
+    )
+
+
+def execute(
+    program: LoadedProgram,
+    budget: int | None = None,
+) -> ExecutionResult:
+    """Convenience: run a program with no fault injection."""
+    return CPU(program).run(budget)

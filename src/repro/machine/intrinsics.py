@@ -1,0 +1,178 @@
+"""Runtime intrinsics: the simulated libc/libm plus output channels.
+
+Each intrinsic follows the sx64 ABI: integer args in rdi/rsi/..., float args
+in xmm0/xmm1, results in rax/xmm0.  Math functions implement IEEE behaviour
+(domain errors produce NaN/inf rather than Python exceptions) because fault
+injection routinely feeds them garbage.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Callable
+
+from repro.machine.registers import RAX_IDX, RDI_IDX, RSI_IDX, XMM0_IDX, XMM1_IDX
+
+
+def _unary_math(fn: Callable[[float], float]):
+    def impl(cpu) -> None:
+        x = cpu.fregs[XMM0_IDX]
+        try:
+            result = fn(x)
+        except (ValueError, OverflowError):
+            result = math.nan
+        cpu.fregs[XMM0_IDX] = result
+
+    return impl
+
+
+def _binary_math(fn: Callable[[float, float], float]):
+    def impl(cpu) -> None:
+        x = cpu.fregs[XMM0_IDX]
+        y = cpu.fregs[XMM1_IDX]
+        try:
+            result = fn(x, y)
+        except (ValueError, OverflowError, ZeroDivisionError):
+            result = math.nan
+        cpu.fregs[XMM0_IDX] = result
+
+    return impl
+
+
+def _safe_sqrt(x: float) -> float:
+    if math.isnan(x) or x < 0.0:
+        return math.nan
+    return math.sqrt(x)
+
+
+def _safe_exp(x: float) -> float:
+    if math.isnan(x):
+        return math.nan
+    if x > 709.0:
+        return math.inf
+    if x < -745.0:
+        return 0.0
+    return math.exp(x)
+
+
+def _safe_log(x: float) -> float:
+    if math.isnan(x) or x < 0.0:
+        return math.nan
+    if x == 0.0:
+        return -math.inf
+    if math.isinf(x):
+        return math.inf
+    return math.log(x)
+
+
+def _safe_trig(fn):
+    def impl(x: float) -> float:
+        if math.isnan(x) or math.isinf(x):
+            return math.nan
+        # Huge arguments lose all precision; IEEE still defines a value but
+        # Python's libm handles it fine up to ~1e308.
+        return fn(x)
+
+    return impl
+
+
+def _safe_floor(x: float) -> float:
+    if math.isnan(x) or math.isinf(x):
+        return x
+    return float(math.floor(x))
+
+
+def _safe_pow(x: float, y: float) -> float:
+    if math.isnan(x) or math.isnan(y):
+        return math.nan
+    try:
+        result = math.pow(x, y)
+    except (ValueError, OverflowError):
+        # negative base with non-integer exponent, or overflow
+        if abs(x) > 1.0 and y > 0:
+            return math.inf
+        return math.nan
+    return result
+
+
+def _safe_fmod(x: float, y: float) -> float:
+    if math.isnan(x) or math.isnan(y) or y == 0.0 or math.isinf(x):
+        return math.nan
+    try:
+        return math.fmod(x, y)
+    except ValueError:
+        return math.nan
+
+
+def _print_int(cpu) -> None:
+    cpu.output.append(str(cpu.iregs[RDI_IDX]))
+
+
+def _print_double(cpu) -> None:
+    # Fixed 6-significant-digit scientific format, the way HPC mini-apps
+    # print residuals/energies.  Perturbations below the printed precision
+    # are therefore *benign* — an important real-world masking effect.
+    value = cpu.fregs[XMM0_IDX]
+    cpu.output.append(f"{value:.6e}")
+
+
+def _llfi_inject_i64(cpu) -> None:
+    """LLFI ``injectFault`` stub for integer values.
+
+    ABI: rdi = site id, rsi = value; returns (possibly corrupted) value in
+    rax.  The actual decision logic lives in the CPU's FI controller.
+    """
+    value = cpu.iregs[RSI_IDX]
+    cpu.iregs[RAX_IDX] = cpu.llfi_visit_int(value, 64)
+
+
+def _llfi_inject_i1(cpu) -> None:
+    """LLFI stub for i1 (compare-result) values: a 1-bit flip target."""
+    value = cpu.iregs[RSI_IDX]
+    cpu.iregs[RAX_IDX] = cpu.llfi_visit_int(value, 1)
+
+
+def _llfi_inject_f64(cpu) -> None:
+    """LLFI ``injectFault`` stub for float values (rdi = site id, xmm0 =
+    value; result in xmm0)."""
+    value = cpu.fregs[XMM0_IDX]
+    cpu.fregs[XMM0_IDX] = cpu.llfi_visit_float(value)
+
+
+class IntrinsicTable:
+    """Stable name -> (id, implementation) mapping used by the loader."""
+
+    def __init__(self) -> None:
+        self.names: list[str] = []
+        self.impls: list[Callable] = []
+        self._index: dict[str, int] = {}
+
+    def register(self, name: str, impl: Callable) -> None:
+        self._index[name] = len(self.names)
+        self.names.append(name)
+        self.impls.append(impl)
+
+    def index_of(self, name: str) -> int:
+        try:
+            return self._index[name]
+        except KeyError:
+            from repro.errors import LinkError
+
+            raise LinkError(f"unknown intrinsic @{name}") from None
+
+
+INTRINSIC_TABLE = IntrinsicTable()
+INTRINSIC_TABLE.register("print_int", _print_int)
+INTRINSIC_TABLE.register("print_double", _print_double)
+INTRINSIC_TABLE.register("sqrt", _unary_math(_safe_sqrt))
+INTRINSIC_TABLE.register("fabs", _unary_math(abs))
+INTRINSIC_TABLE.register("exp", _unary_math(_safe_exp))
+INTRINSIC_TABLE.register("log", _unary_math(_safe_log))
+INTRINSIC_TABLE.register("sin", _unary_math(_safe_trig(math.sin)))
+INTRINSIC_TABLE.register("cos", _unary_math(_safe_trig(math.cos)))
+INTRINSIC_TABLE.register("floor", _unary_math(_safe_floor))
+INTRINSIC_TABLE.register("pow", _binary_math(_safe_pow))
+INTRINSIC_TABLE.register("fmod", _binary_math(_safe_fmod))
+INTRINSIC_TABLE.register("__fi_inject_i64", _llfi_inject_i64)
+INTRINSIC_TABLE.register("__fi_inject_f64", _llfi_inject_f64)
+INTRINSIC_TABLE.register("__fi_inject_i1", _llfi_inject_i1)

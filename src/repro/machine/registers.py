@@ -1,0 +1,45 @@
+"""Register-file index maps shared by the loader and the CPU.
+
+The interpreter keeps integer registers in one flat list and float registers
+in another; these tables map architectural names to indices.
+"""
+
+from __future__ import annotations
+
+#: Integer register file order (index = position).
+IREG_NAMES = (
+    "rax", "rcx", "rdx", "rbx", "rsi", "rdi",
+    "r8", "r9", "r10", "r11", "r12", "r13",
+    "rsp", "rbp",
+)
+
+#: Float register file order.
+FREG_NAMES = tuple(f"xmm{i}" for i in range(16))
+
+IREG_INDEX = {name: i for i, name in enumerate(IREG_NAMES)}
+FREG_INDEX = {name: i for i, name in enumerate(FREG_NAMES)}
+
+RSP_IDX = IREG_INDEX["rsp"]
+RBP_IDX = IREG_INDEX["rbp"]
+RAX_IDX = IREG_INDEX["rax"]
+RDI_IDX = IREG_INDEX["rdi"]
+RSI_IDX = IREG_INDEX["rsi"]
+XMM0_IDX = FREG_INDEX["xmm0"]
+XMM1_IDX = FREG_INDEX["xmm1"]
+
+#: Output-register spaces used in fault-target descriptors.
+SPACE_INT = 0
+SPACE_FLOAT = 1
+SPACE_FLAGS = 2
+
+#: FLAGS register effective width for bit flips (x86 status-flag region).
+FLAGS_WIDTH = 16
+
+
+def output_descriptor(reg_name: str) -> tuple[int, int, int]:
+    """Map a physical register name to (space, index, bit width)."""
+    if reg_name == "flags":
+        return (SPACE_FLAGS, 0, FLAGS_WIDTH)
+    if reg_name in FREG_INDEX:
+        return (SPACE_FLOAT, FREG_INDEX[reg_name], 64)
+    return (SPACE_INT, IREG_INDEX[reg_name], 64)

@@ -1,0 +1,23 @@
+"""Rendering of paper figures and tables from campaign results."""
+
+from repro.reporting.figures import (
+    render_figure4,
+    render_figure5,
+    render_outcome_panel,
+)
+from repro.reporting.tables import (
+    matrix_to_csv,
+    render_table4,
+    render_table5,
+    render_table6,
+)
+
+__all__ = [
+    "render_figure4",
+    "render_figure5",
+    "render_outcome_panel",
+    "matrix_to_csv",
+    "render_table4",
+    "render_table5",
+    "render_table6",
+]

@@ -1,0 +1,87 @@
+"""ASCII rendering of the paper's figures.
+
+Figure 4: per-application outcome percentages for the three tools, with
+confidence-interval whiskers and a stacked PMF bar.  Figure 5: campaign
+execution time normalized to PINFI.  Rendered as terminal text so the
+benchmark harness can print them directly.
+"""
+
+from __future__ import annotations
+
+from repro.campaign.classify import OUTCOME_ORDER
+from repro.campaign.results import CampaignResult
+from repro.stats.intervals import normal_interval
+
+_BAR_WIDTH = 40
+
+
+def _bar(fraction: float, width: int = _BAR_WIDTH, char: str = "#") -> str:
+    n = round(max(0.0, min(1.0, fraction)) * width)
+    return char * n
+
+
+def render_outcome_panel(
+    results: dict[str, CampaignResult], workload: str, confidence: float = 0.95
+) -> str:
+    """One Figure-4 panel: outcome percentages + CIs for the three tools."""
+    tools = list(results)
+    lines = [f"== {workload} (n={next(iter(results.values())).n} per tool) =="]
+    for outcome in OUTCOME_ORDER:
+        lines.append(f"  {outcome.value}:")
+        for tool in tools:
+            res = results[tool]
+            iv = normal_interval(res.frequency(outcome), res.n, confidence)
+            lines.append(
+                f"    {tool:7s} {iv.p * 100:5.1f}% "
+                f"[{iv.low * 100:5.1f}, {iv.high * 100:5.1f}] "
+                f"|{_bar(iv.p)}"
+            )
+    # Stacked PMF bars (the fourth sub-panel of each Figure 4 group).
+    lines.append("  PMF (crash/soc/benign):")
+    for tool in tools:
+        res = results[tool]
+        segments = []
+        for outcome, char in zip(OUTCOME_ORDER, ("C", "S", ".")):
+            segments.append(_bar(res.proportion(outcome), char=char))
+        lines.append(f"    {tool:7s} |{''.join(segments)}|")
+    return "\n".join(lines)
+
+
+def render_figure4(
+    matrix: dict[tuple[str, str], CampaignResult],
+    workloads: list[str],
+    tools: list[str],
+) -> str:
+    """All Figure-4 panels."""
+    panels = []
+    for workload in workloads:
+        per_tool = {t: matrix[(workload, t)] for t in tools}
+        panels.append(render_outcome_panel(per_tool, workload))
+    return "\n\n".join(panels)
+
+
+def render_figure5(
+    matrix: dict[tuple[str, str], CampaignResult],
+    workloads: list[str],
+    baseline: str = "PINFI",
+    tools: tuple[str, ...] = ("LLFI", "REFINE"),
+) -> str:
+    """Figure 5: campaign time normalized to the PINFI baseline, plus the
+    aggregate 'Total' panel (Figure 5o)."""
+    lines = ["== Campaign execution time, normalized to PINFI =="]
+    lines.append(f"  {'app':12s}" + "".join(f"{t:>10s}" for t in tools))
+    totals = {t: 0.0 for t in (*tools, baseline)}
+    for workload in workloads:
+        base = matrix[(workload, baseline)].total_cycles
+        totals[baseline] += base
+        row = f"  {workload:12s}"
+        for tool in tools:
+            cycles = matrix[(workload, tool)].total_cycles
+            totals[tool] += cycles
+            row += f"{cycles / base:10.2f}"
+        lines.append(row)
+    row = f"  {'Total':12s}"
+    for tool in tools:
+        row += f"{totals[tool] / totals[baseline]:10.2f}"
+    lines.append(row)
+    return "\n".join(lines)

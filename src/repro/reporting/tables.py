@@ -1,0 +1,73 @@
+"""Rendering of the paper's tables (4, 5, 6) from campaign results."""
+
+from __future__ import annotations
+
+from repro.campaign.classify import OUTCOME_ORDER
+from repro.campaign.results import CampaignResult
+from repro.stats.tables import ContingencyTable
+
+
+def render_table4(
+    matrix: dict[tuple[str, str], CampaignResult], workload: str = "AMG2013"
+) -> str:
+    """Table 4: contingency table LLFI vs PINFI for one application."""
+    table = ContingencyTable.from_results(
+        matrix[(workload, "LLFI")], matrix[(workload, "PINFI")]
+    )
+    return (
+        f"Contingency table for LLFI vs. PINFI ({workload})\n"
+        + table.to_markdown()
+    )
+
+
+def render_table5(
+    matrix: dict[tuple[str, str], CampaignResult],
+    workloads: list[str],
+    alpha: float = 0.05,
+) -> str:
+    """Table 5: chi-squared tests of LLFI-vs-PINFI and REFINE-vs-PINFI."""
+    lines = [f"Chi-squared test results (alpha = {alpha})"]
+    for pair_name, tool in (("LLFI vs PINFI", "LLFI"), ("REFINE vs PINFI", "REFINE")):
+        lines.append(f"\n-- {pair_name} --")
+        lines.append(f"  {'app':12s} {'p-value':>10s}  significant-difference?")
+        for workload in workloads:
+            table = ContingencyTable.from_results(
+                matrix[(workload, tool)], matrix[(workload, "PINFI")]
+            )
+            test = table.test(alpha)
+            p_str = "~0.00" if test.p_value < 0.005 else f"{test.p_value:.2f}"
+            lines.append(
+                f"  {workload:12s} {p_str:>10s}  {test.verdict()}"
+            )
+    return "\n".join(lines)
+
+
+def render_table6(
+    matrix: dict[tuple[str, str], CampaignResult],
+    workloads: list[str],
+    tools: list[str],
+) -> str:
+    """Table 6: complete outcome frequencies for every app and tool."""
+    lines = ["Complete results of outcome frequencies",
+             f"{'Application':12s} {'Tool':8s} " +
+             " ".join(f"{o.value.capitalize():>7s}" for o in OUTCOME_ORDER)]
+    for workload in workloads:
+        for tool in tools:
+            res = matrix[(workload, tool)]
+            freq = " ".join(f"{res.frequency(o):7d}" for o in OUTCOME_ORDER)
+            lines.append(f"{workload:12s} {tool:8s} {freq}")
+    return "\n".join(lines)
+
+
+def matrix_to_csv(
+    matrix: dict[tuple[str, str], CampaignResult],
+) -> str:
+    """Machine-readable dump of a campaign matrix."""
+    lines = ["workload,tool,n,crash,soc,benign,total_cycles,total_candidates"]
+    for (workload, tool), res in matrix.items():
+        crash, soc, benign = res.frequencies()
+        lines.append(
+            f"{workload},{tool},{res.n},{crash},{soc},{benign},"
+            f"{res.total_cycles:.0f},{res.total_candidates}"
+        )
+    return "\n".join(lines)

@@ -1,0 +1,33 @@
+"""Statistics: sample sizing, confidence intervals, chi-squared testing."""
+
+from repro.stats.compare import ToolComparison, compare_tools, cramers_v
+from repro.stats.chisq import (
+    ChiSquaredResult,
+    chi2_contingency,
+    chi2_sf,
+    gammainc_upper,
+)
+from repro.stats.intervals import Interval, normal_interval, wilson_interval
+from repro.stats.samples import (
+    leveugle_sample_size,
+    margin_of_error,
+    normal_quantile,
+)
+from repro.stats.tables import ContingencyTable
+
+__all__ = [
+    "ToolComparison",
+    "compare_tools",
+    "cramers_v",
+    "ChiSquaredResult",
+    "chi2_contingency",
+    "chi2_sf",
+    "gammainc_upper",
+    "Interval",
+    "normal_interval",
+    "wilson_interval",
+    "leveugle_sample_size",
+    "margin_of_error",
+    "normal_quantile",
+    "ContingencyTable",
+]

@@ -1,0 +1,100 @@
+"""Formal tool-accuracy comparison: chi-squared plus effect size.
+
+The paper's Table 5 reports only significance.  For a production library
+significance alone is misleading at large n (trivial differences become
+"significant"), so this module adds:
+
+* **Cramér's V** — the standard effect size for contingency tables,
+  V = sqrt(chi2 / (n * (min(r, c) - 1))); ~0.1 small, ~0.3 medium,
+  ~0.5 large;
+* **confidence-interval agreement** — the Figure-4 "rule of thumb": the
+  fraction of outcome categories where the tool's proportion falls inside
+  the baseline's CI.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.campaign.classify import OUTCOME_ORDER
+from repro.campaign.results import CampaignResult
+from repro.stats.chisq import ChiSquaredResult
+from repro.stats.intervals import normal_interval
+from repro.stats.tables import ContingencyTable
+
+
+@dataclass
+class ToolComparison:
+    """Full accuracy comparison of one tool against a baseline."""
+
+    workload: str
+    tool: str
+    baseline: str
+    test: ChiSquaredResult
+    cramers_v: float
+    #: per-outcome: does the tool's proportion sit inside the baseline CI?
+    within_ci: dict[str, bool]
+
+    @property
+    def agrees(self) -> bool:
+        """The paper's criterion: not significantly different."""
+        return not self.test.significant
+
+    @property
+    def effect_label(self) -> str:
+        v = self.cramers_v
+        if v < 0.1:
+            return "negligible"
+        if v < 0.3:
+            return "small"
+        if v < 0.5:
+            return "medium"
+        return "large"
+
+    def summary(self) -> str:
+        inside = sum(self.within_ci.values())
+        return (
+            f"{self.workload}: {self.tool} vs {self.baseline} — "
+            f"p={self.test.p_value:.3g} "
+            f"({'different' if self.test.significant else 'similar'}), "
+            f"V={self.cramers_v:.3f} ({self.effect_label}), "
+            f"{inside}/{len(self.within_ci)} outcomes within baseline CI"
+        )
+
+
+def cramers_v(test: ChiSquaredResult, n: int, n_rows: int = 2) -> float:
+    """Cramér's V from a chi-squared statistic over ``n`` observations."""
+    n_cols = test.dof // (n_rows - 1) + 1
+    k = min(n_rows, n_cols)
+    if n <= 0 or k < 2:
+        return 0.0
+    return math.sqrt(test.statistic / (n * (k - 1)))
+
+
+def compare_tools(
+    tool_result: CampaignResult,
+    baseline_result: CampaignResult,
+    alpha: float = 0.05,
+    confidence: float = 0.95,
+) -> ToolComparison:
+    """Compare a tool's outcome distribution against the baseline's."""
+    table = ContingencyTable.from_results(tool_result, baseline_result)
+    test = table.test(alpha)
+    total = tool_result.n + baseline_result.n
+    within = {}
+    for outcome in OUTCOME_ORDER:
+        base_iv = normal_interval(
+            baseline_result.frequency(outcome), baseline_result.n, confidence
+        )
+        within[outcome.value] = base_iv.contains(
+            tool_result.proportion(outcome)
+        )
+    return ToolComparison(
+        workload=tool_result.workload,
+        tool=tool_result.tool,
+        baseline=baseline_result.tool,
+        test=test,
+        cramers_v=cramers_v(test, total),
+        within_ci=within,
+    )

@@ -1,0 +1,55 @@
+"""Confidence intervals for outcome proportions (Figure 4's whiskers)."""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.errors import StatsError
+from repro.stats.samples import normal_quantile
+
+
+@dataclass(frozen=True)
+class Interval:
+    """A proportion with its confidence interval."""
+
+    p: float
+    low: float
+    high: float
+
+    def contains(self, value: float) -> bool:
+        return self.low <= value <= self.high
+
+    def overlaps(self, other: "Interval") -> bool:
+        return self.low <= other.high and other.low <= self.high
+
+
+def _check(successes: int, n: int, confidence: float) -> float:
+    if n <= 0:
+        raise StatsError("n must be positive")
+    if not 0 <= successes <= n:
+        raise StatsError(f"successes {successes} out of range for n={n}")
+    if not 0 < confidence < 1:
+        raise StatsError("confidence must be in (0, 1)")
+    return normal_quantile(0.5 + confidence / 2.0)
+
+
+def normal_interval(successes: int, n: int, confidence: float = 0.95) -> Interval:
+    """Wald (normal approximation) interval — what the paper's error bars
+    use, via the Leveugle margin-of-error formulation."""
+    z = _check(successes, n, confidence)
+    p = successes / n
+    half = z * math.sqrt(p * (1.0 - p) / n)
+    return Interval(p, max(0.0, p - half), min(1.0, p + half))
+
+
+def wilson_interval(successes: int, n: int, confidence: float = 0.95) -> Interval:
+    """Wilson score interval — better behaviour near 0/1, used by the extra
+    analyses beyond the paper."""
+    z = _check(successes, n, confidence)
+    p = successes / n
+    z2 = z * z
+    denom = 1.0 + z2 / n
+    center = (p + z2 / (2.0 * n)) / denom
+    half = (z / denom) * math.sqrt(p * (1.0 - p) / n + z2 / (4.0 * n * n))
+    return Interval(p, max(0.0, center - half), min(1.0, center + half))

@@ -1,0 +1,93 @@
+"""Statistical fault injection sample sizing (Leveugle et al., DATE 2009).
+
+The paper draws 1068 samples per (application, tool) so that outcome
+proportions carry a margin of error of at most 3% at 95% confidence.  The
+formula, for a fault population of size ``N`` (here: the number of dynamic
+candidate instructions x operands x bits — effectively huge)::
+
+    n = N / (1 + e^2 * (N - 1) / (t^2 * p * (1 - p)))
+
+with ``p = 0.5`` (worst case), ``t`` the two-sided normal quantile for the
+confidence level, and ``e`` the margin of error.  As N -> inf this tends to
+``t^2 p (1-p) / e^2`` ~= 1067.07 -> 1068 samples.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.errors import StatsError
+
+
+def normal_quantile(p: float) -> float:
+    """Inverse standard-normal CDF (Acklam's rational approximation,
+    |relative error| < 1.15e-9 — plenty for sample sizing)."""
+    if not 0.0 < p < 1.0:
+        raise StatsError(f"quantile argument must be in (0, 1), got {p}")
+    # Coefficients for the rational approximations.
+    a = (-3.969683028665376e01, 2.209460984245205e02, -2.759285104469687e02,
+         1.383577518672690e02, -3.066479806614716e01, 2.506628277459239e00)
+    b = (-5.447609879822406e01, 1.615858368580409e02, -1.556989798598866e02,
+         6.680131188771972e01, -1.328068155288572e01)
+    c = (-7.784894002430293e-03, -3.223964580411365e-01, -2.400758277161838e00,
+         -2.549732539343734e00, 4.374664141464968e00, 2.938163982698783e00)
+    d = (7.784695709041462e-03, 3.224671290700398e-01, 2.445134137142996e00,
+         3.754408661907416e00)
+    p_low = 0.02425
+    if p < p_low:
+        q = math.sqrt(-2.0 * math.log(p))
+        return (
+            ((((c[0] * q + c[1]) * q + c[2]) * q + c[3]) * q + c[4]) * q + c[5]
+        ) / ((((d[0] * q + d[1]) * q + d[2]) * q + d[3]) * q + 1.0)
+    if p <= 1.0 - p_low:
+        q = p - 0.5
+        r = q * q
+        return (
+            (((((a[0] * r + a[1]) * r + a[2]) * r + a[3]) * r + a[4]) * r + a[5])
+            * q
+        ) / (((((b[0] * r + b[1]) * r + b[2]) * r + b[3]) * r + b[4]) * r + 1.0)
+    q = math.sqrt(-2.0 * math.log(1.0 - p))
+    return -(
+        ((((c[0] * q + c[1]) * q + c[2]) * q + c[3]) * q + c[4]) * q + c[5]
+    ) / ((((d[0] * q + d[1]) * q + d[2]) * q + d[3]) * q + 1.0)
+
+
+def leveugle_sample_size(
+    population: float = math.inf,
+    margin: float = 0.03,
+    confidence: float = 0.95,
+    p: float = 0.5,
+) -> int:
+    """Number of fault-injection samples for the requested margin of error.
+
+    ``population=inf`` gives the asymptotic (and the paper's) value: 1068
+    for 3% at 95%.
+    """
+    if not 0 < margin < 1:
+        raise StatsError(f"margin must be in (0,1), got {margin}")
+    if not 0 < confidence < 1:
+        raise StatsError(f"confidence must be in (0,1), got {confidence}")
+    if not 0 < p < 1:
+        raise StatsError(f"p must be in (0,1), got {p}")
+    t = normal_quantile(0.5 + confidence / 2.0)
+    n_inf = t * t * p * (1.0 - p) / (margin * margin)
+    if math.isinf(population):
+        return math.ceil(n_inf)
+    if population <= 0:
+        raise StatsError("population must be positive")
+    n = population / (
+        1.0 + margin * margin * (population - 1.0) / (t * t * p * (1.0 - p))
+    )
+    return math.ceil(n)
+
+
+def margin_of_error(
+    n: int, confidence: float = 0.95, p: float = 0.5
+) -> float:
+    """Margin of error actually achieved by ``n`` samples (inverse of the
+    asymptotic Leveugle formula) — reported whenever a campaign runs with a
+    sample count other than 1068."""
+    if n <= 0:
+        raise StatsError("n must be positive")
+    t = normal_quantile(0.5 + confidence / 2.0)
+    return t * math.sqrt(p * (1.0 - p) / n)

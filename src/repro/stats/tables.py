@@ -1,0 +1,56 @@
+"""Contingency tables over campaign results (paper Tables 4-6)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.campaign.classify import OUTCOME_ORDER
+from repro.campaign.results import CampaignResult
+from repro.stats.chisq import ChiSquaredResult, chi2_contingency
+
+
+@dataclass
+class ContingencyTable:
+    """A 2 x 3 (tool x outcome) frequency table, like the paper's Table 4."""
+
+    workload: str
+    tool_a: str
+    tool_b: str
+    row_a: tuple[int, int, int]
+    row_b: tuple[int, int, int]
+
+    @classmethod
+    def from_results(
+        cls, a: CampaignResult, b: CampaignResult
+    ) -> "ContingencyTable":
+        assert a.workload == b.workload, "tables compare one workload"
+        return cls(
+            workload=a.workload,
+            tool_a=a.tool,
+            tool_b=b.tool,
+            row_a=a.frequencies(),
+            row_b=b.frequencies(),
+        )
+
+    def rows(self) -> list[list[int]]:
+        return [list(self.row_a), list(self.row_b)]
+
+    def test(self, alpha: float = 0.05) -> ChiSquaredResult:
+        """Chi-squared homogeneity test between the two tools."""
+        return chi2_contingency(self.rows(), alpha=alpha)
+
+    def to_markdown(self) -> str:
+        header = ["Tool"] + [o.value.capitalize() for o in OUTCOME_ORDER] + ["Total"]
+        lines = [
+            "| " + " | ".join(header) + " |",
+            "|" + "---|" * len(header),
+        ]
+        for tool, row in ((self.tool_a, self.row_a), (self.tool_b, self.row_b)):
+            lines.append(
+                "| " + " | ".join([tool] + [str(v) for v in row] + [str(sum(row))]) + " |"
+            )
+        totals = [self.row_a[i] + self.row_b[i] for i in range(3)]
+        lines.append(
+            "| Total | " + " | ".join(str(v) for v in totals) + " |  |"
+        )
+        return "\n".join(lines)

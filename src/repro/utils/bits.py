@@ -1,0 +1,56 @@
+"""Two's-complement 64-bit integer helpers.
+
+The simulated machine stores general-purpose registers as *signed* Python
+integers constrained to the 64-bit two's-complement range.  These helpers
+convert between signed and unsigned views and implement the single-bit upset
+used by the fault model.
+"""
+
+from __future__ import annotations
+
+#: Mask selecting the low 64 bits of an integer.
+MASK64 = (1 << 64) - 1
+
+#: Smallest / largest representable signed 64-bit values.
+INT64_MIN = -(1 << 63)
+INT64_MAX = (1 << 63) - 1
+
+
+def to_unsigned64(value: int) -> int:
+    """Return the unsigned 64-bit view of ``value`` (any Python int)."""
+    return value & MASK64
+
+
+def to_signed64(value: int) -> int:
+    """Return the signed two's-complement interpretation of ``value``."""
+    value &= MASK64
+    if value > INT64_MAX:
+        value -= 1 << 64
+    return value
+
+
+def sign_extend(value: int, bits: int) -> int:
+    """Sign-extend the low ``bits`` bits of ``value`` to a signed integer."""
+    if bits <= 0:
+        raise ValueError("bit count must be positive")
+    value &= (1 << bits) - 1
+    sign = 1 << (bits - 1)
+    return (value ^ sign) - sign
+
+
+def flip_bit(value: int, bit: int, width: int = 64) -> int:
+    """Flip bit ``bit`` of the ``width``-bit two's-complement ``value``.
+
+    The result is returned as a *signed* integer of the same width, matching
+    how the simulated machine stores register contents.  Flipping is an
+    involution: ``flip_bit(flip_bit(v, b), b) == v``.
+    """
+    if not 0 <= bit < width:
+        raise ValueError(f"bit {bit} out of range for width {width}")
+    flipped = (value & ((1 << width) - 1)) ^ (1 << bit)
+    return sign_extend(flipped, width)
+
+
+def bit_width(value: int) -> int:
+    """Number of bits needed to represent the unsigned view of ``value``."""
+    return to_unsigned64(value).bit_length()

@@ -1,0 +1,71 @@
+"""Deterministic random streams for fault-injection experiments.
+
+Every FI experiment must be a pure function of ``(workload, tool, seed)`` so
+that fault logs can be replayed bit-for-bit.  We use SplitMix64 — a tiny,
+well-studied generator with a one-word state — rather than :mod:`random` so
+the stream is stable across Python versions and trivially portable, mirroring
+how the paper's injection library is a small self-contained C file.
+"""
+
+from __future__ import annotations
+
+from repro.utils.bits import MASK64
+
+_GAMMA = 0x9E3779B97F4A7C15
+
+
+class SplitMix64:
+    """SplitMix64 pseudo-random generator (Steele, Lea & Flood 2014)."""
+
+    __slots__ = ("_state",)
+
+    def __init__(self, seed: int) -> None:
+        self._state = seed & MASK64
+
+    def next_u64(self) -> int:
+        """Return the next 64-bit unsigned pseudo-random value."""
+        self._state = (self._state + _GAMMA) & MASK64
+        z = self._state
+        z = ((z ^ (z >> 30)) * 0xBF58476D1CE4E5B9) & MASK64
+        z = ((z ^ (z >> 27)) * 0x94D049BB133111EB) & MASK64
+        return z ^ (z >> 31)
+
+    def randrange(self, n: int) -> int:
+        """Uniform integer in ``[0, n)`` via rejection sampling (unbiased)."""
+        if n <= 0:
+            raise ValueError("randrange() bound must be positive")
+        # Rejection threshold: largest multiple of n that fits in 2**64.
+        limit = (1 << 64) - ((1 << 64) % n)
+        while True:
+            value = self.next_u64()
+            if value < limit:
+                return value % n
+
+    def random(self) -> float:
+        """Uniform float in ``[0, 1)`` with 53 bits of entropy."""
+        return (self.next_u64() >> 11) * (1.0 / (1 << 53))
+
+
+def derive_seed(base_seed: int, *components: int | str) -> int:
+    """Derive a child seed from a base seed and a path of components.
+
+    Used to give each (workload, tool, experiment-index) its own independent
+    stream, so adding experiments never perturbs existing ones.
+    """
+    h = base_seed & MASK64
+    for comp in components:
+        if isinstance(comp, str):
+            # FNV-1a over the UTF-8 bytes keeps string components stable.
+            part = 0xCBF29CE484222325
+            for byte in comp.encode("utf-8"):
+                part = ((part ^ byte) * 0x100000001B3) & MASK64
+        else:
+            part = comp & MASK64
+        h ^= part
+        # One SplitMix64 scramble round mixes the component in thoroughly.
+        h = (h + _GAMMA) & MASK64
+        z = h
+        z = ((z ^ (z >> 30)) * 0xBF58476D1CE4E5B9) & MASK64
+        z = ((z ^ (z >> 27)) * 0x94D049BB133111EB) & MASK64
+        h = z ^ (z >> 31)
+    return h

@@ -1,0 +1,96 @@
+"""AMG2013 analogue: two-level algebraic multigrid V-cycles on 1D Poisson.
+
+The original solves a 3D Laplace system with multigrid; the kernel mix is
+weighted-Jacobi smoothing, residual computation, restriction and
+prolongation — all reproduced here on a 1D grid with a direct analogue of
+the V-cycle structure.
+"""
+
+from repro.workloads.registry import WorkloadSpec, register
+
+SOURCE = r"""
+// AMG2013 analogue: 2-level multigrid V-cycle for -u'' = f on [0,1].
+double u[33];
+double f[33];
+double r[33];
+double rc[17];
+double ec[17];
+int NF = 32;
+int NC = 16;
+double H2 = 0.0009765625;    // h^2 with h = 1/32
+double H2C = 0.00390625;     // (2h)^2
+
+void smooth(double* x, double* rhs, int n, double h2, int iters) {
+  for (int it = 0; it < iters; it = it + 1) {
+    for (int i = 1; i < n; i = i + 1) {
+      double gs = 0.5 * (x[i - 1] + x[i + 1] + h2 * rhs[i]);
+      x[i] = x[i] + 0.8 * (gs - x[i]);
+    }
+  }
+}
+
+void residual(double* x, double* rhs, double* res, int n, double h2) {
+  for (int i = 1; i < n; i = i + 1) {
+    res[i] = rhs[i] - (2.0 * x[i] - x[i - 1] - x[i + 1]) / h2;
+  }
+  res[0] = 0.0;
+  res[n] = 0.0;
+}
+
+double norm2(double* v, int n) {
+  double s = 0.0;
+  for (int i = 0; i <= n; i = i + 1) {
+    s = s + v[i] * v[i];
+  }
+  return sqrt(s);
+}
+
+int main() {
+  // f(x) = sin-like forcing via quadratic bump; u = 0 initial guess.
+  for (int i = 0; i <= NF; i = i + 1) {
+    double x = (double)i / 32.0;
+    f[i] = x * (1.0 - x) * 8.0;
+    u[i] = 0.0;
+  }
+
+  for (int cycle = 0; cycle < 2; cycle = cycle + 1) {
+    // Pre-smooth on the fine grid.
+    smooth(u, f, NF, H2, 2);
+    residual(u, f, r, NF, H2);
+    // Restrict (full weighting) to the coarse grid.
+    for (int i = 1; i < NC; i = i + 1) {
+      rc[i] = 0.25 * r[2 * i - 1] + 0.5 * r[2 * i] + 0.25 * r[2 * i + 1];
+      ec[i] = 0.0;
+    }
+    rc[0] = 0.0; rc[NC] = 0.0; ec[0] = 0.0; ec[NC] = 0.0;
+    // "Coarse solve": many smoothing sweeps.
+    smooth(ec, rc, NC, H2C, 8);
+    // Prolongate and correct.
+    for (int i = 1; i < NC; i = i + 1) {
+      u[2 * i] = u[2 * i] + ec[i];
+      u[2 * i + 1] = u[2 * i + 1] + 0.5 * (ec[i] + ec[i + 1]);
+    }
+    u[1] = u[1] + 0.5 * ec[1];
+    // Post-smooth.
+    smooth(u, f, NF, H2, 2);
+  }
+
+  residual(u, f, r, NF, H2);
+  print_double(norm2(r, NF));
+  print_double(norm2(u, NF));
+  double mid = u[16];
+  print_double(mid);
+  return 0;
+}
+"""
+
+register(
+    WorkloadSpec(
+        name="AMG2013",
+        description="algebraic multigrid V-cycles (smoothing/restriction/"
+        "prolongation) on a 1D Poisson problem",
+        paper_input="-in sstruct.in.MG.FD -r 24 24 24",
+        input_desc="1D Poisson n=32, 2-level V-cycle x2",
+        source=SOURCE,
+    )
+)

@@ -1,0 +1,100 @@
+"""CoMD analogue: Lennard-Jones molecular dynamics with velocity Verlet.
+
+The original computes EAM/LJ forces over link cells; the dominant kernel —
+an O(N^2-ish) pair force loop with square roots and cutoff branches feeding
+a time integrator — is reproduced directly.
+"""
+
+from repro.workloads.registry import WorkloadSpec, register
+
+SOURCE = r"""
+// CoMD analogue: 1D-periodic Lennard-Jones MD, N particles, velocity Verlet.
+double px[14];
+double pv[14];
+double pf[14];
+int N = 14;
+double BOX = 14.0;
+double CUTOFF = 3.0;
+double DT = 0.002;
+
+double pair_force(double rx) {
+  // LJ: F = 24*eps*(2*(s/r)^12 - (s/r)^6)/r with eps = s = 1.
+  double inv = 1.0 / rx;
+  double r2 = inv * inv;
+  double r6 = r2 * r2 * r2;
+  double r12 = r6 * r6;
+  return 24.0 * (2.0 * r12 - r6) * inv;
+}
+
+double compute_forces() {
+  double epot = 0.0;
+  for (int i = 0; i < N; i = i + 1) {
+    pf[i] = 0.0;
+  }
+  for (int i = 0; i < N; i = i + 1) {
+    for (int j = i + 1; j < N; j = j + 1) {
+      double dx = px[i] - px[j];
+      // minimum-image convention
+      if (dx > 0.5 * BOX) { dx = dx - BOX; }
+      if (dx < -0.5 * BOX) { dx = dx + BOX; }
+      double r = fabs(dx);
+      if (r < CUTOFF && r > 0.001) {
+        double fmag = pair_force(r);
+        double dir = 1.0;
+        if (dx < 0.0) { dir = -1.0; }
+        pf[i] = pf[i] + fmag * dir;
+        pf[j] = pf[j] - fmag * dir;
+        double inv = 1.0 / r;
+        double r6 = inv * inv * inv * inv * inv * inv;
+        epot = epot + 4.0 * (r6 * r6 - r6);
+      }
+    }
+  }
+  return epot;
+}
+
+int main() {
+  // Lattice positions with a deterministic jitter.
+  int seed = 2017;
+  for (int i = 0; i < N; i = i + 1) {
+    seed = (seed * 1103515245 + 12345) % 2147483648;
+    double jitter = (double)seed / 2147483648.0 * 0.1 - 0.05;
+    px[i] = (double)i + jitter;
+    pv[i] = 0.0;
+  }
+
+  double epot = compute_forces();
+  double ekin = 0.0;
+  for (int step = 0; step < 3; step = step + 1) {
+    // velocity Verlet: kick-drift-kick
+    for (int i = 0; i < N; i = i + 1) {
+      pv[i] = pv[i] + 0.5 * DT * pf[i];
+      px[i] = px[i] + DT * pv[i];
+      if (px[i] >= BOX) { px[i] = px[i] - BOX; }
+      if (px[i] < 0.0) { px[i] = px[i] + BOX; }
+    }
+    epot = compute_forces();
+    ekin = 0.0;
+    for (int i = 0; i < N; i = i + 1) {
+      pv[i] = pv[i] + 0.5 * DT * pf[i];
+      ekin = ekin + 0.5 * pv[i] * pv[i];
+    }
+  }
+
+  print_double(epot);
+  print_double(ekin);
+  print_double(epot + ekin);
+  return 0;
+}
+"""
+
+register(
+    WorkloadSpec(
+        name="CoMD",
+        description="Lennard-Jones molecular dynamics pair-force loop with "
+        "velocity Verlet integration (periodic, cutoff)",
+        paper_input="-d ./pots/ -e -i 1 -j 1 -k 1 -x 32 -y 32 -z 32",
+        input_desc="N=14 particles, 3 velocity-Verlet steps, LJ cutoff 3.0",
+        source=SOURCE,
+    )
+)

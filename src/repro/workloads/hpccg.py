@@ -1,0 +1,86 @@
+"""HPCCG analogue: conjugate gradient on a banded sparse system.
+
+The original solves a 27-point-stencil sparse system with CG; the kernels —
+``ddot``, ``waxpby`` and a sparse matrix-vector product — are exactly the
+ones reproduced here on a tridiagonal-with-fringe matrix.
+"""
+
+from repro.workloads.registry import WorkloadSpec, register
+
+SOURCE = r"""
+// HPCCG analogue: CG on a 1D 3-point-stencil system A x = b, n = 48.
+double xv[32];
+double bv[32];
+double rv[32];
+double pv[32];
+double Ap[32];
+int N = 32;
+
+double ddot(double* a, double* b, int n) {
+  double s = 0.0;
+  for (int i = 0; i < n; i = i + 1) {
+    s = s + a[i] * b[i];
+  }
+  return s;
+}
+
+void waxpby(double alpha, double* x, double beta, double* y, double* w, int n) {
+  for (int i = 0; i < n; i = i + 1) {
+    w[i] = alpha * x[i] + beta * y[i];
+  }
+}
+
+void sparsemv(double* x, double* y, int n) {
+  // A = tridiag(-1, 4, -1) with periodic fringe terms (27-pt flavour).
+  for (int i = 0; i < n; i = i + 1) {
+    double s = 4.0 * x[i];
+    if (i > 0) { s = s - x[i - 1]; }
+    if (i < n - 1) { s = s - x[i + 1]; }
+    s = s - 0.5 * x[(i + 8) % n];
+    y[i] = s;
+  }
+}
+
+int main() {
+  for (int i = 0; i < N; i = i + 1) {
+    xv[i] = 0.0;
+    bv[i] = 1.0 + (double)(i % 5) * 0.25;
+  }
+  // r = b - A x = b; p = r
+  waxpby(1.0, bv, 0.0, bv, rv, N);
+  waxpby(1.0, rv, 0.0, rv, pv, N);
+  double rtrans = ddot(rv, rv, N);
+
+  int iters = 0;
+  for (int k = 0; k < 8; k = k + 1) {
+    sparsemv(pv, Ap, N);
+    double alpha = rtrans / ddot(pv, Ap, N);
+    waxpby(1.0, xv, alpha, pv, xv, N);
+    waxpby(1.0, rv, -alpha, Ap, rv, N);
+    double rtrans_new = ddot(rv, rv, N);
+    double beta = rtrans_new / rtrans;
+    rtrans = rtrans_new;
+    waxpby(1.0, rv, beta, pv, pv, N);
+    iters = iters + 1;
+    if (rtrans < 0.0000000001) {
+      break;
+    }
+  }
+
+  print_int(iters);
+  print_double(sqrt(rtrans));
+  print_double(ddot(xv, xv, N));
+  return 0;
+}
+"""
+
+register(
+    WorkloadSpec(
+        name="HPCCG-1.0",
+        description="conjugate-gradient solver: ddot, waxpby and sparse "
+        "matrix-vector kernels",
+        paper_input="128 128 128",
+        input_desc="3-point stencil n=32, 8 CG iterations",
+        source=SOURCE,
+    )
+)

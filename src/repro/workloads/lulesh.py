@@ -1,0 +1,111 @@
+"""LULESH analogue: 1D Lagrangian shock hydrodynamics (Sod-like tube).
+
+The original advances an unstructured hexahedral mesh through a Sedov blast;
+the characteristic kernels — EOS evaluation, artificial viscosity with
+compression branches, nodal force accumulation and a Courant timestep — are
+reproduced on a 1D staggered mesh.
+"""
+
+from repro.workloads.registry import WorkloadSpec, register
+
+SOURCE = r"""
+// LULESH analogue: 1D Lagrangian hydro, 32 elements, Sod-like initial state.
+double nx[25];    // node positions
+double nv[25];    // node velocities
+double e[24];     // element internal energy
+double rho[24];   // element density
+double p[24];     // element pressure
+double q[24];     // artificial viscosity
+double m[24];     // element mass
+int NEL = 24;
+double GAMMA = 1.4;
+
+int main() {
+  // Sod tube: high density/pressure left half, low right half.
+  for (int i = 0; i <= NEL; i = i + 1) {
+    nx[i] = (double)i / 24.0;
+    nv[i] = 0.0;
+  }
+  for (int i = 0; i < NEL; i = i + 1) {
+    if (i < 12) {
+      rho[i] = 1.0;
+      p[i] = 1.0;
+    } else {
+      rho[i] = 0.125;
+      p[i] = 0.1;
+    }
+    double dx = nx[i + 1] - nx[i];
+    m[i] = rho[i] * dx;
+    e[i] = p[i] / ((GAMMA - 1.0) * rho[i]);
+    q[i] = 0.0;
+  }
+
+  double t = 0.0;
+  for (int step = 0; step < 7; step = step + 1) {
+    // Courant timestep from sound speed.
+    double dt = 1.0;
+    for (int i = 0; i < NEL; i = i + 1) {
+      double dx = nx[i + 1] - nx[i];
+      double cs = sqrt(GAMMA * p[i] / rho[i]);
+      double dtc = 0.3 * dx / (cs + 0.0001);
+      if (dtc < dt) { dt = dtc; }
+    }
+
+    // Artificial viscosity: only in compression.
+    for (int i = 0; i < NEL; i = i + 1) {
+      double dv = nv[i + 1] - nv[i];
+      if (dv < 0.0) {
+        double dx = nx[i + 1] - nx[i];
+        double cs = sqrt(GAMMA * p[i] / rho[i]);
+        q[i] = rho[i] * (1.5 * dv * dv - 0.5 * cs * dv);
+      } else {
+        q[i] = 0.0;
+      }
+    }
+
+    // Nodal force = pressure difference across the node; accelerate.
+    for (int i = 1; i < NEL; i = i + 1) {
+      double force = (p[i - 1] + q[i - 1]) - (p[i] + q[i]);
+      double nodal_mass = 0.5 * (m[i - 1] + m[i]);
+      nv[i] = nv[i] + dt * force / nodal_mass;
+    }
+
+    // Move nodes (ends fixed), update density/energy/pressure.
+    for (int i = 1; i < NEL; i = i + 1) {
+      nx[i] = nx[i] + dt * nv[i];
+    }
+    for (int i = 0; i < NEL; i = i + 1) {
+      double dx = nx[i + 1] - nx[i];
+      double rho_new = m[i] / dx;
+      double dv = nv[i + 1] - nv[i];
+      e[i] = e[i] - dt * (p[i] + q[i]) * dv / m[i];
+      if (e[i] < 0.0) { e[i] = 0.0; }
+      rho[i] = rho_new;
+      p[i] = (GAMMA - 1.0) * rho[i] * e[i];
+    }
+    t = t + dt;
+  }
+
+  // Final-origin-energy style verification output.
+  double etot = 0.0;
+  for (int i = 0; i < NEL; i = i + 1) {
+    etot = etot + m[i] * e[i];
+  }
+  print_double(t);
+  print_double(etot);
+  print_double(e[0]);
+  print_double(p[12]);
+  return 0;
+}
+"""
+
+register(
+    WorkloadSpec(
+        name="lulesh",
+        description="1D Lagrangian shock hydrodynamics: EOS, artificial "
+        "viscosity with compression branches, Courant timestep",
+        paper_input="(default)",
+        input_desc="Sod tube, 24 elements, 7 timesteps",
+        source=SOURCE,
+    )
+)

@@ -1,0 +1,101 @@
+"""miniFE analogue: finite-element assembly followed by a CG solve.
+
+The original assembles a hex-element stiffness matrix then runs CG; both
+phases are reproduced (1D linear elements -> tridiagonal stiffness, then the
+same CG kernels as HPCCG but on the assembled operator with a source term).
+"""
+
+from repro.workloads.registry import WorkloadSpec, register
+
+SOURCE = r"""
+// miniFE analogue: assemble 1D FE stiffness + mass, solve with CG. n = 40.
+double kd[28];    // stiffness diagonal
+double ko[28];    // stiffness off-diagonal (to the right)
+double bv[28];
+double xv[28];
+double rv[28];
+double pv[28];
+double Ap[28];
+int N = 28;
+
+void matvec(double* x, double* y, int n) {
+  for (int i = 0; i < n; i = i + 1) {
+    double s = kd[i] * x[i];
+    if (i > 0) { s = s + ko[i - 1] * x[i - 1]; }
+    if (i < n - 1) { s = s + ko[i] * x[i + 1]; }
+    y[i] = s;
+  }
+}
+
+double dot(double* a, double* b, int n) {
+  double s = 0.0;
+  for (int i = 0; i < n; i = i + 1) { s = s + a[i] * b[i]; }
+  return s;
+}
+
+int main() {
+  double h = 1.0 / 29.0;
+  // Element-by-element assembly: K_e = (1/h) [[1,-1],[-1,1]].
+  for (int i = 0; i < N; i = i + 1) {
+    kd[i] = 0.0;
+    ko[i] = 0.0;
+    bv[i] = 0.0;
+    xv[i] = 0.0;
+  }
+  for (int el = 0; el <= N; el = el + 1) {
+    double ke = 1.0 / h;
+    double fe = 0.5 * h;                 // uniform body force
+    int left = el - 1;
+    int right = el;
+    if (left >= 0) {
+      kd[left] = kd[left] + ke;
+      bv[left] = bv[left] + fe;
+    }
+    if (right < N) {
+      kd[right] = kd[right] + ke;
+      bv[right] = bv[right] + fe;
+    }
+    if (left >= 0 && right < N) {
+      ko[left] = ko[left] - ke;
+    }
+  }
+
+  // CG solve.
+  for (int i = 0; i < N; i = i + 1) { rv[i] = bv[i]; pv[i] = bv[i]; }
+  double rtrans = dot(rv, rv, N);
+  int iters = 0;
+  for (int k = 0; k < 10; k = k + 1) {
+    matvec(pv, Ap, N);
+    double alpha = rtrans / dot(pv, Ap, N);
+    for (int i = 0; i < N; i = i + 1) {
+      xv[i] = xv[i] + alpha * pv[i];
+      rv[i] = rv[i] - alpha * Ap[i];
+    }
+    double rnew = dot(rv, rv, N);
+    double beta = rnew / rtrans;
+    rtrans = rnew;
+    for (int i = 0; i < N; i = i + 1) { pv[i] = rv[i] + beta * pv[i]; }
+    iters = iters + 1;
+    if (rtrans < 0.0000000001) { break; }
+  }
+
+  // Strain-energy style verification.
+  matvec(xv, Ap, N);
+  print_int(iters);
+  print_double(sqrt(rtrans));
+  print_double(0.5 * dot(xv, Ap, N));
+  print_double(xv[14]);
+  return 0;
+}
+"""
+
+register(
+    WorkloadSpec(
+        name="miniFE",
+        description="finite-element stiffness assembly followed by a CG "
+        "solve (assembly scatter + sparse kernels)",
+        paper_input="-nx 18 -ny 16 -nz 16",
+        input_desc="1D linear elements n=28, 10 CG iterations",
+        source=SOURCE,
+    )
+)

@@ -1,0 +1,96 @@
+"""NAS BT analogue: block-tridiagonal line solves.
+
+BT's ADI sweeps solve block-tridiagonal systems along grid lines; the
+reproduced kernel is a 2x2-block Thomas algorithm (forward elimination +
+back-substitution) applied to several lines with different coefficients.
+"""
+
+from repro.workloads.registry import WorkloadSpec, register
+
+SOURCE = r"""
+// NAS BT analogue: 2x2 block tridiagonal solver over 6 lines of length 20.
+// Block layout: per line, per cell k: A (sub), B (diag), C (super), rhs r.
+double Bd[80];    // diag blocks, 4 doubles per cell (20 cells)
+double Cd[80];    // super blocks
+double Ad[80];    // sub blocks
+double rr[40];    // rhs, 2 per cell
+double sol[40];
+int NCELL = 20;
+
+void solve_line(double coef) {
+  // Build the system for this line.
+  for (int k = 0; k < NCELL; k = k + 1) {
+    int b = 4 * k;
+    Bd[b] = 4.0 + coef;      Bd[b + 1] = 0.5;
+    Bd[b + 2] = 0.3;         Bd[b + 3] = 3.5 + coef;
+    Ad[b] = -1.0; Ad[b + 1] = 0.1; Ad[b + 2] = 0.0; Ad[b + 3] = -1.0;
+    Cd[b] = -1.0; Cd[b + 1] = 0.0; Cd[b + 2] = 0.2; Cd[b + 3] = -1.0;
+    rr[2 * k] = 1.0 + (double)k * 0.1 + coef;
+    rr[2 * k + 1] = 2.0 - (double)k * 0.05;
+  }
+
+  // Forward elimination: B_k' = B_k - A_k * B_{k-1}'^-1 * C_{k-1} etc.
+  for (int k = 1; k < NCELL; k = k + 1) {
+    int b = 4 * k;
+    int pb = 4 * (k - 1);
+    // invert previous diag block (2x2)
+    double det = Bd[pb] * Bd[pb + 3] - Bd[pb + 1] * Bd[pb + 2];
+    double i00 = Bd[pb + 3] / det;
+    double i01 = -Bd[pb + 1] / det;
+    double i10 = -Bd[pb + 2] / det;
+    double i11 = Bd[pb] / det;
+    // L = A_k * inv(B_{k-1})
+    double l00 = Ad[b] * i00 + Ad[b + 1] * i10;
+    double l01 = Ad[b] * i01 + Ad[b + 1] * i11;
+    double l10 = Ad[b + 2] * i00 + Ad[b + 3] * i10;
+    double l11 = Ad[b + 2] * i01 + Ad[b + 3] * i11;
+    // B_k -= L * C_{k-1}
+    Bd[b]     = Bd[b]     - (l00 * Cd[pb]     + l01 * Cd[pb + 2]);
+    Bd[b + 1] = Bd[b + 1] - (l00 * Cd[pb + 1] + l01 * Cd[pb + 3]);
+    Bd[b + 2] = Bd[b + 2] - (l10 * Cd[pb]     + l11 * Cd[pb + 2]);
+    Bd[b + 3] = Bd[b + 3] - (l10 * Cd[pb + 1] + l11 * Cd[pb + 3]);
+    // r_k -= L * r_{k-1}
+    rr[2 * k]     = rr[2 * k]     - (l00 * rr[2 * k - 2] + l01 * rr[2 * k - 1]);
+    rr[2 * k + 1] = rr[2 * k + 1] - (l10 * rr[2 * k - 2] + l11 * rr[2 * k - 1]);
+  }
+
+  // Back substitution.
+  for (int k = NCELL - 1; k >= 0; k = k - 1) {
+    int b = 4 * k;
+    double r0 = rr[2 * k];
+    double r1 = rr[2 * k + 1];
+    if (k < NCELL - 1) {
+      r0 = r0 - (Cd[b] * sol[2 * k + 2] + Cd[b + 1] * sol[2 * k + 3]);
+      r1 = r1 - (Cd[b + 2] * sol[2 * k + 2] + Cd[b + 3] * sol[2 * k + 3]);
+    }
+    double det = Bd[b] * Bd[b + 3] - Bd[b + 1] * Bd[b + 2];
+    sol[2 * k] = (r0 * Bd[b + 3] - r1 * Bd[b + 1]) / det;
+    sol[2 * k + 1] = (r1 * Bd[b] - r0 * Bd[b + 2]) / det;
+  }
+}
+
+int main() {
+  double checksum = 0.0;
+  for (int line = 0; line < 4; line = line + 1) {
+    solve_line((double)line * 0.25);
+    for (int k = 0; k < 2 * NCELL; k = k + 1) {
+      checksum = checksum + sol[k] * (double)(k + 1);
+    }
+  }
+  print_double(checksum);
+  print_double(sol[0]);
+  print_double(sol[39]);
+  return 0;
+}
+"""
+
+register(
+    WorkloadSpec(
+        name="BT",
+        description="NAS BT: 2x2 block-tridiagonal Thomas solves (forward "
+        "elimination + back-substitution) along grid lines",
+        paper_input="A",
+        input_desc="4 lines x 20 cells of 2x2 blocks",
+        source=SOURCE,
+    )
+)

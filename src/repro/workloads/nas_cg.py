@@ -1,0 +1,98 @@
+"""NAS CG analogue: eigenvalue estimation by inverse power iteration.
+
+NAS CG estimates the largest eigenvalue of a random sparse matrix via CG
+solves inside a power iteration; reproduced with a deterministic sparse
+matrix in CSR-like flat arrays, CG inner solves, and the zeta estimate.
+"""
+
+from repro.workloads.registry import WorkloadSpec, register
+
+SOURCE = r"""
+// NAS CG analogue: power iteration with CG inner solve on sparse A. n = 32.
+double aval[96];   // 4 nonzeros per row
+int acol[96];
+double xx[24];
+double zz[24];
+double rr[24];
+double pp[24];
+double qq[24];
+int N = 24;
+int NNZ_PER_ROW = 4;
+
+void spmv(double* v, double* out) {
+  for (int i = 0; i < N; i = i + 1) {
+    double s = 0.0;
+    for (int j = 0; j < NNZ_PER_ROW; j = j + 1) {
+      int k = i * NNZ_PER_ROW + j;
+      s = s + aval[k] * v[acol[k]];
+    }
+    out[i] = s;
+  }
+}
+
+double dot(double* a, double* b) {
+  double s = 0.0;
+  for (int i = 0; i < N; i = i + 1) { s = s + a[i] * b[i]; }
+  return s;
+}
+
+int main() {
+  // Deterministic sparse SPD-ish matrix: strong diagonal + random coupling.
+  int seed = 314159;
+  for (int i = 0; i < N; i = i + 1) {
+    int base = i * NNZ_PER_ROW;
+    aval[base] = 10.0 + (double)(i % 7);
+    acol[base] = i;
+    for (int j = 1; j < NNZ_PER_ROW; j = j + 1) {
+      seed = (seed * 1103515245 + 12345) % 2147483648;
+      acol[base + j] = seed % N;
+      aval[base + j] = ((double)(seed % 200) / 100.0 - 1.0) * 0.5;
+    }
+  }
+  for (int i = 0; i < N; i = i + 1) { xx[i] = 1.0; }
+
+  double zeta = 0.0;
+  for (int outer = 0; outer < 2; outer = outer + 1) {
+    // CG solve A z = x (few iterations, like NAS cgitmax).
+    for (int i = 0; i < N; i = i + 1) {
+      zz[i] = 0.0;
+      rr[i] = xx[i];
+      pp[i] = xx[i];
+    }
+    double rho = dot(rr, rr);
+    for (int it = 0; it < 6; it = it + 1) {
+      spmv(pp, qq);
+      double alpha = rho / dot(pp, qq);
+      for (int i = 0; i < N; i = i + 1) {
+        zz[i] = zz[i] + alpha * pp[i];
+        rr[i] = rr[i] - alpha * qq[i];
+      }
+      double rho_new = dot(rr, rr);
+      double beta = rho_new / rho;
+      rho = rho_new;
+      for (int i = 0; i < N; i = i + 1) { pp[i] = rr[i] + beta * pp[i]; }
+    }
+    // zeta = shift + 1 / (x' z); x = z / ||z||.
+    double xz = dot(xx, zz);
+    zeta = 20.0 + 1.0 / xz;
+    double znorm = sqrt(dot(zz, zz));
+    for (int i = 0; i < N; i = i + 1) { xx[i] = zz[i] / znorm; }
+  }
+
+  print_double(zeta);
+  double rnorm = sqrt(dot(rr, rr));
+  print_double(rnorm);
+  return 0;
+}
+"""
+
+register(
+    WorkloadSpec(
+        name="CG",
+        description="NAS CG: power iteration with conjugate-gradient inner "
+        "solves on an irregular sparse matrix",
+        paper_input="B",
+        input_desc="n=24, 4 nnz/row, 2 outer x 6 inner iterations",
+        source=SOURCE,
+    )
+)

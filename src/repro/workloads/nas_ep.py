@@ -1,0 +1,67 @@
+"""NAS EP analogue: embarrassingly parallel Gaussian-pair generation.
+
+EP generates uniform pseudo-random pairs, accepts those inside the unit
+circle, transforms them to Gaussian deviates (Marsaglia polar method with
+log/sqrt), and tallies them into concentric square annuli.
+"""
+
+from repro.workloads.registry import WorkloadSpec, register
+
+SOURCE = r"""
+// NAS EP analogue: Gaussian deviates via the polar method, annulus tallies.
+int qcounts[10];
+int NPAIRS = 150;
+
+int main() {
+  int seed = 141421356;
+  double sx = 0.0;
+  double sy = 0.0;
+  int accepted = 0;
+  for (int i = 0; i < 10; i = i + 1) { qcounts[i] = 0; }
+
+  for (int k = 0; k < NPAIRS; k = k + 1) {
+    seed = (seed * 1103515245 + 12345) % 2147483648;
+    double u1 = (double)seed / 2147483648.0;
+    seed = (seed * 1103515245 + 12345) % 2147483648;
+    double u2 = (double)seed / 2147483648.0;
+    double x = 2.0 * u1 - 1.0;
+    double y = 2.0 * u2 - 1.0;
+    double t = x * x + y * y;
+    if (t <= 1.0 && t > 0.0) {
+      double factor = sqrt(-2.0 * log(t) / t);
+      double gx = x * factor;
+      double gy = y * factor;
+      sx = sx + gx;
+      sy = sy + gy;
+      accepted = accepted + 1;
+      double ax = fabs(gx);
+      double ay = fabs(gy);
+      double amax = ax;
+      if (ay > ax) { amax = ay; }
+      int ring = (int)amax;
+      if (ring < 10) {
+        qcounts[ring] = qcounts[ring] + 1;
+      }
+    }
+  }
+
+  print_int(accepted);
+  print_double(sx);
+  print_double(sy);
+  int qsum = 0;
+  for (int i = 0; i < 10; i = i + 1) { qsum = qsum + qcounts[i] * (i + 1); }
+  print_int(qsum);
+  return 0;
+}
+"""
+
+register(
+    WorkloadSpec(
+        name="EP",
+        description="NAS EP: uniform pair generation, polar-method Gaussian "
+        "transform (log/sqrt), annulus tallies",
+        paper_input="A",
+        input_desc="150 pairs, 10 annuli",
+        source=SOURCE,
+    )
+)

@@ -1,0 +1,102 @@
+"""NAS FT analogue: radix-2 FFT with spectral evolution.
+
+FT solves a PDE by forward FFT, evolution in the spectral domain, and
+checksumming.  Reproduced: an iterative in-place radix-2 complex FFT
+(bit-reversal permutation + butterfly stages), exponential evolution, and
+the NAS-style complex checksum.
+"""
+
+from repro.workloads.registry import WorkloadSpec, register
+
+SOURCE = r"""
+// NAS FT analogue: 64-point complex FFT, evolve, checksum.
+double re[64];
+double im[64];
+int N = 64;
+double PI = 3.14159265358979323846;
+
+void fft() {
+  // Bit-reversal permutation (6 bits).
+  for (int i = 0; i < N; i = i + 1) {
+    int j = 0;
+    int v = i;
+    for (int b = 0; b < 6; b = b + 1) {
+      j = (j << 1) | (v & 1);
+      v = v >> 1;
+    }
+    if (j > i) {
+      double tr = re[i]; re[i] = re[j]; re[j] = tr;
+      double ti = im[i]; im[i] = im[j]; im[j] = ti;
+    }
+  }
+  // Butterfly stages.
+  for (int len = 2; len <= N; len = len * 2) {
+    double ang = -2.0 * PI / (double)len;
+    double wr = cos(ang);
+    double wi = sin(ang);
+    for (int start = 0; start < N; start = start + len) {
+      double cr = 1.0;
+      double ci = 0.0;
+      int half = len / 2;
+      for (int k = 0; k < half; k = k + 1) {
+        int a = start + k;
+        int b = a + half;
+        double xr = re[b] * cr - im[b] * ci;
+        double xi = re[b] * ci + im[b] * cr;
+        re[b] = re[a] - xr;
+        im[b] = im[a] - xi;
+        re[a] = re[a] + xr;
+        im[a] = im[a] + xi;
+        double ncr = cr * wr - ci * wi;
+        ci = cr * wi + ci * wr;
+        cr = ncr;
+      }
+    }
+  }
+}
+
+int main() {
+  // Deterministic pseudo-random initial field.
+  int seed = 1618033;
+  for (int i = 0; i < N; i = i + 1) {
+    seed = (seed * 1103515245 + 12345) % 2147483648;
+    re[i] = (double)seed / 2147483648.0;
+    seed = (seed * 1103515245 + 12345) % 2147483648;
+    im[i] = (double)seed / 2147483648.0;
+  }
+
+  fft();
+
+  // Evolve in the spectral domain (NAS: exp(-4 alpha pi^2 k^2 t)).
+  for (int i = 0; i < N; i = i + 1) {
+    int k = i;
+    if (k > N / 2) { k = k - N; }
+    double damp = exp(-0.000001 * (double)(k * k));
+    re[i] = re[i] * damp;
+    im[i] = im[i] * damp;
+  }
+
+  // NAS-style checksum: sum over a stride-permuted subset.
+  double csr = 0.0;
+  double csi = 0.0;
+  for (int j = 1; j <= 32; j = j + 1) {
+    int q = (j * 17) % N;
+    csr = csr + re[q];
+    csi = csi + im[q];
+  }
+  print_double(csr);
+  print_double(csi);
+  return 0;
+}
+"""
+
+register(
+    WorkloadSpec(
+        name="FT",
+        description="NAS FT: radix-2 complex FFT (bit-reversal + "
+        "butterflies), spectral evolution, complex checksum",
+        paper_input="B",
+        input_desc="64-point complex FFT, 1 evolution step",
+        source=SOURCE,
+    )
+)

@@ -1,0 +1,84 @@
+"""NAS LU analogue: SSOR sweeps on a banded system.
+
+LU applies symmetric successive over-relaxation (lower then upper triangular
+sweeps) to the discretized Navier-Stokes operator.  Reproduced as SSOR
+iterations on a 2D 5-point-stencil system stored in flat arrays, with the
+L-sweep/U-sweep structure and an L2 residual norm.
+"""
+
+from repro.workloads.registry import WorkloadSpec, register
+
+SOURCE = r"""
+// NAS LU analogue: SSOR on a 12x12 5-point Poisson system.
+double uu[100];
+double ff[100];
+double res[100];
+int NX = 10;
+double OMEGA = 1.2;
+
+double residual_norm() {
+  double s = 0.0;
+  for (int j = 1; j < NX - 1; j = j + 1) {
+    for (int i = 1; i < NX - 1; i = i + 1) {
+      int c = j * NX + i;
+      double r = ff[c] - (4.0 * uu[c] - uu[c - 1] - uu[c + 1]
+                          - uu[c - NX] - uu[c + NX]);
+      res[c] = r;
+      s = s + r * r;
+    }
+  }
+  return sqrt(s);
+}
+
+int main() {
+  for (int j = 0; j < NX; j = j + 1) {
+    for (int i = 0; i < NX; i = i + 1) {
+      int c = j * NX + i;
+      uu[c] = 0.0;
+      double x = (double)i / 9.0;
+      double y = (double)j / 9.0;
+      ff[c] = x * y * (1.0 - x) * (1.0 - y) * 32.0;
+    }
+  }
+
+  for (int sweep = 0; sweep < 4; sweep = sweep + 1) {
+    // Lower-triangular sweep (forward ordering).
+    for (int j = 1; j < NX - 1; j = j + 1) {
+      for (int i = 1; i < NX - 1; i = i + 1) {
+        int c = j * NX + i;
+        double gs = 0.25 * (uu[c - 1] + uu[c + 1] + uu[c - NX] + uu[c + NX]
+                            + ff[c]);
+        uu[c] = uu[c] + OMEGA * (gs - uu[c]);
+      }
+    }
+    // Upper-triangular sweep (backward ordering).
+    for (int j = NX - 2; j >= 1; j = j - 1) {
+      for (int i = NX - 2; i >= 1; i = i - 1) {
+        int c = j * NX + i;
+        double gs = 0.25 * (uu[c - 1] + uu[c + 1] + uu[c - NX] + uu[c + NX]
+                            + ff[c]);
+        uu[c] = uu[c] + OMEGA * (gs - uu[c]);
+      }
+    }
+  }
+
+  double rnorm = residual_norm();
+  double unorm = 0.0;
+  for (int c = 0; c < NX * NX; c = c + 1) { unorm = unorm + uu[c] * uu[c]; }
+  print_double(rnorm);
+  print_double(sqrt(unorm));
+  print_double(uu[55]);
+  return 0;
+}
+"""
+
+register(
+    WorkloadSpec(
+        name="LU",
+        description="NAS LU: SSOR lower/upper triangular sweeps on a 2D "
+        "5-point stencil with residual norm",
+        paper_input="A",
+        input_desc="10x10 grid, 4 SSOR sweeps, omega=1.2",
+        source=SOURCE,
+    )
+)

@@ -1,0 +1,79 @@
+"""NAS SP analogue: scalar pentadiagonal line solves.
+
+SP's ADI sweeps solve scalar pentadiagonal systems along each grid line;
+reproduced as a pentadiagonal Gaussian elimination (two sub/super
+diagonals) applied to several lines.
+"""
+
+from repro.workloads.registry import WorkloadSpec, register
+
+SOURCE = r"""
+// NAS SP analogue: scalar pentadiagonal solver, 5 lines of n = 24.
+double d2[24];   // second sub-diagonal
+double d1[24];   // first sub-diagonal
+double d0[24];   // main diagonal
+double u1[24];   // first super-diagonal
+double u2[24];   // second super-diagonal
+double rhs[24];
+double xs[24];
+int N = 24;
+
+void solve_line(double shift) {
+  for (int i = 0; i < N; i = i + 1) {
+    d2[i] = 0.2;
+    d1[i] = -1.1;
+    d0[i] = 4.0 + shift;
+    u1[i] = -1.1;
+    u2[i] = 0.2;
+    rhs[i] = 1.0 + 0.3 * (double)(i % 4) + shift;
+  }
+
+  // Forward elimination of the two sub-diagonals.
+  for (int i = 1; i < N; i = i + 1) {
+    double m1 = d1[i] / d0[i - 1];
+    d0[i] = d0[i] - m1 * u1[i - 1];
+    u1[i] = u1[i] - m1 * u2[i - 1];
+    rhs[i] = rhs[i] - m1 * rhs[i - 1];
+    if (i + 1 < N) {
+      double m2 = d2[i + 1] / d0[i - 1];
+      d1[i + 1] = d1[i + 1] - m2 * u1[i - 1];
+      d0[i + 1] = d0[i + 1] - m2 * u2[i - 1];
+      rhs[i + 1] = rhs[i + 1] - m2 * rhs[i - 1];
+    }
+  }
+
+  // Back substitution.
+  xs[N - 1] = rhs[N - 1] / d0[N - 1];
+  xs[N - 2] = (rhs[N - 2] - u1[N - 2] * xs[N - 1]) / d0[N - 2];
+  for (int i = N - 3; i >= 0; i = i - 1) {
+    xs[i] = (rhs[i] - u1[i] * xs[i + 1] - u2[i] * xs[i + 2]) / d0[i];
+  }
+}
+
+int main() {
+  double checksum = 0.0;
+  double norm = 0.0;
+  for (int line = 0; line < 5; line = line + 1) {
+    solve_line((double)line * 0.4);
+    for (int i = 0; i < N; i = i + 1) {
+      checksum = checksum + xs[i] * (double)(line + 1);
+      norm = norm + xs[i] * xs[i];
+    }
+  }
+  print_double(checksum);
+  print_double(sqrt(norm));
+  print_double(xs[12]);
+  return 0;
+}
+"""
+
+register(
+    WorkloadSpec(
+        name="SP",
+        description="NAS SP: scalar pentadiagonal Gaussian elimination and "
+        "back-substitution along grid lines",
+        paper_input="A",
+        input_desc="5 lines of n=24 pentadiagonal systems",
+        source=SOURCE,
+    )
+)

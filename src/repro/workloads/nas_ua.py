@@ -1,0 +1,93 @@
+"""NAS UA analogue: unstructured adaptive mesh computation.
+
+UA computes heat transfer on an adaptively refined unstructured mesh; its
+signature behaviours are indirect gather/scatter through index arrays and
+data-dependent refinement decisions.  Both are reproduced: elements with a
+permuted connectivity array, a gradient sweep through indirection, and a
+refinement marking pass that rebuilds the index permutation.
+"""
+
+from repro.workloads.registry import WorkloadSpec, register
+
+SOURCE = r"""
+// NAS UA analogue: indirect gather/scatter + adaptive refinement marking.
+double temp[48];
+double flux[48];
+int conn[48];      // element -> node indirection (permutation)
+int marks[48];
+int NE = 48;
+
+int main() {
+  // Build a permuted connectivity (deterministic shuffle) and initial field.
+  int seed = 6180339;
+  for (int i = 0; i < NE; i = i + 1) {
+    conn[i] = i;
+    temp[i] = 0.0;
+    marks[i] = 0;
+  }
+  for (int i = NE - 1; i > 0; i = i - 1) {
+    seed = (seed * 1103515245 + 12345) % 2147483648;
+    int j = seed % (i + 1);
+    int tmpv = conn[i];
+    conn[i] = conn[j];
+    conn[j] = tmpv;
+  }
+  // Hot spot in the middle of the *logical* ordering.
+  for (int i = 0; i < NE; i = i + 1) {
+    double x = (double)i / 47.0;
+    temp[conn[i]] = exp(-8.0 * (x - 0.5) * (x - 0.5));
+  }
+
+  int total_marked = 0;
+  for (int pass = 0; pass < 3; pass = pass + 1) {
+    // Gather through the indirection and diffuse.
+    for (int i = 0; i < NE; i = i + 1) {
+      int left = conn[(i + NE - 1) % NE];
+      int right = conn[(i + 1) % NE];
+      int center = conn[i];
+      flux[center] = 0.25 * temp[left] + 0.5 * temp[center]
+                   + 0.25 * temp[right];
+    }
+    for (int i = 0; i < NE; i = i + 1) {
+      temp[i] = flux[i];
+    }
+    // Refinement marking: elements with steep gradient get marked and
+    // their neighbourhood is re-permuted (adaptive remeshing stand-in).
+    int marked = 0;
+    for (int i = 1; i < NE - 1; i = i + 1) {
+      double grad = fabs(temp[conn[i + 1]] - temp[conn[i - 1]]);
+      if (grad > 0.01) {
+        marks[i] = marks[i] + 1;
+        marked = marked + 1;
+        int j = (i * 7) % NE;
+        int tmpv = conn[i];
+        conn[i] = conn[j];
+        conn[j] = tmpv;
+      }
+    }
+    total_marked = total_marked + marked;
+  }
+
+  double checksum = 0.0;
+  int mark_hash = 0;
+  for (int i = 0; i < NE; i = i + 1) {
+    checksum = checksum + temp[i] * (double)(i + 1);
+    mark_hash = (mark_hash * 31 + marks[i]) % 1000000007;
+  }
+  print_double(checksum);
+  print_int(total_marked);
+  print_int(mark_hash);
+  return 0;
+}
+"""
+
+register(
+    WorkloadSpec(
+        name="UA",
+        description="NAS UA: indirect gather/scatter through permuted "
+        "connectivity plus data-dependent refinement marking",
+        paper_input="B",
+        input_desc="48 elements, 3 adaptive passes",
+        source=SOURCE,
+    )
+)

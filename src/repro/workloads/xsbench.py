@@ -1,0 +1,87 @@
+"""XSBench analogue: macroscopic cross-section lookups.
+
+The original's hot loop is: pick a random energy, binary-search the unionized
+energy grid, then gather-and-interpolate cross-sections for every nuclide in
+the material.  This is memory/branch dominated with almost no arithmetic —
+the mix is reproduced exactly (binary search + indexed interpolation).
+"""
+
+from repro.workloads.registry import WorkloadSpec, register
+
+SOURCE = r"""
+// XSBench analogue: unionized-grid cross-section lookups.
+double egrid[128];
+double xs0[128];
+double xs1[128];
+double xs2[128];
+double xs3[128];
+int NG = 128;
+int LOOKUPS = 80;
+
+int grid_search(double energy) {
+  int lo = 0;
+  int hi = NG - 1;
+  while (hi - lo > 1) {
+    int mid = (lo + hi) / 2;
+    if (egrid[mid] <= energy) {
+      lo = mid;
+    } else {
+      hi = mid;
+    }
+  }
+  return lo;
+}
+
+double interp(double* xs, int idx, double frac) {
+  return xs[idx] + frac * (xs[idx + 1] - xs[idx]);
+}
+
+int main() {
+  // Build a sorted energy grid and per-nuclide tables deterministically.
+  int seed = 97;
+  double acc = 0.0;
+  for (int i = 0; i < NG; i = i + 1) {
+    seed = (seed * 1103515245 + 12345) % 2147483648;
+    acc = acc + 0.001 + (double)(seed % 1000) / 200000.0;
+    egrid[i] = acc;
+    xs0[i] = (double)(seed % 97) * 0.01 + 0.1;
+    xs1[i] = (double)(seed % 89) * 0.02 + 0.2;
+    xs2[i] = (double)(seed % 83) * 0.015 + 0.05;
+    xs3[i] = (double)(seed % 79) * 0.025 + 0.3;
+  }
+  double emax = egrid[NG - 1];
+
+  double macro_sum = 0.0;
+  int vhits = 0;
+  for (int l = 0; l < LOOKUPS; l = l + 1) {
+    seed = (seed * 1103515245 + 12345) % 2147483648;
+    double energy = (double)(seed % 100000) / 100000.0 * emax * 0.999;
+    int idx = grid_search(energy);
+    double de = egrid[idx + 1] - egrid[idx];
+    double frac = (energy - egrid[idx]) / de;
+    double macro = 0.4 * interp(xs0, idx, frac)
+                 + 0.3 * interp(xs1, idx, frac)
+                 + 0.2 * interp(xs2, idx, frac)
+                 + 0.1 * interp(xs3, idx, frac);
+    macro_sum = macro_sum + macro;
+    if (macro > 1.0) {
+      vhits = vhits + 1;
+    }
+  }
+
+  print_double(macro_sum);
+  print_int(vhits);
+  return 0;
+}
+"""
+
+register(
+    WorkloadSpec(
+        name="XSBench",
+        description="unionized energy-grid binary search plus cross-section "
+        "interpolation (memory/branch bound)",
+        paper_input="-s small",
+        input_desc="128-point grid, 4 nuclides, 80 lookups",
+        source=SOURCE,
+    )
+)

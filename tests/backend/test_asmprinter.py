@@ -1,0 +1,68 @@
+"""Assembly printer formatting tests."""
+
+from repro.backend.asmprinter import format_instr, format_operand
+from repro.backend.mir import (
+    FImm,
+    FuncRef,
+    Imm,
+    Label,
+    MachineInstr,
+    Mem,
+    PReg,
+)
+
+
+def MI(op, *operands, cc=None):
+    return MachineInstr(op, list(operands), cc=cc)
+
+
+class TestOperands:
+    def test_register(self):
+        assert format_operand(PReg("rax")) == "rax"
+
+    def test_immediate(self):
+        assert format_operand(Imm(-42)) == "-42"
+
+    def test_float_immediate(self):
+        assert format_operand(FImm(2.5)) == "2.5"
+
+    def test_memory_register_relative(self):
+        assert format_operand(Mem(base=PReg("rbp"), disp=-16)) == (
+            "qword ptr [rbp - 16]"
+        )
+        assert format_operand(Mem(base=PReg("rcx"), disp=8)) == (
+            "qword ptr [rcx + 8]"
+        )
+        assert format_operand(Mem(base=PReg("rcx"))) == "qword ptr [rcx]"
+
+    def test_memory_global(self):
+        assert format_operand(Mem(global_name="table")) == (
+            "qword ptr [rel table]"
+        )
+        assert format_operand(Mem(global_name="table", disp=24)) == (
+            "qword ptr [rel table + 24]"
+        )
+
+    def test_function_ref(self):
+        assert format_operand(FuncRef("sqrt")) == "_sqrt"
+
+
+class TestInstructions:
+    def test_two_operand(self):
+        assert format_instr(MI("add", PReg("rax"), Imm(8))) == "add rax, 8"
+
+    def test_condition_code_mnemonics(self):
+        assert format_instr(MI("jcc", Label("exit"), cc="ge")) == "jge exit"
+        assert format_instr(MI("setcc", PReg("rax"), cc="ne")) == "setne rax"
+        assert format_instr(
+            MI("cmov", PReg("rax"), PReg("rcx"), cc="e")
+        ) == "cmove rax, rcx"
+
+    def test_no_operands(self):
+        assert format_instr(MI("ret")) == "ret"
+
+    def test_load_store(self):
+        text = format_instr(
+            MI("fstore", Mem(base=PReg("rbp"), disp=-8), PReg("xmm3"))
+        )
+        assert text == "fstore qword ptr [rbp - 8], xmm3"

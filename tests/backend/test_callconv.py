@@ -1,0 +1,159 @@
+"""Calling-convention stress tests: argument shuffles, cycles, spilled args.
+
+The post-RA call expansion must sequentialize parallel moves into ABI
+registers correctly, including register cycles (swap patterns) — classic
+miscompile territory for simple backends.
+"""
+
+import pytest
+
+from tests.conftest import run_minic
+
+
+class TestArgumentShuffles:
+    def test_swapped_arguments(self):
+        src = """
+        int weigh(int a, int b) { return a * 100 + b; }
+        int main() {
+          int x = 3;
+          int y = 7;
+          print_int(weigh(x, y));
+          print_int(weigh(y, x));
+          return 0;
+        }
+        """
+        assert run_minic(src).output == ["307", "703"]
+
+    def test_rotated_arguments_through_recursion(self):
+        # g(a,b,c) calls g(b,c,a): a three-register rotation at every call.
+        src = """
+        int rotate(int a, int b, int c, int depth) {
+          if (depth == 0) { return a * 10000 + b * 100 + c; }
+          return rotate(b, c, a, depth - 1);
+        }
+        int main() {
+          print_int(rotate(1, 2, 3, 0));
+          print_int(rotate(1, 2, 3, 1));
+          print_int(rotate(1, 2, 3, 2));
+          print_int(rotate(1, 2, 3, 3));
+          return 0;
+        }
+        """
+        assert run_minic(src).output == ["10203", "20301", "30102", "10203"]
+
+    def test_swap_pair_cycle(self):
+        # f(a,b) -> f(b,a): a two-register cycle needing the scratch reg.
+        src = """
+        int diff(int a, int b, int depth) {
+          if (depth == 0) { return a - b; }
+          return diff(b, a, depth - 1);
+        }
+        int main() {
+          print_int(diff(10, 3, 0));
+          print_int(diff(10, 3, 1));
+          print_int(diff(10, 3, 2));
+          return 0;
+        }
+        """
+        assert run_minic(src).output == ["7", "-7", "7"]
+
+    def test_float_argument_shuffle(self):
+        src = """
+        double combine(double a, double b, double c) {
+          return a * 100.0 + b * 10.0 + c;
+        }
+        double relay(double a, double b, double c) {
+          return combine(c, a, b);
+        }
+        int main() {
+          print_double(relay(1.0, 2.0, 3.0));
+          return 0;
+        }
+        """
+        assert run_minic(src).output == ["3.120000e+02"]
+
+    def test_mixed_class_interleaving(self):
+        # Int and float arg registers are independent sequences.
+        src = """
+        double mixy(double x, int a, double y, int b, double z, int c) {
+          return x + y * 10.0 + z * 100.0 + (double)(a + b * 10 + c * 100);
+        }
+        int main() {
+          print_double(mixy(1.0, 2, 3.0, 4, 5.0, 6));
+          return 0;
+        }
+        """
+        expected = 1.0 + 30.0 + 500.0 + (2 + 40 + 600)
+        assert run_minic(src).output == [f"{expected:.6e}"]
+
+    def test_six_int_six_float_max_args(self):
+        src = """
+        double full(int a, int b, int c, int d, int e, int f,
+                    double u, double v, double w, double x, double y,
+                    double z) {
+          return (double)(a + b + c + d + e + f) + u + v + w + x + y + z;
+        }
+        int main() {
+          print_double(full(1, 2, 3, 4, 5, 6,
+                            0.1, 0.2, 0.3, 0.4, 0.5, 0.6));
+          return 0;
+        }
+        """
+        assert run_minic(src).output == [f"{21 + 2.1:.6e}"]
+
+    def test_args_computed_by_calls(self):
+        # Nested calls force the outer call's earlier args to survive the
+        # inner calls (callee-saved or spill), then shuffle into arg regs.
+        src = """
+        int idf(int x) { return x + 1; }
+        int sum3(int a, int b, int c) { return a + b * 10 + c * 100; }
+        int main() {
+          print_int(sum3(idf(0), idf(1), idf(2)));
+          return 0;
+        }
+        """
+        assert run_minic(src).output == ["321"]
+
+
+class TestReturnPaths:
+    def test_float_return_through_int_caller(self):
+        src = """
+        double half(int x) { return (double)x / 2.0; }
+        int main() {
+          int total = 0;
+          for (int i = 0; i < 4; i = i + 1) {
+            total = total + (int)(half(i) * 2.0);
+          }
+          print_int(total);
+          return 0;
+        }
+        """
+        assert run_minic(src).output == ["6"]
+
+    def test_multiple_returns_each_get_epilogue(self):
+        src = """
+        int clas(int x) {
+          if (x < 0) { return -1; }
+          if (x == 0) { return 0; }
+          return 1;
+        }
+        int main() {
+          print_int(clas(-5) * 100 + clas(0) * 10 + clas(9));
+          return 0;
+        }
+        """
+        assert run_minic(src).output == ["-99"]
+
+
+class TestTooManyArgs:
+    def test_seventh_int_arg_rejected(self):
+        from repro.errors import BackendError
+
+        src = """
+        int f(int a, int b, int c, int d, int e, int f, int g) {
+          return a + g;
+        }
+        int main() { return f(1, 2, 3, 4, 5, 6, 7); }
+        """
+        with pytest.raises(BackendError, match="too many int args"):
+            run_minic(src)

@@ -1,0 +1,122 @@
+"""Peephole optimizer tests."""
+
+import pytest
+
+from repro.backend import compile_minic, format_function
+from repro.backend.compiler import CompileOptions
+from repro.backend.mir import Imm, Label, MachineFunction, MachineInstr, PReg
+from repro.backend.peephole import run_peephole
+
+from tests.conftest import run_minic
+
+
+def MI(op, *operands, cc=None):
+    return MachineInstr(op, list(operands), cc=cc)
+
+
+class TestSelfMoves:
+    def test_removed(self):
+        mf = MachineFunction("f")
+        b = mf.add_block("entry")
+        b.append(MI("mov", PReg("rax"), PReg("rax")))
+        b.append(MI("fmov", PReg("xmm0"), PReg("xmm0")))
+        b.append(MI("ret"))
+        assert run_peephole(mf) == 2
+        assert len(b.instructions) == 1
+
+    def test_real_moves_kept(self):
+        mf = MachineFunction("f")
+        b = mf.add_block("entry")
+        b.append(MI("mov", PReg("rax"), PReg("rcx")))
+        b.append(MI("ret"))
+        run_peephole(mf)
+        assert len(b.instructions) == 2
+
+
+class TestFallthrough:
+    def test_jmp_to_next_removed(self):
+        mf = MachineFunction("f")
+        a = mf.add_block("a")
+        c = mf.add_block("b")
+        a.append(MI("jmp", Label("b")))
+        c.append(MI("ret"))
+        assert run_peephole(mf) == 1
+        assert a.instructions == []
+
+    def test_jmp_elsewhere_kept(self):
+        mf = MachineFunction("f")
+        a = mf.add_block("a")
+        mf.add_block("b").append(MI("ret"))
+        mf.add_block("c").append(MI("ret"))
+        a.append(MI("jmp", Label("c")))
+        run_peephole(mf)
+        assert a.instructions[0].opcode == "jmp"
+
+
+class TestBranchInversion:
+    def test_jcc_to_next_inverted(self):
+        mf = MachineFunction("f")
+        a = mf.add_block("a")
+        mf.add_block("body").append(MI("ret"))
+        mf.add_block("exit").append(MI("ret"))
+        a.append(MI("cmp", PReg("rax"), Imm(0)))
+        a.append(MI("jcc", Label("body"), cc="l"))
+        a.append(MI("jmp", Label("exit")))
+        run_peephole(mf)
+        # Inverted: jge exit, fall through to body.
+        jcc = a.instructions[-1]
+        assert jcc.opcode == "jcc"
+        assert jcc.cc == "ge"
+        assert jcc.operands[0].name == "exit"
+
+    def test_semantics_preserved_after_inversion(self):
+        src = """
+        int main() {
+          int crossings = 0;
+          for (int i = -5; i < 5; i = i + 1) {
+            if (i < 0) { crossings = crossings + 1; }
+          }
+          print_int(crossings);
+          return 0;
+        }
+        """
+        for opt in ("O0", "O2"):
+            assert run_minic(src, opt).output == ["5"]
+
+    def test_loops_have_fallthrough_bodies(self):
+        # After inversion, loop conditions jump *out*, not in.
+        binary = compile_minic(
+            """
+            int main() {
+              int s = 0;
+              for (int i = 0; i < 7; i = i + 1) { s = s + i; }
+              return s;
+            }
+            """,
+            "t",
+            CompileOptions(),
+        )
+        text = format_function(binary.functions["main"])
+        # The for-loop compare should jump to for.end with an inverted cc.
+        assert "jge" in text or "jle" in text or "jg" in text
+
+
+class TestXorZeroIdiom:
+    def test_mov_zero_rewritten(self):
+        mf = MachineFunction("f")
+        b = mf.add_block("entry")
+        b.append(MI("mov", PReg("rax"), Imm(0)))
+        b.append(MI("ret"))
+        run_peephole(mf)
+        assert b.instructions[0].opcode == "xor"
+
+    def test_not_rewritten_when_flags_live(self):
+        mf = MachineFunction("f")
+        b = mf.add_block("entry")
+        b.append(MI("cmp", PReg("rcx"), Imm(3)))
+        b.append(MI("mov", PReg("rax"), Imm(0)))
+        b.append(MI("setcc", PReg("rdx"), cc="e"))
+        b.append(MI("ret"))
+        run_peephole(mf)
+        # xor would clobber FLAGS between cmp and setcc; must stay a mov.
+        assert b.instructions[1].opcode == "mov"

@@ -1,0 +1,127 @@
+"""Campaign orchestration tests: classification, runner, records, matrix."""
+
+import pytest
+
+from repro.campaign import (
+    Outcome,
+    classify,
+    make_tool,
+    replay,
+    run_campaign,
+    run_matrix,
+)
+from repro.errors import CampaignError
+from repro.machine.cpu import ExecutionResult
+
+from tests.conftest import DEMO_SOURCE
+
+
+def result_with(trap=None, exit_code=0, output=("x",)):
+    r = ExecutionResult()
+    r.trap = trap
+    r.exit_code = exit_code
+    r.output = list(output)
+    return r
+
+
+class TestClassify:
+    GOLDEN = ("1.5", "2")
+
+    def test_trap_is_crash(self):
+        for trap in ("segfault", "timeout", "divide-by-zero",
+                     "stack-overflow", "illegal-instruction"):
+            assert classify(result_with(trap=trap), self.GOLDEN) == Outcome.CRASH
+
+    def test_nonzero_exit_is_crash(self):
+        assert classify(result_with(exit_code=3, output=self.GOLDEN),
+                        self.GOLDEN) == Outcome.CRASH
+
+    def test_output_mismatch_is_soc(self):
+        assert classify(result_with(output=("1.5", "999")),
+                        self.GOLDEN) == Outcome.SOC
+
+    def test_truncated_output_is_soc(self):
+        assert classify(result_with(output=("1.5",)), self.GOLDEN) == Outcome.SOC
+
+    def test_matching_output_is_benign(self):
+        assert classify(result_with(output=self.GOLDEN),
+                        self.GOLDEN) == Outcome.BENIGN
+
+    def test_trap_takes_precedence_over_output(self):
+        assert classify(result_with(trap="segfault", output=self.GOLDEN),
+                        self.GOLDEN) == Outcome.CRASH
+
+
+class TestRunner:
+    @pytest.fixture(scope="class")
+    def tool(self):
+        return make_tool("REFINE", DEMO_SOURCE, "demo")
+
+    def test_counts_sum_to_n(self, tool):
+        result = run_campaign(tool, n=25)
+        assert sum(result.counts.values()) == 25
+        assert result.n == 25
+
+    def test_reproducible(self, tool):
+        a = run_campaign(tool, n=20, base_seed=7)
+        b = run_campaign(tool, n=20, base_seed=7)
+        assert a.counts == b.counts
+        assert a.total_cycles == b.total_cycles
+
+    def test_seed_changes_results(self, tool):
+        a = run_campaign(tool, n=40, base_seed=1)
+        b = run_campaign(tool, n=40, base_seed=2)
+        # Different fault draws; extremely unlikely to match exactly.
+        assert a.counts != b.counts or a.total_cycles != b.total_cycles
+
+    def test_records_kept_on_request(self, tool):
+        result = run_campaign(tool, n=10, keep_records=True)
+        assert len(result.records) == 10
+        for rec in result.records:
+            assert rec.outcome in Outcome
+            assert rec.fault is not None
+
+    def test_replay_from_record(self, tool):
+        result = run_campaign(tool, n=5, keep_records=True)
+        rec = result.records[0]
+        rerun = replay(tool, rec.seed)
+        assert rerun.result.fault.pc == rec.fault.pc
+        assert rerun.result.trap == rec.trap
+
+    def test_proportions(self, tool):
+        result = run_campaign(tool, n=10)
+        total = sum(result.proportion(o) for o in Outcome)
+        assert total == pytest.approx(1.0)
+
+    def test_zero_samples_rejected(self, tool):
+        with pytest.raises(CampaignError):
+            run_campaign(tool, n=0)
+
+    def test_unknown_tool_rejected(self):
+        with pytest.raises(CampaignError, match="unknown tool"):
+            make_tool("VALGRIND", DEMO_SOURCE, "demo")
+
+    def test_progress_callback(self, tool):
+        seen = []
+        run_campaign(tool, n=5, progress=lambda i, n: seen.append((i, n)))
+        assert seen == [(1, 5), (2, 5), (3, 5), (4, 5), (5, 5)]
+
+    def test_summary_format(self, tool):
+        result = run_campaign(tool, n=10)
+        text = result.summary()
+        assert "demo/REFINE" in text
+        assert "crash=" in text
+
+
+class TestMatrix:
+    def test_matrix_keys(self):
+        matrix = run_matrix({"demo": DEMO_SOURCE}, ("REFINE", "PINFI"), n=5)
+        assert set(matrix) == {("demo", "REFINE"), ("demo", "PINFI")}
+
+    def test_matrix_independent_seeds_per_tool(self):
+        matrix = run_matrix({"demo": DEMO_SOURCE}, ("REFINE", "PINFI"), n=30)
+        # Same binary-level candidates, but independent draws: the outcome
+        # counts should not be forced identical.
+        r = matrix[("demo", "REFINE")]
+        p = matrix[("demo", "PINFI")]
+        assert r.total_candidates == p.total_candidates

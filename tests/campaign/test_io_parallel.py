@@ -1,0 +1,119 @@
+"""Tests for campaign persistence and the multi-process runner."""
+
+import pytest
+
+from repro.campaign import (
+    Outcome,
+    load_matrix,
+    make_tool,
+    merge_results,
+    result_from_dict,
+    result_to_dict,
+    run_campaign,
+    run_campaign_parallel,
+    run_matrix,
+    save_matrix,
+)
+from repro.errors import CampaignError
+
+from tests.conftest import DEMO_SOURCE
+
+
+@pytest.fixture(scope="module")
+def small_matrix():
+    return run_matrix({"demo": DEMO_SOURCE}, ("REFINE", "PINFI"), n=12)
+
+
+class TestSerialization:
+    def test_result_roundtrip(self, small_matrix):
+        original = small_matrix[("demo", "REFINE")]
+        restored = result_from_dict(result_to_dict(original))
+        assert restored.workload == original.workload
+        assert restored.counts == original.counts
+        assert restored.total_cycles == original.total_cycles
+        assert restored.golden_output == original.golden_output
+
+    def test_records_roundtrip(self):
+        tool = make_tool("REFINE", DEMO_SOURCE, "demo")
+        original = run_campaign(tool, n=6, keep_records=True)
+        restored = result_from_dict(result_to_dict(original))
+        assert len(restored.records) == 6
+        for a, b in zip(original.records, restored.records):
+            assert a.seed == b.seed
+            assert a.outcome == b.outcome
+            assert a.fault.pc == b.fault.pc
+            assert a.fault.bit == b.fault.bit
+
+    def test_matrix_file_roundtrip(self, small_matrix, tmp_path):
+        path = tmp_path / "matrix.json"
+        save_matrix(small_matrix, path)
+        restored = load_matrix(path)
+        assert set(restored) == set(small_matrix)
+        for key in small_matrix:
+            assert restored[key].counts == small_matrix[key].counts
+
+    def test_load_rejects_garbage(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text("{not json")
+        with pytest.raises(CampaignError):
+            load_matrix(path)
+
+    def test_load_rejects_wrong_version(self, tmp_path):
+        path = tmp_path / "old.json"
+        path.write_text('{"version": 99, "cells": []}')
+        with pytest.raises(CampaignError, match="version"):
+            load_matrix(path)
+
+
+class TestMerge:
+    def test_merge_counts_add(self, small_matrix):
+        a = small_matrix[("demo", "REFINE")]
+        merged = merge_results([a, a])
+        assert merged.n == 2 * a.n
+        for o in Outcome:
+            assert merged.frequency(o) == 2 * a.frequency(o)
+
+    def test_merge_rejects_mixed_tools(self, small_matrix):
+        with pytest.raises(CampaignError):
+            merge_results(
+                [small_matrix[("demo", "REFINE")],
+                 small_matrix[("demo", "PINFI")]]
+            )
+
+    def test_merge_rejects_empty(self):
+        with pytest.raises(CampaignError):
+            merge_results([])
+
+
+class TestParallelRunner:
+    def test_matches_sequential_exactly(self):
+        """Seeds derive from global experiment indices, so worker count must
+        not change any outcome."""
+        tool = make_tool("REFINE", DEMO_SOURCE, "demo")
+        sequential = run_campaign(tool, n=16, base_seed=99)
+        parallel = run_campaign_parallel(
+            "REFINE", DEMO_SOURCE, "demo", n=16, workers=3, base_seed=99
+        )
+        assert parallel.counts == sequential.counts
+        assert parallel.total_cycles == pytest.approx(sequential.total_cycles)
+        assert parallel.n == 16
+
+    def test_single_worker_path(self):
+        result = run_campaign_parallel(
+            "PINFI", DEMO_SOURCE, "demo", n=5, workers=1
+        )
+        assert result.n == 5
+
+    def test_more_workers_than_experiments(self):
+        result = run_campaign_parallel(
+            "PINFI", DEMO_SOURCE, "demo", n=3, workers=8
+        )
+        assert result.n == 3
+
+    def test_validation(self):
+        with pytest.raises(CampaignError):
+            run_campaign_parallel("REFINE", DEMO_SOURCE, "demo", n=0)
+        with pytest.raises(CampaignError):
+            run_campaign_parallel("REFINE", DEMO_SOURCE, "demo", n=5, workers=0)
+        with pytest.raises(CampaignError):
+            run_campaign_parallel("GDB", DEMO_SOURCE, "demo", n=5)

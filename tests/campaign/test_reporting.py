@@ -1,0 +1,105 @@
+"""Unit tests for figure/table rendering on synthetic campaign results
+(no campaigns run — fast, deterministic)."""
+
+import pytest
+
+from repro.campaign import Outcome
+from repro.campaign.results import CampaignResult
+from repro.reporting import (
+    matrix_to_csv,
+    render_figure4,
+    render_figure5,
+    render_outcome_panel,
+    render_table4,
+    render_table5,
+    render_table6,
+)
+
+
+def result(workload, tool, crash, soc, benign, cycles=1000.0):
+    return CampaignResult(
+        workload=workload,
+        tool=tool,
+        n=crash + soc + benign,
+        counts={
+            Outcome.CRASH: crash,
+            Outcome.SOC: soc,
+            Outcome.BENIGN: benign,
+        },
+        total_cycles=cycles,
+    )
+
+
+@pytest.fixture
+def matrix():
+    # Shaped like the paper's AMG2013 row of Table 6.
+    return {
+        ("AMG2013", "LLFI"): result("AMG2013", "LLFI", 395, 168, 505, 5.5e6),
+        ("AMG2013", "REFINE"): result("AMG2013", "REFINE", 254, 87, 727, 0.7e6),
+        ("AMG2013", "PINFI"): result("AMG2013", "PINFI", 269, 70, 729, 1.0e6),
+    }
+
+
+TOOLS = ["LLFI", "REFINE", "PINFI"]
+
+
+class TestFigure4:
+    def test_panel_percentages(self, matrix):
+        per_tool = {t: matrix[("AMG2013", t)] for t in TOOLS}
+        text = render_outcome_panel(per_tool, "AMG2013")
+        assert "37.0%" in text  # LLFI crash: 395/1068
+        assert "crash" in text and "soc" in text and "benign" in text
+
+    def test_panel_has_confidence_intervals(self, matrix):
+        per_tool = {t: matrix[("AMG2013", t)] for t in TOOLS}
+        text = render_outcome_panel(per_tool, "AMG2013")
+        assert "[" in text and "]" in text
+
+    def test_figure4_multi_workload(self, matrix):
+        text = render_figure4(matrix, ["AMG2013"], TOOLS)
+        assert text.count("PMF") == 1
+
+
+class TestFigure5:
+    def test_normalization_to_pinfi(self, matrix):
+        text = render_figure5(matrix, ["AMG2013"])
+        # LLFI = 5.5e6 / 1.0e6 = 5.50, REFINE = 0.70
+        assert "5.50" in text
+        assert "0.70" in text
+
+    def test_total_row(self, matrix):
+        text = render_figure5(matrix, ["AMG2013"])
+        assert "Total" in text
+
+
+class TestTables:
+    def test_table4_matches_paper_layout(self, matrix):
+        text = render_table4(matrix, "AMG2013")
+        assert "| LLFI | 395 | 168 | 505 | 1068 |" in text
+        assert "| PINFI | 269 | 70 | 729 | 1068 |" in text
+        assert "| Total | 664 | 238 | 1234 |" in text
+
+    def test_table5_verdicts(self, matrix):
+        text = render_table5(matrix, ["AMG2013"])
+        lines = text.splitlines()
+        llfi_line = next(l for i, l in enumerate(lines)
+                         if "AMG2013" in l and "LLFI vs" in "".join(lines[:i]))
+        assert llfi_line.strip().endswith("yes")
+        refine_line = [l for l in lines if "AMG2013" in l][-1]
+        assert refine_line.strip().endswith("no")
+
+    def test_table5_small_p_formatting(self, matrix):
+        text = render_table5(matrix, ["AMG2013"])
+        assert "~0.00" in text  # LLFI p-value is essentially zero
+
+    def test_table6_rows(self, matrix):
+        text = render_table6(matrix, ["AMG2013"], TOOLS)
+        assert "AMG2013" in text
+        assert "395" in text and "729" in text
+
+    def test_csv_fields(self, matrix):
+        csv = matrix_to_csv(matrix)
+        line = next(l for l in csv.splitlines() if l.startswith("AMG2013,LLFI"))
+        fields = line.split(",")
+        assert fields[2] == "1068"
+        assert fields[3] == "395"

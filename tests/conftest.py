@@ -1,0 +1,67 @@
+"""Shared fixtures: small MiniC programs and session-cached compilations."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.backend import compile_minic
+from repro.machine import execute, load_binary
+
+
+#: A small but structurally rich program used across backend/machine tests.
+DEMO_SOURCE = """
+double grid[16];
+int N = 16;
+
+double dot(double* a, double* b, int n) {
+  double s = 0.0;
+  for (int i = 0; i < n; i = i + 1) {
+    s = s + a[i] * b[i];
+  }
+  return s;
+}
+
+int fact(int n) {
+  if (n <= 1) { return 1; }
+  return n * fact(n - 1);
+}
+
+int main() {
+  for (int i = 0; i < N; i = i + 1) {
+    grid[i] = (double)i * 0.5 + 1.0;
+  }
+  print_double(dot(grid, grid, N));
+  print_int(fact(6));
+  return 0;
+}
+"""
+
+#: dot(grid, grid, 16) with grid[i] = i*0.5 + 1.
+DEMO_DOT = sum((i * 0.5 + 1.0) ** 2 for i in range(16))
+
+
+def run_minic(source: str, opt_level: str = "O2", budget: int | None = None):
+    """Compile and execute MiniC; returns the ExecutionResult."""
+    binary = compile_minic(source, "test", _options(opt_level))
+    return execute(load_binary(binary), budget)
+
+
+def _options(opt_level: str):
+    from repro.backend.compiler import CompileOptions
+
+    return CompileOptions(opt_level=opt_level)
+
+
+@pytest.fixture(scope="session")
+def demo_binary():
+    return compile_minic(DEMO_SOURCE, "demo")
+
+
+@pytest.fixture(scope="session")
+def demo_program(demo_binary):
+    return load_binary(demo_binary)
+
+
+@pytest.fixture(scope="session")
+def demo_result(demo_program):
+    return execute(demo_program)

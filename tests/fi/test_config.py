@@ -1,0 +1,96 @@
+"""Tests for the FI flag interface (paper Table 2)."""
+
+import pytest
+
+from repro.errors import CampaignError
+from repro.fi import FIConfig
+
+
+class TestFlagParsing:
+    def test_paper_flag_string(self):
+        # The exact option string from Section 4.4.
+        cfg = FIConfig.from_flags(
+            "-mllvm -fi=true -mllvm -fi-funcs=* -mllvm -fi-instrs=all"
+        )
+        assert cfg.enabled
+        assert cfg.funcs == "*"
+        assert cfg.instrs == "all"
+
+    def test_default_disabled(self):
+        assert not FIConfig.from_flags("").enabled
+
+    def test_false_value(self):
+        assert not FIConfig.from_flags("-fi=false").enabled
+
+    def test_func_list(self):
+        cfg = FIConfig.from_flags("-fi=true -fi-funcs=main,dot")
+        assert cfg.match_function("main")
+        assert cfg.match_function("dot")
+        assert not cfg.match_function("other")
+
+    def test_regex_funcs(self):
+        cfg = FIConfig(funcs=r"compute_.*")
+        assert cfg.match_function("compute_residual")
+        assert not cfg.match_function("main")
+
+    def test_bad_instr_class(self):
+        with pytest.raises(CampaignError):
+            FIConfig(instrs="bogus")
+
+    def test_unknown_flag(self):
+        with pytest.raises(CampaignError):
+            FIConfig.from_flags("-fi-frobs=1")
+
+    def test_malformed_flag(self):
+        with pytest.raises(CampaignError):
+            FIConfig.from_flags("-fi")
+
+
+class TestMachineClassification:
+    def test_stack_class(self):
+        cfg = FIConfig(instrs="stack")
+        assert cfg.match_machine_opcode("push")
+        assert cfg.match_machine_opcode("pop")
+        assert not cfg.match_machine_opcode("add")
+        assert not cfg.match_machine_opcode("load")
+
+    def test_mem_class(self):
+        cfg = FIConfig(instrs="mem")
+        assert cfg.match_machine_opcode("load")
+        assert cfg.match_machine_opcode("fstore")
+        assert not cfg.match_machine_opcode("fadd")
+
+    def test_arithm_class(self):
+        cfg = FIConfig(instrs="arithm")
+        assert cfg.match_machine_opcode("fadd")
+        assert cfg.match_machine_opcode("cmp")
+        assert not cfg.match_machine_opcode("push")
+
+    def test_all_class(self):
+        cfg = FIConfig(instrs="all")
+        for op in ("push", "load", "fadd", "mov", "cmp"):
+            assert cfg.match_machine_opcode(op)
+
+    def test_control_flow_never_matches(self):
+        cfg = FIConfig(instrs="all")
+        for op in ("jmp", "jcc", "call", "ret", "fi_check"):
+            assert not cfg.match_machine_opcode(op)
+
+
+class TestIRClassification:
+    def test_ir_has_no_stack_class(self):
+        """The central accuracy gap: no IR instruction is 'stack'."""
+        cfg = FIConfig(instrs="stack")
+        for op in ("add", "fadd", "load", "icmp", "fcmp", "sitofp"):
+            assert not cfg.match_ir_opcode(op)
+
+    def test_ir_arithm(self):
+        cfg = FIConfig(instrs="arithm")
+        assert cfg.match_ir_opcode("fadd")
+        assert cfg.match_ir_opcode("icmp")
+        assert not cfg.match_ir_opcode("load")
+
+    def test_ir_mem(self):
+        cfg = FIConfig(instrs="mem")
+        assert cfg.match_ir_opcode("load")
+        assert not cfg.match_ir_opcode("fmul")

@@ -1,0 +1,98 @@
+"""Statistical validation of the fault model itself (paper Section 3.1):
+uniform selection over dynamic instructions, output operands and bits.
+
+Uses our own chi-squared goodness-of-fit machinery — the fault model is
+validated with the same statistics the evaluation relies on.
+"""
+
+from collections import Counter
+
+import pytest
+
+from repro.fi import PinfiTool, RefineTool
+from repro.stats.chisq import chi2_sf
+
+from tests.conftest import DEMO_SOURCE
+
+N_PLANS = 3000
+
+
+@pytest.fixture(scope="module")
+def refine_tool():
+    return RefineTool(DEMO_SOURCE, "demo")
+
+
+def uniform_gof(counts: list[int], total: int) -> float:
+    """Chi-squared goodness-of-fit p-value against a uniform distribution."""
+    k = len(counts)
+    expected = total / k
+    stat = sum((c - expected) ** 2 / expected for c in counts)
+    return chi2_sf(stat, k - 1)
+
+
+class TestTargetSelection:
+    def test_dynamic_index_uniform(self, refine_tool):
+        """Every dynamic candidate has probability 1/N (Section 3.1)."""
+        total = refine_tool.profile.total_candidates
+        buckets = 10
+        counts = [0] * buckets
+        for seed in range(N_PLANS):
+            plan = refine_tool.plan_from_seed(seed)
+            b = min((plan.target_index - 1) * buckets // total, buckets - 1)
+            counts[b] += 1
+        assert uniform_gof(counts, N_PLANS) > 0.001
+
+    def test_bit_pick_uniform(self, refine_tool):
+        counts = [0] * 8
+        for seed in range(N_PLANS):
+            plan = refine_tool.plan_from_seed(seed)
+            counts[min(int(plan.bit_pick * 8), 7)] += 1
+        assert uniform_gof(counts, N_PLANS) > 0.001
+
+    def test_full_index_range_reachable(self, refine_tool):
+        total = refine_tool.profile.total_candidates
+        targets = {
+            refine_tool.plan_from_seed(s).target_index for s in range(N_PLANS)
+        }
+        assert min(targets) <= total * 0.01
+        assert max(targets) >= total * 0.99
+
+
+class TestOperandSelection:
+    def test_multi_output_instructions_split_uniformly(self):
+        """An instruction with dst + FLAGS outputs gets each with p=1/2 —
+        the paper's setupFI(nOps, size[nOps]) interface."""
+        tool = PinfiTool(DEMO_SOURCE, "demo")
+        # Find faults that landed on ALU instructions (2 outputs).
+        hits = Counter()
+        for seed in range(800):
+            fault = tool.inject(seed).result.fault
+            text = fault.instr_text.split()[0]
+            if text in ("add", "sub", "imul", "and", "or", "xor", "shl"):
+                hits[fault.operand_desc == "flags"] += 1
+        total = hits[True] + hits[False]
+        assert total > 100
+        # Binomial(1/2): crude 4-sigma band.
+        import math
+
+        sigma = math.sqrt(total * 0.25)
+        assert abs(hits[True] - total / 2) < 4 * sigma
+
+
+class TestBitPositionEffects:
+    def test_flags_faults_use_flags_width(self):
+        tool = PinfiTool(DEMO_SOURCE, "demo")
+        faults = [tool.inject(seed).result.fault for seed in range(600)]
+        flag_bits = [f.bit for f in faults if f.operand_desc == "flags"]
+        assert flag_bits, "no flags faults in 600 runs?"
+        assert all(0 <= b < 16 for b in flag_bits)
+
+    def test_register_faults_cover_64_bits(self):
+        tool = PinfiTool(DEMO_SOURCE, "demo")
+        bits = set()
+        for seed in range(500):
+            fault = tool.inject(seed).result.fault
+            if fault.operand_desc.startswith(("ireg", "freg")):
+                bits.add(fault.bit)
+        assert max(bits) >= 56
+        assert min(bits) <= 4

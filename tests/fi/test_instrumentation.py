@@ -1,0 +1,208 @@
+"""Tests for the REFINE and LLFI instrumentation passes."""
+
+import pytest
+
+from repro.backend import compile_minic, format_function
+from repro.backend.compiler import CompileOptions
+from repro.fi import (
+    FIConfig,
+    LLFITool,
+    PinfiTool,
+    RefineTool,
+    llfi_instrument,
+    refine_instrument,
+)
+from repro.frontend import compile_source
+from repro.ir import verify_module
+from repro.irpasses import optimize_module
+from repro.machine import load_binary
+
+from tests.conftest import DEMO_SOURCE
+
+
+def clean_binary(source=DEMO_SOURCE):
+    return compile_minic(source, "t", CompileOptions())
+
+
+class TestRefinePass:
+    def test_adds_fi_checks_after_candidates(self):
+        binary = clean_binary()
+        n_sites = refine_instrument(binary, FIConfig())
+        assert n_sites > 0
+        for mf in binary.functions.values():
+            for block in mf.blocks:
+                instrs = block.instructions
+                for i, instr in enumerate(instrs):
+                    if instr.opcode == "fi_check":
+                        guarded = instrs[i - 1]
+                        assert guarded.is_fi_candidate
+                        assert tuple(guarded.output_registers()) == (
+                            instr.fi_meta.out_regs
+                        )
+
+    def test_application_instructions_unchanged(self):
+        """REFINE's key property (Section 4.2.2): the application code of the
+        instrumented binary is identical to the clean binary."""
+        clean = clean_binary()
+        instrumented = clean_binary()
+        refine_instrument(instrumented, FIConfig())
+        for name, mf in clean.functions.items():
+            mf2 = instrumented.functions[name]
+            clean_instrs = [str(i) for i in mf.instructions()]
+            kept = [
+                str(i) for i in mf2.instructions() if i.opcode != "fi_check"
+            ]
+            assert clean_instrs == kept
+
+    def test_respects_function_filter(self):
+        binary = clean_binary()
+        refine_instrument(binary, FIConfig(funcs="dot"))
+        for name, mf in binary.functions.items():
+            has_checks = any(
+                i.opcode == "fi_check" for i in mf.instructions()
+            )
+            assert has_checks == (name == "dot")
+
+    def test_respects_instr_class_filter(self):
+        binary = clean_binary()
+        refine_instrument(binary, FIConfig(instrs="stack"))
+        for mf in binary.functions.values():
+            instrs = list(mf.instructions())
+            for i, instr in enumerate(instrs):
+                if instr.opcode == "fi_check":
+                    assert instrs[i - 1].opcode in ("push", "pop")
+
+    def test_disabled_config_is_noop(self):
+        binary = clean_binary()
+        assert refine_instrument(binary, FIConfig(enabled=False)) == 0
+
+    def test_site_ids_unique(self):
+        binary = clean_binary()
+        refine_instrument(binary, FIConfig())
+        ids = [
+            i.fi_meta.site_id
+            for mf in binary.functions.values()
+            for i in mf.instructions()
+            if i.opcode == "fi_check"
+        ]
+        assert len(ids) == len(set(ids))
+
+    def test_expanded_assembly_shows_figure2_blocks(self):
+        binary = clean_binary()
+        refine_instrument(binary, FIConfig())
+        text = format_function(binary.functions["dot"], expand_fi_checks=True)
+        for marker in (".PreFI:", ".SetupFI:", ".PostFI:", "_selInstr",
+                       "_setupFI"):
+            assert marker in text
+
+
+class TestLLFIPass:
+    def _instrumented_module(self, source=DEMO_SOURCE, config=None):
+        module = compile_source(source)
+        optimize_module(module, "O2")
+        n = llfi_instrument(module, config or FIConfig())
+        verify_module(module)
+        return module, n
+
+    def test_wraps_candidate_values(self):
+        module, n = self._instrumented_module()
+        assert n > 0
+        stubs = [f for f in module.functions if f.startswith("__fi_inject")]
+        assert stubs
+
+    def test_uses_rerouted_through_stub(self):
+        module, _ = self._instrumented_module()
+        for fn in module.defined_functions():
+            for instr in fn.instructions():
+                if instr.opcode != "call" or not instr.callee.name.startswith(
+                    "__fi_inject"
+                ):
+                    continue
+                wrapped = instr.operands[1]
+                # The wrapped value's only remaining user is the stub call.
+                assert all(u is instr for u in wrapped.users)
+
+    def test_preserves_semantics(self):
+        from repro.machine import execute
+
+        clean = clean_binary()
+        opts = CompileOptions(ir_pass=lambda m: llfi_instrument(m, FIConfig()))
+        instrumented = compile_minic(DEMO_SOURCE, "t", opts)
+        out_clean = execute(load_binary(clean)).output
+        out_instr = execute(load_binary(instrumented)).output
+        assert out_clean == out_instr
+
+    def test_changes_generated_code(self):
+        """The anti-property of Section 3.3.2: LLFI instrumentation perturbs
+        code generation (more instructions, spills) unlike REFINE."""
+        clean = clean_binary()
+        opts = CompileOptions(ir_pass=lambda m: llfi_instrument(m, FIConfig()))
+        instrumented = compile_minic(DEMO_SOURCE, "t", opts)
+        assert (
+            instrumented.total_instructions() > clean.total_instructions()
+        )
+        clean_spills = clean.meta["stats"].spilled_vregs
+        instr_spills = instrumented.meta["stats"].spilled_vregs
+        assert instr_spills >= clean_spills
+
+    def test_respects_function_filter(self):
+        module, _ = self._instrumented_module(
+            config=FIConfig(funcs="dot")
+        )
+        for fn in module.defined_functions():
+            calls = [
+                i for i in fn.instructions()
+                if i.opcode == "call" and i.callee.name.startswith("__fi_")
+            ]
+            assert bool(calls) == (fn.name == "dot")
+
+    def test_stack_class_instruments_nothing(self):
+        module, n = self._instrumented_module(config=FIConfig(instrs="stack"))
+        assert n == 0
+
+    def test_pointer_values_not_instrumented(self):
+        module, _ = self._instrumented_module()
+        for fn in module.defined_functions():
+            for instr in fn.instructions():
+                if instr.opcode == "call" and instr.callee.name.startswith(
+                    "__fi_inject"
+                ):
+                    assert not instr.operands[1].type.is_pointer()
+
+
+class TestCandidatePopulations:
+    """The quantitative heart of the paper: what each tool can see."""
+
+    def test_llfi_sees_fewer_candidates(self):
+        llfi = LLFITool(DEMO_SOURCE, "demo")
+        pinfi = PinfiTool(DEMO_SOURCE, "demo")
+        assert llfi.profile.total_candidates < pinfi.profile.total_candidates
+
+    def test_refine_and_pinfi_see_identical_candidates(self):
+        refine = RefineTool(DEMO_SOURCE, "demo")
+        pinfi = PinfiTool(DEMO_SOURCE, "demo")
+        assert (
+            refine.profile.total_candidates == pinfi.profile.total_candidates
+        )
+
+    def test_llfi_binary_is_slower(self):
+        llfi = LLFITool(DEMO_SOURCE, "demo")
+        pinfi = PinfiTool(DEMO_SOURCE, "demo")
+        assert llfi.profile.steps > pinfi.profile.steps
+
+    def test_golden_outputs_agree(self):
+        outputs = {
+            cls(DEMO_SOURCE, "demo").profile.golden_output
+            for cls in (LLFITool, RefineTool, PinfiTool)
+        }
+        assert len(outputs) == 1
+
+    def test_stack_instructions_only_visible_at_machine_level(self):
+        cfg = FIConfig(instrs="stack")
+        refine = RefineTool(DEMO_SOURCE, "demo", config=cfg)
+        assert refine.profile.total_candidates > 0
+        from repro.errors import CampaignError
+
+        llfi = LLFITool(DEMO_SOURCE, "demo", config=cfg)
+        with pytest.raises(CampaignError, match="no dynamic FI candidates"):
+            _ = llfi.profile

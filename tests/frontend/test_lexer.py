@@ -1,0 +1,76 @@
+"""Tests for the MiniC lexer."""
+
+import pytest
+
+from repro.errors import LexError
+from repro.frontend import tokenize
+
+
+def kinds(src):
+    return [(t.kind, t.text) for t in tokenize(src)[:-1]]
+
+
+class TestTokens:
+    def test_keywords_vs_identifiers(self):
+        assert kinds("int x intx") == [
+            ("kw", "int"), ("ident", "x"), ("ident", "intx")
+        ]
+
+    def test_integer_literals(self):
+        assert kinds("0 42 1000000") == [
+            ("int", "0"), ("int", "42"), ("int", "1000000")
+        ]
+
+    def test_float_literals(self):
+        assert kinds("1.5 0.25 1e3 2.5e-4 .5") == [
+            ("float", "1.5"), ("float", "0.25"), ("float", "1e3"),
+            ("float", "2.5e-4"), ("float", ".5"),
+        ]
+
+    def test_malformed_exponent(self):
+        with pytest.raises(LexError):
+            tokenize("1e")
+
+    def test_operators_maximal_munch(self):
+        assert kinds("a<=b") == [("ident", "a"), ("op", "<="), ("ident", "b")]
+        assert kinds("a< =b")[1] == ("op", "<")
+        assert kinds("x<<2")[1] == ("op", "<<")
+        assert kinds("a&&b")[1] == ("op", "&&")
+        assert kinds("a&b")[1] == ("op", "&")
+
+    def test_all_punctuation(self):
+        src = "( ) { } [ ] , ; = == != ! < > + - * / % | ^ >> ||"
+        toks = kinds(src)
+        assert all(k == "op" for k, _ in toks)
+
+    def test_unknown_character(self):
+        with pytest.raises(LexError):
+            tokenize("int x @ y;")
+
+
+class TestComments:
+    def test_line_comment(self):
+        assert kinds("int x; // comment\nint y;") == [
+            ("kw", "int"), ("ident", "x"), ("op", ";"),
+            ("kw", "int"), ("ident", "y"), ("op", ";"),
+        ]
+
+    def test_block_comment(self):
+        assert kinds("a /* lots \n of stuff */ b") == [
+            ("ident", "a"), ("ident", "b")
+        ]
+
+    def test_unterminated_block_comment(self):
+        with pytest.raises(LexError):
+            tokenize("a /* oops")
+
+
+class TestPositions:
+    def test_line_and_column(self):
+        toks = tokenize("int x;\n  double y;")
+        assert (toks[0].line, toks[0].col) == (1, 1)
+        assert (toks[3].line, toks[3].col) == (2, 3)  # 'double'
+
+    def test_eof_token(self):
+        toks = tokenize("x")
+        assert toks[-1].kind == "eof"

@@ -1,0 +1,184 @@
+"""Tests for the MiniC parser."""
+
+import pytest
+
+from repro.errors import ParseError
+from repro.frontend import parse
+from repro.frontend.ast import (
+    AssignStmt,
+    BinOp,
+    BreakStmt,
+    CallExpr,
+    CastExpr,
+    DeclStmt,
+    ForStmt,
+    IfStmt,
+    IndexExpr,
+    IntLiteral,
+    ReturnStmt,
+    UnaryOp,
+    VarRef,
+    WhileStmt,
+)
+
+
+def parse_main_body(body: str):
+    program = parse(f"int main() {{ {body} }}")
+    return program.functions[0].body
+
+
+class TestTopLevel:
+    def test_globals_and_functions(self):
+        p = parse(
+            """
+            double grid[8];
+            int n = 4;
+            double f(double x) { return x; }
+            int main() { return 0; }
+            """
+        )
+        assert [g.name for g in p.globals] == ["grid", "n"]
+        assert [f.name for f in p.functions] == ["f", "main"]
+
+    def test_global_array_initializer(self):
+        p = parse("int lut[3] = {1, -2, 3}; int main() { return 0; }")
+        assert p.globals[0].init == [1, -2, 3]
+
+    def test_pointer_params(self):
+        p = parse("void f(double* a, int** b) {} int main() { return 0; }")
+        params = p.functions[0].params
+        assert str(params[0].ctype) == "double*"
+        assert str(params[1].ctype) == "int**"
+
+    def test_junk_at_top_level(self):
+        with pytest.raises(ParseError):
+            parse("return 1;")
+
+
+class TestStatements:
+    def test_decl_with_init(self):
+        (stmt,) = parse_main_body("int x = 1 + 2;")
+        assert isinstance(stmt, DeclStmt)
+        assert isinstance(stmt.init, BinOp)
+
+    def test_local_array_decl(self):
+        (stmt,) = parse_main_body("double buf[27];")
+        assert stmt.ctype.kind == "array"
+        assert stmt.ctype.count == 27
+
+    def test_assignment_targets(self):
+        stmts = parse_main_body("int x = 0; x = 1; ")
+        assert isinstance(stmts[1], AssignStmt)
+        assert isinstance(stmts[1].target, VarRef)
+
+    def test_indexed_assignment(self):
+        stmts = parse_main_body("double a[2]; a[1] = 3.0;")
+        assert isinstance(stmts[1].target, IndexExpr)
+
+    def test_invalid_assignment_target(self):
+        with pytest.raises(ParseError):
+            parse_main_body("1 = 2;")
+
+    def test_if_else(self):
+        (stmt,) = parse_main_body("if (1) { return 1; } else { return 2; }")
+        assert isinstance(stmt, IfStmt)
+        assert len(stmt.then_body) == 1 and len(stmt.else_body) == 1
+
+    def test_if_without_braces(self):
+        (stmt,) = parse_main_body("if (1) return 1;")
+        assert isinstance(stmt.then_body[0], ReturnStmt)
+
+    def test_while(self):
+        (stmt,) = parse_main_body("while (1) { break; }")
+        assert isinstance(stmt, WhileStmt)
+        assert isinstance(stmt.body[0], BreakStmt)
+
+    def test_for_full(self):
+        (stmt,) = parse_main_body("for (int i = 0; i < 3; i = i + 1) {}")
+        assert isinstance(stmt, ForStmt)
+        assert stmt.init is not None and stmt.cond is not None
+        assert stmt.step is not None
+
+    def test_for_empty_clauses(self):
+        (stmt,) = parse_main_body("for (;;) { break; }")
+        assert stmt.init is None and stmt.cond is None and stmt.step is None
+
+    def test_missing_semicolon(self):
+        with pytest.raises(ParseError):
+            parse_main_body("int x = 1")
+
+
+class TestExpressions:
+    def _expr(self, text):
+        (stmt,) = parse_main_body(f"int x = {text};")
+        return stmt.init
+
+    def test_precedence_mul_over_add(self):
+        e = self._expr("1 + 2 * 3")
+        assert e.op == "+"
+        assert e.rhs.op == "*"
+
+    def test_precedence_comparison_over_logic(self):
+        e = self._expr("1 < 2 && 3 < 4")
+        assert e.op == "&&"
+        assert e.lhs.op == "<" and e.rhs.op == "<"
+
+    def test_left_associativity(self):
+        e = self._expr("10 - 3 - 2")
+        assert e.op == "-"
+        assert e.lhs.op == "-"
+        assert e.rhs.value == 2
+
+    def test_parentheses(self):
+        e = self._expr("(1 + 2) * 3")
+        assert e.op == "*"
+        assert e.lhs.op == "+"
+
+    def test_unary(self):
+        e = self._expr("-x")
+        assert isinstance(e, UnaryOp) and e.op == "-"
+        e = self._expr("!x")
+        assert isinstance(e, UnaryOp) and e.op == "!"
+
+    def test_cast(self):
+        e = self._expr("(int)2.5")
+        assert isinstance(e, CastExpr)
+        assert e.target.kind == "int"
+
+    def test_cast_vs_parenthesized_expr(self):
+        e = self._expr("(x) + 1")
+        assert isinstance(e, BinOp)
+
+    def test_call_with_args(self):
+        e = self._expr("f(1, 2.0, g(3))")
+        assert isinstance(e, CallExpr)
+        assert len(e.args) == 3
+        assert isinstance(e.args[2], CallExpr)
+
+    def test_chained_indexing(self):
+        e = self._expr("a[1]")
+        assert isinstance(e, IndexExpr)
+
+    def test_bitwise_and_shift(self):
+        e = self._expr("a << 2 | b & 3 ^ c")
+        assert e.op == "|"
+
+    def test_unexpected_token(self):
+        with pytest.raises(ParseError):
+            self._expr("1 +")
+
+
+class TestBlockStmt:
+    def test_bare_block(self):
+        from repro.frontend.ast import BlockStmt
+
+        (stmt,) = parse_main_body("{ int t = 1; t = t + 1; }")
+        assert isinstance(stmt, BlockStmt)
+        assert len(stmt.body) == 2
+
+    def test_nested_blocks(self):
+        from repro.frontend.ast import BlockStmt
+
+        (stmt,) = parse_main_body("{ { { } } }")
+        assert isinstance(stmt, BlockStmt)
+        assert isinstance(stmt.body[0], BlockStmt)

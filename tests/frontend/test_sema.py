@@ -1,0 +1,189 @@
+"""Tests for MiniC semantic analysis: name resolution, typing, coercions."""
+
+import pytest
+
+from repro.errors import SemaError
+from repro.frontend import analyze, parse
+from repro.frontend.ast import C_DOUBLE, C_INT, CastExpr
+
+
+def check(src: str):
+    return analyze(parse(src))
+
+
+def check_main(body: str):
+    return check(f"int main() {{ {body} }}")
+
+
+class TestPrograms:
+    def test_requires_main(self):
+        with pytest.raises(SemaError, match="main"):
+            check("int f() { return 0; }")
+
+    def test_main_signature(self):
+        with pytest.raises(SemaError, match="main"):
+            check("void main() {}")
+        with pytest.raises(SemaError, match="main"):
+            check("int main(int argc) { return 0; }")
+
+    def test_duplicate_function(self):
+        with pytest.raises(SemaError, match="redefinition"):
+            check("int f() { return 0; } int f() { return 1; } int main() { return 0; }")
+
+    def test_cannot_redefine_builtin(self):
+        with pytest.raises(SemaError, match="redefinition"):
+            check("double sqrt(double x) { return x; } int main() { return 0; }")
+
+
+class TestNames:
+    def test_undefined_variable(self):
+        with pytest.raises(SemaError, match="undefined variable"):
+            check_main("return missing;")
+
+    def test_undefined_function(self):
+        with pytest.raises(SemaError, match="undefined function"):
+            check_main("nosuch(); return 0;")
+
+    def test_shadowing_in_nested_scope(self):
+        check_main("int x = 1; if (x) { int x = 2; print_int(x); } return x;")
+
+    def test_redefinition_same_scope(self):
+        with pytest.raises(SemaError, match="redefinition"):
+            check_main("int x = 1; int x = 2; return 0;")
+
+    def test_scope_does_not_leak(self):
+        with pytest.raises(SemaError, match="undefined"):
+            check_main("if (1) { int y = 2; } return y;")
+
+    def test_globals_visible(self):
+        check("int g = 5; int main() { return g; }")
+
+
+class TestTypes:
+    def test_mixed_arithmetic_promotes(self):
+        program = check_main("double d = 1 + 2.5; return 0;")
+        decl = program.functions[0].body[0]
+        assert decl.init.ctype == C_DOUBLE
+
+    def test_int_literal_to_double_folded(self):
+        program = check_main("double d = 1; return 0;")
+        decl = program.functions[0].body[0]
+        assert decl.init.ctype == C_DOUBLE
+
+    def test_double_to_int_implicit_in_assignment(self):
+        program = check_main("int i = 2.5; return i;")
+        decl = program.functions[0].body[0]
+        assert isinstance(decl.init, CastExpr)
+        assert decl.init.ctype == C_INT
+
+    def test_modulo_requires_ints(self):
+        with pytest.raises(SemaError, match="%"):
+            check_main("double d = 1.5 % 2.0; return 0;")
+
+    def test_shift_requires_ints(self):
+        with pytest.raises(SemaError):
+            check_main("int x = 1.5 << 2; return 0;")
+
+    def test_comparison_yields_int(self):
+        program = check_main("int b = 1.5 < 2.5; return b;")
+        decl = program.functions[0].body[0]
+        assert decl.ctype == C_INT
+
+    def test_array_index_must_be_int(self):
+        with pytest.raises(SemaError, match="index"):
+            check("double a[4]; int main() { a[1.5] = 1.0; return 0; }")
+
+    def test_cannot_index_scalar(self):
+        with pytest.raises(SemaError, match="index into"):
+            check_main("int x = 1; return x[0];")
+
+    def test_cannot_assign_to_array(self):
+        with pytest.raises(SemaError):
+            check("double a[4]; int main() { a = 1.0; return 0; }")
+
+    def test_void_variable(self):
+        with pytest.raises(SemaError, match="void"):
+            check_main("void v; return 0;")
+
+
+class TestCalls:
+    def test_arity_check(self):
+        with pytest.raises(SemaError, match="expected 1"):
+            check_main("print_int(1, 2); return 0;")
+
+    def test_arg_coercion(self):
+        check_main("print_double(3); return 0;")
+
+    def test_pointer_arg_strict(self):
+        with pytest.raises(SemaError):
+            check(
+                """
+                double f(double* a) { return a[0]; }
+                int ib[4];
+                int main() { return (int)f(ib); }
+                """
+            )
+
+    def test_array_decays_to_pointer(self):
+        check(
+            """
+            double f(double* a) { return a[0]; }
+            double gb[4];
+            int main() { return (int)f(gb); }
+            """
+        )
+
+    def test_void_call_as_statement(self):
+        check_main("print_int(1); return 0;")
+
+
+class TestControl:
+    def test_break_outside_loop(self):
+        with pytest.raises(SemaError, match="break"):
+            check_main("break; return 0;")
+
+    def test_continue_outside_loop(self):
+        with pytest.raises(SemaError, match="continue"):
+            check_main("continue; return 0;")
+
+    def test_return_type_checked(self):
+        with pytest.raises(SemaError):
+            check("void f() { return 1; } int main() { return 0; }")
+        with pytest.raises(SemaError):
+            check("int f() { return; } int main() { return 0; }")
+
+    def test_condition_must_be_arith(self):
+        with pytest.raises(SemaError, match="condition"):
+            check("double a[2]; int main() { if (a) { } return 0; }")
+
+
+class TestGlobals:
+    def test_array_initializer_length(self):
+        with pytest.raises(SemaError, match="initializer"):
+            check("int a[3] = {1, 2}; int main() { return 0; }")
+
+    def test_global_pointer_rejected(self):
+        with pytest.raises(SemaError, match="pointer"):
+            check("int* p; int main() { return 0; }")
+
+
+class TestBlockScope:
+    def test_block_introduces_scope(self):
+        check_main("{ int t = 1; print_int(t); } { int t = 2; print_int(t); } return 0;")
+
+    def test_block_scope_does_not_leak(self):
+        with pytest.raises(SemaError, match="undefined"):
+            check_main("{ int t = 1; } return t;")
+
+
+class TestDiagnostics:
+    def test_errors_carry_line_numbers(self):
+        with pytest.raises(SemaError, match=r"^3:"):
+            check("int main() {\n  int x = 1;\n  return missing;\n}")
+
+    def test_parse_errors_carry_positions(self):
+        from repro.errors import ParseError
+        from repro.frontend import parse
+
+        with pytest.raises(ParseError, match=r"^2:"):
+            parse("int main() {\n  int = 5;\n}")

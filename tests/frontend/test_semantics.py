@@ -1,0 +1,435 @@
+"""End-to-end language semantics: compile MiniC through the full pipeline
+(frontend -> IR opts -> backend -> VM) and check outputs at O0 and O2.
+
+This is the compiler's primary correctness harness: every case encodes the
+expected C semantics, and each runs at both optimization levels, so it also
+guards the optimizer and register allocator against miscompiles.
+"""
+
+import pytest
+
+from tests.conftest import run_minic
+
+# (id, source, expected_output_lines)
+CASES = [
+    (
+        "int-arith",
+        "int main() { print_int(2 + 3 * 4 - 1); return 0; }",
+        ["13"],
+    ),
+    (
+        "division-truncates-toward-zero",
+        "int main() { print_int(-7 / 2); print_int(7 / -2); print_int(-7 % 2); return 0; }",
+        ["-3", "-3", "-1"],
+    ),
+    (
+        "unary-minus",
+        "int main() { int x = 5; print_int(-x); return 0; }",
+        ["-5"],
+    ),
+    (
+        "logical-not",
+        "int main() { print_int(!0); print_int(!7); print_int(!!3); return 0; }",
+        ["1", "0", "1"],
+    ),
+    (
+        "bitwise",
+        "int main() { print_int(12 & 10); print_int(12 | 10); print_int(12 ^ 10); return 0; }",
+        ["8", "14", "6"],
+    ),
+    (
+        "shifts",
+        "int main() { print_int(1 << 10); print_int(-16 >> 2); return 0; }",
+        ["1024", "-4"],
+    ),
+    (
+        "comparisons",
+        "int main() { print_int(1 < 2); print_int(2 <= 1); print_int(3 == 3); print_int(3 != 3); return 0; }",
+        ["1", "0", "1", "0"],
+    ),
+    (
+        "float-arith",
+        "int main() { print_double(0.1 + 0.2); print_double(1.0 / 3.0); return 0; }",
+        ["3.000000e-01", "3.333333e-01"],
+    ),
+    (
+        "float-compare",
+        "int main() { print_int(1.5 < 2.5); print_int(2.5 <= 2.5); print_int(1.5 > 2.5); return 0; }",
+        ["1", "1", "0"],
+    ),
+    (
+        "int-to-double",
+        "int main() { double d = 7; print_double(d / 2.0); return 0; }",
+        ["3.500000e+00"],
+    ),
+    (
+        "double-to-int-truncates",
+        "int main() { print_int((int)2.9); print_int((int)-2.9); return 0; }",
+        ["2", "-2"],
+    ),
+    (
+        "short-circuit-and",
+        """
+        int calls = 0;
+        int bump() { calls = calls + 1; return 1; }
+        int main() {
+          int r = 0 && bump();
+          print_int(r);
+          print_int(calls);
+          return 0;
+        }
+        """,
+        ["0", "0"],
+    ),
+    (
+        "short-circuit-or",
+        """
+        int calls = 0;
+        int bump() { calls = calls + 1; return 0; }
+        int main() {
+          int r = 1 || bump();
+          print_int(r);
+          print_int(calls);
+          return 0;
+        }
+        """,
+        ["1", "0"],
+    ),
+    (
+        "logic-evaluates-rhs-when-needed",
+        """
+        int calls = 0;
+        int bump() { calls = calls + 1; return 3; }
+        int main() {
+          print_int(1 && bump());
+          print_int(calls);
+          return 0;
+        }
+        """,
+        ["1", "1"],
+    ),
+    (
+        "while-loop",
+        """
+        int main() {
+          int i = 0;
+          int s = 0;
+          while (i < 10) { s = s + i; i = i + 1; }
+          print_int(s);
+          return 0;
+        }
+        """,
+        ["45"],
+    ),
+    (
+        "for-break-continue",
+        """
+        int main() {
+          int s = 0;
+          for (int i = 0; i < 100; i = i + 1) {
+            if (i % 2 == 0) { continue; }
+            if (i > 10) { break; }
+            s = s + i;
+          }
+          print_int(s);
+          return 0;
+        }
+        """,
+        ["25"],  # 1+3+5+7+9
+    ),
+    (
+        "nested-loops",
+        """
+        int main() {
+          int c = 0;
+          for (int i = 0; i < 5; i = i + 1) {
+            for (int j = 0; j <= i; j = j + 1) {
+              c = c + 1;
+            }
+          }
+          print_int(c);
+          return 0;
+        }
+        """,
+        ["15"],
+    ),
+    (
+        "recursion",
+        """
+        int fib(int n) {
+          if (n < 2) { return n; }
+          return fib(n - 1) + fib(n - 2);
+        }
+        int main() { print_int(fib(12)); return 0; }
+        """,
+        ["144"],
+    ),
+    (
+        "mutual-recursion",
+        """
+        int is_odd(int n);
+        """.replace("int is_odd(int n);", "")
+        + """
+        int is_even(int n) {
+          if (n == 0) { return 1; }
+          return is_odd2(n - 1);
+        }
+        int is_odd2(int n) {
+          if (n == 0) { return 0; }
+          return is_even(n - 1);
+        }
+        int main() { print_int(is_even(10)); print_int(is_odd2(10)); return 0; }
+        """,
+        ["1", "0"],
+    ),
+    (
+        "global-scalars",
+        """
+        int counter = 100;
+        double scale = 0.5;
+        int main() {
+          counter = counter + 1;
+          print_int(counter);
+          print_double(scale * 4.0);
+          return 0;
+        }
+        """,
+        ["101", "2.000000e+00"],
+    ),
+    (
+        "global-array-init",
+        """
+        int lut[5] = {10, 20, 30, 40, 50};
+        int main() {
+          int s = 0;
+          for (int i = 0; i < 5; i = i + 1) { s = s + lut[i]; }
+          print_int(s);
+          return 0;
+        }
+        """,
+        ["150"],
+    ),
+    (
+        "local-arrays",
+        """
+        int main() {
+          double buf[8];
+          for (int i = 0; i < 8; i = i + 1) { buf[i] = (double)i * (double)i; }
+          double s = 0.0;
+          for (int i = 0; i < 8; i = i + 1) { s = s + buf[i]; }
+          print_double(s);
+          return 0;
+        }
+        """,
+        ["1.400000e+02"],
+    ),
+    (
+        "array-as-pointer-arg",
+        """
+        void fill(double* a, int n, double v) {
+          for (int i = 0; i < n; i = i + 1) { a[i] = v; }
+        }
+        double total(double* a, int n) {
+          double s = 0.0;
+          for (int i = 0; i < n; i = i + 1) { s = s + a[i]; }
+          return s;
+        }
+        double g[6];
+        int main() {
+          fill(g, 6, 2.5);
+          print_double(total(g, 6));
+          return 0;
+        }
+        """,
+        ["1.500000e+01"],
+    ),
+    (
+        "local-array-passed-to-function",
+        """
+        double head(double* a) { return a[0]; }
+        int main() {
+          double loc[3];
+          loc[0] = 9.5;
+          print_double(head(loc));
+          return 0;
+        }
+        """,
+        ["9.500000e+00"],
+    ),
+    (
+        "many-args",
+        """
+        int sum6(int a, int b, int c, int d, int e, int f) {
+          return a + b + c + d + e + f;
+        }
+        int main() { print_int(sum6(1, 2, 3, 4, 5, 6)); return 0; }
+        """,
+        ["21"],
+    ),
+    (
+        "mixed-arg-classes",
+        """
+        double mix(int a, double x, int b, double y) {
+          return (double)(a + b) * x + y;
+        }
+        int main() { print_double(mix(2, 1.5, 3, 0.25)); return 0; }
+        """,
+        ["7.750000e+00"],
+    ),
+    (
+        "builtins",
+        """
+        int main() {
+          print_double(sqrt(16.0));
+          print_double(fabs(-2.5));
+          print_double(floor(3.9));
+          print_double(pow(2.0, 10.0));
+          print_double(fmod(7.5, 2.0));
+          return 0;
+        }
+        """,
+        ["4.000000e+00", "2.500000e+00", "3.000000e+00", "1.024000e+03",
+         "1.500000e+00"],
+    ),
+    (
+        "shadowing",
+        """
+        int x = 1;
+        int main() {
+          print_int(x);
+          int x = 2;
+          print_int(x);
+          if (1) {
+            int x = 3;
+            print_int(x);
+          }
+          print_int(x);
+          return 0;
+        }
+        """,
+        ["1", "2", "3", "2"],
+    ),
+    (
+        "exit-code-from-main",
+        "int main() { print_int(1); return 0; }",
+        ["1"],
+    ),
+    (
+        "empty-for-condition",
+        """
+        int main() {
+          int i = 0;
+          for (;;) {
+            i = i + 1;
+            if (i == 5) { break; }
+          }
+          print_int(i);
+          return 0;
+        }
+        """,
+        ["5"],
+    ),
+    (
+        "int-wraparound",
+        """
+        int main() {
+          int big = 9223372036854775807;
+          print_int(big + 1);
+          return 0;
+        }
+        """,
+        ["-9223372036854775808"],
+    ),
+    (
+        "dead-code-after-return",
+        """
+        int main() {
+          print_int(1);
+          return 0;
+          print_int(2);
+        }
+        """,
+        ["1"],
+    ),
+    (
+        "both-arms-return",
+        """
+        int pick(int c) {
+          if (c) { return 10; } else { return 20; }
+        }
+        int main() { print_int(pick(1) + pick(0)); return 0; }
+        """,
+        ["30"],
+    ),
+    (
+        "implicit-return-zero",
+        """
+        int main() { print_int(7); }
+        """,
+        ["7"],
+    ),
+]
+
+
+@pytest.mark.parametrize("opt", ["O0", "O1", "O2"])
+@pytest.mark.parametrize(
+    "source,expected", [(c[1], c[2]) for c in CASES], ids=[c[0] for c in CASES]
+)
+def test_program_semantics(source, expected, opt):
+    result = run_minic(source, opt)
+    assert result.trap is None, f"trapped: {result.trap}"
+    assert result.exit_code == 0
+    assert result.output == expected
+
+
+def test_exit_code_propagates():
+    result = run_minic("int main() { return 42; }")
+    assert result.exit_code == 42
+
+
+def test_integer_divide_by_zero_traps():
+    result = run_minic(
+        "int z = 0; int main() { return 1 / z; }"
+    )
+    assert result.trap == "divide-by-zero"
+
+
+def test_float_divide_by_zero_is_inf_not_trap():
+    result = run_minic(
+        "double z = 0.0; int main() { print_double(1.0 / z); return 0; }"
+    )
+    assert result.trap is None
+    assert result.output == ["inf"]
+
+
+def test_deep_recursion_stack_overflow():
+    result = run_minic(
+        """
+        int deep(int n) { return deep(n + 1); }
+        int main() { return deep(0); }
+        """,
+        budget=10_000_000,
+    )
+    assert result.trap == "stack-overflow"
+
+
+def test_infinite_loop_hits_budget():
+    result = run_minic(
+        "int main() { while (1) { } return 0; }", budget=10_000
+    )
+    assert result.trap == "timeout"
+
+
+def test_bare_block_scoping_executes():
+    src = """
+    int main() {
+      int x = 1;
+      { int x = 10; print_int(x); }
+      print_int(x);
+      { x = x + 5; }
+      print_int(x);
+      return 0;
+    }
+    """
+    for opt in ("O0", "O2"):
+        assert run_minic(src, opt).output == ["10", "1", "6"]

@@ -1,0 +1,124 @@
+"""Tests for the command-line entry points."""
+
+import json
+
+import pytest
+
+from repro.cli import campaign_main, compile_main, report_main
+
+
+@pytest.fixture
+def source_file(tmp_path):
+    path = tmp_path / "prog.mc"
+    path.write_text(
+        """
+        double g[8];
+        int main() {
+          for (int i = 0; i < 8; i = i + 1) { g[i] = (double)i; }
+          double s = 0.0;
+          for (int i = 0; i < 8; i = i + 1) { s = s + g[i]; }
+          print_double(s);
+          return 0;
+        }
+        """
+    )
+    return str(path)
+
+
+class TestCompileMain:
+    def test_plain_compile(self, source_file, capsys):
+        assert compile_main([source_file]) == 0
+        out = capsys.readouterr().out
+        assert "_main:" in out
+        assert "push rbp" in out
+
+    def test_opt_level_flag(self, source_file, capsys):
+        assert compile_main([source_file, "-O", "O0"]) == 0
+        out = capsys.readouterr().out
+        # O0 keeps every local in memory: lots of frame traffic.
+        assert "rbp -" in out or "rbp +" in out
+
+    def test_refine_instrumentation(self, source_file, capsys):
+        assert compile_main([source_file, "--fi", "true"]) == 0
+        out = capsys.readouterr().out
+        assert "fi_check" in out
+
+    def test_expanded_fi_blocks(self, source_file, capsys):
+        assert (
+            compile_main([source_file, "--fi", "true", "--expand-fi"]) == 0
+        )
+        out = capsys.readouterr().out
+        assert ".PreFI:" in out and ".SetupFI:" in out
+
+    def test_llfi_instrumentation(self, source_file, capsys):
+        assert (
+            compile_main([source_file, "--fi", "true", "--fi-tool", "llfi"])
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "__fi_inject" in out
+
+
+class TestCampaignMain:
+    def test_csv_output(self, capsys):
+        rc = campaign_main(
+            ["-n", "8", "-w", "DC", "-t", "REFINE,PINFI", "-q"]
+        )
+        assert rc == 0
+        out = capsys.readouterr().out
+        lines = [l for l in out.splitlines() if l.strip()]
+        assert lines[0].startswith("workload,tool,")
+        assert len(lines) == 3
+        for line in lines[1:]:
+            fields = line.split(",")
+            assert int(fields[3]) + int(fields[4]) + int(fields[5]) == 8
+
+
+class TestReportMain:
+    def test_table5_report(self, capsys):
+        rc = report_main(
+            ["-n", "8", "-w", "DC", "--artifact", "table5"]
+        )
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "Chi-squared test results" in out
+
+    def test_figure5_report(self, capsys):
+        rc = report_main(["-n", "8", "-w", "DC", "--artifact", "figure5"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "normalized to PINFI" in out
+
+
+class TestOptMain:
+    def test_minic_to_optimized_ir(self, source_file, capsys):
+        from repro.cli import opt_main
+
+        assert opt_main([source_file, "--minic", "-O", "O2"]) == 0
+        out = capsys.readouterr().out
+        assert "define i64 @main()" in out
+        assert "phi" in out  # mem2reg promoted the loop variables
+
+    def test_ir_text_roundtrip_through_cli(self, tmp_path, capsys):
+        from repro.cli import opt_main
+
+        ir_file = tmp_path / "input.ll"
+        ir_file.write_text(
+            """
+            define i64 @main() {
+            entry:
+              %x = add i64 20, 22
+              ret i64 %x
+            }
+            """
+        )
+        assert opt_main([str(ir_file), "-O", "O1", "--verify"]) == 0
+        out = capsys.readouterr().out
+        assert "ret i64 42" in out  # constant-folded
+
+    def test_llfi_flag(self, source_file, capsys):
+        from repro.cli import opt_main
+
+        assert opt_main([source_file, "--minic", "--llfi"]) == 0
+        out = capsys.readouterr().out
+        assert "__fi_inject" in out

@@ -1,0 +1,29 @@
+"""Smoke tests: every example script runs to completion.
+
+Examples are the repository's user-facing documentation; they must never
+rot.  Each runs in-process with a reduced sample count.
+"""
+
+import os
+import runpy
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES_DIR = Path(__file__).resolve().parent.parent.parent / "examples"
+EXAMPLES = sorted(p.name for p in EXAMPLES_DIR.glob("*.py"))
+
+
+def test_all_examples_discovered():
+    assert "quickstart.py" in EXAMPLES
+    assert len(EXAMPLES) >= 7
+
+
+@pytest.mark.parametrize("script", EXAMPLES)
+def test_example_runs(script, monkeypatch, capsys):
+    monkeypatch.setenv("REPRO_SAMPLES", "25")
+    monkeypatch.setattr(sys, "argv", [script])
+    runpy.run_path(str(EXAMPLES_DIR / script), run_name="__main__")
+    out = capsys.readouterr().out
+    assert out.strip(), f"{script} produced no output"

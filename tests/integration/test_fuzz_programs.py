@@ -1,0 +1,112 @@
+"""Statement-level program fuzzing: random MiniC programs with loops,
+branches and array traffic, compiled at O0 and O2 and compared.
+
+Complements the expression fuzzer: this one exercises control flow,
+mem2reg phi placement, LICM, the register allocator under loop pressure,
+and array addressing.  Programs are generated with bounded loops so every
+case terminates quickly.
+"""
+
+from __future__ import annotations
+
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from tests.conftest import run_minic
+
+# -- tiny structured program generator ----------------------------------------
+
+INT_VARS = ("x", "y", "z")
+ARR = "buf"
+ARR_LEN = 8
+
+
+@st.composite
+def expressions(draw, depth=0):
+    choice = draw(st.integers(0, 5 if depth < 2 else 2))
+    if choice == 0:
+        return str(draw(st.integers(-50, 50)))
+    if choice == 1:
+        return draw(st.sampled_from(INT_VARS))
+    if choice == 2:
+        idx = draw(st.integers(0, ARR_LEN - 1))
+        return f"{ARR}[{idx}]"
+    a = draw(expressions(depth=depth + 1))
+    b = draw(expressions(depth=depth + 1))
+    op = draw(st.sampled_from(["+", "-", "*", "&", "|", "^"]))
+    return f"({a} {op} {b})"
+
+
+@st.composite
+def statements(draw, depth=0):
+    choice = draw(st.integers(0, 4 if depth < 2 else 1))
+    if choice == 0:
+        var = draw(st.sampled_from(INT_VARS))
+        return f"{var} = {draw(expressions())};"
+    if choice == 1:
+        idx = draw(st.integers(0, ARR_LEN - 1))
+        return f"{ARR}[{idx}] = {draw(expressions())};"
+    if choice == 2:
+        cond = draw(expressions())
+        then = draw(statements(depth=depth + 1))
+        other = draw(statements(depth=depth + 1))
+        return f"if ({cond}) {{ {then} }} else {{ {other} }}"
+    if choice == 3:
+        body = draw(statements(depth=depth + 1))
+        bound = draw(st.integers(1, 6))
+        return (
+            f"for (int k{depth} = 0; k{depth} < {bound}; "
+            f"k{depth} = k{depth} + 1) {{ {body} }}"
+        )
+    # bounded while
+    body = draw(statements(depth=depth + 1))
+    bound = draw(st.integers(1, 5))
+    return (
+        f"{{ int w{depth} = 0; while (w{depth} < {bound}) "
+        f"{{ {body} w{depth} = w{depth} + 1; }} }}"
+    )
+
+
+@st.composite
+def programs(draw):
+    stmts = draw(st.lists(statements(), min_size=1, max_size=6))
+    body = "\n  ".join(stmts)
+    dump = "\n  ".join(
+        f"print_int({v});" for v in INT_VARS
+    ) + f"\n  for (int d = 0; d < {ARR_LEN}; d = d + 1) {{ print_int({ARR}[d]); }}"
+    return f"""
+int {ARR}[{ARR_LEN}];
+int main() {{
+  int x = 3; int y = -7; int z = 11;
+  for (int d = 0; d < {ARR_LEN}; d = d + 1) {{ {ARR}[d] = d * 5 - 9; }}
+  {body}
+  {dump}
+  return 0;
+}}
+"""
+
+
+@settings(
+    max_examples=30,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow, HealthCheck.data_too_large],
+)
+@given(source=programs())
+def test_random_programs_O0_O2_agree(source):
+    r0 = run_minic(source, "O0", budget=2_000_000)
+    r2 = run_minic(source, "O2", budget=2_000_000)
+    assert r0.trap is None, f"O0 trapped: {r0.trap}\n{source}"
+    assert r2.trap is None, f"O2 trapped: {r2.trap}\n{source}"
+    assert r0.output == r2.output, source
+
+
+@settings(
+    max_examples=15,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow, HealthCheck.data_too_large],
+)
+@given(source=programs())
+def test_random_programs_O1_agrees_too(source):
+    r1 = run_minic(source, "O1", budget=2_000_000)
+    r2 = run_minic(source, "O2", budget=2_000_000)
+    assert r1.output == r2.output, source

@@ -1,0 +1,273 @@
+"""Tests for IR instruction construction, use lists and mutation."""
+
+import pytest
+
+from repro.errors import IRError
+from repro.ir import (
+    Alloca,
+    ArrayType,
+    BasicBlock,
+    BinaryOp,
+    Branch,
+    Cast,
+    CondBranch,
+    ConstantFloat,
+    ConstantInt,
+    F64,
+    FCmp,
+    GetElementPtr,
+    I1,
+    I64,
+    ICmp,
+    Load,
+    Phi,
+    PointerType,
+    Ret,
+    Select,
+    Store,
+)
+
+
+def v64(name="v"):
+    """A placeholder i64 SSA value (an add of constants)."""
+    return BinaryOp("add", ConstantInt(1), ConstantInt(2), name)
+
+
+def vf64(name="vf"):
+    return BinaryOp("fadd", ConstantFloat(1.0), ConstantFloat(2.0), name)
+
+
+class TestBinaryOp:
+    def test_int_result_type(self):
+        assert v64().type == I64
+
+    def test_float_result_type(self):
+        assert vf64().type == F64
+
+    def test_unknown_opcode(self):
+        with pytest.raises(IRError):
+            BinaryOp("frobnicate", ConstantInt(1), ConstantInt(2))
+
+    def test_type_mismatch(self):
+        with pytest.raises(IRError):
+            BinaryOp("add", ConstantInt(1), ConstantFloat(1.0))
+
+    def test_float_op_rejects_ints(self):
+        with pytest.raises(IRError):
+            BinaryOp("fadd", ConstantInt(1), ConstantInt(2))
+
+    def test_operand_accessors(self):
+        a, b = ConstantInt(3), ConstantInt(4)
+        op = BinaryOp("mul", a, b)
+        assert op.lhs is a and op.rhs is b
+
+
+class TestUseLists:
+    def test_user_registered(self):
+        a = v64("a")
+        b = BinaryOp("add", a, ConstantInt(1))
+        assert b in a.users
+        assert a.num_uses == 1
+
+    def test_multiplicity(self):
+        a = v64("a")
+        b = BinaryOp("add", a, a)
+        assert a.num_uses == 2
+        assert a.users.count(b) == 2
+
+    def test_replace_all_uses(self):
+        a = v64("a")
+        c = v64("c")
+        b = BinaryOp("add", a, a)
+        a.replace_all_uses_with(c)
+        assert a.num_uses == 0
+        assert c.num_uses == 2
+        assert b.operands == [c, c]
+
+    def test_replace_with_self_is_noop(self):
+        a = v64("a")
+        BinaryOp("add", a, ConstantInt(0))
+        a.replace_all_uses_with(a)
+        assert a.num_uses == 1
+
+    def test_set_operand_updates_uses(self):
+        a, c = v64("a"), v64("c")
+        b = BinaryOp("add", a, ConstantInt(1))
+        b.set_operand(0, c)
+        assert a.num_uses == 0 and c.num_uses == 1
+
+    def test_drop_operands(self):
+        a = v64("a")
+        b = BinaryOp("add", a, a)
+        b.drop_operands()
+        assert a.num_uses == 0
+        assert b.operands == []
+
+    def test_erase_refuses_with_uses(self):
+        a = v64("a")
+        BinaryOp("add", a, ConstantInt(1))
+        with pytest.raises(IRError):
+            a.erase()
+
+
+class TestComparisons:
+    def test_icmp_result_is_i1(self):
+        assert ICmp("slt", ConstantInt(1), ConstantInt(2)).type == I1
+
+    def test_icmp_bad_pred(self):
+        with pytest.raises(IRError):
+            ICmp("ult", ConstantInt(1), ConstantInt(2))
+
+    def test_fcmp_result_is_i1(self):
+        assert FCmp("olt", ConstantFloat(1.0), ConstantFloat(2.0)).type == I1
+
+    def test_fcmp_rejects_int(self):
+        with pytest.raises(IRError):
+            FCmp("olt", ConstantInt(1), ConstantInt(2))
+
+
+class TestMemory:
+    def test_alloca_yields_pointer(self):
+        a = Alloca(F64)
+        assert a.type == PointerType(F64)
+
+    def test_alloca_array(self):
+        a = Alloca(ArrayType(I64, 4))
+        assert a.allocated_type == ArrayType(I64, 4)
+
+    def test_load_type(self):
+        a = Alloca(F64)
+        assert Load(a).type == F64
+
+    def test_load_rejects_nonpointer(self):
+        with pytest.raises(IRError):
+            Load(ConstantInt(5))
+
+    def test_load_rejects_array_pointee(self):
+        with pytest.raises(IRError):
+            Load(Alloca(ArrayType(I64, 2)))
+
+    def test_store_type_check(self):
+        a = Alloca(F64)
+        with pytest.raises(IRError):
+            Store(ConstantInt(1), a)
+        Store(ConstantFloat(1.0), a)  # ok
+
+    def test_gep_on_array_pointer(self):
+        a = Alloca(ArrayType(F64, 8))
+        g = GetElementPtr(a, ConstantInt(3))
+        assert g.type == PointerType(F64)
+        assert g.element_type == F64
+
+    def test_gep_on_scalar_pointer(self):
+        a = Alloca(F64)
+        g = GetElementPtr(a, ConstantInt(1))
+        assert g.type == PointerType(F64)
+
+    def test_gep_index_must_be_i64(self):
+        a = Alloca(F64)
+        with pytest.raises(IRError):
+            GetElementPtr(a, ConstantInt(1, I1))
+
+
+class TestCasts:
+    def test_sitofp(self):
+        assert Cast("sitofp", ConstantInt(3)).type == F64
+
+    def test_fptosi(self):
+        assert Cast("fptosi", ConstantFloat(3.5)).type == I64
+
+    def test_zext(self):
+        assert Cast("zext", ConstantInt(1, I1)).type == I64
+
+    def test_wrong_source_type(self):
+        with pytest.raises(IRError):
+            Cast("sitofp", ConstantFloat(1.0))
+
+
+class TestControlFlow:
+    def test_branch_successors(self):
+        bb = BasicBlock("x")
+        br = Branch(bb)
+        assert br.successors == [bb]
+        assert br.is_terminator
+
+    def test_condbr(self):
+        t, f = BasicBlock("t"), BasicBlock("f")
+        cond = ICmp("eq", ConstantInt(0), ConstantInt(0))
+        br = CondBranch(cond, t, f)
+        assert br.successors == [t, f]
+
+    def test_condbr_requires_i1(self):
+        with pytest.raises(IRError):
+            CondBranch(ConstantInt(1), BasicBlock("t"), BasicBlock("f"))
+
+    def test_replace_successor(self):
+        t, f, n = BasicBlock("t"), BasicBlock("f"), BasicBlock("n")
+        br = CondBranch(ICmp("eq", ConstantInt(0), ConstantInt(0)), t, f)
+        br.replace_successor(t, n)
+        assert br.successors == [n, f]
+
+    def test_ret(self):
+        assert Ret().value is None
+        assert Ret(ConstantInt(3)).value.value == 3
+        assert Ret().successors == []
+
+
+class TestPhi:
+    def test_incoming_tracking(self):
+        a, b = BasicBlock("a"), BasicBlock("b")
+        phi = Phi(I64)
+        phi.add_incoming(ConstantInt(1), a)
+        phi.add_incoming(ConstantInt(2), b)
+        assert phi.incoming_for(a).value == 1
+        assert phi.incoming_for(b).value == 2
+
+    def test_type_check(self):
+        phi = Phi(I64)
+        with pytest.raises(IRError):
+            phi.add_incoming(ConstantFloat(1.0), BasicBlock("a"))
+
+    def test_remove_incoming(self):
+        a, b = BasicBlock("a"), BasicBlock("b")
+        phi = Phi(I64)
+        v = v64()
+        phi.add_incoming(v, a)
+        phi.add_incoming(ConstantInt(2), b)
+        phi.remove_incoming(a)
+        assert v.num_uses == 0
+        assert len(phi.incoming_blocks) == 1
+
+    def test_missing_incoming_raises(self):
+        phi = Phi(I64)
+        with pytest.raises(IRError):
+            phi.incoming_for(BasicBlock("nope"))
+
+
+class TestSelect:
+    def test_types(self):
+        cond = ICmp("eq", ConstantInt(0), ConstantInt(0))
+        sel = Select(cond, ConstantFloat(1.0), ConstantFloat(2.0))
+        assert sel.type == F64
+
+    def test_arm_mismatch(self):
+        cond = ICmp("eq", ConstantInt(0), ConstantInt(0))
+        with pytest.raises(IRError):
+            Select(cond, ConstantInt(1), ConstantFloat(2.0))
+
+
+class TestConstants:
+    def test_range_check(self):
+        ConstantInt((1 << 63) - 1)
+        with pytest.raises(IRError):
+            ConstantInt(1 << 63)
+
+    def test_i1_range(self):
+        ConstantInt(0, I1)
+        ConstantInt(1, I1)
+        with pytest.raises(IRError):
+            ConstantInt(2, I1)
+
+    def test_refs(self):
+        assert ConstantInt(-3).ref() == "-3"
+        assert ConstantFloat(0.5).ref() == "0.5"

@@ -1,0 +1,218 @@
+"""IR text parser tests: hand-written IR and printer round-trips."""
+
+import pytest
+
+from repro.errors import IRError
+from repro.frontend import compile_source
+from repro.ir import format_module, verify_module
+from repro.ir.parser import parse_module, parse_type
+from repro.ir.types import ArrayType, F64, I1, I64, PointerType, VOID
+from repro.irpasses import optimize_module
+from repro.workloads import get_workload
+
+
+class TestParseType:
+    @pytest.mark.parametrize(
+        "text,expected",
+        [
+            ("i64", I64),
+            ("i1", I1),
+            ("f64", F64),
+            ("void", VOID),
+            ("f64*", PointerType(F64)),
+            ("i64**", PointerType(PointerType(I64))),
+            ("[4 x f64]", ArrayType(F64, 4)),
+            ("[4 x f64]*", PointerType(ArrayType(F64, 4))),
+            ("[2 x [3 x i64]]", ArrayType(ArrayType(I64, 3), 2)),
+        ],
+    )
+    def test_valid(self, text, expected):
+        assert parse_type(text) == expected
+
+    def test_invalid(self):
+        with pytest.raises(IRError):
+            parse_type("i37")
+        with pytest.raises(IRError):
+            parse_type("[x of y]")
+
+
+class TestHandWrittenIR:
+    def test_simple_function(self):
+        module = parse_module(
+            """
+            define i64 @double_it(i64 %x) {
+            entry:
+              %r = add i64 %x, %x
+              ret i64 %r
+            }
+            """
+        )
+        verify_module(module)
+        fn = module.get_function("double_it")
+        assert fn.entry.instructions[0].opcode == "add"
+
+    def test_loop_with_phi_forward_reference(self):
+        module = parse_module(
+            """
+            define i64 @sum(i64 %n) {
+            entry:
+              br label %loop
+            loop:
+              %i = phi i64 [ 0, %entry ], [ %next, %loop ]
+              %acc = phi i64 [ 0, %entry ], [ %acc2, %loop ]
+              %acc2 = add i64 %acc, %i
+              %next = add i64 %i, 1
+              %cmp = icmp slt i64 %next, %n
+              br i1 %cmp, label %loop, label %exit
+            exit:
+              ret i64 %acc2
+            }
+            """
+        )
+        verify_module(module)
+
+    def test_globals_and_memory(self):
+        module = parse_module(
+            """
+            @table = global [4 x f64] [0, 0, 0, 0]
+            @count = global i64 3
+
+            define f64 @first() {
+            entry:
+              %p = getelementptr [4 x f64]* @table, i64 0
+              %v = load f64, f64* %p
+              ret f64 %v
+            }
+            """
+        )
+        verify_module(module)
+        assert module.get_global("table").value_type == ArrayType(F64, 4)
+
+    def test_calls_and_declares(self):
+        module = parse_module(
+            """
+            declare f64 @sqrt(f64 %arg0)
+
+            define f64 @hyp(f64 %a, f64 %b) {
+            entry:
+              %aa = fmul f64 %a, %a
+              %bb = fmul f64 %b, %b
+              %s = fadd f64 %aa, %bb
+              %r = call f64 @sqrt(f64 %s)
+              ret f64 %r
+            }
+            """
+        )
+        verify_module(module)
+
+    def test_undefined_value_rejected(self):
+        with pytest.raises(IRError, match="never defined"):
+            parse_module(
+                """
+                define i64 @bad() {
+                entry:
+                  ret i64 %ghost
+                }
+                """
+            )
+
+    def test_double_definition_rejected(self):
+        with pytest.raises(IRError, match="defined twice"):
+            parse_module(
+                """
+                define i64 @bad() {
+                entry:
+                  %x = add i64 1, 2
+                  %x = add i64 3, 4
+                  ret i64 %x
+                }
+                """
+            )
+
+
+class TestRoundTrip:
+    def _roundtrip(self, module):
+        text1 = format_module(module)
+        reparsed = parse_module(text1)
+        verify_module(reparsed)
+        text2 = format_module(reparsed)
+        assert text1 == text2
+
+    def test_frontend_output_roundtrips(self):
+        src = """
+        double g[8];
+        double f(double* a, int n) {
+          double s = 0.0;
+          for (int i = 0; i < n; i = i + 1) { s = s + a[i]; }
+          return s;
+        }
+        int main() {
+          for (int i = 0; i < 8; i = i + 1) { g[i] = (double)i; }
+          print_double(f(g, 8));
+          return 0;
+        }
+        """
+        self._roundtrip(compile_source(src))
+
+    def test_optimized_ir_roundtrips(self):
+        src = """
+        int main() {
+          int s = 0;
+          for (int i = 0; i < 10; i = i + 1) {
+            if (i % 2 == 0 || i > 7) { s = s + i * 3; }
+          }
+          print_int(s);
+          return 0;
+        }
+        """
+        module = compile_source(src)
+        optimize_module(module, "O2")
+        self._roundtrip(module)
+
+    @pytest.mark.parametrize("name", ["HPCCG-1.0", "FT", "DC"])
+    def test_workload_ir_roundtrips(self, name):
+        module = compile_source(get_workload(name).source)
+        optimize_module(module, "O2")
+        self._roundtrip(module)
+
+    def test_reparsed_module_compiles_and_runs(self):
+        """Parsed IR is fully functional: compile it to a binary and run."""
+        from repro.backend.compiler import CompileOptions, compile_ir
+        from repro.machine import execute, load_binary
+
+        src = """
+        int main() {
+          int total = 0;
+          for (int i = 1; i <= 10; i = i + 1) { total = total + i * i; }
+          print_int(total);
+          return 0;
+        }
+        """
+        module = compile_source(src)
+        optimize_module(module, "O2")
+        reparsed = parse_module(format_module(module))
+        binary = compile_ir(reparsed, CompileOptions(opt_level="O0"))
+        result = execute(load_binary(binary))
+        assert result.output == ["385"]
+
+
+class TestFuzzRoundTrip:
+    def test_random_programs_roundtrip(self):
+        """Printer/parser round-trip over generated programs (reuses the
+        statement fuzzer's generator)."""
+        from hypothesis import HealthCheck, given, settings
+
+        from tests.integration.test_fuzz_programs import programs
+
+        @settings(max_examples=15, deadline=None,
+                  suppress_health_check=[HealthCheck.too_slow])
+        @given(source=programs())
+        def check(source):
+            module = compile_source(source)
+            optimize_module(module, "O2")
+            text1 = format_module(module)
+            reparsed = parse_module(text1)
+            verify_module(reparsed)
+            assert format_module(reparsed) == text1
+
+        check()

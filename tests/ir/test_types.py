@@ -1,0 +1,113 @@
+"""Tests for the IR type system."""
+
+import pytest
+
+from repro.errors import IRError
+from repro.ir import (
+    ArrayType,
+    F64,
+    FunctionType,
+    I1,
+    I64,
+    IntType,
+    PointerType,
+    VOID,
+    pointer_to,
+)
+
+
+class TestScalarTypes:
+    def test_int_equality_structural(self):
+        assert IntType(64) == I64
+        assert IntType(1) == I1
+        assert IntType(64) != IntType(32)
+
+    def test_int_rejects_odd_width(self):
+        with pytest.raises(IRError):
+            IntType(7)
+
+    def test_sizes(self):
+        assert I64.size_bytes == 8
+        assert F64.size_bytes == 8
+        assert I1.size_bytes == 1
+
+    def test_void_has_no_size(self):
+        with pytest.raises(IRError):
+            _ = VOID.size_bytes
+
+    def test_predicates(self):
+        assert I64.is_integer() and not I64.is_float()
+        assert F64.is_float() and not F64.is_integer()
+        assert VOID.is_void()
+        assert I64.is_scalar() and F64.is_scalar()
+        assert not VOID.is_scalar()
+
+    def test_hashable(self):
+        assert len({I64, IntType(64), F64, I1}) == 3
+
+    def test_str(self):
+        assert str(I64) == "i64"
+        assert str(F64) == "f64"
+        assert str(VOID) == "void"
+
+
+class TestPointerTypes:
+    def test_structural_equality(self):
+        assert pointer_to(F64) == PointerType(F64)
+        assert pointer_to(F64) != pointer_to(I64)
+
+    def test_size(self):
+        assert pointer_to(F64).size_bytes == 8
+
+    def test_str(self):
+        assert str(pointer_to(F64)) == "f64*"
+        assert str(pointer_to(pointer_to(I64))) == "i64**"
+
+    def test_no_void_pointer(self):
+        with pytest.raises(IRError):
+            PointerType(VOID)
+
+
+class TestArrayTypes:
+    def test_size(self):
+        assert ArrayType(F64, 27).size_bytes == 27 * 8
+
+    def test_structural_equality(self):
+        assert ArrayType(I64, 3) == ArrayType(I64, 3)
+        assert ArrayType(I64, 3) != ArrayType(I64, 4)
+
+    def test_str(self):
+        assert str(ArrayType(I64, 27)) == "[27 x i64]"
+
+    def test_rejects_zero_length(self):
+        with pytest.raises(IRError):
+            ArrayType(I64, 0)
+
+    def test_nested_arrays(self):
+        nested = ArrayType(ArrayType(F64, 4), 3)
+        assert nested.size_bytes == 96
+
+    def test_not_scalar(self):
+        assert not ArrayType(I64, 2).is_scalar()
+
+
+class TestFunctionTypes:
+    def test_basic(self):
+        ft = FunctionType(I64, [I64, F64])
+        assert ft.ret == I64
+        assert ft.params == (I64, F64)
+
+    def test_equality(self):
+        assert FunctionType(VOID, []) == FunctionType(VOID, [])
+        assert FunctionType(VOID, [I64]) != FunctionType(VOID, [F64])
+
+    def test_rejects_array_param(self):
+        with pytest.raises(IRError):
+            FunctionType(VOID, [ArrayType(I64, 2)])
+
+    def test_rejects_array_return(self):
+        with pytest.raises(IRError):
+            FunctionType(ArrayType(I64, 2), [])
+
+    def test_str(self):
+        assert str(FunctionType(I64, [F64])) == "i64 (f64)"

@@ -1,0 +1,163 @@
+"""Tests for constant folding with C99 evaluation semantics."""
+
+import math
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.ir import (
+    BinaryOp,
+    ConstantFloat,
+    ConstantInt,
+    FunctionType,
+    I64,
+    IRBuilder,
+    Module,
+)
+from repro.irpasses import ConstantFold, c_sdiv, c_srem
+from repro.irpasses.constfold import eval_float_binop, eval_int_binop
+from repro.utils.bits import INT64_MAX, INT64_MIN
+
+i64 = st.integers(min_value=INT64_MIN, max_value=INT64_MAX)
+
+
+class TestCSemantics:
+    """C99 division truncates toward zero; remainder follows the dividend."""
+
+    @pytest.mark.parametrize(
+        "a,b,q,r",
+        [
+            (7, 2, 3, 1),
+            (-7, 2, -3, -1),
+            (7, -2, -3, 1),
+            (-7, -2, 3, -1),
+            (1, 3, 0, 1),
+            (-1, 3, 0, -1),
+        ],
+    )
+    def test_known_divisions(self, a, b, q, r):
+        assert c_sdiv(a, b) == q
+        assert c_srem(a, b) == r
+
+    @given(i64, i64.filter(lambda v: v != 0))
+    def test_div_rem_identity(self, a, b):
+        # (a/b)*b + a%b == a  (modulo 64-bit wrap on the product)
+        if a == INT64_MIN and b == -1:
+            return
+        q, r = c_sdiv(a, b), c_srem(a, b)
+        assert q * b + r == a
+
+    @given(i64, i64.filter(lambda v: v != 0))
+    def test_rem_sign(self, a, b):
+        if a == INT64_MIN and b == -1:
+            return
+        r = c_srem(a, b)
+        assert r == 0 or (r < 0) == (a < 0)
+        assert abs(r) < abs(b)
+
+
+class TestEvalIntBinop:
+    def test_wrapping_add(self):
+        assert eval_int_binop("add", INT64_MAX, 1) == INT64_MIN
+
+    def test_wrapping_mul(self):
+        assert eval_int_binop("mul", 1 << 62, 4) == 0
+
+    def test_div_by_zero_not_folded(self):
+        assert eval_int_binop("sdiv", 5, 0) is None
+        assert eval_int_binop("srem", 5, 0) is None
+
+    def test_overflow_division_not_folded(self):
+        assert eval_int_binop("sdiv", INT64_MIN, -1) is None
+
+    def test_shift_out_of_range_not_folded(self):
+        assert eval_int_binop("shl", 1, 64) is None
+        assert eval_int_binop("shl", 1, -1) is None
+
+    def test_arithmetic_shift_right(self):
+        assert eval_int_binop("ashr", -8, 1) == -4
+
+    @given(i64, st.integers(min_value=0, max_value=63))
+    def test_shl_matches_mask(self, a, s):
+        got = eval_int_binop("shl", a, s)
+        assert got is not None
+        assert INT64_MIN <= got <= INT64_MAX
+
+
+class TestEvalFloatBinop:
+    def test_div_by_zero_ieee(self):
+        assert eval_float_binop("fdiv", 1.0, 0.0) == math.inf
+        assert eval_float_binop("fdiv", -1.0, 0.0) == -math.inf
+        assert math.isnan(eval_float_binop("fdiv", 0.0, 0.0))
+
+    def test_signed_zero_division(self):
+        assert eval_float_binop("fdiv", 1.0, -0.0) == -math.inf
+
+    def test_nan_propagates(self):
+        assert math.isnan(eval_float_binop("fadd", math.nan, 1.0))
+
+    def test_inf_arithmetic(self):
+        assert eval_float_binop("fadd", math.inf, 1.0) == math.inf
+        assert math.isnan(eval_float_binop("fsub", math.inf, math.inf))
+
+
+class TestFoldPass:
+    def _fold_expr(self, build):
+        m = Module()
+        fn = m.add_function("f", FunctionType(I64, []))
+        b = IRBuilder(fn.add_block("entry"))
+        result = build(b)
+        b.ret(result)
+        ConstantFold().run(fn)
+        return fn.entry.instructions
+
+    def test_folds_chain(self):
+        instrs = self._fold_expr(
+            lambda b: b.binop(
+                "mul", b.binop("add", ConstantInt(2), ConstantInt(3)),
+                ConstantInt(4),
+            )
+        )
+        # Everything folded away; only the ret remains.
+        assert len(instrs) == 1
+        assert instrs[0].opcode == "ret"
+        assert instrs[0].value.value == 20
+
+    def test_folds_icmp_and_select(self):
+        m = Module()
+        fn = m.add_function("f", FunctionType(I64, []))
+        b = IRBuilder(fn.add_block("entry"))
+        cond = b.icmp("slt", ConstantInt(1), ConstantInt(2))
+        sel = b.select(cond, ConstantInt(10), ConstantInt(20))
+        b.ret(sel)
+        ConstantFold().run(fn)
+        ConstantFold().run(fn)
+        ret = fn.entry.terminator
+        assert ret.value.value == 10
+
+    def test_division_by_zero_left_for_runtime(self):
+        instrs = self._fold_expr(
+            lambda b: b.binop("sdiv", ConstantInt(1), ConstantInt(0))
+        )
+        assert any(i.opcode == "sdiv" for i in instrs)
+
+    def test_folds_casts(self):
+        m = Module()
+        from repro.ir import F64
+
+        fn = m.add_function("f", FunctionType(F64, []))
+        b = IRBuilder(fn.add_block("entry"))
+        v = b.cast("sitofp", ConstantInt(7))
+        b.ret(v)
+        ConstantFold().run(fn)
+        assert fn.entry.terminator.value.value == 7.0
+
+    def test_fptosi_nan_not_folded(self):
+        m = Module()
+        fn = m.add_function("f", FunctionType(I64, []))
+        b = IRBuilder(fn.add_block("entry"))
+        v = b.cast("fptosi", ConstantFloat(math.nan))
+        b.ret(v)
+        ConstantFold().run(fn)
+        assert any(i.opcode == "fptosi" for i in fn.entry.instructions)

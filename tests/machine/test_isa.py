@@ -1,0 +1,222 @@
+"""Direct ISA-level tests: hand-built machine functions through the loader
+and CPU, covering corners MiniC codegen never emits (cmov, setcc variants,
+neg, absolute-address stores, shift-by-register)."""
+
+import pytest
+
+from repro.backend.binary import Binary
+from repro.backend.mir import (
+    FImm,
+    FuncRef,
+    Imm,
+    Label,
+    MachineFunction,
+    MachineInstr,
+    Mem,
+    PReg,
+)
+from repro.ir.types import ArrayType, F64, I64
+from repro.machine import CPU, execute, load_binary
+
+
+def build_binary(instrs, globals_=()):
+    """Wrap a list of MachineInstrs into a runnable main()."""
+    mf = MachineFunction("main")
+    block = mf.add_block("entry")
+    for instr in instrs:
+        block.append(instr)
+    binary = Binary("isa-test")
+    for name, ty, init in globals_:
+        binary.add_global(name, ty, init)
+    binary.add_function(mf)
+    return binary
+
+
+def run(instrs, globals_=()):
+    return execute(load_binary(build_binary(instrs, globals_)))
+
+
+def MI(op, *operands, cc=None):
+    return MachineInstr(op, list(operands), cc=cc)
+
+
+RAX, RCX, RDX = PReg("rax"), PReg("rcx"), PReg("rdx")
+X0, X1 = PReg("xmm0"), PReg("xmm1")
+
+
+class TestIntOps:
+    def test_neg(self):
+        res = run([
+            MI("mov", RAX, Imm(5)),
+            MI("neg", RAX),
+            MI("ret"),
+        ])
+        assert res.exit_code == -5
+
+    def test_shift_by_register(self):
+        res = run([
+            MI("mov", RAX, Imm(1)),
+            MI("mov", RCX, Imm(6)),
+            MI("shl", RAX, RCX),
+            MI("ret"),
+        ])
+        assert res.exit_code == 64
+
+    def test_sar_by_register(self):
+        res = run([
+            MI("mov", RAX, Imm(-64)),
+            MI("mov", RCX, Imm(3)),
+            MI("sar", RAX, RCX),
+            MI("ret"),
+        ])
+        assert res.exit_code == -8
+
+    def test_cmov_taken_and_not_taken(self):
+        res = run([
+            MI("mov", RAX, Imm(1)),
+            MI("mov", RDX, Imm(42)),
+            MI("cmp", RAX, Imm(1)),
+            MI("cmov", RAX, RDX, cc="e"),   # taken: rax = 42
+            MI("cmp", RAX, Imm(0)),
+            MI("cmov", RAX, RDX, cc="e"),   # not taken
+            MI("ret"),
+        ])
+        assert res.exit_code == 42
+
+    @pytest.mark.parametrize(
+        "cc,a,b,expected",
+        [
+            ("e", 3, 3, 1), ("ne", 3, 3, 0),
+            ("l", -5, 2, 1), ("le", 2, 2, 1), ("g", 5, 2, 1), ("ge", 1, 2, 0),
+            ("b", 1, 2, 1),            # unsigned below
+            ("b", -1, 2, 0),           # -1 is huge unsigned
+            ("a", -1, 2, 1),
+            ("s", -7, 0, 1), ("ns", 7, 0, 1),
+        ],
+    )
+    def test_setcc_conditions(self, cc, a, b, expected):
+        res = run([
+            MI("mov", RCX, Imm(a)),
+            MI("cmp", RCX, Imm(b)),
+            MI("setcc", RAX, cc=cc),
+            MI("ret"),
+        ])
+        assert res.exit_code == expected
+
+
+class TestFloatOps:
+    def test_fcmp_parity_on_nan(self):
+        # 0/0 -> NaN; ucomisd(NaN, x) sets PF; setp must read it.
+        res = run([
+            MI("fconst", X0, FImm(0.0)),
+            MI("fconst", X1, FImm(0.0)),
+            MI("fdiv", X0, X1),          # NaN
+            MI("fcmp", X0, X1),
+            MI("setcc", RAX, cc="p"),
+            MI("ret"),
+        ])
+        assert res.exit_code == 1
+
+    def test_fcmp_ordered_clears_parity(self):
+        res = run([
+            MI("fconst", X0, FImm(1.5)),
+            MI("fconst", X1, FImm(2.5)),
+            MI("fcmp", X0, X1),
+            MI("setcc", RAX, cc="np"),
+            MI("ret"),
+        ])
+        assert res.exit_code == 1
+
+    def test_cvt_roundtrip(self):
+        res = run([
+            MI("mov", RAX, Imm(-9)),
+            MI("cvtsi2sd", X0, RAX),
+            MI("fconst", X1, FImm(0.5)),
+            MI("fadd", X0, X1),          # -8.5
+            MI("cvttsd2si", RAX, X0),    # trunc toward zero -> -8
+            MI("ret"),
+        ])
+        assert res.exit_code == -8
+
+
+class TestMemoryForms:
+    def test_absolute_global_store_load(self):
+        res = run(
+            [
+                MI("store", Mem(global_name="cell"), Imm(77)),
+                MI("load", RAX, Mem(global_name="cell")),
+                MI("ret"),
+            ],
+            globals_=[("cell", I64, 0)],
+        )
+        assert res.exit_code == 77
+
+    def test_global_with_displacement(self):
+        res = run(
+            [
+                MI("store", Mem(global_name="arr", disp=16), Imm(5)),
+                MI("load", RAX, Mem(global_name="arr", disp=16)),
+                MI("ret"),
+            ],
+            globals_=[("arr", ArrayType(I64, 4), [0, 0, 0, 0])],
+        )
+        assert res.exit_code == 5
+
+    def test_float_absolute_forms(self):
+        res = run(
+            [
+                MI("fconst", X0, FImm(2.75)),
+                MI("fstore", Mem(global_name="fcell"), X0),
+                MI("fload", X1, Mem(global_name="fcell")),
+                MI("cvttsd2si", RAX, X1),
+                MI("ret"),
+            ],
+            globals_=[("fcell", F64, 0.0)],
+        )
+        assert res.exit_code == 2
+
+    def test_register_indirect_with_displacement(self):
+        res = run(
+            [
+                MI("lea", RCX, Mem(global_name="arr")),
+                MI("store", Mem(base=RCX, disp=8), Imm(9)),
+                MI("load", RAX, Mem(base=RCX, disp=8)),
+                MI("ret"),
+            ],
+            globals_=[("arr", ArrayType(I64, 2), [0, 0])],
+        )
+        assert res.exit_code == 9
+
+
+class TestControlFlow:
+    def test_backward_jump_loop(self):
+        mf = MachineFunction("main")
+        entry = mf.add_block("entry")
+        loop = mf.add_block("loop")
+        done = mf.add_block("done")
+        entry.append(MI("mov", RAX, Imm(0)))
+        entry.append(MI("mov", RCX, Imm(0)))
+        entry.append(MI("jmp", Label("loop")))
+        entry.successors.append("loop")
+        loop.append(MI("add", RAX, RCX))
+        loop.append(MI("add", RCX, Imm(1)))
+        loop.append(MI("cmp", RCX, Imm(5)))
+        loop.append(MI("jcc", Label("loop"), cc="l"))
+        loop.append(MI("jmp", Label("done")))
+        loop.successors.extend(["loop", "done"])
+        done.append(MI("ret"))
+        binary = Binary("loop-test")
+        binary.add_function(mf)
+        res = execute(load_binary(binary))
+        assert res.exit_code == 0 + 1 + 2 + 3 + 4
+
+    def test_call_to_intrinsic_directly(self):
+        binary = build_binary([
+            MI("mov", PReg("rdi"), Imm(123)),
+            MI("call", FuncRef("print_int")),
+            MI("mov", RAX, Imm(0)),
+            MI("ret"),
+        ])
+        binary.intrinsics.add("print_int")
+        res = execute(load_binary(binary))
+        assert res.output == ["123"]

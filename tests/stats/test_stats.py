@@ -1,0 +1,292 @@
+"""Statistics tests: sample sizing, intervals, chi-squared (vs scipy)."""
+
+import math
+
+import pytest
+import scipy.stats as scipy_stats
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import StatsError
+from repro.stats import (
+    ContingencyTable,
+    chi2_contingency,
+    chi2_sf,
+    gammainc_upper,
+    leveugle_sample_size,
+    margin_of_error,
+    normal_interval,
+    normal_quantile,
+    wilson_interval,
+)
+
+
+class TestNormalQuantile:
+    @pytest.mark.parametrize(
+        "p,expected",
+        [(0.975, 1.959964), (0.5, 0.0), (0.95, 1.644854), (0.025, -1.959964)],
+    )
+    def test_known_values(self, p, expected):
+        assert normal_quantile(p) == pytest.approx(expected, abs=1e-5)
+
+    @given(st.floats(min_value=0.001, max_value=0.999))
+    def test_matches_scipy(self, p):
+        assert normal_quantile(p) == pytest.approx(
+            scipy_stats.norm.ppf(p), abs=1e-7
+        )
+
+    def test_rejects_bounds(self):
+        with pytest.raises(StatsError):
+            normal_quantile(0.0)
+        with pytest.raises(StatsError):
+            normal_quantile(1.0)
+
+
+class TestLeveugle:
+    def test_paper_sample_count(self):
+        """The headline number: 1068 samples for <=3% at 95% (Section 5.3)."""
+        assert leveugle_sample_size() == 1068
+
+    def test_finite_population(self):
+        # With a small population you need fewer samples.
+        assert leveugle_sample_size(population=2000) < 1068
+        assert leveugle_sample_size(population=10**9) == 1068
+
+    def test_tighter_margin_needs_more(self):
+        assert leveugle_sample_size(margin=0.01) > leveugle_sample_size(margin=0.05)
+
+    def test_margin_of_error_inverse(self):
+        n = leveugle_sample_size(margin=0.03)
+        assert margin_of_error(n) <= 0.03
+        assert margin_of_error(n - 10) > 0.0299
+
+    def test_paper_margin(self):
+        assert margin_of_error(1068) == pytest.approx(0.03, abs=0.0005)
+
+    def test_validation(self):
+        with pytest.raises(StatsError):
+            leveugle_sample_size(margin=0)
+        with pytest.raises(StatsError):
+            margin_of_error(0)
+
+
+class TestGammaChi2:
+    @given(
+        st.floats(min_value=0.1, max_value=50),
+        st.floats(min_value=0.0, max_value=100),
+    )
+    def test_gammainc_matches_scipy(self, a, x):
+        assert gammainc_upper(a, x) == pytest.approx(
+            float(scipy_stats.gamma.sf(x, a)), abs=1e-9
+        )
+
+    @given(
+        st.floats(min_value=0.01, max_value=200),
+        st.integers(min_value=1, max_value=30),
+    )
+    def test_chi2_sf_matches_scipy(self, x, dof):
+        assert chi2_sf(x, dof) == pytest.approx(
+            float(scipy_stats.chi2.sf(x, dof)), abs=1e-9
+        )
+
+    def test_sf_boundaries(self):
+        assert chi2_sf(0.0, 2) == 1.0
+        assert chi2_sf(1e9, 2) == pytest.approx(0.0, abs=1e-12)
+
+
+class TestChi2Contingency:
+    def test_paper_table4(self):
+        """Table 4's AMG2013 LLFI-vs-PINFI table must reject decisively."""
+        result = chi2_contingency([[395, 168, 505], [269, 70, 729]])
+        assert result.significant
+        assert result.p_value < 1e-20
+        assert result.dof == 2
+
+    @pytest.mark.parametrize(
+        "row_a,row_b",
+        [
+            ((254, 87, 727), (269, 70, 729)),   # AMG REFINE vs PINFI
+            ((76, 2, 990), (76, 4, 988)),       # lulesh
+            ((45, 612, 411), (42, 626, 400)),   # SP
+        ],
+    )
+    def test_paper_table6_refine_rows_not_significant(self, row_a, row_b):
+        result = chi2_contingency([list(row_a), list(row_b)])
+        assert not result.significant
+
+    @pytest.mark.parametrize(
+        "row_a,row_b",
+        [
+            ((372, 117, 579), (175, 59, 834)),  # CoMD LLFI vs PINFI
+            ((792, 136, 140), (105, 242, 721)),  # UA
+            ((268, 800, 0), (42, 626, 400)),     # SP (has a zero cell)
+        ],
+    )
+    def test_paper_table6_llfi_rows_significant(self, row_a, row_b):
+        result = chi2_contingency([list(row_a), list(row_b)])
+        assert result.significant
+
+    def test_zero_column_dropped_like_scipy(self):
+        # NAS CG: no SOC outcomes for either tool (paper Table 6).
+        mine = chi2_contingency([[201, 0, 867], [175, 0, 893]])
+        ref = scipy_stats.chi2_contingency([[201, 867], [175, 893]],
+                                           correction=False)
+        assert mine.statistic == pytest.approx(ref.statistic)
+        assert mine.p_value == pytest.approx(ref.pvalue)
+        assert mine.dof == 1
+
+    @settings(max_examples=60)
+    @given(
+        st.lists(
+            st.tuples(
+                st.integers(1, 500), st.integers(1, 500), st.integers(1, 500)
+            ),
+            min_size=2,
+            max_size=2,
+        )
+    )
+    def test_matches_scipy_on_random_tables(self, rows):
+        table = [list(r) for r in rows]
+        mine = chi2_contingency(table)
+        ref = scipy_stats.chi2_contingency(table, correction=False)
+        assert mine.statistic == pytest.approx(ref.statistic, rel=1e-10)
+        assert mine.p_value == pytest.approx(ref.pvalue, abs=1e-10)
+        assert mine.dof == ref.dof
+
+    def test_identical_rows_p_is_one(self):
+        result = chi2_contingency([[10, 20, 30], [10, 20, 30]])
+        assert result.p_value == pytest.approx(1.0)
+        assert not result.significant
+
+    def test_validation(self):
+        with pytest.raises(StatsError):
+            chi2_contingency([[1, 2, 3]])
+        with pytest.raises(StatsError):
+            chi2_contingency([[1, 2], [3]])
+        with pytest.raises(StatsError):
+            chi2_contingency([[0, 0, 0], [0, 0, 0]])
+        with pytest.raises(StatsError):
+            chi2_contingency([[-1, 2], [3, 4]])
+
+
+class TestIntervals:
+    def test_normal_interval_basic(self):
+        iv = normal_interval(50, 100)
+        assert iv.p == 0.5
+        assert iv.low == pytest.approx(0.402, abs=0.001)
+        assert iv.high == pytest.approx(0.598, abs=0.001)
+
+    def test_clamped_to_unit(self):
+        assert normal_interval(0, 100).low == 0.0
+        assert normal_interval(100, 100).high == 1.0
+
+    def test_wilson_never_degenerate_at_zero(self):
+        iv = wilson_interval(0, 100)
+        assert iv.low == 0.0
+        assert iv.high > 0.0
+
+    def test_overlap_and_containment(self):
+        a = normal_interval(50, 100)
+        b = normal_interval(55, 100)
+        assert a.overlaps(b)
+        assert a.contains(0.5)
+        c = normal_interval(90, 100)
+        assert not a.overlaps(c)
+
+    @given(st.integers(0, 200), st.integers(1, 200))
+    def test_wilson_contains_point_estimate(self, k, n):
+        if k > n:
+            return
+        iv = wilson_interval(k, n)
+        eps = 1e-12  # the bounds touch p exactly at k=0/k=n, up to rounding
+        assert iv.low - eps <= k / n <= iv.high + eps
+
+    def test_validation(self):
+        with pytest.raises(StatsError):
+            normal_interval(5, 0)
+        with pytest.raises(StatsError):
+            normal_interval(11, 10)
+
+
+class TestContingencyTable:
+    def _fake_result(self, workload, tool, crash, soc, benign):
+        from repro.campaign import Outcome
+        from repro.campaign.results import CampaignResult
+
+        return CampaignResult(
+            workload=workload,
+            tool=tool,
+            n=crash + soc + benign,
+            counts={
+                Outcome.CRASH: crash,
+                Outcome.SOC: soc,
+                Outcome.BENIGN: benign,
+            },
+        )
+
+    def test_from_results(self):
+        a = self._fake_result("AMG2013", "LLFI", 395, 168, 505)
+        b = self._fake_result("AMG2013", "PINFI", 269, 70, 729)
+        table = ContingencyTable.from_results(a, b)
+        assert table.rows() == [[395, 168, 505], [269, 70, 729]]
+        assert table.test().significant
+
+    def test_markdown_contains_totals(self):
+        a = self._fake_result("X", "LLFI", 1, 2, 3)
+        b = self._fake_result("X", "PINFI", 4, 5, 6)
+        md = ContingencyTable.from_results(a, b).to_markdown()
+        assert "| Total | 5 | 7 | 9 |" in md
+
+
+class TestToolComparison:
+    def _result(self, workload, tool, crash, soc, benign):
+        from repro.campaign import Outcome
+        from repro.campaign.results import CampaignResult
+
+        return CampaignResult(
+            workload=workload, tool=tool, n=crash + soc + benign,
+            counts={Outcome.CRASH: crash, Outcome.SOC: soc,
+                    Outcome.BENIGN: benign},
+        )
+
+    def test_paper_table4_comparison(self):
+        from repro.stats import compare_tools
+
+        llfi = self._result("AMG2013", "LLFI", 395, 168, 505)
+        pinfi = self._result("AMG2013", "PINFI", 269, 70, 729)
+        cmp = compare_tools(llfi, pinfi)
+        assert not cmp.agrees
+        assert cmp.cramers_v > 0.15  # clearly more than noise
+        assert cmp.effect_label in ("small", "medium")
+        assert sum(cmp.within_ci.values()) < 3
+
+    def test_similar_tools_agree(self):
+        from repro.stats import compare_tools
+
+        refine = self._result("AMG2013", "REFINE", 254, 87, 727)
+        pinfi = self._result("AMG2013", "PINFI", 269, 70, 729)
+        cmp = compare_tools(refine, pinfi)
+        assert cmp.agrees
+        assert cmp.cramers_v < 0.1
+        assert cmp.effect_label == "negligible"
+        # The paper's AMG REFINE/PINFI SOC proportions (8.1% vs 6.6%) sit
+        # right at the CI edge; at least 2 of 3 categories must agree.
+        assert sum(cmp.within_ci.values()) >= 2
+
+    def test_summary_text(self):
+        from repro.stats import compare_tools
+
+        a = self._result("X", "LLFI", 30, 30, 40)
+        b = self._result("X", "PINFI", 32, 28, 40)
+        text = compare_tools(a, b).summary()
+        assert "LLFI vs PINFI" in text
+        assert "V=" in text
+
+    def test_cramers_v_bounds(self):
+        from repro.stats import chi2_contingency, cramers_v
+
+        identical = chi2_contingency([[50, 50, 50], [50, 50, 50]])
+        assert cramers_v(identical, 300) == 0.0
+        extreme = chi2_contingency([[100, 0, 0], [0, 100, 0]])
+        v = cramers_v(extreme, 200)
+        assert 0.9 < v <= 1.0

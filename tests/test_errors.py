@@ -1,0 +1,44 @@
+"""Tests for the exception hierarchy."""
+
+import pytest
+
+from repro import errors
+
+
+class TestHierarchy:
+    def test_everything_is_repro_error(self):
+        for name in dir(errors):
+            obj = getattr(errors, name)
+            if isinstance(obj, type) and issubclass(obj, Exception):
+                if obj is errors.ReproError:
+                    continue
+                assert issubclass(obj, errors.ReproError), name
+
+    def test_traps_are_distinct_family(self):
+        for trap in (errors.SegmentationFault, errors.StackOverflow,
+                     errors.IllegalInstruction, errors.DivideByZero,
+                     errors.ExecutionTimeout, errors.AbnormalExit):
+            assert issubclass(trap, errors.MachineTrap)
+            assert trap.kind != "trap"
+
+    def test_trap_kinds_unique(self):
+        kinds = [t.kind for t in (
+            errors.SegmentationFault, errors.StackOverflow,
+            errors.IllegalInstruction, errors.DivideByZero,
+            errors.ExecutionTimeout, errors.AbnormalExit,
+        )]
+        assert len(kinds) == len(set(kinds))
+
+    def test_frontend_errors_carry_position(self):
+        err = errors.SemaError("bad thing", 7, 3)
+        assert "7:3" in str(err)
+        assert err.line == 7 and err.col == 3
+
+    def test_abnormal_exit_records_code(self):
+        err = errors.AbnormalExit(42)
+        assert err.code == 42
+        assert "42" in str(err)
+
+    def test_trap_records_pc(self):
+        err = errors.SegmentationFault("boom", pc=17)
+        assert err.pc == 17

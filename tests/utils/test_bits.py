@@ -1,0 +1,108 @@
+"""Unit and property tests for two's-complement bit helpers."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.utils.bits import (
+    INT64_MAX,
+    INT64_MIN,
+    MASK64,
+    bit_width,
+    flip_bit,
+    sign_extend,
+    to_signed64,
+    to_unsigned64,
+)
+
+i64 = st.integers(min_value=INT64_MIN, max_value=INT64_MAX)
+
+
+class TestConversions:
+    def test_unsigned_of_negative_one(self):
+        assert to_unsigned64(-1) == MASK64
+
+    def test_unsigned_of_zero(self):
+        assert to_unsigned64(0) == 0
+
+    def test_signed_of_all_ones(self):
+        assert to_signed64(MASK64) == -1
+
+    def test_signed_of_msb(self):
+        assert to_signed64(1 << 63) == INT64_MIN
+
+    def test_signed_max(self):
+        assert to_signed64(INT64_MAX) == INT64_MAX
+
+    @given(i64)
+    def test_roundtrip(self, v):
+        assert to_signed64(to_unsigned64(v)) == v
+
+    @given(st.integers(min_value=0, max_value=MASK64))
+    def test_roundtrip_unsigned(self, v):
+        assert to_unsigned64(to_signed64(v)) == v
+
+    @given(st.integers())
+    def test_signed_always_in_range(self, v):
+        assert INT64_MIN <= to_signed64(v) <= INT64_MAX
+
+
+class TestSignExtend:
+    def test_positive_stays(self):
+        assert sign_extend(0x7F, 8) == 127
+
+    def test_negative_extends(self):
+        assert sign_extend(0xFF, 8) == -1
+
+    def test_one_bit(self):
+        assert sign_extend(1, 1) == -1
+        assert sign_extend(0, 1) == 0
+
+    def test_rejects_zero_width(self):
+        with pytest.raises(ValueError):
+            sign_extend(0, 0)
+
+
+class TestFlipBit:
+    def test_flip_lsb(self):
+        assert flip_bit(0, 0) == 1
+
+    def test_flip_sign_bit(self):
+        assert flip_bit(0, 63) == INT64_MIN
+
+    def test_flip_sign_bit_of_negative(self):
+        assert flip_bit(-1, 63) == INT64_MAX
+
+    def test_out_of_range_bit(self):
+        with pytest.raises(ValueError):
+            flip_bit(0, 64)
+        with pytest.raises(ValueError):
+            flip_bit(0, -1)
+
+    def test_narrow_width(self):
+        # Flipping bit 0 of a 1-bit value toggles between 0 and -1 (i1
+        # two's-complement view of 1).
+        assert flip_bit(0, 0, width=1) == -1
+        assert flip_bit(-1, 0, width=1) == 0
+
+    @given(i64, st.integers(min_value=0, max_value=63))
+    def test_involution(self, v, bit):
+        assert flip_bit(flip_bit(v, bit), bit) == v
+
+    @given(i64, st.integers(min_value=0, max_value=63))
+    def test_changes_exactly_one_bit(self, v, bit):
+        flipped = flip_bit(v, bit)
+        diff = to_unsigned64(v) ^ to_unsigned64(flipped)
+        assert diff == (1 << bit)
+
+
+class TestBitWidth:
+    def test_zero(self):
+        assert bit_width(0) == 0
+
+    def test_negative_is_full_width(self):
+        assert bit_width(-1) == 64
+
+    @given(i64)
+    def test_bounded(self, v):
+        assert 0 <= bit_width(v) <= 64

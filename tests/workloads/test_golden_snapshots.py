@@ -1,0 +1,41 @@
+"""Golden-output snapshots for all 14 workloads.
+
+These pin each workload's fault-free output.  A change here means the
+workload's *semantics* changed (source edit, frontend/IR semantic change),
+which invalidates recorded campaign results — bump results/ accordingly.
+Pure codegen changes (register allocation, peephole, scheduling) must NOT
+change these values.
+"""
+
+import pytest
+
+from repro.workloads import all_workloads
+
+from tests.conftest import run_minic
+
+GOLDEN = {
+    "AMG2013": ['5.256145e+00', '3.079959e-01', '7.605883e-02'],
+    "CoMD": ['8.875221e+00', '9.005766e-01', '9.775798e+00'],
+    "HPCCG-1.0": ['8', '1.000786e-02', '2.994314e+01'],
+    "lulesh": ['5.330495e-02', '1.352595e+00', '2.500000e+00', '2.975087e-01'],
+    "miniFE": ['10', '2.180881e-01', '4.038706e-02', '1.129608e-01'],
+    "BT": ['2.333448e+03', '4.139336e-01', '2.351273e-01'],
+    "CG": ['3.190090e+01', '1.161073e-05'],
+    "DC": ['97348', '8664', '662228', '1478948'],
+    "EP": ['115', '3.449640e+00', '9.284231e+00', '176'],
+    "FT": ['-7.967992e+00', '7.848393e-01'],
+    "LU": ['2.616646e+00', '2.908617e+01', '6.120380e+00'],
+    "SP": ['2.712834e+02', '8.064500e+00', '7.266466e-01'],
+    "UA": ['6.877642e+02', '131', '401760590'],
+    "XSBench": ['6.853921e+01', '16'],
+}
+
+
+@pytest.mark.parametrize("name", sorted(GOLDEN))
+def test_golden_output_pinned(name):
+    spec = all_workloads()[name]
+    assert run_minic(spec.source, "O2").output == GOLDEN[name]
+
+
+def test_snapshot_covers_all_workloads():
+    assert set(GOLDEN) == set(all_workloads())

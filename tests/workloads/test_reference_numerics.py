@@ -1,0 +1,743 @@
+"""Numerical validation of workloads against Python reference mirrors.
+
+Each mirror re-implements the workload's algorithm in plain Python with the
+*same operation order*.  Python floats are IEEE-754 doubles, so a correct
+frontend/optimizer/backend/VM must reproduce the printed outputs
+**bit-for-bit** (identical ``%.6e`` strings).  This validates end-to-end
+numerics of the whole stack on real kernels, not just unit semantics.
+"""
+
+import math
+
+import pytest
+
+from repro.workloads import get_workload
+
+from tests.conftest import run_minic
+
+
+def fmt(x: float) -> str:
+    return f"{x:.6e}"
+
+
+def lcg(seed: int) -> int:
+    return (seed * 1103515245 + 12345) % 2147483648
+
+
+def run_workload(name: str):
+    return run_minic(get_workload(name).source, "O2").output
+
+
+class TestHPCCG:
+    def reference(self):
+        N = 32
+        xv = [0.0] * N
+        bv = [1.0 + float(i % 5) * 0.25 for i in range(N)]
+        rv = list(bv)
+        pv = list(bv)
+
+        def ddot(a, b):
+            s = 0.0
+            for i in range(N):
+                s = s + a[i] * b[i]
+            return s
+
+        def sparsemv(x):
+            y = [0.0] * N
+            for i in range(N):
+                s = 4.0 * x[i]
+                if i > 0:
+                    s = s - x[i - 1]
+                if i < N - 1:
+                    s = s - x[i + 1]
+                s = s - 0.5 * x[(i + 8) % N]
+                y[i] = s
+            return y
+
+        rtrans = ddot(rv, rv)
+        iters = 0
+        for _ in range(8):
+            Ap = sparsemv(pv)
+            alpha = rtrans / ddot(pv, Ap)
+            for i in range(N):
+                xv[i] = 1.0 * xv[i] + alpha * pv[i]
+            for i in range(N):
+                rv[i] = 1.0 * rv[i] + (-alpha) * Ap[i]
+            rtrans_new = ddot(rv, rv)
+            beta = rtrans_new / rtrans
+            rtrans = rtrans_new
+            for i in range(N):
+                pv[i] = 1.0 * rv[i] + beta * pv[i]
+            iters += 1
+            if rtrans < 1e-10:
+                break
+        return [str(iters), fmt(math.sqrt(rtrans)), fmt(ddot(xv, xv))]
+
+    def test_bit_exact(self):
+        assert run_workload("HPCCG-1.0") == self.reference()
+
+
+class TestEP:
+    def reference(self):
+        seed = 141421356
+        sx = sy = 0.0
+        accepted = 0
+        qcounts = [0] * 10
+        for _ in range(150):
+            seed = lcg(seed)
+            u1 = float(seed) / 2147483648.0
+            seed = lcg(seed)
+            u2 = float(seed) / 2147483648.0
+            x = 2.0 * u1 - 1.0
+            y = 2.0 * u2 - 1.0
+            t = x * x + y * y
+            if t <= 1.0 and t > 0.0:
+                factor = math.sqrt(-2.0 * math.log(t) / t)
+                gx = x * factor
+                gy = y * factor
+                sx = sx + gx
+                sy = sy + gy
+                accepted += 1
+                ax, ay = abs(gx), abs(gy)
+                amax = ay if ay > ax else ax
+                ring = int(amax)
+                if ring < 10:
+                    qcounts[ring] += 1
+        qsum = sum(qcounts[i] * (i + 1) for i in range(10))
+        return [str(accepted), fmt(sx), fmt(sy), str(qsum)]
+
+    def test_bit_exact(self):
+        assert run_workload("EP") == self.reference()
+
+
+class TestDC:
+    def reference(self):
+        NT = 200
+        seed = 271828
+        attr_a, attr_b, measure = [], [], []
+        for _ in range(NT):
+            seed = lcg(seed)
+            attr_a.append(seed % 16)
+            seed = lcg(seed)
+            attr_b.append(seed % 12)
+            seed = lcg(seed)
+            measure.append(seed % 1000)
+        view_a = [0] * 16
+        view_b = [0] * 12
+        view_ab = [0] * 32
+        for i in range(NT):
+            a, b, v = attr_a[i], attr_b[i], measure[i]
+            view_a[a] += v
+            view_b[b] += v
+            view_ab[(a * 31 + b * 17) % 32] += v
+        sum_a = sum(view_a)
+        max_a = 0
+        for v in view_a:
+            if v > max_a:
+                max_a = v
+        sum_b = sum(view_b[i] * (i + 1) for i in range(12))
+        sum_ab = sum(view_ab[i] * i for i in range(32))
+        return [str(sum_a), str(max_a), str(sum_b), str(sum_ab)]
+
+    def test_bit_exact(self):
+        assert run_workload("DC") == self.reference()
+
+
+class TestXSBench:
+    def reference(self):
+        NG, LOOKUPS = 128, 80
+        seed = 97
+        acc = 0.0
+        egrid = [0.0] * NG
+        xs = [[0.0] * NG for _ in range(4)]
+        for i in range(NG):
+            seed = lcg(seed)
+            acc = acc + 0.001 + float(seed % 1000) / 200000.0
+            egrid[i] = acc
+            xs[0][i] = float(seed % 97) * 0.01 + 0.1
+            xs[1][i] = float(seed % 89) * 0.02 + 0.2
+            xs[2][i] = float(seed % 83) * 0.015 + 0.05
+            xs[3][i] = float(seed % 79) * 0.025 + 0.3
+        emax = egrid[NG - 1]
+
+        def search(energy):
+            lo, hi = 0, NG - 1
+            while hi - lo > 1:
+                mid = (lo + hi) // 2
+                if egrid[mid] <= energy:
+                    lo = mid
+                else:
+                    hi = mid
+            return lo
+
+        macro_sum = 0.0
+        vhits = 0
+        for _ in range(LOOKUPS):
+            seed = lcg(seed)
+            energy = float(seed % 100000) / 100000.0 * emax * 0.999
+            idx = search(energy)
+            de = egrid[idx + 1] - egrid[idx]
+            frac = (energy - egrid[idx]) / de
+
+            def interp(t):
+                return xs[t][idx] + frac * (xs[t][idx + 1] - xs[t][idx])
+
+            macro = (0.4 * interp(0) + 0.3 * interp(1)
+                     + 0.2 * interp(2) + 0.1 * interp(3))
+            macro_sum = macro_sum + macro
+            if macro > 1.0:
+                vhits += 1
+        return [fmt(macro_sum), str(vhits)]
+
+    def test_bit_exact(self):
+        assert run_workload("XSBench") == self.reference()
+
+
+class TestFT:
+    def reference(self):
+        N = 64
+        seed = 1618033
+        re_ = [0.0] * N
+        im_ = [0.0] * N
+        for i in range(N):
+            seed = lcg(seed)
+            re_[i] = float(seed) / 2147483648.0
+            seed = lcg(seed)
+            im_[i] = float(seed) / 2147483648.0
+        # bit reversal
+        for i in range(N):
+            j, v = 0, i
+            for _ in range(6):
+                j = (j << 1) | (v & 1)
+                v >>= 1
+            if j > i:
+                re_[i], re_[j] = re_[j], re_[i]
+                im_[i], im_[j] = im_[j], im_[i]
+        PI = 3.14159265358979323846
+        length = 2
+        while length <= N:
+            ang = -2.0 * PI / float(length)
+            wr, wi = math.cos(ang), math.sin(ang)
+            for start in range(0, N, length):
+                cr, ci = 1.0, 0.0
+                half = length // 2
+                for k in range(half):
+                    a = start + k
+                    b = a + half
+                    xr = re_[b] * cr - im_[b] * ci
+                    xi = re_[b] * ci + im_[b] * cr
+                    re_[b] = re_[a] - xr
+                    im_[b] = im_[a] - xi
+                    re_[a] = re_[a] + xr
+                    im_[a] = im_[a] + xi
+                    ncr = cr * wr - ci * wi
+                    ci = cr * wi + ci * wr
+                    cr = ncr
+            length *= 2
+        for i in range(N):
+            k = i if i <= N // 2 else i - N
+            damp = math.exp(-0.000001 * float(k * k))
+            re_[i] *= damp
+            im_[i] *= damp
+        csr = csi = 0.0
+        for j in range(1, 33):
+            q = (j * 17) % N
+            csr = csr + re_[q]
+            csi = csi + im_[q]
+        return [fmt(csr), fmt(csi)]
+
+    def test_bit_exact(self):
+        assert run_workload("FT") == self.reference()
+
+
+class TestLULESH:
+    def reference(self):
+        NEL = 24
+        GAMMA = 1.4
+        nx = [float(i) / 24.0 for i in range(NEL + 1)]
+        nv = [0.0] * (NEL + 1)
+        rho = [0.0] * NEL
+        p = [0.0] * NEL
+        e = [0.0] * NEL
+        q = [0.0] * NEL
+        m = [0.0] * NEL
+        for i in range(NEL):
+            if i < 12:
+                rho[i], p[i] = 1.0, 1.0
+            else:
+                rho[i], p[i] = 0.125, 0.1
+            dx = nx[i + 1] - nx[i]
+            m[i] = rho[i] * dx
+            e[i] = p[i] / ((GAMMA - 1.0) * rho[i])
+        t = 0.0
+        for _ in range(7):
+            dt = 1.0
+            for i in range(NEL):
+                dx = nx[i + 1] - nx[i]
+                cs = math.sqrt(GAMMA * p[i] / rho[i])
+                dtc = 0.3 * dx / (cs + 0.0001)
+                if dtc < dt:
+                    dt = dtc
+            for i in range(NEL):
+                dv = nv[i + 1] - nv[i]
+                if dv < 0.0:
+                    cs = math.sqrt(GAMMA * p[i] / rho[i])
+                    q[i] = rho[i] * (1.5 * dv * dv - 0.5 * cs * dv)
+                else:
+                    q[i] = 0.0
+            for i in range(1, NEL):
+                force = (p[i - 1] + q[i - 1]) - (p[i] + q[i])
+                nodal_mass = 0.5 * (m[i - 1] + m[i])
+                nv[i] = nv[i] + dt * force / nodal_mass
+            for i in range(1, NEL):
+                nx[i] = nx[i] + dt * nv[i]
+            for i in range(NEL):
+                dx = nx[i + 1] - nx[i]
+                rho_new = m[i] / dx
+                dv = nv[i + 1] - nv[i]
+                e[i] = e[i] - dt * (p[i] + q[i]) * dv / m[i]
+                if e[i] < 0.0:
+                    e[i] = 0.0
+                rho[i] = rho_new
+                p[i] = (GAMMA - 1.0) * rho[i] * e[i]
+            t = t + dt
+        etot = 0.0
+        for i in range(NEL):
+            etot = etot + m[i] * e[i]
+        return [fmt(t), fmt(etot), fmt(e[0]), fmt(p[12])]
+
+    def test_bit_exact(self):
+        assert run_workload("lulesh") == self.reference()
+
+
+class TestUA:
+    def reference(self):
+        NE = 48
+        seed = 6180339
+        conn = list(range(NE))
+        temp = [0.0] * NE
+        marks = [0] * NE
+        for i in range(NE - 1, 0, -1):
+            seed = lcg(seed)
+            j = seed % (i + 1)
+            conn[i], conn[j] = conn[j], conn[i]
+        for i in range(NE):
+            x = float(i) / 47.0
+            temp[conn[i]] = math.exp(-8.0 * (x - 0.5) * (x - 0.5))
+        total_marked = 0
+        for _ in range(3):
+            flux = [0.0] * NE
+            for i in range(NE):
+                left = conn[(i + NE - 1) % NE]
+                right = conn[(i + 1) % NE]
+                center = conn[i]
+                flux[center] = (0.25 * temp[left] + 0.5 * temp[center]
+                                + 0.25 * temp[right])
+            for i in range(NE):
+                temp[i] = flux[i]
+            marked = 0
+            for i in range(1, NE - 1):
+                grad = abs(temp[conn[i + 1]] - temp[conn[i - 1]])
+                if grad > 0.01:
+                    marks[i] += 1
+                    marked += 1
+                    j = (i * 7) % NE
+                    conn[i], conn[j] = conn[j], conn[i]
+            total_marked += marked
+        checksum = 0.0
+        mark_hash = 0
+        for i in range(NE):
+            checksum = checksum + temp[i] * float(i + 1)
+            mark_hash = (mark_hash * 31 + marks[i]) % 1000000007
+        return [fmt(checksum), str(total_marked), str(mark_hash)]
+
+    def test_bit_exact(self):
+        assert run_workload("UA") == self.reference()
+
+
+class TestAMG2013:
+    def reference(self):
+        NF, NC = 32, 16
+        H2, H2C = 0.0009765625, 0.00390625
+        u = [0.0] * (NF + 1)
+        f = [0.0] * (NF + 1)
+        r = [0.0] * (NF + 1)
+        rc = [0.0] * (NC + 1)
+        ec = [0.0] * (NC + 1)
+        for i in range(NF + 1):
+            x = float(i) / 32.0
+            f[i] = x * (1.0 - x) * 8.0
+
+        def smooth(x, rhs, n, h2, iters):
+            for _ in range(iters):
+                for i in range(1, n):
+                    gs = 0.5 * (x[i - 1] + x[i + 1] + h2 * rhs[i])
+                    x[i] = x[i] + 0.8 * (gs - x[i])
+
+        def residual(x, rhs, res, n, h2):
+            for i in range(1, n):
+                res[i] = rhs[i] - (2.0 * x[i] - x[i - 1] - x[i + 1]) / h2
+            res[0] = 0.0
+            res[n] = 0.0
+
+        def norm2(v, n):
+            s = 0.0
+            for i in range(n + 1):
+                s = s + v[i] * v[i]
+            return math.sqrt(s)
+
+        for _ in range(2):
+            smooth(u, f, NF, H2, 2)
+            residual(u, f, r, NF, H2)
+            for i in range(1, NC):
+                rc[i] = 0.25 * r[2 * i - 1] + 0.5 * r[2 * i] + 0.25 * r[2 * i + 1]
+                ec[i] = 0.0
+            rc[0] = rc[NC] = ec[0] = ec[NC] = 0.0
+            smooth(ec, rc, NC, H2C, 8)
+            for i in range(1, NC):
+                u[2 * i] = u[2 * i] + ec[i]
+                u[2 * i + 1] = u[2 * i + 1] + 0.5 * (ec[i] + ec[i + 1])
+            u[1] = u[1] + 0.5 * ec[1]
+            smooth(u, f, NF, H2, 2)
+        residual(u, f, r, NF, H2)
+        return [fmt(norm2(r, NF)), fmt(norm2(u, NF)), fmt(u[16])]
+
+    def test_bit_exact(self):
+        assert run_workload("AMG2013") == self.reference()
+
+
+class TestCoMD:
+    def reference(self):
+        N, BOX, CUTOFF, DT = 14, 14.0, 3.0, 0.002
+        px = [0.0] * N
+        pv = [0.0] * N
+        pf = [0.0] * N
+        seed = 2017
+        for i in range(N):
+            seed = lcg(seed)
+            jitter = float(seed) / 2147483648.0 * 0.1 - 0.05
+            px[i] = float(i) + jitter
+
+        def pair_force(rx):
+            inv = 1.0 / rx
+            r2 = inv * inv
+            r6 = r2 * r2 * r2
+            r12 = r6 * r6
+            return 24.0 * (2.0 * r12 - r6) * inv
+
+        def compute_forces():
+            epot = 0.0
+            for i in range(N):
+                pf[i] = 0.0
+            for i in range(N):
+                for j in range(i + 1, N):
+                    dx = px[i] - px[j]
+                    if dx > 0.5 * BOX:
+                        dx = dx - BOX
+                    if dx < -0.5 * BOX:
+                        dx = dx + BOX
+                    r = abs(dx)
+                    if r < CUTOFF and r > 0.001:
+                        fmag = pair_force(r)
+                        dir_ = 1.0
+                        if dx < 0.0:
+                            dir_ = -1.0
+                        pf[i] = pf[i] + fmag * dir_
+                        pf[j] = pf[j] - fmag * dir_
+                        inv = 1.0 / r
+                        r6 = inv * inv * inv * inv * inv * inv
+                        epot = epot + 4.0 * (r6 * r6 - r6)
+            return epot
+
+        epot = compute_forces()
+        ekin = 0.0
+        for _ in range(3):
+            for i in range(N):
+                pv[i] = pv[i] + 0.5 * DT * pf[i]
+                px[i] = px[i] + DT * pv[i]
+                if px[i] >= BOX:
+                    px[i] = px[i] - BOX
+                if px[i] < 0.0:
+                    px[i] = px[i] + BOX
+            epot = compute_forces()
+            ekin = 0.0
+            for i in range(N):
+                pv[i] = pv[i] + 0.5 * DT * pf[i]
+                ekin = ekin + 0.5 * pv[i] * pv[i]
+        return [fmt(epot), fmt(ekin), fmt(epot + ekin)]
+
+    def test_bit_exact(self):
+        assert run_workload("CoMD") == self.reference()
+
+
+class TestMiniFE:
+    def reference(self):
+        N = 28
+        h = 1.0 / 29.0
+        kd = [0.0] * N
+        ko = [0.0] * N
+        bv = [0.0] * N
+        xv = [0.0] * N
+        for el in range(N + 1):
+            ke = 1.0 / h
+            fe = 0.5 * h
+            left, right = el - 1, el
+            if left >= 0:
+                kd[left] = kd[left] + ke
+                bv[left] = bv[left] + fe
+            if right < N:
+                kd[right] = kd[right] + ke
+                bv[right] = bv[right] + fe
+            if left >= 0 and right < N:
+                ko[left] = ko[left] - ke
+
+        def matvec(x):
+            y = [0.0] * N
+            for i in range(N):
+                s = kd[i] * x[i]
+                if i > 0:
+                    s = s + ko[i - 1] * x[i - 1]
+                if i < N - 1:
+                    s = s + ko[i] * x[i + 1]
+                y[i] = s
+            return y
+
+        def dot(a, b):
+            s = 0.0
+            for i in range(N):
+                s = s + a[i] * b[i]
+            return s
+
+        rv = list(bv)
+        pv = list(bv)
+        rtrans = dot(rv, rv)
+        iters = 0
+        for _ in range(10):
+            Ap = matvec(pv)
+            alpha = rtrans / dot(pv, Ap)
+            for i in range(N):
+                xv[i] = xv[i] + alpha * pv[i]
+                rv[i] = rv[i] - alpha * Ap[i]
+            rnew = dot(rv, rv)
+            beta = rnew / rtrans
+            rtrans = rnew
+            for i in range(N):
+                pv[i] = rv[i] + beta * pv[i]
+            iters += 1
+            if rtrans < 1e-10:
+                break
+        Ap = matvec(xv)
+        return [str(iters), fmt(math.sqrt(rtrans)), fmt(0.5 * dot(xv, Ap)),
+                fmt(xv[14])]
+
+    def test_bit_exact(self):
+        assert run_workload("miniFE") == self.reference()
+
+
+class TestBT:
+    def reference(self):
+        NCELL = 20
+        Bd = [0.0] * 80
+        Cd = [0.0] * 80
+        Ad = [0.0] * 80
+        rr = [0.0] * 40
+        sol = [0.0] * 40
+
+        def solve_line(coef):
+            for k in range(NCELL):
+                b = 4 * k
+                Bd[b] = 4.0 + coef
+                Bd[b + 1] = 0.5
+                Bd[b + 2] = 0.3
+                Bd[b + 3] = 3.5 + coef
+                Ad[b], Ad[b + 1], Ad[b + 2], Ad[b + 3] = -1.0, 0.1, 0.0, -1.0
+                Cd[b], Cd[b + 1], Cd[b + 2], Cd[b + 3] = -1.0, 0.0, 0.2, -1.0
+                rr[2 * k] = 1.0 + float(k) * 0.1 + coef
+                rr[2 * k + 1] = 2.0 - float(k) * 0.05
+            for k in range(1, NCELL):
+                b = 4 * k
+                pb = 4 * (k - 1)
+                det = Bd[pb] * Bd[pb + 3] - Bd[pb + 1] * Bd[pb + 2]
+                i00 = Bd[pb + 3] / det
+                i01 = -Bd[pb + 1] / det
+                i10 = -Bd[pb + 2] / det
+                i11 = Bd[pb] / det
+                l00 = Ad[b] * i00 + Ad[b + 1] * i10
+                l01 = Ad[b] * i01 + Ad[b + 1] * i11
+                l10 = Ad[b + 2] * i00 + Ad[b + 3] * i10
+                l11 = Ad[b + 2] * i01 + Ad[b + 3] * i11
+                Bd[b] = Bd[b] - (l00 * Cd[pb] + l01 * Cd[pb + 2])
+                Bd[b + 1] = Bd[b + 1] - (l00 * Cd[pb + 1] + l01 * Cd[pb + 3])
+                Bd[b + 2] = Bd[b + 2] - (l10 * Cd[pb] + l11 * Cd[pb + 2])
+                Bd[b + 3] = Bd[b + 3] - (l10 * Cd[pb + 1] + l11 * Cd[pb + 3])
+                rr[2 * k] = rr[2 * k] - (l00 * rr[2 * k - 2] + l01 * rr[2 * k - 1])
+                rr[2 * k + 1] = rr[2 * k + 1] - (l10 * rr[2 * k - 2] + l11 * rr[2 * k - 1])
+            for k in range(NCELL - 1, -1, -1):
+                b = 4 * k
+                r0 = rr[2 * k]
+                r1 = rr[2 * k + 1]
+                if k < NCELL - 1:
+                    r0 = r0 - (Cd[b] * sol[2 * k + 2] + Cd[b + 1] * sol[2 * k + 3])
+                    r1 = r1 - (Cd[b + 2] * sol[2 * k + 2] + Cd[b + 3] * sol[2 * k + 3])
+                det = Bd[b] * Bd[b + 3] - Bd[b + 1] * Bd[b + 2]
+                sol[2 * k] = (r0 * Bd[b + 3] - r1 * Bd[b + 1]) / det
+                sol[2 * k + 1] = (r1 * Bd[b] - r0 * Bd[b + 2]) / det
+
+        checksum = 0.0
+        for line in range(4):
+            solve_line(float(line) * 0.25)
+            for k in range(2 * NCELL):
+                checksum = checksum + sol[k] * float(k + 1)
+        return [fmt(checksum), fmt(sol[0]), fmt(sol[39])]
+
+    def test_bit_exact(self):
+        assert run_workload("BT") == self.reference()
+
+
+class TestCG:
+    def reference(self):
+        N, NNZ = 24, 4
+        seed = 314159
+        aval = [0.0] * (N * NNZ)
+        acol = [0] * (N * NNZ)
+        for i in range(N):
+            base = i * NNZ
+            aval[base] = 10.0 + float(i % 7)
+            acol[base] = i
+            for j in range(1, NNZ):
+                seed = lcg(seed)
+                acol[base + j] = seed % N
+                aval[base + j] = (float(seed % 200) / 100.0 - 1.0) * 0.5
+        xx = [1.0] * N
+
+        def spmv(v):
+            out = [0.0] * N
+            for i in range(N):
+                s = 0.0
+                for j in range(NNZ):
+                    k = i * NNZ + j
+                    s = s + aval[k] * v[acol[k]]
+                out[i] = s
+            return out
+
+        def dot(a, b):
+            s = 0.0
+            for i in range(N):
+                s = s + a[i] * b[i]
+            return s
+
+        zeta = 0.0
+        rr = [0.0] * N
+        for _ in range(2):
+            zz = [0.0] * N
+            rr = list(xx)
+            pp = list(xx)
+            rho = dot(rr, rr)
+            for _ in range(6):
+                qq = spmv(pp)
+                alpha = rho / dot(pp, qq)
+                for i in range(N):
+                    zz[i] = zz[i] + alpha * pp[i]
+                    rr[i] = rr[i] - alpha * qq[i]
+                rho_new = dot(rr, rr)
+                beta = rho_new / rho
+                rho = rho_new
+                for i in range(N):
+                    pp[i] = rr[i] + beta * pp[i]
+            xz = dot(xx, zz)
+            zeta = 20.0 + 1.0 / xz
+            znorm = math.sqrt(dot(zz, zz))
+            for i in range(N):
+                xx[i] = zz[i] / znorm
+        return [fmt(zeta), fmt(math.sqrt(dot(rr, rr)))]
+
+    def test_bit_exact(self):
+        assert run_workload("CG") == self.reference()
+
+
+class TestLU:
+    def reference(self):
+        NX = 10
+        OMEGA = 1.2
+        uu = [0.0] * (NX * NX)
+        ff = [0.0] * (NX * NX)
+        res = [0.0] * (NX * NX)
+        for j in range(NX):
+            for i in range(NX):
+                c = j * NX + i
+                x = float(i) / 9.0
+                y = float(j) / 9.0
+                ff[c] = x * y * (1.0 - x) * (1.0 - y) * 32.0
+        for _ in range(4):
+            for j in range(1, NX - 1):
+                for i in range(1, NX - 1):
+                    c = j * NX + i
+                    gs = 0.25 * (uu[c - 1] + uu[c + 1] + uu[c - NX]
+                                 + uu[c + NX] + ff[c])
+                    uu[c] = uu[c] + OMEGA * (gs - uu[c])
+            for j in range(NX - 2, 0, -1):
+                for i in range(NX - 2, 0, -1):
+                    c = j * NX + i
+                    gs = 0.25 * (uu[c - 1] + uu[c + 1] + uu[c - NX]
+                                 + uu[c + NX] + ff[c])
+                    uu[c] = uu[c] + OMEGA * (gs - uu[c])
+        s = 0.0
+        for j in range(1, NX - 1):
+            for i in range(1, NX - 1):
+                c = j * NX + i
+                r = ff[c] - (4.0 * uu[c] - uu[c - 1] - uu[c + 1]
+                             - uu[c - NX] - uu[c + NX])
+                res[c] = r
+                s = s + r * r
+        rnorm = math.sqrt(s)
+        unorm = 0.0
+        for c in range(NX * NX):
+            unorm = unorm + uu[c] * uu[c]
+        return [fmt(rnorm), fmt(math.sqrt(unorm)), fmt(uu[55])]
+
+    def test_bit_exact(self):
+        assert run_workload("LU") == self.reference()
+
+
+class TestSP:
+    def reference(self):
+        N = 24
+        d2 = [0.0] * N
+        d1 = [0.0] * N
+        d0 = [0.0] * N
+        u1 = [0.0] * N
+        u2 = [0.0] * N
+        rhs = [0.0] * N
+        xs = [0.0] * N
+
+        def solve_line(shift):
+            for i in range(N):
+                d2[i], d1[i], d0[i] = 0.2, -1.1, 4.0 + shift
+                u1[i], u2[i] = -1.1, 0.2
+                rhs[i] = 1.0 + 0.3 * float(i % 4) + shift
+            for i in range(1, N):
+                m1 = d1[i] / d0[i - 1]
+                d0[i] = d0[i] - m1 * u1[i - 1]
+                u1[i] = u1[i] - m1 * u2[i - 1]
+                rhs[i] = rhs[i] - m1 * rhs[i - 1]
+                if i + 1 < N:
+                    m2 = d2[i + 1] / d0[i - 1]
+                    d1[i + 1] = d1[i + 1] - m2 * u1[i - 1]
+                    d0[i + 1] = d0[i + 1] - m2 * u2[i - 1]
+                    rhs[i + 1] = rhs[i + 1] - m2 * rhs[i - 1]
+            xs[N - 1] = rhs[N - 1] / d0[N - 1]
+            xs[N - 2] = (rhs[N - 2] - u1[N - 2] * xs[N - 1]) / d0[N - 2]
+            for i in range(N - 3, -1, -1):
+                xs[i] = (rhs[i] - u1[i] * xs[i + 1] - u2[i] * xs[i + 2]) / d0[i]
+
+        checksum = 0.0
+        norm = 0.0
+        for line in range(5):
+            solve_line(float(line) * 0.4)
+            for i in range(N):
+                checksum = checksum + xs[i] * float(line + 1)
+                norm = norm + xs[i] * xs[i]
+        return [fmt(checksum), fmt(math.sqrt(norm)), fmt(xs[12])]
+
+    def test_bit_exact(self):
+        assert run_workload("SP") == self.reference()

@@ -1,0 +1,127 @@
+"""Workload tests: all 14 benchmark programs compile, run, and behave
+deterministically with sane outputs under every tool."""
+
+import math
+
+import pytest
+
+from repro.fi import LLFITool, PinfiTool, RefineTool
+from repro.workloads import all_workloads, get_workload, workload_names
+from repro.errors import WorkloadError
+
+from tests.conftest import run_minic
+
+WORKLOADS = workload_names()
+
+#: The paper's Table 3 benchmark list.
+PAPER_NAMES = {
+    "AMG2013", "CoMD", "HPCCG-1.0", "lulesh", "XSBench", "miniFE",
+    "BT", "CG", "DC", "EP", "FT", "LU", "SP", "UA",
+}
+
+
+class TestRegistry:
+    def test_all_fourteen_present(self):
+        assert set(WORKLOADS) == PAPER_NAMES
+
+    def test_specs_complete(self):
+        for spec in all_workloads().values():
+            assert spec.description
+            assert spec.paper_input
+            assert spec.input_desc
+            assert "int main()" in spec.source
+
+    def test_unknown_workload(self):
+        with pytest.raises(WorkloadError):
+            get_workload("SPECCPU")
+
+
+@pytest.mark.parametrize("name", WORKLOADS)
+class TestEachWorkload:
+    def test_runs_clean(self, name):
+        spec = get_workload(name)
+        result = run_minic(spec.source, "O2")
+        assert result.trap is None
+        assert result.exit_code == 0
+        assert result.output
+
+    def test_deterministic(self, name):
+        spec = get_workload(name)
+        assert run_minic(spec.source).output == run_minic(spec.source).output
+
+    def test_optimization_levels_agree(self, name):
+        spec = get_workload(name)
+        assert run_minic(spec.source, "O0").output == run_minic(
+            spec.source, "O2"
+        ).output
+
+    def test_outputs_finite(self, name):
+        spec = get_workload(name)
+        for line in run_minic(spec.source).output:
+            if "e" in line or "." in line:
+                value = float(line)
+                assert math.isfinite(value), f"{name} printed {line}"
+
+    def test_golden_agrees_across_tools(self, name):
+        spec = get_workload(name)
+        outputs = {
+            cls(spec.source, name).profile.golden_output
+            for cls in (LLFITool, RefineTool, PinfiTool)
+        }
+        assert len(outputs) == 1
+
+    def test_candidate_population_size(self, name):
+        """Workloads are sized for campaign turnaround: a few thousand to a
+        couple hundred thousand dynamic candidates."""
+        spec = get_workload(name)
+        profile = PinfiTool(spec.source, name).profile
+        assert 1_000 < profile.total_candidates < 300_000
+
+
+class TestPaperPhenomena:
+    """Workload-level checks of the paper's Section 3 claims."""
+
+    @pytest.mark.parametrize("name", ["HPCCG-1.0", "DC", "FT"])
+    def test_llfi_candidates_strict_subset(self, name):
+        spec = get_workload(name)
+        llfi = LLFITool(spec.source, name).profile
+        pinfi = PinfiTool(spec.source, name).profile
+        assert llfi.total_candidates < pinfi.total_candidates / 2
+
+    @pytest.mark.parametrize("name", ["HPCCG-1.0", "AMG2013"])
+    def test_llfi_binary_dynamic_blowup(self, name):
+        spec = get_workload(name)
+        llfi = LLFITool(spec.source, name).profile
+        pinfi = PinfiTool(spec.source, name).profile
+        assert llfi.steps > 1.5 * pinfi.steps
+
+    @pytest.mark.parametrize("name", ["HPCCG-1.0", "UA"])
+    def test_refine_candidates_match_binary_level(self, name):
+        spec = get_workload(name)
+        refine = RefineTool(spec.source, name).profile
+        pinfi = PinfiTool(spec.source, name).profile
+        assert refine.total_candidates == pinfi.total_candidates
+
+
+class TestCompilationHygiene:
+    @pytest.mark.parametrize("name", WORKLOADS)
+    def test_pipeline_verifies_after_every_pass(self, name):
+        """Run the O2 pipeline with per-pass verification on every workload:
+        any pass producing malformed IR fails here with the pass name."""
+        from repro.frontend import compile_source
+        from repro.irpasses import optimize_module
+
+        module = compile_source(get_workload(name).source, name)
+        optimize_module(module, "O2", verify_each=True)
+
+    @pytest.mark.parametrize("name", ["AMG2013", "CG", "SP"])
+    def test_instrumented_ir_verifies(self, name):
+        from repro.fi import FIConfig, llfi_instrument
+        from repro.frontend import compile_source
+        from repro.ir import verify_module
+        from repro.irpasses import optimize_module
+
+        module = compile_source(get_workload(name).source, name)
+        optimize_module(module, "O2")
+        llfi_instrument(module, FIConfig())
+        verify_module(module)
