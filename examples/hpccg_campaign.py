@@ -7,6 +7,13 @@
 4. compare campaign times (Figure 5).
 
 Sample count via REPRO_SAMPLES (default 150; the paper uses 1068).
+
+The campaign is **checkpointed**: pass a directory via REPRO_CHECKPOINT_DIR
+and each (workload, tool) cell persists its partial result there every few
+experiments.  Kill this script mid-run and start it again — it resumes from
+the checkpoints and the final counts are bit-identical to an uninterrupted
+run (every experiment's seed is a pure function of its global index, so
+resuming just skips the completed indices).
 """
 
 import os
@@ -17,6 +24,8 @@ from repro.stats import ContingencyTable, margin_of_error
 from repro.workloads import get_workload
 
 N = int(os.environ.get("REPRO_SAMPLES", "150"))
+#: e.g. REPRO_CHECKPOINT_DIR=/tmp/hpccg-ckpt -> kill + rerun to resume.
+CHECKPOINT_DIR = os.environ.get("REPRO_CHECKPOINT_DIR")
 WORKLOAD = "HPCCG-1.0"
 TOOLS = ("LLFI", "REFINE", "PINFI")
 
@@ -26,9 +35,15 @@ def main() -> None:
     print(f"workload: {spec.name} — {spec.description}")
     print(f"input:    {spec.input_desc}")
     print(f"samples:  {N} per tool "
-          f"(margin of error {margin_of_error(N) * 100:.1f}% at 95%)\n")
+          f"(margin of error {margin_of_error(N) * 100:.1f}% at 95%)")
+    if CHECKPOINT_DIR:
+        print(f"checkpoints: {CHECKPOINT_DIR} (kill + rerun to resume)")
+    print()
 
-    matrix = run_matrix({WORKLOAD: spec.source}, TOOLS, n=N)
+    matrix = run_matrix(
+        {WORKLOAD: spec.source}, TOOLS, n=N,
+        checkpoint_dir=CHECKPOINT_DIR, checkpoint_every=25,
+    )
 
     # Figure 4 panel.
     per_tool = {t: matrix[(WORKLOAD, t)] for t in TOOLS}

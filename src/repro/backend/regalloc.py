@@ -157,7 +157,11 @@ def build_intervals(mf: MachineFunction) -> tuple[list[LiveInterval], list[int]]
         iv = LiveInterval(v, s, ends[v])
         iv.crosses_call = any(s < c < iv.end for c in call_positions)
         intervals.append(iv)
-    intervals.sort(key=lambda iv: (iv.start, iv.end))
+    # Total order: `starts` insertion order comes from iterating liveness
+    # *sets*, which follow Python's randomized string hashing — ties on
+    # (start, end) must not, or codegen differs between interpreter runs
+    # and checkpointed campaigns cannot resume bit-identically.
+    intervals.sort(key=lambda iv: (iv.start, iv.end, iv.vreg.cls, iv.vreg.id))
     return intervals, call_positions
 
 

@@ -1,4 +1,5 @@
-"""Campaign orchestration: experiments, classification, result aggregation."""
+"""Campaign orchestration: experiments, classification, result aggregation,
+checkpoint/resume and telemetry."""
 
 from repro.campaign.analysis import (
     GroupSensitivity,
@@ -7,7 +8,15 @@ from repro.campaign.analysis import (
     by_operand_kind,
     render_sensitivity,
 )
+from repro.campaign.checkpoint import (
+    DEFAULT_CHECKPOINT_EVERY,
+    CampaignCheckpoint,
+    load_checkpoint,
+    save_checkpoint,
+    try_load_checkpoint,
+)
 from repro.campaign.classify import OUTCOME_ORDER, Outcome, classify
+from repro.campaign.events import CampaignStats, EventLog, read_events
 from repro.campaign.io import (
     load_matrix,
     merge_results,
@@ -21,8 +30,10 @@ from repro.campaign.runner import (
     DEFAULT_SEED,
     PAPER_SAMPLES,
     make_tool,
+    matrix_checkpoint_path,
     replay,
     run_campaign,
+    run_experiment,
     run_matrix,
 )
 
@@ -32,6 +43,14 @@ __all__ = [
     "by_function",
     "by_operand_kind",
     "render_sensitivity",
+    "DEFAULT_CHECKPOINT_EVERY",
+    "CampaignCheckpoint",
+    "load_checkpoint",
+    "save_checkpoint",
+    "try_load_checkpoint",
+    "CampaignStats",
+    "EventLog",
+    "read_events",
     "load_matrix",
     "merge_results",
     "result_from_dict",
@@ -46,7 +65,9 @@ __all__ = [
     "DEFAULT_SEED",
     "PAPER_SAMPLES",
     "make_tool",
+    "matrix_checkpoint_path",
     "replay",
     "run_campaign",
+    "run_experiment",
     "run_matrix",
 ]

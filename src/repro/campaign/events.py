@@ -1,0 +1,167 @@
+"""Campaign telemetry: a JSONL event log and an in-process stats aggregator.
+
+Production-scale FI studies (the paper's 44,856 experiments ran in batches
+on a cluster) need per-run observability: what happened, when, and how fast.
+Two cooperating pieces provide it:
+
+* :class:`EventLog` — an append-only JSON-Lines log.  Every event is one
+  JSON object per line with a monotonically increasing ``seq`` and a wall
+  clock ``ts``, so logs from long campaigns can be tailed, merged and
+  analysed offline.
+* :class:`CampaignStats` — a cheap in-process aggregator (running outcome
+  frequencies, experiments/sec, ETA) that the CLI renders as live progress.
+
+Event schema (all events carry ``seq``, ``ts`` and ``event``):
+
+========================  =====================================================
+event                     extra fields
+========================  =====================================================
+``campaign_start``        ``workload``, ``tool``, ``n``, ``base_seed``,
+                          ``resumed`` (experiments restored from a checkpoint)
+``experiment``            ``index``, ``seed``, ``outcome``, ``cycles``,
+                          ``steps``, ``wall_s``
+``checkpoint``            ``path``, ``completed``, ``n``
+``worker_start``          ``chunk``, ``size`` (parallel runner)
+``chunk_done``            ``chunk``, ``size``, ``completed``, ``n``
+``campaign_finish``       ``workload``, ``tool``, ``counts``, ``wall_s``,
+                          ``experiments_per_sec``
+========================  =====================================================
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from pathlib import Path
+from typing import Callable, IO
+
+from repro.campaign.classify import OUTCOME_ORDER, Outcome
+
+
+class EventLog:
+    """Append-only JSONL event sink.
+
+    ``path`` opens (and appends to) a file; ``stream`` writes to an existing
+    file-like object instead.  A custom ``clock`` makes timestamps
+    deterministic in tests.  Use as a context manager or call :meth:`close`.
+    """
+
+    def __init__(
+        self,
+        path: str | Path | None = None,
+        stream: IO[str] | None = None,
+        clock: Callable[[], float] = time.time,
+    ) -> None:
+        if path is not None and stream is not None:
+            raise ValueError("pass either path or stream, not both")
+        self._owns_stream = path is not None
+        if path is not None:
+            p = Path(path)
+            if p.parent and not p.parent.exists():
+                p.parent.mkdir(parents=True, exist_ok=True)
+            self._stream = open(p, "a", encoding="utf-8")
+        else:
+            self._stream = stream
+        self._clock = clock
+        self._seq = 0
+
+    def emit(self, event: str, **fields) -> None:
+        """Write one event line (no-op after :meth:`close`)."""
+        if self._stream is None:
+            return
+        record = {"seq": self._seq, "ts": self._clock(), "event": event}
+        record.update(fields)
+        self._stream.write(json.dumps(record) + "\n")
+        self._stream.flush()
+        self._seq += 1
+
+    def close(self) -> None:
+        if self._stream is not None and self._owns_stream:
+            self._stream.close()
+        self._stream = None
+
+    def __enter__(self) -> "EventLog":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+
+def read_events(path: str | Path) -> list[dict]:
+    """Load every event from a JSONL log written by :class:`EventLog`."""
+    events = []
+    for line in Path(path).read_text(encoding="utf-8").splitlines():
+        line = line.strip()
+        if line:
+            events.append(json.loads(line))
+    return events
+
+
+class CampaignStats:
+    """Running statistics over a campaign's experiment stream.
+
+    Feed it one :meth:`note` per finished experiment (or a bulk
+    :meth:`note_batch` from a parallel chunk) and it tracks outcome
+    frequencies, throughput and an ETA.  ``clock`` defaults to
+    :func:`time.monotonic`; inject a fake for deterministic tests.
+    """
+
+    def __init__(
+        self,
+        total: int,
+        done: int = 0,
+        counts: dict[Outcome, int] | None = None,
+        clock: Callable[[], float] = time.monotonic,
+    ) -> None:
+        self.total = total
+        self.done = done
+        self.counts: dict[Outcome, int] = {o: 0 for o in Outcome}
+        if counts:
+            self.counts.update(counts)
+        self._restored = done  # restored from a checkpoint, not run here
+        self._clock = clock
+        self._started = clock()
+
+    def note(self, outcome: Outcome) -> None:
+        self.counts[outcome] = self.counts.get(outcome, 0) + 1
+        self.done += 1
+
+    def note_batch(self, counts: dict[Outcome, int]) -> None:
+        for outcome, k in counts.items():
+            self.counts[outcome] = self.counts.get(outcome, 0) + k
+            self.done += k
+
+    @property
+    def elapsed(self) -> float:
+        return self._clock() - self._started
+
+    def rate(self) -> float:
+        """Experiments per second since this aggregator started (counts only
+        work done in-process, not experiments restored from a checkpoint)."""
+        elapsed = self.elapsed
+        fresh = self.done - self._restored
+        return fresh / elapsed if elapsed > 0 else 0.0
+
+    def eta_seconds(self) -> float | None:
+        """Estimated seconds to completion, or ``None`` before any data."""
+        rate = self.rate()
+        if rate <= 0:
+            return None
+        return max(0.0, self.total - self.done) / rate
+
+    def render(self) -> str:
+        """One-line progress summary for live terminal display."""
+        pct = 100.0 * self.done / self.total if self.total else 100.0
+        outcome_bits = " ".join(
+            f"{o.value}={self.counts.get(o, 0)}" for o in OUTCOME_ORDER
+        )
+        eta = self.eta_seconds()
+        if eta is None:
+            eta_text = "ETA --:--"
+        else:
+            minutes, seconds = divmod(int(eta + 0.5), 60)
+            eta_text = f"ETA {minutes:d}:{seconds:02d}"
+        return (
+            f"{self.done}/{self.total} ({pct:5.1f}%) | {outcome_bits} | "
+            f"{self.rate():6.1f} exp/s | {eta_text}"
+        )

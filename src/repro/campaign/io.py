@@ -16,7 +16,46 @@ from repro.campaign.results import CampaignResult, ExperimentRecord
 from repro.errors import CampaignError
 from repro.machine.cpu import FaultRecord
 
-FORMAT_VERSION = 1
+FORMAT_VERSION = 2
+
+#: Older formats we can still read.  Version 1 stored fault values as
+#: ``repr()`` strings (lossy: an int came back as the string "42"); loading
+#: it keeps the raw strings rather than guessing at types.
+_READABLE_VERSIONS = (1, FORMAT_VERSION)
+
+
+def _value_to_dict(value: object) -> dict | None:
+    """Tag-encode a fault value so it round-trips losslessly through JSON.
+
+    Floats travel as ``float.hex()`` strings: bit-exact, and safe for
+    ``nan``/``inf`` which bare JSON numbers cannot represent portably.
+    """
+    if value is None:
+        return None
+    if isinstance(value, bool) or not isinstance(value, (int, float, str)):
+        raise CampaignError(
+            f"cannot serialize fault value of type {type(value).__name__}"
+        )
+    if isinstance(value, int):
+        return {"kind": "int", "value": value}
+    if isinstance(value, float):
+        return {"kind": "float", "hex": value.hex()}
+    return {"kind": "str", "value": value}
+
+
+def _value_from_dict(data: object) -> object:
+    if data is None:
+        return None
+    if isinstance(data, str):  # legacy v1: repr() string, kept as-is
+        return data
+    kind = data.get("kind")
+    if kind == "int":
+        return int(data["value"])
+    if kind == "float":
+        return float.fromhex(data["hex"])
+    if kind == "str":
+        return data["value"]
+    raise CampaignError(f"unknown fault value kind {kind!r}")
 
 
 def _fault_to_dict(fault: FaultRecord | None) -> dict | None:
@@ -32,8 +71,8 @@ def _fault_to_dict(fault: FaultRecord | None) -> dict | None:
         "operand_index": fault.operand_index,
         "operand_desc": fault.operand_desc,
         "bit": fault.bit,
-        "value_before": repr(fault.value_before),
-        "value_after": repr(fault.value_after),
+        "value_before": _value_to_dict(fault.value_before),
+        "value_after": _value_to_dict(fault.value_after),
     }
 
 
@@ -50,8 +89,8 @@ def _fault_from_dict(data: dict | None) -> FaultRecord | None:
         operand_index=data["operand_index"],
         operand_desc=data["operand_desc"],
         bit=data["bit"],
-        value_before=data["value_before"],
-        value_after=data["value_after"],
+        value_before=_value_from_dict(data["value_before"]),
+        value_after=_value_from_dict(data["value_after"]),
     )
 
 
@@ -68,6 +107,7 @@ def result_to_dict(result: CampaignResult) -> dict:
         "total_candidates": result.total_candidates,
         "records": [
             {
+                "index": rec.index,
                 "seed": rec.seed,
                 "outcome": rec.outcome.value,
                 "cycles": rec.cycles,
@@ -95,6 +135,7 @@ def result_from_dict(data: dict) -> CampaignResult:
     for rec in data.get("records", ()):
         result.records.append(
             ExperimentRecord(
+                index=rec.get("index", -1),
                 seed=rec["seed"],
                 outcome=Outcome(rec["outcome"]),
                 cycles=rec["cycles"],
@@ -124,7 +165,7 @@ def load_matrix(path: str | Path) -> dict[tuple[str, str], CampaignResult]:
         payload = json.loads(Path(path).read_text())
     except (OSError, json.JSONDecodeError) as exc:
         raise CampaignError(f"cannot load campaign matrix: {exc}") from exc
-    if payload.get("version") != FORMAT_VERSION:
+    if payload.get("version") not in _READABLE_VERSIONS:
         raise CampaignError(
             f"unsupported campaign file version {payload.get('version')!r}"
         )
@@ -149,6 +190,12 @@ def merge_results(parts: Iterable[CampaignResult]) -> CampaignResult:
             )
         if other.golden_output != first.golden_output:
             raise CampaignError("golden outputs disagree between parts")
+        if other.total_candidates != first.total_candidates:
+            raise CampaignError(
+                "total_candidates disagree between parts "
+                f"({other.total_candidates} vs {first.total_candidates}); "
+                "were the campaigns configured with the same FIConfig?"
+            )
     merged = CampaignResult(
         workload=first.workload,
         tool=first.tool,

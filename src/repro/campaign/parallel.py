@@ -2,27 +2,47 @@
 
 The paper runs its 44,856 experiments on a cluster, fully subscribing each
 node (Appendix A.4).  This runner partitions a campaign's experiment
-indices across worker processes; each worker compiles/profiles its own tool
-instance (processes share nothing) and returns a partial
-:class:`CampaignResult`, which :func:`repro.campaign.io.merge_results`
-aggregates.  Seeds are derived from the *global* experiment index, so a
-parallel campaign is bit-identical to the sequential one regardless of
-worker count.
+indices into **chunked sub-slices** (several chunks per worker), submits
+them to a process pool, and consumes completions with ``as_completed`` —
+so progress callbacks, telemetry events and checkpoints all happen
+mid-flight rather than only at the end.  Each worker compiles/profiles its
+own tool instance (processes share nothing) and returns a partial
+:class:`CampaignResult`; parts are merged **in chunk order** by
+:func:`repro.campaign.io.merge_results`, so a parallel campaign is
+bit-identical to the sequential one regardless of worker count.
+
+Seeds are derived from the *global* experiment index, which also makes
+checkpoint resume trivial: completed indices are simply excluded from the
+next run's chunks.
 """
 
 from __future__ import annotations
 
-from concurrent.futures import ProcessPoolExecutor
+import math
+from concurrent.futures import ProcessPoolExecutor, as_completed
 from dataclasses import dataclass
+from pathlib import Path
+from typing import Callable
 
-from repro.campaign.classify import Outcome, classify
+from repro.campaign.checkpoint import (
+    DEFAULT_CHECKPOINT_EVERY,
+    CampaignCheckpoint,
+    save_checkpoint,
+    try_load_checkpoint,
+)
+from repro.campaign.events import EventLog
 from repro.campaign.io import merge_results
-from repro.campaign.results import CampaignResult, ExperimentRecord
-from repro.campaign.runner import DEFAULT_SEED
+from repro.campaign.results import CampaignResult
+from repro.campaign.runner import DEFAULT_SEED, _fresh_result, run_experiment
 from repro.errors import CampaignError
 from repro.fi.config import FIConfig
 from repro.fi.tools import TOOL_CLASSES
-from repro.utils.rng import derive_seed
+from repro.campaign.classify import Outcome
+
+#: Target number of chunks handed to each worker.  More than one, so that
+#: completions trickle in and progress/checkpointing can happen mid-flight;
+#: not so many that per-chunk compile/profile overhead dominates.
+CHUNKS_PER_WORKER = 4
 
 
 @dataclass(frozen=True)
@@ -33,47 +53,28 @@ class _WorkerTask:
     source: str
     workload: str
     opt_level: str
+    fi_enabled: bool
     fi_funcs: str
     fi_instrs: str
     base_seed: int
     indices: tuple[int, ...]
     keep_records: bool
+    opcode_faults: float
+    chunk: int
 
 
 def _run_slice(task: _WorkerTask) -> CampaignResult:
     """Executed inside a worker process."""
-    config = FIConfig(funcs=task.fi_funcs, instrs=task.fi_instrs)
+    config = FIConfig(
+        enabled=task.fi_enabled, funcs=task.fi_funcs, instrs=task.fi_instrs
+    )
     tool = TOOL_CLASSES[task.tool_name](
-        task.source, task.workload, config=config, opt_level=task.opt_level
+        task.source, task.workload, config=config, opt_level=task.opt_level,
+        opcode_faults=task.opcode_faults,
     )
-    profile = tool.profile
-    result = CampaignResult(
-        workload=task.workload,
-        tool=task.tool_name,
-        n=len(task.indices),
-        counts={o: 0 for o in Outcome},
-        golden_output=profile.golden_output,
-        total_candidates=profile.total_candidates,
-    )
+    result = _fresh_result(tool, len(task.indices))
     for i in task.indices:
-        seed = derive_seed(task.base_seed, task.workload, task.tool_name, i)
-        run = tool.inject(seed)
-        outcome = classify(run.result, profile.golden_output)
-        result.counts[outcome] += 1
-        result.total_cycles += run.cycles
-        result.total_steps += run.result.steps
-        if task.keep_records:
-            result.records.append(
-                ExperimentRecord(
-                    seed=seed,
-                    outcome=outcome,
-                    cycles=run.cycles,
-                    steps=run.result.steps,
-                    trap=run.result.trap,
-                    exit_code=run.result.exit_code,
-                    fault=run.result.fault,
-                )
-            )
+        result.add(run_experiment(tool, task.base_seed, i), task.keep_records)
     return result
 
 
@@ -87,39 +88,189 @@ def run_campaign_parallel(
     config: FIConfig | None = None,
     opt_level: str = "O2",
     keep_records: bool = False,
+    opcode_faults: float = 0.0,
+    progress: Callable[[int, int], None] | None = None,
+    checkpoint_path: str | Path | None = None,
+    checkpoint_every: int = DEFAULT_CHECKPOINT_EVERY,
+    events: EventLog | None = None,
+    chunk_size: int | None = None,
 ) -> CampaignResult:
     """Run ``n`` experiments across ``workers`` processes.
 
     Produces counts identical to the sequential
-    :func:`repro.campaign.run_campaign` with the same ``base_seed``.
+    :func:`repro.campaign.run_campaign` with the same ``base_seed`` — the
+    full tool configuration (``config``, ``opcode_faults``) is forwarded to
+    the workers, so the parallel fault model is exactly the sequential one.
+
+    ``progress(done, n)`` fires after every completed chunk.  With
+    ``checkpoint_path``, the merged partial result is atomically persisted
+    roughly every ``checkpoint_every`` experiments (and on interruption),
+    and an existing checkpoint is resumed by excluding its completed
+    indices from the new chunks.
     """
     if n <= 0:
         raise CampaignError("campaign needs n >= 1 experiments")
     if workers <= 0:
         raise CampaignError("workers must be positive")
+    if checkpoint_every <= 0:
+        raise CampaignError("checkpoint_every must be positive")
     if tool_name not in TOOL_CLASSES:
         raise CampaignError(f"unknown tool {tool_name!r}")
+    cls = TOOL_CLASSES[tool_name]
+    if not 0.0 <= opcode_faults <= 1.0:
+        raise CampaignError("opcode_faults must be a probability")
+    if opcode_faults and not cls.supports_opcode_faults:
+        # Fail in the parent with the same error the sequential runner's
+        # tool constructor raises, instead of a pickled worker traceback.
+        raise CampaignError(
+            f"{cls.name} operates above the instruction encoding and "
+            "cannot model OP-code corruption"
+        )
     config = config or FIConfig()
 
-    workers = min(workers, n)
-    slices = [tuple(range(w, n, workers)) for w in range(workers)]
+    completed: set[int] = set()
+    prior: CampaignResult | None = None
+    ckpt = try_load_checkpoint(checkpoint_path)
+    if ckpt is not None:
+        ckpt.matches(workload, tool_name, n, base_seed, keep_records)
+        completed = set(ckpt.completed)
+        prior = ckpt.partial
+    remaining = [i for i in range(n) if i not in completed]
+
+    if events is not None:
+        events.emit(
+            "campaign_start", workload=workload, tool=tool_name, n=n,
+            base_seed=base_seed, resumed=len(completed), workers=workers,
+            resumed_counts={} if prior is None
+            else {o.value: k for o, k in prior.counts.items()},
+        )
+
+    parts: dict[int, CampaignResult] = {}
+
+    def _merged() -> CampaignResult | None:
+        ordered = ([] if prior is None else [prior])
+        ordered.extend(parts[ci] for ci in sorted(parts))
+        if not ordered:
+            return None
+        merged = merge_results(ordered)
+        merged.n = n  # n is the campaign size, not just what has finished
+        # Chunks complete out of order (and resume reshuffles them); global
+        # experiment index restores the sequential runner's record order.
+        merged.records.sort(key=lambda rec: rec.index)
+        return merged
+
+    def _save() -> None:
+        save_checkpoint(
+            CampaignCheckpoint(
+                workload=workload,
+                tool=tool_name,
+                n=n,
+                base_seed=base_seed,
+                keep_records=keep_records,
+                completed=set(completed),
+                partial=_merged(),
+            ),
+            checkpoint_path,
+        )
+        if events is not None:
+            events.emit(
+                "checkpoint", path=str(checkpoint_path),
+                completed=len(completed), n=n,
+            )
+
+    def _finish(result: CampaignResult) -> CampaignResult:
+        if events is not None:
+            events.emit(
+                "campaign_finish", workload=workload, tool=tool_name,
+                counts={o.value: result.frequency(o) for o in Outcome},
+            )
+        return result
+
+    if not remaining:
+        # Resuming an already-finished campaign: nothing to run.
+        if prior is None:
+            raise CampaignError(
+                "checkpoint claims completion but holds no partial result"
+            )
+        return _finish(prior)
+
+    workers = min(workers, len(remaining))
+    if chunk_size is None:
+        chunk_size = max(
+            1, math.ceil(len(remaining) / (workers * CHUNKS_PER_WORKER))
+        )
+    elif chunk_size <= 0:
+        raise CampaignError("chunk_size must be positive")
+    chunks = [
+        tuple(remaining[lo:lo + chunk_size])
+        for lo in range(0, len(remaining), chunk_size)
+    ]
     tasks = [
         _WorkerTask(
             tool_name=tool_name,
             source=source,
             workload=workload,
             opt_level=opt_level,
+            fi_enabled=config.enabled,
             fi_funcs=config.funcs,
             fi_instrs=config.instrs,
             base_seed=base_seed,
             indices=indices,
             keep_records=keep_records,
+            opcode_faults=opcode_faults,
+            chunk=ci,
         )
-        for indices in slices
-        if indices
+        for ci, indices in enumerate(chunks)
     ]
+
+    since_checkpoint = 0
+
+    def _note_done(task: _WorkerTask, part: CampaignResult) -> None:
+        nonlocal since_checkpoint
+        completed.update(task.indices)
+        since_checkpoint += len(task.indices)
+        if events is not None:
+            events.emit(
+                "chunk_done", chunk=task.chunk, size=len(task.indices),
+                completed=len(completed), n=n,
+                counts={o.value: part.frequency(o) for o in Outcome},
+            )
+        if checkpoint_path is not None and since_checkpoint >= checkpoint_every:
+            _save()
+            since_checkpoint = 0
+        if progress is not None:
+            progress(len(completed), n)
+
     if len(tasks) == 1:
-        return _run_slice(tasks[0])
-    with ProcessPoolExecutor(max_workers=len(tasks)) as pool:
-        parts = list(pool.map(_run_slice, tasks))
-    return merge_results(parts)
+        # One chunk: run in-process, skipping pool overhead.
+        try:
+            parts[0] = _run_slice(tasks[0])
+        except BaseException:
+            if checkpoint_path is not None:
+                _save()
+            raise
+        _note_done(tasks[0], parts[0])
+    else:
+        with ProcessPoolExecutor(max_workers=min(workers, len(tasks))) as pool:
+            futures = {pool.submit(_run_slice, t): t for t in tasks}
+            if events is not None:
+                for t in tasks:
+                    events.emit(
+                        "worker_start", chunk=t.chunk, size=len(t.indices)
+                    )
+            try:
+                for fut in as_completed(futures):
+                    task = futures[fut]
+                    parts[task.chunk] = fut.result()
+                    _note_done(task, parts[task.chunk])
+            except BaseException:
+                # Interrupted (or a progress/worker failure): stop handing
+                # out new chunks and persist everything that finished.
+                for fut in futures:
+                    fut.cancel()
+                if checkpoint_path is not None:
+                    _save()
+                raise
+    if checkpoint_path is not None and since_checkpoint:
+        _save()
+    return _finish(_merged())

@@ -20,6 +20,10 @@ class ExperimentRecord:
     trap: str | None = None
     exit_code: int = 0
     fault: FaultRecord | None = None
+    #: global experiment index within the campaign (-1 when unknown, e.g.
+    #: records loaded from a version-1 file); lets merged/resumed campaigns
+    #: keep records in global order.
+    index: int = -1
 
 
 @dataclass
@@ -35,6 +39,16 @@ class CampaignResult:
     golden_output: tuple[str, ...] = ()
     total_candidates: int = 0
     records: list[ExperimentRecord] = field(default_factory=list)
+
+    def add(self, record: ExperimentRecord, keep_record: bool = False) -> None:
+        """Tally one finished experiment (shared by the sequential runner,
+        the parallel workers and checkpoint resume, so all three accumulate
+        identically)."""
+        self.counts[record.outcome] = self.counts.get(record.outcome, 0) + 1
+        self.total_cycles += record.cycles
+        self.total_steps += record.steps
+        if keep_record:
+            self.records.append(record)
 
     def frequency(self, outcome: Outcome) -> int:
         return self.counts.get(outcome, 0)

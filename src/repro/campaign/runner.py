@@ -4,13 +4,28 @@ Each experiment is a pure function of ``(base_seed, workload, tool, index)``
 via :func:`repro.utils.rng.derive_seed`, so campaigns are reproducible and
 each tool samples independent fault coordinates (the paper runs independent
 random campaigns per tool and compares the resulting outcome distributions).
+
+That purity is also what makes campaigns *resumable*: a checkpoint is just
+the partial result plus the set of completed global indices, and resuming
+skips those indices — the final counts are bit-identical to an
+uninterrupted run (see :mod:`repro.campaign.checkpoint`).
 """
 
 from __future__ import annotations
 
+import re
+import time
+from pathlib import Path
 from typing import Callable, Iterable
 
+from repro.campaign.checkpoint import (
+    DEFAULT_CHECKPOINT_EVERY,
+    CampaignCheckpoint,
+    save_checkpoint,
+    try_load_checkpoint,
+)
 from repro.campaign.classify import Outcome, classify
+from repro.campaign.events import EventLog
 from repro.campaign.results import CampaignResult, ExperimentRecord
 from repro.errors import CampaignError
 from repro.fi.config import FIConfig
@@ -30,6 +45,7 @@ def make_tool(
     workload: str,
     config: FIConfig | None = None,
     opt_level: str = "O2",
+    opcode_faults: float = 0.0,
 ) -> FITool:
     try:
         cls = TOOL_CLASSES[tool_name]
@@ -37,7 +53,44 @@ def make_tool(
         raise CampaignError(
             f"unknown tool {tool_name!r}; choose from {sorted(TOOL_CLASSES)}"
         ) from None
-    return cls(source, workload, config=config, opt_level=opt_level)
+    return cls(
+        source, workload, config=config, opt_level=opt_level,
+        opcode_faults=opcode_faults,
+    )
+
+
+def run_experiment(tool: FITool, base_seed: int, index: int) -> ExperimentRecord:
+    """Run the single experiment at global ``index`` and record it.
+
+    The one place (shared by the sequential and parallel runners) where an
+    experiment's seed is derived and its outcome classified — so every
+    execution mode agrees bit-for-bit.
+    """
+    seed = derive_seed(base_seed, tool.workload, tool.name, index)
+    run = tool.inject(seed)
+    outcome = classify(run.result, tool.profile.golden_output)
+    return ExperimentRecord(
+        seed=seed,
+        outcome=outcome,
+        cycles=run.cycles,
+        steps=run.result.steps,
+        trap=run.result.trap,
+        exit_code=run.result.exit_code,
+        fault=run.result.fault,
+        index=index,
+    )
+
+
+def _fresh_result(tool: FITool, n: int) -> CampaignResult:
+    profile = tool.profile  # compiles + profiles on first access
+    return CampaignResult(
+        workload=tool.workload,
+        tool=tool.name,
+        n=n,
+        counts={o: 0 for o in Outcome},
+        golden_output=profile.golden_output,
+        total_candidates=profile.total_candidates,
+    )
 
 
 def run_campaign(
@@ -46,41 +99,124 @@ def run_campaign(
     base_seed: int = DEFAULT_SEED,
     keep_records: bool = False,
     progress: Callable[[int, int], None] | None = None,
+    checkpoint_path: str | Path | None = None,
+    checkpoint_every: int = DEFAULT_CHECKPOINT_EVERY,
+    events: EventLog | None = None,
 ) -> CampaignResult:
-    """Run ``n`` single-fault experiments with the given tool."""
+    """Run ``n`` single-fault experiments with the given tool.
+
+    With ``checkpoint_path``, the partial result is atomically persisted
+    every ``checkpoint_every`` experiments (and on interruption); if the
+    file already exists, the campaign resumes from it, skipping completed
+    indices, and the final result is bit-identical to an uninterrupted run.
+    ``events`` receives the JSONL telemetry stream (see
+    :mod:`repro.campaign.events`).
+    """
     if n <= 0:
         raise CampaignError("campaign needs n >= 1 experiments")
-    profile = tool.profile  # compiles + profiles on first access
-    result = CampaignResult(
-        workload=tool.workload,
-        tool=tool.name,
-        n=n,
-        counts={o: 0 for o in Outcome},
-        golden_output=profile.golden_output,
-        total_candidates=profile.total_candidates,
-    )
-    for i in range(n):
-        seed = derive_seed(base_seed, tool.workload, tool.name, i)
-        run = tool.inject(seed)
-        outcome = classify(run.result, profile.golden_output)
-        result.counts[outcome] += 1
-        result.total_cycles += run.cycles
-        result.total_steps += run.result.steps
-        if keep_records:
-            result.records.append(
-                ExperimentRecord(
-                    seed=seed,
-                    outcome=outcome,
-                    cycles=run.cycles,
-                    steps=run.result.steps,
-                    trap=run.result.trap,
-                    exit_code=run.result.exit_code,
-                    fault=run.result.fault,
+    if checkpoint_every <= 0:
+        raise CampaignError("checkpoint_every must be positive")
+    profile = tool.profile
+
+    completed: set[int] = set()
+    result = _fresh_result(tool, n)
+    ckpt = try_load_checkpoint(checkpoint_path)
+    if ckpt is not None:
+        ckpt.matches(tool.workload, tool.name, n, base_seed, keep_records)
+        completed = set(ckpt.completed)
+        if ckpt.partial is not None:
+            if ckpt.partial.golden_output != profile.golden_output:
+                raise CampaignError(
+                    "checkpoint golden output differs from the current "
+                    "program — was the workload source changed?"
                 )
+            if ckpt.partial.total_candidates != profile.total_candidates:
+                raise CampaignError(
+                    "checkpoint total_candidates differ from the current "
+                    "program — was the FIConfig changed?"
+                )
+            result = ckpt.partial
+
+    if events is not None:
+        events.emit(
+            "campaign_start", workload=tool.workload, tool=tool.name, n=n,
+            base_seed=base_seed, resumed=len(completed),
+            resumed_counts={o.value: k for o, k in result.counts.items()},
+        )
+
+    def _save() -> None:
+        save_checkpoint(
+            CampaignCheckpoint(
+                workload=tool.workload,
+                tool=tool.name,
+                n=n,
+                base_seed=base_seed,
+                keep_records=keep_records,
+                completed=set(completed),
+                partial=result,
+            ),
+            checkpoint_path,
+        )
+        if events is not None:
+            events.emit(
+                "checkpoint", path=str(checkpoint_path),
+                completed=len(completed), n=n,
             )
-        if progress is not None:
-            progress(i + 1, n)
+
+    started = time.monotonic()
+    since_checkpoint = 0
+    try:
+        for i in range(n):
+            if i in completed:
+                continue
+            t0 = time.monotonic()
+            record = run_experiment(tool, base_seed, i)
+            result.add(record, keep_records)
+            completed.add(i)
+            since_checkpoint += 1
+            if events is not None:
+                events.emit(
+                    "experiment", index=i, seed=record.seed,
+                    outcome=record.outcome.value, cycles=record.cycles,
+                    steps=record.steps, wall_s=time.monotonic() - t0,
+                )
+            if (
+                checkpoint_path is not None
+                and since_checkpoint >= checkpoint_every
+            ):
+                _save()
+                since_checkpoint = 0
+            if progress is not None:
+                progress(i + 1, n)
+    except BaseException:
+        # Interrupted (e.g. SIGINT): persist what we have so the campaign
+        # resumes without losing a single completed experiment.
+        if checkpoint_path is not None:
+            _save()
+        raise
+    if checkpoint_path is not None and since_checkpoint:
+        _save()
+
+    wall = time.monotonic() - started
+    if events is not None:
+        events.emit(
+            "campaign_finish", workload=tool.workload, tool=tool.name,
+            counts={o.value: result.frequency(o) for o in Outcome},
+            wall_s=wall,
+            experiments_per_sec=(len(completed) / wall) if wall > 0 else 0.0,
+        )
     return result
+
+
+def _slug(name: str) -> str:
+    return re.sub(r"[^\w.-]", "_", name)
+
+
+def matrix_checkpoint_path(
+    checkpoint_dir: str | Path, workload: str, tool_name: str
+) -> Path:
+    """Per-cell checkpoint file used by :func:`run_matrix`."""
+    return Path(checkpoint_dir) / f"{_slug(workload)}__{_slug(tool_name)}.ckpt.json"
 
 
 def run_matrix(
@@ -91,19 +227,48 @@ def run_matrix(
     config: FIConfig | None = None,
     opt_level: str = "O2",
     progress: Callable[[str, str, int, int], None] | None = None,
+    keep_records: bool = False,
+    workers: int = 1,
+    checkpoint_dir: str | Path | None = None,
+    checkpoint_every: int = DEFAULT_CHECKPOINT_EVERY,
+    events: EventLog | None = None,
 ) -> dict[tuple[str, str], CampaignResult]:
     """Run the full (workload x tool) campaign matrix, like the paper's
-    44,856-experiment evaluation (14 apps x 3 tools x 1068 samples)."""
+    44,856-experiment evaluation (14 apps x 3 tools x 1068 samples).
+
+    ``keep_records=True`` keeps per-experiment :class:`ExperimentRecord`
+    fault logs in every cell (so :func:`repro.campaign.save_matrix` can
+    persist them).  ``checkpoint_dir`` gives every cell its own checkpoint
+    file; re-running the same matrix resumes unfinished cells and skips
+    finished ones.  ``workers > 1`` runs each cell with the multi-process
+    runner (identical results, any worker count).
+    """
     results: dict[tuple[str, str], CampaignResult] = {}
     for workload, source in sources.items():
         for tool_name in tool_names:
-            tool = make_tool(tool_name, source, workload, config, opt_level)
             cb = None
             if progress is not None:
                 cb = lambda i, total, w=workload, t=tool_name: progress(w, t, i, total)
-            results[(workload, tool_name)] = run_campaign(
-                tool, n, base_seed, progress=cb
-            )
+            ckpt_path = None
+            if checkpoint_dir is not None:
+                ckpt_path = matrix_checkpoint_path(checkpoint_dir, workload, tool_name)
+            if workers > 1:
+                from repro.campaign.parallel import run_campaign_parallel
+
+                results[(workload, tool_name)] = run_campaign_parallel(
+                    tool_name, source, workload, n, workers=workers,
+                    base_seed=base_seed, config=config, opt_level=opt_level,
+                    keep_records=keep_records, progress=cb,
+                    checkpoint_path=ckpt_path,
+                    checkpoint_every=checkpoint_every, events=events,
+                )
+            else:
+                tool = make_tool(tool_name, source, workload, config, opt_level)
+                results[(workload, tool_name)] = run_campaign(
+                    tool, n, base_seed, keep_records=keep_records,
+                    progress=cb, checkpoint_path=ckpt_path,
+                    checkpoint_every=checkpoint_every, events=events,
+                )
     return results
 
 

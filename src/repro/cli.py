@@ -14,7 +14,15 @@ import sys
 
 from repro.backend import compile_minic, format_function
 from repro.backend.compiler import CompileOptions
-from repro.campaign import run_matrix
+from repro.campaign import (
+    DEFAULT_CHECKPOINT_EVERY,
+    CampaignStats,
+    EventLog,
+    Outcome,
+    run_matrix,
+    save_matrix,
+)
+from repro.errors import CampaignError, ReproError
 from repro.fi import FIConfig, TOOL_ORDER, llfi_instrument, refine_instrument
 from repro.reporting import (
     matrix_to_csv,
@@ -30,6 +38,69 @@ from repro.workloads import workload_sources
 
 def _config_from_args(args) -> FIConfig:
     return FIConfig(enabled=True, funcs=args.fi_funcs, instrs=args.fi_instrs)
+
+
+class _LiveTelemetry(EventLog):
+    """Event sink that optionally persists JSONL *and* renders live progress.
+
+    Consumes the campaign event stream (see :mod:`repro.campaign.events`):
+    per-experiment events from the sequential runner, per-chunk events from
+    the parallel runner.  On a TTY the progress line updates in place;
+    otherwise a summary line is printed periodically and at completion.
+    """
+
+    #: non-TTY fallback: print one line every this many experiments.
+    PRINT_EVERY = 100
+
+    def __init__(self, path=None, quiet=False, out=None):
+        super().__init__(path=path)
+        self._quiet = quiet
+        self._out = out if out is not None else sys.stderr
+        self._tty = getattr(self._out, "isatty", lambda: False)()
+        self._stats: CampaignStats | None = None
+        self._label = ""
+        self._printed = 0
+
+    def emit(self, event, **fields) -> None:
+        super().emit(event, **fields)
+        if self._quiet:
+            return
+        if event == "campaign_start":
+            self._label = f"{fields['workload']}/{fields['tool']}"
+            self._stats = CampaignStats(
+                fields["n"],
+                done=fields.get("resumed", 0),
+                counts={
+                    Outcome(o): k
+                    for o, k in fields.get("resumed_counts", {}).items()
+                },
+            )
+            self._printed = 0
+            if fields.get("resumed"):
+                print(
+                    f"# {self._label}: resumed {fields['resumed']}/"
+                    f"{fields['n']} experiments from checkpoint",
+                    file=self._out,
+                )
+        elif event == "experiment" and self._stats is not None:
+            self._stats.note(Outcome(fields["outcome"]))
+            self._render()
+        elif event == "chunk_done" and self._stats is not None:
+            counts = {Outcome(k): v for k, v in fields.get("counts", {}).items()}
+            self._stats.note_batch(counts)
+            self._render()
+        elif event == "campaign_finish" and self._stats is not None:
+            self._render(final=True)
+            self._stats = None
+
+    def _render(self, final: bool = False) -> None:
+        line = f"# {self._label}: {self._stats.render()}"
+        if self._tty:
+            end = "\n" if final else ""
+            print(f"\r\x1b[2K{line}", end=end, file=self._out, flush=True)
+        elif final or self._stats.done - self._printed >= self.PRINT_EVERY:
+            self._printed = self._stats.done
+            print(line, file=self._out, flush=True)
 
 
 def compile_main(argv: list[str] | None = None) -> int:
@@ -84,16 +155,45 @@ def campaign_main(argv: list[str] | None = None) -> int:
     parser.add_argument("--fi-funcs", default="*")
     parser.add_argument("--fi-instrs", default="all",
                         choices=["stack", "arithm", "mem", "all"])
+    parser.add_argument("-j", "--workers", type=int, default=1,
+                        help="worker processes per campaign cell "
+                        "(1 = sequential; results are identical)")
+    parser.add_argument("--keep-records", action="store_true",
+                        help="keep per-experiment fault records "
+                        "(persisted by --save)")
+    parser.add_argument("--checkpoint-dir", default=None,
+                        help="write per-cell checkpoints here; re-running "
+                        "the same command resumes unfinished cells")
+    parser.add_argument("--checkpoint-every", type=int,
+                        default=DEFAULT_CHECKPOINT_EVERY,
+                        help="experiments between checkpoint writes")
+    parser.add_argument("--events", default=None,
+                        help="append JSONL telemetry events to this file")
+    parser.add_argument("--save", default=None,
+                        help="also save the full campaign matrix (JSON)")
     parser.add_argument("-q", "--quiet", action="store_true")
     args = parser.parse_args(argv)
 
     sources = workload_sources()
     if args.workloads != "all":
         wanted = args.workloads.split(",")
+        unknown = [w for w in wanted if w not in sources]
+        if unknown:
+            print(
+                f"refine-campaign: error: unknown workload(s) "
+                f"{', '.join(unknown)}; choose from "
+                f"{', '.join(sorted(sources))}",
+                file=sys.stderr,
+            )
+            return 2
         sources = {w: sources[w] for w in wanted}
     tools = list(TOOL_ORDER) if args.tools == "all" else args.tools.split(",")
 
-    moe = margin_of_error(args.samples)
+    try:
+        moe = margin_of_error(args.samples)
+    except ReproError as exc:
+        print(f"refine-campaign: error: {exc}", file=sys.stderr)
+        return 2
     if not args.quiet:
         print(
             f"# campaign: n={args.samples} per (workload, tool) — margin of "
@@ -101,14 +201,24 @@ def campaign_main(argv: list[str] | None = None) -> int:
             file=sys.stderr,
         )
 
-    def progress(w, t, i, total):
-        if not args.quiet and (i == total or i % 50 == 0):
-            print(f"# {w}/{t}: {i}/{total}", file=sys.stderr)
-
-    matrix = run_matrix(
-        sources, tools, args.samples, args.seed,
-        config=_config_from_args(args), progress=progress,
-    )
+    telemetry = _LiveTelemetry(path=args.events, quiet=args.quiet)
+    try:
+        matrix = run_matrix(
+            sources, tools, args.samples, args.seed,
+            config=_config_from_args(args),
+            keep_records=args.keep_records,
+            workers=args.workers,
+            checkpoint_dir=args.checkpoint_dir,
+            checkpoint_every=args.checkpoint_every,
+            events=telemetry,
+        )
+    except CampaignError as exc:
+        print(f"refine-campaign: error: {exc}", file=sys.stderr)
+        return 2
+    finally:
+        telemetry.close()
+    if args.save:
+        save_matrix(matrix, args.save)
     print(matrix_to_csv(matrix))
     return 0
 

@@ -126,3 +126,39 @@ class TestAllocation:
         result = allocate(mf)
         slots = list(result.spills.values())
         assert len(slots) == len(set(slots))
+
+
+class TestDeterminism:
+    def test_codegen_stable_under_hash_randomization(self):
+        """Liveness sets iterate in hash order; interval sorting must impose
+        a total order or codegen differs between interpreter runs — which
+        silently breaks resumed (checkpointed) campaigns and replay."""
+        import os
+        import subprocess
+        import sys
+
+        program = (
+            "from repro.backend import compile_minic, format_function\n"
+            "src = '''\n"
+            "double g[8];\n"
+            "int main() {\n"
+            "  double s = 0.0;\n"
+            "  for (int i = 0; i < 8; i = i + 1) { g[i] = (double)i; }\n"
+            "  for (int i = 0; i < 8; i = i + 1) { s = s + g[i]; }\n"
+            "  print_double(s);\n"
+            "  return 0;\n"
+            "}\n"
+            "'''\n"
+            "b = compile_minic(src, 'det')\n"
+            "print('\\n'.join(format_function(f) for f in b.functions.values()))\n"
+        )
+        outputs = set()
+        for seed in ("0", "1", "2"):
+            env = dict(os.environ, PYTHONHASHSEED=seed)
+            env["PYTHONPATH"] = os.pathsep.join(sys.path)
+            proc = subprocess.run(
+                [sys.executable, "-c", program], env=env,
+                capture_output=True, text=True, check=True,
+            )
+            outputs.add(proc.stdout)
+        assert len(outputs) == 1, "assembly differs across PYTHONHASHSEED"

@@ -1,8 +1,14 @@
 """Tests for campaign persistence and the multi-process runner."""
 
+import dataclasses
+import json
+import math
+
 import pytest
 
 from repro.campaign import (
+    CampaignResult,
+    ExperimentRecord,
     Outcome,
     load_matrix,
     make_tool,
@@ -15,8 +21,29 @@ from repro.campaign import (
     save_matrix,
 )
 from repro.errors import CampaignError
+from repro.machine.cpu import FaultRecord
 
 from tests.conftest import DEMO_SOURCE
+
+
+def _synthetic_result(value_before, value_after):
+    """One-record result with chosen fault values, for round-trip checks."""
+    fault = FaultRecord(
+        tool="REFINE", dynamic_index=3, pc=7, func="main", block="entry",
+        instr_text="add r1, r2", operand_index=0, operand_desc="ireg:1",
+        bit=5, value_before=value_before, value_after=value_after,
+    )
+    record = ExperimentRecord(
+        seed=123, outcome=Outcome.SOC, cycles=10.5, steps=42,
+        trap=None, exit_code=0, fault=fault, index=0,
+    )
+    result = CampaignResult(
+        workload="demo", tool="REFINE", n=1,
+        counts={Outcome.CRASH: 0, Outcome.SOC: 1, Outcome.BENIGN: 0},
+        total_cycles=10.5, total_steps=42, golden_output=("1",),
+        total_candidates=99, records=[record],
+    )
+    return result
 
 
 @pytest.fixture(scope="module")
@@ -52,6 +79,64 @@ class TestSerialization:
         for key in small_matrix:
             assert restored[key].counts == small_matrix[key].counts
 
+    @pytest.mark.parametrize(
+        "before,after",
+        [
+            (-42, 1 << 62),                      # plain ints
+            (0.1, -2.5e300),                     # floats with no exact repr
+            (float("inf"), float("-inf")),       # non-finite floats
+            ("add r1, r2", "<invalid opcode>"),  # opcode-corruption strings
+            (None, None),
+        ],
+    )
+    def test_fault_values_roundtrip_exactly(self, before, after, tmp_path):
+        """The headline bugfix: values must come back with identical type
+        and bits, not as repr() strings."""
+        original = _synthetic_result(before, after)
+        for restored in (
+            result_from_dict(result_to_dict(original)),
+            self._file_roundtrip(original, tmp_path),
+        ):
+            fault = restored.records[0].fault
+            assert fault.value_before == before
+            assert fault.value_after == after
+            assert type(fault.value_before) is type(before)
+            assert type(fault.value_after) is type(after)
+
+    def test_nan_fault_value_roundtrips(self, tmp_path):
+        restored = self._file_roundtrip(
+            _synthetic_result(float("nan"), 1.0), tmp_path
+        )
+        assert math.isnan(restored.records[0].fault.value_before)
+        assert restored.records[0].fault.value_after == 1.0
+
+    @staticmethod
+    def _file_roundtrip(result, tmp_path):
+        path = tmp_path / "roundtrip.json"
+        save_matrix({(result.workload, result.tool): result}, path)
+        return load_matrix(path)[(result.workload, result.tool)]
+
+    def test_real_campaign_fault_values_roundtrip(self, tmp_path):
+        tool = make_tool("REFINE", DEMO_SOURCE, "demo")
+        original = run_campaign(tool, n=8, keep_records=True)
+        path = tmp_path / "m.json"
+        save_matrix({("demo", "REFINE"): original}, path)
+        restored = load_matrix(path)[("demo", "REFINE")]
+        for a, b in zip(original.records, restored.records):
+            assert dataclasses.asdict(a.fault) == dataclasses.asdict(b.fault)
+            assert a.index == b.index
+
+    def test_loads_legacy_version1_values_as_strings(self, tmp_path):
+        """v1 files stored repr() strings; they still load (as strings)."""
+        payload = result_to_dict(_synthetic_result(3, 7.0))
+        payload["records"][0]["fault"]["value_before"] = "3"
+        payload["records"][0]["fault"]["value_after"] = "7.0"
+        path = tmp_path / "v1.json"
+        path.write_text(json.dumps({"version": 1, "cells": [payload]}))
+        restored = load_matrix(path)[("demo", "REFINE")]
+        assert restored.records[0].fault.value_before == "3"
+        assert restored.records[0].fault.value_after == "7.0"
+
     def test_load_rejects_garbage(self, tmp_path):
         path = tmp_path / "bad.json"
         path.write_text("{not json")
@@ -83,6 +168,16 @@ class TestMerge:
     def test_merge_rejects_empty(self):
         with pytest.raises(CampaignError):
             merge_results([])
+
+    def test_merge_rejects_mismatched_candidates(self, small_matrix):
+        """Parts produced under different FIConfig filters disagree on
+        total_candidates and must not merge silently."""
+        a = small_matrix[("demo", "REFINE")]
+        import dataclasses as dc
+
+        b = dc.replace(a, total_candidates=a.total_candidates + 1)
+        with pytest.raises(CampaignError, match="total_candidates"):
+            merge_results([a, b])
 
 
 class TestParallelRunner:
@@ -117,3 +212,85 @@ class TestParallelRunner:
             run_campaign_parallel("REFINE", DEMO_SOURCE, "demo", n=5, workers=0)
         with pytest.raises(CampaignError):
             run_campaign_parallel("GDB", DEMO_SOURCE, "demo", n=5)
+
+    def test_keep_records_matches_sequential(self):
+        tool = make_tool("REFINE", DEMO_SOURCE, "demo")
+        sequential = run_campaign(tool, n=12, base_seed=3, keep_records=True)
+        parallel = run_campaign_parallel(
+            "REFINE", DEMO_SOURCE, "demo", n=12, workers=3, base_seed=3,
+            keep_records=True,
+        )
+        assert len(parallel.records) == 12
+        assert [r.index for r in parallel.records] == list(range(12))
+        for a, b in zip(sequential.records, parallel.records):
+            assert (a.seed, a.outcome, a.cycles, a.steps) == (
+                b.seed, b.outcome, b.cycles, b.steps
+            )
+            assert a.fault.pc == b.fault.pc
+            assert a.fault.value_before == b.fault.value_before
+
+    def test_opcode_faults_matches_sequential(self):
+        """The parallel runner must run the same fault model as the
+        sequential one when OP-code corruption is enabled."""
+        tool = make_tool("REFINE", DEMO_SOURCE, "demo", opcode_faults=0.5)
+        sequential = run_campaign(tool, n=12, base_seed=11, keep_records=True)
+        parallel = run_campaign_parallel(
+            "REFINE", DEMO_SOURCE, "demo", n=12, workers=3, base_seed=11,
+            keep_records=True, opcode_faults=0.5,
+        )
+        assert parallel.counts == sequential.counts
+        assert [r.fault.operand_desc for r in parallel.records] == [
+            r.fault.operand_desc for r in sequential.records
+        ]
+        # with p=0.5 over 12 draws, some faults land in the opcode encoding
+        assert any(
+            r.fault.operand_desc == "opcode" for r in parallel.records
+        )
+
+    def test_opcode_faults_rejected_for_llfi(self):
+        with pytest.raises(CampaignError, match="instruction encoding"):
+            run_campaign_parallel(
+                "LLFI", DEMO_SOURCE, "demo", n=5, opcode_faults=0.1
+            )
+        with pytest.raises(CampaignError, match="probability"):
+            run_campaign_parallel(
+                "REFINE", DEMO_SOURCE, "demo", n=5, opcode_faults=1.5
+            )
+
+    def test_progress_reports_chunk_completions(self):
+        seen = []
+        run_campaign_parallel(
+            "REFINE", DEMO_SOURCE, "demo", n=8, workers=2, chunk_size=2,
+            progress=lambda done, total: seen.append((done, total)),
+        )
+        assert sorted(seen) == [(2, 8), (4, 8), (6, 8), (8, 8)]
+
+
+class TestMatrixRecords:
+    def test_run_matrix_keeps_records_when_asked(self):
+        matrix = run_matrix(
+            {"demo": DEMO_SOURCE}, ("REFINE",), n=4, keep_records=True
+        )
+        records = matrix[("demo", "REFINE")].records
+        assert len(records) == 4
+        assert all(r.fault is not None for r in records)
+
+    def test_run_matrix_records_survive_save(self, tmp_path):
+        matrix = run_matrix(
+            {"demo": DEMO_SOURCE}, ("REFINE",), n=4, keep_records=True
+        )
+        path = tmp_path / "matrix.json"
+        save_matrix(matrix, path)
+        restored = load_matrix(path)
+        assert len(restored[("demo", "REFINE")].records) == 4
+
+    def test_run_matrix_default_drops_records(self):
+        matrix = run_matrix({"demo": DEMO_SOURCE}, ("REFINE",), n=4)
+        assert matrix[("demo", "REFINE")].records == []
+
+    def test_run_matrix_parallel_workers_match_sequential(self):
+        seq = run_matrix({"demo": DEMO_SOURCE}, ("REFINE",), n=10, base_seed=2)
+        par = run_matrix(
+            {"demo": DEMO_SOURCE}, ("REFINE",), n=10, base_seed=2, workers=2
+        )
+        assert par[("demo", "REFINE")].counts == seq[("demo", "REFINE")].counts
