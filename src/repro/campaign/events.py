@@ -26,6 +26,32 @@ event                     extra fields
 ``campaign_finish``       ``workload``, ``tool``, ``counts``, ``wall_s``,
                           ``experiments_per_sec``
 ========================  =====================================================
+
+The distributed coordinator (:mod:`repro.dist`) emits its own family on
+top — one stream records the whole cluster campaign:
+
+========================  =====================================================
+event                     extra fields
+========================  =====================================================
+``dist_start``            ``cells``, ``total``, ``resumed``,
+                          ``lease_timeout_s``
+``cell_start``            ``workload``, ``tool``, ``n``, ``base_seed``,
+                          ``resumed``, ``resumed_counts``
+``worker_join``           ``worker``, ``procs``
+``lease``                 ``task``, ``worker``, ``workload``, ``tool``,
+                          ``size``, ``attempt``
+``task_done``             ``task``, ``worker``, ``workload``, ``tool``,
+                          ``size``, ``duplicate``; when not a duplicate also
+                          ``attempt``, ``completed``, ``n``,
+                          ``completed_total``, ``total``, ``counts``
+``task_requeue``          ``task``, ``worker``, ``reason``
+                          (``timeout``/``disconnect``/``failed``),
+                          ``attempt``, ``delay_s``
+``worker_leave``          ``worker``
+``cell_finish``           ``workload``, ``tool``, ``counts``
+``dist_finish``           ``cells``, ``total``, ``wall_s``,
+                          ``experiments_per_sec``
+========================  =====================================================
 """
 
 from __future__ import annotations
@@ -118,6 +144,8 @@ class CampaignStats:
         self.counts: dict[Outcome, int] = {o: 0 for o in Outcome}
         if counts:
             self.counts.update(counts)
+        #: per-worker completed-experiment counts (distributed campaigns)
+        self.workers: dict[str, int] = {}
         self._restored = done  # restored from a checkpoint, not run here
         self._clock = clock
         self._started = clock()
@@ -130,6 +158,17 @@ class CampaignStats:
         for outcome, k in counts.items():
             self.counts[outcome] = self.counts.get(outcome, 0) + k
             self.done += k
+
+    def note_worker(self, worker: str, k: int) -> None:
+        """Attribute ``k`` completed experiments to a distributed worker."""
+        self.workers[worker] = self.workers.get(worker, 0) + k
+
+    def worker_rates(self) -> dict[str, float]:
+        """Per-worker experiments/sec since this aggregator started."""
+        elapsed = self.elapsed
+        if elapsed <= 0:
+            return {w: 0.0 for w in self.workers}
+        return {w: k / elapsed for w, k in self.workers.items()}
 
     @property
     def elapsed(self) -> float:
@@ -161,7 +200,14 @@ class CampaignStats:
         else:
             minutes, seconds = divmod(int(eta + 0.5), 60)
             eta_text = f"ETA {minutes:d}:{seconds:02d}"
-        return (
+        line = (
             f"{self.done}/{self.total} ({pct:5.1f}%) | {outcome_bits} | "
             f"{self.rate():6.1f} exp/s | {eta_text}"
         )
+        if self.workers:
+            rates = self.worker_rates()
+            per_worker = " ".join(
+                f"{w}:{rates[w]:.1f}/s" for w in sorted(self.workers)
+            )
+            line += f" | {len(self.workers)}w[{per_worker}]"
+        return line

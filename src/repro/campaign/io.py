@@ -176,10 +176,49 @@ def load_matrix(path: str | Path) -> dict[tuple[str, str], CampaignResult]:
     return matrix
 
 
-def merge_results(parts: Iterable[CampaignResult]) -> CampaignResult:
+def merge_results(
+    parts: Iterable[CampaignResult],
+    indices: Iterable[Iterable[int]] | None = None,
+) -> CampaignResult:
     """Combine partial campaigns of the same (workload, tool) — the batch
-    aggregation step of a cluster run."""
+    aggregation step of a cluster run.
+
+    ``indices`` (parallel to ``parts``) gives each part's global experiment
+    indices and enables **exact deduplication**: a part whose index set was
+    already merged is dropped rather than double-counted.  At-least-once
+    task delivery (a distributed worker whose lease expired may still
+    finish and submit) makes duplicates normal, and because every
+    experiment is a pure function of its global index, the duplicate part
+    is provably identical to the one already merged.  Parts that overlap
+    only *partially* cannot be reconciled from counts alone and raise.
+    """
     parts = list(parts)
+    if indices is not None:
+        index_sets = [frozenset(ix) for ix in indices]
+        if len(index_sets) != len(parts):
+            raise CampaignError(
+                f"merge got {len(parts)} parts but {len(index_sets)} "
+                "index sets"
+            )
+        seen: set[int] = set()
+        kept = []
+        for part, ixs in zip(parts, index_sets):
+            if len(ixs) != sum(part.counts.values()):
+                raise CampaignError(
+                    f"part tallies {sum(part.counts.values())} experiments "
+                    f"but its index set has {len(ixs)}"
+                )
+            overlap = seen & ixs
+            if not overlap:
+                seen |= ixs
+                kept.append(part)
+            elif overlap != ixs:
+                raise CampaignError(
+                    "parts partially overlap in global experiment indices "
+                    "and cannot be merged without double-counting"
+                )
+            # else: exact duplicate of already-merged indices — drop it
+        parts = kept
     if not parts:
         raise CampaignError("cannot merge zero campaign parts")
     first = parts[0]

@@ -46,8 +46,13 @@ CHUNKS_PER_WORKER = 4
 
 
 @dataclass(frozen=True)
-class _WorkerTask:
-    """Everything a worker process needs to run a slice of experiments."""
+class SliceTask:
+    """Everything a worker process needs to run a slice of experiments.
+
+    Shared by the multi-process runner here and the distributed workers in
+    :mod:`repro.dist` — both execute campaign slices through the exact same
+    machinery, so every execution mode produces bit-identical results.
+    """
 
     tool_name: str
     source: str
@@ -63,8 +68,8 @@ class _WorkerTask:
     chunk: int
 
 
-def _run_slice(task: _WorkerTask) -> CampaignResult:
-    """Executed inside a worker process."""
+def run_slice(task: SliceTask) -> CampaignResult:
+    """Run one slice of a campaign (executed inside a worker process)."""
     config = FIConfig(
         enabled=task.fi_enabled, funcs=task.fi_funcs, instrs=task.fi_instrs
     )
@@ -206,7 +211,7 @@ def run_campaign_parallel(
         for lo in range(0, len(remaining), chunk_size)
     ]
     tasks = [
-        _WorkerTask(
+        SliceTask(
             tool_name=tool_name,
             source=source,
             workload=workload,
@@ -225,7 +230,7 @@ def run_campaign_parallel(
 
     since_checkpoint = 0
 
-    def _note_done(task: _WorkerTask, part: CampaignResult) -> None:
+    def _note_done(task: SliceTask, part: CampaignResult) -> None:
         nonlocal since_checkpoint
         completed.update(task.indices)
         since_checkpoint += len(task.indices)
@@ -244,7 +249,7 @@ def run_campaign_parallel(
     if len(tasks) == 1:
         # One chunk: run in-process, skipping pool overhead.
         try:
-            parts[0] = _run_slice(tasks[0])
+            parts[0] = run_slice(tasks[0])
         except BaseException:
             if checkpoint_path is not None:
                 _save()
@@ -252,7 +257,7 @@ def run_campaign_parallel(
         _note_done(tasks[0], parts[0])
     else:
         with ProcessPoolExecutor(max_workers=min(workers, len(tasks))) as pool:
-            futures = {pool.submit(_run_slice, t): t for t in tasks}
+            futures = {pool.submit(run_slice, t): t for t in tasks}
             if events is not None:
                 for t in tasks:
                     events.emit(

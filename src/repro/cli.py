@@ -3,8 +3,14 @@
 * ``refine-compile`` — compile a MiniC file (optionally with REFINE or LLFI
   instrumentation) and print the assembly, like invoking the paper's
   modified Clang driver with ``-mllvm -fi=true ...``.
-* ``refine-campaign`` — run a fault-injection campaign matrix and dump CSV.
+* ``refine-campaign`` — run a fault-injection campaign matrix and dump CSV;
+  ``--dist HOST:PORT`` serves it to ``refine-worker`` processes instead of
+  running locally.
+* ``refine-worker`` — connect to a ``--dist`` coordinator and run leased
+  campaign slices.
 * ``refine-report`` — render the paper's figures/tables from a campaign.
+
+Exit codes: 0 success, 1 campaign/run failure, 2 usage error.
 """
 
 from __future__ import annotations
@@ -12,6 +18,7 @@ from __future__ import annotations
 import argparse
 import sys
 
+from repro import __version__
 from repro.backend import compile_minic, format_function
 from repro.backend.compiler import CompileOptions
 from repro.campaign import (
@@ -22,7 +29,7 @@ from repro.campaign import (
     run_matrix,
     save_matrix,
 )
-from repro.errors import CampaignError, ReproError
+from repro.errors import CampaignError, DistError, ReproError
 from repro.fi import FIConfig, TOOL_ORDER, llfi_instrument, refine_instrument
 from repro.reporting import (
     matrix_to_csv,
@@ -40,13 +47,22 @@ def _config_from_args(args) -> FIConfig:
     return FIConfig(enabled=True, funcs=args.fi_funcs, instrs=args.fi_instrs)
 
 
+def _add_version(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--version", action="version",
+        version=f"%(prog)s {__version__}",
+    )
+
+
 class _LiveTelemetry(EventLog):
     """Event sink that optionally persists JSONL *and* renders live progress.
 
     Consumes the campaign event stream (see :mod:`repro.campaign.events`):
     per-experiment events from the sequential runner, per-chunk events from
-    the parallel runner.  On a TTY the progress line updates in place;
-    otherwise a summary line is printed periodically and at completion.
+    the parallel runner, per-task events (with per-worker throughput) from
+    the distributed coordinator.  On a TTY the progress line updates in
+    place; otherwise a summary line is printed periodically and at
+    completion.
     """
 
     #: non-TTY fallback: print one line every this many experiments.
@@ -92,6 +108,46 @@ class _LiveTelemetry(EventLog):
         elif event == "campaign_finish" and self._stats is not None:
             self._render(final=True)
             self._stats = None
+        elif event == "dist_start":
+            self._label = "cluster"
+            self._stats = CampaignStats(
+                fields["total"], done=fields.get("resumed", 0)
+            )
+            self._printed = 0
+            if fields.get("resumed"):
+                print(
+                    f"# cluster: resumed {fields['resumed']}/"
+                    f"{fields['total']} experiments from checkpoints",
+                    file=self._out,
+                )
+        elif event == "worker_join":
+            print(
+                f"# worker {fields['worker']} joined "
+                f"({fields.get('procs', 1)} proc(s))",
+                file=self._out,
+            )
+        elif event == "task_requeue":
+            print(
+                f"# task {fields['task']} requeued "
+                f"({fields.get('reason', '?')} on {fields.get('worker')}, "
+                f"attempt {fields.get('attempt', '?')})",
+                file=self._out,
+            )
+        elif event == "task_done" and self._stats is not None:
+            if not fields.get("duplicate"):
+                counts = {
+                    Outcome(k): v
+                    for k, v in fields.get("counts", {}).items()
+                }
+                self._stats.note_batch(counts)
+                if fields.get("worker"):
+                    self._stats.note_worker(
+                        fields["worker"], fields.get("size", 0)
+                    )
+                self._render()
+        elif event == "dist_finish" and self._stats is not None:
+            self._render(final=True)
+            self._stats = None
 
     def _render(self, final: bool = False) -> None:
         line = f"# {self._label}: {self._stats.render()}"
@@ -109,6 +165,7 @@ def compile_main(argv: list[str] | None = None) -> int:
         description="Compile MiniC to sx64 assembly, optionally with FI "
         "instrumentation (paper Table 2 flags).",
     )
+    _add_version(parser)
     parser.add_argument("file", help="MiniC source file ('-' for stdin)")
     parser.add_argument("-O", dest="opt", default="O2",
                         choices=["O0", "O1", "O2"])
@@ -142,8 +199,11 @@ def campaign_main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(
         prog="refine-campaign",
         description="Run a fault-injection campaign over the paper's "
-        "workloads and tools; prints CSV results.",
+        "workloads and tools; prints CSV results.  With --dist the "
+        "campaign is served to refine-worker processes over TCP instead "
+        "of running locally.",
     )
+    _add_version(parser)
     parser.add_argument("-n", "--samples", type=int, default=120,
                         help="experiments per (workload, tool); the paper "
                         "uses 1068 (<=3%% error at 95%% confidence)")
@@ -158,6 +218,13 @@ def campaign_main(argv: list[str] | None = None) -> int:
     parser.add_argument("-j", "--workers", type=int, default=1,
                         help="worker processes per campaign cell "
                         "(1 = sequential; results are identical)")
+    parser.add_argument("--dist", metavar="HOST:PORT", default=None,
+                        help="coordinator mode: listen here and serve the "
+                        "campaign to refine-worker processes (results are "
+                        "identical to a local run)")
+    parser.add_argument("--lease-timeout", type=float, default=60.0,
+                        help="seconds without a heartbeat before a "
+                        "distributed task is requeued (--dist only)")
     parser.add_argument("--keep-records", action="store_true",
                         help="keep per-experiment fault records "
                         "(persisted by --save)")
@@ -203,18 +270,21 @@ def campaign_main(argv: list[str] | None = None) -> int:
 
     telemetry = _LiveTelemetry(path=args.events, quiet=args.quiet)
     try:
-        matrix = run_matrix(
-            sources, tools, args.samples, args.seed,
-            config=_config_from_args(args),
-            keep_records=args.keep_records,
-            workers=args.workers,
-            checkpoint_dir=args.checkpoint_dir,
-            checkpoint_every=args.checkpoint_every,
-            events=telemetry,
-        )
-    except CampaignError as exc:
+        if args.dist is not None:
+            matrix = _serve_distributed(args, sources, tools, telemetry)
+        else:
+            matrix = run_matrix(
+                sources, tools, args.samples, args.seed,
+                config=_config_from_args(args),
+                keep_records=args.keep_records,
+                workers=args.workers,
+                checkpoint_dir=args.checkpoint_dir,
+                checkpoint_every=args.checkpoint_every,
+                events=telemetry,
+            )
+    except (CampaignError, DistError) as exc:
         print(f"refine-campaign: error: {exc}", file=sys.stderr)
-        return 2
+        return 1
     finally:
         telemetry.close()
     if args.save:
@@ -223,11 +293,92 @@ def campaign_main(argv: list[str] | None = None) -> int:
     return 0
 
 
+def _serve_distributed(args, sources, tools, telemetry):
+    """Coordinator mode for ``refine-campaign --dist HOST:PORT``."""
+    from repro.dist import CampaignSpec, Coordinator, parse_address
+
+    host, port = parse_address(args.dist)
+    specs = [
+        CampaignSpec(
+            workload=workload, source=source, tool_name=tool_name,
+            n=args.samples, base_seed=args.seed,
+            keep_records=args.keep_records,
+            fi_funcs=args.fi_funcs, fi_instrs=args.fi_instrs,
+        )
+        for workload, source in sources.items()
+        for tool_name in tools
+    ]
+    coordinator = Coordinator(
+        specs, host=host, port=port,
+        lease_timeout=args.lease_timeout,
+        checkpoint_dir=args.checkpoint_dir,
+        checkpoint_every=args.checkpoint_every,
+        events=telemetry,
+    )
+    bound_host, bound_port = coordinator.start()
+    if not args.quiet:
+        print(
+            f"# coordinator listening on {bound_host}:{bound_port} — "
+            f"start workers with: refine-worker {bound_host}:{bound_port}",
+            file=sys.stderr,
+        )
+    try:
+        return coordinator.wait()
+    finally:
+        coordinator.stop()
+
+
+def worker_main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="refine-worker",
+        description="Join a refine-campaign --dist coordinator, lease "
+        "campaign slices and stream results back until the campaign "
+        "completes.",
+    )
+    _add_version(parser)
+    parser.add_argument("address", metavar="HOST:PORT",
+                        help="coordinator address (from refine-campaign "
+                        "--dist)")
+    parser.add_argument("-j", "--procs", type=int, default=1,
+                        help="local worker processes; each leased task is "
+                        "split across them")
+    parser.add_argument("--name", default=None,
+                        help="worker name for logs (default: assigned by "
+                        "the coordinator)")
+    parser.add_argument("-q", "--quiet", action="store_true")
+    args = parser.parse_args(argv)
+
+    from repro.dist import Worker, parse_address
+
+    try:
+        host, port = parse_address(args.address)
+    except DistError as exc:
+        print(f"refine-worker: error: {exc}", file=sys.stderr)
+        return 2
+    if args.procs < 1:
+        print("refine-worker: error: -j must be >= 1", file=sys.stderr)
+        return 2
+    try:
+        stats = Worker(host, port, procs=args.procs, name=args.name).run()
+    except (DistError, ReproError) as exc:
+        print(f"refine-worker: error: {exc}", file=sys.stderr)
+        return 1
+    if not args.quiet:
+        print(
+            f"# {stats.name}: ran {stats.experiments} experiments in "
+            f"{stats.tasks} tasks ({stats.duplicates} duplicate(s), "
+            f"{stats.failures} failure(s))",
+            file=sys.stderr,
+        )
+    return 0
+
+
 def report_main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(
         prog="refine-report",
         description="Run a campaign and render the paper's figures/tables.",
     )
+    _add_version(parser)
     parser.add_argument("-n", "--samples", type=int, default=120)
     parser.add_argument("-w", "--workloads", default="all")
     parser.add_argument("--seed", type=int, default=0x5EED0EF1)
@@ -266,6 +417,7 @@ def opt_main(argv: list[str] | None = None) -> int:
         description="Parse IR text (or compile MiniC with --minic), run an "
         "optimization pipeline, and print the resulting IR.",
     )
+    _add_version(parser)
     parser.add_argument("file", help="input file ('-' for stdin)")
     parser.add_argument("-O", dest="opt", default="O2",
                         choices=["O0", "O1", "O2"])

@@ -1,0 +1,683 @@
+"""Campaign coordinator: lease-based task dispatch with at-least-once
+delivery, heartbeats and fault-tolerant retry.
+
+The coordinator owns one or more campaign cells (a whole ``run_matrix``
+worth, or a single campaign), shards each cell's outstanding experiment
+indices into fixed index-range **tasks**, and serves them to workers over
+the :mod:`repro.dist.protocol` wire format.  The delivery model:
+
+* **Leases.** A granted task is leased, not given away: it carries a
+  deadline, and the worker must heartbeat to keep it.  A worker that dies,
+  hangs or partitions simply stops heartbeating; after ``lease_timeout``
+  the sweep requeues its tasks for someone else.
+* **Exponential backoff.** Every requeue (timeout, disconnect or an
+  explicit ``task_failed``) re-schedules the task ``backoff_base * 2**k``
+  seconds out, so a poison task cannot busy-spin the cluster; after
+  ``max_attempts`` requeues the campaign fails loudly instead of looping.
+* **At-least-once + exact dedup = exactly-once results.**  A slow worker
+  whose lease expired may still finish and submit; because every
+  experiment's seed is a pure function of its global index, that duplicate
+  part is provably bit-identical to the accepted one and is dropped by
+  index-set deduplication.  The merged campaign therefore equals a
+  sequential run exactly, regardless of how chaotically tasks were
+  re-leased.
+* **Durability.** Completed ranges flow into the PR-1 checkpoint layer
+  (:mod:`repro.campaign.checkpoint`): a killed coordinator restarted with
+  the same ``checkpoint_dir`` re-shards only the indices that never
+  completed.
+* **Observability.** Worker joins, leases, requeues and completions are
+  emitted through :mod:`repro.campaign.events`, so the JSONL log (and the
+  CLI's live progress line) shows per-worker throughput.
+"""
+
+from __future__ import annotations
+
+import heapq
+import socket
+import threading
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from repro.campaign.checkpoint import (
+    DEFAULT_CHECKPOINT_EVERY,
+    CampaignCheckpoint,
+    save_checkpoint,
+    try_load_checkpoint,
+)
+from repro.campaign.classify import Outcome
+from repro.campaign.events import EventLog
+from repro.campaign.io import merge_results, result_from_dict
+from repro.campaign.results import CampaignResult
+from repro.campaign.runner import matrix_checkpoint_path
+from repro.dist.protocol import (
+    PROTOCOL_VERSION,
+    CampaignSpec,
+    encode_indices,
+    recv_message,
+    send_message,
+)
+from repro.errors import CampaignError, DistError
+
+#: Lease lifetime without a heartbeat before a task is requeued.
+DEFAULT_LEASE_TIMEOUT = 60.0
+
+#: Requeues per task before the campaign fails instead of retrying.
+DEFAULT_MAX_ATTEMPTS = 5
+
+#: Default sharding granularity: aim for this many tasks per cell so a
+#: handful of workers still get several tasks each (stragglers re-lease
+#: cheaply) without per-task compile/profile overhead dominating.
+DEFAULT_TASKS_PER_CAMPAIGN = 32
+
+
+def backoff_delay(attempt: int, base: float = 0.5, cap: float = 30.0) -> float:
+    """Delay before a task's ``attempt``-th requeue becomes leasable."""
+    if attempt < 1:
+        return 0.0
+    return min(cap, base * (2.0 ** (attempt - 1)))
+
+
+def shard_indices(
+    remaining: list[int], chunk_size: int
+) -> list[tuple[int, ...]]:
+    """Partition outstanding experiment indices into index-range tasks."""
+    if chunk_size <= 0:
+        raise DistError("chunk_size must be positive")
+    return [
+        tuple(remaining[lo:lo + chunk_size])
+        for lo in range(0, len(remaining), chunk_size)
+    ]
+
+
+@dataclass
+class _Task:
+    """One leasable unit of work: an index range of one campaign cell."""
+
+    task_id: int
+    key: tuple[str, str]
+    indices: tuple[int, ...]
+    attempt: int = 0
+    not_before: float = 0.0
+    state: str = "pending"  # pending | leased | done
+    worker: str | None = None
+    deadline: float = 0.0
+
+
+@dataclass
+class _Cell:
+    """Mutable per-(workload, tool) campaign state."""
+
+    spec: CampaignSpec
+    ckpt_path: Path | None
+    completed: set[int] = field(default_factory=set)
+    prior: CampaignResult | None = None
+    prior_indices: tuple[int, ...] = ()
+    parts: dict[int, CampaignResult] = field(default_factory=dict)
+    since_checkpoint: int = 0
+    result: CampaignResult | None = None
+
+
+class Coordinator:
+    """Serve one or more campaign cells to ``refine-worker`` processes.
+
+    Typical use::
+
+        coord = Coordinator(specs, port=9100, checkpoint_dir="ckpt/")
+        host, port = coord.start()      # background accept thread
+        results = coord.wait()          # {(workload, tool): CampaignResult}
+        coord.stop()
+
+    or, equivalently, ``coord.run()``.  Results are bit-identical to
+    running each cell through the sequential :func:`repro.campaign.run_campaign`
+    with the same parameters, whatever the worker count or failure history.
+    """
+
+    def __init__(
+        self,
+        specs: CampaignSpec | list[CampaignSpec],
+        host: str = "127.0.0.1",
+        port: int = 0,
+        *,
+        chunk_size: int | None = None,
+        lease_timeout: float = DEFAULT_LEASE_TIMEOUT,
+        heartbeat_interval: float | None = None,
+        max_attempts: int = DEFAULT_MAX_ATTEMPTS,
+        backoff_base: float = 0.5,
+        backoff_cap: float = 30.0,
+        checkpoint_dir: str | Path | None = None,
+        checkpoint_every: int = DEFAULT_CHECKPOINT_EVERY,
+        events: EventLog | None = None,
+    ) -> None:
+        if isinstance(specs, CampaignSpec):
+            specs = [specs]
+        if not specs:
+            raise DistError("coordinator needs at least one campaign spec")
+        keys = [spec.key for spec in specs]
+        if len(set(keys)) != len(keys):
+            raise DistError("duplicate (workload, tool) campaign specs")
+        if lease_timeout <= 0:
+            raise DistError("lease_timeout must be positive")
+        if checkpoint_every <= 0:
+            raise DistError("checkpoint_every must be positive")
+        if max_attempts < 1:
+            raise DistError("max_attempts must be >= 1")
+        self._host = host
+        self._port = port
+        self._chunk_size = chunk_size
+        self._lease_timeout = lease_timeout
+        self._heartbeat_interval = (
+            heartbeat_interval
+            if heartbeat_interval is not None
+            else max(0.05, lease_timeout / 4.0)
+        )
+        self._max_attempts = max_attempts
+        self._backoff_base = backoff_base
+        self._backoff_cap = backoff_cap
+        self._checkpoint_every = checkpoint_every
+        self._events = events
+
+        self._lock = threading.Lock()
+        self._done_cv = threading.Condition(self._lock)
+        self._cells: dict[tuple[str, str], _Cell] = {}
+        self._tasks: dict[int, _Task] = {}
+        self._pending: list[tuple[float, int]] = []  # (not_before, task_id)
+        self._workers: dict[str, dict] = {}
+        self._worker_seq = 0
+        self._results: dict[tuple[str, str], CampaignResult] = {}
+        self._error: Exception | None = None
+        self._stopped = False
+        self._started = time.monotonic()
+
+        self._sock: socket.socket | None = None
+        self._accept_thread: threading.Thread | None = None
+        self._conns: set[socket.socket] = set()
+
+        next_task = 0
+        for spec in specs:
+            ckpt_path = None
+            if checkpoint_dir is not None:
+                ckpt_path = matrix_checkpoint_path(
+                    checkpoint_dir, spec.workload, spec.tool_name
+                )
+            cell = _Cell(spec=spec, ckpt_path=ckpt_path)
+            ckpt = try_load_checkpoint(ckpt_path)
+            if ckpt is not None:
+                ckpt.matches(
+                    spec.workload, spec.tool_name, spec.n, spec.base_seed,
+                    spec.keep_records,
+                )
+                cell.completed = set(ckpt.completed)
+                cell.prior = ckpt.partial
+                cell.prior_indices = tuple(sorted(cell.completed))
+            self._cells[spec.key] = cell
+            remaining = [i for i in range(spec.n) if i not in cell.completed]
+            size = chunk_size or max(
+                1, -(-spec.n // DEFAULT_TASKS_PER_CAMPAIGN)
+            )
+            for indices in shard_indices(remaining, size):
+                task = _Task(task_id=next_task, key=spec.key, indices=indices)
+                self._tasks[next_task] = task
+                heapq.heappush(self._pending, (0.0, next_task))
+                next_task += 1
+
+        self._total = sum(spec.n for spec in specs)
+
+    # ------------------------------------------------------------------ API
+
+    @property
+    def address(self) -> tuple[str, int]:
+        """The (host, port) the coordinator is listening on."""
+        if self._sock is None:
+            raise DistError("coordinator is not started")
+        return self._sock.getsockname()[:2]
+
+    def start(self) -> tuple[str, int]:
+        """Bind, listen and start serving in the background; returns the
+        bound (host, port) — pass ``port=0`` to pick a free port."""
+        self._sock = socket.create_server(
+            (self._host, self._port), reuse_port=False
+        )
+        self._sock.settimeout(0.2)
+        self._started = time.monotonic()
+        with self._lock:
+            self._emit(
+                "dist_start", cells=len(self._cells), total=self._total,
+                resumed=sum(len(c.completed) for c in self._cells.values()),
+                lease_timeout_s=self._lease_timeout,
+            )
+            for cell in self._cells.values():
+                spec = cell.spec
+                self._emit(
+                    "cell_start", workload=spec.workload, tool=spec.tool_name,
+                    n=spec.n, base_seed=spec.base_seed,
+                    resumed=len(cell.completed),
+                    resumed_counts={} if cell.prior is None else {
+                        o.value: k for o, k in cell.prior.counts.items()
+                    },
+                )
+                if len(cell.completed) == spec.n:
+                    # Resumed an already-finished cell: nothing to serve.
+                    if cell.prior is None:
+                        raise CampaignError(
+                            "checkpoint claims completion but holds no "
+                            "partial result"
+                        )
+                    self._finish_cell(cell)
+        self._accept_thread = threading.Thread(
+            target=self._accept_loop, name="refine-coordinator", daemon=True
+        )
+        self._accept_thread.start()
+        return self.address
+
+    def wait(
+        self, timeout: float | None = None
+    ) -> dict[tuple[str, str], CampaignResult]:
+        """Block until every cell completes; returns the result matrix.
+
+        Raises the campaign's fatal error if one occurred, or
+        :class:`DistError` on timeout / external :meth:`stop`.
+        """
+        with self._done_cv:
+            finished = self._done_cv.wait_for(
+                lambda: self._error is not None or self._stopped
+                or len(self._results) == len(self._cells),
+                timeout=timeout,
+            )
+            if self._error is not None:
+                raise self._error
+            if not finished:
+                raise DistError(f"campaign did not finish within {timeout}s")
+            if len(self._results) != len(self._cells):
+                raise DistError("coordinator stopped before completion")
+            return dict(self._results)
+
+    def run(
+        self, timeout: float | None = None
+    ) -> dict[tuple[str, str], CampaignResult]:
+        """``start()`` + ``wait()`` + ``stop()`` in one call."""
+        self.start()
+        try:
+            return self.wait(timeout)
+        finally:
+            self.stop()
+
+    def stop(self, drain_timeout: float = 5.0) -> None:
+        """Shut the server down, persisting every unfinished cell's
+        checkpoint so a restarted coordinator resumes where this one died."""
+        # After a clean finish, give connected workers a moment to collect
+        # their final ``done`` before the sockets vanish; an abort (error or
+        # unfinished campaign) cuts them off immediately instead.
+        with self._lock:
+            finished = (
+                self._error is None
+                and len(self._results) == len(self._cells)
+                and not self._stopped
+            )
+        if finished:
+            deadline = time.monotonic() + drain_timeout
+            while time.monotonic() < deadline:
+                with self._lock:
+                    if not self._conns:
+                        break
+                time.sleep(0.02)
+        with self._lock:
+            if self._stopped:
+                return
+            self._stopped = True
+            for cell in self._cells.values():
+                if cell.result is None and cell.ckpt_path is not None:
+                    self._save_cell(cell)
+            self._done_cv.notify_all()
+            conns = list(self._conns)
+        for conn in conns:
+            try:
+                conn.close()
+            except OSError:
+                pass
+        if self._sock is not None:
+            self._sock.close()
+        if self._accept_thread is not None:
+            self._accept_thread.join(timeout=5.0)
+
+    # ----------------------------------------------------------- internals
+
+    def _emit(self, event: str, **fields) -> None:
+        if self._events is not None:
+            self._events.emit(event, **fields)
+
+    def _fatal(self, exc: Exception) -> None:
+        if self._error is None:
+            self._error = exc
+        self._done_cv.notify_all()
+
+    def _accept_loop(self) -> None:
+        while not self._stopped:
+            try:
+                conn, _addr = self._sock.accept()
+            except socket.timeout:
+                continue
+            except OSError:
+                break
+            with self._lock:
+                if self._stopped:
+                    conn.close()
+                    break
+                self._conns.add(conn)
+            threading.Thread(
+                target=self._serve, args=(conn,), daemon=True
+            ).start()
+
+    def _serve(self, conn: socket.socket) -> None:
+        worker: str | None = None
+        try:
+            while True:
+                message = recv_message(conn)
+                if message is None:
+                    break
+                mtype = message["type"]
+                with self._lock:
+                    if mtype == "hello":
+                        worker, reply = self._handle_hello(message)
+                    elif worker is None:
+                        reply = {"type": "error",
+                                 "message": "expected hello first"}
+                    elif mtype == "request":
+                        reply = self._handle_request(worker)
+                    elif mtype == "heartbeat":
+                        reply = self._handle_heartbeat(worker)
+                    elif mtype == "result":
+                        reply = self._handle_result(worker, message)
+                    elif mtype == "task_failed":
+                        reply = self._handle_failed(worker, message)
+                    else:
+                        reply = {
+                            "type": "error",
+                            "message": f"unknown message type {mtype!r}",
+                        }
+                send_message(conn, reply)
+                if reply["type"] == "error":
+                    break
+        except DistError:
+            pass  # torn connection: treated as a worker death below
+        finally:
+            try:
+                conn.close()
+            except OSError:
+                pass
+            with self._lock:
+                self._conns.discard(conn)
+                if worker is not None:
+                    self._on_disconnect(worker)
+
+    def _handle_hello(self, message: dict) -> tuple[str, dict]:
+        requested = message.get("name")
+        self._worker_seq += 1
+        name = requested or f"worker-{self._worker_seq}"
+        if name in self._workers:
+            name = f"{name}-{self._worker_seq}"
+        self._workers[name] = {
+            "procs": int(message.get("procs", 1)), "tasks": set(),
+        }
+        self._emit(
+            "worker_join", worker=name, procs=self._workers[name]["procs"],
+        )
+        return name, {
+            "type": "welcome",
+            "version": PROTOCOL_VERSION,
+            "worker": name,
+            "heartbeat_s": self._heartbeat_interval,
+            "lease_timeout_s": self._lease_timeout,
+        }
+
+    def _handle_request(self, worker: str) -> dict:
+        if self._error is not None:
+            return {"type": "error", "message": str(self._error)}
+        now = time.monotonic()
+        self._sweep(now)
+        while self._pending:
+            not_before, task_id = self._pending[0]
+            task = self._tasks[task_id]
+            if task.state != "pending":
+                heapq.heappop(self._pending)  # stale entry (completed)
+                continue
+            if not_before > now:
+                break  # earliest backoff not yet elapsed
+            heapq.heappop(self._pending)
+            task.state = "leased"
+            task.worker = worker
+            task.deadline = now + self._lease_timeout
+            self._workers[worker]["tasks"].add(task_id)
+            spec = self._cells[task.key].spec
+            self._emit(
+                "lease", task=task_id, worker=worker, workload=spec.workload,
+                tool=spec.tool_name, size=len(task.indices),
+                attempt=task.attempt,
+            )
+            return {
+                "type": "lease",
+                "task_id": task_id,
+                "spec": spec.to_dict(),
+                "indices": encode_indices(task.indices),
+                "attempt": task.attempt,
+            }
+        if len(self._results) == len(self._cells):
+            return {"type": "done"}
+        # Nothing leasable now: tell the worker when to ask again (earliest
+        # backoff expiry or lease deadline, whichever might free work first).
+        horizons = [nb for nb, tid in self._pending
+                    if self._tasks[tid].state == "pending"]
+        horizons.extend(
+            t.deadline for t in self._tasks.values() if t.state == "leased"
+        )
+        delay = min(horizons) - now if horizons else self._heartbeat_interval
+        return {
+            "type": "wait",
+            "delay_s": max(0.05, min(delay, self._lease_timeout)),
+        }
+
+    def _handle_heartbeat(self, worker: str) -> dict:
+        now = time.monotonic()
+        info = self._workers.get(worker)
+        if info is not None:
+            for task_id in info["tasks"]:
+                self._tasks[task_id].deadline = now + self._lease_timeout
+        self._sweep(now)
+        return {"type": "ok"}
+
+    def _handle_result(self, worker: str, message: dict) -> dict:
+        task = self._tasks.get(message.get("task_id"))
+        if task is None:
+            return {"type": "error", "message": "result for unknown task"}
+        cell = self._cells[task.key]
+        self._release(task)
+        if task.state == "done":
+            # A slow worker finished a task someone else already completed.
+            # The duplicate is bit-identical by construction (seeds are pure
+            # functions of the global index) — acknowledge and drop it.
+            self._emit(
+                "task_done", task=task.task_id, worker=worker,
+                workload=cell.spec.workload, tool=cell.spec.tool_name,
+                size=len(task.indices), duplicate=True,
+                completed=len(cell.completed), n=cell.spec.n,
+            )
+            return {"type": "ok", "duplicate": True}
+        try:
+            part = result_from_dict(message["part"])
+        except (CampaignError, KeyError, TypeError, ValueError) as exc:
+            return {"type": "error", "message": f"malformed part: {exc}"}
+        problem = self._validate_part(cell, task, part, worker)
+        if problem is not None:
+            self._fatal(CampaignError(problem))
+            return {"type": "error", "message": problem}
+        task.state = "done"
+        cell.parts[task.task_id] = part
+        cell.completed.update(task.indices)
+        cell.since_checkpoint += len(task.indices)
+        self._emit(
+            "task_done", task=task.task_id, worker=worker,
+            workload=cell.spec.workload, tool=cell.spec.tool_name,
+            size=len(task.indices), duplicate=False, attempt=task.attempt,
+            completed=len(cell.completed), n=cell.spec.n,
+            completed_total=sum(
+                len(c.completed) for c in self._cells.values()
+            ),
+            total=self._total,
+            counts={o.value: part.frequency(o) for o in Outcome},
+        )
+        if (
+            cell.ckpt_path is not None
+            and cell.since_checkpoint >= self._checkpoint_every
+        ):
+            self._save_cell(cell)
+        if len(cell.completed) == cell.spec.n:
+            self._finish_cell(cell)
+        return {"type": "ok", "duplicate": False}
+
+    def _handle_failed(self, worker: str, message: dict) -> dict:
+        task = self._tasks.get(message.get("task_id"))
+        if task is None:
+            return {"type": "error", "message": "failure for unknown task"}
+        self._release(task)
+        if task.state != "done":
+            self._requeue(
+                task, reason="failed",
+                detail=str(message.get("error", ""))[:500],
+            )
+        return {"type": "ok"}
+
+    def _validate_part(
+        self, cell: _Cell, task: _Task, part: CampaignResult, worker: str
+    ) -> str | None:
+        """Sanity-check a submitted part; returns a problem description
+        (fatal: a worker disagreeing about the program is corruption)."""
+        spec = cell.spec
+        if (part.workload, part.tool) != (spec.workload, spec.tool_name):
+            return (
+                f"part for {(part.workload, part.tool)} submitted against "
+                f"cell {spec.key}"
+            )
+        if sum(part.counts.values()) != len(task.indices):
+            return (
+                f"part tallies {sum(part.counts.values())} experiments for "
+                f"a {len(task.indices)}-experiment task"
+            )
+        reference = cell.prior or next(iter(cell.parts.values()), None)
+        if reference is not None:
+            if part.golden_output != reference.golden_output:
+                return (
+                    f"worker {worker!r} disagrees about the golden "
+                    f"output of {spec.workload} — non-deterministic build?"
+                )
+            if part.total_candidates != reference.total_candidates:
+                return (
+                    f"worker {worker!r} sees {part.total_candidates} "
+                    f"fault candidates, coordinator has "
+                    f"{reference.total_candidates} — mismatched FIConfig?"
+                )
+        return None
+
+    def _release(self, task: _Task) -> None:
+        """Drop a task's lease bookkeeping (if any)."""
+        if task.worker is not None:
+            info = self._workers.get(task.worker)
+            if info is not None:
+                info["tasks"].discard(task.task_id)
+            task.worker = None
+
+    def _requeue(self, task: _Task, reason: str, detail: str = "") -> None:
+        task.attempt += 1
+        if task.attempt > self._max_attempts:
+            self._fatal(CampaignError(
+                f"task {task.task_id} ({task.key[0]}/{task.key[1]}, "
+                f"{len(task.indices)} experiments) failed {task.attempt} "
+                f"times (last: {reason}{': ' + detail if detail else ''})"
+            ))
+            return
+        worker = task.worker
+        self._release(task)
+        delay = backoff_delay(
+            task.attempt, self._backoff_base, self._backoff_cap
+        )
+        task.state = "pending"
+        task.not_before = time.monotonic() + delay
+        heapq.heappush(self._pending, (task.not_before, task.task_id))
+        self._emit(
+            "task_requeue", task=task.task_id, worker=worker, reason=reason,
+            attempt=task.attempt, delay_s=delay,
+        )
+
+    def _sweep(self, now: float) -> None:
+        """Requeue every leased task whose heartbeat deadline passed."""
+        for task in list(self._tasks.values()):
+            if task.state == "leased" and task.deadline < now:
+                self._requeue(task, reason="timeout")
+
+    def _on_disconnect(self, worker: str) -> None:
+        info = self._workers.pop(worker, None)
+        if info is None:
+            return
+        self._emit("worker_leave", worker=worker)
+        # A closed connection is a dead worker: requeue immediately rather
+        # than waiting out the heartbeat timeout.
+        for task_id in list(info["tasks"]):
+            task = self._tasks[task_id]
+            if task.state == "leased":
+                self._requeue(task, reason="disconnect")
+
+    def _merged(self, cell: _Cell) -> CampaignResult | None:
+        ordered: list[CampaignResult] = []
+        index_sets: list[tuple[int, ...]] = []
+        if cell.prior is not None:
+            ordered.append(cell.prior)
+            index_sets.append(cell.prior_indices)
+        for task_id in sorted(
+            cell.parts, key=lambda t: self._tasks[t].indices[0]
+        ):
+            ordered.append(cell.parts[task_id])
+            index_sets.append(self._tasks[task_id].indices)
+        if not ordered:
+            return None
+        merged = merge_results(ordered, indices=index_sets)
+        merged.n = cell.spec.n  # campaign size, not just what has finished
+        merged.records.sort(key=lambda rec: rec.index)
+        return merged
+
+    def _save_cell(self, cell: _Cell) -> None:
+        spec = cell.spec
+        save_checkpoint(
+            CampaignCheckpoint(
+                workload=spec.workload,
+                tool=spec.tool_name,
+                n=spec.n,
+                base_seed=spec.base_seed,
+                keep_records=spec.keep_records,
+                completed=set(cell.completed),
+                partial=self._merged(cell),
+            ),
+            cell.ckpt_path,
+        )
+        cell.since_checkpoint = 0
+        self._emit(
+            "checkpoint", path=str(cell.ckpt_path),
+            completed=len(cell.completed), n=spec.n,
+        )
+
+    def _finish_cell(self, cell: _Cell) -> None:
+        spec = cell.spec
+        cell.result = self._merged(cell)
+        self._results[spec.key] = cell.result
+        if cell.ckpt_path is not None:
+            self._save_cell(cell)
+        self._emit(
+            "cell_finish", workload=spec.workload, tool=spec.tool_name,
+            counts={o.value: cell.result.frequency(o) for o in Outcome},
+        )
+        if len(self._results) == len(self._cells):
+            wall = time.monotonic() - self._started
+            self._emit(
+                "dist_finish", cells=len(self._cells), total=self._total,
+                wall_s=wall,
+                experiments_per_sec=self._total / wall if wall > 0 else 0.0,
+            )
+            self._done_cv.notify_all()

@@ -1,0 +1,194 @@
+"""Campaign worker: lease tasks, run them, stream results back.
+
+A worker is stateless and disposable — it holds no campaign state beyond
+the task it is currently running, caches compiled tools per campaign spec
+(so consecutive slices of the same cell skip recompilation), and can be
+killed at any moment without corrupting the campaign: the coordinator's
+lease timeout requeues whatever it was holding.
+
+Slices execute through the exact machinery the single-host runners use
+(:func:`repro.campaign.runner.run_experiment` /
+:func:`repro.campaign.parallel.run_slice`), so a distributed campaign is
+bit-identical to a sequential one.  With ``procs > 1`` a worker fans each
+leased task out over a local process pool — the cluster topology the paper
+used: many nodes, each fully subscribed (Appendix A.4).
+"""
+
+from __future__ import annotations
+
+import time
+from concurrent.futures import (
+    FIRST_EXCEPTION,
+    Future,
+    ProcessPoolExecutor,
+    ThreadPoolExecutor,
+    TimeoutError as FutureTimeout,
+    wait as futures_wait,
+)
+from dataclasses import dataclass
+
+from repro.campaign.io import merge_results
+from repro.campaign.parallel import run_slice
+from repro.campaign.results import CampaignResult
+from repro.campaign.runner import _fresh_result, run_experiment
+from repro.dist.client import CoordinatorClient
+from repro.dist.protocol import CampaignSpec, decode_indices
+from repro.errors import DistError
+from repro.fi.config import FIConfig
+from repro.fi.tools import FITool, TOOL_CLASSES
+
+
+#: Upper bound on one idle-poll sleep, whatever delay the coordinator
+#: suggests: bounds how stale a worker's view of leasable work can get.
+_MAX_IDLE_POLL_S = 1.0
+
+
+@dataclass
+class WorkerStats:
+    """What one worker did over its lifetime, for logs and tests."""
+
+    name: str
+    tasks: int = 0
+    experiments: int = 0
+    duplicates: int = 0
+    failures: int = 0
+
+
+class Worker:
+    """Connect to a coordinator and run leased campaign slices until done.
+
+    ``procs > 1`` splits every leased task across a local process pool.
+    ``die_after=k`` is a test failpoint: the worker abruptly drops its
+    connection while holding its ``k+1``-th lease, simulating a crash.
+    """
+
+    def __init__(
+        self,
+        host: str,
+        port: int,
+        *,
+        procs: int = 1,
+        name: str | None = None,
+        die_after: int | None = None,
+    ) -> None:
+        if procs < 1:
+            raise DistError("procs must be >= 1")
+        self._client = CoordinatorClient(host, port, name=name, procs=procs)
+        self._procs = procs
+        self._die_after = die_after
+        self._tools: dict[CampaignSpec, FITool] = {}
+        self._pool: ProcessPoolExecutor | None = None
+
+    def run(self) -> WorkerStats:
+        """Work until the coordinator reports the campaign done.
+
+        Raises :class:`DistError` if the coordinator becomes unreachable or
+        rejects the worker (campaigns surviving *worker* loss is the
+        coordinator's job; a worker losing its coordinator just stops).
+        """
+        self._client.connect()
+        stats = WorkerStats(name=self._client.name)
+        # One slot: the leased task runs here while the protocol thread
+        # keeps heartbeating, so a long slice never looks like a dead worker.
+        runner = ThreadPoolExecutor(
+            max_workers=1, thread_name_prefix=f"{self._client.name}-slice"
+        )
+        try:
+            while True:
+                message = self._client.request_task()
+                if message["type"] == "done":
+                    return stats
+                if message["type"] == "wait":
+                    # The coordinator's delay_s is when new work *could*
+                    # appear (a lease deadline, a backoff expiry), but that
+                    # horizon moves — someone may crash, finish or submit
+                    # sooner.  Poll at least once a second so an idle worker
+                    # picks up requeued tasks (and the final done) promptly.
+                    time.sleep(min(message["delay_s"], _MAX_IDLE_POLL_S))
+                    continue
+                if self._die_after is not None and stats.tasks >= self._die_after:
+                    # Failpoint: vanish while holding the lease.
+                    self._client.close()
+                    return stats
+                spec = CampaignSpec.from_dict(message["spec"])
+                indices = decode_indices(message["indices"])
+                future = runner.submit(self._run_task, spec, indices)
+                part = self._await_heartbeating(future, message["task_id"])
+                if part is None:
+                    stats.failures += 1
+                    continue
+                ack = self._client.complete(message["task_id"], part)
+                stats.tasks += 1
+                stats.experiments += len(indices)
+                if ack.get("duplicate"):
+                    stats.duplicates += 1
+        finally:
+            runner.shutdown(wait=False, cancel_futures=True)
+            if self._pool is not None:
+                self._pool.shutdown(wait=False, cancel_futures=True)
+                self._pool = None
+            self._client.close()
+
+    def _await_heartbeating(
+        self, future: Future, task_id: int
+    ) -> CampaignResult | None:
+        """Block on the running slice, heartbeating the coordinator at its
+        requested cadence; ``None`` means the slice failed (and was
+        reported via ``task_failed`` so the coordinator requeues it)."""
+        while True:
+            try:
+                return future.result(timeout=self._client.heartbeat_s)
+            except FutureTimeout:
+                self._client.heartbeat()
+            except DistError:
+                raise
+            except Exception as exc:  # the slice itself raised
+                self._client.fail(task_id, f"{type(exc).__name__}: {exc}")
+                return None
+
+    def _run_task(
+        self, spec: CampaignSpec, indices: tuple[int, ...]
+    ) -> CampaignResult:
+        if self._procs > 1 and len(indices) > 1:
+            return self._run_task_pooled(spec, indices)
+        tool = self._tool_for(spec)
+        result = _fresh_result(tool, len(indices))
+        for i in indices:
+            result.add(
+                run_experiment(tool, spec.base_seed, i), spec.keep_records
+            )
+        return result
+
+    def _run_task_pooled(
+        self, spec: CampaignSpec, indices: tuple[int, ...]
+    ) -> CampaignResult:
+        """Split one task across the local process pool (``-j N``)."""
+        if self._pool is None:
+            self._pool = ProcessPoolExecutor(max_workers=self._procs)
+        step = max(1, -(-len(indices) // self._procs))
+        slices = [
+            indices[lo:lo + step] for lo in range(0, len(indices), step)
+        ]
+        futures = [
+            self._pool.submit(run_slice, spec.slice_task(sub, chunk=ci))
+            for ci, sub in enumerate(slices)
+        ]
+        futures_wait(futures, return_when=FIRST_EXCEPTION)
+        parts = [f.result() for f in futures]  # re-raises the first failure
+        merged = merge_results(parts, indices=slices)
+        merged.n = len(indices)
+        return merged
+
+    def _tool_for(self, spec: CampaignSpec) -> FITool:
+        tool = self._tools.get(spec)
+        if tool is None:
+            config = FIConfig(
+                enabled=spec.fi_enabled, funcs=spec.fi_funcs,
+                instrs=spec.fi_instrs,
+            )
+            tool = TOOL_CLASSES[spec.tool_name](
+                spec.source, spec.workload, config=config,
+                opt_level=spec.opt_level, opcode_faults=spec.opcode_faults,
+            )
+            self._tools[spec] = tool
+        return tool

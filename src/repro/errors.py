@@ -65,6 +65,11 @@ class WorkloadError(ReproError):
     """Unknown or misconfigured workload."""
 
 
+class DistError(ReproError):
+    """Distributed campaign service failure (wire protocol violation,
+    unreachable coordinator, or a worker/coordinator contract breach)."""
+
+
 class StatsError(ReproError):
     """Invalid statistical computation request."""
 

@@ -12,7 +12,7 @@ from __future__ import annotations
 from repro.ir.basicblock import BasicBlock
 from repro.ir.dominators import DominatorTree
 from repro.ir.function import Function
-from repro.ir.instructions import Alloca, Instruction, Load, Phi, Store
+from repro.ir.instructions import Alloca, Load, Phi, Store
 from repro.ir.values import ConstantFloat, ConstantInt, Value
 from repro.irpasses.base import FunctionPass
 

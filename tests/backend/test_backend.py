@@ -10,7 +10,6 @@ from repro.backend import (
     compile_minic,
     format_function,
     prepare_function,
-    select_function,
 )
 from repro.backend.compiler import CompileOptions
 from repro.backend.mir import FuncRef, Label, Mem, OPCODES, VReg

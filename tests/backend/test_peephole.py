@@ -1,6 +1,5 @@
 """Peephole optimizer tests."""
 
-import pytest
 
 from repro.backend import compile_minic, format_function
 from repro.backend.compiler import CompileOptions

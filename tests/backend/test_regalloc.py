@@ -9,7 +9,7 @@ from repro.backend.regalloc import (
     build_intervals,
     compute_liveness,
 )
-from repro.backend.target import CALLEE_SAVED_GPR, FPR, GPR
+from repro.backend.target import CALLEE_SAVED_GPR, GPR
 from repro.frontend import compile_source
 from repro.irpasses import optimize_module
 

@@ -294,3 +294,84 @@ class TestMatrixRecords:
             {"demo": DEMO_SOURCE}, ("REFINE",), n=10, base_seed=2, workers=2
         )
         assert par[("demo", "REFINE")].counts == seq[("demo", "REFINE")].counts
+
+
+class TestMergeDistributedParts:
+    """Merging with explicit index sets — the distributed coordinator's
+    aggregation path, where chunks arrive out of order, possibly twice."""
+
+    def _part(self, counts, candidates=99):
+        n = sum(counts.values())
+        return CampaignResult(
+            workload="demo", tool="REFINE", n=n,
+            counts={o: counts.get(o, 0) for o in Outcome},
+            total_cycles=float(10 * n), total_steps=42 * n,
+            golden_output=("1",), total_candidates=candidates,
+        )
+
+    def test_out_of_order_chunks_equal_sequential(self):
+        from repro.campaign.parallel import SliceTask, run_slice
+        from repro.campaign.runner import DEFAULT_SEED
+
+        tool = make_tool("REFINE", DEMO_SOURCE, "demo")
+        seq = run_campaign(tool, n=12, keep_records=True)
+        chunks = [tuple(range(8, 12)), tuple(range(0, 4)), tuple(range(4, 8))]
+        parts = [
+            run_slice(SliceTask(
+                tool_name="REFINE", source=DEMO_SOURCE, workload="demo",
+                opt_level="O2", fi_enabled=True, fi_funcs="*",
+                fi_instrs="all", base_seed=DEFAULT_SEED, indices=chunk,
+                keep_records=True, opcode_faults=0.0, chunk=ci,
+            ))
+            for ci, chunk in enumerate(chunks)
+        ]
+        merged = merge_results(parts, indices=chunks)
+        merged.records.sort(key=lambda rec: rec.index)
+        assert result_to_dict(merged) == result_to_dict(seq)
+
+    def test_duplicate_chunk_is_dropped(self):
+        p0 = self._part({Outcome.BENIGN: 2})
+        p1 = self._part({Outcome.CRASH: 1, Outcome.SOC: 1})
+        merged = merge_results(
+            [p0, p1, p0], indices=[(0, 1), (2, 3), (0, 1)]
+        )
+        assert merged.n == 4
+        assert merged.frequency(Outcome.BENIGN) == 2
+        assert merged.frequency(Outcome.CRASH) == 1
+        assert merged.total_steps == p0.total_steps + p1.total_steps
+
+    def test_duplicate_of_every_part_leaves_one_copy(self):
+        p0 = self._part({Outcome.BENIGN: 2})
+        merged = merge_results([p0, p0, p0], indices=[(0, 1)] * 3)
+        assert merged.n == 2
+        assert merged.frequency(Outcome.BENIGN) == 2
+
+    def test_partial_overlap_raises(self):
+        p0 = self._part({Outcome.BENIGN: 2})
+        p1 = self._part({Outcome.CRASH: 2})
+        with pytest.raises(CampaignError, match="partially overlap"):
+            merge_results([p0, p1], indices=[(0, 1), (1, 2)])
+
+    def test_part_index_tally_mismatch_raises(self):
+        p0 = self._part({Outcome.BENIGN: 2})
+        with pytest.raises(CampaignError, match="index set has 3"):
+            merge_results([p0], indices=[(0, 1, 2)])
+
+    def test_index_set_count_mismatch_raises(self):
+        p0 = self._part({Outcome.BENIGN: 2})
+        with pytest.raises(CampaignError, match="1 index sets"):
+            merge_results([p0, p0], indices=[(0, 1)])
+
+    def test_total_candidates_disagreement_raises(self):
+        p0 = self._part({Outcome.BENIGN: 2}, candidates=99)
+        p1 = self._part({Outcome.CRASH: 2}, candidates=42)
+        with pytest.raises(CampaignError, match="total_candidates disagree"):
+            merge_results([p0, p1], indices=[(0, 1), (2, 3)])
+
+    def test_without_indices_duplicates_are_not_detected(self):
+        # The legacy path has no index information: callers who merge the
+        # same part twice double-count, which is why the distributed
+        # coordinator always passes indices.
+        p0 = self._part({Outcome.BENIGN: 2})
+        merged = merge_results([p0, p0])
+        assert merged.n == 4

@@ -1,0 +1,161 @@
+"""Unit tests for the coordinator: sharding, backoff, validation and the
+raw protocol conversation (no experiments run here)."""
+
+import socket
+
+import pytest
+
+from repro.dist import (
+    CampaignSpec,
+    Coordinator,
+    PROTOCOL_VERSION,
+    backoff_delay,
+    parse_address,
+    recv_message,
+    send_message,
+    shard_indices,
+)
+from repro.errors import DistError
+
+from tests.conftest import DEMO_SOURCE
+
+
+def _spec(**overrides):
+    kwargs = dict(workload="demo", source=DEMO_SOURCE, tool_name="REFINE", n=8)
+    kwargs.update(overrides)
+    return CampaignSpec(**kwargs)
+
+
+class TestBackoff:
+    def test_no_delay_before_first_retry(self):
+        assert backoff_delay(0) == 0.0
+
+    def test_first_retry_is_base(self):
+        assert backoff_delay(1, base=0.5) == 0.5
+
+    def test_doubles_per_attempt(self):
+        assert backoff_delay(3, base=0.5) == 2.0
+
+    def test_capped(self):
+        assert backoff_delay(20, base=0.5, cap=30.0) == 30.0
+
+
+class TestSharding:
+    def test_even_split(self):
+        assert shard_indices(list(range(6)), 2) == [(0, 1), (2, 3), (4, 5)]
+
+    def test_ragged_tail(self):
+        assert shard_indices(list(range(5)), 2) == [(0, 1), (2, 3), (4,)]
+
+    def test_empty(self):
+        assert shard_indices([], 3) == []
+
+    def test_preserves_resume_gaps(self):
+        # A resumed cell shards only what is left, holes and all.
+        assert shard_indices([0, 3, 4, 9], 3) == [(0, 3, 4), (9,)]
+
+    def test_chunk_size_must_be_positive(self):
+        with pytest.raises(DistError, match="chunk_size"):
+            shard_indices([0, 1], 0)
+
+
+class TestParseAddress:
+    def test_host_port(self):
+        assert parse_address("10.0.0.1:9100") == ("10.0.0.1", 9100)
+
+    @pytest.mark.parametrize("bad", ["nope", "host:port", "host:", ":", ""])
+    def test_malformed_raises(self, bad):
+        with pytest.raises(DistError):
+            parse_address(bad)
+
+
+class TestCoordinatorValidation:
+    def test_needs_at_least_one_spec(self):
+        with pytest.raises(DistError, match="at least one"):
+            Coordinator([])
+
+    def test_rejects_duplicate_cells(self):
+        with pytest.raises(DistError, match="duplicate"):
+            Coordinator([_spec(), _spec()])
+
+    def test_rejects_bad_lease_timeout(self):
+        with pytest.raises(DistError, match="lease_timeout"):
+            Coordinator(_spec(), lease_timeout=0.0)
+
+    def test_rejects_bad_max_attempts(self):
+        with pytest.raises(DistError, match="max_attempts"):
+            Coordinator(_spec(), max_attempts=0)
+
+    def test_address_requires_start(self):
+        with pytest.raises(DistError, match="not started"):
+            Coordinator(_spec()).address
+
+
+class TestProtocolConversation:
+    """Drive a live coordinator with raw frames (no Worker helper)."""
+
+    @pytest.fixture
+    def coordinator(self):
+        coord = Coordinator(_spec(), port=0, chunk_size=4)
+        coord.start()
+        yield coord
+        coord.stop()
+
+    @pytest.fixture
+    def conn(self, coordinator):
+        sock = socket.create_connection(coordinator.address, timeout=5.0)
+        yield sock
+        sock.close()
+
+    def test_hello_gets_welcome(self, conn):
+        send_message(conn, {"type": "hello", "name": None, "procs": 2})
+        welcome = recv_message(conn)
+        assert welcome["type"] == "welcome"
+        assert welcome["version"] == PROTOCOL_VERSION
+        assert welcome["worker"] == "worker-1"
+        assert welcome["lease_timeout_s"] > 0
+        assert 0 < welcome["heartbeat_s"] < welcome["lease_timeout_s"]
+
+    def test_requested_name_is_honoured(self, conn):
+        send_message(conn, {"type": "hello", "name": "crunchy", "procs": 1})
+        assert recv_message(conn)["worker"] == "crunchy"
+
+    def test_request_before_hello_is_an_error(self, conn):
+        send_message(conn, {"type": "request"})
+        reply = recv_message(conn)
+        assert reply["type"] == "error"
+        assert "hello" in reply["message"]
+
+    def test_unknown_type_is_an_error(self, conn):
+        send_message(conn, {"type": "hello", "name": None, "procs": 1})
+        recv_message(conn)
+        send_message(conn, {"type": "frobnicate"})
+        reply = recv_message(conn)
+        assert reply["type"] == "error"
+        assert "frobnicate" in reply["message"]
+
+    def test_lease_carries_spec_and_indices(self, conn):
+        send_message(conn, {"type": "hello", "name": None, "procs": 1})
+        recv_message(conn)
+        send_message(conn, {"type": "request"})
+        lease = recv_message(conn)
+        assert lease["type"] == "lease"
+        assert lease["attempt"] == 0
+        spec = CampaignSpec.from_dict(lease["spec"])
+        assert spec.key == ("demo", "REFINE")
+        assert lease["indices"] == [[0, 4]]
+
+    def test_result_for_unknown_task_is_an_error(self, conn):
+        send_message(conn, {"type": "hello", "name": None, "procs": 1})
+        recv_message(conn)
+        send_message(conn, {"type": "result", "task_id": 999, "part": {}})
+        assert recv_message(conn)["type"] == "error"
+
+    def test_wait_timeout_raises(self, coordinator):
+        with pytest.raises(DistError, match="did not finish"):
+            coordinator.wait(timeout=0.1)
+
+    def test_wait_after_stop_reports_incomplete(self, coordinator):
+        coordinator.stop()
+        with pytest.raises(DistError, match="stopped before completion"):
+            coordinator.wait(timeout=1.0)

@@ -1,6 +1,5 @@
 """PINFI-specific behaviour: runtime candidate filtering and cycle model."""
 
-import pytest
 
 from repro.fi import FIConfig, PinfiTool, RefineTool
 

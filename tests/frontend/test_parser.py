@@ -14,7 +14,6 @@ from repro.frontend.ast import (
     ForStmt,
     IfStmt,
     IndexExpr,
-    IntLiteral,
     ReturnStmt,
     UnaryOp,
     VarRef,

@@ -1,6 +1,6 @@
 """Tests for the command-line entry points."""
 
-import json
+from pathlib import Path
 
 import pytest
 
@@ -122,3 +122,127 @@ class TestOptMain:
         assert opt_main([source_file, "--minic", "--llfi"]) == 0
         out = capsys.readouterr().out
         assert "__fi_inject" in out
+
+
+class TestVersionFlag:
+    @pytest.mark.parametrize(
+        "main,prog",
+        [
+            (campaign_main, "refine-campaign"),
+            (compile_main, "refine-compile"),
+            (report_main, "refine-report"),
+        ],
+    )
+    def test_version_exits_zero_and_prints(self, main, prog, capsys):
+        from repro import __version__
+
+        with pytest.raises(SystemExit) as excinfo:
+            main(["--version"])
+        assert excinfo.value.code == 0
+        assert capsys.readouterr().out.strip() == f"{prog} {__version__}"
+
+    def test_opt_and_worker_report_versions_too(self, capsys):
+        from repro import __version__
+        from repro.cli import opt_main, worker_main
+
+        for main, prog in (
+            (opt_main, "refine-opt"), (worker_main, "refine-worker")
+        ):
+            with pytest.raises(SystemExit) as excinfo:
+                main(["--version"])
+            assert excinfo.value.code == 0
+            assert capsys.readouterr().out.strip() == f"{prog} {__version__}"
+
+
+class TestExitCodes:
+    """Usage problems exit 2; campaign/run failures exit 1."""
+
+    def test_unknown_workload_is_usage_error(self, capsys):
+        assert campaign_main(["-w", "nope", "-n", "2"]) == 2
+        assert "unknown workload" in capsys.readouterr().err
+
+    def test_bad_sample_count_is_usage_error(self, capsys):
+        assert campaign_main(["-w", "CG", "-n", "0"]) == 2
+
+    def test_checkpoint_mismatch_is_campaign_failure(self, tmp_path, capsys):
+        ckpt = str(tmp_path / "ckpt")
+        assert campaign_main(
+            ["-w", "CG", "-t", "REFINE", "-n", "2", "-q",
+             "--checkpoint-dir", ckpt]
+        ) == 0
+        capsys.readouterr()
+        # Same checkpoint dir, different campaign size: refuses to resume.
+        assert campaign_main(
+            ["-w", "CG", "-t", "REFINE", "-n", "3", "-q",
+             "--checkpoint-dir", ckpt]
+        ) == 1
+        assert "error" in capsys.readouterr().err
+
+    def test_worker_bad_address_is_usage_error(self, capsys):
+        from repro.cli import worker_main
+
+        assert worker_main(["not-an-address"]) == 2
+        assert "HOST:PORT" in capsys.readouterr().err
+
+    def test_worker_bad_procs_is_usage_error(self, capsys):
+        from repro.cli import worker_main
+
+        assert worker_main(["127.0.0.1:9100", "-j", "0"]) == 2
+
+    def test_worker_unreachable_coordinator_fails(self, capsys):
+        import socket
+
+        from repro.cli import worker_main
+
+        probe = socket.socket()
+        probe.bind(("127.0.0.1", 0))
+        port = probe.getsockname()[1]
+        probe.close()
+        assert worker_main([f"127.0.0.1:{port}"]) == 1
+        assert "cannot reach coordinator" in capsys.readouterr().err
+
+
+class TestDistCLI:
+    def test_coordinator_and_worker_processes(self, tmp_path):
+        """Two-process --dist run: the CSV matches what the docs promise."""
+        import os
+        import re
+        import subprocess
+        import sys
+
+        import repro
+
+        env = dict(os.environ)
+        env["PYTHONPATH"] = str(Path(repro.__file__).parents[1])
+        coord = subprocess.Popen(
+            [sys.executable, "-c",
+             "import sys; from repro.cli import campaign_main; "
+             "sys.exit(campaign_main(sys.argv[1:]))",
+             "-w", "CG", "-t", "REFINE", "-n", "6",
+             "--dist", "127.0.0.1:0"],
+            stdout=subprocess.PIPE, stderr=subprocess.PIPE,
+            text=True, env=env,
+        )
+        try:
+            port = None
+            for line in coord.stderr:
+                match = re.search(r"listening on 127\.0\.0\.1:(\d+)", line)
+                if match:
+                    port = int(match.group(1))
+                    break
+            assert port is not None, "coordinator never announced its port"
+            worker = subprocess.run(
+                [sys.executable, "-c",
+                 "import sys; from repro.cli import worker_main; "
+                 "sys.exit(worker_main(sys.argv[1:]))",
+                 f"127.0.0.1:{port}"],
+                capture_output=True, text=True, env=env, timeout=300,
+            )
+            out, _err = coord.communicate(timeout=60)
+        finally:
+            coord.kill()
+        assert worker.returncode == 0, worker.stderr
+        assert "ran 6 experiments" in worker.stderr
+        assert coord.returncode == 0
+        assert "workload,tool" in out
+        assert re.search(r"^CG,REFINE,6,", out, re.MULTILINE)

@@ -4,7 +4,6 @@ Examples are the repository's user-facing documentation; they must never
 rot.  Each runs in-process with a reduced sample count.
 """
 
-import os
 import runpy
 import sys
 from pathlib import Path

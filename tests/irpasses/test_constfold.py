@@ -7,7 +7,6 @@ from hypothesis import given
 from hypothesis import strategies as st
 
 from repro.ir import (
-    BinaryOp,
     ConstantFloat,
     ConstantInt,
     FunctionType,

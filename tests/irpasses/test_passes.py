@@ -5,9 +5,7 @@ import pytest
 
 from repro.frontend import compile_source
 from repro.ir import (
-    Alloca,
     ConstantInt,
-    F64,
     FunctionType,
     I64,
     IRBuilder,
@@ -21,7 +19,6 @@ from repro.irpasses import (
     DeadCodeElim,
     InstCombine,
     LoopInvariantCodeMotion,
-    PassManager,
     PromoteMemToReg,
     SimplifyCFG,
     build_pipeline,

@@ -1,12 +1,11 @@
 """CPU interpreter tests: arithmetic semantics, FLAGS, traps, memory."""
 
-import math
 
 import pytest
 
 from repro.backend import compile_minic
 from repro.backend.compiler import CompileOptions
-from repro.machine import CPU, execute, load_binary
+from repro.machine import CPU, load_binary
 
 from tests.conftest import run_minic
 

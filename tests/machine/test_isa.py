@@ -16,7 +16,7 @@ from repro.backend.mir import (
     PReg,
 )
 from repro.ir.types import ArrayType, F64, I64
-from repro.machine import CPU, execute, load_binary
+from repro.machine import execute, load_binary
 
 
 def build_binary(instrs, globals_=()):

@@ -1,6 +1,5 @@
 """Statistics tests: sample sizing, intervals, chi-squared (vs scipy)."""
 
-import math
 
 import pytest
 import scipy.stats as scipy_stats

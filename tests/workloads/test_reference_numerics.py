@@ -9,7 +9,6 @@ numerics of the whole stack on real kernels, not just unit semantics.
 
 import math
 
-import pytest
 
 from repro.workloads import get_workload
 
