@@ -396,7 +396,9 @@ class InstructionSelector:
             # ucomisd sets ZF|PF|CF on unordered; plain sete/setne would
             # report NaN == NaN as true.  Emit the standard sequence:
             #   oeq: sete t; setnp u; and t, u
-            #   one: setne t; setp u; or t, u
+            #   one: setne t; setnp u; and t, u
+            # (both are *ordered* predicates, so both AND with "no parity";
+            # setne OR setp would compute une instead — true on NaN.)
             self.emit("fcmp", self.reg_of(cmp.operands[0]),
                       self.reg_of(cmp.operands[1]))
             dst = self._vreg_for(cmp, GPR)
@@ -407,8 +409,8 @@ class InstructionSelector:
                 self.emit("and", dst, parity)
             else:
                 self.emit("setcc", dst, cc="ne")
-                self.emit("setcc", parity, cc="p")
-                self.emit("or", dst, parity)
+                self.emit("setcc", parity, cc="np")
+                self.emit("and", dst, parity)
             return
         cc = self._emit_compare(cmp)
         dst = self._vreg_for(cmp, GPR)

@@ -28,8 +28,20 @@ def split_critical_edges(fn: Function) -> bool:
             term = pred.terminator
             if term is None or len(pred.successors()) < 2:
                 continue
-            # Critical edge pred -> block: split it.
-            mid = fn.add_block(fn.next_name(f"{pred.name}.split"), before=block)
+            # Critical edge pred -> block: split it.  The new block receives
+            # phi copies reading values defined in `pred`, and isel consumes
+            # fn.blocks in list order expecting defs before uses — so it must
+            # sit right after `pred`, not before `block` (for a backedge,
+            # `block` precedes `pred` and the copies would be selected first).
+            pred_pos = fn.blocks.index(pred)
+            after_pred = (
+                fn.blocks[pred_pos + 1]
+                if pred_pos + 1 < len(fn.blocks)
+                else None
+            )
+            mid = fn.add_block(
+                fn.next_name(f"{pred.name}.split"), before=after_pred
+            )
             mid.append(Branch(block))
             assert isinstance(term, CondBranch)
             term.replace_successor(block, mid)
@@ -57,8 +69,13 @@ def _lower_one_select(fn: Function, sel: Select) -> None:
     assert block is not None
     idx = block.instructions.index(sel)
 
-    # Split the block at the select.
-    tail = fn.add_block(fn.next_name("sel.end"))
+    # Split the block at the select.  The tail must stay adjacent to the
+    # block it was split from: isel walks fn.blocks in list order and relies
+    # on defs preceding cross-block uses, so appending the tail at the end
+    # of the list would select users of the moved instructions first.
+    pos = fn.blocks.index(block)
+    successor = fn.blocks[pos + 1] if pos + 1 < len(fn.blocks) else None
+    tail = fn.add_block(fn.next_name("sel.end"), before=successor)
     moved = block.instructions[idx + 1 :]
     del block.instructions[idx + 1 :]
     for instr in moved:

@@ -9,6 +9,8 @@
 * ``refine-worker`` — connect to a ``--dist`` coordinator and run leased
   campaign slices.
 * ``refine-report`` — render the paper's figures/tables from a campaign.
+* ``refine-fuzz`` — differential fuzzing of the compiler and the
+  zero-interference property (see :mod:`repro.testing`).
 
 Exit codes: 0 success, 1 campaign/run failure, 2 usage error.
 """
@@ -445,6 +447,108 @@ def opt_main(argv: list[str] | None = None) -> int:
         verify_module(module)
     print(format_module(module), end="")
     return 0
+
+
+def fuzz_main(argv: list[str] | None = None) -> int:
+    """``refine-fuzz``: differential fuzzing of the compiler pipeline."""
+    from repro.testing import GenConfig, ORACLES, run_fuzz
+    from repro.testing.fuzz import DEFAULT_ARTIFACTS_DIR
+    from repro.testing.oracles import check_workload_zero_interference
+    from repro.workloads import workload_names
+
+    parser = argparse.ArgumentParser(
+        prog="refine-fuzz",
+        description="Generate random IR programs and cross-check the "
+        "reference interpreter, the O0/O2 pipelines, and REFINE's "
+        "zero-interference property on each.  Failures are written to the "
+        "artifacts directory with a delta-debugged minimal repro and a "
+        "one-line replay command.",
+    )
+    _add_version(parser)
+    parser.add_argument("--seed", type=int, default=1,
+                        help="campaign base seed; program i is derived from "
+                        "(seed, i), so any failure replays with --start i")
+    parser.add_argument("--count", type=int, default=100,
+                        help="number of programs to generate")
+    parser.add_argument("--start", type=int, default=0,
+                        help="first program index (for replaying a failure)")
+    parser.add_argument("--max-insts", type=int,
+                        default=GenConfig.max_insts,
+                        help="approximate instruction budget per program")
+    parser.add_argument("--oracle", action="append", default=None,
+                        choices=sorted(ORACLES),
+                        help="oracle(s) to run (repeatable; default: all)")
+    parser.add_argument("--artifacts", default=DEFAULT_ARTIFACTS_DIR,
+                        help="directory for failure artifacts")
+    parser.add_argument("--no-reduce", action="store_true",
+                        help="skip delta-debugging failing modules")
+    parser.add_argument("--check-workloads", action="store_true",
+                        help="also run the zero-interference oracle on "
+                        "every registered MiniC workload")
+    parser.add_argument("-q", "--quiet", action="store_true")
+    args = parser.parse_args(argv)
+    if args.count < 0 or args.start < 0:
+        print("refine-fuzz: error: --count/--start must be >= 0",
+              file=sys.stderr)
+        return 2
+    if args.max_insts < 1:
+        print("refine-fuzz: error: --max-insts must be >= 1", file=sys.stderr)
+        return 2
+
+    oracles = tuple(args.oracle) if args.oracle else tuple(sorted(ORACLES))
+    config = (
+        None
+        if args.max_insts == GenConfig.max_insts
+        else GenConfig(max_insts=args.max_insts)
+    )
+
+    failed = False
+    if args.check_workloads:
+        for name in workload_names():
+            divergence = check_workload_zero_interference(name)
+            if divergence is None:
+                if not args.quiet:
+                    print(f"# zero-interference {name}: OK", file=sys.stderr)
+            else:
+                failed = True
+                print(f"refine-fuzz: zero-interference FAILED for {name}:",
+                      file=sys.stderr)
+                print(divergence.describe(), file=sys.stderr)
+
+    def progress(i, stats):
+        if not args.quiet and (i + 1 - args.start) % 50 == 0:
+            print(
+                f"# {i + 1 - args.start}/{args.count} programs, "
+                f"{len(stats.failures)} failure(s)",
+                file=sys.stderr, flush=True,
+            )
+
+    try:
+        stats = run_fuzz(
+            base_seed=args.seed,
+            count=args.count,
+            start=args.start,
+            oracles=oracles,
+            config=config,
+            artifacts_dir=args.artifacts,
+            reduce=not args.no_reduce,
+            progress=progress,
+        )
+    except ReproError as exc:
+        print(f"refine-fuzz: error: {exc}", file=sys.stderr)
+        return 2
+    if not args.quiet:
+        print(f"# {stats.summary()}", file=sys.stderr)
+    for failure in stats.failures:
+        print(f"refine-fuzz: FAILURE at index {failure.index} "
+              f"[{failure.oracle}]: {failure.detail}", file=sys.stderr)
+        if failure.reduced_path:
+            print(f"  reduced repro ({failure.reduced_instructions} "
+                  f"instructions): {failure.reduced_path}", file=sys.stderr)
+        elif failure.module_path:
+            print(f"  module: {failure.module_path}", file=sys.stderr)
+        print(f"  replay: {failure.repro}", file=sys.stderr)
+    return 0 if stats.ok and not failed else 1
 
 
 if __name__ == "__main__":  # pragma: no cover

@@ -7,6 +7,7 @@ instruction population than backend/binary-level injection.
 
 from repro.ir.basicblock import BasicBlock
 from repro.ir.builder import IRBuilder
+from repro.ir.clone import clone_module
 from repro.ir.dominators import DominatorTree
 from repro.ir.function import Function
 from repro.ir.instructions import (
@@ -74,6 +75,7 @@ __all__ = [
     "Select",
     "Store",
     "Module",
+    "clone_module",
     "parse_module",
     "parse_type",
     "format_function",

@@ -1,0 +1,22 @@
+"""Deep-copying IR modules.
+
+Compilation mutates a module in place (optimization passes, pre-isel
+lowering), so any consumer that needs to compile the *same* program twice —
+differential oracles, pass-pipeline comparisons, reducers — must work on
+independent copies.  The printer/parser pair already round-trips modules
+structurally, so cloning is defined as exactly that round trip; it is also
+a continuous self-test of the text format.
+"""
+
+from __future__ import annotations
+
+from repro.ir.module import Module
+from repro.ir.parser import parse_module
+from repro.ir.printer import format_module
+
+
+def clone_module(module: Module) -> Module:
+    """Return a structurally identical, fully independent copy of ``module``."""
+    clone = parse_module(format_module(module))
+    clone.name = module.name
+    return clone

@@ -157,6 +157,16 @@ class PromoteMemToReg(FunctionPass):
                 if id(pred) not in have:
                     phi.add_incoming(default, pred)
 
+        # The renaming walk only visits the dominator tree, so accesses in
+        # unreachable blocks survive it; rewrite them here (a load from a
+        # slot that no reachable store reaches sees the default value) or
+        # erasing the alloca below would fail on the leftover uses.
+        for user in list(alloca.users):
+            if user.parent is not None and not dt.reachable(user.parent):
+                if isinstance(user, Load):
+                    user.replace_all_uses_with(default)
+                user.erase()
+
         # Dead phis (no loads reached them) are left for DCE to clean up.
         alloca.erase()
 

@@ -4,6 +4,12 @@ Each intrinsic follows the sx64 ABI: integer args in rdi/rsi/..., float args
 in xmm0/xmm1, results in rax/xmm0.  Math functions implement IEEE behaviour
 (domain errors produce NaN/inf rather than Python exceptions) because fault
 injection routinely feeds them garbage.
+
+The numeric behaviour itself lives in :data:`PURE_MATH` /
+:func:`call_math` so the reference IR interpreter
+(:mod:`repro.testing.interp`) evaluates intrinsic calls through exactly the
+same code path as the machine — the differential oracles rely on the two
+execution engines sharing one libm.
 """
 
 from __future__ import annotations
@@ -14,27 +20,32 @@ from typing import Callable
 from repro.machine.registers import RAX_IDX, RDI_IDX, RSI_IDX, XMM0_IDX, XMM1_IDX
 
 
-def _unary_math(fn: Callable[[float], float]):
+def call_math(name: str, *args: float) -> float:
+    """Evaluate a math intrinsic by name with IEEE error behaviour."""
+    fn = PURE_MATH[name]
+    try:
+        return fn(*args)
+    except (ValueError, OverflowError, ZeroDivisionError):
+        return math.nan
+
+
+def format_double(value: float) -> str:
+    """The ``print_double`` output format (6-significant-digit scientific)."""
+    return f"{value:.6e}"
+
+
+def _unary_math(name: str):
     def impl(cpu) -> None:
-        x = cpu.fregs[XMM0_IDX]
-        try:
-            result = fn(x)
-        except (ValueError, OverflowError):
-            result = math.nan
-        cpu.fregs[XMM0_IDX] = result
+        cpu.fregs[XMM0_IDX] = call_math(name, cpu.fregs[XMM0_IDX])
 
     return impl
 
 
-def _binary_math(fn: Callable[[float, float], float]):
+def _binary_math(name: str):
     def impl(cpu) -> None:
-        x = cpu.fregs[XMM0_IDX]
-        y = cpu.fregs[XMM1_IDX]
-        try:
-            result = fn(x, y)
-        except (ValueError, OverflowError, ZeroDivisionError):
-            result = math.nan
-        cpu.fregs[XMM0_IDX] = result
+        cpu.fregs[XMM0_IDX] = call_math(
+            name, cpu.fregs[XMM0_IDX], cpu.fregs[XMM1_IDX]
+        )
 
     return impl
 
@@ -104,6 +115,21 @@ def _safe_fmod(x: float, y: float) -> float:
         return math.nan
 
 
+#: Pure evaluation functions for the math intrinsics (shared with the
+#: reference IR interpreter via :func:`call_math`).
+PURE_MATH: dict[str, Callable[..., float]] = {
+    "sqrt": _safe_sqrt,
+    "fabs": abs,
+    "exp": _safe_exp,
+    "log": _safe_log,
+    "sin": _safe_trig(math.sin),
+    "cos": _safe_trig(math.cos),
+    "floor": _safe_floor,
+    "pow": _safe_pow,
+    "fmod": _safe_fmod,
+}
+
+
 def _print_int(cpu) -> None:
     cpu.output.append(str(cpu.iregs[RDI_IDX]))
 
@@ -112,8 +138,7 @@ def _print_double(cpu) -> None:
     # Fixed 6-significant-digit scientific format, the way HPC mini-apps
     # print residuals/energies.  Perturbations below the printed precision
     # are therefore *benign* — an important real-world masking effect.
-    value = cpu.fregs[XMM0_IDX]
-    cpu.output.append(f"{value:.6e}")
+    cpu.output.append(format_double(cpu.fregs[XMM0_IDX]))
 
 
 def _llfi_inject_i64(cpu) -> None:
@@ -161,18 +186,17 @@ class IntrinsicTable:
             raise LinkError(f"unknown intrinsic @{name}") from None
 
 
+#: Binary (two-argument) math intrinsics; the rest of PURE_MATH is unary.
+BINARY_MATH = frozenset({"pow", "fmod"})
+
 INTRINSIC_TABLE = IntrinsicTable()
 INTRINSIC_TABLE.register("print_int", _print_int)
 INTRINSIC_TABLE.register("print_double", _print_double)
-INTRINSIC_TABLE.register("sqrt", _unary_math(_safe_sqrt))
-INTRINSIC_TABLE.register("fabs", _unary_math(abs))
-INTRINSIC_TABLE.register("exp", _unary_math(_safe_exp))
-INTRINSIC_TABLE.register("log", _unary_math(_safe_log))
-INTRINSIC_TABLE.register("sin", _unary_math(_safe_trig(math.sin)))
-INTRINSIC_TABLE.register("cos", _unary_math(_safe_trig(math.cos)))
-INTRINSIC_TABLE.register("floor", _unary_math(_safe_floor))
-INTRINSIC_TABLE.register("pow", _binary_math(_safe_pow))
-INTRINSIC_TABLE.register("fmod", _binary_math(_safe_fmod))
+for _name in PURE_MATH:
+    INTRINSIC_TABLE.register(
+        _name,
+        _binary_math(_name) if _name in BINARY_MATH else _unary_math(_name),
+    )
 INTRINSIC_TABLE.register("__fi_inject_i64", _llfi_inject_i64)
 INTRINSIC_TABLE.register("__fi_inject_f64", _llfi_inject_f64)
 INTRINSIC_TABLE.register("__fi_inject_i1", _llfi_inject_i1)

@@ -1,0 +1,175 @@
+"""Differential fuzzing campaign driver (the engine behind ``refine-fuzz``).
+
+Programs are derived deterministically: program ``i`` of a campaign with
+base seed ``S`` is generated from ``derive_seed(S, "refine-fuzz", i)``, so
+any failure is replayable forever with::
+
+    refine-fuzz --seed S --start i --count 1 --oracle <name>
+
+On a failure the driver writes the offending module, a delta-debugged
+minimal repro, and the divergence report into the artifacts directory, and
+records that one-line repro command.  A compiler crash (any
+:class:`~repro.errors.ReproError` escaping an oracle) is treated as a
+failure of that oracle, not as a fuzzer error.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Callable, Sequence
+
+from repro.errors import ReproError
+from repro.ir import format_module, parse_module, verify_module
+from repro.testing.generator import GenConfig, generate_module
+from repro.testing.oracles import ORACLES, Divergence, Oracle
+from repro.testing.reduce import count_instructions, reduce_ir
+from repro.utils.rng import derive_seed
+
+#: Default location for failure artifacts (gitignored).
+DEFAULT_ARTIFACTS_DIR = "fuzz-artifacts"
+
+
+@dataclass
+class FuzzFailure:
+    """One diverging (or crashing) program, with its replay coordinates."""
+
+    index: int
+    seed: int
+    oracle: str
+    detail: str
+    repro: str
+    module_path: str | None = None
+    reduced_path: str | None = None
+    reduced_instructions: int | None = None
+
+
+@dataclass
+class FuzzStats:
+    """Aggregate result of one fuzzing campaign."""
+
+    base_seed: int
+    programs: int = 0
+    checks: int = 0
+    failures: list[FuzzFailure] = field(default_factory=list)
+    elapsed: float = 0.0
+
+    @property
+    def ok(self) -> bool:
+        return not self.failures
+
+    def summary(self) -> str:
+        status = "OK" if self.ok else f"{len(self.failures)} FAILURES"
+        return (
+            f"fuzz: {self.programs} programs x {self.checks // max(self.programs, 1)}"
+            f" oracle(s), seed {self.base_seed}: {status}"
+            f" ({self.elapsed:.1f}s)"
+        )
+
+
+def _oracle_verdict(oracle: Oracle, text: str) -> Divergence | None:
+    """Run one oracle on IR text; compiler crashes count as divergences."""
+    try:
+        module = parse_module(text)
+        return oracle.check(module)
+    except ReproError as exc:
+        return Divergence(
+            oracle=oracle.name,
+            detail=f"compiler crashed: {type(exc).__name__}: {exc}",
+        )
+
+
+def run_fuzz(
+    base_seed: int = 1,
+    count: int = 100,
+    start: int = 0,
+    oracles: Sequence[str] = ("interp", "pipeline", "zero"),
+    config: GenConfig | None = None,
+    artifacts_dir: str | Path = DEFAULT_ARTIFACTS_DIR,
+    reduce: bool = True,
+    progress: Callable[[int, "FuzzStats"], None] | None = None,
+) -> FuzzStats:
+    """Fuzz ``count`` programs through the named oracles.
+
+    Returns a :class:`FuzzStats`; campaign passes iff ``stats.ok``.
+    """
+    selected = []
+    for name in oracles:
+        if name not in ORACLES:
+            raise ReproError(
+                f"unknown oracle {name!r} (have: {', '.join(sorted(ORACLES))})"
+            )
+        selected.append(ORACLES[name])
+
+    stats = FuzzStats(base_seed=base_seed)
+    began = time.monotonic()
+    for i in range(start, start + count):
+        seed = derive_seed(base_seed, "refine-fuzz", i)
+        module = generate_module(seed, config)
+        verify_module(module)
+        text = format_module(module)
+        stats.programs += 1
+        for oracle in selected:
+            stats.checks += 1
+            divergence = _oracle_verdict(oracle, text)
+            if divergence is None:
+                continue
+            failure = _record_failure(
+                base_seed, i, seed, oracle, divergence, text,
+                Path(artifacts_dir), reduce, config,
+            )
+            stats.failures.append(failure)
+        if progress is not None:
+            progress(i, stats)
+    stats.elapsed = time.monotonic() - began
+    return stats
+
+
+def _record_failure(
+    base_seed: int,
+    index: int,
+    seed: int,
+    oracle: Oracle,
+    divergence: Divergence,
+    text: str,
+    artifacts_dir: Path,
+    reduce: bool,
+    config: GenConfig | None,
+) -> FuzzFailure:
+    repro = f"refine-fuzz --seed {base_seed} --start {index} --count 1 --oracle {oracle.name}"
+    if config is not None and config.max_insts != GenConfig.max_insts:
+        repro += f" --max-insts {config.max_insts}"
+    failure = FuzzFailure(
+        index=index,
+        seed=seed,
+        oracle=oracle.name,
+        detail=divergence.detail,
+        repro=repro,
+    )
+
+    artifacts_dir.mkdir(parents=True, exist_ok=True)
+    stem = f"{oracle.name}-seed{base_seed}-{index}"
+    module_path = artifacts_dir / f"{stem}.ir"
+    module_path.write_text(text)
+    failure.module_path = str(module_path)
+
+    reduced_text = text
+    if reduce:
+        try:
+            reduced_text = reduce_ir(
+                text, lambda t: _oracle_verdict(oracle, t) is not None
+            )
+        except ReproError:
+            reduced_text = text
+        reduced_path = artifacts_dir / f"{stem}.reduced.ir"
+        reduced_path.write_text(reduced_text)
+        failure.reduced_path = str(reduced_path)
+        failure.reduced_instructions = count_instructions(reduced_text)
+
+    report_path = artifacts_dir / f"{stem}.txt"
+    final = _oracle_verdict(oracle, reduced_text) or divergence
+    report_path.write_text(
+        f"{final.describe()}\n\nreplay: {repro}\n"
+    )
+    return failure

@@ -1,0 +1,447 @@
+"""Seeded random generator of well-typed IR programs.
+
+Programs are built directly on the IR API (not via MiniC) so the fuzzer can
+reach shapes the frontend never emits: phi-carried loop accumulators, deep
+``select`` chains, mixed int/float expression trees, helper calls, global
+arrays.  Every module verifies, terminates, and is *trap-free by
+construction*:
+
+* divisors are forced odd-and-small (``(x & 7) | 1``) so ``sdiv``/``srem``
+  can neither divide by zero nor overflow on ``INT64_MIN / -1``;
+* shift counts are masked to 6 bits;
+* array indices are masked to ``len - 1`` (lengths are powers of two), so
+  every access is in bounds — required because the reference interpreter
+  bounds-checks per object while the machine has flat memory;
+* loops have constant trip counts, helpers never recurse, and ``main``
+  always returns 0.
+
+Crash behaviour is therefore tested by the interpreter's own unit tests,
+while the differential oracles compare rich printed output.  Determinism:
+the only entropy source is :class:`repro.utils.rng.SplitMix64`, so one seed
+is one program, forever.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.ir import (
+    ArrayType,
+    F64,
+    FunctionType,
+    I64,
+    IRBuilder,
+    Module,
+    VOID,
+)
+from repro.ir.function import Function
+from repro.ir.values import ConstantFloat, ConstantInt, Value
+from repro.machine.intrinsics import BINARY_MATH, PURE_MATH
+from repro.utils.bits import to_signed64
+from repro.utils.rng import SplitMix64
+
+
+@dataclass
+class GenConfig:
+    """Size/shape knobs for one generated program."""
+
+    #: approximate instruction budget for @main's statement section
+    max_insts: int = 120
+    #: helper functions defined before @main (0 disables calls)
+    helpers: int = 2
+    num_int_vars: int = 3
+    num_float_vars: int = 2
+    #: array length; must be a power of two (indices are masked to len-1)
+    arr_len: int = 8
+    max_expr_depth: int = 3
+    #: nesting depth of if/loop statements
+    max_stmt_depth: int = 2
+    #: loop trip counts are drawn from [1, max_trip]
+    max_trip: int = 6
+
+
+_FLOAT_LEAVES = (0.0, 1.0, -1.0, 0.5, 2.0, -0.25, 3.141592653589793, 10.0)
+
+_INT_BINOPS = ("add", "sub", "mul", "and", "or", "xor", "sdiv", "srem", "shl", "ashr")
+_FLOAT_BINOPS = ("fadd", "fsub", "fmul", "fdiv")
+_ICMP_PREDS = ("eq", "ne", "slt", "sle", "sgt", "sge")
+_FCMP_PREDS = ("oeq", "one", "olt", "ole", "ogt", "oge")
+
+
+class _Scope:
+    """SSA values (loop phis, arguments) usable as expression leaves."""
+
+    def __init__(self) -> None:
+        self.ints: list[Value] = []
+        self.floats: list[Value] = []
+
+    def snapshot(self) -> tuple[int, int]:
+        return len(self.ints), len(self.floats)
+
+    def restore(self, mark: tuple[int, int]) -> None:
+        del self.ints[mark[0]:]
+        del self.floats[mark[1]:]
+
+
+class _Gen:
+    def __init__(self, seed: int, config: GenConfig) -> None:
+        self.rng = SplitMix64(seed)
+        self.cfg = config
+        self.module = Module(f"fuzz_{seed & 0xFFFFFFFFFFFFFFFF:016x}")
+        self.b = IRBuilder()
+        self.scope = _Scope()
+        self.helpers: list[Function] = []
+        self._declare_intrinsics()
+        self._make_globals()
+
+    # -- randomness helpers ----------------------------------------------------
+
+    def pick(self, seq):
+        return seq[self.rng.randrange(len(seq))]
+
+    def chance(self, num: int, den: int) -> bool:
+        return self.rng.randrange(den) < num
+
+    # -- module scaffolding ----------------------------------------------------
+
+    def _declare_intrinsics(self) -> None:
+        m = self.module
+        self.print_int = m.declare_function("print_int", FunctionType(VOID, [I64]))
+        self.print_double = m.declare_function(
+            "print_double", FunctionType(VOID, [F64])
+        )
+        self.math_fns: list[Function] = []
+        for name in PURE_MATH:
+            arity = 2 if name in BINARY_MATH else 1
+            self.math_fns.append(
+                m.declare_function(name, FunctionType(F64, [F64] * arity))
+            )
+
+    def _make_globals(self) -> None:
+        n = self.cfg.arr_len
+        self.g_int = self.module.add_global(
+            "gi", I64, to_signed64(self.rng.next_u64() >> 40)
+        )
+        self.g_flt = self.module.add_global("gf", F64, self.pick(_FLOAT_LEAVES))
+        self.g_iarr = self.module.add_global(
+            "giarr",
+            ArrayType(I64, n),
+            [self.rng.randrange(100) - 50 for _ in range(n)],
+        )
+        self.g_farr = self.module.add_global(
+            "gfarr",
+            ArrayType(F64, n),
+            [self.pick(_FLOAT_LEAVES) for _ in range(n)],
+        )
+
+    # -- expressions -----------------------------------------------------------
+
+    def int_const(self) -> Value:
+        r = self.rng.randrange(8)
+        if r < 5:
+            value = self.rng.randrange(17) - 8
+        elif r < 7:
+            value = self.rng.randrange(1 << 16) - (1 << 15)
+        else:
+            value = to_signed64(self.rng.next_u64())
+        return ConstantInt(value)
+
+    def int_leaf(self) -> Value:
+        choices = ["const", "global", "garr"]
+        if self.int_ptrs:
+            choices += ["var", "var"]
+        if self.scope.ints:
+            choices += ["ssa", "ssa"]
+        kind = self.pick(choices)
+        if kind == "const":
+            return self.int_const()
+        if kind == "global":
+            return self.b.load(self.g_int)
+        if kind == "garr":
+            return self._load_indexed(self.g_iarr, self.int_const())
+        if kind == "var":
+            return self.b.load(self.pick(self.int_ptrs))
+        return self.pick(self.scope.ints)
+
+    def float_leaf(self) -> Value:
+        choices = ["const", "global", "garr"]
+        if self.float_ptrs:
+            choices += ["var", "var"]
+        if self.scope.floats:
+            choices += ["ssa", "ssa"]
+        kind = self.pick(choices)
+        if kind == "const":
+            return ConstantFloat(self.pick(_FLOAT_LEAVES))
+        if kind == "global":
+            return self.b.load(self.g_flt)
+        if kind == "garr":
+            return self._load_indexed(self.g_farr, self.int_const())
+        if kind == "var":
+            return self.b.load(self.pick(self.float_ptrs))
+        return self.pick(self.scope.floats)
+
+    def _load_indexed(self, arr: Value, index: Value) -> Value:
+        masked = self.b.binop("and", index, ConstantInt(self.cfg.arr_len - 1))
+        return self.b.load(self.b.gep(arr, masked))
+
+    def _safe_divisor(self, depth: int) -> Value:
+        """``(x & 7) | 1`` — always in {1,3,5,7}: no trap, no overflow."""
+        raw = self.int_expr(depth - 1)
+        return self.b.binop("or", self.b.binop("and", raw, ConstantInt(7)), ConstantInt(1))
+
+    def int_expr(self, depth: int) -> Value:
+        if depth <= 0 or self.chance(1, 4):
+            return self.int_leaf()
+        kind = self.rng.randrange(10)
+        if kind < 6:
+            op = self.pick(_INT_BINOPS)
+            lhs = self.int_expr(depth - 1)
+            if op in ("sdiv", "srem"):
+                rhs: Value = self._safe_divisor(depth)
+            elif op in ("shl", "ashr"):
+                rhs = self.b.binop("and", self.int_expr(depth - 1), ConstantInt(63))
+            else:
+                rhs = self.int_expr(depth - 1)
+            return self.b.binop(op, lhs, rhs)
+        if kind < 7:
+            return self.b.select(
+                self.bool_expr(depth - 1),
+                self.int_expr(depth - 1),
+                self.int_expr(depth - 1),
+            )
+        if kind < 8:
+            return self.b.cast("zext", self.bool_expr(depth - 1))
+        if kind < 9:
+            return self.b.cast("fptosi", self.float_expr(depth - 1))
+        helper = self._pick_helper(I64)
+        if helper is not None:
+            return self._call_helper(helper, depth)
+        return self.int_leaf()
+
+    def float_expr(self, depth: int) -> Value:
+        if depth <= 0 or self.chance(1, 4):
+            return self.float_leaf()
+        kind = self.rng.randrange(10)
+        if kind < 5:
+            return self.b.binop(
+                self.pick(_FLOAT_BINOPS),
+                self.float_expr(depth - 1),
+                self.float_expr(depth - 1),
+            )
+        if kind < 7:
+            fn = self.pick(self.math_fns)
+            args = [self.float_expr(depth - 1) for _ in fn.type.params]
+            return self.b.call(fn, args)
+        if kind < 8:
+            return self.b.cast("sitofp", self.int_expr(depth - 1))
+        if kind < 9:
+            return self.b.select(
+                self.bool_expr(depth - 1),
+                self.float_expr(depth - 1),
+                self.float_expr(depth - 1),
+            )
+        helper = self._pick_helper(F64)
+        if helper is not None:
+            return self._call_helper(helper, depth)
+        return self.float_leaf()
+
+    def bool_expr(self, depth: int) -> Value:
+        if self.chance(1, 3):
+            return self.b.fcmp(
+                self.pick(_FCMP_PREDS),
+                self.float_expr(depth - 1),
+                self.float_expr(depth - 1),
+            )
+        return self.b.icmp(
+            self.pick(_ICMP_PREDS), self.int_expr(depth - 1), self.int_expr(depth - 1)
+        )
+
+    # -- helper calls ----------------------------------------------------------
+
+    def _pick_helper(self, ret_type) -> Function | None:
+        matches = [f for f in self.helpers if f.return_type == ret_type]
+        return self.pick(matches) if matches else None
+
+    def _call_helper(self, helper: Function, depth: int) -> Value:
+        args = [
+            self.int_expr(depth - 1) if p == I64 else self.float_expr(depth - 1)
+            for p in helper.type.params
+        ]
+        return self.b.call(helper, args)
+
+    # -- statements ------------------------------------------------------------
+
+    def statement(self, depth: int) -> None:
+        kind = self.rng.randrange(12)
+        d = self.cfg.max_expr_depth
+        if kind < 3 and self.int_ptrs:
+            self.b.store(self.int_expr(d), self.pick(self.int_ptrs))
+        elif kind < 5 and self.float_ptrs:
+            self.b.store(self.float_expr(d), self.pick(self.float_ptrs))
+        elif kind < 6:
+            arr = self.pick([self.g_iarr, self.g_farr])
+            masked = self.b.binop(
+                "and", self.int_expr(d - 1), ConstantInt(self.cfg.arr_len - 1)
+            )
+            ptr = self.b.gep(arr, masked)
+            value = self.int_expr(d) if arr is self.g_iarr else self.float_expr(d)
+            self.b.store(value, ptr)
+        elif kind < 7:
+            self.b.call(self.print_int, [self.int_expr(d)])
+        elif kind < 8:
+            self.b.call(self.print_double, [self.float_expr(d)])
+        elif kind < 10 and depth > 0:
+            self._if_statement(depth)
+        elif depth > 0:
+            self._loop_statement(depth)
+        else:
+            self.b.store(self.int_expr(d), self.pick(self.int_ptrs))
+
+    def _if_statement(self, depth: int) -> None:
+        fn = self.b.function
+        cond = self.bool_expr(self.cfg.max_expr_depth - 1)
+        then_bb = fn.add_block()
+        else_bb = fn.add_block() if self.chance(1, 2) else None
+        join_bb = fn.add_block()
+        # NB: empty BasicBlocks are falsy, so `else_bb or join_bb` would
+        # silently orphan a just-created else block.
+        self.b.cond_br(cond, then_bb, join_bb if else_bb is None else else_bb)
+        self.b.set_block(then_bb)
+        for _ in range(1 + self.rng.randrange(2)):
+            self.statement(depth - 1)
+        self.b.br(join_bb)
+        if else_bb is not None:
+            self.b.set_block(else_bb)
+            for _ in range(1 + self.rng.randrange(2)):
+                self.statement(depth - 1)
+            self.b.br(join_bb)
+        self.b.set_block(join_bb)
+
+    def _loop_statement(self, depth: int) -> None:
+        """A counted loop with a phi induction variable and phi accumulator.
+
+        ::
+
+            pre:    br header
+            header: i   = phi [0, pre], [i.next, latch]
+                    acc = phi [init, pre], [acc.next, latch]
+                    condbr (icmp slt i, trip), body, exit
+            body:   <statements>        ; may contain nested ifs/loops
+                    br latch
+            latch:  acc.next = acc <op> <expr>
+                    i.next   = add i, 1
+                    br header
+            exit:   sink(acc)
+        """
+        fn = self.b.function
+        trip = 1 + self.rng.randrange(self.cfg.max_trip)
+        init = self.float_leaf()
+        header = fn.add_block()
+        body = fn.add_block()
+        latch = fn.add_block()
+        exit_bb = fn.add_block()
+        pre = self.b.block
+        self.b.br(header)
+
+        self.b.set_block(header)
+        ivar = self.b.phi(I64, "i")
+        acc = self.b.phi(F64, "acc")
+        cond = self.b.icmp("slt", ivar, ConstantInt(trip))
+        self.b.cond_br(cond, body, exit_bb)
+
+        mark = self.scope.snapshot()
+        self.scope.ints.append(ivar)
+        self.scope.floats.append(acc)
+
+        self.b.set_block(body)
+        for _ in range(1 + self.rng.randrange(2)):
+            self.statement(depth - 1)
+        self.b.br(latch)
+
+        self.b.set_block(latch)
+        step = self.float_expr(self.cfg.max_expr_depth - 1)
+        acc_next = self.b.binop(self.pick(("fadd", "fsub", "fmul")), acc, step)
+        i_next = self.b.binop("add", ivar, ConstantInt(1))
+        self.b.br(header)
+
+        ivar.add_incoming(ConstantInt(0), pre)
+        ivar.add_incoming(i_next, latch)
+        acc.add_incoming(init, pre)
+        acc.add_incoming(acc_next, latch)
+
+        self.scope.restore(mark)
+        self.b.set_block(exit_bb)
+        # The accumulator's final value (defined in header, which dominates
+        # exit) feeds either output or a variable — loops are never dead.
+        if self.chance(1, 2) or not self.float_ptrs:
+            self.b.call(self.print_double, [acc])
+        else:
+            self.b.store(acc, self.pick(self.float_ptrs))
+
+    # -- functions ------------------------------------------------------------
+
+    def _gen_helper(self, index: int) -> Function:
+        n_int = 1 + self.rng.randrange(2)
+        n_flt = self.rng.randrange(2)
+        params = [I64] * n_int + [F64] * n_flt
+        ret = self.pick((I64, F64))
+        fn = self.module.add_function(f"helper{index}", FunctionType(ret, params))
+        self.b.set_block(fn.add_block("entry"))
+        self.int_ptrs: list[Value] = []
+        self.float_ptrs: list[Value] = []
+        mark = self.scope.snapshot()
+        for arg in fn.args:
+            (self.scope.ints if arg.type == I64 else self.scope.floats).append(arg)
+        if ret == I64:
+            self.b.ret(self.int_expr(self.cfg.max_expr_depth))
+        else:
+            self.b.ret(self.float_expr(self.cfg.max_expr_depth))
+        self.scope.restore(mark)
+        return fn
+
+    def _gen_main(self) -> None:
+        cfg = self.cfg
+        fn = self.module.add_function("main", FunctionType(I64, []))
+        self.b.set_block(fn.add_block("entry"))
+        self.int_ptrs = [
+            self.b.alloca(I64, f"iv{i}") for i in range(cfg.num_int_vars)
+        ]
+        self.float_ptrs = [
+            self.b.alloca(F64, f"fv{i}") for i in range(cfg.num_float_vars)
+        ]
+        for ptr in self.int_ptrs:
+            self.b.store(self.int_const(), ptr)
+        for ptr in self.float_ptrs:
+            self.b.store(ConstantFloat(self.pick(_FLOAT_LEAVES)), ptr)
+
+        while sum(len(b.instructions) for b in fn.blocks) < cfg.max_insts:
+            self.statement(cfg.max_stmt_depth)
+
+        # Epilogue: print every variable and both global arrays so silent
+        # corruption anywhere becomes an output difference.
+        for ptr in self.int_ptrs:
+            self.b.call(self.print_int, [self.b.load(ptr)])
+        for ptr in self.float_ptrs:
+            self.b.call(self.print_double, [self.b.load(ptr)])
+        self.b.call(self.print_int, [self.b.load(self.g_int)])
+        self.b.call(self.print_double, [self.b.load(self.g_flt)])
+        for i in range(cfg.arr_len):
+            self.b.call(
+                self.print_int, [self.b.load(self.b.gep(self.g_iarr, ConstantInt(i)))]
+            )
+            self.b.call(
+                self.print_double,
+                [self.b.load(self.b.gep(self.g_farr, ConstantInt(i)))],
+            )
+        self.b.ret(ConstantInt(0))
+
+    def generate(self) -> Module:
+        for i in range(self.cfg.helpers):
+            self.helpers.append(self._gen_helper(i))
+        self._gen_main()
+        return self.module
+
+
+def generate_module(seed: int, config: GenConfig | None = None) -> Module:
+    """Generate a deterministic, verifying, trap-free IR module from a seed."""
+    return _Gen(seed, config or GenConfig()).generate()

@@ -1,0 +1,410 @@
+"""Reference IR interpreter: executes ``repro.ir`` modules directly.
+
+This is the harness's independent semantics oracle — it shares *no* code
+with instruction selection, register allocation, frame lowering or the
+peephole pass, so a bug anywhere in the backend shows up as a divergence
+between the interpreter and the compiled binary.
+
+What it does share, deliberately:
+
+* **libm** — intrinsic calls evaluate through
+  :func:`repro.machine.intrinsics.call_math`, the same pure functions the
+  machine's intrinsic handlers use, so ``sqrt``/``pow``/... cannot diverge;
+* **scalar semantics** — i64 arithmetic wraps two's-complement, ``sdiv`` /
+  ``srem`` truncate toward zero and trap on division by zero and
+  ``INT64_MIN / -1`` (:class:`~repro.errors.DivideByZero`), shifts mask
+  their count to 6 bits, ``fdiv`` by zero produces ±inf/NaN, and ``fptosi``
+  saturates NaN/inf/out-of-range to ``INT64_MIN`` — all matching
+  :mod:`repro.machine.cpu` instruction for instruction.
+
+Memory is modelled as typed buffers (one per alloca/global), not a flat
+byte array: loads and stores are bounds-checked per object, so an
+out-of-bounds access traps as a segfault here even when the flat-memory
+machine would silently hit a neighbouring object.  Differential oracles
+therefore require in-bounds programs, which the generator guarantees.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+from repro.errors import (
+    DivideByZero,
+    ExecutionTimeout,
+    MachineTrap,
+    ReproError,
+    SegmentationFault,
+    StackOverflow,
+)
+from repro.ir.function import Function
+from repro.ir.instructions import (
+    Alloca,
+    BinaryOp,
+    Branch,
+    Call,
+    Cast,
+    CondBranch,
+    FCmp,
+    GetElementPtr,
+    ICmp,
+    Load,
+    Phi,
+    Ret,
+    Select,
+    Store,
+)
+from repro.ir.module import Module
+from repro.ir.types import ArrayType
+from repro.ir.values import (
+    Argument,
+    ConstantFloat,
+    ConstantInt,
+    GlobalVariable,
+    Value,
+)
+from repro.machine.intrinsics import BINARY_MATH, PURE_MATH, call_math, format_double
+from repro.utils.bits import INT64_MIN, to_signed64
+
+
+class InterpError(ReproError):
+    """The interpreter met IR it cannot execute (not a program trap)."""
+
+
+#: Default dynamic-instruction budget (well above any generated program).
+DEFAULT_BUDGET = 10_000_000
+
+#: Maximum call depth before the interpreter raises a stack-overflow trap
+#: (the machine bounds the stack by memory size; the bound differs, but
+#: generated programs stay far below both).
+MAX_CALL_DEPTH = 256
+
+
+@dataclass
+class InterpResult:
+    """Observable outcome of one interpreted execution.
+
+    Mirrors the fields of :class:`repro.machine.cpu.ExecutionResult` that
+    the oracles compare (``steps`` counts IR instructions, not machine
+    instructions, so it is *not* comparable across engines).
+    """
+
+    exit_code: int = 0
+    output: list[str] = field(default_factory=list)
+    steps: int = 0
+    trap: str | None = None
+
+    @property
+    def crashed(self) -> bool:
+        return self.trap is not None or self.exit_code != 0
+
+
+class _Buffer:
+    """One memory object (alloca or global): a list of typed cells."""
+
+    __slots__ = ("cells", "is_float")
+
+    def __init__(self, count: int, is_float: bool, init=None) -> None:
+        if init is None:
+            self.cells = [0.0] * count if is_float else [0] * count
+        else:
+            self.cells = (
+                [float(v) for v in init] if is_float else [int(v) for v in init]
+            )
+        self.is_float = is_float
+
+
+class _Ptr:
+    """A pointer value: a buffer plus an element offset."""
+
+    __slots__ = ("buf", "off")
+
+    def __init__(self, buf: _Buffer, off: int) -> None:
+        self.buf = buf
+        self.off = off
+
+
+class Interpreter:
+    """One execution context over an IR module."""
+
+    def __init__(self, module: Module, budget: int = DEFAULT_BUDGET) -> None:
+        self.module = module
+        self.budget = budget
+        self.steps = 0
+        self.output: list[str] = []
+        self.globals: dict[str, _Buffer] = {}
+        for gv in module.globals.values():
+            self.globals[gv.name] = _alloc_buffer(gv.value_type, gv.initializer)
+
+    # -- entry point ---------------------------------------------------------
+
+    def run(self, entry: str = "main") -> InterpResult:
+        result = InterpResult()
+        try:
+            ret = self._call(self.module.get_function(entry), [], depth=0)
+            result.exit_code = int(ret) if ret is not None else 0
+        except MachineTrap as trap:
+            result.trap = trap.kind
+        result.output = self.output
+        result.steps = self.steps
+        return result
+
+    # -- function execution ----------------------------------------------------
+
+    def _call(self, fn: Function, args: list, depth: int):
+        if depth >= MAX_CALL_DEPTH:
+            raise StackOverflow(f"call depth {depth} in @{fn.name}")
+        if fn.is_declaration:
+            return self._intrinsic(fn, args)
+
+        env: dict[int, object] = {}
+        for formal, actual in zip(fn.args, args):
+            env[id(formal)] = actual
+
+        block = fn.entry
+        prev = None
+        while True:
+            # Phi nodes read their inputs simultaneously on block entry.
+            phis = []
+            for instr in block.instructions:
+                if not isinstance(instr, Phi):
+                    break
+                phis.append((instr, self._value(instr.incoming_for(prev), env)))
+            for phi, value in phis:
+                env[id(phi)] = value
+                self._tick(phi)
+
+            for instr in block.instructions[len(phis):]:
+                self._tick(instr)
+                if isinstance(instr, Ret):
+                    if instr.value is None:
+                        return None
+                    return self._value(instr.value, env)
+                if isinstance(instr, Branch):
+                    prev, block = block, instr.target
+                    break
+                if isinstance(instr, CondBranch):
+                    cond = self._value(instr.cond, env)
+                    prev = block
+                    block = instr.if_true if cond else instr.if_false
+                    break
+                env[id(instr)] = self._eval(instr, env, depth)
+            else:
+                raise InterpError(f"block {block.name} fell through")
+
+    def _tick(self, instr) -> None:
+        self.steps += 1
+        if self.steps > self.budget:
+            raise ExecutionTimeout(f"budget {self.budget} exhausted")
+
+    # -- values ------------------------------------------------------------
+
+    def _value(self, value: Value, env: dict):
+        if isinstance(value, ConstantInt):
+            return value.value
+        if isinstance(value, ConstantFloat):
+            return value.value
+        if isinstance(value, GlobalVariable):
+            return _Ptr(self.globals[value.name], 0)
+        if isinstance(value, (Argument,)) or id(value) in env:
+            try:
+                return env[id(value)]
+            except KeyError:
+                raise InterpError(f"read of undefined value {value.ref()}") from None
+        raise InterpError(f"cannot evaluate operand {value!r}")
+
+    # -- instruction evaluation ------------------------------------------------
+
+    def _eval(self, instr, env: dict, depth: int):
+        if isinstance(instr, BinaryOp):
+            a = self._value(instr.lhs, env)
+            b = self._value(instr.rhs, env)
+            return _eval_binop(instr.opcode, a, b)
+        if isinstance(instr, ICmp):
+            a = self._value(instr.lhs, env)
+            b = self._value(instr.rhs, env)
+            return _eval_icmp(instr.pred, a, b)
+        if isinstance(instr, FCmp):
+            a = self._value(instr.lhs, env)
+            b = self._value(instr.rhs, env)
+            return _eval_fcmp(instr.pred, a, b)
+        if isinstance(instr, Select):
+            cond, if_true, if_false = instr.operands
+            return (
+                self._value(if_true, env)
+                if self._value(cond, env)
+                else self._value(if_false, env)
+            )
+        if isinstance(instr, Cast):
+            return _eval_cast(instr.opcode, self._value(instr.operands[0], env))
+        if isinstance(instr, Alloca):
+            return _Ptr(_alloc_buffer(instr.allocated_type), 0)
+        if isinstance(instr, Load):
+            ptr = self._value(instr.ptr, env)
+            return self._deref(ptr).cells[ptr.off]
+        if isinstance(instr, Store):
+            value = self._value(instr.value, env)
+            ptr = self._value(instr.ptr, env)
+            self._deref(ptr).cells[ptr.off] = value
+            return None
+        if isinstance(instr, GetElementPtr):
+            ptr = self._value(instr.ptr, env)
+            index = self._value(instr.index, env)
+            if not isinstance(ptr, _Ptr):
+                raise InterpError(f"gep through non-pointer {ptr!r}")
+            base = 0 if _is_array_ptr(instr.ptr) else ptr.off
+            return _Ptr(ptr.buf, base + index)
+        if isinstance(instr, Call):
+            args = [self._value(a, env) for a in instr.args]
+            return self._call(instr.callee, args, depth + 1)
+        raise InterpError(f"cannot interpret opcode {instr.opcode!r}")
+
+    def _deref(self, ptr) -> _Buffer:
+        if not isinstance(ptr, _Ptr):
+            raise InterpError(f"memory access through non-pointer {ptr!r}")
+        if not 0 <= ptr.off < len(ptr.buf.cells):
+            raise SegmentationFault(
+                f"access at element {ptr.off} of {len(ptr.buf.cells)}-element object"
+            )
+        return ptr.buf
+
+    # -- intrinsics ------------------------------------------------------------
+
+    def _intrinsic(self, fn: Function, args: list):
+        name = fn.name
+        if name == "print_int":
+            self.output.append(str(int(args[0])))
+            return None
+        if name == "print_double":
+            self.output.append(format_double(args[0]))
+            return None
+        if name in PURE_MATH:
+            if name in BINARY_MATH:
+                return call_math(name, args[0], args[1])
+            return call_math(name, args[0])
+        if name.startswith("__fi_inject"):
+            # LLFI stubs with no armed fault are identity functions.
+            return args[-1]
+        raise InterpError(f"unknown intrinsic @{name}")
+
+
+# -- scalar semantics (must match repro.machine.cpu) --------------------------
+
+
+def _eval_binop(opcode: str, a, b):
+    if opcode == "add":
+        return to_signed64(a + b)
+    if opcode == "sub":
+        return to_signed64(a - b)
+    if opcode == "mul":
+        return to_signed64(a * b)
+    if opcode == "sdiv":
+        if b == 0 or (a == INT64_MIN and b == -1):
+            return _div_trap(a, "sdiv", b)
+        q = abs(a) // abs(b)
+        return -q if (a < 0) != (b < 0) else q
+    if opcode == "srem":
+        if b == 0 or (a == INT64_MIN and b == -1):
+            return _div_trap(a, "srem", b)
+        r = abs(a) % abs(b)
+        return -r if a < 0 else r
+    if opcode == "and":
+        return a & b
+    if opcode == "or":
+        return a | b
+    if opcode == "xor":
+        return a ^ b
+    if opcode == "shl":
+        return to_signed64(a << (b & 63))
+    if opcode == "ashr":
+        return a >> (b & 63)
+    if opcode == "fadd":
+        return a + b
+    if opcode == "fsub":
+        return a - b
+    if opcode == "fmul":
+        return a * b
+    if opcode == "fdiv":
+        if b == 0.0:
+            if a == 0.0 or a != a:
+                return math.nan
+            return math.copysign(math.inf, a) * math.copysign(1.0, b)
+        return a / b
+    raise InterpError(f"unknown binop {opcode!r}")
+
+
+def _div_trap(a, op, b):
+    raise DivideByZero(f"{a} {op} {b}")
+
+
+_ICMP = {
+    "eq": lambda a, b: a == b,
+    "ne": lambda a, b: a != b,
+    "slt": lambda a, b: a < b,
+    "sle": lambda a, b: a <= b,
+    "sgt": lambda a, b: a > b,
+    "sge": lambda a, b: a >= b,
+}
+
+
+def _eval_icmp(pred: str, a, b) -> int:
+    if isinstance(a, _Ptr) or isinstance(b, _Ptr):
+        a = _ptr_key(a)
+        b = _ptr_key(b)
+    return 1 if _ICMP[pred](a, b) else 0
+
+
+def _ptr_key(p):
+    return (id(p.buf), p.off) if isinstance(p, _Ptr) else p
+
+
+def _eval_fcmp(pred: str, a: float, b: float) -> int:
+    if math.isnan(a) or math.isnan(b):
+        return 0  # ordered predicates are false on NaN
+    if pred == "oeq":
+        return 1 if a == b else 0
+    if pred == "one":
+        return 1 if a != b else 0
+    if pred == "olt":
+        return 1 if a < b else 0
+    if pred == "ole":
+        return 1 if a <= b else 0
+    if pred == "ogt":
+        return 1 if a > b else 0
+    if pred == "oge":
+        return 1 if a >= b else 0
+    raise InterpError(f"unknown fcmp predicate {pred!r}")
+
+
+def _eval_cast(opcode: str, value):
+    if opcode == "sitofp":
+        return float(value)
+    if opcode == "fptosi":
+        # cvttsd2si semantics: NaN/inf/out-of-range saturate to INT64_MIN.
+        if value != value or value in (math.inf, -math.inf):
+            return INT64_MIN
+        truncated = math.trunc(value)
+        if not INT64_MIN <= truncated < -INT64_MIN:
+            return INT64_MIN
+        return truncated
+    if opcode == "zext":
+        return int(value)
+    raise InterpError(f"unknown cast {opcode!r}")
+
+
+def _alloc_buffer(type_, init=None) -> _Buffer:
+    if isinstance(type_, ArrayType):
+        return _Buffer(type_.count, type_.element.is_float(), init)
+    return _Buffer(1, type_.is_float(), None if init is None else [init])
+
+
+def _is_array_ptr(ptr_value: Value) -> bool:
+    pointee = ptr_value.type.pointee  # type: ignore[attr-defined]
+    return isinstance(pointee, ArrayType)
+
+
+def interpret(
+    module: Module, entry: str = "main", budget: int = DEFAULT_BUDGET
+) -> InterpResult:
+    """Execute ``module`` from ``entry`` and return the observable outcome."""
+    return Interpreter(module, budget).run(entry)

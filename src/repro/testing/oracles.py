@@ -1,0 +1,295 @@
+"""Differential oracles for the fuzzing harness.
+
+Each oracle takes one IR module and answers "do two independent ways of
+executing this program agree?":
+
+* :class:`InterpOracle` — the reference interpreter vs the fully compiled
+  binary.  Catches bugs anywhere in the pipeline (passes, isel, regalloc,
+  frame lowering, peephole, CPU).
+* :class:`PipelineOracle` — the O0 binary vs the full O2 pass pipeline.
+  Catches miscompiles introduced by the optimizer specifically.
+* :class:`ZeroInterferenceOracle` — REFINE's core instrumentation claim
+  (paper Section 3): a binary instrumented with ``fi_check`` hooks but with
+  *no fault armed* must produce output **and** a dynamic-instruction trace
+  identical to the uninstrumented golden run, modulo the hooks themselves.
+
+Modules are cloned before every compile because :func:`compile_ir` mutates
+its input (pass pipeline + pre-isel lowering).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.backend.compiler import CompileOptions, compile_ir
+from repro.fi.config import FIConfig
+from repro.fi.refine import refine_instrument
+from repro.ir import Module, clone_module
+from repro.machine.cpu import CPU, ExecutionResult
+from repro.machine.loader import LoadedProgram, load_binary
+from repro.testing.interp import interpret
+from repro.workloads import get_workload
+
+#: Step budgets for fuzzed programs.  Generated programs terminate in a few
+#: thousand steps; these limits only trip on reducer-created infinite loops.
+#: The machine budget is much larger than the interpreter budget (one IR
+#: instruction lowers to several machine instructions) so that any program
+#: finite under the interpreter budget also finishes on the machine — the
+#: two engines may then only ever time out *together*.
+INTERP_BUDGET = 200_000
+MACHINE_BUDGET = 20_000_000
+
+
+@dataclass(frozen=True)
+class RunOutcome:
+    """The externally observable behaviour of one execution."""
+
+    engine: str
+    exit_code: int
+    trap: str | None
+    output: tuple[str, ...]
+    #: per-instruction execution counts with FI hook sites filtered out
+    #: (only populated by the zero-interference oracle)
+    trace: tuple[int, ...] | None = None
+
+    def behaviour(self) -> tuple:
+        return (self.exit_code, self.trap, self.output)
+
+    def summary(self) -> str:
+        out = f"{len(self.output)} lines"
+        tail = f", trap={self.trap}" if self.trap else ""
+        return f"{self.engine}: exit={self.exit_code}{tail}, output={out}"
+
+
+@dataclass
+class Divergence:
+    """A confirmed disagreement between two execution strategies."""
+
+    oracle: str
+    detail: str
+    expected: RunOutcome | None = None
+    actual: RunOutcome | None = None
+    seed: int | None = None
+
+    def describe(self) -> str:
+        lines = [f"[{self.oracle}] {self.detail}"]
+        for outcome in (self.expected, self.actual):
+            if outcome is not None:
+                lines.append("  " + outcome.summary())
+        if (
+            self.expected is not None
+            and self.actual is not None
+            and self.expected.output != self.actual.output
+        ):
+            for i, (a, b) in enumerate(
+                zip(self.expected.output, self.actual.output)
+            ):
+                if a != b:
+                    lines.append(f"  first differing line {i}: {a!r} vs {b!r}")
+                    break
+            else:
+                lines.append(
+                    f"  output lengths differ: {len(self.expected.output)}"
+                    f" vs {len(self.actual.output)}"
+                )
+        return "\n".join(lines)
+
+
+def interp_outcome(module: Module, budget: int = INTERP_BUDGET) -> RunOutcome:
+    """Execute ``module`` on the reference interpreter."""
+    result = interpret(clone_module(module), budget=budget)
+    return RunOutcome(
+        engine="interp",
+        exit_code=result.exit_code,
+        trap=result.trap,
+        output=tuple(result.output),
+    )
+
+
+def _run_binary(
+    module: Module, opt_level: str, mir_pass=None, budget: int = MACHINE_BUDGET
+) -> tuple[ExecutionResult, LoadedProgram]:
+    binary = compile_ir(
+        clone_module(module),
+        CompileOptions(opt_level=opt_level, mir_pass=mir_pass),
+    )
+    program = load_binary(binary)
+    return CPU(program).run(budget=budget), program
+
+
+def compiled_outcome(
+    module: Module, opt_level: str = "O2", budget: int = MACHINE_BUDGET
+) -> RunOutcome:
+    """Compile ``module`` at ``opt_level`` and execute it on the machine."""
+    result, _ = _run_binary(module, opt_level, budget=budget)
+    return RunOutcome(
+        engine=f"machine-{opt_level}",
+        exit_code=result.exit_code,
+        trap=result.trap,
+        output=tuple(result.output),
+    )
+
+
+def _agree(a: RunOutcome, b: RunOutcome) -> bool:
+    """Outcome equality, with one exception: the budgets of the two engines
+    are in different units (IR steps vs machine instructions), so when both
+    sides hit their budget the truncation points differ — a mutual timeout
+    counts as agreement instead of comparing partial output."""
+    if a.trap == "timeout" and b.trap == "timeout":
+        return True
+    return a.behaviour() == b.behaviour()
+
+
+class Oracle:
+    """Base class: check one module, return a :class:`Divergence` or None."""
+
+    name = "oracle"
+    description = ""
+
+    def check(self, module: Module) -> Divergence | None:
+        raise NotImplementedError
+
+
+class InterpOracle(Oracle):
+    """Reference interpreter vs the fully optimized compiled binary."""
+
+    name = "interp"
+    description = "reference IR interpreter vs compiled binary"
+
+    def __init__(
+        self,
+        opt_level: str = "O2",
+        interp_budget: int = INTERP_BUDGET,
+        machine_budget: int = MACHINE_BUDGET,
+    ) -> None:
+        self.opt_level = opt_level
+        self.interp_budget = interp_budget
+        self.machine_budget = machine_budget
+
+    def check(self, module: Module) -> Divergence | None:
+        expected = interp_outcome(module, budget=self.interp_budget)
+        actual = compiled_outcome(
+            module, self.opt_level, budget=self.machine_budget
+        )
+        if not _agree(expected, actual):
+            return Divergence(
+                oracle=self.name,
+                detail=f"interpreter and {self.opt_level} binary disagree",
+                expected=expected,
+                actual=actual,
+            )
+        return None
+
+
+class PipelineOracle(Oracle):
+    """Unoptimized vs fully optimized compilation of the same module."""
+
+    name = "pipeline"
+    description = "O0 binary vs full O2 pass pipeline"
+
+    def check(self, module: Module) -> Divergence | None:
+        expected = compiled_outcome(module, "O0")
+        actual = compiled_outcome(module, "O2")
+        if not _agree(expected, actual):
+            return Divergence(
+                oracle=self.name,
+                detail="O0 and O2 binaries disagree",
+                expected=expected,
+                actual=actual,
+            )
+        return None
+
+
+class ZeroInterferenceOracle(Oracle):
+    """Instrumented-but-idle binary must match the golden run exactly.
+
+    This is the property that justifies trusting REFINE campaign results:
+    splicing ``fi_check`` pseudo-instructions after every candidate must not
+    change what the program computes, prints, or even *executes* — after
+    masking out the hook sites, the per-instruction execution counts of the
+    instrumented run must equal the golden run's counts instruction for
+    instruction.
+    """
+
+    name = "zero"
+    description = "REFINE-instrumented (no fault) vs golden run"
+
+    def __init__(self, opt_level: str = "O2", config: FIConfig | None = None) -> None:
+        self.opt_level = opt_level
+        self.config = config or FIConfig()
+
+    def check(self, module: Module) -> Divergence | None:
+        golden_result, golden_prog = _run_binary(module, self.opt_level)
+
+        def instrument(binary) -> None:
+            refine_instrument(binary, self.config)
+
+        instr_result, instr_prog = _run_binary(
+            module, self.opt_level, mir_pass=instrument
+        )
+        hook_pcs = set(instr_prog.fi_check_pcs)
+
+        golden = RunOutcome(
+            engine="golden",
+            exit_code=golden_result.exit_code,
+            trap=golden_result.trap,
+            output=tuple(golden_result.output),
+            trace=tuple(golden_result.counts),
+        )
+        instrumented = RunOutcome(
+            engine="instrumented",
+            exit_code=instr_result.exit_code,
+            trap=instr_result.trap,
+            output=tuple(instr_result.output),
+            trace=tuple(
+                count
+                for pc, count in enumerate(instr_result.counts)
+                if pc not in hook_pcs
+            ),
+        )
+        if not _agree(golden, instrumented):
+            return Divergence(
+                oracle=self.name,
+                detail="instrumentation changed program behaviour",
+                expected=golden,
+                actual=instrumented,
+            )
+        if golden.trap != "timeout" and golden.trace != instrumented.trace:
+            first = next(
+                (
+                    i
+                    for i, (a, b) in enumerate(zip(golden.trace, instrumented.trace))
+                    if a != b
+                ),
+                min(len(golden.trace), len(instrumented.trace)),
+            )
+            return Divergence(
+                oracle=self.name,
+                detail=(
+                    "instrumentation perturbed the dynamic-instruction trace "
+                    f"(first mismatch at filtered pc {first}; "
+                    f"{len(golden.trace)} golden vs "
+                    f"{len(instrumented.trace)} filtered instrumented pcs)"
+                ),
+                expected=golden,
+                actual=instrumented,
+            )
+        return None
+
+
+#: Registry used by ``refine-fuzz --oracle`` and the test-suite.
+ORACLES: dict[str, Oracle] = {
+    "interp": InterpOracle(),
+    "pipeline": PipelineOracle(),
+    "zero": ZeroInterferenceOracle(),
+}
+
+
+def check_workload_zero_interference(name: str) -> Divergence | None:
+    """Run the zero-interference oracle on one registered MiniC workload."""
+    from repro.frontend import compile_source
+
+    spec = get_workload(name)
+    module = compile_source(spec.source)
+    module.name = spec.name
+    return ZeroInterferenceOracle().check(module)

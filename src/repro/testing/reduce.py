@@ -1,0 +1,417 @@
+"""Delta-debugging reducer: shrink a diverging IR module to a minimal repro.
+
+Works on the textual IR (the fuzzer's artifact format) but edits structurally:
+every candidate re-parses the current text, applies one simplification,
+verifies the result, and keeps it only if the caller's predicate still holds
+(i.e. the bug still reproduces).
+
+Two phases, because each predicate evaluation costs a full compile+run:
+
+* **coarse** — classic ddmin over the side-effecting instructions (stores
+  and void calls): delete exponentially shrinking chunks of them at once.
+  Removing one ``print`` makes its whole expression tree dead, and the
+  post-edit cleanup sweeps cascading dead code, so a single predicate call
+  can eliminate dozens of instructions.
+* **fine** — greedy single edits to fixpoint: delete an uncalled function,
+  fold a conditional branch to one successor (killing a region), delete an
+  instruction (value-producing ones by first rewriting their uses to a
+  same-typed operand or a constant), replace a phi with one incoming value,
+  drop an unused global.
+
+After every edit, unreachable blocks are removed, phi edges repaired, and
+dead code swept, so each candidate re-verifies.  The result is 1-minimal
+with respect to the fine edit set, which in practice shrinks a
+~300-instruction fuzz module to a handful of instructions.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.errors import ReproError
+from repro.ir import Module, parse_module, format_module, verify_module
+from repro.ir.basicblock import BasicBlock
+from repro.ir.function import Function
+from repro.ir.instructions import Branch, Call, CondBranch, Instruction, Phi
+from repro.ir.values import ConstantFloat, ConstantInt, Value
+
+#: Safety valve: maximum number of predicate evaluations per reduction.
+DEFAULT_MAX_CHECKS = 3000
+
+
+def count_instructions(module_or_text: Module | str) -> int:
+    """Total instruction count over all defined functions."""
+    module = (
+        parse_module(module_or_text)
+        if isinstance(module_or_text, str)
+        else module_or_text
+    )
+    return sum(
+        len(block.instructions)
+        for fn in module.defined_functions()
+        for block in fn.blocks
+    )
+
+
+def reduce_ir(
+    text: str,
+    predicate: Callable[[str], bool],
+    max_checks: int = DEFAULT_MAX_CHECKS,
+) -> str:
+    """Shrink ``text`` while ``predicate`` keeps returning True on it.
+
+    ``predicate`` receives candidate IR text and must return True when the
+    behaviour being chased (a divergence, a crash) still reproduces.  The
+    input itself must satisfy the predicate.
+    """
+    if not predicate(text):
+        raise ReproError("reduce_ir: predicate does not hold on the input")
+    budget = _Budget(max_checks)
+    current = _coarse_phase(text, predicate, budget)
+    return _fine_phase(current, predicate, budget)
+
+
+class _Budget:
+    def __init__(self, limit: int) -> None:
+        self.limit = limit
+        self.used = 0
+
+    def spend(self) -> bool:
+        """Consume one predicate evaluation; False when exhausted."""
+        if self.used >= self.limit:
+            return False
+        self.used += 1
+        return True
+
+
+def _try_candidate(
+    current: str,
+    mutate: Callable[[Module], None],
+    predicate: Callable[[str], bool],
+    budget: _Budget,
+) -> str | None:
+    """Apply ``mutate`` to a fresh parse; return the new text if it sticks."""
+    module = parse_module(current)
+    try:
+        mutate(module)
+        _cleanup_module(module)
+        verify_module(module)
+        candidate = format_module(module)
+    except ReproError:
+        return None
+    if candidate == current or not budget.spend():
+        return None
+    return candidate if predicate(candidate) else None
+
+
+def _side_effect_positions(module: Module) -> int:
+    """Number of non-terminator side-effecting instructions, in walk order."""
+    return sum(
+        1
+        for fn in module.defined_functions()
+        for block in fn.blocks
+        for instr in block.instructions
+        if instr.has_side_effects and not instr.is_terminator
+    )
+
+
+def _delete_side_effects(module: Module, lo: int, hi: int) -> None:
+    """Delete the side-effecting instructions at walk positions [lo, hi)."""
+    position = 0
+    for fn in module.defined_functions():
+        for block in fn.blocks:
+            for instr in list(block.instructions):
+                if instr.is_terminator or not instr.has_side_effects:
+                    continue
+                if lo <= position < hi:
+                    if instr.num_uses:
+                        zero: Value = (
+                            ConstantFloat(0.0)
+                            if instr.type.is_float()
+                            else ConstantInt(0, instr.type)
+                        )
+                        instr.replace_all_uses_with(zero)
+                    instr.erase()
+                position += 1
+
+
+def _coarse_phase(
+    current: str, predicate: Callable[[str], bool], budget: _Budget
+) -> str:
+    """ddmin over side-effecting instructions, halving chunk sizes."""
+    total = _side_effect_positions(parse_module(current))
+    chunk = max(total // 2, 1)
+    while chunk >= 1:
+        offset = 0
+        while True:
+            total = _side_effect_positions(parse_module(current))
+            if offset >= total:
+                break
+            lo, hi = offset, min(offset + chunk, total)
+            candidate = _try_candidate(
+                current,
+                lambda m: _delete_side_effects(m, lo, hi),
+                predicate,
+                budget,
+            )
+            if candidate is not None:
+                current = candidate
+                # positions shifted down; retry the same offset
+            else:
+                offset += chunk
+        if chunk == 1:
+            break
+        chunk //= 2
+    return current
+
+
+def _fine_phase(
+    current: str, predicate: Callable[[str], bool], budget: _Budget
+) -> str:
+    changed = True
+    while changed:
+        changed = False
+        index = 0
+        while True:
+            module = parse_module(current)
+            edits = _enumerate_edits(module)
+            if index >= len(edits):
+                break
+            try:
+                edits[index]()
+                _cleanup_module(module)
+                verify_module(module)
+                candidate = format_module(module)
+            except ReproError:
+                index += 1
+                continue
+            if candidate == current or not budget.spend():
+                index += 1
+                continue
+            if predicate(candidate):
+                current = candidate
+                changed = True
+                # stay at the same index: the edit list shifted under us
+            else:
+                index += 1
+    return current
+
+
+# -- edit enumeration ---------------------------------------------------------
+
+
+def _enumerate_edits(module: Module) -> list[Callable[[], None]]:
+    edits: list[Callable[[], None]] = []
+    called = _called_functions(module)
+
+    for fn in module.defined_functions():
+        if fn.name != "main" and fn.name not in called:
+            edits.append(_make_drop_function(module, fn))
+
+    for fn in module.defined_functions():
+        for block in fn.blocks:
+            term = block.terminator
+            if isinstance(term, CondBranch):
+                for target in (term.if_true, term.if_false):
+                    edits.append(_make_fold_branch(block, term, target))
+
+    # Later instructions first: their deaths free up earlier ones.
+    for fn in module.defined_functions():
+        for block in reversed(fn.blocks):
+            for instr in reversed(block.instructions):
+                if instr.is_terminator:
+                    continue
+                if isinstance(instr, Phi):
+                    for value in list(instr.operands):
+                        edits.append(_make_replace_uses(instr, value))
+                    continue
+                edits.extend(_instruction_edits(instr))
+
+    for name, gv in list(module.globals.items()):
+        if not gv.users:
+            edits.append(_make_drop_global(module, name))
+
+    return edits
+
+
+def _called_functions(module: Module) -> set[str]:
+    names = set()
+    for fn in module.defined_functions():
+        for instr in fn.instructions():
+            if isinstance(instr, Call):
+                names.add(instr.callee.name)
+    return names
+
+
+def _instruction_edits(instr: Instruction) -> list[Callable[[], None]]:
+    edits: list[Callable[[], None]] = []
+    if instr.num_uses == 0:
+        edits.append(_make_delete(instr))
+        return edits
+    # Try rewriting users to an operand of the same type (preserves more
+    # behaviour, shrinks expression trees bottom-up)...
+    for operand in instr.operands:
+        if operand.type == instr.type:
+            edits.append(_make_replace_uses(instr, operand))
+    # ... then to a plain constant (coarser, always applicable to scalars).
+    if instr.type.is_integer():
+        bits_zero = ConstantInt(0, instr.type)
+        edits.append(_make_replace_uses(instr, bits_zero))
+    elif instr.type.is_float():
+        edits.append(_make_replace_uses(instr, ConstantFloat(0.0)))
+    return edits
+
+
+def _make_drop_function(module: Module, fn: Function) -> Callable[[], None]:
+    def apply() -> None:
+        for instr in list(fn.instructions()):
+            instr.drop_operands()
+        del module.functions[fn.name]
+
+    return apply
+
+
+def _make_fold_branch(
+    block: BasicBlock, term: CondBranch, target: BasicBlock
+) -> Callable[[], None]:
+    def apply() -> None:
+        block.remove(term)
+        term.drop_operands()
+        block.append(Branch(target))
+
+    return apply
+
+
+def _make_delete(instr: Instruction) -> Callable[[], None]:
+    def apply() -> None:
+        instr.erase()
+
+    return apply
+
+
+def _make_replace_uses(instr: Instruction, value: Value) -> Callable[[], None]:
+    def apply() -> None:
+        instr.replace_all_uses_with(value)
+        instr.erase()
+
+    return apply
+
+
+def _make_drop_global(module: Module, name: str) -> Callable[[], None]:
+    def apply() -> None:
+        del module.globals[name]
+
+    return apply
+
+
+# -- post-edit cleanup --------------------------------------------------------
+
+
+def _cleanup_module(module: Module) -> None:
+    for fn in module.defined_functions():
+        _remove_unreachable_blocks(fn)
+        _repair_phis(fn)
+        _sweep_dead(fn)
+        if _merge_forwarding_blocks(fn):
+            # Retargeting can strand blocks and single out phi edges.
+            _remove_unreachable_blocks(fn)
+            _repair_phis(fn)
+
+
+def _merge_forwarding_blocks(fn: Function) -> bool:
+    """Route control flow around blocks that only forward to another block.
+
+    The instruction edits leave chains of ``bb: br label %next`` behind;
+    without this the reduced repro keeps an arbitrarily long branch
+    skeleton.  Phi-bearing successors are skipped — retargeting would need
+    per-predecessor edge bookkeeping for no minimality gain.
+    """
+    changed = False
+    for block in list(fn.blocks):
+        if block is fn.entry or len(block.instructions) != 1:
+            continue
+        term = block.terminator
+        if not isinstance(term, Branch):
+            continue
+        target = term.target
+        if target is block or target.phis():
+            continue
+        for pred in block.predecessors():
+            pred_term = pred.terminator
+            if pred_term is not None:
+                pred_term.replace_successor(block, target)
+                changed = True
+    return changed
+
+
+def _sweep_dead(fn: Function) -> None:
+    """Cascading removal of unused, side-effect-free instructions.
+
+    This is what makes one deleted ``print`` worth a whole expression tree:
+    the generator builds trees bottom-up, so killing the root strands every
+    interior node.
+    """
+    changed = True
+    while changed:
+        changed = False
+        for block in fn.blocks:
+            for instr in reversed(list(block.instructions)):
+                if instr.has_side_effects or isinstance(instr, Phi):
+                    continue
+                if instr.num_uses == 0:
+                    instr.erase()
+                    changed = True
+
+
+def _remove_unreachable_blocks(fn: Function) -> None:
+    reachable: set[int] = set()
+    work = [fn.entry]
+    while work:
+        block = work.pop()
+        if id(block) in reachable:
+            continue
+        reachable.add(id(block))
+        work.extend(block.successors())
+    dead = [b for b in fn.blocks if id(b) not in reachable]
+    if not dead:
+        return
+    # Values defined in unreachable blocks can only be used by other
+    # unreachable code, so the whole group can be dropped wholesale once
+    # operand uses are released.
+    for block in dead:
+        for instr in block.instructions:
+            instr.drop_operands()
+    dead_ids = {id(b) for b in dead}
+    for block in fn.blocks:
+        if id(block) in dead_ids:
+            continue
+        for phi in block.phis():
+            for pred in list(phi.incoming_blocks):
+                if id(pred) in dead_ids:
+                    phi.remove_incoming(pred)
+    for block in dead:
+        fn.remove_block(block)
+
+
+def _repair_phis(fn: Function) -> None:
+    for block in fn.blocks:
+        preds = block.predecessors()
+        pred_ids = {id(p) for p in preds}
+        for phi in block.phis():
+            for incoming in list(phi.incoming_blocks):
+                if id(incoming) not in pred_ids:
+                    phi.remove_incoming(incoming)
+            if len(phi.operands) == 1:
+                phi.replace_all_uses_with(phi.operands[0])
+                phi.drop_operands()
+                block.remove(phi)
+            elif not phi.operands:
+                # No predecessors left at all: block is about to die or the
+                # phi is meaningless; replace with a typed zero.
+                zero: Value = (
+                    ConstantFloat(0.0)
+                    if phi.type.is_float()
+                    else ConstantInt(0, phi.type)
+                )
+                phi.replace_all_uses_with(zero)
+                block.remove(phi)

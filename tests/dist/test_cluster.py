@@ -10,6 +10,8 @@ The CI "distributed smoke test" step runs this file with ``-k smoke``.
 
 import pytest
 
+pytestmark = pytest.mark.slow
+
 from repro.campaign import make_tool, read_events, run_campaign
 from repro.campaign.io import result_to_dict
 from repro.campaign.parallel import run_slice

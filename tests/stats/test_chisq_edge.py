@@ -1,0 +1,136 @@
+"""Edge-case tests for the from-scratch chi-squared test, against scipy.
+
+The main suite checks typical paper-sized tables; these pin down the corner
+cases where a hand-rolled implementation usually drifts from the reference:
+1-dof tables (scipy applies Yates' correction by default there), extreme
+statistics where the p-value underflows, all-zero outcome columns, and the
+accepted input shapes.
+"""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.errors import StatsError
+from repro.stats.chisq import chi2_contingency, chi2_sf, gammainc_upper
+
+scipy_stats = pytest.importorskip("scipy.stats")
+
+
+def _scipy_p(table):
+    # correction=False: we implement the plain Pearson statistic; Yates'
+    # continuity correction only applies to 2x2 tables and would make the
+    # 1-dof comparisons diverge by design.
+    return scipy_stats.chi2_contingency(table, correction=False)
+
+
+class TestAgainstScipy:
+    @pytest.mark.parametrize(
+        "table",
+        [
+            [[10, 20], [20, 10]],
+            [[1, 1], [1, 1]],
+            [[5, 95], [95, 5]],
+            [[1068, 2], [1000, 70]],
+            [[3, 7, 12], [9, 2, 4]],
+            [[50, 30, 20, 10], [10, 20, 30, 50]],
+            [[120, 5, 30, 0, 8], [110, 9, 25, 1, 12]],
+        ],
+    )
+    def test_statistic_and_pvalue_match(self, table):
+        ours = chi2_contingency(table)
+        ref = _scipy_p(table)
+        assert ours.statistic == pytest.approx(ref.statistic, rel=1e-12)
+        assert ours.dof == ref.dof
+        assert ours.p_value == pytest.approx(ref.pvalue, rel=1e-9, abs=1e-12)
+
+    def test_one_dof_2x2_no_yates(self):
+        # With correction=True (scipy's default) the 2x2 p-value differs;
+        # this guards against accidentally "fixing" the comparison the
+        # wrong way round.
+        table = [[12, 5], [7, 15]]
+        ours = chi2_contingency(table)
+        corrected = scipy_stats.chi2_contingency(table, correction=True)
+        uncorrected = _scipy_p(table)
+        assert ours.p_value == pytest.approx(uncorrected.pvalue, rel=1e-9)
+        assert ours.p_value != pytest.approx(corrected.pvalue, rel=1e-3)
+
+    def test_expected_frequencies_match(self):
+        table = [[30, 10, 5], [20, 25, 10]]
+        ours = chi2_contingency(table)
+        ref = _scipy_p(table)
+        for row_ours, row_ref in zip(ours.expected, ref.expected_freq):
+            assert row_ours == pytest.approx(list(row_ref), rel=1e-12)
+
+    @pytest.mark.parametrize("x,dof", [(0.5, 1), (3.84, 1), (20.0, 3),
+                                       (100.0, 7), (1.0, 20)])
+    def test_chi2_sf_matches_scipy(self, x, dof):
+        assert chi2_sf(x, dof) == pytest.approx(
+            scipy_stats.chi2.sf(x, dof), rel=1e-10
+        )
+
+    @pytest.mark.parametrize("a,x", [(0.5, 0.1), (2.5, 2.0), (10.0, 30.0)])
+    def test_gammainc_upper_matches_scipy(self, a, x):
+        from scipy.special import gammaincc
+
+        assert gammainc_upper(a, x) == pytest.approx(
+            float(gammaincc(a, x)), rel=1e-10
+        )
+
+
+class TestExtremes:
+    def test_huge_statistic_p_clamps_to_zero_not_negative(self):
+        # An enormous disparity: p underflows; it must come back as a
+        # well-formed float in [0, 1], never negative or NaN.
+        table = [[100000, 1], [1, 100000]]
+        result = chi2_contingency(table)
+        assert 0.0 <= result.p_value <= 1.0
+        assert math.isfinite(result.p_value)
+        assert result.significant
+
+    def test_identical_rows_p_is_one(self):
+        result = chi2_contingency([[25, 25, 25], [25, 25, 25]])
+        assert result.statistic == pytest.approx(0.0, abs=1e-12)
+        assert result.p_value == pytest.approx(1.0)
+        assert not result.significant
+
+    def test_zero_column_dropped_matches_scipy_on_reduced_table(self):
+        # NAS CG in the paper's Table 6 produces no SOC outcomes for either
+        # tool; the all-zero column must not contribute a degree of freedom.
+        full = [[40, 0, 60, 20], [35, 0, 55, 30]]
+        reduced = [[40, 60, 20], [35, 55, 30]]
+        ours = chi2_contingency(full)
+        ref = _scipy_p(reduced)
+        assert ours.dof == ref.dof == 2
+        assert ours.statistic == pytest.approx(ref.statistic, rel=1e-12)
+        assert ours.p_value == pytest.approx(ref.pvalue, rel=1e-9)
+
+    def test_tuple_of_tuples_accepted(self):
+        as_lists = chi2_contingency([[10, 20], [30, 40]])
+        as_tuples = chi2_contingency(((10, 20), (30, 40)))
+        assert as_tuples.statistic == as_lists.statistic
+        assert as_tuples.p_value == as_lists.p_value
+
+
+class TestRejects:
+    def test_single_row_rejected(self):
+        with pytest.raises(StatsError):
+            chi2_contingency([[1, 2, 3]])
+
+    def test_ragged_rejected(self):
+        with pytest.raises(StatsError):
+            chi2_contingency([[1, 2], [3]])
+
+    def test_negative_rejected(self):
+        with pytest.raises(StatsError):
+            chi2_contingency([[1, -2], [3, 4]])
+
+    def test_all_zero_columns_rejected(self):
+        with pytest.raises(StatsError):
+            chi2_contingency([[0, 5], [0, 7]])
+
+    def test_empty_row_rejected(self):
+        with pytest.raises(StatsError):
+            chi2_contingency([[0, 0], [3, 4]])

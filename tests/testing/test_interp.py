@@ -1,0 +1,242 @@
+"""Unit tests for the reference IR interpreter.
+
+The interpreter shares no code with the backend, so every semantic rule it
+implements (wrapping, division traps, NaN handling, output formatting) is
+pinned here against hand-written IR — and cross-checked against the actual
+machine where the behaviour is observable.
+"""
+
+from __future__ import annotations
+
+from repro.ir import parse_module
+from repro.testing.interp import interpret
+
+
+def run_ir(text: str, budget: int | None = None):
+    module = parse_module(text)
+    if budget is None:
+        return interpret(module)
+    return interpret(module, budget=budget)
+
+
+def main_wrapping(body: str, decls: str = "") -> str:
+    return f"""
+{decls}
+declare void @print_int(i64 %x)
+declare void @print_double(f64 %x)
+
+define i64 @main() {{
+entry:
+{body}
+}}
+"""
+
+
+class TestIntegerSemantics:
+    def test_add_wraps_at_64_bits(self):
+        result = run_ir(main_wrapping("""
+  %a = add i64 9223372036854775807, 1
+  call void @print_int(i64 %a)
+  ret i64 0
+"""))
+        assert result.output == ["-9223372036854775808"]
+        assert result.trap is None
+
+    def test_sdiv_truncates_toward_zero(self):
+        result = run_ir(main_wrapping("""
+  %a = sdiv i64 -7, 2
+  %b = srem i64 -7, 2
+  call void @print_int(i64 %a)
+  call void @print_int(i64 %b)
+  ret i64 0
+"""))
+        assert result.output == ["-3", "-1"]
+
+    def test_sdiv_by_zero_traps(self):
+        result = run_ir(main_wrapping("""
+  %a = sdiv i64 1, 0
+  ret i64 %a
+"""))
+        assert result.trap == "divide-by-zero"
+
+    def test_sdiv_overflow_traps(self):
+        result = run_ir(main_wrapping("""
+  %a = sdiv i64 -9223372036854775808, -1
+  ret i64 %a
+"""))
+        assert result.trap == "divide-by-zero"
+
+    def test_shift_counts_masked_to_six_bits(self):
+        result = run_ir(main_wrapping("""
+  %a = shl i64 1, 65
+  call void @print_int(i64 %a)
+  ret i64 0
+"""))
+        assert result.output == ["2"]
+
+
+class TestFloatSemantics:
+    def test_print_double_format(self):
+        result = run_ir(main_wrapping("""
+  call void @print_double(f64 1.5)
+  ret i64 0
+"""))
+        assert result.output == ["1.500000e+00"]
+
+    def test_fdiv_by_zero_gives_signed_infinity(self):
+        result = run_ir(main_wrapping("""
+  %a = fdiv f64 -1.0, 0.0
+  call void @print_double(f64 %a)
+  ret i64 0
+"""))
+        assert result.output == ["-inf"]
+        assert result.trap is None
+
+    def test_fptosi_nan_saturates_to_int_min(self):
+        result = run_ir(main_wrapping("""
+  %nan = fdiv f64 0.0, 0.0
+  %i = fptosi f64 %nan to i64
+  call void @print_int(i64 %i)
+  ret i64 0
+"""))
+        assert result.output == ["-9223372036854775808"]
+
+    def test_ordered_fcmp_false_on_nan(self):
+        result = run_ir(main_wrapping("""
+  %nan = fdiv f64 0.0, 0.0
+  %eq = fcmp oeq f64 %nan, %nan
+  %ne = fcmp one f64 %nan, 0.0
+  %lt = fcmp olt f64 %nan, 1.0
+  %a = select i1 %eq, i64 1, i64 0
+  %b = select i1 %ne, i64 1, i64 0
+  %c = select i1 %lt, i64 1, i64 0
+  call void @print_int(i64 %a)
+  call void @print_int(i64 %b)
+  call void @print_int(i64 %c)
+  ret i64 0
+"""))
+        assert result.output == ["0", "0", "0"]
+
+
+class TestControlAndMemory:
+    def test_loop_with_phi(self):
+        result = run_ir("""
+declare void @print_int(i64 %x)
+
+define i64 @main() {
+entry:
+  br label %loop
+loop:
+  %i = phi i64 [ 0, %entry ], [ %n, %loop ]
+  %s = phi i64 [ 0, %entry ], [ %s2, %loop ]
+  %s2 = add i64 %s, %i
+  %n = add i64 %i, 1
+  %c = icmp slt i64 %n, 5
+  br i1 %c, label %loop, label %done
+done:
+  call void @print_int(i64 %s2)
+  ret i64 0
+}
+""")
+        assert result.output == ["10"]
+
+    def test_simultaneous_phi_swap(self):
+        # Both phis must read their incoming values *before* either is
+        # assigned (the classic lost-copy/swap problem).
+        result = run_ir("""
+declare void @print_int(i64 %x)
+
+define i64 @main() {
+entry:
+  br label %loop
+loop:
+  %a = phi i64 [ 1, %entry ], [ %b, %loop ]
+  %b = phi i64 [ 2, %entry ], [ %a, %loop ]
+  %i = phi i64 [ 0, %entry ], [ %n, %loop ]
+  %n = add i64 %i, 1
+  %c = icmp slt i64 %n, 3
+  br i1 %c, label %loop, label %done
+done:
+  call void @print_int(i64 %a)
+  call void @print_int(i64 %b)
+  ret i64 0
+}
+""")
+        assert result.output == ["1", "2"]
+
+    def test_global_array_load_store(self):
+        result = run_ir("""
+@arr = global [4 x i64] [10, 20, 30, 40]
+declare void @print_int(i64 %x)
+
+define i64 @main() {
+entry:
+  %p = getelementptr [4 x i64]* @arr, i64 2
+  %v = load i64, i64* %p
+  store i64 99, i64* %p
+  %w = load i64, i64* %p
+  call void @print_int(i64 %v)
+  call void @print_int(i64 %w)
+  ret i64 0
+}
+""")
+        assert result.output == ["30", "99"]
+
+    def test_out_of_bounds_load_segfaults(self):
+        result = run_ir("""
+@arr = global [4 x i64] [1, 2, 3, 4]
+
+define i64 @main() {
+entry:
+  %p = getelementptr [4 x i64]* @arr, i64 100
+  %v = load i64, i64* %p
+  ret i64 %v
+}
+""")
+        assert result.trap == "segfault"
+
+    def test_infinite_loop_times_out(self):
+        result = run_ir("""
+define i64 @main() {
+entry:
+  br label %loop
+loop:
+  br label %loop
+}
+""", budget=1000)
+        assert result.trap == "timeout"
+
+    def test_unbounded_recursion_overflows_stack(self):
+        result = run_ir("""
+define i64 @f(i64 %n) {
+entry:
+  %m = add i64 %n, 1
+  %r = call i64 @f(i64 %m)
+  ret i64 %r
+}
+
+define i64 @main() {
+entry:
+  %r = call i64 @f(i64 0)
+  ret i64 %r
+}
+""")
+        assert result.trap == "stack-overflow"
+
+    def test_exit_code_is_main_return(self):
+        result = run_ir("""
+define i64 @main() {
+entry:
+  ret i64 7
+}
+""")
+        assert result.exit_code == 7
+        assert result.trap is None
+
+    def test_intrinsic_math_calls(self):
+        result = run_ir(main_wrapping("""
+  %r = call f64 @sqrt(f64 9.0)
+  call void @print_double(f64 %r)
+  ret i64 0
+""", decls="declare f64 @sqrt(f64 %x)"))
+        assert result.output == ["3.000000e+00"]

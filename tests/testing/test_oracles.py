@@ -1,0 +1,143 @@
+"""Tests for the differential oracles, including the zero-interference one."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.fi.config import FIConfig
+from repro.ir import parse_module
+from repro.testing.generator import generate_module
+from repro.testing.oracles import (
+    ORACLES,
+    InterpOracle,
+    PipelineOracle,
+    ZeroInterferenceOracle,
+    check_workload_zero_interference,
+    compiled_outcome,
+    interp_outcome,
+)
+
+PRINTING_MODULE = """
+@arr = global [4 x i64] [3, 1, 4, 1]
+declare void @print_int(i64 %x)
+declare void @print_double(f64 %x)
+
+define i64 @main() {
+entry:
+  br label %loop
+loop:
+  %i = phi i64 [ 0, %entry ], [ %n, %loop ]
+  %p = getelementptr [4 x i64]* @arr, i64 %i
+  %v = load i64, i64* %p
+  call void @print_int(i64 %v)
+  %n = add i64 %i, 1
+  %c = icmp slt i64 %n, 4
+  br i1 %c, label %loop, label %done
+done:
+  call void @print_double(f64 2.5)
+  ret i64 0
+}
+"""
+
+
+class TestRegistry:
+    def test_all_oracles_registered(self):
+        assert set(ORACLES) == {"interp", "pipeline", "zero"}
+
+    def test_oracles_pass_on_clean_module(self):
+        module = parse_module(PRINTING_MODULE)
+        for oracle in ORACLES.values():
+            assert oracle.check(module) is None
+
+    @pytest.mark.parametrize("seed", range(5))
+    def test_oracles_pass_on_generated_programs(self, seed):
+        module = generate_module(seed)
+        for oracle in ORACLES.values():
+            assert oracle.check(module) is None
+
+
+class TestOutcomes:
+    def test_interp_and_machine_agree_on_output(self):
+        module = parse_module(PRINTING_MODULE)
+        expected = interp_outcome(module)
+        actual = compiled_outcome(module, "O2")
+        assert expected.output == actual.output == (
+            "3", "1", "4", "1", "2.500000e+00",
+        )
+
+    def test_check_does_not_mutate_module(self):
+        # compile_ir mutates its input; the oracles must clone first so one
+        # oracle's run does not corrupt the next one's view of the module.
+        from repro.ir import format_module
+
+        module = parse_module(PRINTING_MODULE)
+        before = format_module(module)
+        InterpOracle().check(module)
+        PipelineOracle().check(module)
+        ZeroInterferenceOracle().check(module)
+        assert format_module(module) == before
+
+
+class TestDivergenceDetection:
+    def test_interp_oracle_detects_planted_miscompile(self, monkeypatch):
+        # Corrupt the backend deliberately; the oracle must notice.
+        import repro.backend.compiler as compiler
+        from repro.backend.mir import Imm
+
+        real = compiler.run_peephole
+
+        def broken(mf):
+            n = real(mf)
+            for block in mf.blocks:
+                for instr in block.instructions:
+                    if instr.opcode == "add":
+                        for i, op in enumerate(instr.operands):
+                            if isinstance(op, Imm) and op.value == 1:
+                                instr.operands[i] = Imm(2)
+            return n
+
+        monkeypatch.setattr(compiler, "run_peephole", broken)
+        module = parse_module(PRINTING_MODULE)
+        divergence = InterpOracle(opt_level="O0").check(module)
+        assert divergence is not None
+        assert divergence.oracle == "interp"
+        assert "disagree" in divergence.describe()
+
+    def test_zero_oracle_detects_behaviour_change(self, monkeypatch):
+        # An "instrumentation" that edits a constant is exactly the kind of
+        # perturbation the zero-interference property must reject.
+        def hostile(binary, config=None):
+            from repro.backend.mir import Imm
+
+            for mf in binary.functions.values():
+                for block in mf.blocks:
+                    for instr in block.instructions:
+                        for i, op in enumerate(instr.operands):
+                            if isinstance(op, Imm) and op.value == 4:
+                                instr.operands[i] = Imm(3)
+            return 0
+
+        import repro.testing.oracles as oracles_mod
+
+        monkeypatch.setattr(oracles_mod, "refine_instrument", hostile)
+        module = parse_module(PRINTING_MODULE)
+        divergence = ZeroInterferenceOracle().check(module)
+        assert divergence is not None
+        assert divergence.oracle == "zero"
+
+
+class TestZeroInterference:
+    def test_real_instrumentation_is_invisible(self):
+        module = parse_module(PRINTING_MODULE)
+        assert ZeroInterferenceOracle().check(module) is None
+
+    @pytest.mark.parametrize("instrs", ["stack", "arithm", "mem", "all"])
+    def test_every_candidate_class_is_invisible(self, instrs):
+        module = parse_module(PRINTING_MODULE)
+        oracle = ZeroInterferenceOracle(
+            config=FIConfig(enabled=True, instrs=instrs)
+        )
+        assert oracle.check(module) is None
+
+    def test_workload_helper(self):
+        assert check_workload_zero_interference("CoMD") is None
