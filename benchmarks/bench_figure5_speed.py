@@ -12,9 +12,22 @@ runs early (EP in the paper).
 
 from __future__ import annotations
 
+import json
+import os
+import time
+
+from repro.campaign.runner import DEFAULT_SEED
+from repro.fi import RefineTool
 from repro.reporting import render_figure5
+from repro.utils.rng import derive_seed
+from repro.workloads import workload_sources
 
 from benchmarks.conftest import emit_artifact
+
+#: Fault runs per workload for the snapshot-vs-scratch wall-time measure.
+#: Small enough to keep the bench quick, large enough to amortize the one
+#: golden recording the snapshot path pays up front.
+SNAP_SAMPLES = int(os.environ.get("REPRO_SNAP_SAMPLES", "40"))
 
 
 def test_figure5_normalized_times(benchmark, campaign_matrix, workloads):
@@ -30,3 +43,65 @@ def test_figure5_normalized_times(benchmark, campaign_matrix, workloads):
     assert llfi_ratio > 1.8, f"LLFI only {llfi_ratio:.2f}x PINFI"
     assert 0.7 < refine_ratio < 1.8, f"REFINE at {refine_ratio:.2f}x PINFI"
     assert totals["REFINE"] < totals["LLFI"]
+
+
+def test_snapshot_campaign_speedup(benchmark):
+    """Real wall time of the snapshot fast path vs from-scratch injection.
+
+    For every workload, runs the same REFINE fault campaign twice — once
+    re-executing each experiment from instruction 0, once served from
+    golden-run snapshots (the snapshot side pays its golden recording
+    inside the measurement).  Emits ``BENCH_snapshot.json`` so the perf
+    trajectory is tracked PR over PR.
+    """
+    per_workload: dict[str, dict] = {}
+
+    def sweep():
+        for name, source in workload_sources().items():
+            seeds = [
+                derive_seed(DEFAULT_SEED, name, "REFINE", i)
+                for i in range(SNAP_SAMPLES)
+            ]
+            scratch = RefineTool(source, name)
+            _ = scratch.profile  # compile + profile outside the clock
+            t0 = time.perf_counter()
+            for seed in seeds:
+                scratch.inject(seed)
+            scratch_s = time.perf_counter() - t0
+
+            snapped = RefineTool(source, name)
+            snapped.enable_snapshots(interval=0)
+            _ = snapped.profile
+            t0 = time.perf_counter()
+            for seed in seeds:
+                snapped.inject(seed)
+            snapshot_s = time.perf_counter() - t0
+
+            stats = snapped.snapshots.stats
+            per_workload[name] = {
+                "samples": SNAP_SAMPLES,
+                "scratch_s": round(scratch_s, 4),
+                "snapshot_s": round(snapshot_s, 4),
+                "speedup": round(scratch_s / snapshot_s, 3),
+                **stats.as_dict(),
+            }
+
+    benchmark.pedantic(sweep, rounds=1, iterations=1)
+
+    speedups = sorted(
+        (row["speedup"], name) for name, row in per_workload.items()
+    )
+    ge2 = [name for speedup, name in speedups if speedup >= 2.0]
+    payload = {
+        "samples_per_workload": SNAP_SAMPLES,
+        "tool": "REFINE",
+        "workloads": per_workload,
+        "workloads_ge_2x": len(ge2),
+        "min_speedup": speedups[0][0],
+        "max_speedup": speedups[-1][0],
+    }
+    emit_artifact("BENCH_snapshot.json", json.dumps(payload, indent=2))
+    assert len(ge2) >= 3, (
+        f"snapshot fast path reached 2x on only {len(ge2)}/"
+        f"{len(per_workload)} workloads: {speedups}"
+    )

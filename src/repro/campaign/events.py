@@ -25,6 +25,17 @@ event                     extra fields
 ``chunk_done``            ``chunk``, ``size``, ``completed``, ``n``
 ``campaign_finish``       ``workload``, ``tool``, ``counts``, ``wall_s``,
                           ``experiments_per_sec``
+``snapshot_golden``       ``workload``, ``tool``, ``interval``, ``snapshots``,
+                          ``pages``, ``reused`` (loaded from the shared
+                          store instead of recorded), ``wall_s`` — one per
+                          golden snapshot run (see :mod:`repro.snapshot`)
+``snapshot_stats``        ``workload``, ``tool``, ``hits``, ``misses``,
+                          ``hit_rate``, ``instructions_skipped``,
+                          ``instructions_executed``, ``snapshots``,
+                          ``pages_stored``, ``golden_reused``,
+                          ``golden_wall_s``, ``interval``; cumulative per
+                          campaign from the sequential runner, per-chunk
+                          (with a ``chunk`` field) from parallel workers
 ========================  =====================================================
 
 The distributed coordinator (:mod:`repro.dist`) emits its own family on
@@ -146,6 +157,10 @@ class CampaignStats:
             self.counts.update(counts)
         #: per-worker completed-experiment counts (distributed campaigns)
         self.workers: dict[str, int] = {}
+        #: snapshot fast-path counters (from ``snapshot_stats`` events)
+        self.snap_hits = 0
+        self.snap_misses = 0
+        self.snap_skipped = 0
         self._restored = done  # restored from a checkpoint, not run here
         self._clock = clock
         self._started = clock()
@@ -158,6 +173,22 @@ class CampaignStats:
         for outcome, k in counts.items():
             self.counts[outcome] = self.counts.get(outcome, 0) + k
             self.done += k
+
+    def note_snapshots(self, fields: dict, accumulate: bool = False) -> None:
+        """Fold one ``snapshot_stats`` event in.  Sequential-runner events
+        are cumulative (replace); parallel per-chunk events are deltas
+        (``accumulate=True``)."""
+        hits = int(fields.get("hits", 0))
+        misses = int(fields.get("misses", 0))
+        skipped = int(fields.get("instructions_skipped", 0))
+        if accumulate:
+            self.snap_hits += hits
+            self.snap_misses += misses
+            self.snap_skipped += skipped
+        else:
+            self.snap_hits = hits
+            self.snap_misses = misses
+            self.snap_skipped = skipped
 
     def note_worker(self, worker: str, k: int) -> None:
         """Attribute ``k`` completed experiments to a distributed worker."""
@@ -210,4 +241,10 @@ class CampaignStats:
                 f"{w}:{rates[w]:.1f}/s" for w in sorted(self.workers)
             )
             line += f" | {len(self.workers)}w[{per_worker}]"
+        served = self.snap_hits + self.snap_misses
+        if served:
+            line += (
+                f" | snap {100.0 * self.snap_hits / served:.0f}% hit, "
+                f"{self.snap_skipped:,} skipped"
+            )
         return line

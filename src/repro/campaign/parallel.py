@@ -66,6 +66,11 @@ class SliceTask:
     keep_records: bool
     opcode_faults: float
     chunk: int
+    #: snapshot fast path: ``None`` = off, ``0`` = auto interval.  The dir
+    #: points at the shared on-disk store so concurrent workers reuse one
+    #: golden run per binary (see :mod:`repro.snapshot`).
+    snapshot_interval: int | None = None
+    snapshot_dir: str | None = None
 
 
 def run_slice(task: SliceTask) -> CampaignResult:
@@ -77,9 +82,17 @@ def run_slice(task: SliceTask) -> CampaignResult:
         task.source, task.workload, config=config, opt_level=task.opt_level,
         opcode_faults=task.opcode_faults,
     )
+    if task.snapshot_interval is not None:
+        tool.enable_snapshots(
+            interval=task.snapshot_interval, store_dir=task.snapshot_dir
+        )
     result = _fresh_result(tool, len(task.indices))
     for i in task.indices:
         result.add(run_experiment(tool, task.base_seed, i), task.keep_records)
+    if tool.snapshots is not None:
+        # Piggy-backed on the pickled result so the parent can surface the
+        # worker's hit rate as a snapshot_stats event.
+        result.snapshot_stats = tool.snapshots.stats.as_dict()
     return result
 
 
@@ -99,6 +112,8 @@ def run_campaign_parallel(
     checkpoint_every: int = DEFAULT_CHECKPOINT_EVERY,
     events: EventLog | None = None,
     chunk_size: int | None = None,
+    snapshot_interval: int | None = None,
+    snapshot_dir: str | Path | None = None,
 ) -> CampaignResult:
     """Run ``n`` experiments across ``workers`` processes.
 
@@ -112,6 +127,12 @@ def run_campaign_parallel(
     roughly every ``checkpoint_every`` experiments (and on interruption),
     and an existing checkpoint is resumed by excluding its completed
     indices from the new chunks.
+
+    ``snapshot_interval`` (``None`` = off, ``0`` = auto) turns on the
+    golden-run snapshot fast path inside every worker; ``snapshot_dir``
+    (default: a ``snapshots`` directory next to the checkpoint) is the
+    store the workers share, so the golden run is recorded once per binary
+    no matter the worker count.
     """
     if n <= 0:
         raise CampaignError("campaign needs n >= 1 experiments")
@@ -132,6 +153,12 @@ def run_campaign_parallel(
             "cannot model OP-code corruption"
         )
     config = config or FIConfig()
+    if (
+        snapshot_interval is not None
+        and snapshot_dir is None
+        and checkpoint_path is not None
+    ):
+        snapshot_dir = Path(checkpoint_path).parent / "snapshots"
 
     completed: set[int] = set()
     prior: CampaignResult | None = None
@@ -224,6 +251,8 @@ def run_campaign_parallel(
             keep_records=keep_records,
             opcode_faults=opcode_faults,
             chunk=ci,
+            snapshot_interval=snapshot_interval,
+            snapshot_dir=None if snapshot_dir is None else str(snapshot_dir),
         )
         for ci, indices in enumerate(chunks)
     ]
@@ -240,6 +269,12 @@ def run_campaign_parallel(
                 completed=len(completed), n=n,
                 counts={o.value: part.frequency(o) for o in Outcome},
             )
+            stats = getattr(part, "snapshot_stats", None)
+            if stats is not None:
+                events.emit(
+                    "snapshot_stats", workload=workload, tool=tool_name,
+                    chunk=task.chunk, **stats,
+                )
         if checkpoint_path is not None and since_checkpoint >= checkpoint_every:
             _save()
             since_checkpoint = 0

@@ -46,17 +46,28 @@ def make_tool(
     config: FIConfig | None = None,
     opt_level: str = "O2",
     opcode_faults: float = 0.0,
+    snapshot_interval: int | None = None,
+    snapshot_dir: str | Path | None = None,
+    events: EventLog | None = None,
 ) -> FITool:
+    """Build a configured tool; ``snapshot_interval`` (``None`` = off,
+    ``0`` = auto) attaches the snapshot fast path, with ``snapshot_dir``
+    as the shared on-disk golden-run store."""
     try:
         cls = TOOL_CLASSES[tool_name]
     except KeyError:
         raise CampaignError(
             f"unknown tool {tool_name!r}; choose from {sorted(TOOL_CLASSES)}"
         ) from None
-    return cls(
+    tool = cls(
         source, workload, config=config, opt_level=opt_level,
         opcode_faults=opcode_faults,
     )
+    if snapshot_interval is not None:
+        tool.enable_snapshots(
+            interval=snapshot_interval, store_dir=snapshot_dir, events=events
+        )
+    return tool
 
 
 def run_experiment(tool: FITool, base_seed: int, index: int) -> ExperimentRecord:
@@ -78,6 +89,18 @@ def run_experiment(tool: FITool, base_seed: int, index: int) -> ExperimentRecord
         exit_code=run.result.exit_code,
         fault=run.result.fault,
         index=index,
+    )
+
+
+def _emit_snapshot_stats(tool: FITool, events: EventLog | None) -> None:
+    """Publish the tool's snapshot-engine counters as one telemetry event."""
+    if events is None or tool.snapshots is None:
+        return
+    events.emit(
+        "snapshot_stats",
+        workload=tool.workload,
+        tool=tool.name,
+        **tool.snapshots.stats.as_dict(),
     )
 
 
@@ -162,6 +185,7 @@ def run_campaign(
                 "checkpoint", path=str(checkpoint_path),
                 completed=len(completed), n=n,
             )
+        _emit_snapshot_stats(tool, events)
 
     started = time.monotonic()
     since_checkpoint = 0
@@ -198,6 +222,7 @@ def run_campaign(
         _save()
 
     wall = time.monotonic() - started
+    _emit_snapshot_stats(tool, events)
     if events is not None:
         events.emit(
             "campaign_finish", workload=tool.workload, tool=tool.name,
@@ -232,6 +257,8 @@ def run_matrix(
     checkpoint_dir: str | Path | None = None,
     checkpoint_every: int = DEFAULT_CHECKPOINT_EVERY,
     events: EventLog | None = None,
+    snapshot_interval: int | None = None,
+    snapshot_dir: str | Path | None = None,
 ) -> dict[tuple[str, str], CampaignResult]:
     """Run the full (workload x tool) campaign matrix, like the paper's
     44,856-experiment evaluation (14 apps x 3 tools x 1068 samples).
@@ -241,8 +268,17 @@ def run_matrix(
     persist them).  ``checkpoint_dir`` gives every cell its own checkpoint
     file; re-running the same matrix resumes unfinished cells and skips
     finished ones.  ``workers > 1`` runs each cell with the multi-process
-    runner (identical results, any worker count).
+    runner (identical results, any worker count).  ``snapshot_interval``
+    (``None`` = off, ``0`` = auto) enables the golden-run snapshot fast
+    path; the store defaults to ``<checkpoint_dir>/snapshots`` so every
+    worker shares one golden run per binary.
     """
+    if (
+        snapshot_interval is not None
+        and snapshot_dir is None
+        and checkpoint_dir is not None
+    ):
+        snapshot_dir = Path(checkpoint_dir) / "snapshots"
     results: dict[tuple[str, str], CampaignResult] = {}
     for workload, source in sources.items():
         for tool_name in tool_names:
@@ -261,9 +297,15 @@ def run_matrix(
                     keep_records=keep_records, progress=cb,
                     checkpoint_path=ckpt_path,
                     checkpoint_every=checkpoint_every, events=events,
+                    snapshot_interval=snapshot_interval,
+                    snapshot_dir=snapshot_dir,
                 )
             else:
-                tool = make_tool(tool_name, source, workload, config, opt_level)
+                tool = make_tool(
+                    tool_name, source, workload, config, opt_level,
+                    snapshot_interval=snapshot_interval,
+                    snapshot_dir=snapshot_dir, events=events,
+                )
                 results[(workload, tool_name)] = run_campaign(
                     tool, n, base_seed, keep_records=keep_records,
                     progress=cb, checkpoint_path=ckpt_path,

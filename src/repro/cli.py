@@ -107,6 +107,17 @@ class _LiveTelemetry(EventLog):
             counts = {Outcome(k): v for k, v in fields.get("counts", {}).items()}
             self._stats.note_batch(counts)
             self._render()
+        elif event == "snapshot_golden":
+            src = "reused" if fields.get("reused") else "recorded"
+            print(
+                f"# {fields['workload']}/{fields['tool']}: {src} golden run "
+                f"({fields['snapshots']} snapshots every "
+                f"{fields['interval']} instrs, {fields['pages']} pages, "
+                f"{fields['wall_s']:.2f}s)",
+                file=self._out,
+            )
+        elif event == "snapshot_stats" and self._stats is not None:
+            self._stats.note_snapshots(fields, accumulate="chunk" in fields)
         elif event == "campaign_finish" and self._stats is not None:
             self._render(final=True)
             self._stats = None
@@ -236,6 +247,15 @@ def campaign_main(argv: list[str] | None = None) -> int:
     parser.add_argument("--checkpoint-every", type=int,
                         default=DEFAULT_CHECKPOINT_EVERY,
                         help="experiments between checkpoint writes")
+    parser.add_argument("--snapshot-interval", type=int, default=0,
+                        metavar="N",
+                        help="record a golden-run snapshot every N dynamic "
+                        "instructions so fault runs skip the fault-free "
+                        "prefix (0 = auto-tune per workload; results are "
+                        "bit-identical either way)")
+    parser.add_argument("--no-snapshot", action="store_true",
+                        help="disable the snapshot fast path and run every "
+                        "experiment from instruction 0")
     parser.add_argument("--events", default=None,
                         help="append JSONL telemetry events to this file")
     parser.add_argument("--save", default=None,
@@ -257,6 +277,14 @@ def campaign_main(argv: list[str] | None = None) -> int:
             return 2
         sources = {w: sources[w] for w in wanted}
     tools = list(TOOL_ORDER) if args.tools == "all" else args.tools.split(",")
+
+    if args.snapshot_interval < 0:
+        print("refine-campaign: error: --snapshot-interval must be >= 0 "
+              "(0 = auto)", file=sys.stderr)
+        return 2
+    args.snapshot_interval = (
+        None if args.no_snapshot else args.snapshot_interval
+    )
 
     try:
         moe = margin_of_error(args.samples)
@@ -283,6 +311,7 @@ def campaign_main(argv: list[str] | None = None) -> int:
                 checkpoint_dir=args.checkpoint_dir,
                 checkpoint_every=args.checkpoint_every,
                 events=telemetry,
+                snapshot_interval=args.snapshot_interval,
             )
     except (CampaignError, DistError) as exc:
         print(f"refine-campaign: error: {exc}", file=sys.stderr)
@@ -306,6 +335,7 @@ def _serve_distributed(args, sources, tools, telemetry):
             n=args.samples, base_seed=args.seed,
             keep_records=args.keep_records,
             fi_funcs=args.fi_funcs, fi_instrs=args.fi_instrs,
+            snapshot_interval=args.snapshot_interval,
         )
         for workload, source in sources.items()
         for tool_name in tools
@@ -347,6 +377,13 @@ def worker_main(argv: list[str] | None = None) -> int:
     parser.add_argument("--name", default=None,
                         help="worker name for logs (default: assigned by "
                         "the coordinator)")
+    parser.add_argument("--snapshot-dir", default=None,
+                        help="local directory for shared golden-run "
+                        "snapshots (when the coordinator's campaign has "
+                        "snapshots enabled); default: in-memory per tool")
+    parser.add_argument("--no-snapshot", action="store_true",
+                        help="ignore the campaign's snapshot settings and "
+                        "run every experiment from instruction 0")
     parser.add_argument("-q", "--quiet", action="store_true")
     args = parser.parse_args(argv)
 
@@ -361,7 +398,11 @@ def worker_main(argv: list[str] | None = None) -> int:
         print("refine-worker: error: -j must be >= 1", file=sys.stderr)
         return 2
     try:
-        stats = Worker(host, port, procs=args.procs, name=args.name).run()
+        stats = Worker(
+            host, port, procs=args.procs, name=args.name,
+            snapshot_dir=args.snapshot_dir,
+            use_snapshots=not args.no_snapshot,
+        ).run()
     except (DistError, ReproError) as exc:
         print(f"refine-worker: error: {exc}", file=sys.stderr)
         return 1
@@ -485,8 +526,17 @@ def fuzz_main(argv: list[str] | None = None) -> int:
     parser.add_argument("--check-workloads", action="store_true",
                         help="also run the zero-interference oracle on "
                         "every registered MiniC workload")
+    parser.add_argument("--snapshot-interval", type=int, default=None,
+                        metavar="N",
+                        help="with --check-workloads, also cross-check the "
+                        "snapshot fast path against from-scratch injection "
+                        "(N = snapshot interval, 0 = auto)")
     parser.add_argument("-q", "--quiet", action="store_true")
     args = parser.parse_args(argv)
+    if args.snapshot_interval is not None and args.snapshot_interval < 0:
+        print("refine-fuzz: error: --snapshot-interval must be >= 0",
+              file=sys.stderr)
+        return 2
     if args.count < 0 or args.start < 0:
         print("refine-fuzz: error: --count/--start must be >= 0",
               file=sys.stderr)
@@ -505,7 +555,9 @@ def fuzz_main(argv: list[str] | None = None) -> int:
     failed = False
     if args.check_workloads:
         for name in workload_names():
-            divergence = check_workload_zero_interference(name)
+            divergence = check_workload_zero_interference(
+                name, snapshot_interval=args.snapshot_interval
+            )
             if divergence is None:
                 if not args.quiet:
                     print(f"# zero-interference {name}: OK", file=sys.stderr)

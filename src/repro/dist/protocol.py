@@ -152,10 +152,16 @@ class CampaignSpec:
     fi_funcs: str = "*"
     fi_instrs: str = "all"
     opcode_faults: float = 0.0
+    #: snapshot fast path on the workers: ``None`` = off, ``0`` = auto
+    #: interval, ``N`` = every N dynamic instructions.  The store location
+    #: is worker-local (each host passes its own ``--snapshot-dir``).
+    snapshot_interval: int | None = None
 
     def __post_init__(self) -> None:
         if self.n <= 0:
             raise DistError("campaign spec needs n >= 1 experiments")
+        if self.snapshot_interval is not None and self.snapshot_interval < 0:
+            raise DistError("snapshot_interval must be >= 0 (0 = auto)")
         if self.tool_name not in TOOL_CLASSES:
             raise DistError(
                 f"unknown tool {self.tool_name!r}; "
@@ -179,12 +185,20 @@ class CampaignSpec:
 
     @classmethod
     def from_dict(cls, data: dict) -> "CampaignSpec":
+        # Defaulted fields may be absent (older coordinators), but the
+        # required ones must be present.
+        kwargs = {f.name: data[f.name] for f in fields(cls) if f.name in data}
         try:
-            return cls(**{f.name: data[f.name] for f in fields(cls)})
+            return cls(**kwargs)
         except (KeyError, TypeError) as exc:
             raise DistError(f"malformed campaign spec: {exc}") from exc
 
-    def slice_task(self, indices: tuple[int, ...], chunk: int = 0) -> SliceTask:
+    def slice_task(
+        self,
+        indices: tuple[int, ...],
+        chunk: int = 0,
+        snapshot_dir: str | None = None,
+    ) -> SliceTask:
         """The :class:`SliceTask` that runs ``indices`` of this campaign
         through the shared slice machinery."""
         return SliceTask(
@@ -200,4 +214,6 @@ class CampaignSpec:
             keep_records=self.keep_records,
             opcode_faults=self.opcode_faults,
             chunk=chunk,
+            snapshot_interval=self.snapshot_interval,
+            snapshot_dir=snapshot_dir,
         )

@@ -25,7 +25,7 @@ from concurrent.futures import (
     TimeoutError as FutureTimeout,
     wait as futures_wait,
 )
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
 
 from repro.campaign.io import merge_results
 from repro.campaign.parallel import run_slice
@@ -70,12 +70,20 @@ class Worker:
         procs: int = 1,
         name: str | None = None,
         die_after: int | None = None,
+        snapshot_dir: str | None = None,
+        use_snapshots: bool = True,
     ) -> None:
         if procs < 1:
             raise DistError("procs must be >= 1")
         self._client = CoordinatorClient(host, port, name=name, procs=procs)
         self._procs = procs
         self._die_after = die_after
+        #: where golden-run snapshots live on *this* host (specs carry only
+        #: the interval; the store path is a per-worker concern).  ``None``
+        #: keeps snapshots in-memory per tool; ``use_snapshots=False``
+        #: ignores the spec's snapshot request entirely.
+        self._snapshot_dir = snapshot_dir
+        self._use_snapshots = use_snapshots
         self._tools: dict[CampaignSpec, FITool] = {}
         self._pool: ProcessPoolExecutor | None = None
 
@@ -169,10 +177,13 @@ class Worker:
         slices = [
             indices[lo:lo + step] for lo in range(0, len(indices), step)
         ]
-        futures = [
-            self._pool.submit(run_slice, spec.slice_task(sub, chunk=ci))
+        tasks = [
+            spec.slice_task(sub, chunk=ci, snapshot_dir=self._snapshot_dir)
             for ci, sub in enumerate(slices)
         ]
+        if not self._use_snapshots:
+            tasks = [replace(t, snapshot_interval=None) for t in tasks]
+        futures = [self._pool.submit(run_slice, t) for t in tasks]
         futures_wait(futures, return_when=FIRST_EXCEPTION)
         parts = [f.result() for f in futures]  # re-raises the first failure
         merged = merge_results(parts, indices=slices)
@@ -190,5 +201,10 @@ class Worker:
                 spec.source, spec.workload, config=config,
                 opt_level=spec.opt_level, opcode_faults=spec.opcode_faults,
             )
+            if spec.snapshot_interval is not None and self._use_snapshots:
+                tool.enable_snapshots(
+                    interval=spec.snapshot_interval,
+                    store_dir=self._snapshot_dir,
+                )
             self._tools[spec] = tool
         return tool

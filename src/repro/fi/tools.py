@@ -74,6 +74,11 @@ class FITool:
     #: encodings (machine/binary level only; IR tools cannot).
     supports_opcode_faults = True
 
+    #: CpuSnapshot counter a fault trigger is compared against (the dynamic
+    #: candidate count the tool's ``target_index`` indexes into); ``None``
+    #: means the tool cannot use the snapshot fast path.
+    _SNAPSHOT_COUNTER: str | None = None
+
     def __init__(
         self,
         source: str,
@@ -96,6 +101,7 @@ class FITool:
         #: probability that a fault lands in the OP-code encoding instead of
         #: an output register (paper Section 4.5 extension; default off).
         self.opcode_faults = opcode_faults
+        self._snapshot_engine = None
 
     # -- compilation (tool-specific) -----------------------------------------
 
@@ -166,8 +172,17 @@ class FITool:
         return plan
 
     def inject(self, seed: int) -> InjectionRun:
-        """Run one experiment with a single bit flip drawn from ``seed``."""
-        plan = self.plan_from_seed(seed)
+        """Run one experiment with a single bit flip drawn from ``seed``.
+
+        Routes through the snapshot fast path when one is enabled (see
+        :meth:`enable_snapshots`); results are bit-identical either way.
+        """
+        if self._snapshot_engine is not None:
+            return self._snapshot_engine.inject(seed)
+        return self._inject_from_scratch(self.plan_from_seed(seed))
+
+    def _inject_from_scratch(self, plan: FaultPlan) -> InjectionRun:
+        """Reference path: execute the whole program from instruction 0."""
         cpu = self._make_cpu(plan)
         budget = self.profile.steps * TIMEOUT_FACTOR
         result = cpu.run(budget=budget)
@@ -177,11 +192,43 @@ class FITool:
             target_index=plan.target_index,
         )
 
+    # -- snapshot fast path --------------------------------------------------
+
+    @property
+    def snapshots(self):
+        """The attached :class:`repro.snapshot.SnapshotEngine`, if any."""
+        return self._snapshot_engine
+
+    def enable_snapshots(
+        self, interval: int = 0, store_dir=None, events=None
+    ):
+        """Attach a snapshot engine so ``inject`` resumes from golden-run
+        checkpoints instead of re-executing the fault-free prefix.
+
+        ``interval`` is in dynamic instructions (0 = auto-tune to the
+        workload length); ``store_dir`` enables the shared on-disk
+        :class:`repro.snapshot.SnapshotStore` so parallel processes and
+        dist workers reuse one golden run per binary.
+        """
+        # Imported lazily: repro.snapshot imports this module.
+        from repro.snapshot import SnapshotEngine, SnapshotStore
+
+        store = SnapshotStore(store_dir) if store_dir is not None else None
+        self._snapshot_engine = SnapshotEngine(
+            self, interval=interval, store=store, events=events
+        )
+        return self._snapshot_engine
+
+    def disable_snapshots(self) -> None:
+        """Detach the snapshot engine; ``inject`` reverts to from-scratch."""
+        self._snapshot_engine = None
+
 
 class RefineTool(FITool):
     """REFINE: compile-time backend instrumentation (paper Section 4)."""
 
     name = "REFINE"
+    _SNAPSHOT_COUNTER = "refine_count"
 
     def _compile(self) -> Binary:
         options = CompileOptions(
@@ -205,6 +252,7 @@ class LLFITool(FITool):
     """LLFI: IR-level call instrumentation (paper Sections 2, 3.3)."""
 
     name = "LLFI"
+    _SNAPSHOT_COUNTER = "llfi_count"
     #: IR-level injection never touches instruction encodings.
     supports_opcode_faults = False
 
@@ -231,6 +279,7 @@ class PinfiTool(FITool):
     baseline), with detach-after-injection."""
 
     name = "PINFI"
+    _SNAPSHOT_COUNTER = "pin_count"
 
     def _compile(self) -> Binary:
         options = CompileOptions(

@@ -176,6 +176,13 @@ class CPU:
         #: pc of the instruction currently executing an intrinsic
         self._cur_pc = 0
 
+        # Snapshot recording (armed by repro.snapshot): every
+        # ``_snap_every`` dynamic instructions the main loop syncs its
+        # local state back into the CPU and calls ``_snap_hook(cpu, pc)``
+        # with the pc of the *next* instruction — a valid resume point.
+        self._snap_every = 0
+        self._snap_hook = None
+
     # -- tool arming ---------------------------------------------------------
 
     def attach_pinfi(self, plan: FaultPlan | None) -> None:
@@ -190,6 +197,20 @@ class CPU:
 
     def arm_llfi(self, plan: FaultPlan) -> None:
         self._llfi_plan = plan
+
+    def record_snapshots(self, every: int, hook) -> None:
+        """Invoke ``hook(cpu, next_pc)`` every ``every`` dynamic instructions.
+
+        The hook fires at an instruction boundary with all interpreter
+        state (registers, flags, memory, counters, ``steps``) synced onto
+        the CPU object, so :mod:`repro.snapshot` can capture a consistent,
+        resumable snapshot.  Recording is meant for fault-free golden runs;
+        it costs one extra integer comparison per instruction.
+        """
+        if every <= 0:
+            raise ValueError("snapshot interval must be >= 1")
+        self._snap_every = every
+        self._snap_hook = hook
 
     # -- fault application ----------------------------------------------------
 
@@ -333,8 +354,6 @@ class CPU:
 
     def run(self, budget: int | None = None) -> ExecutionResult:
         """Execute from the entry point until halt, trap, or budget."""
-        if budget is not None:
-            self.budget = budget
         prog = self.program
         entry = prog.func_entry[prog.binary.entry]
 
@@ -343,10 +362,26 @@ class CPU:
         self.iregs[RBP_IDX] = prog.stack_top
         self._write_i64(prog.stack_top, HALT_PC & MASK64, -1)
         # (stored as unsigned; read back signed gives -1)
+        return self._execute(entry, budget)
 
+    def resume(self, pc: int, budget: int | None = None) -> ExecutionResult:
+        """Continue executing already-restored architectural state at ``pc``.
+
+        Used by :mod:`repro.snapshot` after
+        :func:`repro.snapshot.restore_snapshot` re-established the register
+        file, flags, memory, output and dynamic counters: execution picks up
+        mid-program exactly where the snapshot was taken, and the returned
+        :class:`ExecutionResult` is bit-identical to a from-scratch run's
+        (``steps`` and ``counts`` include the restored prefix).
+        """
+        return self._execute(pc, budget)
+
+    def _execute(self, pc: int, budget: int | None) -> ExecutionResult:
+        if budget is not None:
+            self.budget = budget
         result = ExecutionResult()
         try:
-            self._loop(entry)
+            self._loop(pc)
         except MachineTrap as trap:
             result.trap = trap.kind
             result.trap_pc = trap.pc
@@ -385,6 +420,9 @@ class CPU:
         pin_plan = self._pin_plan
         refine_count = self._refine_count
         refine_plan = self._refine_plan
+        snap_every = self._snap_every
+        snap_hook = self._snap_hook
+        snap_at = steps + snap_every if snap_every else 1 << 62
 
         try:
             while True:
@@ -794,6 +832,16 @@ class CPU:
                         self.attached_candidates = pin_count
                         counts = [0] * n_code
                         self.counts = counts
+                if steps >= snap_at:
+                    # Snapshot boundary: sync loop-local state onto the CPU
+                    # (after candidate accounting, so pin_count matches the
+                    # executed prefix) and hand a resumable view to the hook.
+                    self.steps = steps
+                    self.flags = flags
+                    self._pin_count = pin_count
+                    self._refine_count = refine_count
+                    snap_hook(self, pc)
+                    snap_at = steps + snap_every
         finally:
             self.steps = steps
             self.flags = flags

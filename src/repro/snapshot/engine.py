@@ -1,0 +1,251 @@
+"""Snapshot execution engine: serve fault runs from golden-run checkpoints.
+
+The paper's speed pillar demands Leveugle-sized campaigns (1068 runs per
+program), yet a naive emulator re-executes the identical fault-free prefix
+for every single fault.  ZOFI (arXiv:1906.09390) reuses the original
+execution up to the injection point; gem5-based tools fast-forward from
+checkpoints.  This engine gets the same effect portably:
+
+1. **One golden run** per (workload, tool, binary) records a
+   :class:`~repro.snapshot.state.CpuSnapshot` every K dynamic instructions
+   (K auto-tunes to the workload length by default).
+2. The chain persists in a :class:`~repro.snapshot.store.SnapshotStore`
+   keyed by binary fingerprint, shared by parallel-runner processes and
+   distributed workers on the same host.
+3. Each fault run restores the **nearest snapshot strictly below the
+   injection trigger** and executes only the remaining instructions —
+   O(interval + tail) instead of O(program).
+
+Correctness bar: because a fault plan is inert before its trigger fires,
+the pre-injection execution of a fault run is bit-identical to the golden
+run, so resuming from a golden snapshot yields an
+:class:`~repro.machine.cpu.ExecutionResult` equal in every field (outcome,
+output bytes, trap pc, dynamic counts) to the from-scratch path.  The
+differential oracles in :mod:`repro.testing` and the equivalence sweep in
+``tests/snapshot`` are the referee.
+"""
+
+from __future__ import annotations
+
+import time
+from bisect import bisect_left
+from dataclasses import dataclass, field
+
+from repro.errors import CampaignError
+from repro.snapshot.state import (
+    CpuSnapshot,
+    base_pages,
+    capture_snapshot,
+    restore_snapshot,
+)
+from repro.snapshot.store import SnapshotStore, program_fingerprint
+
+#: ``interval=0`` auto-tunes: one snapshot roughly every 1/128th of the
+#: golden run, floored so tiny workloads don't drown in snapshots.
+AUTO_SNAPSHOT_DENSITY = 128
+MIN_AUTO_INTERVAL = 256
+
+#: Budget for the recording run (matches the profiling run's budget).
+GOLDEN_BUDGET = 200_000_000
+
+
+def resolve_interval(interval: int, golden_steps: int) -> int:
+    """Turn the user-facing interval knob into a concrete step count."""
+    if interval > 0:
+        return interval
+    return max(MIN_AUTO_INTERVAL, golden_steps // AUTO_SNAPSHOT_DENSITY)
+
+
+@dataclass
+class SnapshotStats:
+    """Counters behind the ``snapshot_*`` telemetry events."""
+
+    #: fault runs served from a snapshot / from scratch
+    hits: int = 0
+    misses: int = 0
+    #: golden-run prefix instructions not re-executed
+    instructions_skipped: int = 0
+    #: instructions actually executed across served runs
+    instructions_executed: int = 0
+    #: snapshots in the golden chain and distinct dirty pages stored
+    snapshots: int = 0
+    pages_stored: int = 0
+    #: golden-run provenance
+    golden_reused: bool = False
+    golden_wall_s: float = 0.0
+    interval: int = 0
+
+    @property
+    def hit_rate(self) -> float:
+        served = self.hits + self.misses
+        return self.hits / served if served else 0.0
+
+    def as_dict(self) -> dict:
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "hit_rate": round(self.hit_rate, 4),
+            "instructions_skipped": self.instructions_skipped,
+            "instructions_executed": self.instructions_executed,
+            "snapshots": self.snapshots,
+            "pages_stored": self.pages_stored,
+            "golden_reused": self.golden_reused,
+            "golden_wall_s": round(self.golden_wall_s, 4),
+            "interval": self.interval,
+        }
+
+
+@dataclass
+class _Golden:
+    """A loaded golden chain plus the bisection index over its counters."""
+
+    snapshots: list[CpuSnapshot]
+    counters: list[int] = field(default_factory=list)
+
+    def nearest_below(self, trigger: int) -> CpuSnapshot | None:
+        """Latest snapshot whose tool counter is strictly below ``trigger``
+        (injection fires when the counter *reaches* the trigger, so a
+        snapshot at the trigger would already be past it)."""
+        idx = bisect_left(self.counters, trigger)
+        return self.snapshots[idx - 1] if idx else None
+
+
+class SnapshotEngine:
+    """Per-tool fast path: golden-run recording + snapshot-served injection.
+
+    Attach with :meth:`repro.fi.tools.FITool.enable_snapshots`; thereafter
+    ``tool.inject(seed)`` routes through :meth:`inject` and stays
+    bit-identical to the from-scratch path.
+    """
+
+    def __init__(
+        self,
+        tool,
+        interval: int = 0,
+        store: SnapshotStore | None = None,
+        events=None,
+    ) -> None:
+        if interval < 0:
+            raise CampaignError("snapshot interval must be >= 0 (0 = auto)")
+        counter = getattr(type(tool), "_SNAPSHOT_COUNTER", None)
+        if counter is None:
+            raise CampaignError(
+                f"{tool.name} does not define a snapshot trigger counter"
+            )
+        self.tool = tool
+        self.store = store
+        self.events = events
+        self.stats = SnapshotStats()
+        self._interval_knob = interval
+        self._counter = counter
+        self._golden: _Golden | None = None
+
+    # -- golden run ----------------------------------------------------------
+
+    @property
+    def interval(self) -> int:
+        """Concrete snapshot interval (resolves the auto knob lazily)."""
+        return resolve_interval(self._interval_knob, self.tool.profile.steps)
+
+    def golden(self) -> _Golden:
+        """The golden snapshot chain, loading or recording on first use."""
+        if self._golden is not None:
+            return self._golden
+        tool = self.tool
+        interval = self.interval  # forces profile; validates the workload
+        started = time.monotonic()
+        if self.store is not None:
+            fingerprint = program_fingerprint(
+                tool._make_cpu(None).program, tool.name
+            )
+            snaps, reused = self.store.load_or_record(
+                fingerprint,
+                interval,
+                self._record,
+                meta={
+                    "workload": tool.workload,
+                    "tool": tool.name,
+                    "golden_steps": tool.profile.steps,
+                },
+            )
+        else:
+            snaps, reused = self._record(), False
+        self.stats.golden_reused = reused
+        self.stats.golden_wall_s = time.monotonic() - started
+        self.stats.interval = interval
+        self.stats.snapshots = len(snaps)
+        self.stats.pages_stored = len(
+            {id(page) for snap in snaps for page in snap.pages.values()}
+        )
+        self._golden = _Golden(
+            snapshots=snaps,
+            counters=[snap.counter(self._counter) for snap in snaps],
+        )
+        if self.events is not None:
+            self.events.emit(
+                "snapshot_golden",
+                workload=tool.workload,
+                tool=tool.name,
+                interval=interval,
+                snapshots=self.stats.snapshots,
+                pages=self.stats.pages_stored,
+                reused=reused,
+                wall_s=round(self.stats.golden_wall_s, 4),
+            )
+        return self._golden
+
+    def _record(self) -> list[CpuSnapshot]:
+        """Run the workload fault-free once, capturing the snapshot chain."""
+        tool = self.tool
+        interval = self.interval
+        cpu = tool._make_cpu(None)
+        base = base_pages(cpu.program)
+        snaps: list[CpuSnapshot] = []
+
+        def hook(cpu, pc):
+            prev = snaps[-1] if snaps else None
+            snaps.append(capture_snapshot(cpu, pc, prev=prev, base=base))
+
+        cpu.record_snapshots(interval, hook)
+        result = cpu.run(budget=GOLDEN_BUDGET)
+        if result.trap is not None or result.exit_code != 0:
+            raise CampaignError(
+                f"{tool.name}: golden snapshot run of {tool.workload!r} "
+                f"failed (trap={result.trap}, exit={result.exit_code})"
+            )
+        if tuple(result.output) != tool.profile.golden_output:
+            raise CampaignError(
+                f"{tool.name}: golden snapshot run of {tool.workload!r} "
+                "diverged from the profiling run — nondeterministic workload?"
+            )
+        return snaps
+
+    # -- fault runs ----------------------------------------------------------
+
+    def inject(self, seed: int):
+        """Serve one injection experiment, resuming from the nearest golden
+        snapshot below the fault trigger.  Bit-identical to
+        ``FITool.inject`` without snapshots."""
+        from repro.fi.tools import TIMEOUT_FACTOR, InjectionRun
+
+        tool = self.tool
+        plan = tool.plan_from_seed(seed)
+        snap = self.golden().nearest_below(plan.target_index)
+        if snap is None:
+            self.stats.misses += 1
+            run = tool._inject_from_scratch(plan)
+            self.stats.instructions_executed += run.result.steps
+            return run
+        cpu = tool._make_cpu(plan)
+        restore_snapshot(cpu, snap)
+        result = cpu.resume(
+            snap.pc, budget=tool.profile.steps * TIMEOUT_FACTOR
+        )
+        self.stats.hits += 1
+        self.stats.instructions_skipped += snap.steps
+        self.stats.instructions_executed += result.steps - snap.steps
+        return InjectionRun(
+            result=result,
+            cycles=tool._cycles(cpu, result),
+            target_index=plan.target_index,
+        )

@@ -1,0 +1,229 @@
+"""On-disk snapshot store: one golden run per binary, shared by every worker.
+
+Layout (under the campaign checkpoint directory by default)::
+
+    <root>/
+      <fingerprint>/                 # sha-256 of the executable image
+        meta.json                    # provenance: workload, tool, interval(s)
+        interval-<K>.snap            # pickled golden-run snapshot chain
+        interval-<K>.snap.lock       # transient single-golden-run lock
+
+Keying by **binary fingerprint** makes invalidation automatic: recompiling
+a workload (different source, FI config, opt level, tool) produces a
+different executable image, hence a different fingerprint, hence a fresh
+golden run — stale snapshots can never be replayed against a changed
+binary.
+
+Concurrency: many parallel-runner processes or distributed workers may
+race to serve the same cell.  Writers publish with *temp file +
+``os.replace``* (readers never observe a torn file), and an ``O_EXCL``
+lock file elects a single golden-run recorder — losers poll for the
+winner's file instead of burning a redundant golden run.  A crashed
+recorder's stale lock is broken after a timeout, and in the worst case a
+process records its own golden run and atomically publishes it; since the
+recording is deterministic, last-writer-wins is still correct.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import pickle
+import time
+from pathlib import Path
+
+from repro.errors import CampaignError
+from repro.snapshot.state import PAGE_SIZE, CpuSnapshot
+
+#: Bump when the pickle payload or CpuSnapshot layout changes; old files
+#: are silently re-recorded.
+STORE_FORMAT_VERSION = 1
+
+#: Seconds a waiter polls for another process's golden run before
+#: recording its own (also the age at which a lock is considered stale).
+DEFAULT_LOCK_TIMEOUT_S = 120.0
+
+_POLL_S = 0.05
+
+
+def program_fingerprint(program, tool_name: str) -> str:
+    """SHA-256 identity of an executable image as one tool observes it.
+
+    Covers everything that affects execution and fault candidacy: decoded
+    code, per-pc fault-output descriptors, the candidate bitmap (PINFI
+    filters replace it via a program view), the initial data image, memory
+    size, entry point, and the observing tool (its trigger counter defines
+    what a snapshot's progress means).
+    """
+    h = hashlib.sha256()
+    h.update(f"format:{STORE_FORMAT_VERSION};page:{PAGE_SIZE};".encode())
+    h.update(f"tool:{tool_name};entry:{program.binary.entry};".encode())
+    h.update(f"mem:{program.mem_size};".encode())
+    h.update(repr(program.code).encode())
+    h.update(repr(program.outputs).encode())
+    h.update(repr(list(program.is_candidate)).encode())
+    h.update(bytes(program.data_image))
+    return h.hexdigest()
+
+
+class SnapshotStore:
+    """Directory of golden-run snapshot chains, keyed by binary fingerprint."""
+
+    def __init__(
+        self, root: str | Path, lock_timeout: float = DEFAULT_LOCK_TIMEOUT_S
+    ) -> None:
+        self.root = Path(root)
+        self.lock_timeout = lock_timeout
+
+    # -- paths ---------------------------------------------------------------
+
+    def cell_dir(self, fingerprint: str) -> Path:
+        return self.root / fingerprint
+
+    def snap_path(self, fingerprint: str, interval: int) -> Path:
+        return self.cell_dir(fingerprint) / f"interval-{interval}.snap"
+
+    # -- load/save -----------------------------------------------------------
+
+    def load(
+        self, fingerprint: str, interval: int
+    ) -> list[CpuSnapshot] | None:
+        """Load a golden chain, or ``None`` if absent/stale/corrupt (a
+        corrupt file is treated as a cache miss, not an error — the chain
+        is deterministic and can always be re-recorded)."""
+        path = self.snap_path(fingerprint, interval)
+        try:
+            with open(path, "rb") as fh:
+                meta, snaps = pickle.load(fh)
+        except FileNotFoundError:
+            return None
+        except (OSError, pickle.UnpicklingError, EOFError, ValueError,
+                AttributeError, ImportError):
+            return None
+        if (
+            meta.get("version") != STORE_FORMAT_VERSION
+            or meta.get("fingerprint") != fingerprint
+            or meta.get("interval") != interval
+        ):
+            return None
+        return snaps
+
+    def save(
+        self,
+        fingerprint: str,
+        interval: int,
+        snaps: list[CpuSnapshot],
+        meta: dict | None = None,
+    ) -> Path:
+        """Atomically publish a golden chain (temp file + rename)."""
+        path = self.snap_path(fingerprint, interval)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        payload = dict(meta or {})
+        payload.update(
+            version=STORE_FORMAT_VERSION,
+            fingerprint=fingerprint,
+            interval=interval,
+        )
+        tmp = path.with_name(f"{path.name}.tmp.{os.getpid()}")
+        try:
+            with open(tmp, "wb") as fh:
+                pickle.dump((payload, snaps), fh, protocol=4)
+            os.replace(tmp, path)
+        finally:
+            if tmp.exists():  # publish failed mid-way
+                tmp.unlink()
+        self._write_meta(fingerprint, payload)
+        return path
+
+    def _write_meta(self, fingerprint: str, payload: dict) -> None:
+        """Best-effort human-readable provenance next to the pickles."""
+        meta_path = self.cell_dir(fingerprint) / "meta.json"
+        info = {
+            k: v
+            for k, v in payload.items()
+            if isinstance(v, (str, int, float, bool))
+        }
+        try:
+            tmp = meta_path.with_name(f"meta.json.tmp.{os.getpid()}")
+            tmp.write_text(json.dumps(info, indent=2), encoding="utf-8")
+            os.replace(tmp, meta_path)
+        except OSError:
+            pass
+
+    # -- single-recorder election -------------------------------------------
+
+    def load_or_record(
+        self,
+        fingerprint: str,
+        interval: int,
+        record,
+        meta: dict | None = None,
+    ) -> tuple[list[CpuSnapshot], bool]:
+        """Return ``(snapshots, reused)``; ``record()`` runs at most once
+        per process and, under contention, usually once per *store*.
+
+        The first caller to create the ``.lock`` file records and
+        publishes; concurrent callers poll for the published file.  If the
+        recorder crashes (stale lock) or polling times out, the waiter
+        records its own chain — correctness never depends on the lock, only
+        efficiency does.
+        """
+        snaps = self.load(fingerprint, interval)
+        if snaps is not None:
+            return snaps, True
+        lock = self.snap_path(fingerprint, interval).with_suffix(
+            ".snap.lock"
+        )
+        lock.parent.mkdir(parents=True, exist_ok=True)
+        deadline = time.monotonic() + self.lock_timeout
+        while True:
+            if self._acquire(lock):
+                try:
+                    snaps = self.load(fingerprint, interval)
+                    if snaps is not None:  # published while we queued
+                        return snaps, True
+                    snaps = record()
+                    self.save(fingerprint, interval, snaps, meta)
+                    return snaps, False
+                finally:
+                    self._release(lock)
+            # Someone else is recording: wait for their publish.
+            time.sleep(_POLL_S)
+            snaps = self.load(fingerprint, interval)
+            if snaps is not None:
+                return snaps, True
+            self._break_stale(lock)
+            if time.monotonic() >= deadline:
+                # Recorder is wedged or too slow; do the work ourselves.
+                snaps = record()
+                self.save(fingerprint, interval, snaps, meta)
+                return snaps, False
+
+    def _acquire(self, lock: Path) -> bool:
+        try:
+            fd = os.open(lock, os.O_CREAT | os.O_EXCL | os.O_WRONLY)
+        except FileExistsError:
+            return False
+        except OSError as exc:
+            raise CampaignError(
+                f"cannot create snapshot lock {lock}: {exc}"
+            ) from exc
+        with os.fdopen(fd, "w") as fh:
+            fh.write(str(os.getpid()))
+        return True
+
+    def _release(self, lock: Path) -> None:
+        try:
+            lock.unlink()
+        except OSError:
+            pass
+
+    def _break_stale(self, lock: Path) -> None:
+        """Remove a lock whose holder died mid-recording."""
+        try:
+            age = time.time() - lock.stat().st_mtime
+        except OSError:
+            return
+        if age > self.lock_timeout:
+            self._release(lock)

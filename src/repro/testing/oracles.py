@@ -285,11 +285,77 @@ ORACLES: dict[str, Oracle] = {
 }
 
 
-def check_workload_zero_interference(name: str) -> Divergence | None:
-    """Run the zero-interference oracle on one registered MiniC workload."""
+def check_workload_zero_interference(
+    name: str, snapshot_interval: int | None = None
+) -> Divergence | None:
+    """Run the zero-interference oracle on one registered MiniC workload.
+
+    With ``snapshot_interval`` (``0`` = auto), additionally cross-check the
+    snapshot fast path: injections served from golden-run snapshots must be
+    bit-identical to from-scratch runs — the same claim, one layer up.
+    """
     from repro.frontend import compile_source
 
     spec = get_workload(name)
     module = compile_source(spec.source)
     module.name = spec.name
-    return ZeroInterferenceOracle().check(module)
+    divergence = ZeroInterferenceOracle().check(module)
+    if divergence is not None or snapshot_interval is None:
+        return divergence
+    return check_workload_snapshot_equivalence(name, snapshot_interval)
+
+
+def check_workload_snapshot_equivalence(
+    name: str,
+    snapshot_interval: int = 0,
+    seeds: range = range(4),
+) -> Divergence | None:
+    """Snapshot fast path vs from-scratch injection on one workload.
+
+    For every tool, runs the same seeds through a snapshot-enabled tool and
+    a plain one and demands identical ``ExecutionResult`` observables
+    (outcome behaviour, output, dynamic trace, step and cycle counts).
+    """
+    from repro.fi.tools import TOOL_CLASSES, TOOL_ORDER
+
+    spec = get_workload(name)
+    for tool_name in TOOL_ORDER:
+        scratch = TOOL_CLASSES[tool_name](spec.source, workload=spec.name)
+        snapped = TOOL_CLASSES[tool_name](spec.source, workload=spec.name)
+        snapped.enable_snapshots(interval=snapshot_interval)
+        for seed in seeds:
+            a = scratch.inject(seed)
+            b = snapped.inject(seed)
+            expected = RunOutcome(
+                engine=f"{tool_name}-scratch",
+                exit_code=a.result.exit_code,
+                trap=a.result.trap,
+                output=tuple(a.result.output),
+                trace=tuple(a.result.counts),
+            )
+            actual = RunOutcome(
+                engine=f"{tool_name}-snapshot",
+                exit_code=b.result.exit_code,
+                trap=b.result.trap,
+                output=tuple(b.result.output),
+                trace=tuple(b.result.counts),
+            )
+            if (
+                expected.behaviour() != actual.behaviour()
+                or expected.trace != actual.trace
+                or a.result.steps != b.result.steps
+                or abs(a.cycles - b.cycles) > 1e-9
+            ):
+                return Divergence(
+                    oracle="snapshot",
+                    detail=(
+                        f"snapshot-served injection diverged from the "
+                        f"from-scratch run ({name}/{tool_name}, "
+                        f"steps {a.result.steps} vs {b.result.steps}, "
+                        f"cycles {a.cycles} vs {b.cycles})"
+                    ),
+                    expected=expected,
+                    actual=actual,
+                    seed=seed,
+                )
+    return None

@@ -1,0 +1,125 @@
+"""Equivalence sweep: snapshot campaigns are bit-identical to from-scratch.
+
+The correctness bar of the subsystem (and the property the paper's speed
+numbers silently assume): enabling ``--snapshot-interval`` may change *how
+fast* a campaign runs, never *what* it computes.  Tier-1 covers two
+workloads cell by cell, record by record; ``-m slow`` runs the full matrix
+and a LocalCluster with concurrent workers sharing one store.
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.campaign import run_campaign, run_matrix
+from repro.campaign.parallel import run_campaign_parallel
+from repro.campaign.runner import make_tool
+from repro.fi.tools import TOOL_ORDER
+from repro.workloads import get_workload, workload_names
+
+WORKLOADS = ("EP", "DC")
+N = 8
+
+
+def _source(name):
+    return get_workload(name).source
+
+
+def assert_records_identical(a, b, context=""):
+    assert len(a.records) == len(b.records), context
+    for ra, rb in zip(a.records, b.records):
+        assert ra.index == rb.index, context
+        assert ra.seed == rb.seed, (context, ra.index)
+        assert ra.outcome == rb.outcome, (context, ra.index)
+        assert ra.steps == rb.steps, (context, ra.index)
+        assert ra.trap == rb.trap, (context, ra.index)
+        assert ra.exit_code == rb.exit_code, (context, ra.index)
+        assert ra.fault == rb.fault, (context, ra.index)
+        assert ra.cycles == pytest.approx(rb.cycles, abs=1e-9), (
+            context, ra.index,
+        )
+    assert a.counts == b.counts, context
+    assert a.total_steps == b.total_steps, context
+
+
+@pytest.mark.parametrize("workload", WORKLOADS)
+@pytest.mark.parametrize("tool_name", TOOL_ORDER)
+def test_sequential_snapshot_equals_scratch(workload, tool_name):
+    source = _source(workload)
+    scratch = make_tool(tool_name, source, workload)
+    snapped = make_tool(tool_name, source, workload, snapshot_interval=0)
+    ref = run_campaign(scratch, N, keep_records=True)
+    out = run_campaign(snapped, N, keep_records=True)
+    assert_records_identical(ref, out, f"{workload}/{tool_name}")
+    stats = snapped.snapshots.stats
+    assert stats.hits + stats.misses == N
+    assert stats.hits > 0  # auto interval must actually serve runs
+
+
+def test_parallel_snapshot_equals_scratch(tmp_path):
+    workload, tool_name = "EP", "REFINE"
+    source = _source(workload)
+    ref = run_campaign(make_tool(tool_name, source, workload), N,
+                       keep_records=True)
+    out = run_campaign_parallel(
+        tool_name, source, workload, N, workers=2, keep_records=True,
+        snapshot_interval=0, snapshot_dir=tmp_path / "snaps",
+        chunk_size=2,
+    )
+    assert_records_identical(ref, out, "parallel EP/REFINE")
+    assert (tmp_path / "snaps").is_dir()
+
+
+def test_matrix_snapshot_dir_defaults_under_checkpoints(tmp_path):
+    source = _source("EP")
+    ref = run_matrix({"EP": source}, ["REFINE"], N, keep_records=True)
+    out = run_matrix(
+        {"EP": source}, ["REFINE"], N, keep_records=True,
+        snapshot_interval=0, checkpoint_dir=tmp_path,
+    )
+    assert_records_identical(
+        ref[("EP", "REFINE")], out[("EP", "REFINE")], "matrix EP/REFINE"
+    )
+    assert (tmp_path / "snapshots").is_dir()
+
+
+@pytest.mark.slow
+def test_full_matrix_snapshot_equals_scratch():
+    sources = {w: _source(w) for w in workload_names()}
+    ref = run_matrix(sources, TOOL_ORDER, 24, keep_records=True)
+    out = run_matrix(sources, TOOL_ORDER, 24, keep_records=True,
+                     snapshot_interval=0)
+    for key in ref:
+        assert_records_identical(ref[key], out[key], str(key))
+
+
+@pytest.mark.slow
+def test_local_cluster_shares_one_golden_run(tmp_path):
+    """Concurrent dist workers race on the store; the campaign result must
+    match a local run and the store must hold exactly one chain per cell
+    with no lock or temp debris."""
+    from repro.dist import CampaignSpec
+    from repro.dist.local import LocalCluster
+
+    source = _source("EP")
+    ref = run_matrix({"EP": source}, ["REFINE", "PINFI"], 16)
+    snap_dir = tmp_path / "snaps"
+    specs = [
+        CampaignSpec(workload="EP", source=source, tool_name=t, n=16,
+                     snapshot_interval=0)
+        for t in ("REFINE", "PINFI")
+    ]
+    with LocalCluster(specs, workers=3, chunk_size=3,
+                      snapshot_dir=snap_dir) as cluster:
+        results = cluster.results(timeout=300)
+    for key, res in results.items():
+        assert res.counts == ref[key].counts, key
+        assert res.total_steps == ref[key].total_steps, key
+    cells = os.listdir(snap_dir)
+    assert len(cells) == 2  # one fingerprint per (binary, tool)
+    for cell in cells:
+        names = os.listdir(snap_dir / cell)
+        assert not [n for n in names if n.endswith(".lock") or ".tmp." in n]
+        assert sum(1 for n in names if n.endswith(".snap")) == 1

@@ -1,0 +1,135 @@
+"""Snapshot capture/restore round-trips on a real compiled program."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.machine.cpu import CPU
+from repro.snapshot import (
+    PAGE_SIZE,
+    base_pages,
+    capture_snapshot,
+    cpu_state_digest,
+    restore_snapshot,
+)
+from repro.workloads import get_workload
+from repro.fi.tools import PinfiTool, RefineTool
+
+from tests.conftest import DEMO_SOURCE
+from repro.backend import compile_minic
+from repro.machine import load_binary
+
+INTERVAL = 100
+
+
+@pytest.fixture(scope="module")
+def program():
+    return load_binary(compile_minic(DEMO_SOURCE, "demo"))
+
+
+def _record_run(program, interval=INTERVAL):
+    """One full run that captures a snapshot chain plus per-snapshot
+    state digests taken at capture time."""
+    cpu = CPU(program)
+    base = base_pages(program)
+    snaps, digests = [], []
+
+    def hook(cpu, pc):
+        prev = snaps[-1] if snaps else None
+        snaps.append(capture_snapshot(cpu, pc, prev=prev, base=base))
+        digests.append(cpu_state_digest(cpu))
+
+    cpu.record_snapshots(interval, hook)
+    result = cpu.run()
+    return snaps, digests, result
+
+
+class TestRoundTrip:
+    def test_restore_reproduces_digest(self, program):
+        snaps, digests, _ = _record_run(program)
+        assert len(snaps) >= 3
+        for snap, digest in zip(snaps, digests):
+            fresh = CPU(program)
+            restore_snapshot(fresh, snap)
+            assert cpu_state_digest(fresh) == digest
+
+    def test_restored_fields(self, program):
+        snaps, _, _ = _record_run(program)
+        snap = snaps[len(snaps) // 2]
+        fresh = CPU(program)
+        restore_snapshot(fresh, snap)
+        assert fresh.steps == snap.steps
+        assert tuple(fresh.iregs) == snap.iregs
+        assert tuple(fresh.fregs) == snap.fregs
+        assert fresh.flags == snap.flags
+        assert tuple(fresh.output) == snap.output
+        assert tuple(fresh.counts) == snap.counts
+        for idx, page in snap.pages.items():
+            off = idx * PAGE_SIZE
+            assert bytes(fresh.mem[off:off + len(page)]) == page
+
+    def test_resume_equals_uninterrupted_run(self, program):
+        snaps, _, full = _record_run(program)
+        for snap in (snaps[0], snaps[len(snaps) // 2], snaps[-1]):
+            fresh = CPU(program)
+            restore_snapshot(fresh, snap)
+            resumed = fresh.resume(snap.pc)
+            assert resumed.output == full.output
+            assert resumed.exit_code == full.exit_code
+            assert resumed.trap == full.trap
+            assert resumed.steps == full.steps
+            assert list(resumed.counts) == list(full.counts)
+
+
+class TestPageDeltas:
+    def test_clean_pages_are_not_stored(self, program):
+        snaps, _, _ = _record_run(program)
+        total_pages = len(base_pages(program))
+        assert all(s.dirty_pages < total_pages for s in snaps)
+
+    def test_unchanged_pages_shared_with_previous_snapshot(self, program):
+        snaps, _, _ = _record_run(program)
+        shared = sum(
+            1
+            for a, b in zip(snaps, snaps[1:])
+            for idx in b.pages
+            if a.pages.get(idx) is b.pages[idx]
+        )
+        assert shared > 0
+
+    def test_base_omitted_matches_base_passed(self, program):
+        cpu = CPU(program)
+        cpu.run()
+        with_base = capture_snapshot(cpu, 0, base=base_pages(program))
+        without = capture_snapshot(cpu, 0)
+        assert with_base.pages == without.pages
+
+
+class TestToolCounters:
+    def test_refine_counter_recorded(self):
+        spec = get_workload("EP")
+        tool = RefineTool(spec.source, workload="EP")
+        cpu = tool._make_cpu(None)
+        snaps = []
+        cpu.record_snapshots(5000, lambda c, pc: snaps.append(
+            capture_snapshot(c, pc)))
+        cpu.run(budget=200_000_000)
+        counters = [s.refine_count for s in snaps]
+        assert counters == sorted(counters)
+        assert counters[-1] > 0
+
+    def test_pinfi_attached_counts_realias(self):
+        spec = get_workload("EP")
+        tool = PinfiTool(spec.source, workload="EP")
+        cpu = tool._make_cpu(None)
+        snaps = []
+        cpu.record_snapshots(5000, lambda c, pc: snaps.append(
+            capture_snapshot(c, pc)))
+        cpu.run(budget=200_000_000)
+        snap = snaps[len(snaps) // 2]
+        fresh = tool._make_cpu(tool.plan_from_seed(1))
+        restore_snapshot(fresh, snap)
+        # attach_pinfi aliases counts_attached to counts; the restore must
+        # re-establish that after replacing the counts list.
+        assert fresh.counts_attached is fresh.counts
+        assert fresh._pin_count == snap.pin_count

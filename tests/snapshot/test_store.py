@@ -1,0 +1,189 @@
+"""SnapshotStore: fingerprinting, atomic persistence, recorder election."""
+
+from __future__ import annotations
+
+import os
+import pickle
+import threading
+import time
+
+import pytest
+
+from repro.fi.tools import LLFITool, RefineTool
+from repro.snapshot import (
+    CpuSnapshot,
+    SnapshotStore,
+    program_fingerprint,
+)
+from repro.workloads import get_workload
+
+
+def _snap(steps: int = 10) -> CpuSnapshot:
+    return CpuSnapshot(
+        pc=4, steps=steps, iregs=(1,) * 16, fregs=(0.5,) * 16, flags=2,
+        output=("x",), counts=(1, 2, 3), pin_count=5, refine_count=6,
+        llfi_count=7, pages={0: b"\x01" * 16},
+    )
+
+
+class TestFingerprint:
+    def test_deterministic(self):
+        spec = get_workload("EP")
+        a = RefineTool(spec.source, workload="EP")
+        b = RefineTool(spec.source, workload="EP")
+        assert program_fingerprint(a.program, a.name) == program_fingerprint(
+            b.program, b.name
+        )
+
+    def test_differs_by_source(self):
+        ep, dc = get_workload("EP"), get_workload("DC")
+        a = RefineTool(ep.source, workload="EP")
+        b = RefineTool(dc.source, workload="DC")
+        assert program_fingerprint(a.program, a.name) != program_fingerprint(
+            b.program, b.name
+        )
+
+    def test_differs_by_tool(self):
+        spec = get_workload("EP")
+        a = RefineTool(spec.source, workload="EP")
+        b = LLFITool(spec.source, workload="EP")
+        assert program_fingerprint(a.program, a.name) != program_fingerprint(
+            b.program, b.name
+        )
+
+    def test_differs_by_opt_level(self):
+        spec = get_workload("EP")
+        a = RefineTool(spec.source, workload="EP", opt_level="O2")
+        b = RefineTool(spec.source, workload="EP", opt_level="O0")
+        assert program_fingerprint(a.program, a.name) != program_fingerprint(
+            b.program, b.name
+        )
+
+
+class TestSaveLoad:
+    def test_round_trip(self, tmp_path):
+        store = SnapshotStore(tmp_path)
+        snaps = [_snap(10), _snap(20)]
+        store.save("fp", 5, snaps, meta={"workload": "EP"})
+        assert store.load("fp", 5) == snaps
+
+    def test_missing_is_none(self, tmp_path):
+        assert SnapshotStore(tmp_path).load("nothing", 5) is None
+
+    def test_interval_is_part_of_the_key(self, tmp_path):
+        store = SnapshotStore(tmp_path)
+        store.save("fp", 5, [_snap()])
+        assert store.load("fp", 7) is None
+
+    def test_corrupt_file_is_a_miss(self, tmp_path):
+        store = SnapshotStore(tmp_path)
+        store.save("fp", 5, [_snap()])
+        store.snap_path("fp", 5).write_bytes(b"not a pickle")
+        assert store.load("fp", 5) is None
+
+    def test_version_mismatch_is_a_miss(self, tmp_path):
+        store = SnapshotStore(tmp_path)
+        store.save("fp", 5, [_snap()])
+        path = store.snap_path("fp", 5)
+        meta, snaps = pickle.loads(path.read_bytes())
+        meta["version"] = -1
+        path.write_bytes(pickle.dumps((meta, snaps)))
+        assert store.load("fp", 5) is None
+
+    def test_no_tmp_leftovers(self, tmp_path):
+        store = SnapshotStore(tmp_path)
+        store.save("fp", 5, [_snap()])
+        names = os.listdir(store.cell_dir("fp"))
+        assert not [n for n in names if ".tmp." in n]
+
+    def test_meta_json_written(self, tmp_path):
+        store = SnapshotStore(tmp_path)
+        store.save("fp", 5, [_snap()], meta={"workload": "EP"})
+        assert (store.cell_dir("fp") / "meta.json").exists()
+
+
+class TestLoadOrRecord:
+    def test_records_once_then_reuses(self, tmp_path):
+        store = SnapshotStore(tmp_path)
+        calls = []
+
+        def record():
+            calls.append(1)
+            return [_snap()]
+
+        snaps, reused = store.load_or_record("fp", 5, record)
+        assert not reused and len(calls) == 1
+        snaps2, reused2 = store.load_or_record("fp", 5, record)
+        assert reused2 and len(calls) == 1
+        assert snaps2 == snaps
+
+    def test_concurrent_threads_record_once(self, tmp_path):
+        store = SnapshotStore(tmp_path)
+        calls = []
+        barrier = threading.Barrier(6)
+        results = []
+
+        def record():
+            calls.append(1)
+            time.sleep(0.05)  # widen the window a loser could sneak into
+            return [_snap()]
+
+        def worker():
+            barrier.wait()
+            results.append(store.load_or_record("fp", 5, record))
+
+        threads = [threading.Thread(target=worker) for _ in range(6)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert len(calls) == 1
+        assert all(snaps == [_snap()] for snaps, _ in results)
+        assert sum(1 for _, reused in results if not reused) == 1
+        lock = store.snap_path("fp", 5).with_suffix(".snap.lock")
+        assert not lock.exists()
+
+    def test_stale_lock_is_broken(self, tmp_path):
+        store = SnapshotStore(tmp_path, lock_timeout=0.3)
+        lock = store.snap_path("fp", 5).with_suffix(".snap.lock")
+        lock.parent.mkdir(parents=True)
+        lock.write_text("999999")
+        old = time.time() - 3600
+        os.utime(lock, (old, old))
+        snaps, reused = store.load_or_record("fp", 5, lambda: [_snap()])
+        assert snaps == [_snap()] and not reused
+        assert not lock.exists()
+
+    def test_wedged_recorder_times_out(self, tmp_path):
+        # A live lock that never publishes: the waiter eventually records
+        # its own chain rather than hanging forever.
+        store = SnapshotStore(tmp_path, lock_timeout=0.4)
+        lock = store.snap_path("fp", 5).with_suffix(".snap.lock")
+        lock.parent.mkdir(parents=True)
+        lock.write_text(str(os.getpid()))
+
+        def hold_lock():
+            for _ in range(20):  # keep the lock fresh past the deadline
+                time.sleep(0.05)
+                if done.is_set():
+                    return
+                os.utime(lock)
+
+        done = threading.Event()
+        holder = threading.Thread(target=hold_lock)
+        holder.start()
+        try:
+            started = time.monotonic()
+            snaps, reused = store.load_or_record("fp", 5, lambda: [_snap()])
+            assert snaps == [_snap()] and not reused
+            assert time.monotonic() - started >= 0.3
+        finally:
+            done.set()
+            holder.join()
+
+
+@pytest.mark.parametrize("interval", [1, 1000])
+def test_snap_path_layout(tmp_path, interval):
+    store = SnapshotStore(tmp_path)
+    path = store.snap_path("abc123", interval)
+    assert path == tmp_path / "abc123" / f"interval-{interval}.snap"

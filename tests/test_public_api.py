@@ -18,6 +18,7 @@ PACKAGES = [
     "repro.machine",
     "repro.fi",
     "repro.campaign",
+    "repro.snapshot",
     "repro.stats",
     "repro.reporting",
     "repro.workloads",
