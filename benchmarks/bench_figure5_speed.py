@@ -13,6 +13,7 @@ runs early (EP in the paper).
 from __future__ import annotations
 
 import json
+import math
 import os
 import time
 
@@ -28,6 +29,9 @@ from benchmarks.conftest import emit_artifact
 #: Small enough to keep the bench quick, large enough to amortize the one
 #: golden recording the snapshot path pays up front.
 SNAP_SAMPLES = int(os.environ.get("REPRO_SNAP_SAMPLES", "40"))
+
+#: Fault runs per workload for the fast-vs-reference engine measure.
+ENGINE_SAMPLES = int(os.environ.get("REPRO_ENGINE_SAMPLES", "40"))
 
 
 def test_figure5_normalized_times(benchmark, campaign_matrix, workloads):
@@ -104,4 +108,62 @@ def test_snapshot_campaign_speedup(benchmark):
     assert len(ge2) >= 3, (
         f"snapshot fast path reached 2x on only {len(ge2)}/"
         f"{len(per_workload)} workloads: {speedups}"
+    )
+
+
+def test_engine_campaign_speedup(benchmark):
+    """Steady-state campaign throughput: fast engine vs the PR 4 baseline.
+
+    The PR 4 baseline is the snapshot fast path driven by the reference
+    interpreter loop; the fast engine keeps that prefix machinery and
+    replaces tail execution with free-run block superinstructions.  Both
+    sides run the identical REFINE campaign (same seeds, snapshots on);
+    the first injection — which pays the one-time golden recording and
+    block translation — is warmed outside the clock on both sides, since a
+    real campaign amortizes it over its 1068 samples, not over the bench's
+    {ENGINE_SAMPLES}.  Emits ``BENCH_engine.json``.
+    """
+    per_workload: dict[str, dict] = {}
+
+    def sweep():
+        for name, source in workload_sources().items():
+            seeds = [
+                derive_seed(DEFAULT_SEED, name, "REFINE", i)
+                for i in range(ENGINE_SAMPLES)
+            ]
+            times = {}
+            for engine in ("reference", "fast"):
+                tool = RefineTool(source, name, engine=engine)
+                tool.enable_snapshots(interval=0)
+                _ = tool.profile
+                tool.inject(seeds[0])  # golden recording + warm-up
+                t0 = time.perf_counter()
+                for seed in seeds[1:]:
+                    tool.inject(seed)
+                times[engine] = time.perf_counter() - t0
+            per_workload[name] = {
+                "samples": ENGINE_SAMPLES - 1,
+                "reference_s": round(times["reference"], 4),
+                "fast_s": round(times["fast"], 4),
+                "speedup": round(times["reference"] / times["fast"], 3),
+            }
+
+    benchmark.pedantic(sweep, rounds=1, iterations=1)
+
+    speedups = [row["speedup"] for row in per_workload.values()]
+    geomean = math.exp(sum(math.log(s) for s in speedups) / len(speedups))
+    payload = {
+        "samples_per_workload": ENGINE_SAMPLES - 1,
+        "tool": "REFINE",
+        "baseline": "reference engine + snapshot fast path (PR 4)",
+        "candidate": "fast free-run engine + snapshot fast path",
+        "workloads": per_workload,
+        "geomean_speedup": round(geomean, 3),
+        "min_speedup": min(speedups),
+        "max_speedup": max(speedups),
+    }
+    emit_artifact("BENCH_engine.json", json.dumps(payload, indent=2))
+    assert geomean >= 3.0, (
+        f"fast engine geomean speedup {geomean:.2f}x < 3x target: "
+        f"{sorted((r['speedup'], n) for n, r in per_workload.items())}"
     )

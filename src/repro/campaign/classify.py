@@ -38,7 +38,10 @@ def classify(result: ExecutionResult, golden_output: Sequence[str]) -> Outcome:
     """Classify one run against the golden output."""
     if result.trap is not None:
         return Outcome.CRASH
-    if result.exit_code != 0:
+    # Process-semantics boundary: a parent observes only the low 8 bits of
+    # the exit code (waitpid), so 256 exits "0" and -1 exits 255 on the
+    # machines the paper measured.
+    if result.exit_status != 0:
         return Outcome.CRASH
     if tuple(result.output) != tuple(golden_output):
         return Outcome.SOC

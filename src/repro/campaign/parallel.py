@@ -71,6 +71,8 @@ class SliceTask:
     #: golden run per binary (see :mod:`repro.snapshot`).
     snapshot_interval: int | None = None
     snapshot_dir: str | None = None
+    #: execution engine name (``None`` = environment/default)
+    engine: str | None = None
 
 
 def run_slice(task: SliceTask) -> CampaignResult:
@@ -80,7 +82,7 @@ def run_slice(task: SliceTask) -> CampaignResult:
     )
     tool = TOOL_CLASSES[task.tool_name](
         task.source, task.workload, config=config, opt_level=task.opt_level,
-        opcode_faults=task.opcode_faults,
+        opcode_faults=task.opcode_faults, engine=task.engine,
     )
     if task.snapshot_interval is not None:
         tool.enable_snapshots(
@@ -114,6 +116,7 @@ def run_campaign_parallel(
     chunk_size: int | None = None,
     snapshot_interval: int | None = None,
     snapshot_dir: str | Path | None = None,
+    engine: str | None = None,
 ) -> CampaignResult:
     """Run ``n`` experiments across ``workers`` processes.
 
@@ -253,6 +256,7 @@ def run_campaign_parallel(
             chunk=ci,
             snapshot_interval=snapshot_interval,
             snapshot_dir=None if snapshot_dir is None else str(snapshot_dir),
+            engine=engine,
         )
         for ci, indices in enumerate(chunks)
     ]

@@ -49,10 +49,12 @@ def make_tool(
     snapshot_interval: int | None = None,
     snapshot_dir: str | Path | None = None,
     events: EventLog | None = None,
+    engine: str | None = None,
 ) -> FITool:
     """Build a configured tool; ``snapshot_interval`` (``None`` = off,
     ``0`` = auto) attaches the snapshot fast path, with ``snapshot_dir``
-    as the shared on-disk golden-run store."""
+    as the shared on-disk golden-run store.  ``engine`` selects the
+    execution engine (``None`` = environment/default)."""
     try:
         cls = TOOL_CLASSES[tool_name]
     except KeyError:
@@ -61,7 +63,7 @@ def make_tool(
         ) from None
     tool = cls(
         source, workload, config=config, opt_level=opt_level,
-        opcode_faults=opcode_faults,
+        opcode_faults=opcode_faults, engine=engine,
     )
     if snapshot_interval is not None:
         tool.enable_snapshots(
@@ -259,6 +261,7 @@ def run_matrix(
     events: EventLog | None = None,
     snapshot_interval: int | None = None,
     snapshot_dir: str | Path | None = None,
+    engine: str | None = None,
 ) -> dict[tuple[str, str], CampaignResult]:
     """Run the full (workload x tool) campaign matrix, like the paper's
     44,856-experiment evaluation (14 apps x 3 tools x 1068 samples).
@@ -298,13 +301,13 @@ def run_matrix(
                     checkpoint_path=ckpt_path,
                     checkpoint_every=checkpoint_every, events=events,
                     snapshot_interval=snapshot_interval,
-                    snapshot_dir=snapshot_dir,
+                    snapshot_dir=snapshot_dir, engine=engine,
                 )
             else:
                 tool = make_tool(
                     tool_name, source, workload, config, opt_level,
                     snapshot_interval=snapshot_interval,
-                    snapshot_dir=snapshot_dir, events=events,
+                    snapshot_dir=snapshot_dir, events=events, engine=engine,
                 )
                 results[(workload, tool_name)] = run_campaign(
                     tool, n, base_seed, keep_records=keep_records,

@@ -31,6 +31,7 @@ from repro.campaign import (
     run_matrix,
     save_matrix,
 )
+from repro.engine import ENGINE_NAMES
 from repro.errors import CampaignError, DistError, ReproError
 from repro.fi import FIConfig, TOOL_ORDER, llfi_instrument, refine_instrument
 from repro.reporting import (
@@ -256,6 +257,12 @@ def campaign_main(argv: list[str] | None = None) -> int:
     parser.add_argument("--no-snapshot", action="store_true",
                         help="disable the snapshot fast path and run every "
                         "experiment from instruction 0")
+    parser.add_argument("--engine", default=None,
+                        choices=list(ENGINE_NAMES),
+                        help="execution engine: 'fast' (free-run block "
+                        "translation, the default) or 'reference' (the "
+                        "original interpreter loop); results are "
+                        "bit-identical either way")
     parser.add_argument("--events", default=None,
                         help="append JSONL telemetry events to this file")
     parser.add_argument("--save", default=None,
@@ -312,6 +319,7 @@ def campaign_main(argv: list[str] | None = None) -> int:
                 checkpoint_every=args.checkpoint_every,
                 events=telemetry,
                 snapshot_interval=args.snapshot_interval,
+                engine=args.engine,
             )
     except (CampaignError, DistError) as exc:
         print(f"refine-campaign: error: {exc}", file=sys.stderr)
@@ -336,6 +344,7 @@ def _serve_distributed(args, sources, tools, telemetry):
             keep_records=args.keep_records,
             fi_funcs=args.fi_funcs, fi_instrs=args.fi_instrs,
             snapshot_interval=args.snapshot_interval,
+            engine=args.engine,
         )
         for workload, source in sources.items()
         for tool_name in tools
@@ -494,7 +503,10 @@ def fuzz_main(argv: list[str] | None = None) -> int:
     """``refine-fuzz``: differential fuzzing of the compiler pipeline."""
     from repro.testing import GenConfig, ORACLES, run_fuzz
     from repro.testing.fuzz import DEFAULT_ARTIFACTS_DIR
-    from repro.testing.oracles import check_workload_zero_interference
+    from repro.testing.oracles import (
+        check_workload_engine_equivalence,
+        check_workload_zero_interference,
+    )
     from repro.workloads import workload_names
 
     parser = argparse.ArgumentParser(
@@ -528,9 +540,12 @@ def fuzz_main(argv: list[str] | None = None) -> int:
                         "every registered MiniC workload")
     parser.add_argument("--snapshot-interval", type=int, default=None,
                         metavar="N",
-                        help="with --check-workloads, also cross-check the "
-                        "snapshot fast path against from-scratch injection "
+                        help="with --check-workloads/--check-engines, also "
+                        "cross-check the snapshot fast path "
                         "(N = snapshot interval, 0 = auto)")
+    parser.add_argument("--check-engines", action="store_true",
+                        help="also check fast-engine vs reference-engine "
+                        "equivalence on every registered MiniC workload")
     parser.add_argument("-q", "--quiet", action="store_true")
     args = parser.parse_args(argv)
     if args.snapshot_interval is not None and args.snapshot_interval < 0:
@@ -564,6 +579,19 @@ def fuzz_main(argv: list[str] | None = None) -> int:
             else:
                 failed = True
                 print(f"refine-fuzz: zero-interference FAILED for {name}:",
+                      file=sys.stderr)
+                print(divergence.describe(), file=sys.stderr)
+    if args.check_engines:
+        for name in workload_names():
+            divergence = check_workload_engine_equivalence(
+                name, snapshot_interval=args.snapshot_interval
+            )
+            if divergence is None:
+                if not args.quiet:
+                    print(f"# engine-equivalence {name}: OK", file=sys.stderr)
+            else:
+                failed = True
+                print(f"refine-fuzz: engine-equivalence FAILED for {name}:",
                       file=sys.stderr)
                 print(divergence.describe(), file=sys.stderr)
 

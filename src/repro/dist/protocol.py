@@ -156,12 +156,22 @@ class CampaignSpec:
     #: interval, ``N`` = every N dynamic instructions.  The store location
     #: is worker-local (each host passes its own ``--snapshot-dir``).
     snapshot_interval: int | None = None
+    #: execution engine the workers run on (``None`` = worker default)
+    engine: str | None = None
 
     def __post_init__(self) -> None:
         if self.n <= 0:
             raise DistError("campaign spec needs n >= 1 experiments")
         if self.snapshot_interval is not None and self.snapshot_interval < 0:
             raise DistError("snapshot_interval must be >= 0 (0 = auto)")
+        if self.engine is not None:
+            from repro.engine import ENGINE_NAMES
+
+            if self.engine not in ENGINE_NAMES:
+                raise DistError(
+                    f"unknown engine {self.engine!r}; "
+                    f"choose from {ENGINE_NAMES}"
+                )
         if self.tool_name not in TOOL_CLASSES:
             raise DistError(
                 f"unknown tool {self.tool_name!r}; "
@@ -216,4 +226,5 @@ class CampaignSpec:
             chunk=chunk,
             snapshot_interval=self.snapshot_interval,
             snapshot_dir=snapshot_dir,
+            engine=self.engine,
         )

@@ -1,0 +1,225 @@
+"""The free-run fast engine (ZOFI-style execution core).
+
+Executes translated basic-block superinstructions at full speed and only
+pays for instrumentation where an event can actually occur:
+
+* **budget tails** — when the next block could cross the step budget, the
+  remainder of the run is delegated to the reference ``CPU._loop``, so the
+  timeout-vs-snapshot-vs-halt ordering is reference-exact by construction;
+* **trigger windows** — when an armed REFINE/PINFI plan's counter would
+  cross its target inside the next block, the engine drops into the
+  reference loop with a small watcher window and exits back to free-run as
+  soon as the fault has been applied (the ZOFI insight: the binary runs
+  uninstrumented outside a bounded window around the injection point);
+* **golden recording** — runs with an armed snapshot hook are executed
+  entirely by the reference loop (they happen once per binary/tool and the
+  snapshot store amortizes them).
+
+Everything observable — steps, per-pc counts, trigger counters, traps,
+flags, output — is bit-identical to the reference interpreter: free-run
+accounting is batched per block (a block is a contiguous pc range, so its
+contribution is a static constant) and trap unwinding rewinds the batch to
+the executed prefix.  LLFI needs no arming at all: its injection fires
+inside intrinsic calls, which free-run blocks execute natively.
+"""
+
+from __future__ import annotations
+
+from repro.engine.cache import GLOBAL_CACHE, TranslationCache
+from repro.errors import MachineTrap
+from repro.machine.cpu import CPU, ExecutionResult
+from repro.machine import opcodes as O
+
+#: Careful-window granularity: once an armed plan is about to fire, the
+#: reference loop runs with a watcher every this many instructions; the
+#: engine returns to free-run at the first watcher tick after injection.
+CAREFUL_WINDOW = 256
+
+
+class _ExitFast(Exception):
+    """Internal: leave the reference loop and return to free-run at ``pc``."""
+
+    def __init__(self, pc: int) -> None:
+        self.pc = pc
+
+
+def _fault_watcher(cpu: CPU, pc: int) -> None:
+    if cpu.fault is not None:
+        raise _ExitFast(pc)
+
+
+class FastEngine:
+    """Block-translated free-run execution; see module docstring."""
+
+    name = "fast"
+
+    def __init__(self, cache_dir: str | None = None) -> None:
+        if cache_dir is None:
+            self.cache = GLOBAL_CACHE
+        else:
+            self.cache = TranslationCache(cache_dir)
+
+    # -- ExecutionEngine interface ------------------------------------------
+
+    def run(self, cpu: CPU, budget: int | None = None) -> ExecutionResult:
+        return self._drive(cpu, cpu.prepare_entry(), budget)
+
+    def resume(self, cpu: CPU, pc: int, budget: int | None = None) -> ExecutionResult:
+        return self._drive(cpu, pc, budget)
+
+    # -- trampoline ---------------------------------------------------------
+
+    def _drive(self, cpu: CPU, pc: int, budget: int | None) -> ExecutionResult:
+        if budget is not None:
+            cpu.budget = budget
+        if cpu._snap_every:
+            # Golden recording: full instrumentation, reference loop.
+            return cpu._execute(pc, None)
+
+        trans = self.cache.translation_for(cpu.program)
+        FL = [cpu.flags]
+        blocks = trans.instantiate(cpu, FL)
+        lens = trans.lens
+        sites = trans.sites
+        cands = trans.cands
+        execs: dict[int, int] = {}
+
+        steps = cpu.steps
+        rc = cpu._refine_count
+        pin = cpu._pin_count
+        attached = cpu._attached
+        budget_v = cpu.budget
+        r_plan = cpu._refine_plan
+        r_target = r_plan.target_index if r_plan is not None else 0
+        p_plan = cpu._pin_plan
+        p_target = p_plan.target_index if p_plan is not None else 0
+        if cpu.fault is not None:
+            # A fault already fired (e.g. before the resume point): plans
+            # are single-shot, nothing left to arm.
+            r_plan = p_plan = None
+
+        blocks_get = blocks.get
+
+        while True:
+            fn = blocks_get(pc)
+            if fn is None:
+                fn = trans.add_suffix(pc, cpu, FL, blocks)
+            n = lens[pc]
+
+            if steps + n >= budget_v:
+                # The budget could expire inside this block: hand the whole
+                # tail to the reference loop (plans included), preserving
+                # the exact timeout/halt ordering at the boundary.
+                self._flush(cpu, FL, execs, trans, steps, rc, pin)
+                try:
+                    cpu._loop(pc)
+                except MachineTrap as trap:
+                    return cpu.build_result(trap=trap.kind, trap_pc=trap.pc)
+                return cpu.build_result()
+
+            if (
+                r_plan is not None and rc + sites[pc] >= r_target
+            ) or (
+                p_plan is not None and attached and pin + cands[pc] >= p_target
+            ):
+                # The armed trigger fires inside this block: run the
+                # reference loop until just after injection, then resume
+                # free-run.
+                self._flush(cpu, FL, execs, trans, steps, rc, pin)
+                try:
+                    exit_pc = self._careful(cpu, pc)
+                except MachineTrap as trap:
+                    return cpu.build_result(trap=trap.kind, trap_pc=trap.pc)
+                if exit_pc is None:
+                    return cpu.build_result()  # halted inside the window
+                pc = exit_pc
+                steps = cpu.steps
+                FL[0] = cpu.flags
+                rc = cpu._refine_count
+                pin = cpu._pin_count
+                attached = cpu._attached
+                if cpu.fault is not None:
+                    r_plan = p_plan = None
+                continue
+
+            try:
+                next_pc = fn()
+            except MachineTrap as trap:
+                self._unwind_trap(cpu, FL, execs, trans, steps, rc, pin,
+                                  attached, pc, trap.pc)
+                return cpu.build_result(trap=trap.kind, trap_pc=trap.pc)
+
+            if pc in execs:
+                execs[pc] += 1
+            else:
+                execs[pc] = 1
+            steps += n
+            rc += sites[pc]
+            if attached:
+                pin += cands[pc]
+            if next_pc < 0:
+                self._flush(cpu, FL, execs, trans, steps, rc, pin)
+                return cpu.build_result()
+            pc = next_pc
+
+    # -- careful paths ------------------------------------------------------
+
+    def _careful(self, cpu: CPU, pc: int) -> int | None:
+        """Reference-loop window around an armed trigger.
+
+        Returns the pc to continue free-running from, or ``None`` if the
+        program halted inside the window.  Machine traps propagate.
+        """
+        cpu._snap_every = CAREFUL_WINDOW
+        cpu._snap_hook = _fault_watcher
+        try:
+            cpu._loop(pc)
+        except _ExitFast as exc:
+            return exc.pc
+        finally:
+            cpu._snap_every = 0
+            cpu._snap_hook = None
+        return None
+
+    # -- batched accounting -------------------------------------------------
+
+    @staticmethod
+    def _flush(cpu, FL, execs, trans, steps, rc, pin) -> None:
+        """Expand batched block accounting onto the CPU object."""
+        counts = cpu.counts
+        ends = trans.ends
+        for entry, k in execs.items():
+            for p in range(entry, ends[entry]):
+                counts[p] += k
+        execs.clear()
+        cpu.steps = steps
+        cpu.flags = FL[0]
+        cpu._refine_count = rc
+        cpu._pin_count = pin
+        if cpu._attached:
+            cpu.attached_candidates = pin
+
+    def _unwind_trap(self, cpu, FL, execs, trans, steps, rc, pin,
+                     attached, entry, trap_pc) -> None:
+        """Account the executed prefix of a block that trapped mid-way.
+
+        Reference semantics: instructions before the trapping one are
+        counted; the trapping instruction itself is not.
+        """
+        self._flush(cpu, FL, execs, trans, steps, rc, pin)
+        counts = cpu.counts
+        code = cpu.program.code
+        is_cand = cpu.program.is_candidate
+        extra_rc = 0
+        extra_pin = 0
+        for p in range(entry, trap_pc):
+            counts[p] += 1
+            if code[p][0] == O.FI_CHECK:
+                extra_rc += 1
+            if is_cand[p]:
+                extra_pin += 1
+        cpu.steps = steps + (trap_pc - entry)
+        cpu._refine_count = rc + extra_rc
+        if attached:
+            cpu._pin_count = pin + extra_pin
+            cpu.attached_candidates = cpu._pin_count

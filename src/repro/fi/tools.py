@@ -27,6 +27,7 @@ import numpy as np
 
 from repro.backend.compiler import CompileOptions, compile_minic
 from repro.backend.binary import Binary
+from repro.engine import ExecutionEngine, get_engine
 from repro.errors import CampaignError
 from repro.fi.config import FIConfig
 from repro.fi.llfi import llfi_instrument
@@ -86,11 +87,16 @@ class FITool:
         config: FIConfig | None = None,
         opt_level: str = "O2",
         opcode_faults: float = 0.0,
+        engine: str | None = None,
     ) -> None:
         self.source = source
         self.workload = workload
         self.config = config or FIConfig()
         self.opt_level = opt_level
+        #: engine name (``None`` = REPRO_ENGINE env var, then the default)
+        self.engine_spec = engine
+        self._engine: ExecutionEngine | None = None
+        self._engine_cache_dir: str | None = None
         if not 0.0 <= opcode_faults <= 1.0:
             raise CampaignError("opcode_faults must be a probability")
         if opcode_faults and not self.supports_opcode_faults:
@@ -118,6 +124,19 @@ class FITool:
 
     # -- execution ----------------------------------------------------------
 
+    @property
+    def engine(self) -> ExecutionEngine:
+        """The :class:`~repro.engine.ExecutionEngine` this tool runs on.
+
+        Resolved lazily so :meth:`enable_snapshots` can point the fast
+        engine's decoded-translation cache at the snapshot store first.
+        """
+        if self._engine is None:
+            self._engine = get_engine(
+                self.engine_spec, cache_dir=self._engine_cache_dir
+            )
+        return self._engine
+
     def _make_cpu(self, plan: FaultPlan | None) -> CPU:
         raise NotImplementedError
 
@@ -137,8 +156,8 @@ class FITool:
         """Profiling run: no injection, count candidates, capture golden
         output (Figure 3a).  Must terminate cleanly."""
         cpu = self._make_cpu(plan=None)
-        result = cpu.run(budget=200_000_000)
-        if result.trap is not None or result.exit_code != 0:
+        result = self.engine.run(cpu, budget=200_000_000)
+        if result.trap is not None or result.exit_status != 0:
             raise CampaignError(
                 f"{self.name}: profiling run of {self.workload!r} failed "
                 f"(trap={result.trap}, exit={result.exit_code})"
@@ -185,7 +204,7 @@ class FITool:
         """Reference path: execute the whole program from instruction 0."""
         cpu = self._make_cpu(plan)
         budget = self.profile.steps * TIMEOUT_FACTOR
-        result = cpu.run(budget=budget)
+        result = self.engine.run(cpu, budget=budget)
         return InjectionRun(
             result=result,
             cycles=self._cycles(cpu, result),
@@ -211,9 +230,18 @@ class FITool:
         dist workers reuse one golden run per binary.
         """
         # Imported lazily: repro.snapshot imports this module.
+        import os
+
         from repro.snapshot import SnapshotEngine, SnapshotStore
 
         store = SnapshotStore(store_dir) if store_dir is not None else None
+        if store_dir is not None:
+            # Persist decoded translations next to the snapshots so other
+            # processes skip block translation for this binary too.
+            self._engine_cache_dir = os.path.join(
+                str(store_dir), "decoded"
+            )
+            self._engine = None  # re-resolve with the cache directory
         self._snapshot_engine = SnapshotEngine(
             self, interval=interval, store=store, events=events
         )

@@ -62,6 +62,12 @@ HALT_PC = -1
 
 _INT64_MIN = -(1 << 63)
 
+#: PF lookup: x86 parity is set when the low result byte has an even
+#: number of set bits.  Indexed by ``result & 255``; yields ``_PF`` or 0.
+PARITY_TABLE = tuple(
+    _PF if bin(i).count("1") % 2 == 0 else 0 for i in range(256)
+)
+
 
 @dataclass
 class FaultRecord:
@@ -99,8 +105,16 @@ class ExecutionResult:
     attached_candidates: int = 0
 
     @property
+    def exit_status(self) -> int:
+        """Process-level exit status: the low 8 bits of RAX, exactly what
+        ``waitpid`` would report on the machines the paper measured.  The
+        raw signed ``exit_code`` is kept for ISA-level inspection; anything
+        reasoning about process success/failure must use this view."""
+        return self.exit_code & 0xFF
+
+    @property
     def crashed(self) -> bool:
-        return self.trap is not None or self.exit_code != 0
+        return self.trap is not None or self.exit_status != 0
 
 
 class FaultPlan:
@@ -352,17 +366,24 @@ class CPU:
 
     # -- main loop ----------------------------------------------------------
 
-    def run(self, budget: int | None = None) -> ExecutionResult:
-        """Execute from the entry point until halt, trap, or budget."""
-        prog = self.program
-        entry = prog.func_entry[prog.binary.entry]
+    def prepare_entry(self) -> int:
+        """Set up the initial stack and return the entry pc.
 
+        Factored out of :meth:`run` so alternative execution engines can
+        reuse the exact same process-start semantics (sentinel return
+        address at the top of the stack) without going through ``_loop``.
+        """
+        prog = self.program
         # Initial stack: sentinel return address at the top.
         self.iregs[RSP_IDX] = prog.stack_top
         self.iregs[RBP_IDX] = prog.stack_top
         self._write_i64(prog.stack_top, HALT_PC & MASK64, -1)
         # (stored as unsigned; read back signed gives -1)
-        return self._execute(entry, budget)
+        return prog.func_entry[prog.binary.entry]
+
+    def run(self, budget: int | None = None) -> ExecutionResult:
+        """Execute from the entry point until halt, trap, or budget."""
+        return self._execute(self.prepare_entry(), budget)
 
     def resume(self, pc: int, budget: int | None = None) -> ExecutionResult:
         """Continue executing already-restored architectural state at ``pc``.
@@ -379,15 +400,20 @@ class CPU:
     def _execute(self, pc: int, budget: int | None) -> ExecutionResult:
         if budget is not None:
             self.budget = budget
-        result = ExecutionResult()
         try:
             self._loop(pc)
         except MachineTrap as trap:
-            result.trap = trap.kind
-            result.trap_pc = trap.pc
-        result.exit_code = (
-            self.iregs[RAX_IDX] if result.trap is None else result.exit_code
-        )
+            return self.build_result(trap=trap.kind, trap_pc=trap.pc)
+        return self.build_result()
+
+    def build_result(
+        self, trap: str | None = None, trap_pc: int = -1
+    ) -> ExecutionResult:
+        """Package the current architectural state as an ExecutionResult."""
+        result = ExecutionResult()
+        result.trap = trap
+        result.trap_pc = trap_pc
+        result.exit_code = self.iregs[RAX_IDX] if trap is None else 0
         result.output = self.output
         result.steps = self.steps
         result.fault = self.fault
@@ -456,11 +482,11 @@ class CPU:
                     r = a + b
                     wrapped = r if _INT64_MIN <= r < -_INT64_MIN else to_signed64(r)
                     iregs[t[1]] = wrapped
-                    flags = 0
+                    flags = PARITY_TABLE[wrapped & 255]
                     if wrapped == 0:
-                        flags = _ZF
+                        flags |= _ZF
                     elif wrapped < 0:
-                        flags = _SF
+                        flags |= _SF
                     if r != wrapped:
                         flags |= _OF
                     if (a & MASK64) + (b & MASK64) > MASK64:
@@ -472,11 +498,11 @@ class CPU:
                     r = a - b
                     wrapped = r if _INT64_MIN <= r < -_INT64_MIN else to_signed64(r)
                     iregs[t[1]] = wrapped
-                    flags = 0
+                    flags = PARITY_TABLE[wrapped & 255]
                     if wrapped == 0:
-                        flags = _ZF
+                        flags |= _ZF
                     elif wrapped < 0:
-                        flags = _SF
+                        flags |= _SF
                     if r != wrapped:
                         flags |= _OF
                     if (a & MASK64) < (b & MASK64):
@@ -487,11 +513,11 @@ class CPU:
                     b = iregs[t[2]] if op == O.CMP_RR else t[2]
                     r = a - b
                     wrapped = r if _INT64_MIN <= r < -_INT64_MIN else to_signed64(r)
-                    flags = 0
+                    flags = PARITY_TABLE[wrapped & 255]
                     if wrapped == 0:
-                        flags = _ZF
+                        flags |= _ZF
                     elif wrapped < 0:
-                        flags = _SF
+                        flags |= _SF
                     if r != wrapped:
                         flags |= _OF
                     if (a & MASK64) < (b & MASK64):
@@ -580,13 +606,17 @@ class CPU:
                     count = (t[2] if op == O.SHL_RI else iregs[t[2]]) & 63
                     r = to_signed64(iregs[t[1]] << count)
                     iregs[t[1]] = r
-                    flags = _ZF if r == 0 else (_SF if r < 0 else 0)
+                    flags = (
+                        _ZF if r == 0 else (_SF if r < 0 else 0)
+                    ) | PARITY_TABLE[r & 255]
                     pc = cur + 1
                 elif op == O.SAR_RI or op == O.SAR_RR:
                     count = (t[2] if op == O.SAR_RI else iregs[t[2]]) & 63
                     r = iregs[t[1]] >> count
                     iregs[t[1]] = r
-                    flags = _ZF if r == 0 else (_SF if r < 0 else 0)
+                    flags = (
+                        _ZF if r == 0 else (_SF if r < 0 else 0)
+                    ) | PARITY_TABLE[r & 255]
                     pc = cur + 1
                 elif op == O.IMUL_RR or op == O.IMUL_RI:
                     a = iregs[t[1]]
@@ -594,7 +624,9 @@ class CPU:
                     r = a * b
                     wrapped = r if _INT64_MIN <= r < -_INT64_MIN else to_signed64(r)
                     iregs[t[1]] = wrapped
-                    flags = _ZF if wrapped == 0 else (_SF if wrapped < 0 else 0)
+                    flags = (
+                        _ZF if wrapped == 0 else (_SF if wrapped < 0 else 0)
+                    ) | PARITY_TABLE[wrapped & 255]
                     if r != wrapped:
                         flags |= _OF | _CF
                     pc = cur + 1
@@ -602,24 +634,32 @@ class CPU:
                     b = iregs[t[2]] if op == O.AND_RR else t[2]
                     r = iregs[t[1]] & b
                     iregs[t[1]] = r
-                    flags = _ZF if r == 0 else (_SF if r < 0 else 0)
+                    flags = (
+                        _ZF if r == 0 else (_SF if r < 0 else 0)
+                    ) | PARITY_TABLE[r & 255]
                     pc = cur + 1
                 elif op == O.OR_RR or op == O.OR_RI:
                     b = iregs[t[2]] if op == O.OR_RR else t[2]
                     r = iregs[t[1]] | b
                     iregs[t[1]] = r
-                    flags = _ZF if r == 0 else (_SF if r < 0 else 0)
+                    flags = (
+                        _ZF if r == 0 else (_SF if r < 0 else 0)
+                    ) | PARITY_TABLE[r & 255]
                     pc = cur + 1
                 elif op == O.XOR_RR or op == O.XOR_RI:
                     b = iregs[t[2]] if op == O.XOR_RR else t[2]
                     r = iregs[t[1]] ^ b
                     iregs[t[1]] = r
-                    flags = _ZF if r == 0 else (_SF if r < 0 else 0)
+                    flags = (
+                        _ZF if r == 0 else (_SF if r < 0 else 0)
+                    ) | PARITY_TABLE[r & 255]
                     pc = cur + 1
                 elif op == O.NEG:
                     r = to_signed64(-iregs[t[1]])
                     iregs[t[1]] = r
-                    flags = _ZF if r == 0 else (_SF if r < 0 else 0)
+                    flags = (
+                        _ZF if r == 0 else (_SF if r < 0 else 0)
+                    ) | PARITY_TABLE[r & 255]
                     pc = cur + 1
                 elif op == O.IDIV_RR or op == O.IDIV_RI:
                     a = iregs[t[1]]
@@ -630,7 +670,9 @@ class CPU:
                     if (a < 0) != (b < 0):
                         q = -q
                     iregs[t[1]] = q
-                    flags = _ZF if q == 0 else (_SF if q < 0 else 0)
+                    flags = (
+                        _ZF if q == 0 else (_SF if q < 0 else 0)
+                    ) | PARITY_TABLE[q & 255]
                     pc = cur + 1
                 elif op == O.IREM_RR or op == O.IREM_RI:
                     a = iregs[t[1]]
@@ -641,7 +683,9 @@ class CPU:
                     if a < 0:
                         r = -r
                     iregs[t[1]] = r
-                    flags = _ZF if r == 0 else (_SF if r < 0 else 0)
+                    flags = (
+                        _ZF if r == 0 else (_SF if r < 0 else 0)
+                    ) | PARITY_TABLE[r & 255]
                     pc = cur + 1
                 elif op == O.FCMP:
                     a = fregs[t[1]]
@@ -840,6 +884,7 @@ class CPU:
                     self.flags = flags
                     self._pin_count = pin_count
                     self._refine_count = refine_count
+                    self._attached = attached
                     snap_hook(self, pc)
                     snap_at = steps + snap_every
         finally:
@@ -847,6 +892,7 @@ class CPU:
             self.flags = flags
             self._pin_count = pin_count
             self._refine_count = refine_count
+            self._attached = attached
             if attached:
                 self.attached_candidates = pin_count
                 # Never detached: all counts are attached counts.

@@ -207,8 +207,8 @@ class SnapshotEngine:
             snaps.append(capture_snapshot(cpu, pc, prev=prev, base=base))
 
         cpu.record_snapshots(interval, hook)
-        result = cpu.run(budget=GOLDEN_BUDGET)
-        if result.trap is not None or result.exit_code != 0:
+        result = tool.engine.run(cpu, budget=GOLDEN_BUDGET)
+        if result.trap is not None or result.exit_status != 0:
             raise CampaignError(
                 f"{tool.name}: golden snapshot run of {tool.workload!r} "
                 f"failed (trap={result.trap}, exit={result.exit_code})"
@@ -238,8 +238,8 @@ class SnapshotEngine:
             return run
         cpu = tool._make_cpu(plan)
         restore_snapshot(cpu, snap)
-        result = cpu.resume(
-            snap.pc, budget=tool.profile.steps * TIMEOUT_FACTOR
+        result = tool.engine.resume(
+            cpu, snap.pc, budget=tool.profile.steps * TIMEOUT_FACTOR
         )
         self.stats.hits += 1
         self.stats.instructions_skipped += snap.steps

@@ -55,6 +55,16 @@ class CpuSnapshot:
     llfi_count: int
     #: page index -> PAGE_SIZE bytes differing from the fresh memory image
     pages: dict[int, bytes] = field(default_factory=dict)
+    #: PINFI attached-phase counts when they are a *distinct* array (i.e.
+    #: the snapshot was taken after detach); ``None`` when absent or still
+    #: aliasing ``counts`` (see ``attached_alias``)
+    counts_attached: tuple[int, ...] | None = None
+    #: was the DBI tool still attached at capture time?
+    attached: bool = False
+    #: did ``cpu.counts_attached`` alias ``cpu.counts`` at capture time?
+    attached_alias: bool = False
+    #: candidates executed while attached (fixed at detach time)
+    attached_candidates: int = 0
 
     @property
     def dirty_pages(self) -> int:
@@ -100,6 +110,8 @@ def capture_snapshot(
         ref = pages.get(idx, clean)
         if current != ref:
             pages[idx] = bytes(current)
+    ca = cpu.counts_attached
+    alias = ca is cpu.counts
     return CpuSnapshot(
         pc=pc,
         steps=cpu.steps,
@@ -112,6 +124,15 @@ def capture_snapshot(
         refine_count=cpu._refine_count,
         llfi_count=cpu._llfi_count,
         pages=pages,
+        # Preserve the attached/detached distinction: a distinct attached
+        # array (post-detach) is stored verbatim; an alias is re-created at
+        # restore time rather than duplicated.
+        counts_attached=(
+            None if ca is None or alias else tuple(ca)
+        ),
+        attached=cpu._attached,
+        attached_alias=alias,
+        attached_candidates=cpu.attached_candidates,
     )
 
 
@@ -136,10 +157,18 @@ def restore_snapshot(cpu: CPU, snap: CpuSnapshot) -> None:
     for idx, data in snap.pages.items():
         off = idx * PAGE_SIZE
         mem[off : off + len(data)] = data
-    if cpu._attached:
-        # PINFI: counts accumulate into the attached array until detach;
-        # re-establish the aliasing attach_pinfi() set up.
+    # PINFI attach/detach state travels with the snapshot.  While attached,
+    # counts accumulate into the attached array (re-establish the alias
+    # attach_pinfi() set up); after detach, the attached array is frozen
+    # and distinct from the post-detach counts.
+    cpu._attached = snap.attached
+    cpu.attached_candidates = snap.attached_candidates
+    if snap.attached_alias:
         cpu.counts_attached = cpu.counts
+    elif snap.counts_attached is not None:
+        cpu.counts_attached = list(snap.counts_attached)
+    else:
+        cpu.counts_attached = None
 
 
 def cpu_state_digest(cpu: CPU) -> str:

@@ -38,7 +38,7 @@ from repro.snapshot.state import PAGE_SIZE, CpuSnapshot
 
 #: Bump when the pickle payload or CpuSnapshot layout changes; old files
 #: are silently re-recorded.
-STORE_FORMAT_VERSION = 1
+STORE_FORMAT_VERSION = 2
 
 #: Seconds a waiter polls for another process's golden run before
 #: recording its own (also the age at which a lock is considered stale).

@@ -23,11 +23,13 @@ from repro.testing.interp import InterpResult, interpret
 from repro.testing.oracles import (
     ORACLES,
     Divergence,
+    EngineOracle,
     InterpOracle,
     Oracle,
     PipelineOracle,
     RunOutcome,
     ZeroInterferenceOracle,
+    check_workload_engine_equivalence,
     check_workload_zero_interference,
     compiled_outcome,
     interp_outcome,
@@ -45,9 +47,11 @@ __all__ = [
     "ORACLES",
     "Divergence",
     "Oracle",
+    "EngineOracle",
     "InterpOracle",
     "PipelineOracle",
     "ZeroInterferenceOracle",
+    "check_workload_engine_equivalence",
     "check_workload_zero_interference",
     "compiled_outcome",
     "interp_outcome",

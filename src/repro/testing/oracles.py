@@ -277,11 +277,74 @@ class ZeroInterferenceOracle(Oracle):
         return None
 
 
+class EngineOracle(Oracle):
+    """Fast block-compiled execution engine vs the reference dispatch loop.
+
+    The free-run engine (:mod:`repro.engine`) must be *bit-identical* to
+    ``CPU._loop`` — same output, same exit code, same trap and trap pc,
+    same dynamic-instruction counts, same step total.  Both sides run under
+    the **same** machine budget, so unlike the cross-representation oracles
+    above there is no timeout leniency: a mutual timeout must truncate at
+    exactly the same step.
+    """
+
+    name = "engine"
+    description = "fast block-compiled engine vs reference dispatch loop"
+
+    def __init__(
+        self, opt_level: str = "O2", budget: int = MACHINE_BUDGET
+    ) -> None:
+        self.opt_level = opt_level
+        self.budget = budget
+
+    def check(self, module: Module) -> Divergence | None:
+        from repro.engine import get_engine
+
+        binary = compile_ir(
+            clone_module(module), CompileOptions(opt_level=self.opt_level)
+        )
+        program = load_binary(binary)
+        ref = CPU(program).run(budget=self.budget)
+        fast = get_engine("fast").run(CPU(program), budget=self.budget)
+        expected = RunOutcome(
+            engine="reference",
+            exit_code=ref.exit_code,
+            trap=ref.trap,
+            output=tuple(ref.output),
+            trace=tuple(ref.counts),
+        )
+        actual = RunOutcome(
+            engine="fast",
+            exit_code=fast.exit_code,
+            trap=fast.trap,
+            output=tuple(fast.output),
+            trace=tuple(fast.counts),
+        )
+        if (
+            expected.behaviour() != actual.behaviour()
+            or expected.trace != actual.trace
+            or ref.steps != fast.steps
+            or ref.trap_pc != fast.trap_pc
+        ):
+            return Divergence(
+                oracle=self.name,
+                detail=(
+                    "fast engine diverged from the reference loop "
+                    f"(steps {ref.steps} vs {fast.steps}, "
+                    f"trap_pc {ref.trap_pc} vs {fast.trap_pc})"
+                ),
+                expected=expected,
+                actual=actual,
+            )
+        return None
+
+
 #: Registry used by ``refine-fuzz --oracle`` and the test-suite.
 ORACLES: dict[str, Oracle] = {
     "interp": InterpOracle(),
     "pipeline": PipelineOracle(),
     "zero": ZeroInterferenceOracle(),
+    "engine": EngineOracle(),
 }
 
 
@@ -358,4 +421,89 @@ def check_workload_snapshot_equivalence(
                     actual=actual,
                     seed=seed,
                 )
+    return None
+
+
+def check_workload_engine_equivalence(
+    name: str,
+    snapshot_interval: int | None = None,
+    seeds: range = range(4),
+) -> Divergence | None:
+    """Fast execution engine vs the reference engine on one workload.
+
+    For every tool, builds one reference-engine tool and one fast-engine
+    tool and demands identical golden profiles and identical injection
+    results for the same seeds — the fault-campaign-level statement of the
+    :class:`EngineOracle` property.  With ``snapshot_interval`` (``0`` =
+    auto) the comparison is repeated with the snapshot fast path enabled on
+    both sides, so the engine is also exercised through golden-run
+    recording and mid-run :meth:`~repro.machine.cpu.CPU.resume`.
+    """
+    from repro.fi.tools import TOOL_CLASSES, TOOL_ORDER
+
+    spec = get_workload(name)
+    intervals: list[int | None] = [None]
+    if snapshot_interval is not None:
+        intervals.append(snapshot_interval)
+    for tool_name in TOOL_ORDER:
+        for interval in intervals:
+            ref = TOOL_CLASSES[tool_name](
+                spec.source, workload=spec.name, engine="reference"
+            )
+            fast = TOOL_CLASSES[tool_name](
+                spec.source, workload=spec.name, engine="fast"
+            )
+            if interval is not None:
+                ref.enable_snapshots(interval=interval)
+                fast.enable_snapshots(interval=interval)
+            mode = "scratch" if interval is None else "snapshot"
+            rp, fp = ref.profile, fast.profile
+            if (
+                rp.golden_output != fp.golden_output
+                or rp.steps != fp.steps
+                or rp.total_candidates != fp.total_candidates
+            ):
+                return Divergence(
+                    oracle="engine",
+                    detail=(
+                        f"golden profiles diverge ({name}/{tool_name}, "
+                        f"steps {rp.steps} vs {fp.steps}, candidates "
+                        f"{rp.total_candidates} vs {fp.total_candidates})"
+                    ),
+                )
+            for seed in seeds:
+                a = ref.inject(seed)
+                b = fast.inject(seed)
+                expected = RunOutcome(
+                    engine=f"{tool_name}-reference-{mode}",
+                    exit_code=a.result.exit_code,
+                    trap=a.result.trap,
+                    output=tuple(a.result.output),
+                    trace=tuple(a.result.counts),
+                )
+                actual = RunOutcome(
+                    engine=f"{tool_name}-fast-{mode}",
+                    exit_code=b.result.exit_code,
+                    trap=b.result.trap,
+                    output=tuple(b.result.output),
+                    trace=tuple(b.result.counts),
+                )
+                if (
+                    expected.behaviour() != actual.behaviour()
+                    or expected.trace != actual.trace
+                    or a.result.steps != b.result.steps
+                    or a.result.trap_pc != b.result.trap_pc
+                    or abs(a.cycles - b.cycles) > 1e-9
+                ):
+                    return Divergence(
+                        oracle="engine",
+                        detail=(
+                            f"fast engine diverged from the reference "
+                            f"engine ({name}/{tool_name}/{mode}, "
+                            f"steps {a.result.steps} vs {b.result.steps})"
+                        ),
+                        expected=expected,
+                        actual=actual,
+                        seed=seed,
+                    )
     return None

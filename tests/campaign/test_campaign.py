@@ -51,6 +51,27 @@ class TestClassify:
         assert classify(result_with(trap="segfault", output=self.GOLDEN),
                         self.GOLDEN) == Outcome.CRASH
 
+    def test_exit_code_wraps_like_waitpid(self):
+        # A real process's exit code reaches its parent through
+        # WEXITSTATUS, which keeps only the low 8 bits: returning 256 (or
+        # 512, ...) is indistinguishable from a clean exit.  A corrupted
+        # RAX of 256 must therefore classify from its *masked* value.
+        r = result_with(exit_code=256, output=self.GOLDEN)
+        assert r.exit_status == 0
+        assert not r.crashed
+        assert classify(r, self.GOLDEN) == Outcome.BENIGN
+
+    def test_negative_exit_code_masks_to_crash(self):
+        r = result_with(exit_code=-1, output=self.GOLDEN)
+        assert r.exit_status == 255
+        assert r.crashed
+        assert classify(r, self.GOLDEN) == Outcome.CRASH
+
+    def test_masked_nonzero_exit_still_crash(self):
+        r = result_with(exit_code=259, output=self.GOLDEN)
+        assert r.exit_status == 3
+        assert classify(r, self.GOLDEN) == Outcome.CRASH
+
 
 class TestRunner:
     @pytest.fixture(scope="class")

@@ -249,3 +249,44 @@ class TestCycleAccounting:
         if result.counts_attached is not result.counts:
             total = sum(result.counts_attached) + sum(result.counts)
             assert total == result.steps
+
+
+class TestExitStatusMasking:
+    def test_return_256_is_clean_exit(self):
+        # Raw RAX keeps the full value (ISA-level inspection); the
+        # process-level view masks to the low byte, like WEXITSTATUS.
+        res = run_minic("int main() { return 256; }")
+        assert res.exit_code == 256
+        assert res.exit_status == 0
+        assert not res.crashed
+
+    def test_return_negative_is_crash(self):
+        res = run_minic("int main() { return 0 - 1; }")
+        assert res.exit_code == -1
+        assert res.exit_status == 255
+        assert res.crashed
+
+
+class TestBudgetOnSnapshotBoundary:
+    """When the step budget lands exactly on a snapshot boundary, the
+    timeout must win: the budget check runs after counting an instruction
+    and *before* the snapshot hook, so the hook never observes a step the
+    result does not include."""
+
+    def test_budget_on_boundary_times_out_without_hook(self, demo_program):
+        calls = []
+        cpu = CPU(demo_program)
+        cpu.record_snapshots(500, lambda c, pc: calls.append(c.steps))
+        result = cpu.run(budget=500)
+        assert result.trap == "timeout"
+        assert result.steps == 500
+        assert calls == []
+
+    def test_budget_past_boundary_fires_hook_once(self, demo_program):
+        calls = []
+        cpu = CPU(demo_program)
+        cpu.record_snapshots(500, lambda c, pc: calls.append(c.steps))
+        result = cpu.run(budget=501)
+        assert result.trap == "timeout"
+        assert result.steps == 501
+        assert calls == [500]

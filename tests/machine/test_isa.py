@@ -220,3 +220,84 @@ class TestControlFlow:
         binary.intrinsics.add("print_int")
         res = execute(load_binary(binary))
         assert res.output == ["123"]
+
+
+class TestIntegerParityFlag:
+    """Integer ALU operations must compute PF from the low result byte —
+    x86 semantics that the campaign's ``p``/``np`` condition codes rely on
+    (a fault-mutated cc can turn any jcc/setcc/cmov into a parity test)."""
+
+    @pytest.mark.parametrize(
+        "a,b,parity",
+        [
+            (3, 3, 1),    # 3 - 3 = 0x00: zero bits set, even -> PF
+            (10, 3, 0),   # 10 - 3 = 0x07: three bits, odd
+            (8, 5, 1),    # 8 - 5 = 0x03: two bits, even
+            (-1, 0, 1),   # 0xFF low byte: eight bits, even
+        ],
+    )
+    def test_cmp_sets_parity(self, a, b, parity):
+        res = run([
+            MI("mov", RCX, Imm(a)),
+            MI("cmp", RCX, Imm(b)),
+            MI("setcc", RAX, cc="p"),
+            MI("ret"),
+        ])
+        assert res.exit_code == parity
+
+    @pytest.mark.parametrize(
+        "op,a,b,parity",
+        [
+            ("add", 1, 2, 1),    # 3 -> 0b11, even
+            ("add", 3, 4, 0),    # 7 -> 0b111, odd
+            ("sub", 9, 2, 0),    # 7, odd
+            ("and", 15, 5, 1),   # 5 -> 0b101, even
+            ("or", 1, 2, 1),     # 3, even
+            ("xor", 5, 3, 1),    # 6 -> 0b110: two bits, even
+            ("imul", 3, 3, 1),   # 9 -> 0b1001, even
+            ("shl", 1, 4, 0),    # 16 -> one bit, odd
+        ],
+    )
+    def test_alu_ops_set_parity(self, op, a, b, parity):
+        res = run([
+            MI("mov", RCX, Imm(a)),
+            MI(op, RCX, Imm(b)),
+            MI("setcc", RAX, cc="p"),
+            MI("ret"),
+        ])
+        assert res.exit_code == parity
+
+    def test_parity_only_low_byte(self):
+        # 256 + 1 = 257 = 0x101: low byte 0x01 has odd parity even though
+        # the full value has two bits set.
+        res = run([
+            MI("mov", RCX, Imm(256)),
+            MI("add", RCX, Imm(1)),
+            MI("setcc", RAX, cc="p"),
+            MI("ret"),
+        ])
+        assert res.exit_code == 0
+
+    def test_int_op_clears_stale_fcmp_parity(self):
+        # fcmp(NaN) sets PF; the following integer cmp must overwrite it
+        # (7 has odd parity), not leak the float flags through.
+        res = run([
+            MI("fconst", X0, FImm(0.0)),
+            MI("fconst", X1, FImm(0.0)),
+            MI("fdiv", X0, X1),              # NaN
+            MI("fcmp", X0, X1),              # PF := 1
+            MI("mov", RCX, Imm(7)),
+            MI("cmp", RCX, Imm(0)),          # PF := parity(7) = odd = 0
+            MI("setcc", RAX, cc="p"),
+            MI("ret"),
+        ])
+        assert res.exit_code == 0
+
+    def test_np_condition_after_int_op(self):
+        res = run([
+            MI("mov", RCX, Imm(10)),
+            MI("sub", RCX, Imm(3)),          # 7: odd parity
+            MI("setcc", RAX, cc="np"),
+            MI("ret"),
+        ])
+        assert res.exit_code == 1

@@ -133,3 +133,56 @@ class TestToolCounters:
         # re-establish that after replacing the counts list.
         assert fresh.counts_attached is fresh.counts
         assert fresh._pin_count == snap.pin_count
+
+
+class TestDetachThenSnapshot:
+    """Snapshots taken *after* PINFI detaches must round-trip the split
+    counter arrays: ``counts_attached`` holds the attached-phase counts as
+    a distinct array, ``counts`` continues from zero, and the restore must
+    not re-alias them (the old restore unconditionally set
+    ``cpu.counts_attached = cpu.counts``, silently merging the phases)."""
+
+    def _faulty_run(self, tool, seed):
+        cpu = tool._make_cpu(tool.plan_from_seed(seed))
+        snaps = []
+        cpu.record_snapshots(2000, lambda c, pc: snaps.append(
+            capture_snapshot(c, pc)))
+        result = cpu.run(budget=200_000_000)
+        return cpu, snaps, result
+
+    def test_post_detach_snapshot_round_trip(self):
+        spec = get_workload("EP")
+        tool = PinfiTool(spec.source, workload="EP")
+        cpu, snaps, result = None, [], None
+        for seed in range(16):
+            cpu, snaps, result = self._faulty_run(tool, seed)
+            if result.fault is not None and any(not s.attached for s in snaps):
+                break
+        else:
+            pytest.skip("no seed produced a post-detach snapshot")
+        snap = next(s for s in snaps if not s.attached)
+        assert snap.counts_attached is not None
+
+        fresh = tool._make_cpu(None)  # _make_cpu re-attaches by default...
+        restore_snapshot(fresh, snap)
+        # ...but the snapshot says the run had already detached.
+        assert fresh._attached is False
+        assert fresh.counts_attached is not None
+        assert fresh.counts_attached is not fresh.counts
+        assert tuple(fresh.counts_attached) == snap.counts_attached
+        assert tuple(fresh.counts) == snap.counts
+
+    def test_attached_snapshot_keeps_alias(self):
+        spec = get_workload("EP")
+        tool = PinfiTool(spec.source, workload="EP")
+        cpu = tool._make_cpu(None)
+        snaps = []
+        cpu.record_snapshots(5000, lambda c, pc: snaps.append(
+            capture_snapshot(c, pc)))
+        cpu.run(budget=200_000_000)
+        snap = snaps[0]
+        assert snap.attached and snap.attached_alias
+        fresh = tool._make_cpu(None)
+        restore_snapshot(fresh, snap)
+        assert fresh._attached is True
+        assert fresh.counts_attached is fresh.counts
