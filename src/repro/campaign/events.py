@@ -18,12 +18,30 @@ event                     extra fields
 ========================  =====================================================
 ``campaign_start``        ``workload``, ``tool``, ``n``, ``base_seed``,
                           ``resumed`` (experiments restored from a checkpoint)
-``experiment``            ``index``, ``seed``, ``outcome``, ``cycles``,
-                          ``steps``, ``wall_s``
+``experiment``            ``workload``, ``tool``, ``index``, ``seed``,
+                          ``outcome``, ``cycles``, ``steps``, ``trap``,
+                          ``exit_code``, ``engine`` (execution engine name),
+                          ``snapshot_hit`` (``true``/``false`` when the
+                          snapshot fast path was on, else ``null``) and
+                          ``fault`` (the full fault-site record: ``func``,
+                          ``pc``, ``instr_text``, ``operand_index``,
+                          ``operand_desc``, ``bit``, ``dynamic_index``,
+                          tag-encoded ``value_before``/``value_after``).
+                          The sequential runner adds ``wall_s``; the
+                          parallel runner re-emits these per chunk (tagged
+                          ``chunk``), the distributed coordinator per task
+                          (tagged ``task``, ``worker``) — consumers counting
+                          experiments must pick one family.  This is the
+                          stream :mod:`repro.resultsdb` ingests.
 ``checkpoint``            ``path``, ``completed``, ``n``
 ``worker_start``          ``chunk``, ``size`` (parallel runner)
 ``chunk_done``            ``chunk``, ``size``, ``completed``, ``n``
-``campaign_finish``       ``workload``, ``tool``, ``counts``, ``wall_s``,
+``campaign_finish``       ``workload``, ``tool``, ``counts``,
+                          ``total_cycles``, ``total_steps``,
+                          ``total_candidates``, ``golden_output`` (the
+                          stream is self-contained: a results store can
+                          rebuild the full ``CampaignResult`` from the log
+                          alone); the sequential runner adds ``wall_s``,
                           ``experiments_per_sec``
 ``snapshot_golden``       ``workload``, ``tool``, ``interval``, ``snapshots``,
                           ``pages``, ``reused`` (loaded from the shared
@@ -59,7 +77,9 @@ event                     extra fields
                           (``timeout``/``disconnect``/``failed``),
                           ``attempt``, ``delay_s``
 ``worker_leave``          ``worker``
-``cell_finish``           ``workload``, ``tool``, ``counts``
+``cell_finish``           ``workload``, ``tool``, ``counts``,
+                          ``total_cycles``, ``total_steps``,
+                          ``total_candidates``, ``golden_output``
 ``dist_finish``           ``cells``, ``total``, ``wall_s``,
                           ``experiments_per_sec``
 ========================  =====================================================

@@ -94,6 +94,27 @@ def _fault_from_dict(data: dict | None) -> FaultRecord | None:
     )
 
 
+def experiment_event_fields(record: ExperimentRecord) -> dict:
+    """The ``experiment`` telemetry event's per-record payload.
+
+    One definition shared by the sequential runner, the parallel runner and
+    the distributed coordinator, so every execution mode writes the same
+    event schema and :mod:`repro.resultsdb` can ingest any stream.
+    """
+    return {
+        "index": record.index,
+        "seed": record.seed,
+        "outcome": record.outcome.value,
+        "cycles": record.cycles,
+        "steps": record.steps,
+        "trap": record.trap,
+        "exit_code": record.exit_code,
+        "engine": record.engine,
+        "snapshot_hit": record.snapshot_hit,
+        "fault": _fault_to_dict(record.fault),
+    }
+
+
 def result_to_dict(result: CampaignResult) -> dict:
     """Serialize one campaign result (records included when kept)."""
     return {
@@ -114,6 +135,8 @@ def result_to_dict(result: CampaignResult) -> dict:
                 "steps": rec.steps,
                 "trap": rec.trap,
                 "exit_code": rec.exit_code,
+                "engine": rec.engine,
+                "snapshot_hit": rec.snapshot_hit,
                 "fault": _fault_to_dict(rec.fault),
             }
             for rec in result.records
@@ -142,6 +165,8 @@ def result_from_dict(data: dict) -> CampaignResult:
                 steps=rec["steps"],
                 trap=rec["trap"],
                 exit_code=rec["exit_code"],
+                engine=rec.get("engine"),
+                snapshot_hit=rec.get("snapshot_hit"),
                 fault=_fault_from_dict(rec["fault"]),
             )
         )

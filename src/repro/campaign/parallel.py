@@ -31,7 +31,7 @@ from repro.campaign.checkpoint import (
     try_load_checkpoint,
 )
 from repro.campaign.events import EventLog
-from repro.campaign.io import merge_results
+from repro.campaign.io import experiment_event_fields, merge_results
 from repro.campaign.results import CampaignResult
 from repro.campaign.runner import DEFAULT_SEED, _fresh_result, run_experiment
 from repro.errors import CampaignError
@@ -76,7 +76,13 @@ class SliceTask:
 
 
 def run_slice(task: SliceTask) -> CampaignResult:
-    """Run one slice of a campaign (executed inside a worker process)."""
+    """Run one slice of a campaign (executed inside a worker process).
+
+    Per-experiment records are always collected here — the parent needs
+    them to emit ``experiment`` telemetry events and feed write-through
+    result sinks (:mod:`repro.resultsdb`) — and are stripped by the parent
+    after emission when the campaign did not ask for ``keep_records``.
+    """
     config = FIConfig(
         enabled=task.fi_enabled, funcs=task.fi_funcs, instrs=task.fi_instrs
     )
@@ -90,7 +96,7 @@ def run_slice(task: SliceTask) -> CampaignResult:
         )
     result = _fresh_result(tool, len(task.indices))
     for i in task.indices:
-        result.add(run_experiment(tool, task.base_seed, i), task.keep_records)
+        result.add(run_experiment(tool, task.base_seed, i), keep_record=True)
     if tool.snapshots is not None:
         # Piggy-backed on the pickled result so the parent can surface the
         # worker's hit rate as a snapshot_stats event.
@@ -218,6 +224,10 @@ def run_campaign_parallel(
             events.emit(
                 "campaign_finish", workload=workload, tool=tool_name,
                 counts={o.value: result.frequency(o) for o in Outcome},
+                total_cycles=result.total_cycles,
+                total_steps=result.total_steps,
+                total_candidates=result.total_candidates,
+                golden_output=list(result.golden_output),
             )
         return result
 
@@ -264,7 +274,21 @@ def run_campaign_parallel(
     since_checkpoint = 0
 
     def _note_done(task: SliceTask, part: CampaignResult) -> None:
+        """Fold one finished chunk in: emit telemetry (one ``experiment``
+        event per record, then the chunk summary), strip records the
+        campaign did not ask to keep, and checkpoint.  Stripping happens
+        before the part can reach a checkpoint, so resumed partials match
+        the requested ``keep_records``."""
         nonlocal since_checkpoint
+        if events is not None:
+            for rec in part.records:
+                events.emit(
+                    "experiment", workload=workload, tool=tool_name,
+                    chunk=task.chunk, **experiment_event_fields(rec),
+                )
+        if not keep_records:
+            part.records = []
+        parts[task.chunk] = part
         completed.update(task.indices)
         since_checkpoint += len(task.indices)
         if events is not None:
@@ -288,12 +312,12 @@ def run_campaign_parallel(
     if len(tasks) == 1:
         # One chunk: run in-process, skipping pool overhead.
         try:
-            parts[0] = run_slice(tasks[0])
+            part = run_slice(tasks[0])
         except BaseException:
             if checkpoint_path is not None:
                 _save()
             raise
-        _note_done(tasks[0], parts[0])
+        _note_done(tasks[0], part)
     else:
         with ProcessPoolExecutor(max_workers=min(workers, len(tasks))) as pool:
             futures = {pool.submit(run_slice, t): t for t in tasks}
@@ -305,8 +329,7 @@ def run_campaign_parallel(
             try:
                 for fut in as_completed(futures):
                     task = futures[fut]
-                    parts[task.chunk] = fut.result()
-                    _note_done(task, parts[task.chunk])
+                    _note_done(task, fut.result())
             except BaseException:
                 # Interrupted (or a progress/worker failure): stop handing
                 # out new chunks and persist everything that finished.

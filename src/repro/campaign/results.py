@@ -24,6 +24,12 @@ class ExperimentRecord:
     #: records loaded from a version-1 file); lets merged/resumed campaigns
     #: keep records in global order.
     index: int = -1
+    #: execution engine that ran the experiment (``None`` when unknown,
+    #: e.g. records loaded from an older file).
+    engine: str | None = None
+    #: whether the run was served from a golden-run snapshot (``None`` when
+    #: the snapshot fast path was off or the record predates the field).
+    snapshot_hit: bool | None = None
 
 
 @dataclass

@@ -26,6 +26,7 @@ from repro.campaign.checkpoint import (
 )
 from repro.campaign.classify import Outcome, classify
 from repro.campaign.events import EventLog
+from repro.campaign.io import experiment_event_fields
 from repro.campaign.results import CampaignResult, ExperimentRecord
 from repro.errors import CampaignError
 from repro.fi.config import FIConfig
@@ -80,6 +81,8 @@ def run_experiment(tool: FITool, base_seed: int, index: int) -> ExperimentRecord
     execution mode agrees bit-for-bit.
     """
     seed = derive_seed(base_seed, tool.workload, tool.name, index)
+    snaps = tool.snapshots
+    hits_before = snaps.stats.hits if snaps is not None else 0
     run = tool.inject(seed)
     outcome = classify(run.result, tool.profile.golden_output)
     return ExperimentRecord(
@@ -91,6 +94,8 @@ def run_experiment(tool: FITool, base_seed: int, index: int) -> ExperimentRecord
         exit_code=run.result.exit_code,
         fault=run.result.fault,
         index=index,
+        engine=tool.engine.name,
+        snapshot_hit=None if snaps is None else snaps.stats.hits > hits_before,
     )
 
 
@@ -202,9 +207,9 @@ def run_campaign(
             since_checkpoint += 1
             if events is not None:
                 events.emit(
-                    "experiment", index=i, seed=record.seed,
-                    outcome=record.outcome.value, cycles=record.cycles,
-                    steps=record.steps, wall_s=time.monotonic() - t0,
+                    "experiment", workload=tool.workload, tool=tool.name,
+                    wall_s=time.monotonic() - t0,
+                    **experiment_event_fields(record),
                 )
             if (
                 checkpoint_path is not None
@@ -229,6 +234,9 @@ def run_campaign(
         events.emit(
             "campaign_finish", workload=tool.workload, tool=tool.name,
             counts={o.value: result.frequency(o) for o in Outcome},
+            total_cycles=result.total_cycles, total_steps=result.total_steps,
+            total_candidates=result.total_candidates,
+            golden_output=list(result.golden_output),
             wall_s=wall,
             experiments_per_sec=(len(completed) / wall) if wall > 0 else 0.0,
         )

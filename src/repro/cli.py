@@ -71,7 +71,7 @@ class _LiveTelemetry(EventLog):
     #: non-TTY fallback: print one line every this many experiments.
     PRINT_EVERY = 100
 
-    def __init__(self, path=None, quiet=False, out=None):
+    def __init__(self, path=None, quiet=False, out=None, sink=None):
         super().__init__(path=path)
         self._quiet = quiet
         self._out = out if out is not None else sys.stderr
@@ -79,9 +79,14 @@ class _LiveTelemetry(EventLog):
         self._stats: CampaignStats | None = None
         self._label = ""
         self._printed = 0
+        #: optional write-through consumer of the full event stream (e.g.
+        #: a repro.resultsdb.DatabaseSink behind --db)
+        self._sink = sink
 
     def emit(self, event, **fields) -> None:
         super().emit(event, **fields)
+        if self._sink is not None:
+            self._sink.emit(event, **fields)
         if self._quiet:
             return
         if event == "campaign_start":
@@ -102,8 +107,13 @@ class _LiveTelemetry(EventLog):
                     file=self._out,
                 )
         elif event == "experiment" and self._stats is not None:
-            self._stats.note(Outcome(fields["outcome"]))
-            self._render()
+            # Parallel chunks and distributed tasks re-emit per-experiment
+            # events (tagged with ``chunk``/``task``) for result sinks; the
+            # progress counter already folds those in via chunk_done /
+            # task_done, so only count the sequential runner's events here.
+            if "chunk" not in fields and "task" not in fields:
+                self._stats.note(Outcome(fields["outcome"]))
+                self._render()
         elif event == "chunk_done" and self._stats is not None:
             counts = {Outcome(k): v for k, v in fields.get("counts", {}).items()}
             self._stats.note_batch(counts)
@@ -267,6 +277,9 @@ def campaign_main(argv: list[str] | None = None) -> int:
                         help="append JSONL telemetry events to this file")
     parser.add_argument("--save", default=None,
                         help="also save the full campaign matrix (JSON)")
+    parser.add_argument("--db", default=None, metavar="PATH",
+                        help="write results through to a SQLite store "
+                        "(created if missing; see refine-db)")
     parser.add_argument("-q", "--quiet", action="store_true")
     args = parser.parse_args(argv)
 
@@ -305,7 +318,13 @@ def campaign_main(argv: list[str] | None = None) -> int:
             file=sys.stderr,
         )
 
-    telemetry = _LiveTelemetry(path=args.events, quiet=args.quiet)
+    db = sink = None
+    if args.db is not None:
+        from repro.resultsdb import DatabaseSink, ResultsDB
+
+        db = ResultsDB(args.db)
+        sink = DatabaseSink(db, source="refine-campaign")
+    telemetry = _LiveTelemetry(path=args.events, quiet=args.quiet, sink=sink)
     try:
         if args.dist is not None:
             matrix = _serve_distributed(args, sources, tools, telemetry)
@@ -321,11 +340,25 @@ def campaign_main(argv: list[str] | None = None) -> int:
                 snapshot_interval=args.snapshot_interval,
                 engine=args.engine,
             )
+        if db is not None:
+            # The sink streamed every experiment; fill in the metadata the
+            # event stream does not carry (golden output, candidate counts).
+            from repro.resultsdb import ingest_result
+
+            sink.close()
+            for result in matrix.values():
+                ingest_result(
+                    db, result, base_seed=args.seed, source="refine-campaign"
+                )
     except (CampaignError, DistError) as exc:
         print(f"refine-campaign: error: {exc}", file=sys.stderr)
         return 1
     finally:
         telemetry.close()
+        if sink is not None:
+            sink.close()
+        if db is not None:
+            db.close()
     if args.save:
         save_matrix(matrix, args.save)
     print(matrix_to_csv(matrix))

@@ -47,7 +47,11 @@ from repro.campaign.checkpoint import (
 )
 from repro.campaign.classify import Outcome
 from repro.campaign.events import EventLog
-from repro.campaign.io import merge_results, result_from_dict
+from repro.campaign.io import (
+    experiment_event_fields,
+    merge_results,
+    result_from_dict,
+)
 from repro.campaign.results import CampaignResult
 from repro.campaign.runner import matrix_checkpoint_path
 from repro.dist.protocol import (
@@ -511,6 +515,18 @@ class Coordinator:
             self._fatal(CampaignError(problem))
             return {"type": "error", "message": problem}
         task.state = "done"
+        # One experiment event per accepted record (duplicates never reach
+        # this point, so downstream sinks see each global index once per
+        # stream); strip the records afterwards unless the campaign keeps
+        # them, so checkpoints and merged results honour keep_records.
+        for rec in part.records:
+            self._emit(
+                "experiment", workload=cell.spec.workload,
+                tool=cell.spec.tool_name, task=task.task_id, worker=worker,
+                **experiment_event_fields(rec),
+            )
+        if not cell.spec.keep_records:
+            part.records = []
         cell.parts[task.task_id] = part
         cell.completed.update(task.indices)
         cell.since_checkpoint += len(task.indices)
@@ -672,6 +688,10 @@ class Coordinator:
         self._emit(
             "cell_finish", workload=spec.workload, tool=spec.tool_name,
             counts={o.value: cell.result.frequency(o) for o in Outcome},
+            total_cycles=cell.result.total_cycles,
+            total_steps=cell.result.total_steps,
+            total_candidates=cell.result.total_candidates,
+            golden_output=list(cell.result.golden_output),
         )
         if len(self._results) == len(self._cells):
             wall = time.monotonic() - self._started

@@ -161,10 +161,11 @@ class Worker:
             return self._run_task_pooled(spec, indices)
         tool = self._tool_for(spec)
         result = _fresh_result(tool, len(indices))
+        # Records are always collected: the coordinator emits per-experiment
+        # telemetry (and feeds write-through result sinks) from them, then
+        # strips them when the campaign did not ask for keep_records.
         for i in indices:
-            result.add(
-                run_experiment(tool, spec.base_seed, i), spec.keep_records
-            )
+            result.add(run_experiment(tool, spec.base_seed, i), keep_record=True)
         return result
 
     def _run_task_pooled(

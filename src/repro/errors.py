@@ -74,6 +74,11 @@ class StatsError(ReproError):
     """Invalid statistical computation request."""
 
 
+class ResultsDBError(ReproError):
+    """Results-database failure (schema mismatch, malformed ingest input,
+    or a query against data the store does not hold)."""
+
+
 # ---------------------------------------------------------------------------
 # Machine traps: runtime events observed while executing a binary.  These are
 # *expected* under fault injection and are converted into CRASH outcomes.

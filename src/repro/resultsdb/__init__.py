@@ -1,0 +1,49 @@
+"""SQLite-backed campaign results store (stdlib only).
+
+Normalizes fault-injection campaigns into ``campaigns -> runs -> faults``
+with finalized outcome ``tallies``, fed write-through from the live
+telemetry stream or backfilled from event logs / result JSON, and read
+back through a typed query layer that reproduces the in-memory analysis
+bit-for-bit.  See :mod:`repro.resultsdb.schema` for the data model and
+``docs/api.md`` for the ingest idempotency contract.
+"""
+
+from repro.resultsdb.db import ResultsDB
+from repro.resultsdb.ingest import (
+    DatabaseSink,
+    ingest_events,
+    ingest_result,
+    ingest_results_file,
+)
+from repro.resultsdb.queries import (
+    CampaignInfo,
+    SiteRank,
+    breakdown,
+    contingency,
+    find_campaign,
+    list_campaigns,
+    matrix_from_db,
+    outcome_counts,
+    rank_sites,
+    to_campaign_result,
+)
+from repro.resultsdb.report import build_report
+
+__all__ = [
+    "CampaignInfo",
+    "DatabaseSink",
+    "ResultsDB",
+    "SiteRank",
+    "breakdown",
+    "build_report",
+    "contingency",
+    "find_campaign",
+    "ingest_events",
+    "ingest_result",
+    "ingest_results_file",
+    "list_campaigns",
+    "matrix_from_db",
+    "outcome_counts",
+    "rank_sites",
+    "to_campaign_result",
+]

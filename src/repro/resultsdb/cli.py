@@ -1,0 +1,176 @@
+"""``refine-db`` — ingest, query, report and maintain a results store.
+
+Verbs::
+
+    refine-db ingest  DB --events LOG... --results JSON... [--report DIR]
+    refine-db query   DB [--workload W --tool T --by DIM] [--csv]
+    refine-db report  DB OUT_DIR [--title T]
+    refine-db vacuum  DB
+
+``ingest --report`` builds the HTML report in the same invocation, so a
+full matrix round-trips file -> store -> report in one command.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro import __version__
+from repro.campaign.analysis import render_sensitivity
+from repro.campaign.classify import OUTCOME_ORDER
+from repro.errors import ReproError
+from repro.reporting.tables import matrix_to_csv
+from repro.resultsdb.db import ResultsDB
+from repro.resultsdb.ingest import ingest_events, ingest_results_file
+from repro.resultsdb.queries import (
+    DIMENSIONS,
+    breakdown,
+    find_campaign,
+    list_campaigns,
+    matrix_from_db,
+    rank_sites,
+)
+from repro.resultsdb.report import build_report
+
+
+def _cmd_ingest(args) -> int:
+    with ResultsDB(args.db) as db:
+        for path in args.events or ():
+            summary = ingest_events(db, path)
+            print(
+                f"# {path}: {summary['experiments']} experiment event(s), "
+                f"{summary['campaigns']} campaign(s)", file=sys.stderr,
+            )
+        for path in args.results or ():
+            summary = ingest_results_file(db, path)
+            print(
+                f"# {path}: {summary['campaigns']} campaign(s), "
+                f"{summary['experiments']} record(s)", file=sys.stderr,
+            )
+        if not args.events and not args.results:
+            print("refine-db: nothing to ingest (pass --events/--results)",
+                  file=sys.stderr)
+            return 2
+        if args.report is not None:
+            index = build_report(db, args.report)
+            print(f"# report: {index}", file=sys.stderr)
+    return 0
+
+
+def _cmd_query(args) -> int:
+    with ResultsDB(args.db) as db:
+        if args.csv:
+            print(matrix_to_csv(matrix_from_db(db)))
+            return 0
+        if args.by is not None:
+            if args.workload is None or args.tool is None:
+                print("refine-db: --by needs --workload and --tool",
+                      file=sys.stderr)
+                return 2
+            cid = find_campaign(db, args.workload, args.tool)
+            if args.rank:
+                print(f"{'site':24s} {'n':>6s} {'crash':>6s} "
+                      f"{'rate':>7s}  wilson-95%")
+                for s in rank_sites(db, cid, by=args.by, limit=args.top):
+                    print(
+                        f"{s.key:24s} {s.total:>6d} {s.hits:>6d} "
+                        f"{s.rate * 100:6.1f}%  "
+                        f"[{s.interval.low * 100:.1f}, "
+                        f"{s.interval.high * 100:.1f}]"
+                    )
+            else:
+                kwargs = {"bit_buckets": 8} if args.by == "bit" else {}
+                groups = breakdown(db, cid, by=args.by, **kwargs)
+                print(render_sensitivity(
+                    groups, f"{args.workload}/{args.tool} by {args.by}"
+                ))
+            return 0
+        infos = list_campaigns(db)
+        header = (
+            f"{'workload':14s} {'tool':8s} {'n':>6s} {'runs':>6s} "
+            + " ".join(f"{o.value:>7s}" for o in OUTCOME_ORDER)
+        )
+        print(header)
+        for info in infos:
+            counts = " ".join(
+                f"{info.counts.get(o, 0):>7d}" for o in OUTCOME_ORDER
+            )
+            print(
+                f"{info.workload:14s} {info.tool:8s} {info.n:>6d} "
+                f"{info.runs:>6d} {counts}"
+            )
+    return 0
+
+
+def _cmd_report(args) -> int:
+    with ResultsDB(args.db) as db:
+        index = build_report(db, args.out_dir, title=args.title)
+    print(f"# report: {index}", file=sys.stderr)
+    return 0
+
+
+def _cmd_vacuum(args) -> int:
+    with ResultsDB(args.db) as db:
+        db.vacuum()
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="refine-db",
+        description="Campaign results store: ingest event logs and result "
+        "files into SQLite, query outcome/sensitivity breakdowns, and "
+        "build static HTML reports.",
+    )
+    parser.add_argument(
+        "--version", action="version", version=f"%(prog)s {__version__}"
+    )
+    sub = parser.add_subparsers(dest="verb", required=True)
+
+    p = sub.add_parser("ingest", help="import event logs / result JSON")
+    p.add_argument("db", help="SQLite store path (created if missing)")
+    p.add_argument("--events", action="append", metavar="JSONL",
+                   help="telemetry event log (refine-campaign --events)")
+    p.add_argument("--results", action="append", metavar="JSON",
+                   help="campaign results file (--save matrix or "
+                   "full_campaign summary)")
+    p.add_argument("--report", metavar="DIR", default=None,
+                   help="also build the HTML report here")
+    p.set_defaults(func=_cmd_ingest)
+
+    p = sub.add_parser("query", help="print campaigns or breakdowns")
+    p.add_argument("db")
+    p.add_argument("--workload", default=None)
+    p.add_argument("--tool", default=None)
+    p.add_argument("--by", default=None, choices=sorted(DIMENSIONS),
+                   help="fault-site breakdown dimension")
+    p.add_argument("--rank", action="store_true",
+                   help="rank sites by Wilson lower bound instead of "
+                   "printing the full breakdown")
+    p.add_argument("--top", type=int, default=10,
+                   help="rows to show with --rank (default 10)")
+    p.add_argument("--csv", action="store_true",
+                   help="dump the whole store as campaign-matrix CSV")
+    p.set_defaults(func=_cmd_query)
+
+    p = sub.add_parser("report", help="build the static HTML report")
+    p.add_argument("db")
+    p.add_argument("out_dir")
+    p.add_argument("--title", default="Fault-injection campaign report")
+    p.set_defaults(func=_cmd_report)
+
+    p = sub.add_parser("vacuum", help="compact the store")
+    p.add_argument("db")
+    p.set_defaults(func=_cmd_vacuum)
+
+    args = parser.parse_args(argv)
+    try:
+        return args.func(args)
+    except ReproError as exc:
+        print(f"refine-db: error: {exc}", file=sys.stderr)
+        return 1
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

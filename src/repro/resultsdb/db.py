@@ -1,0 +1,158 @@
+"""SQLite connection wrapper for the campaign results store.
+
+Stdlib :mod:`sqlite3` only — the store must work wherever the campaign
+runner does (cluster nodes, CI, laptops) with zero extra dependencies.
+WAL journaling lets a live campaign write through its sink while report
+builders and ad-hoc queries read concurrently.
+"""
+
+from __future__ import annotations
+
+import sqlite3
+import threading
+from contextlib import contextmanager
+from pathlib import Path
+
+from repro.campaign.classify import Outcome
+from repro.errors import ResultsDBError
+from repro.resultsdb.schema import SCHEMA, SCHEMA_VERSION
+
+
+class ResultsDB:
+    """One open results database.
+
+    Use as a context manager (closes on exit) or call :meth:`close`.
+    ``path`` may be ``":memory:"`` for tests.  Opening creates or migrates
+    the schema; opening a file created by an incompatible future version
+    raises :class:`ResultsDBError` instead of corrupting it.
+
+    Thread-safe: every statement runs under an internal re-entrant lock,
+    so a write-through sink fed from coordinator handler threads (the
+    distributed path) shares one connection with the main thread safely.
+    """
+
+    def __init__(self, path: str | Path = ":memory:") -> None:
+        self.path = str(path)
+        self._lock = threading.RLock()
+        if self.path != ":memory:":
+            parent = Path(self.path).parent
+            if parent and not parent.exists():
+                parent.mkdir(parents=True, exist_ok=True)
+        try:
+            self._conn = sqlite3.connect(self.path, check_same_thread=False)
+        except sqlite3.Error as exc:
+            raise ResultsDBError(f"cannot open {self.path}: {exc}") from exc
+        self._conn.execute("PRAGMA journal_mode=WAL")
+        self._conn.execute("PRAGMA synchronous=NORMAL")
+        self._conn.execute("PRAGMA foreign_keys=ON")
+        self._init_schema()
+        #: outcome name -> id, loaded once (the lookup table is tiny and
+        #: immutable after init).
+        self.outcome_ids: dict[str, int] = {
+            name: oid
+            for oid, name in self._conn.execute(
+                "SELECT id, name FROM outcomes"
+            )
+        }
+        self.outcome_names: dict[int, str] = {
+            oid: name for name, oid in self.outcome_ids.items()
+        }
+
+    def _init_schema(self) -> None:
+        with self._conn:
+            self._conn.executescript(SCHEMA)
+            row = self._conn.execute(
+                "SELECT value FROM meta WHERE key='schema_version'"
+            ).fetchone()
+            if row is None:
+                self._conn.execute(
+                    "INSERT INTO meta(key, value) VALUES ('schema_version', ?)",
+                    (str(SCHEMA_VERSION),),
+                )
+            elif int(row[0]) != SCHEMA_VERSION:
+                raise ResultsDBError(
+                    f"{self.path} has schema version {row[0]}, this build "
+                    f"expects {SCHEMA_VERSION}"
+                )
+            # Outcome ids follow the enum's canonical definition order, so
+            # every database numbers them identically.
+            self._conn.executemany(
+                "INSERT OR IGNORE INTO outcomes(name) VALUES (?)",
+                [(o.value,) for o in Outcome],
+            )
+
+    # ------------------------------------------------------------- plumbing
+
+    @property
+    def connection(self) -> sqlite3.Connection:
+        return self._conn
+
+    def execute(self, sql: str, params=()) -> sqlite3.Cursor:
+        with self._lock:
+            return self._conn.execute(sql, params)
+
+    def executemany(self, sql: str, rows) -> sqlite3.Cursor:
+        with self._lock:
+            return self._conn.executemany(sql, rows)
+
+    @contextmanager
+    def transaction(self):
+        """One atomic batch (lock held across the whole transaction)."""
+        with self._lock, self._conn:
+            yield self._conn
+
+    def commit(self) -> None:
+        with self._lock:
+            self._conn.commit()
+
+    def vacuum(self) -> None:
+        """Compact the file and fold the WAL back in."""
+        with self._lock:
+            self._conn.commit()
+            self._conn.execute("PRAGMA wal_checkpoint(TRUNCATE)")
+            self._conn.execute("VACUUM")
+
+    def close(self) -> None:
+        with self._lock:
+            self._conn.commit()
+            self._conn.close()
+
+    def __enter__(self) -> "ResultsDB":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    # ------------------------------------------------------------ campaigns
+
+    def campaign_id(
+        self, workload: str, tool: str, *, n: int, base_seed: int = -1,
+        source: str | None = None,
+    ) -> int:
+        """Get-or-create the campaign row for one matrix cell.
+
+        The UNIQUE(workload, tool, base_seed, n) constraint makes this
+        idempotent: every ingest path (live sink, event-log replay, result
+        JSON import) converges on the same row.
+        """
+        row = self.execute(
+            "SELECT id FROM campaigns WHERE workload=? AND tool=? "
+            "AND base_seed=? AND n=?",
+            (workload, tool, base_seed, n),
+        ).fetchone()
+        if row is not None:
+            return row[0]
+        cur = self.execute(
+            "INSERT INTO campaigns(workload, tool, n, base_seed, source) "
+            "VALUES (?, ?, ?, ?, ?)",
+            (workload, tool, n, base_seed, source),
+        )
+        return cur.lastrowid
+
+    def run_count(self, campaign_id: int | None = None) -> int:
+        """Stored experiment rows (one campaign, or the whole store)."""
+        if campaign_id is None:
+            return self.execute("SELECT COUNT(*) FROM runs").fetchone()[0]
+        return self.execute(
+            "SELECT COUNT(*) FROM runs WHERE campaign_id=?", (campaign_id,)
+        ).fetchone()[0]

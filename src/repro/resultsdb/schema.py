@@ -1,0 +1,116 @@
+"""Relational schema of the campaign results store.
+
+The store normalizes a fault-injection study into four tables mirroring
+how campaigns are actually structured:
+
+.. code-block:: text
+
+    campaigns ──< runs ──1 faults        outcomes (lookup)
+        │
+        └──< tallies (finalized outcome counts)
+
+* ``campaigns`` — one row per (workload, tool, base_seed, n) cell.  The
+  UNIQUE constraint over those four columns is the identity used by
+  get-or-create, so re-ingesting the same campaign (a resumed checkpoint,
+  a requeued distributed task, a second replay of the same event log)
+  lands on the same row instead of forking a duplicate.
+* ``runs`` — one row per experiment, keyed ``(campaign_id, idx)`` where
+  ``idx`` is the experiment's **global index**.  Every experiment is a
+  pure function of ``(base_seed, workload, tool, idx)``, so a row with
+  the same key is provably bit-identical to the one already stored:
+  ingest uses ``INSERT OR IGNORE`` and duplicates (at-least-once task
+  delivery, checkpoint resume replays) simply vanish.
+* ``faults`` — the fault-site log for a run, split out because benign
+  no-fault runs have none.  ``opcode`` (first token of the instruction
+  text) and ``operand_kind`` (prefix of the operand descriptor, e.g.
+  ``ireg`` / ``freg`` / ``flags``) are denormalized at ingest so the
+  hot GROUP BY queries never parse strings.  Values travel as the same
+  tag-encoded JSON :mod:`repro.campaign.io` uses, so floats round-trip
+  bit-exactly.
+* ``tallies`` — outcome counts as finalized by ``campaign_finish`` /
+  ``cell_finish`` events (or imported from summary JSON).  Queries
+  prefer tallies when present and fall back to aggregating ``runs``,
+  so a live, partially-ingested campaign still reads consistently.
+"""
+
+from __future__ import annotations
+
+#: Bumped on incompatible schema changes; stored in ``meta``.
+SCHEMA_VERSION = 1
+
+SCHEMA = """
+CREATE TABLE IF NOT EXISTS meta (
+    key   TEXT PRIMARY KEY,
+    value TEXT NOT NULL
+) WITHOUT ROWID;
+
+CREATE TABLE IF NOT EXISTS outcomes (
+    id   INTEGER PRIMARY KEY,
+    name TEXT UNIQUE NOT NULL
+);
+
+CREATE TABLE IF NOT EXISTS campaigns (
+    id               INTEGER PRIMARY KEY,
+    workload         TEXT NOT NULL,
+    tool             TEXT NOT NULL,
+    n                INTEGER NOT NULL,
+    -- -1 = unknown (summary imports carry no seed)
+    base_seed        INTEGER NOT NULL DEFAULT -1,
+    total_candidates INTEGER,
+    golden_output    TEXT,              -- JSON array of output lines
+    total_cycles     REAL,
+    total_steps      INTEGER,
+    source           TEXT,              -- provenance: file/flag that fed it
+    UNIQUE (workload, tool, base_seed, n)
+);
+
+CREATE TABLE IF NOT EXISTS runs (
+    campaign_id  INTEGER NOT NULL REFERENCES campaigns(id),
+    idx          INTEGER NOT NULL,
+    seed         INTEGER NOT NULL,
+    outcome_id   INTEGER NOT NULL REFERENCES outcomes(id),
+    cycles       REAL NOT NULL,
+    steps        INTEGER NOT NULL,
+    trap         TEXT,
+    exit_code    INTEGER NOT NULL DEFAULT 0,
+    engine       TEXT,
+    snapshot_hit INTEGER,               -- NULL = fast path off/unknown
+    PRIMARY KEY (campaign_id, idx)
+) WITHOUT ROWID;
+
+CREATE TABLE IF NOT EXISTS faults (
+    campaign_id   INTEGER NOT NULL,
+    idx           INTEGER NOT NULL,
+    tool          TEXT NOT NULL,
+    dynamic_index INTEGER NOT NULL,     -- trigger: dynamic instruction count
+    pc            INTEGER NOT NULL,
+    func          TEXT NOT NULL,
+    block         TEXT,
+    instr_text    TEXT NOT NULL,
+    opcode        TEXT NOT NULL,        -- first token of instr_text
+    operand_index INTEGER NOT NULL,
+    operand_desc  TEXT NOT NULL,        -- register/target, e.g. "ireg:3"
+    operand_kind  TEXT NOT NULL,        -- prefix of operand_desc
+    bit           INTEGER NOT NULL,
+    value_before  TEXT,                 -- tag-encoded JSON (io helpers)
+    value_after   TEXT,
+    PRIMARY KEY (campaign_id, idx),
+    FOREIGN KEY (campaign_id, idx) REFERENCES runs(campaign_id, idx)
+) WITHOUT ROWID;
+
+CREATE TABLE IF NOT EXISTS tallies (
+    campaign_id INTEGER NOT NULL REFERENCES campaigns(id),
+    outcome_id  INTEGER NOT NULL REFERENCES outcomes(id),
+    count       INTEGER NOT NULL,
+    PRIMARY KEY (campaign_id, outcome_id)
+) WITHOUT ROWID;
+
+CREATE INDEX IF NOT EXISTS ix_campaigns_workload ON campaigns(workload);
+CREATE INDEX IF NOT EXISTS ix_campaigns_tool     ON campaigns(tool);
+CREATE INDEX IF NOT EXISTS ix_runs_outcome       ON runs(campaign_id, outcome_id);
+CREATE INDEX IF NOT EXISTS ix_faults_func        ON faults(campaign_id, func);
+CREATE INDEX IF NOT EXISTS ix_faults_register    ON faults(campaign_id, operand_desc);
+CREATE INDEX IF NOT EXISTS ix_faults_opcode      ON faults(campaign_id, opcode);
+CREATE INDEX IF NOT EXISTS ix_faults_bit         ON faults(campaign_id, bit);
+CREATE INDEX IF NOT EXISTS ix_faults_trigger     ON faults(campaign_id, dynamic_index);
+"""

@@ -3,6 +3,7 @@
 import pytest
 
 from repro.campaign import (
+    GroupSensitivity,
     Outcome,
     by_bit_range,
     by_function,
@@ -125,3 +126,82 @@ def make_tool_with_opcode(tool_name: str, probability: float = 1.0):
     return TOOL_CLASSES[tool_name](
         DEMO_SOURCE, "demo", opcode_faults=probability
     )
+
+
+class TestEdgeCasesAgainstStore:
+    """Degenerate campaigns, cross-checked against repro.resultsdb: the
+    DB query layer must return the same numbers as the in-memory path
+    even at the edges (no faults at all, one outcome, empty groups)."""
+
+    @staticmethod
+    def _db_groups(result, by, **kwargs):
+        from repro.resultsdb import ResultsDB, breakdown, ingest_result
+
+        with ResultsDB() as db:
+            cid = ingest_result(db, result)
+            return [
+                (g.key, g.counts) for g in breakdown(db, cid, by=by, **kwargs)
+            ]
+
+    def test_no_fault_records_means_empty_groups(self):
+        # Fault-free records (fault=None) group nowhere: the in-memory
+        # analysis skips them and the DB has no fault rows to join.
+        from repro.campaign.results import CampaignResult, ExperimentRecord
+
+        result = CampaignResult(
+            workload="demo", tool="REFINE", n=3,
+            counts={Outcome.BENIGN: 3},
+        )
+        result.records = [
+            ExperimentRecord(
+                seed=i, outcome=Outcome.BENIGN, cycles=1.0, steps=1,
+                trap=None, exit_code=0, fault=None, index=i,
+            )
+            for i in range(3)
+        ]
+        assert by_function(result) == []
+        assert self._db_groups(result, "func") == []
+
+    def test_single_outcome_campaign(self):
+        # Opcode corruption at probability 1.0: every experiment crashes.
+        # One group, 100% crash, identical through the store.
+        tool = make_tool_with_opcode("REFINE", probability=1.0)
+        result = run_campaign(tool, n=12, keep_records=True)
+        mem = by_function(result)
+        assert all(g.proportion(Outcome.CRASH) == 1.0 for g in mem)
+        assert self._db_groups(result, "func") == [
+            (g.key, g.counts) for g in mem
+        ]
+        kinds = self._db_groups(result, "kind")
+        assert kinds == [("opcode", {Outcome.CRASH: 12, Outcome.SOC: 0,
+                                     Outcome.BENIGN: 0})]
+
+    def test_zero_total_wilson_interval_raises(self):
+        # A group can never be empty (groups exist because a record landed
+        # in them), so the zero-total case lives in the interval math —
+        # both layers surface it as StatsError rather than dividing by 0.
+        from repro.errors import StatsError
+        from repro.stats.intervals import wilson_interval
+
+        empty = GroupSensitivity("nothing", {o: 0 for o in Outcome})
+        assert empty.total == 0
+        assert empty.proportion(Outcome.CRASH) == 0.0
+        with pytest.raises(StatsError):
+            empty.interval(Outcome.CRASH)
+        with pytest.raises(StatsError):
+            wilson_interval(0, 0)
+
+    def test_rank_sites_agrees_with_intervals(self):
+        # The DB ranking's Wilson intervals equal the in-memory group
+        # intervals for the same sites.
+        from repro.resultsdb import ResultsDB, ingest_result, rank_sites
+
+        tool = make_tool("REFINE", DEMO_SOURCE, "demo")
+        result = run_campaign(tool, n=40, keep_records=True)
+        mem = {g.key: g for g in by_operand_kind(result)}
+        with ResultsDB() as db:
+            cid = ingest_result(db, result)
+            for site in rank_sites(db, cid, by="kind"):
+                group = mem[site.key]
+                assert site.total == group.total
+                assert site.interval == group.interval(Outcome.CRASH)

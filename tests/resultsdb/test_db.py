@@ -1,0 +1,97 @@
+"""Store lifecycle: schema creation, versioning, identity, maintenance."""
+
+import sqlite3
+
+import pytest
+
+from repro.campaign.classify import Outcome
+from repro.errors import ResultsDBError
+from repro.resultsdb import ResultsDB
+from repro.resultsdb.schema import SCHEMA_VERSION
+
+
+def _tables(db):
+    return {
+        name
+        for (name,) in db.execute(
+            "SELECT name FROM sqlite_master WHERE type='table'"
+        )
+    }
+
+
+class TestSchema:
+    def test_creates_all_tables(self):
+        with ResultsDB() as db:
+            assert {"meta", "outcomes", "campaigns", "runs", "faults",
+                    "tallies"} <= _tables(db)
+
+    def test_outcome_lookup_follows_enum_order(self):
+        with ResultsDB() as db:
+            assert list(db.outcome_ids) == [o.value for o in Outcome]
+            assert db.outcome_names == {
+                v: k for k, v in db.outcome_ids.items()
+            }
+
+    def test_version_stamped_and_reopenable(self, tmp_path):
+        path = tmp_path / "store.sqlite"
+        with ResultsDB(path) as db:
+            row = db.execute(
+                "SELECT value FROM meta WHERE key='schema_version'"
+            ).fetchone()
+            assert row == (str(SCHEMA_VERSION),)
+        with ResultsDB(path) as db:  # reopen: no migration, no error
+            assert db.run_count() == 0
+
+    def test_future_version_rejected(self, tmp_path):
+        path = tmp_path / "store.sqlite"
+        ResultsDB(path).close()
+        conn = sqlite3.connect(path)
+        conn.execute("UPDATE meta SET value='999' WHERE key='schema_version'")
+        conn.commit()
+        conn.close()
+        with pytest.raises(ResultsDBError, match="schema version 999"):
+            ResultsDB(path)
+
+    def test_wal_mode_on_files(self, tmp_path):
+        with ResultsDB(tmp_path / "store.sqlite") as db:
+            mode = db.execute("PRAGMA journal_mode").fetchone()[0]
+            assert mode == "wal"
+
+    def test_parent_directory_created(self, tmp_path):
+        path = tmp_path / "deep" / "nested" / "store.sqlite"
+        with ResultsDB(path) as db:
+            assert db.run_count() == 0
+        assert path.exists()
+
+    def test_unopenable_path_raises(self, tmp_path):
+        with pytest.raises(ResultsDBError, match="cannot open"):
+            ResultsDB(tmp_path)  # a directory is not a database
+
+
+class TestCampaignIdentity:
+    def test_get_or_create_idempotent(self):
+        with ResultsDB() as db:
+            a = db.campaign_id("demo", "REFINE", n=10, base_seed=1)
+            b = db.campaign_id("demo", "REFINE", n=10, base_seed=1)
+            assert a == b
+
+    def test_distinct_cells_fork(self):
+        with ResultsDB() as db:
+            base = db.campaign_id("demo", "REFINE", n=10, base_seed=1)
+            assert db.campaign_id("demo", "PINFI", n=10, base_seed=1) != base
+            assert db.campaign_id("demo", "REFINE", n=20, base_seed=1) != base
+            assert db.campaign_id("demo", "REFINE", n=10, base_seed=2) != base
+
+
+class TestMaintenance:
+    def test_vacuum_preserves_rows(self, tmp_path):
+        path = tmp_path / "store.sqlite"
+        with ResultsDB(path) as db:
+            cid = db.campaign_id("demo", "REFINE", n=2, base_seed=1)
+            db.executemany(
+                "INSERT INTO runs(campaign_id, idx, seed, outcome_id,"
+                " cycles, steps) VALUES (?, ?, ?, ?, ?, ?)",
+                [(cid, i, i, 1, 1.0, 1) for i in range(2)],
+            )
+            db.vacuum()
+            assert db.run_count() == 2

@@ -1,0 +1,184 @@
+"""Query layer: DB-backed numbers must equal the in-memory path exactly."""
+
+import pytest
+
+from repro.campaign import (
+    by_bit_range,
+    by_function,
+    by_operand_kind,
+)
+from repro.campaign.classify import Outcome
+from repro.errors import ResultsDBError
+from repro.resultsdb import (
+    ResultsDB,
+    breakdown,
+    contingency,
+    find_campaign,
+    ingest_events,
+    ingest_result,
+    list_campaigns,
+    matrix_from_db,
+    outcome_counts,
+    rank_sites,
+    to_campaign_result,
+)
+from repro.stats.tables import ContingencyTable
+
+
+@pytest.fixture(scope="module")
+def db(ground_truth):
+    store = ResultsDB()
+    ingest_events(store, ground_truth.log)
+    yield store
+    store.close()
+
+
+@pytest.fixture(scope="module")
+def refine_id(db):
+    return find_campaign(db, "demo", "REFINE")
+
+
+def _as_pairs(groups):
+    return [(g.key, g.counts) for g in groups]
+
+
+class TestAnalysisParity:
+    """The acceptance bar: breakdowns bit-identical to campaign.analysis."""
+
+    def test_by_function(self, db, refine_id, ground_truth):
+        mem = by_function(ground_truth.results["REFINE"])
+        assert _as_pairs(breakdown(db, refine_id, by="func")) == _as_pairs(mem)
+
+    def test_by_operand_kind(self, db, refine_id, ground_truth):
+        mem = by_operand_kind(ground_truth.results["REFINE"])
+        assert _as_pairs(breakdown(db, refine_id, by="kind")) == _as_pairs(mem)
+
+    @pytest.mark.parametrize("buckets", [2, 8, 64])
+    def test_by_bit_range(self, db, refine_id, ground_truth, buckets):
+        mem = by_bit_range(ground_truth.results["REFINE"], buckets=buckets)
+        got = breakdown(db, refine_id, by="bit", bit_buckets=buckets)
+        assert _as_pairs(got) == _as_pairs(mem)
+
+    def test_both_tools(self, db, ground_truth):
+        for tool_name, mem in ground_truth.results.items():
+            cid = find_campaign(db, "demo", tool_name)
+            assert _as_pairs(breakdown(db, cid, by="func")) == _as_pairs(
+                by_function(mem)
+            )
+
+    def test_unknown_dimension_raises(self, db, refine_id):
+        with pytest.raises(ResultsDBError, match="unknown dimension"):
+            breakdown(db, refine_id, by="phase_of_moon")
+
+    def test_bit_buckets_bounds(self, db, refine_id):
+        with pytest.raises(ResultsDBError, match="bit_buckets"):
+            breakdown(db, refine_id, by="bit", bit_buckets=0)
+
+
+class TestRoundTrip:
+    def test_counts_equal(self, db, refine_id, ground_truth):
+        assert (
+            outcome_counts(db, refine_id)
+            == ground_truth.results["REFINE"].counts
+        )
+
+    def test_records_equal(self, db, refine_id, ground_truth):
+        stored = to_campaign_result(db, refine_id)
+        assert stored.records == ground_truth.results["REFINE"].records
+
+    def test_matrix_covers_both_cells(self, db, ground_truth):
+        matrix = matrix_from_db(db)
+        assert set(matrix) == {("demo", "REFINE"), ("demo", "PINFI")}
+
+    def test_missing_campaign_raises(self, db):
+        with pytest.raises(ResultsDBError, match="no campaign"):
+            find_campaign(db, "demo", "NOPE")
+        with pytest.raises(ResultsDBError, match="no campaign with id"):
+            to_campaign_result(db, 10_000)
+
+    def test_ambiguous_cell_needs_seed(self, ground_truth):
+        with ResultsDB() as store:
+            for seed in (1, 2):
+                ingest_result(
+                    store, ground_truth.results["REFINE"], base_seed=seed
+                )
+            with pytest.raises(ResultsDBError, match="pass base_seed"):
+                find_campaign(store, "demo", "REFINE")
+            with pytest.raises(ResultsDBError, match="base_seed"):
+                matrix_from_db(store)
+            assert find_campaign(store, "demo", "REFINE", base_seed=2)
+            assert set(matrix_from_db(store, base_seed=1)) == {
+                ("demo", "REFINE")
+            }
+
+    def test_tally_fallback_aggregates_runs(self, db, refine_id):
+        # A live, never-finalized campaign: counts fall back to runs.
+        with ResultsDB() as store:
+            cid = store.campaign_id("demo", "REFINE", n=4)
+            store.executemany(
+                "INSERT INTO runs(campaign_id, idx, seed, outcome_id,"
+                " cycles, steps) VALUES (?, ?, ?, ?, ?, ?)",
+                [
+                    (cid, 0, 0, store.outcome_ids["crash"], 1.0, 1),
+                    (cid, 1, 1, store.outcome_ids["crash"], 1.0, 1),
+                    (cid, 2, 2, store.outcome_ids["benign"], 1.0, 1),
+                ],
+            )
+            assert outcome_counts(store, cid) == {
+                Outcome.CRASH: 2, Outcome.SOC: 0, Outcome.BENIGN: 1,
+            }
+
+
+class TestRanking:
+    def test_ordered_by_wilson_lower_bound(self, db, refine_id):
+        ranked = rank_sites(db, refine_id, by="register")
+        lows = [s.interval.low for s in ranked]
+        assert lows == sorted(lows, reverse=True)
+
+    def test_totals_cover_campaign(self, db, refine_id, ground_truth):
+        ranked = rank_sites(db, refine_id, by="kind")
+        assert sum(s.total for s in ranked) == ground_truth.n
+
+    def test_hits_match_breakdown(self, db, refine_id):
+        by_key = {g.key: g for g in breakdown(db, refine_id, by="register")}
+        for site in rank_sites(db, refine_id, by="register"):
+            assert site.hits == by_key[site.key].frequency(Outcome.CRASH)
+            assert site.total == by_key[site.key].total
+
+    def test_min_total_and_limit(self, db, refine_id):
+        all_sites = rank_sites(db, refine_id, by="register")
+        filtered = rank_sites(db, refine_id, by="register", min_total=3)
+        assert all(s.total >= 3 for s in filtered)
+        assert len(rank_sites(db, refine_id, by="register", limit=2)) <= 2
+        assert len(filtered) <= len(all_sites)
+
+
+class TestContingency:
+    def test_matches_in_memory_table(self, db, ground_truth):
+        mem = ContingencyTable.from_results(
+            ground_truth.results["REFINE"], ground_truth.results["PINFI"]
+        )
+        got = contingency(db, "demo", "REFINE", "PINFI")
+        assert got == mem
+
+    def test_chisq_statistic_identical(self, db, ground_truth):
+        mem_test = ContingencyTable.from_results(
+            ground_truth.results["REFINE"], ground_truth.results["PINFI"]
+        ).test()
+        db_test = contingency(db, "demo", "REFINE", "PINFI").test()
+        assert db_test.statistic == mem_test.statistic
+        assert db_test.p_value == mem_test.p_value
+        assert db_test.significant == mem_test.significant
+
+
+class TestListing:
+    def test_list_campaigns_summary(self, db, ground_truth):
+        infos = list_campaigns(db)
+        assert [(i.workload, i.tool) for i in infos] == [
+            ("demo", "REFINE"), ("demo", "PINFI"),
+        ]
+        for info in infos:
+            assert info.n == ground_truth.n
+            assert info.runs == ground_truth.n
+            assert sum(info.counts.values()) == ground_truth.n
+            assert info.total_candidates is not None

@@ -1,0 +1,105 @@
+"""Static HTML report: structure, drill-downs, graceful degradation."""
+
+import pytest
+
+from repro.campaign.classify import Outcome
+from repro.resultsdb import (
+    ResultsDB,
+    build_report,
+    find_campaign,
+    ingest_events,
+    ingest_result,
+)
+
+
+@pytest.fixture(scope="module")
+def report_dir(ground_truth, tmp_path_factory):
+    out = tmp_path_factory.mktemp("report")
+    with ResultsDB() as db:
+        ingest_events(db, ground_truth.log)
+        index = build_report(db, out, title="demo report")
+        ids = {
+            name: find_campaign(db, "demo", name)
+            for name in ("REFINE", "PINFI")
+        }
+    return out, index, ids
+
+
+class TestIndexPage:
+    def test_index_written(self, report_dir):
+        out, index, _ = report_dir
+        assert index == out / "index.html"
+        assert index.exists()
+
+    def test_title_and_campaigns_listed(self, report_dir, ground_truth):
+        _, index, _ = report_dir
+        html = index.read_text()
+        assert "demo report" in html
+        assert "REFINE" in html and "PINFI" in html
+        assert f"<td>{ground_truth.n}</td>" in html
+
+    def test_outcome_counts_rendered(self, report_dir, ground_truth):
+        _, index, _ = report_dir
+        html = index.read_text()
+        for mem in ground_truth.results.values():
+            assert f"<td>{mem.frequency(Outcome.CRASH)}" in html
+
+    def test_chisq_section_present(self, report_dir):
+        # Two tools on one workload: the Table-5 view must appear, with
+        # PINFI as the baseline pair.
+        _, index, _ = report_dir
+        html = index.read_text()
+        assert "Table 5 view" in html
+        assert "REFINE vs PINFI" in html
+
+    def test_self_contained(self, report_dir):
+        # Archivable: no scripts, no external assets.
+        _, index, _ = report_dir
+        html = index.read_text()
+        assert "<script" not in html
+        assert "http://" not in html and "https://" not in html
+
+
+class TestDrillDown:
+    def test_campaign_pages_written(self, report_dir):
+        out, _, ids = report_dir
+        for cid in ids.values():
+            assert (out / f"campaign-{cid}.html").exists()
+
+    def test_breakdown_sections_present(self, report_dir):
+        out, _, ids = report_dir
+        html = (out / f"campaign-{ids['REFINE']}.html").read_text()
+        for section in (
+            "By source function", "By instruction opcode",
+            "By operand kind", "By flipped bit range",
+            "Registers by crash rate", "Bit positions by crash rate",
+        ):
+            assert section in html
+
+    def test_links_back_to_index(self, report_dir):
+        out, _, ids = report_dir
+        html = (out / f"campaign-{ids['REFINE']}.html").read_text()
+        assert 'href="index.html"' in html
+
+
+class TestSummaryOnlyStore:
+    def test_no_drilldown_without_records(self, ground_truth, tmp_path):
+        # Counts-only campaigns (summary imports) render in the overview
+        # but get no per-experiment drill-down page.
+        mem = ground_truth.results["REFINE"]
+        summary_only = type(mem)(
+            workload=mem.workload, tool=mem.tool, n=mem.n,
+            counts=dict(mem.counts),
+        )
+        with ResultsDB() as db:
+            cid = ingest_result(db, summary_only)
+            out = tmp_path / "report"
+            build_report(db, out)
+            assert (out / "index.html").exists()
+            assert not (out / f"campaign-{cid}.html").exists()
+            assert "summary only" in (out / "index.html").read_text()
+
+    def test_empty_store_renders(self, tmp_path):
+        with ResultsDB() as db:
+            index = build_report(db, tmp_path / "empty")
+            assert "0 campaign(s)" in index.read_text()
