@@ -36,6 +36,14 @@ from repro.campaign.runner import (
     run_experiment,
     run_matrix,
 )
+from repro.campaign.schedule import (
+    SCHEDULES,
+    PhaseTimes,
+    SchedulerStats,
+    TriggerScheduler,
+    resolve_trigger_order,
+    validate_schedule,
+)
 
 __all__ = [
     "GroupSensitivity",
@@ -70,4 +78,10 @@ __all__ = [
     "run_campaign",
     "run_experiment",
     "run_matrix",
+    "SCHEDULES",
+    "PhaseTimes",
+    "SchedulerStats",
+    "TriggerScheduler",
+    "resolve_trigger_order",
+    "validate_schedule",
 ]

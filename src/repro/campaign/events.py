@@ -41,8 +41,13 @@ event                     extra fields
                           ``total_candidates``, ``golden_output`` (the
                           stream is self-contained: a results store can
                           rebuild the full ``CampaignResult`` from the log
-                          alone); the sequential runner adds ``wall_s``,
-                          ``experiments_per_sec``
+                          alone); ``schedule`` (``index``/``trigger``) and
+                          ``phases`` (wall-clock breakdown:
+                          ``translate_s``, ``prefix_s``, ``fork_s``,
+                          ``tail_s``, ``classify_s``); with the trigger
+                          schedule also ``scheduler`` (final
+                          ``scheduler_stats`` counters); the sequential
+                          runner adds ``wall_s``, ``experiments_per_sec``
 ``snapshot_golden``       ``workload``, ``tool``, ``interval``, ``snapshots``,
                           ``pages``, ``reused`` (loaded from the shared
                           store instead of recorded), ``wall_s`` — one per
@@ -54,6 +59,16 @@ event                     extra fields
                           ``golden_wall_s``, ``interval``; cumulative per
                           campaign from the sequential runner, per-chunk
                           (with a ``chunk`` field) from parallel workers
+``scheduler_stats``       ``workload``, ``tool``, ``experiments``, ``forks``,
+                          ``fork_hits``, ``scratch``, ``rejoins``,
+                          ``sync_states``, ``cursor_steps``,
+                          ``prefix_steps_saved``, ``tail_steps_saved`` —
+                          trigger-schedule counters (see
+                          :mod:`repro.campaign.schedule`); cumulative from
+                          the sequential runner (emitted after the cursor
+                          and again after the last tail), per-chunk
+                          (``chunk``) from parallel workers, per-task
+                          (``task``, ``worker``) from the coordinator
 ========================  =====================================================
 
 The distributed coordinator (:mod:`repro.dist`) emits its own family on
@@ -79,7 +94,10 @@ event                     extra fields
 ``worker_leave``          ``worker``
 ``cell_finish``           ``workload``, ``tool``, ``counts``,
                           ``total_cycles``, ``total_steps``,
-                          ``total_candidates``, ``golden_output``
+                          ``total_candidates``, ``golden_output``,
+                          ``schedule``, ``phases`` (worker-side breakdown
+                          summed over tasks) and, with the trigger
+                          schedule, ``scheduler``
 ``dist_finish``           ``cells``, ``total``, ``wall_s``,
                           ``experiments_per_sec``
 ========================  =====================================================
@@ -181,6 +199,10 @@ class CampaignStats:
         self.snap_hits = 0
         self.snap_misses = 0
         self.snap_skipped = 0
+        #: trigger-scheduler counters (from ``scheduler_stats`` events)
+        self.sched_forks = 0
+        self.sched_rejoins = 0
+        self.sched_steps_saved = 0
         self._restored = done  # restored from a checkpoint, not run here
         self._clock = clock
         self._started = clock()
@@ -209,6 +231,24 @@ class CampaignStats:
             self.snap_hits = hits
             self.snap_misses = misses
             self.snap_skipped = skipped
+
+    def note_scheduler(self, fields: dict, accumulate: bool = False) -> None:
+        """Fold one ``scheduler_stats`` event in.  Sequential-runner events
+        are cumulative (replace); parallel per-chunk and distributed
+        per-task events are independent schedulers (``accumulate=True``)."""
+        forks = int(fields.get("forks", 0))
+        rejoins = int(fields.get("rejoins", 0))
+        saved = int(fields.get("prefix_steps_saved", 0)) + int(
+            fields.get("tail_steps_saved", 0)
+        )
+        if accumulate:
+            self.sched_forks += forks
+            self.sched_rejoins += rejoins
+            self.sched_steps_saved += saved
+        else:
+            self.sched_forks = forks
+            self.sched_rejoins = rejoins
+            self.sched_steps_saved = saved
 
     def note_worker(self, worker: str, k: int) -> None:
         """Attribute ``k`` completed experiments to a distributed worker."""
@@ -266,5 +306,11 @@ class CampaignStats:
             line += (
                 f" | snap {100.0 * self.snap_hits / served:.0f}% hit, "
                 f"{self.snap_skipped:,} skipped"
+            )
+        if self.sched_forks:
+            line += (
+                f" | sched {self.sched_forks} forks, "
+                f"{self.sched_rejoins} rejoins, "
+                f"{self.sched_steps_saved:,} steps saved"
             )
         return line

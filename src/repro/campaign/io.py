@@ -115,9 +115,15 @@ def experiment_event_fields(record: ExperimentRecord) -> dict:
     }
 
 
+#: Optional statistic blocks piggy-backed on a partial result by the slice
+#: runners (plain JSON dicts), forwarded so the distributed coordinator can
+#: aggregate worker-side snapshot/scheduler telemetry.
+_RESULT_STATS_ATTRS = ("snapshot_stats", "phase_times", "scheduler_stats")
+
+
 def result_to_dict(result: CampaignResult) -> dict:
     """Serialize one campaign result (records included when kept)."""
-    return {
+    data = {
         "workload": result.workload,
         "tool": result.tool,
         "n": result.n,
@@ -142,6 +148,11 @@ def result_to_dict(result: CampaignResult) -> dict:
             for rec in result.records
         ],
     }
+    for extra in _RESULT_STATS_ATTRS:
+        value = getattr(result, extra, None)
+        if value is not None:
+            data[extra] = value
+    return data
 
 
 def result_from_dict(data: dict) -> CampaignResult:
@@ -170,6 +181,9 @@ def result_from_dict(data: dict) -> CampaignResult:
                 fault=_fault_from_dict(rec["fault"]),
             )
         )
+    for extra in _RESULT_STATS_ATTRS:
+        if extra in data:
+            setattr(result, extra, data[extra])
     return result
 
 

@@ -19,6 +19,7 @@ next run's chunks.
 from __future__ import annotations
 
 import math
+import time
 from concurrent.futures import ProcessPoolExecutor, as_completed
 from dataclasses import dataclass
 from pathlib import Path
@@ -34,6 +35,12 @@ from repro.campaign.events import EventLog
 from repro.campaign.io import experiment_event_fields, merge_results
 from repro.campaign.results import CampaignResult
 from repro.campaign.runner import DEFAULT_SEED, _fresh_result, run_experiment
+from repro.campaign.schedule import (
+    PhaseTimes,
+    TriggerScheduler,
+    resolve_trigger_order,
+    validate_schedule,
+)
 from repro.errors import CampaignError
 from repro.fi.config import FIConfig
 from repro.fi.tools import TOOL_CLASSES
@@ -73,6 +80,8 @@ class SliceTask:
     snapshot_dir: str | None = None
     #: execution engine name (``None`` = environment/default)
     engine: str | None = None
+    #: experiment visiting order within the slice (``index`` or ``trigger``)
+    schedule: str = "index"
 
 
 def run_slice(task: SliceTask) -> CampaignResult:
@@ -92,11 +101,24 @@ def run_slice(task: SliceTask) -> CampaignResult:
     )
     if task.snapshot_interval is not None:
         tool.enable_snapshots(
-            interval=task.snapshot_interval, store_dir=task.snapshot_dir
+            interval=task.snapshot_interval, store_dir=task.snapshot_dir,
+            coarse=task.schedule == "trigger",
         )
     result = _fresh_result(tool, len(task.indices))
-    for i in task.indices:
-        result.add(run_experiment(tool, task.base_seed, i), keep_record=True)
+    if task.schedule == "trigger":
+        # The slice is a contiguous trigger range; run it along one golden
+        # cursor.  Phase/scheduler breakdowns ride back on the pickled
+        # result so the parent can aggregate and emit telemetry.
+        sched = TriggerScheduler(tool)
+        for rec in sched.run_batch(task.base_seed, task.indices):
+            result.add(rec, keep_record=True)
+        result.phase_times = sched.phases.as_dict()
+        result.scheduler_stats = sched.stats.as_dict()
+    else:
+        for i in task.indices:
+            result.add(
+                run_experiment(tool, task.base_seed, i), keep_record=True
+            )
     if tool.snapshots is not None:
         # Piggy-backed on the pickled result so the parent can surface the
         # worker's hit rate as a snapshot_stats event.
@@ -123,6 +145,7 @@ def run_campaign_parallel(
     snapshot_interval: int | None = None,
     snapshot_dir: str | Path | None = None,
     engine: str | None = None,
+    schedule: str = "index",
 ) -> CampaignResult:
     """Run ``n`` experiments across ``workers`` processes.
 
@@ -142,7 +165,16 @@ def run_campaign_parallel(
     (default: a ``snapshots`` directory next to the checkpoint) is the
     store the workers share, so the golden run is recorded once per binary
     no matter the worker count.
+
+    ``schedule="trigger"`` re-shards the campaign from index ranges to
+    **contiguous trigger ranges**: the parent pre-resolves every remaining
+    experiment's trigger (a pure function of its seed), sorts by
+    ``(trigger, index)``, and cuts chunks along that order, so each worker's
+    golden cursor sweeps one compact window of the timeline.  Results stay
+    keyed by global experiment index and the merge accepts out-of-order
+    parts, so the outcome is bit-identical to the index schedule.
     """
+    validate_schedule(schedule)
     if n <= 0:
         raise CampaignError("campaign needs n >= 1 experiments")
     if workers <= 0:
@@ -169,6 +201,8 @@ def run_campaign_parallel(
     ):
         snapshot_dir = Path(checkpoint_path).parent / "snapshots"
 
+    phases = PhaseTimes()
+    scheduler_totals: dict[str, int] = {}
     completed: set[int] = set()
     prior: CampaignResult | None = None
     ckpt = try_load_checkpoint(checkpoint_path)
@@ -228,6 +262,12 @@ def run_campaign_parallel(
                 total_steps=result.total_steps,
                 total_candidates=result.total_candidates,
                 golden_output=list(result.golden_output),
+                schedule=schedule,
+                phases=phases.as_dict(),
+                **(
+                    {"scheduler": dict(scheduler_totals)}
+                    if scheduler_totals else {}
+                ),
             )
         return result
 
@@ -238,6 +278,25 @@ def run_campaign_parallel(
                 "checkpoint claims completion but holds no partial result"
             )
         return _finish(prior)
+
+    if schedule == "trigger":
+        # Pre-resolve every remaining experiment's trigger in the parent and
+        # re-order the work list along the golden timeline; contiguous
+        # chunks of this list are trigger ranges, so each worker's cursor
+        # covers one compact window instead of the whole run.  The parent
+        # tool is also the fail-fast check that the tool/engine combination
+        # supports trigger scheduling (raises here, not as a pickled
+        # worker traceback).
+        t0 = time.perf_counter()
+        order_tool = cls(
+            source, workload, config=config, opt_level=opt_level,
+            opcode_faults=opcode_faults, engine=engine,
+        )
+        TriggerScheduler(order_tool)
+        remaining = [
+            i for _, i in resolve_trigger_order(order_tool, base_seed, remaining)
+        ]
+        phases.translate_s += time.perf_counter() - t0
 
     workers = min(workers, len(remaining))
     if chunk_size is None:
@@ -267,6 +326,7 @@ def run_campaign_parallel(
             snapshot_interval=snapshot_interval,
             snapshot_dir=None if snapshot_dir is None else str(snapshot_dir),
             engine=engine,
+            schedule=schedule,
         )
         for ci, indices in enumerate(chunks)
     ]
@@ -280,6 +340,13 @@ def run_campaign_parallel(
         before the part can reach a checkpoint, so resumed partials match
         the requested ``keep_records``."""
         nonlocal since_checkpoint
+        pt = getattr(part, "phase_times", None)
+        if pt is not None:
+            phases.accumulate(pt)
+        sched_stats = getattr(part, "scheduler_stats", None)
+        if sched_stats is not None:
+            for key, val in sched_stats.items():
+                scheduler_totals[key] = scheduler_totals.get(key, 0) + val
         if events is not None:
             for rec in part.records:
                 events.emit(
@@ -302,6 +369,11 @@ def run_campaign_parallel(
                 events.emit(
                     "snapshot_stats", workload=workload, tool=tool_name,
                     chunk=task.chunk, **stats,
+                )
+            if sched_stats is not None:
+                events.emit(
+                    "scheduler_stats", workload=workload, tool=tool_name,
+                    chunk=task.chunk, **sched_stats,
                 )
         if checkpoint_path is not None and since_checkpoint >= checkpoint_every:
             _save()

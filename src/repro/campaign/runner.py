@@ -28,6 +28,11 @@ from repro.campaign.classify import Outcome, classify
 from repro.campaign.events import EventLog
 from repro.campaign.io import experiment_event_fields
 from repro.campaign.results import CampaignResult, ExperimentRecord
+from repro.campaign.schedule import (
+    PhaseTimes,
+    TriggerScheduler,
+    validate_schedule,
+)
 from repro.errors import CampaignError
 from repro.fi.config import FIConfig
 from repro.fi.tools import FITool, TOOL_CLASSES
@@ -51,11 +56,15 @@ def make_tool(
     snapshot_dir: str | Path | None = None,
     events: EventLog | None = None,
     engine: str | None = None,
+    schedule: str = "index",
 ) -> FITool:
     """Build a configured tool; ``snapshot_interval`` (``None`` = off,
     ``0`` = auto) attaches the snapshot fast path, with ``snapshot_dir``
     as the shared on-disk golden-run store.  ``engine`` selects the
-    execution engine (``None`` = environment/default)."""
+    execution engine (``None`` = environment/default).  ``schedule`` only
+    retunes the auto snapshot interval: trigger-ordered campaigns serve
+    tails from in-memory forks, so the persistent store keeps coarse
+    resume points only."""
     try:
         cls = TOOL_CLASSES[tool_name]
     except KeyError:
@@ -68,23 +77,35 @@ def make_tool(
     )
     if snapshot_interval is not None:
         tool.enable_snapshots(
-            interval=snapshot_interval, store_dir=snapshot_dir, events=events
+            interval=snapshot_interval, store_dir=snapshot_dir, events=events,
+            coarse=schedule == "trigger",
         )
     return tool
 
 
-def run_experiment(tool: FITool, base_seed: int, index: int) -> ExperimentRecord:
+def run_experiment(
+    tool: FITool,
+    base_seed: int,
+    index: int,
+    phases: PhaseTimes | None = None,
+) -> ExperimentRecord:
     """Run the single experiment at global ``index`` and record it.
 
     The one place (shared by the sequential and parallel runners) where an
     experiment's seed is derived and its outcome classified — so every
-    execution mode agrees bit-for-bit.
+    execution mode agrees bit-for-bit.  ``phases`` accumulates the
+    per-phase wall-clock breakdown (injection run vs. classification).
     """
     seed = derive_seed(base_seed, tool.workload, tool.name, index)
     snaps = tool.snapshots
     hits_before = snaps.stats.hits if snaps is not None else 0
+    t0 = time.perf_counter()
     run = tool.inject(seed)
+    t1 = time.perf_counter()
     outcome = classify(run.result, tool.profile.golden_output)
+    if phases is not None:
+        phases.tail_s += t1 - t0
+        phases.classify_s += time.perf_counter() - t1
     return ExperimentRecord(
         seed=seed,
         outcome=outcome,
@@ -132,6 +153,7 @@ def run_campaign(
     checkpoint_path: str | Path | None = None,
     checkpoint_every: int = DEFAULT_CHECKPOINT_EVERY,
     events: EventLog | None = None,
+    schedule: str = "index",
 ) -> CampaignResult:
     """Run ``n`` single-fault experiments with the given tool.
 
@@ -141,11 +163,17 @@ def run_campaign(
     indices, and the final result is bit-identical to an uninterrupted run.
     ``events`` receives the JSONL telemetry stream (see
     :mod:`repro.campaign.events`).
+
+    ``schedule="trigger"`` visits experiments sorted by injection trigger
+    along one golden cursor (see :mod:`repro.campaign.schedule`) instead
+    of in index order; the aggregate result is bit-identical (checkpoints
+    track the completed-index *set*, so resume works under reordering).
     """
     if n <= 0:
         raise CampaignError("campaign needs n >= 1 experiments")
     if checkpoint_every <= 0:
         raise CampaignError("checkpoint_every must be positive")
+    validate_schedule(schedule)
     profile = tool.profile
 
     completed: set[int] = set()
@@ -194,16 +222,31 @@ def run_campaign(
             )
         _emit_snapshot_stats(tool, events)
 
+    remaining = [i for i in range(n) if i not in completed]
+    phases = PhaseTimes()
+    scheduler: TriggerScheduler | None = None
+    if schedule == "trigger":
+        scheduler = TriggerScheduler(tool, events=events)
+        phases = scheduler.phases
+        records = scheduler.run_batch(base_seed, remaining)
+    else:
+        records = (
+            run_experiment(tool, base_seed, i, phases=phases)
+            for i in remaining
+        )
+
     started = time.monotonic()
     since_checkpoint = 0
+    records = iter(records)
     try:
-        for i in range(n):
-            if i in completed:
-                continue
+        while True:
             t0 = time.monotonic()
-            record = run_experiment(tool, base_seed, i)
+            try:
+                record = next(records)
+            except StopIteration:
+                break
             result.add(record, keep_records)
-            completed.add(i)
+            completed.add(record.index)
             since_checkpoint += 1
             if events is not None:
                 events.emit(
@@ -218,7 +261,7 @@ def run_campaign(
                 _save()
                 since_checkpoint = 0
             if progress is not None:
-                progress(i + 1, n)
+                progress(len(completed), n)
     except BaseException:
         # Interrupted (e.g. SIGINT): persist what we have so the campaign
         # resumes without losing a single completed experiment.
@@ -227,10 +270,15 @@ def run_campaign(
         raise
     if checkpoint_path is not None and since_checkpoint:
         _save()
+    if keep_records:
+        # Trigger order (and index-set resume) can complete experiments out
+        # of index order; the persisted log is canonical in global order.
+        result.records.sort(key=lambda r: r.index)
 
     wall = time.monotonic() - started
     _emit_snapshot_stats(tool, events)
     if events is not None:
+        extra = {"scheduler": scheduler.stats.as_dict()} if scheduler else {}
         events.emit(
             "campaign_finish", workload=tool.workload, tool=tool.name,
             counts={o.value: result.frequency(o) for o in Outcome},
@@ -239,6 +287,7 @@ def run_campaign(
             golden_output=list(result.golden_output),
             wall_s=wall,
             experiments_per_sec=(len(completed) / wall) if wall > 0 else 0.0,
+            schedule=schedule, phases=phases.as_dict(), **extra,
         )
     return result
 
@@ -270,6 +319,7 @@ def run_matrix(
     snapshot_interval: int | None = None,
     snapshot_dir: str | Path | None = None,
     engine: str | None = None,
+    schedule: str = "index",
 ) -> dict[tuple[str, str], CampaignResult]:
     """Run the full (workload x tool) campaign matrix, like the paper's
     44,856-experiment evaluation (14 apps x 3 tools x 1068 samples).
@@ -282,8 +332,10 @@ def run_matrix(
     runner (identical results, any worker count).  ``snapshot_interval``
     (``None`` = off, ``0`` = auto) enables the golden-run snapshot fast
     path; the store defaults to ``<checkpoint_dir>/snapshots`` so every
-    worker shares one golden run per binary.
+    worker shares one golden run per binary.  ``schedule="trigger"`` runs
+    every cell trigger-ordered (see :mod:`repro.campaign.schedule`).
     """
+    validate_schedule(schedule)
     if (
         snapshot_interval is not None
         and snapshot_dir is None
@@ -310,17 +362,20 @@ def run_matrix(
                     checkpoint_every=checkpoint_every, events=events,
                     snapshot_interval=snapshot_interval,
                     snapshot_dir=snapshot_dir, engine=engine,
+                    schedule=schedule,
                 )
             else:
                 tool = make_tool(
                     tool_name, source, workload, config, opt_level,
                     snapshot_interval=snapshot_interval,
                     snapshot_dir=snapshot_dir, events=events, engine=engine,
+                    schedule=schedule,
                 )
                 results[(workload, tool_name)] = run_campaign(
                     tool, n, base_seed, keep_records=keep_records,
                     progress=cb, checkpoint_path=ckpt_path,
                     checkpoint_every=checkpoint_every, events=events,
+                    schedule=schedule,
                 )
     return results
 

@@ -129,9 +129,19 @@ class _LiveTelemetry(EventLog):
             )
         elif event == "snapshot_stats" and self._stats is not None:
             self._stats.note_snapshots(fields, accumulate="chunk" in fields)
+        elif event == "scheduler_stats" and self._stats is not None:
+            # Sequential-runner events are cumulative for the campaign;
+            # per-chunk (parallel) and per-task (dist) events are
+            # independent schedulers and accumulate.
+            self._stats.note_scheduler(
+                fields, accumulate="chunk" in fields or "task" in fields
+            )
         elif event == "campaign_finish" and self._stats is not None:
             self._render(final=True)
+            self._print_phases(fields)
             self._stats = None
+        elif event == "cell_finish":
+            self._print_phases(fields)
         elif event == "dist_start":
             self._label = "cluster"
             self._stats = CampaignStats(
@@ -172,6 +182,24 @@ class _LiveTelemetry(EventLog):
         elif event == "dist_finish" and self._stats is not None:
             self._render(final=True)
             self._stats = None
+
+    def _print_phases(self, fields: dict) -> None:
+        """One per-phase wall-clock line at campaign/cell completion (the
+        satellite breakdown behind the ``phases`` event field)."""
+        phases = fields.get("phases")
+        if not phases or not any(phases.values()):
+            return
+        label = f"{fields.get('workload', '?')}/{fields.get('tool', '?')}"
+        bits = " ".join(
+            f"{name.removesuffix('_s')} {phases.get(name, 0.0):.2f}s"
+            for name in (
+                "translate_s", "prefix_s", "fork_s", "tail_s", "classify_s"
+            )
+        )
+        print(
+            f"# {label} [{fields.get('schedule', 'index')}] phases: {bits}",
+            file=self._out,
+        )
 
     def _render(self, final: bool = False) -> None:
         line = f"# {self._label}: {self._stats.render()}"
@@ -273,6 +301,13 @@ def campaign_main(argv: list[str] | None = None) -> int:
                         "translation, the default) or 'reference' (the "
                         "original interpreter loop); results are "
                         "bit-identical either way")
+    parser.add_argument("--schedule", default="index",
+                        choices=["index", "trigger"],
+                        help="experiment visiting order: 'index' (historical "
+                        "order) or 'trigger' (sort by pre-resolved injection "
+                        "point and fork each faulty tail off one shared "
+                        "golden cursor; results are bit-identical either "
+                        "way)")
     parser.add_argument("--events", default=None,
                         help="append JSONL telemetry events to this file")
     parser.add_argument("--save", default=None,
@@ -339,6 +374,7 @@ def campaign_main(argv: list[str] | None = None) -> int:
                 events=telemetry,
                 snapshot_interval=args.snapshot_interval,
                 engine=args.engine,
+                schedule=args.schedule,
             )
         if db is not None:
             # The sink streamed every experiment; fill in the metadata the
@@ -378,6 +414,7 @@ def _serve_distributed(args, sources, tools, telemetry):
             fi_funcs=args.fi_funcs, fi_instrs=args.fi_instrs,
             snapshot_interval=args.snapshot_interval,
             engine=args.engine,
+            schedule=args.schedule,
         )
         for workload, source in sources.items()
         for tool_name in tools
@@ -538,6 +575,7 @@ def fuzz_main(argv: list[str] | None = None) -> int:
     from repro.testing.fuzz import DEFAULT_ARTIFACTS_DIR
     from repro.testing.oracles import (
         check_workload_engine_equivalence,
+        check_workload_scheduler_equivalence,
         check_workload_zero_interference,
     )
     from repro.workloads import workload_names
@@ -579,6 +617,10 @@ def fuzz_main(argv: list[str] | None = None) -> int:
     parser.add_argument("--check-engines", action="store_true",
                         help="also check fast-engine vs reference-engine "
                         "equivalence on every registered MiniC workload")
+    parser.add_argument("--check-schedules", action="store_true",
+                        help="also check that trigger-ordered campaigns are "
+                        "bit-identical to index-ordered ones on every "
+                        "registered MiniC workload (all tools)")
     parser.add_argument("-q", "--quiet", action="store_true")
     args = parser.parse_args(argv)
     if args.snapshot_interval is not None and args.snapshot_interval < 0:
@@ -625,6 +667,18 @@ def fuzz_main(argv: list[str] | None = None) -> int:
             else:
                 failed = True
                 print(f"refine-fuzz: engine-equivalence FAILED for {name}:",
+                      file=sys.stderr)
+                print(divergence.describe(), file=sys.stderr)
+    if args.check_schedules:
+        for name in workload_names():
+            divergence = check_workload_scheduler_equivalence(name)
+            if divergence is None:
+                if not args.quiet:
+                    print(f"# schedule-equivalence {name}: OK",
+                          file=sys.stderr)
+            else:
+                failed = True
+                print(f"refine-fuzz: schedule-equivalence FAILED for {name}:",
                       file=sys.stderr)
                 print(divergence.describe(), file=sys.stderr)
 

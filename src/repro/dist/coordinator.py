@@ -54,6 +54,11 @@ from repro.campaign.io import (
 )
 from repro.campaign.results import CampaignResult
 from repro.campaign.runner import matrix_checkpoint_path
+from repro.campaign.schedule import (
+    PhaseTimes,
+    TriggerScheduler,
+    resolve_trigger_order,
+)
 from repro.dist.protocol import (
     PROTOCOL_VERSION,
     CampaignSpec,
@@ -94,6 +99,35 @@ def shard_indices(
     ]
 
 
+def trigger_order_indices(
+    spec: CampaignSpec, remaining: list[int]
+) -> list[int]:
+    """Re-order a cell's outstanding indices along the golden timeline.
+
+    Builds the cell's tool once in the coordinator (compile + profile —
+    triggers are pure functions of the seeds) so that contiguous shards of
+    the returned list are **contiguous trigger ranges**: each leased task
+    hands its worker one compact window of the golden run to sweep with a
+    single cursor.  Also the fail-fast check that the spec's tool/engine
+    combination supports trigger scheduling — raising here beats a pickled
+    worker traceback after the first lease.
+    """
+    from repro.fi.config import FIConfig
+    from repro.fi.tools import TOOL_CLASSES
+
+    config = FIConfig(
+        enabled=spec.fi_enabled, funcs=spec.fi_funcs, instrs=spec.fi_instrs
+    )
+    tool = TOOL_CLASSES[spec.tool_name](
+        spec.source, spec.workload, config=config, opt_level=spec.opt_level,
+        opcode_faults=spec.opcode_faults, engine=spec.engine,
+    )
+    TriggerScheduler(tool)
+    return [
+        i for _, i in resolve_trigger_order(tool, spec.base_seed, remaining)
+    ]
+
+
 @dataclass
 class _Task:
     """One leasable unit of work: an index range of one campaign cell."""
@@ -120,6 +154,8 @@ class _Cell:
     parts: dict[int, CampaignResult] = field(default_factory=dict)
     since_checkpoint: int = 0
     result: CampaignResult | None = None
+    phases: PhaseTimes = field(default_factory=PhaseTimes)
+    scheduler_totals: dict[str, int] = field(default_factory=dict)
 
 
 class Coordinator:
@@ -216,6 +252,8 @@ class Coordinator:
                 cell.prior_indices = tuple(sorted(cell.completed))
             self._cells[spec.key] = cell
             remaining = [i for i in range(spec.n) if i not in cell.completed]
+            if spec.schedule == "trigger" and remaining:
+                remaining = trigger_order_indices(spec, remaining)
             size = chunk_size or max(
                 1, -(-spec.n // DEFAULT_TASKS_PER_CAMPAIGN)
             )
@@ -527,6 +565,20 @@ class Coordinator:
             )
         if not cell.spec.keep_records:
             part.records = []
+        pt = getattr(part, "phase_times", None)
+        if pt is not None:
+            cell.phases.accumulate(pt)
+        sched_stats = getattr(part, "scheduler_stats", None)
+        if sched_stats is not None:
+            for key, val in sched_stats.items():
+                cell.scheduler_totals[key] = (
+                    cell.scheduler_totals.get(key, 0) + val
+                )
+            self._emit(
+                "scheduler_stats", workload=cell.spec.workload,
+                tool=cell.spec.tool_name, task=task.task_id, worker=worker,
+                **sched_stats,
+            )
         cell.parts[task.task_id] = part
         cell.completed.update(task.indices)
         cell.since_checkpoint += len(task.indices)
@@ -692,6 +744,12 @@ class Coordinator:
             total_steps=cell.result.total_steps,
             total_candidates=cell.result.total_candidates,
             golden_output=list(cell.result.golden_output),
+            schedule=spec.schedule,
+            phases=cell.phases.as_dict(),
+            **(
+                {"scheduler": dict(cell.scheduler_totals)}
+                if cell.scheduler_totals else {}
+            ),
         )
         if len(self._results) == len(self._cells):
             wall = time.monotonic() - self._started

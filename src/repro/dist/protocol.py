@@ -48,6 +48,7 @@ from dataclasses import dataclass, fields
 
 from repro.campaign.parallel import SliceTask
 from repro.campaign.runner import DEFAULT_SEED
+from repro.campaign.schedule import SCHEDULES
 from repro.errors import DistError
 from repro.fi.config import INSTR_CLASSES
 from repro.fi.tools import TOOL_CLASSES
@@ -158,10 +159,19 @@ class CampaignSpec:
     snapshot_interval: int | None = None
     #: execution engine the workers run on (``None`` = worker default)
     engine: str | None = None
+    #: experiment visiting order: ``index`` (historical) or ``trigger``
+    #: (tasks are contiguous trigger ranges; see
+    #: :mod:`repro.campaign.schedule`).  Absent in messages from older
+    #: coordinators, defaulting to ``index``.
+    schedule: str = "index"
 
     def __post_init__(self) -> None:
         if self.n <= 0:
             raise DistError("campaign spec needs n >= 1 experiments")
+        if self.schedule not in SCHEDULES:
+            raise DistError(
+                f"unknown schedule {self.schedule!r}; choose from {SCHEDULES}"
+            )
         if self.snapshot_interval is not None and self.snapshot_interval < 0:
             raise DistError("snapshot_interval must be >= 0 (0 = auto)")
         if self.engine is not None:
@@ -227,4 +237,5 @@ class CampaignSpec:
             snapshot_interval=self.snapshot_interval,
             snapshot_dir=snapshot_dir,
             engine=self.engine,
+            schedule=self.schedule,
         )

@@ -31,6 +31,7 @@ from repro.campaign.io import merge_results
 from repro.campaign.parallel import run_slice
 from repro.campaign.results import CampaignResult
 from repro.campaign.runner import _fresh_result, run_experiment
+from repro.campaign.schedule import PhaseTimes, TriggerScheduler
 from repro.dist.client import CoordinatorClient
 from repro.dist.protocol import CampaignSpec, decode_indices
 from repro.errors import DistError
@@ -164,8 +165,20 @@ class Worker:
         # Records are always collected: the coordinator emits per-experiment
         # telemetry (and feeds write-through result sinks) from them, then
         # strips them when the campaign did not ask for keep_records.
-        for i in indices:
-            result.add(run_experiment(tool, spec.base_seed, i), keep_record=True)
+        if spec.schedule == "trigger":
+            # The lease is a contiguous trigger range: sweep it with one
+            # golden cursor.  Phase/scheduler breakdowns travel back on the
+            # part (see repro.campaign.io) for coordinator-side telemetry.
+            sched = TriggerScheduler(tool)
+            for rec in sched.run_batch(spec.base_seed, indices):
+                result.add(rec, keep_record=True)
+            result.phase_times = sched.phases.as_dict()
+            result.scheduler_stats = sched.stats.as_dict()
+        else:
+            for i in indices:
+                result.add(
+                    run_experiment(tool, spec.base_seed, i), keep_record=True
+                )
         return result
 
     def _run_task_pooled(
@@ -189,6 +202,15 @@ class Worker:
         parts = [f.result() for f in futures]  # re-raises the first failure
         merged = merge_results(parts, indices=slices)
         merged.n = len(indices)
+        if spec.schedule == "trigger":
+            phases = PhaseTimes()
+            totals: dict[str, int] = {}
+            for p in parts:
+                phases.accumulate(getattr(p, "phase_times", None) or {})
+                for key, val in (getattr(p, "scheduler_stats", None) or {}).items():
+                    totals[key] = totals.get(key, 0) + val
+            merged.phase_times = phases.as_dict()
+            merged.scheduler_stats = totals
         return merged
 
     def _tool_for(self, spec: CampaignSpec) -> FITool:
@@ -207,6 +229,7 @@ class Worker:
                 tool.enable_snapshots(
                     interval=spec.snapshot_interval,
                     store_dir=self._snapshot_dir,
+                    coarse=spec.schedule == "trigger",
                 )
             self._tools[spec] = tool
         return tool

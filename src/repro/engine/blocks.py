@@ -45,6 +45,13 @@ _INT64_MIN = -(1 << 63)
 #: Opcodes that end a basic block (control transfers).
 _TERMINATORS = frozenset({O.JMP, O.JCC, O.CALL, O.RET})
 
+#: Intrinsic indices that advance the LLFI visit counter (``llfi_count``):
+#: the ``__fi_inject_*`` calls the LLFI instrumentation pass emits.
+_LLFI_INJECT_IDS = frozenset(
+    INTRINSIC_TABLE.index_of(name)
+    for name in ("__fi_inject_i64", "__fi_inject_f64", "__fi_inject_i1")
+)
+
 
 @dataclass(frozen=True)
 class BlockMeta:
@@ -58,6 +65,8 @@ class BlockMeta:
     sites: int
     #: static candidate count (PINFI trigger increment while attached)
     cands: int
+    #: static ``__fi_inject_*`` intrinsic count (LLFI trigger increment)
+    llfis: int
 
 
 def discover_blocks(program: LoadedProgram) -> tuple[list[int], list[int]]:
@@ -98,12 +107,17 @@ def block_meta(program: LoadedProgram, start: int, end: int) -> BlockMeta:
     is_cand = program.is_candidate
     sites = 0
     cands = 0
+    llfis = 0
     for pc in range(start, end):
-        if code[pc][0] == O.FI_CHECK:
+        t = code[pc]
+        if t[0] == O.FI_CHECK:
             sites += 1
+        elif t[0] == O.INTR and t[1] in _LLFI_INJECT_IDS:
+            llfis += 1
         if is_cand[pc]:
             cands += 1
-    return BlockMeta(end=end, length=end - start, sites=sites, cands=cands)
+    return BlockMeta(end=end, length=end - start, sites=sites, cands=cands,
+                     llfis=llfis)
 
 
 # -- code generation ---------------------------------------------------------

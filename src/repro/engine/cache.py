@@ -65,11 +65,13 @@ class Translation:
         self.fingerprint = fingerprint
         leaders, end_of = discover_blocks(program)
         self.end_of = end_of
-        #: entry pc -> block end / length / FI_CHECK sites / candidates
+        #: entry pc -> block end / length / FI_CHECK sites / candidates /
+        #: LLFI inject-intrinsic visits
         self.ends: dict[int, int] = {}
         self.lens: dict[int, int] = {}
         self.sites: dict[int, int] = {}
         self.cands: dict[int, int] = {}
+        self.llfis: dict[int, int] = {}
         for start in leaders:
             self._register_meta(start, end_of[start])
         self.source: str | None = None
@@ -88,6 +90,7 @@ class Translation:
         self.lens[start] = meta.length
         self.sites[start] = meta.sites
         self.cands[start] = meta.cands
+        self.llfis[start] = meta.llfis
 
     def instantiate(self, cpu, FL) -> dict:
         """Bind the translated blocks to one CPU's register/memory objects."""

@@ -25,6 +25,8 @@ inside intrinsic calls, which free-run blocks execute natively.
 
 from __future__ import annotations
 
+from bisect import bisect_right
+
 from repro.engine.cache import GLOBAL_CACHE, TranslationCache
 from repro.errors import MachineTrap
 from repro.machine.cpu import CPU, ExecutionResult
@@ -34,6 +36,17 @@ from repro.machine import opcodes as O
 #: reference loop runs with a watcher every this many instructions; the
 #: engine returns to free-run at the first watcher tick after injection.
 CAREFUL_WINDOW = 256
+
+#: Sentinel step count larger than any budget ("no sync point pending").
+_NO_SYNC = 1 << 62
+
+#: Trigger-counter name -> per-block static increment table on the
+#: translation (see :class:`repro.engine.blocks.BlockMeta`).
+CURSOR_TABLES = {
+    "refine_count": "sites",
+    "pin_count": "cands",
+    "llfi_count": "llfis",
+}
 
 
 class _ExitFast(Exception):
@@ -46,6 +59,10 @@ class _ExitFast(Exception):
 def _fault_watcher(cpu: CPU, pc: int) -> None:
     if cpu.fault is not None:
         raise _ExitFast(pc)
+
+
+def _step_stop(cpu: CPU, pc: int) -> None:
+    raise _ExitFast(pc)
 
 
 class FastEngine:
@@ -67,9 +84,94 @@ class FastEngine:
     def resume(self, cpu: CPU, pc: int, budget: int | None = None) -> ExecutionResult:
         return self._drive(cpu, pc, budget)
 
+    def resume_synced(
+        self,
+        cpu: CPU,
+        pc: int,
+        budget: int | None,
+        syncs,
+        on_sync,
+    ) -> ExecutionResult | None:
+        """Resume with exact-step observation points.
+
+        ``syncs`` is a sorted sequence of absolute dynamic-instruction
+        counts; at each one the engine pauses with the CPU state fully
+        synced (steps, counters, counts, flags) and calls
+        ``on_sync(cpu, pc)``.  A truthy return stops execution and makes
+        this method return ``None`` — the caller owns the rest of the run
+        (the scheduler uses this to splice a golden tail once a faulty run
+        has provably re-converged).  Sync points already behind ``cpu.steps``
+        are skipped; points the run never reaches (halt, trap, timeout,
+        or a careful-window overshoot) are silently dropped.
+        """
+        return self._drive(cpu, pc, budget, syncs=syncs, on_sync=on_sync)
+
     # -- trampoline ---------------------------------------------------------
 
-    def _drive(self, cpu: CPU, pc: int, budget: int | None) -> ExecutionResult:
+    @staticmethod
+    def _block_ctx(cpu: CPU, trans):
+        """Per-CPU instantiated-blocks cache.
+
+        Instantiating a translation builds one closure per block, which
+        costs more than a short fault tail executes.  The generated
+        closures capture ``cpu.iregs``/``cpu.fregs``/``cpu.mem`` by
+        identity, and every state mutation (including snapshot restore)
+        is in-place, so one instantiation per (CPU, translation) pair is
+        enough — campaign schedulers reuse a single CPU across tails.
+        """
+        ctx = cpu._fast_ctx
+        if ctx is not None and ctx[0] is trans:
+            FL = ctx[1]
+            FL[0] = cpu.flags
+            return FL, ctx[2]
+        FL = [cpu.flags]
+        blocks = trans.instantiate(cpu, FL)
+        cpu._fast_ctx = (trans, FL, blocks)
+        return FL, blocks
+
+    @staticmethod
+    def _fire_offset(
+        program, pc, end, r_armed, need_r, p_armed, need_p
+    ) -> int | None:
+        """Slow-loop steps from block entry ``pc`` through the instruction
+        where an armed trigger reaches its target.
+
+        A basic block is straight-line, so the ``need``-th FI_CHECK (or
+        PINFI candidate) after ``pc`` is statically determined.  ``None``
+        when neither armed counter's crossing is locatable in the block
+        (the caller falls back to the watcher window).
+        """
+        k = None
+        if r_armed:
+            code = program.code
+            need = need_r
+            for p in range(pc, end):
+                if code[p][0] == O.FI_CHECK:
+                    need -= 1
+                    if not need:
+                        k = p - pc + 1
+                        break
+        if p_armed:
+            is_cand = program.is_candidate
+            need = need_p
+            for p in range(pc, end):
+                if is_cand[p]:
+                    need -= 1
+                    if not need:
+                        off = p - pc + 1
+                        if k is None or off < k:
+                            k = off
+                        break
+        return k
+
+    def _drive(
+        self,
+        cpu: CPU,
+        pc: int,
+        budget: int | None,
+        syncs=None,
+        on_sync=None,
+    ) -> ExecutionResult | None:
         if budget is not None:
             cpu.budget = budget
         if cpu._snap_every:
@@ -77,8 +179,7 @@ class FastEngine:
             return cpu._execute(pc, None)
 
         trans = self.cache.translation_for(cpu.program)
-        FL = [cpu.flags]
-        blocks = trans.instantiate(cpu, FL)
+        FL, blocks = self._block_ctx(cpu, trans)
         lens = trans.lens
         sites = trans.sites
         cands = trans.cands
@@ -98,6 +199,12 @@ class FastEngine:
             # are single-shot, nothing left to arm.
             r_plan = p_plan = None
 
+        if syncs:
+            sync_i = bisect_right(syncs, steps)
+            sync_v = syncs[sync_i] if sync_i < len(syncs) else _NO_SYNC
+        else:
+            sync_v = _NO_SYNC
+
         blocks_get = blocks.get
 
         while True:
@@ -106,10 +213,12 @@ class FastEngine:
                 fn = trans.add_suffix(pc, cpu, FL, blocks)
             n = lens[pc]
 
-            if steps + n >= budget_v:
+            if steps + n >= budget_v and budget_v <= sync_v:
                 # The budget could expire inside this block: hand the whole
                 # tail to the reference loop (plans included), preserving
-                # the exact timeout/halt ordering at the boundary.
+                # the exact timeout/halt ordering at the boundary.  (On a
+                # budget/sync tie the timeout wins, matching the reference
+                # loop's check order, so the sync point is moot.)
                 self._flush(cpu, FL, execs, trans, steps, rc, pin)
                 try:
                     cpu._loop(pc)
@@ -117,17 +226,53 @@ class FastEngine:
                     return cpu.build_result(trap=trap.kind, trap_pc=trap.pc)
                 return cpu.build_result()
 
-            if (
-                r_plan is not None and rc + sites[pc] >= r_target
-            ) or (
-                p_plan is not None and attached and pin + cands[pc] >= p_target
-            ):
-                # The armed trigger fires inside this block: run the
-                # reference loop until just after injection, then resume
-                # free-run.
+            if steps + n >= sync_v:
+                # A sync point lands inside this block: run the reference
+                # loop for exactly the remaining stride, then observe.
                 self._flush(cpu, FL, execs, trans, steps, rc, pin)
                 try:
-                    exit_pc = self._careful(cpu, pc)
+                    stop_pc = self._step_to(cpu, pc, sync_v - steps)
+                except MachineTrap as trap:
+                    return cpu.build_result(trap=trap.kind, trap_pc=trap.pc)
+                if stop_pc is None:
+                    return cpu.build_result()  # halted at/inside the stride
+                pc = stop_pc
+                steps = cpu.steps
+                FL[0] = cpu.flags
+                rc = cpu._refine_count
+                pin = cpu._pin_count
+                attached = cpu._attached
+                if cpu.fault is not None:
+                    r_plan = p_plan = None
+                if on_sync is not None and on_sync(cpu, pc):
+                    return None
+                sync_i = bisect_right(syncs, steps)
+                sync_v = syncs[sync_i] if sync_i < len(syncs) else _NO_SYNC
+                continue
+
+            r_armed = r_plan is not None and rc + sites[pc] >= r_target
+            p_armed = (
+                p_plan is not None and attached and pin + cands[pc] >= p_target
+            )
+            if r_armed or p_armed:
+                # The armed trigger fires inside this block: run the
+                # reference loop until just after injection, then resume
+                # free-run.  The fire point is static within the block, so
+                # slow-step exactly through it instead of waiting for the
+                # next watcher tick; the watcher window remains as the
+                # fallback if the prediction somehow missed.
+                self._flush(cpu, FL, execs, trans, steps, rc, pin)
+                k = self._fire_offset(
+                    cpu.program, pc, trans.ends[pc],
+                    r_armed, r_target - rc, p_armed, p_target - pin,
+                )
+                try:
+                    if k is not None:
+                        exit_pc = self._step_to(cpu, pc, k)
+                    else:
+                        exit_pc = self._careful(cpu, pc)
+                    if exit_pc is not None and cpu.fault is None:
+                        exit_pc = self._careful(cpu, exit_pc)
                 except MachineTrap as trap:
                     return cpu.build_result(trap=trap.kind, trap_pc=trap.pc)
                 if exit_pc is None:
@@ -140,6 +285,11 @@ class FastEngine:
                 attached = cpu._attached
                 if cpu.fault is not None:
                     r_plan = p_plan = None
+                if steps >= sync_v:
+                    # The careful window overshot one or more sync points;
+                    # drop them (sync observation is opportunistic).
+                    sync_i = bisect_right(syncs, steps)
+                    sync_v = syncs[sync_i] if sync_i < len(syncs) else _NO_SYNC
                 continue
 
             try:
@@ -162,7 +312,159 @@ class FastEngine:
                 return cpu.build_result()
             pc = next_pc
 
+    # -- golden cursor ------------------------------------------------------
+
+    def run_cursor(
+        self,
+        cpu: CPU,
+        *,
+        budget: int | None = None,
+        counter: str = "refine_count",
+        first_stop: int | None = None,
+        fork_hook=None,
+        syncs=None,
+        sync_hook=None,
+    ) -> ExecutionResult:
+        """Free-run a golden (plan-free) CPU with counter-based fork stops.
+
+        The trigger-ordered scheduler advances one cursor monotonically
+        along the golden run.  ``counter`` names the tool's trigger counter
+        (``refine_count`` / ``pin_count`` / ``llfi_count``); whenever the
+        next block would carry that counter to ``first_stop`` or beyond,
+        the engine syncs the CPU at the block entry — counter still
+        strictly below every pending trigger — and calls
+        ``fork_hook(cpu, pc, upto)`` with ``upto`` the counter value after
+        the block.  The hook captures one snapshot covering every pending
+        trigger ``<= upto`` and returns the next stop (or ``None``).
+
+        ``syncs``/``sync_hook`` additionally pause at exact absolute step
+        counts (reference states for golden-rejoin detection); the fork
+        check deliberately precedes the sync check so a partial-block
+        stride can never cross a pending trigger unforked.
+        """
+        if budget is not None:
+            cpu.budget = budget
+        table_name = CURSOR_TABLES[counter]
+
+        trans = self.cache.translation_for(cpu.program)
+        FL, blocks = self._block_ctx(cpu, trans)
+        lens = trans.lens
+        sites = trans.sites
+        cands = trans.cands
+        table = getattr(trans, table_name)
+        execs: dict[int, int] = {}
+
+        pc = cpu.prepare_entry()
+        steps = cpu.steps
+        rc = cpu._refine_count
+        pin = cpu._pin_count
+        attached = cpu._attached
+        budget_v = cpu.budget
+        live = counter == "llfi_count"  # intrinsics maintain it natively
+        if counter == "refine_count":
+            cnt = rc
+        elif counter == "pin_count":
+            cnt = pin
+        else:
+            cnt = cpu._llfi_count
+        stop = first_stop
+
+        if syncs:
+            sync_i = bisect_right(syncs, steps)
+            sync_v = syncs[sync_i] if sync_i < len(syncs) else _NO_SYNC
+        else:
+            sync_v = _NO_SYNC
+
+        blocks_get = blocks.get
+
+        while True:
+            fn = blocks_get(pc)
+            if fn is None:
+                fn = trans.add_suffix(pc, cpu, FL, blocks)
+            n = lens[pc]
+
+            if steps + n >= budget_v and budget_v <= sync_v:
+                self._flush(cpu, FL, execs, trans, steps, rc, pin)
+                try:
+                    cpu._loop(pc)
+                except MachineTrap as trap:
+                    return cpu.build_result(trap=trap.kind, trap_pc=trap.pc)
+                return cpu.build_result()
+
+            if stop is not None:
+                if live:
+                    cnt = cpu._llfi_count
+                upto = cnt + table[pc]
+                if upto >= stop:
+                    # A pending trigger fires inside this block: fork at
+                    # the block entry, before any stride can cross it.
+                    self._flush(cpu, FL, execs, trans, steps, rc, pin)
+                    stop = fork_hook(cpu, pc, upto)
+
+            if steps + n >= sync_v:
+                self._flush(cpu, FL, execs, trans, steps, rc, pin)
+                try:
+                    stop_pc = self._step_to(cpu, pc, sync_v - steps)
+                except MachineTrap as trap:
+                    return cpu.build_result(trap=trap.kind, trap_pc=trap.pc)
+                if stop_pc is None:
+                    return cpu.build_result()
+                pc = stop_pc
+                steps = cpu.steps
+                FL[0] = cpu.flags
+                rc = cpu._refine_count
+                pin = cpu._pin_count
+                attached = cpu._attached
+                if not live:
+                    cnt = rc if counter == "refine_count" else pin
+                if sync_hook is not None:
+                    sync_hook(cpu, pc)
+                sync_i = bisect_right(syncs, steps)
+                sync_v = syncs[sync_i] if sync_i < len(syncs) else _NO_SYNC
+                continue
+
+            try:
+                next_pc = fn()
+            except MachineTrap as trap:
+                self._unwind_trap(cpu, FL, execs, trans, steps, rc, pin,
+                                  attached, pc, trap.pc)
+                return cpu.build_result(trap=trap.kind, trap_pc=trap.pc)
+
+            if pc in execs:
+                execs[pc] += 1
+            else:
+                execs[pc] = 1
+            steps += n
+            rc += sites[pc]
+            if attached:
+                pin += cands[pc]
+            if not live:
+                cnt = rc if counter == "refine_count" else pin
+            if next_pc < 0:
+                self._flush(cpu, FL, execs, trans, steps, rc, pin)
+                return cpu.build_result()
+            pc = next_pc
+
     # -- careful paths ------------------------------------------------------
+
+    def _step_to(self, cpu: CPU, pc: int, k: int) -> int | None:
+        """Run the reference loop for exactly ``k`` instructions.
+
+        Returns the pc of the first instruction *after* the stride, or
+        ``None`` if the program halted first (a halt on the k-th
+        instruction breaks out of the loop before the pause hook runs,
+        exactly as a snapshot hook would behave).  Machine traps propagate.
+        """
+        cpu._snap_every = k
+        cpu._snap_hook = _step_stop
+        try:
+            cpu._loop(pc)
+        except _ExitFast as exc:
+            return exc.pc
+        finally:
+            cpu._snap_every = 0
+            cpu._snap_hook = None
+        return None
 
     def _careful(self, cpu: CPU, pc: int) -> int | None:
         """Reference-loop window around an armed trigger.

@@ -219,7 +219,8 @@ class FITool:
         return self._snapshot_engine
 
     def enable_snapshots(
-        self, interval: int = 0, store_dir=None, events=None
+        self, interval: int = 0, store_dir=None, events=None,
+        coarse: bool = False,
     ):
         """Attach a snapshot engine so ``inject`` resumes from golden-run
         checkpoints instead of re-executing the fault-free prefix.
@@ -227,7 +228,9 @@ class FITool:
         ``interval`` is in dynamic instructions (0 = auto-tune to the
         workload length); ``store_dir`` enables the shared on-disk
         :class:`repro.snapshot.SnapshotStore` so parallel processes and
-        dist workers reuse one golden run per binary.
+        dist workers reuse one golden run per binary.  ``coarse`` widens
+        the auto interval for trigger-ordered campaigns, where the
+        scheduler's in-memory forks make dense checkpoints redundant.
         """
         # Imported lazily: repro.snapshot imports this module.
         import os
@@ -243,7 +246,8 @@ class FITool:
             )
             self._engine = None  # re-resolve with the cache directory
         self._snapshot_engine = SnapshotEngine(
-            self, interval=interval, store=store, events=events
+            self, interval=interval, store=store, events=events,
+            coarse=coarse,
         )
         return self._snapshot_engine
 

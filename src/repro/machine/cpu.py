@@ -197,6 +197,11 @@ class CPU:
         self._snap_every = 0
         self._snap_hook = None
 
+        # Fast-engine per-CPU context: (translation, FL, blocks).  Owned by
+        # repro.engine.fast; lives here so one CPU reused across many runs
+        # keeps its instantiated block closures.
+        self._fast_ctx = None
+
     # -- tool arming ---------------------------------------------------------
 
     def attach_pinfi(self, plan: FaultPlan | None) -> None:

@@ -100,6 +100,13 @@ def _cmd_query(args) -> int:
                 f"{info.workload:14s} {info.tool:8s} {info.n:>6d} "
                 f"{info.runs:>6d} {counts}"
             )
+            if info.phases and any(info.phases.values()):
+                bits = " ".join(
+                    f"{k.removesuffix('_s')} {info.phases.get(k, 0.0):.2f}s"
+                    for k in ("translate_s", "prefix_s", "fork_s",
+                              "tail_s", "classify_s")
+                )
+                print(f"  .. [{info.schedule or 'index'}] phases: {bits}")
     return 0
 
 

@@ -15,7 +15,7 @@ from pathlib import Path
 
 from repro.campaign.classify import Outcome
 from repro.errors import ResultsDBError
-from repro.resultsdb.schema import SCHEMA, SCHEMA_VERSION
+from repro.resultsdb.schema import ADDITIVE_COLUMNS, SCHEMA, SCHEMA_VERSION
 
 
 class ResultsDB:
@@ -74,6 +74,19 @@ class ResultsDB:
                     f"{self.path} has schema version {row[0]}, this build "
                     f"expects {SCHEMA_VERSION}"
                 )
+            # Stores created before a column shipped get it added in
+            # place — nullable additions don't warrant a version bump.
+            for table, columns in ADDITIVE_COLUMNS.items():
+                have = {
+                    row[1] for row in self._conn.execute(
+                        f"PRAGMA table_info({table})"
+                    )
+                }
+                for name, sql_type in columns.items():
+                    if name not in have:
+                        self._conn.execute(
+                            f"ALTER TABLE {table} ADD COLUMN {name} {sql_type}"
+                        )
             # Outcome ids follow the enum's canonical definition order, so
             # every database numbers them identically.
             self._conn.executemany(

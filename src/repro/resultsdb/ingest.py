@@ -206,6 +206,16 @@ class DatabaseSink:
                 "UPDATE campaigns SET golden_output=? WHERE id=?",
                 (json.dumps(fields["golden_output"]), cid),
             )
+        if fields.get("schedule") is not None:
+            self._db.execute(
+                "UPDATE campaigns SET schedule=? WHERE id=?",
+                (fields["schedule"], cid),
+            )
+        if fields.get("phases") is not None:
+            self._db.execute(
+                "UPDATE campaigns SET phases=? WHERE id=?",
+                (json.dumps(fields["phases"], sort_keys=True), cid),
+            )
         self._db.commit()
 
     # ----------------------------------------------------------- plumbing

@@ -46,21 +46,29 @@ class CampaignInfo:
     total_cycles: float | None
     total_candidates: int | None
     source: str | None
+    schedule: str | None = None    #: 'index' / 'trigger' (None = old log)
+    #: Per-phase wall seconds from campaign_finish/cell_finish
+    #: (translate_s/prefix_s/fork_s/tail_s/classify_s), None when the
+    #: campaign predates phase telemetry.
+    phases: dict[str, float] | None = None
 
 
 def list_campaigns(db: ResultsDB) -> list[CampaignInfo]:
     """Every campaign in the store, in insertion order."""
     rows = db.execute(
         "SELECT id, workload, tool, n, base_seed, total_cycles,"
-        " total_candidates, source FROM campaigns ORDER BY id"
+        " total_candidates, source, schedule, phases"
+        " FROM campaigns ORDER BY id"
     ).fetchall()
     return [
         CampaignInfo(
             id=cid, workload=w, tool=t, n=n, base_seed=seed,
             counts=outcome_counts(db, cid), runs=db.run_count(cid),
             total_cycles=cycles, total_candidates=cands, source=src,
+            schedule=schedule,
+            phases=None if phases is None else json.loads(phases),
         )
-        for cid, w, t, n, seed, cycles, cands, src in rows
+        for cid, w, t, n, seed, cycles, cands, src, schedule, phases in rows
     ]
 
 

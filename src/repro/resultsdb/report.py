@@ -238,12 +238,24 @@ def _campaign_page(db: ResultsDB, info: CampaignInfo) -> str:
         f"{eng or 'unknown'}: {k} runs ({hits} snapshot hits)"
         for eng, k, hits in engines
     )
+    phase_line = ""
+    if info.phases and any(info.phases.values()):
+        bits = ", ".join(
+            f"{name.removesuffix('_s')} {info.phases.get(name, 0.0):.2f}s"
+            for name in
+            ("translate_s", "prefix_s", "fork_s", "tail_s", "classify_s")
+        )
+        phase_line = (
+            f"<p class=\"muted\">schedule = {escape(info.schedule or 'index')};"
+            f" phases: {escape(bits)}</p>"
+        )
     body = (
         f"<p><a href=\"index.html\">&larr; all campaigns</a></p>"
         f"<h1>{escape(label)}</h1>"
         f"<p class=\"muted\">n = {info.n}, base seed = {info.base_seed}, "
         f"fault candidates = {info.total_candidates or 'unknown'}; "
         f"{escape(engine_bits)}</p>"
+        + phase_line
         + _overview_table([info]) + _legend()
         + "<h2>Fault-site sensitivity</h2>"
         + _breakdown_table(db, info.id, "func", "By source function")

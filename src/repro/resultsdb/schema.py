@@ -35,8 +35,21 @@ how campaigns are actually structured:
 
 from __future__ import annotations
 
-#: Bumped on incompatible schema changes; stored in ``meta``.
+#: Bumped on incompatible schema changes; stored in ``meta``.  Additive
+#: nullable columns do **not** bump it: they are applied in place by
+#: :data:`ADDITIVE_COLUMNS` and older builds (whose queries all name
+#: their columns explicitly) simply never read them.
 SCHEMA_VERSION = 1
+
+#: Nullable columns added after a table first shipped, applied by
+#: ``ALTER TABLE .. ADD COLUMN`` when opening a store that predates them.
+#: table -> {column name -> type}.
+ADDITIVE_COLUMNS: dict[str, dict[str, str]] = {
+    "campaigns": {
+        "schedule": "TEXT",   # execution order: 'index' / 'trigger'
+        "phases": "TEXT",     # JSON per-phase seconds (campaign_finish)
+    },
+}
 
 SCHEMA = """
 CREATE TABLE IF NOT EXISTS meta (
@@ -61,6 +74,8 @@ CREATE TABLE IF NOT EXISTS campaigns (
     total_cycles     REAL,
     total_steps      INTEGER,
     source           TEXT,              -- provenance: file/flag that fed it
+    schedule         TEXT,              -- 'index' / 'trigger' (NULL = old log)
+    phases           TEXT,              -- JSON: per-phase seconds breakdown
     UNIQUE (workload, tool, base_seed, n)
 );
 

@@ -45,15 +45,25 @@ from repro.snapshot.store import SnapshotStore, program_fingerprint
 AUTO_SNAPSHOT_DENSITY = 128
 MIN_AUTO_INTERVAL = 256
 
+#: Coarser auto density for trigger-ordered campaigns: the scheduler's
+#: in-memory forks replace dense persistent snapshots, so the store only
+#: needs sparse resume points (kill-and-resume, scratch fallbacks).
+TRIGGER_AUTO_DENSITY = 8
+
 #: Budget for the recording run (matches the profiling run's budget).
 GOLDEN_BUDGET = 200_000_000
 
 
-def resolve_interval(interval: int, golden_steps: int) -> int:
-    """Turn the user-facing interval knob into a concrete step count."""
+def resolve_interval(interval: int, golden_steps: int,
+                     coarse: bool = False) -> int:
+    """Turn the user-facing interval knob into a concrete step count.
+
+    ``coarse=True`` (trigger-ordered campaigns) widens the auto interval —
+    an explicit ``interval > 0`` always wins over either heuristic."""
     if interval > 0:
         return interval
-    return max(MIN_AUTO_INTERVAL, golden_steps // AUTO_SNAPSHOT_DENSITY)
+    density = TRIGGER_AUTO_DENSITY if coarse else AUTO_SNAPSHOT_DENSITY
+    return max(MIN_AUTO_INTERVAL, golden_steps // density)
 
 
 @dataclass
@@ -124,6 +134,7 @@ class SnapshotEngine:
         interval: int = 0,
         store: SnapshotStore | None = None,
         events=None,
+        coarse: bool = False,
     ) -> None:
         if interval < 0:
             raise CampaignError("snapshot interval must be >= 0 (0 = auto)")
@@ -137,6 +148,7 @@ class SnapshotEngine:
         self.events = events
         self.stats = SnapshotStats()
         self._interval_knob = interval
+        self._coarse = coarse
         self._counter = counter
         self._golden: _Golden | None = None
 
@@ -145,7 +157,9 @@ class SnapshotEngine:
     @property
     def interval(self) -> int:
         """Concrete snapshot interval (resolves the auto knob lazily)."""
-        return resolve_interval(self._interval_knob, self.tool.profile.steps)
+        return resolve_interval(
+            self._interval_knob, self.tool.profile.steps, coarse=self._coarse
+        )
 
     def golden(self) -> _Golden:
         """The golden snapshot chain, loading or recording on first use."""

@@ -102,14 +102,16 @@ def capture_snapshot(
     """
     if base is None:
         base = base_pages(cpu.program)
-    view = memoryview(cpu.mem)
+    # One bulk copy, then bytes-vs-bytes slice compares: memoryview's
+    # rich comparison is a per-element loop in CPython, ~20x slower than
+    # the memcmp fast path bytes objects get.
+    mem = bytes(cpu.mem)
     pages: dict[int, bytes] = {} if prev is None else dict(prev.pages)
     for idx, clean in enumerate(base):
         off = idx * PAGE_SIZE
-        current = view[off : off + PAGE_SIZE]
-        ref = pages.get(idx, clean)
-        if current != ref:
-            pages[idx] = bytes(current)
+        current = mem[off : off + PAGE_SIZE]
+        if current != pages.get(idx, clean):
+            pages[idx] = current
     ca = cpu.counts_attached
     alias = ca is cpu.counts
     return CpuSnapshot(
@@ -144,8 +146,10 @@ def restore_snapshot(cpu: CPU, snap: CpuSnapshot) -> None:
     be written — restore is O(dirty pages + static code size).  Follow with
     ``cpu.resume(snap.pc, budget=...)``.
     """
-    cpu.iregs = list(snap.iregs)
-    cpu.fregs = list(snap.fregs)
+    # In place: the fast engine's instantiated blocks capture these lists
+    # (and ``cpu.mem``) by identity, so restore must not replace them.
+    cpu.iregs[:] = snap.iregs
+    cpu.fregs[:] = snap.fregs
     cpu.flags = snap.flags
     cpu.steps = snap.steps
     cpu.output = list(snap.output)

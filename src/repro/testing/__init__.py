@@ -28,8 +28,10 @@ from repro.testing.oracles import (
     Oracle,
     PipelineOracle,
     RunOutcome,
+    SchedulerOracle,
     ZeroInterferenceOracle,
     check_workload_engine_equivalence,
+    check_workload_scheduler_equivalence,
     check_workload_zero_interference,
     compiled_outcome,
     interp_outcome,
@@ -50,8 +52,10 @@ __all__ = [
     "EngineOracle",
     "InterpOracle",
     "PipelineOracle",
+    "SchedulerOracle",
     "ZeroInterferenceOracle",
     "check_workload_engine_equivalence",
+    "check_workload_scheduler_equivalence",
     "check_workload_zero_interference",
     "compiled_outcome",
     "interp_outcome",

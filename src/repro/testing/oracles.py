@@ -339,12 +339,171 @@ class EngineOracle(Oracle):
         return None
 
 
+class SchedulerOracle(Oracle):
+    """Golden-cursor fork/resume machinery vs an uninterrupted fast run.
+
+    The trigger scheduler (:mod:`repro.campaign.schedule`) rests on three
+    engine primitives: :meth:`~repro.engine.fast.FastEngine.run_cursor`
+    (advance one CPU with fork and sync captures at counter crossings and
+    step multiples), :func:`~repro.snapshot.state.capture_snapshot` /
+    :func:`~repro.snapshot.state.restore_snapshot` (freeze and revive the
+    full architectural state), and
+    :meth:`~repro.engine.fast.FastEngine.resume_synced` (run from a fork
+    with exact-step pauses).  On an arbitrary program those must be
+    behaviour-preserving: the cursor run must equal the plain run bit for
+    bit, and a fresh CPU restored from *any* fork must finish with the
+    plain run's output, exit code, per-pc counts and step total.
+    """
+
+    name = "scheduler"
+    description = "golden-cursor fork/resume vs uninterrupted fast run"
+
+    def __init__(
+        self, opt_level: str = "O2", budget: int = MACHINE_BUDGET
+    ) -> None:
+        self.opt_level = opt_level
+        self.budget = budget
+
+    def check(self, module: Module) -> Divergence | None:
+        from repro.engine import get_engine
+        from repro.snapshot.state import (
+            base_pages,
+            capture_snapshot,
+            restore_snapshot,
+        )
+
+        def instrument(binary) -> None:
+            refine_instrument(binary, FIConfig())
+
+        binary = compile_ir(
+            clone_module(module),
+            CompileOptions(opt_level=self.opt_level, mir_pass=instrument),
+        )
+        program = load_binary(binary)
+        engine = get_engine("fast")
+        plain_cpu = CPU(program)
+        plain = engine.run(plain_cpu, budget=self.budget)
+        total = plain_cpu._refine_count
+        if plain.trap is not None or total <= 0:
+            # Trapping/timeout programs never reach the scheduler (the
+            # golden run must be clean); nothing to fork without candidates.
+            return None
+        expected = RunOutcome(
+            engine="fast-plain",
+            exit_code=plain.exit_code,
+            trap=plain.trap,
+            output=tuple(plain.output),
+            trace=tuple(plain.counts),
+        )
+
+        def outcome_of(result, label: str) -> RunOutcome:
+            return RunOutcome(
+                engine=label,
+                exit_code=result.exit_code,
+                trap=result.trap,
+                output=tuple(result.output),
+                trace=tuple(result.counts),
+            )
+
+        def diverged(result, label: str) -> Divergence | None:
+            actual = outcome_of(result, label)
+            if (
+                expected.behaviour() != actual.behaviour()
+                or expected.trace != actual.trace
+                or result.steps != plain.steps
+            ):
+                return Divergence(
+                    oracle=self.name,
+                    detail=(
+                        f"{label} diverged from the uninterrupted run "
+                        f"(steps {plain.steps} vs {result.steps})"
+                    ),
+                    expected=expected,
+                    actual=actual,
+                )
+            return None
+
+        # A handful of trigger counters spread over the run, plus sync
+        # captures at an interval that does not align with block boundaries.
+        triggers = sorted(
+            t for t in {1, total // 3 + 1, 2 * total // 3 + 1, total}
+            if 1 <= t <= total
+        )
+        base = base_pages(program)
+        forks: dict[int, object] = {}
+        sync_states: dict[int, object] = {}
+        pending = list(triggers)
+        prev = None
+
+        def fork_hook(c, pc, upto):
+            nonlocal prev
+            snap = capture_snapshot(c, pc, prev=prev, base=base)
+            prev = snap
+            while pending and pending[0] <= upto:
+                forks[pending.pop(0)] = snap
+            return pending[0] if pending else None
+
+        def sync_hook(c, pc) -> None:
+            nonlocal prev
+            snap = capture_snapshot(c, pc, prev=prev, base=base)
+            prev = snap
+            sync_states[snap.steps] = snap
+
+        interval = max(1, plain.steps // 7)
+        sync_steps = list(range(interval, plain.steps, interval))
+        cursor = engine.run_cursor(
+            CPU(program),
+            budget=self.budget,
+            counter="refine_count",
+            first_stop=triggers[0],
+            fork_hook=fork_hook,
+            syncs=sync_steps,
+            sync_hook=sync_hook,
+        )
+        problem = diverged(cursor, "fork/sync cursor")
+        if problem is not None:
+            return problem
+        if pending:
+            return Divergence(
+                oracle=self.name,
+                detail=(
+                    f"cursor finished without forking for trigger(s) "
+                    f"{pending} (of {total} candidates)"
+                ),
+                expected=expected,
+            )
+        for trigger, snap in sorted(forks.items()):
+            if snap.counter("refine_count") >= trigger:
+                return Divergence(
+                    oracle=self.name,
+                    detail=(
+                        f"fork for trigger {trigger} was captured after the "
+                        f"trigger ({snap.counter('refine_count')} candidates "
+                        "already executed) — resuming would skip the "
+                        "injection point"
+                    ),
+                    expected=expected,
+                )
+            tail = CPU(program)
+            restore_snapshot(tail, snap)
+            result = engine.resume_synced(
+                tail, snap.pc, self.budget,
+                [s for s in sync_steps if s > snap.steps],
+                lambda c, pc: False,
+            )
+            problem = diverged(result, f"tail forked at trigger {trigger}")
+            if problem is not None:
+                return problem
+        return None
+
+
 #: Registry used by ``refine-fuzz --oracle`` and the test-suite.
 ORACLES: dict[str, Oracle] = {
     "interp": InterpOracle(),
     "pipeline": PipelineOracle(),
     "zero": ZeroInterferenceOracle(),
     "engine": EngineOracle(),
+    "scheduler": SchedulerOracle(),
 }
 
 
@@ -506,4 +665,69 @@ def check_workload_engine_equivalence(
                         actual=actual,
                         seed=seed,
                     )
+    return None
+
+
+def check_workload_scheduler_equivalence(
+    name: str, n: int = 12
+) -> Divergence | None:
+    """Trigger-ordered campaign vs index-ordered campaign on one workload.
+
+    For every tool, runs the same ``n``-experiment campaign once per
+    schedule and demands record-for-record equality on every
+    :class:`~repro.campaign.results.ExperimentRecord` field except
+    ``snapshot_hit`` (a fast-path provenance flag), with ``cycles`` held to
+    float-summation tolerance — the campaign-level statement of the
+    :class:`SchedulerOracle` property, fault injection included.
+    """
+    from repro.campaign.runner import make_tool, run_campaign
+
+    spec = get_workload(name)
+    for tool_name in ("LLFI", "REFINE", "PINFI"):
+        by_index = run_campaign(
+            make_tool(tool_name, spec.source, spec.name, snapshot_interval=0),
+            n, keep_records=True,
+        )
+        by_trigger = run_campaign(
+            make_tool(
+                tool_name, spec.source, spec.name, snapshot_interval=0,
+                schedule="trigger",
+            ),
+            n, keep_records=True, schedule="trigger",
+        )
+        for a, b in zip(by_index.records, by_trigger.records):
+            identity = (
+                ("seed", a.seed, b.seed),
+                ("outcome", a.outcome, b.outcome),
+                ("steps", a.steps, b.steps),
+                ("trap", a.trap, b.trap),
+                ("exit_code", a.exit_code, b.exit_code),
+                ("fault", a.fault, b.fault),
+                ("index", a.index, b.index),
+            )
+            mismatch = next(
+                (field for field, x, y in identity if x != y), None
+            )
+            if mismatch is None and abs(a.cycles - b.cycles) > 1e-9 * max(
+                1.0, abs(a.cycles)
+            ):
+                mismatch = "cycles"
+            if mismatch is not None:
+                return Divergence(
+                    oracle="scheduler",
+                    detail=(
+                        f"trigger-ordered campaign diverged from the "
+                        f"index-ordered one ({name}/{tool_name}, experiment "
+                        f"{a.index}, field {mismatch!r})"
+                    ),
+                    seed=a.seed,
+                )
+        if by_index.counts != by_trigger.counts:
+            return Divergence(
+                oracle="scheduler",
+                detail=(
+                    f"trigger-ordered campaign outcome counts diverged "
+                    f"({name}/{tool_name})"
+                ),
+            )
     return None

@@ -1,0 +1,257 @@
+"""Trigger-ordered scheduler tests.
+
+The acceptance bar everywhere is *bit-identical to index order*: the
+trigger schedule is purely an execution-order optimization, so every
+record a campaign produces — seed, outcome, cycles, steps, trap, fault
+coordinates — must match the sequential index-ordered run exactly.
+"""
+
+import pytest
+
+from repro.campaign import (
+    EventLog,
+    make_tool,
+    read_events,
+    resolve_trigger_order,
+    run_campaign,
+    run_campaign_parallel,
+    validate_schedule,
+)
+from repro.campaign.io import result_to_dict
+from repro.campaign.schedule import TriggerScheduler
+from repro.errors import CampaignError
+from repro.fi.tools import TOOL_CLASSES
+from repro.testing.oracles import check_workload_scheduler_equivalence
+from repro.workloads.registry import workload_sources
+
+from tests.conftest import DEMO_SOURCE
+
+N = 24
+SEED = 0xC0FFEE
+
+
+def _assert_equivalent(result, baseline):
+    """Bit-identity bar for reordered campaigns: every serialized field
+    exact, except ``snapshot_hit`` (trigger tails are served from forks,
+    index injects from the persistent snapshot store) and
+    ``total_cycles`` (accumulated in completion order, so reordering
+    shifts the float summation — same bar as the parallel runner)."""
+    a, b = result_to_dict(result), result_to_dict(baseline)
+    for data in (a, b):
+        for rec in data.get("records", ()):
+            rec.pop("snapshot_hit", None)
+    assert a.pop("total_cycles") == pytest.approx(b.pop("total_cycles"))
+    assert a == b
+
+
+def _records_key(result):
+    return [
+        (r.index, r.seed, r.outcome, r.cycles, r.steps, r.trap, r.exit_code,
+         None if r.fault is None else
+         (r.fault.pc, r.fault.dynamic_index, r.fault.operand_desc, r.fault.bit,
+          r.fault.value_before, r.fault.value_after))
+        for r in result.records
+    ]
+
+
+class TestValidation:
+    def test_unknown_schedule_rejected(self):
+        with pytest.raises(CampaignError, match="schedule"):
+            validate_schedule("random")
+        validate_schedule("index")
+        validate_schedule("trigger")
+
+    def test_run_campaign_rejects_unknown_schedule(self):
+        tool = make_tool("REFINE", DEMO_SOURCE, "demo")
+        with pytest.raises(CampaignError, match="schedule"):
+            run_campaign(tool, 4, schedule="alphabetical")
+
+
+class TestTriggerOrder:
+    def test_order_is_sorted_by_trigger_and_deterministic(self):
+        tool = make_tool("REFINE", DEMO_SOURCE, "demo")
+        ordered = resolve_trigger_order(tool, SEED, list(range(N)))
+        assert sorted(i for _, i in ordered) == list(range(N))
+        triggers = [t for t, _ in ordered]
+        assert triggers == sorted(triggers)
+        assert ordered == resolve_trigger_order(tool, SEED, list(range(N)))
+
+    def test_cursor_never_rewinds(self):
+        tool = make_tool("REFINE", DEMO_SOURCE, "demo")
+        sched = TriggerScheduler(tool)
+        seen = []
+        for rec in sched.run_batch(SEED, list(range(N))):
+            assert rec.fault is None or seen == sorted(seen)
+            if rec.fault is not None:
+                seen.append(rec.fault.dynamic_index)
+        assert seen == sorted(seen)
+
+
+class TestSequentialEquivalence:
+    @pytest.mark.parametrize("tool_name", sorted(TOOL_CLASSES))
+    def test_demo_bit_identical(self, tool_name):
+        index = run_campaign(
+            make_tool(tool_name, DEMO_SOURCE, "demo"), N, SEED,
+            keep_records=True,
+        )
+        trigger = run_campaign(
+            make_tool(tool_name, DEMO_SOURCE, "demo", schedule="trigger"),
+            N, SEED, keep_records=True, schedule="trigger",
+        )
+        assert _records_key(trigger) == _records_key(index)
+        _assert_equivalent(trigger, index)
+
+    # The tier-1 smoke slice of the equivalence matrix: two real
+    # workloads, every tool, trigger vs index bit-identical.
+    @pytest.mark.parametrize("workload", ["EP", "CG"])
+    def test_workload_smoke(self, workload):
+        divergence = check_workload_scheduler_equivalence(workload, n=6)
+        assert divergence is None, divergence.describe()
+
+
+@pytest.mark.slow
+class TestFullEquivalenceMatrix:
+    """The paper-scale 14-workload x 3-tool matrix (CI runs it nightly)."""
+
+    @pytest.mark.parametrize("workload", sorted(dict(workload_sources())))
+    def test_workload(self, workload):
+        divergence = check_workload_scheduler_equivalence(workload, n=12)
+        assert divergence is None, divergence.describe()
+
+
+class TestTelemetry:
+    def test_finish_event_carries_schedule_phases_and_stats(self, tmp_path):
+        log_path = tmp_path / "events.jsonl"
+        log = EventLog(log_path)
+        tool = make_tool("REFINE", DEMO_SOURCE, "demo", schedule="trigger")
+        run_campaign(tool, N, SEED, schedule="trigger", events=log)
+        log.close()
+        events = read_events(log_path)
+        finish = [e for e in events if e["event"] == "campaign_finish"]
+        assert len(finish) == 1
+        assert finish[0]["schedule"] == "trigger"
+        phases = finish[0]["phases"]
+        assert set(phases) == {
+            "translate_s", "prefix_s", "fork_s", "tail_s", "classify_s"
+        }
+        scheduler = finish[0]["scheduler"]
+        assert scheduler["experiments"] == N
+        assert scheduler["forks"] >= 1
+        stats = [e for e in events if e["event"] == "scheduler_stats"]
+        assert stats, "scheduler_stats events missing"
+        # Sequential scheduler_stats are cumulative: the last one matches
+        # the totals the finish event reports.
+        assert all(
+            stats[-1][k] == scheduler[k] for k in scheduler
+        )
+
+    def test_index_schedule_reports_phases_too(self, tmp_path):
+        log_path = tmp_path / "events.jsonl"
+        log = EventLog(log_path)
+        run_campaign(
+            make_tool("REFINE", DEMO_SOURCE, "demo"), 6, SEED, events=log
+        )
+        log.close()
+        finish = [
+            e for e in read_events(log_path) if e["event"] == "campaign_finish"
+        ][0]
+        assert finish["schedule"] == "index"
+        assert finish["phases"]["tail_s"] > 0.0
+        assert "scheduler" not in finish
+
+
+class _Kill(Exception):
+    """Injected 'job killed' signal raised from a progress callback."""
+
+
+class TestCheckpointResume:
+    def test_kill_and_resume_trigger_order(self, tmp_path):
+        """A trigger-ordered campaign killed mid-flight resumes from the
+        completed-index set and finishes bit-identical to both an
+        uninterrupted trigger run and the index-ordered ground truth."""
+        path = tmp_path / "c.json"
+        baseline = run_campaign(
+            make_tool("REFINE", DEMO_SOURCE, "demo"), N, SEED,
+            keep_records=True,
+        )
+
+        killed_after = N // 3
+
+        def _bomb(done, total):
+            if done >= killed_after:
+                raise _Kill
+
+        with pytest.raises(_Kill):
+            run_campaign(
+                make_tool("REFINE", DEMO_SOURCE, "demo", schedule="trigger"),
+                N, SEED, keep_records=True, schedule="trigger",
+                checkpoint_path=path, checkpoint_every=4, progress=_bomb,
+            )
+        assert path.exists()
+
+        resumed = run_campaign(
+            make_tool("REFINE", DEMO_SOURCE, "demo", schedule="trigger"),
+            N, SEED, keep_records=True, schedule="trigger",
+            checkpoint_path=path,
+        )
+        assert _records_key(resumed) == _records_key(baseline)
+        _assert_equivalent(resumed, baseline)
+
+    def test_resume_across_schedules(self, tmp_path):
+        """Checkpoints carry the completed-index *set*, so a campaign can
+        even be killed under one schedule and resumed under the other."""
+        path = tmp_path / "c.json"
+        baseline = run_campaign(
+            make_tool("REFINE", DEMO_SOURCE, "demo"), N, SEED,
+            keep_records=True,
+        )
+
+        def _bomb(done, total):
+            if done >= N // 2:
+                raise _Kill
+
+        with pytest.raises(_Kill):
+            run_campaign(
+                make_tool("REFINE", DEMO_SOURCE, "demo"), N, SEED,
+                keep_records=True, checkpoint_path=path,
+                checkpoint_every=4, progress=_bomb,
+            )
+        resumed = run_campaign(
+            make_tool("REFINE", DEMO_SOURCE, "demo", schedule="trigger"),
+            N, SEED, keep_records=True, schedule="trigger",
+            checkpoint_path=path,
+        )
+        _assert_equivalent(resumed, baseline)
+
+
+class TestParallelEquivalence:
+    def test_parallel_trigger_bit_identical(self):
+        baseline = run_campaign(
+            make_tool("REFINE", DEMO_SOURCE, "demo"), N, SEED,
+            keep_records=True,
+        )
+        parallel = run_campaign_parallel(
+            "REFINE", DEMO_SOURCE, "demo", N, workers=2, base_seed=SEED,
+            keep_records=True, schedule="trigger",
+        )
+        assert _records_key(parallel) == _records_key(baseline)
+        _assert_equivalent(parallel, baseline)
+
+    def test_parallel_trigger_finish_event_aggregates(self, tmp_path):
+        log_path = tmp_path / "events.jsonl"
+        log = EventLog(log_path)
+        run_campaign_parallel(
+            "REFINE", DEMO_SOURCE, "demo", N, workers=2, base_seed=SEED,
+            schedule="trigger", events=log,
+        )
+        log.close()
+        events = read_events(log_path)
+        finish = [e for e in events if e["event"] == "campaign_finish"][0]
+        assert finish["schedule"] == "trigger"
+        assert finish["scheduler"]["experiments"] == N
+        chunk_stats = [
+            e for e in events
+            if e["event"] == "scheduler_stats" and "chunk" in e
+        ]
+        # Per-chunk stats are independent schedulers; they sum to the totals.
+        assert sum(e["experiments"] for e in chunk_stats) == N

@@ -281,3 +281,58 @@ class TestSeedEncoding:
             stored = seed_to_db(seed)
             assert -(2**63) <= stored < 2**63  # fits SQLite INTEGER
             assert seed_from_db(stored) == seed
+
+
+class TestSchedulePhases:
+    def test_finish_event_persists_schedule_and_phases(self, tmp_path):
+        from repro.resultsdb.queries import list_campaigns
+
+        log_path = tmp_path / "events.jsonl"
+        with EventLog(log_path) as log:
+            tool = make_tool(
+                "REFINE", DEMO_SOURCE, "demo", schedule="trigger"
+            )
+            run_campaign(tool, 8, schedule="trigger", events=log)
+        with ResultsDB() as db:
+            ingest_events(db, log_path)
+            info = list_campaigns(db)[0]
+        assert info.schedule == "trigger"
+        assert set(info.phases) == {
+            "translate_s", "prefix_s", "fork_s", "tail_s", "classify_s"
+        }
+
+    def test_old_logs_leave_schedule_null(self, ground_truth):
+        from repro.resultsdb.queries import list_campaigns
+
+        with ResultsDB() as db:
+            ingest_events(db, ground_truth.log)
+            for info in list_campaigns(db):
+                # The shared fixture runs index-ordered campaigns; they
+                # still carry a schedule + phase breakdown.
+                assert info.schedule == "index"
+                assert info.phases is not None
+
+    def test_pre_column_store_migrates_in_place(self, tmp_path):
+        import sqlite3
+
+        path = tmp_path / "old.sqlite"
+        conn = sqlite3.connect(path)
+        conn.executescript(
+            """
+            CREATE TABLE meta (key TEXT PRIMARY KEY, value TEXT NOT NULL)
+                WITHOUT ROWID;
+            INSERT INTO meta VALUES ('schema_version', '1');
+            CREATE TABLE campaigns (
+                id INTEGER PRIMARY KEY, workload TEXT NOT NULL,
+                tool TEXT NOT NULL, n INTEGER NOT NULL,
+                base_seed INTEGER NOT NULL DEFAULT -1,
+                total_candidates INTEGER, golden_output TEXT,
+                total_cycles REAL, total_steps INTEGER, source TEXT,
+                UNIQUE (workload, tool, base_seed, n));
+            """
+        )
+        conn.commit()
+        conn.close()
+        with ResultsDB(path) as db:
+            cols = {r[1] for r in db.execute("PRAGMA table_info(campaigns)")}
+            assert {"schedule", "phases"} <= cols

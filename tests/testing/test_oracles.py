@@ -42,7 +42,9 @@ done:
 
 class TestRegistry:
     def test_all_oracles_registered(self):
-        assert set(ORACLES) == {"interp", "pipeline", "zero", "engine"}
+        assert set(ORACLES) == {
+            "interp", "pipeline", "zero", "engine", "scheduler"
+        }
 
     def test_oracles_pass_on_clean_module(self):
         module = parse_module(PRINTING_MODULE)
