@@ -4,6 +4,7 @@ checkpoint/resume and telemetry."""
 from repro.campaign.analysis import (
     GroupSensitivity,
     by_bit_range,
+    by_fault_model,
     by_function,
     by_operand_kind,
     render_sensitivity,
@@ -48,6 +49,7 @@ from repro.campaign.schedule import (
 __all__ = [
     "GroupSensitivity",
     "by_bit_range",
+    "by_fault_model",
     "by_function",
     "by_operand_kind",
     "render_sensitivity",

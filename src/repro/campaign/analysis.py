@@ -70,6 +70,14 @@ def by_function(result: CampaignResult) -> list[GroupSensitivity]:
     return _group_records(_require_records(result), lambda r: r.fault.func)
 
 
+def by_fault_model(result: CampaignResult) -> list[GroupSensitivity]:
+    """Breakdown by injected fault model — one group per spec string.
+
+    A single campaign runs one model, so this matters for results merged
+    across campaigns (or reconstructed from a mixed-model store)."""
+    return _group_records(_require_records(result), lambda r: r.fault.model)
+
+
 def by_operand_kind(result: CampaignResult) -> list[GroupSensitivity]:
     """Breakdown by corrupted register kind (int / float / flags / value)."""
 
@@ -84,12 +92,20 @@ def by_bit_range(
     result: CampaignResult, buckets: int = 8
 ) -> list[GroupSensitivity]:
     """Breakdown by flipped bit position (low mantissa bits vs sign/exponent
-    and address high bits behave very differently)."""
+    and address high bits behave very differently).
+
+    Fault models that corrupt more than one bit position at once (e.g.
+    cache-line smears) record no single ``bit``; those faults degrade
+    gracefully into one ``bits[n/a]`` group, which sorts after every
+    numbered range.
+    """
     if not 1 <= buckets <= 64:
         raise CampaignError("buckets must be in [1, 64]")
     width = 64 // buckets
 
     def bucket(rec: ExperimentRecord) -> str:
+        if rec.fault.bit is None:
+            return "bits[n/a]"
         lo = (rec.fault.bit // width) * width
         return f"bits[{lo:02d}-{min(lo + width - 1, 63):02d}]"
 

@@ -40,6 +40,9 @@ class CampaignCheckpoint:
     keep_records: bool
     completed: set[int] = field(default_factory=set)
     partial: CampaignResult | None = None
+    #: fault-model spec the campaign runs under; pre-model checkpoints
+    #: deserialize to the single-bit default.
+    fault_model: str = "single-bit"
 
     @property
     def remaining(self) -> list[int]:
@@ -48,15 +51,16 @@ class CampaignCheckpoint:
 
     def matches(
         self, workload: str, tool: str, n: int, base_seed: int,
-        keep_records: bool,
+        keep_records: bool, fault_model: str = "single-bit",
     ) -> None:
         """Raise :class:`CampaignError` unless this checkpoint belongs to the
         campaign described by the arguments (resuming under different
         parameters would silently corrupt counts)."""
-        want = (workload, tool, n, base_seed, keep_records)
+        want = (workload, tool, n, base_seed, keep_records, fault_model)
         have = (self.workload, self.tool, self.n, self.base_seed,
-                self.keep_records)
-        names = ("workload", "tool", "n", "base_seed", "keep_records")
+                self.keep_records, self.fault_model)
+        names = ("workload", "tool", "n", "base_seed", "keep_records",
+                 "fault_model")
         for name, w, h in zip(names, want, have):
             if w != h:
                 raise CampaignError(
@@ -94,6 +98,7 @@ def checkpoint_to_dict(ckpt: CampaignCheckpoint) -> dict:
         "keep_records": ckpt.keep_records,
         "completed": _encode_indices(ckpt.completed),
         "partial": None if ckpt.partial is None else result_to_dict(ckpt.partial),
+        "fault_model": ckpt.fault_model,
     }
 
 
@@ -112,6 +117,7 @@ def checkpoint_from_dict(data: dict) -> CampaignCheckpoint:
             keep_records=data["keep_records"],
             completed=_decode_indices(data["completed"]),
             partial=None if partial is None else result_from_dict(partial),
+            fault_model=data.get("fault_model", "single-bit"),
         )
     except (KeyError, TypeError, ValueError) as exc:
         raise CampaignError(f"malformed checkpoint: {exc}") from exc

@@ -17,6 +17,8 @@ Event schema (all events carry ``seq``, ``ts`` and ``event``):
 event                     extra fields
 ========================  =====================================================
 ``campaign_start``        ``workload``, ``tool``, ``n``, ``base_seed``,
+                          ``fault_model`` (canonical :mod:`repro.fi.models`
+                          spec; absent in pre-model logs = single-bit),
                           ``resumed`` (experiments restored from a checkpoint)
 ``experiment``            ``workload``, ``tool``, ``index``, ``seed``,
                           ``outcome``, ``cycles``, ``steps``, ``trap``,
@@ -25,8 +27,11 @@ event                     extra fields
                           snapshot fast path was on, else ``null``) and
                           ``fault`` (the full fault-site record: ``func``,
                           ``pc``, ``instr_text``, ``operand_index``,
-                          ``operand_desc``, ``bit``, ``dynamic_index``,
-                          tag-encoded ``value_before``/``value_after``).
+                          ``operand_desc``, ``bit`` (``null`` for faults
+                          with no single bit position), ``dynamic_index``,
+                          tag-encoded ``value_before``/``value_after``,
+                          plus the fault-model fields ``model``, ``bits``,
+                          ``address`` and ``dwell``).
                           The sequential runner adds ``wall_s``; the
                           parallel runner re-emits these per chunk (tagged
                           ``chunk``), the distributed coordinator per task
@@ -41,7 +46,8 @@ event                     extra fields
                           ``total_candidates``, ``golden_output`` (the
                           stream is self-contained: a results store can
                           rebuild the full ``CampaignResult`` from the log
-                          alone); ``schedule`` (``index``/``trigger``) and
+                          alone); ``fault_model``,
+                          ``schedule`` (``index``/``trigger``) and
                           ``phases`` (wall-clock breakdown:
                           ``translate_s``, ``prefix_s``, ``fork_s``,
                           ``tail_s``, ``classify_s``); with the trigger
@@ -80,7 +86,7 @@ event                     extra fields
 ``dist_start``            ``cells``, ``total``, ``resumed``,
                           ``lease_timeout_s``
 ``cell_start``            ``workload``, ``tool``, ``n``, ``base_seed``,
-                          ``resumed``, ``resumed_counts``
+                          ``fault_model``, ``resumed``, ``resumed_counts``
 ``worker_join``           ``worker``, ``procs``
 ``lease``                 ``task``, ``worker``, ``workload``, ``tool``,
                           ``size``, ``attempt``
@@ -95,7 +101,8 @@ event                     extra fields
 ``cell_finish``           ``workload``, ``tool``, ``counts``,
                           ``total_cycles``, ``total_steps``,
                           ``total_candidates``, ``golden_output``,
-                          ``schedule``, ``phases`` (worker-side breakdown
+                          ``schedule``, ``fault_model``,
+                          ``phases`` (worker-side breakdown
                           summed over tasks) and, with the trigger
                           schedule, ``scheduler``
 ``dist_finish``           ``cells``, ``total``, ``wall_s``,

@@ -16,12 +16,16 @@ from repro.campaign.results import CampaignResult, ExperimentRecord
 from repro.errors import CampaignError
 from repro.machine.cpu import FaultRecord
 
-FORMAT_VERSION = 2
+FORMAT_VERSION = 3
 
 #: Older formats we can still read.  Version 1 stored fault values as
 #: ``repr()`` strings (lossy: an int came back as the string "42"); loading
-#: it keeps the raw strings rather than guessing at types.
-_READABLE_VERSIONS = (1, FORMAT_VERSION)
+#: it keeps the raw strings rather than guessing at types.  Version 2
+#: predates pluggable fault models: faults carried only a single ``bit``
+#: and no model/mask/address/dwell fields; loading fills the single-bit
+#: defaults.  Version 3 adds those fields plus the campaign's
+#: ``fault_model`` spec.
+_READABLE_VERSIONS = (1, 2, FORMAT_VERSION)
 
 
 def _value_to_dict(value: object) -> dict | None:
@@ -73,12 +77,19 @@ def _fault_to_dict(fault: FaultRecord | None) -> dict | None:
         "bit": fault.bit,
         "value_before": _value_to_dict(fault.value_before),
         "value_after": _value_to_dict(fault.value_after),
+        # v3 fault-model fields (repro.fi.models): lossless for multi-bit
+        # masks, memory addresses and stuck-at dwell windows.
+        "model": fault.model,
+        "bits": None if fault.bits is None else list(fault.bits),
+        "address": fault.address,
+        "dwell": fault.dwell,
     }
 
 
 def _fault_from_dict(data: dict | None) -> FaultRecord | None:
     if data is None:
         return None
+    bits = data.get("bits")
     return FaultRecord(
         tool=data["tool"],
         dynamic_index=data["dynamic_index"],
@@ -91,6 +102,11 @@ def _fault_from_dict(data: dict | None) -> FaultRecord | None:
         bit=data["bit"],
         value_before=_value_from_dict(data["value_before"]),
         value_after=_value_from_dict(data["value_after"]),
+        # v1/v2 logs predate fault models: single-bit defaults.
+        model=data.get("model", "single-bit"),
+        bits=None if bits is None else tuple(bits),
+        address=data.get("address"),
+        dwell=data.get("dwell", 1),
     )
 
 
@@ -132,6 +148,7 @@ def result_to_dict(result: CampaignResult) -> dict:
         "total_steps": result.total_steps,
         "golden_output": list(result.golden_output),
         "total_candidates": result.total_candidates,
+        "fault_model": result.fault_model,
         "records": [
             {
                 "index": rec.index,
@@ -165,6 +182,7 @@ def result_from_dict(data: dict) -> CampaignResult:
         total_steps=data["total_steps"],
         golden_output=tuple(data["golden_output"]),
         total_candidates=data["total_candidates"],
+        fault_model=data.get("fault_model", "single-bit"),
     )
     for rec in data.get("records", ()):
         result.records.append(
@@ -274,6 +292,11 @@ def merge_results(
                 f"({other.total_candidates} vs {first.total_candidates}); "
                 "were the campaigns configured with the same FIConfig?"
             )
+        if other.fault_model != first.fault_model:
+            raise CampaignError(
+                f"fault models disagree between parts ({other.fault_model!r} "
+                f"vs {first.fault_model!r})"
+            )
     merged = CampaignResult(
         workload=first.workload,
         tool=first.tool,
@@ -285,6 +308,7 @@ def merge_results(
         total_steps=sum(p.total_steps for p in parts),
         golden_output=first.golden_output,
         total_candidates=first.total_candidates,
+        fault_model=first.fault_model,
     )
     for p in parts:
         merged.records.extend(p.records)

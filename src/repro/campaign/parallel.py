@@ -43,6 +43,7 @@ from repro.campaign.schedule import (
 )
 from repro.errors import CampaignError
 from repro.fi.config import FIConfig
+from repro.fi.models import resolve_fault_model
 from repro.fi.tools import TOOL_CLASSES
 from repro.campaign.classify import Outcome
 
@@ -82,6 +83,9 @@ class SliceTask:
     engine: str | None = None
     #: experiment visiting order within the slice (``index`` or ``trigger``)
     schedule: str = "index"
+    #: canonical fault-model spec (repro.fi.models); the single-bit default
+    #: keeps pickled/JSON tasks from older coordinators valid.
+    fault_model: str = "single-bit"
 
 
 def run_slice(task: SliceTask) -> CampaignResult:
@@ -98,6 +102,7 @@ def run_slice(task: SliceTask) -> CampaignResult:
     tool = TOOL_CLASSES[task.tool_name](
         task.source, task.workload, config=config, opt_level=task.opt_level,
         opcode_faults=task.opcode_faults, engine=task.engine,
+        fault_model=task.fault_model,
     )
     if task.snapshot_interval is not None:
         tool.enable_snapshots(
@@ -146,6 +151,7 @@ def run_campaign_parallel(
     snapshot_dir: str | Path | None = None,
     engine: str | None = None,
     schedule: str = "index",
+    fault_model: str | None = None,
 ) -> CampaignResult:
     """Run ``n`` experiments across ``workers`` processes.
 
@@ -193,6 +199,10 @@ def run_campaign_parallel(
             f"{cls.name} operates above the instruction encoding and "
             "cannot model OP-code corruption"
         )
+    # Same fail-fast rule for the fault model: parse and tool-compatibility
+    # errors surface in the parent, and workers get the canonical spec.
+    model = resolve_fault_model(fault_model)
+    model.check_tool(cls)
     config = config or FIConfig()
     if (
         snapshot_interval is not None
@@ -207,7 +217,10 @@ def run_campaign_parallel(
     prior: CampaignResult | None = None
     ckpt = try_load_checkpoint(checkpoint_path)
     if ckpt is not None:
-        ckpt.matches(workload, tool_name, n, base_seed, keep_records)
+        ckpt.matches(
+            workload, tool_name, n, base_seed, keep_records,
+            fault_model=model.spec,
+        )
         completed = set(ckpt.completed)
         prior = ckpt.partial
     remaining = [i for i in range(n) if i not in completed]
@@ -218,6 +231,7 @@ def run_campaign_parallel(
             base_seed=base_seed, resumed=len(completed), workers=workers,
             resumed_counts={} if prior is None
             else {o.value: k for o, k in prior.counts.items()},
+            fault_model=model.spec,
         )
 
     parts: dict[int, CampaignResult] = {}
@@ -244,6 +258,7 @@ def run_campaign_parallel(
                 keep_records=keep_records,
                 completed=set(completed),
                 partial=_merged(),
+                fault_model=model.spec,
             ),
             checkpoint_path,
         )
@@ -263,6 +278,7 @@ def run_campaign_parallel(
                 total_candidates=result.total_candidates,
                 golden_output=list(result.golden_output),
                 schedule=schedule,
+                fault_model=model.spec,
                 phases=phases.as_dict(),
                 **(
                     {"scheduler": dict(scheduler_totals)}
@@ -290,7 +306,7 @@ def run_campaign_parallel(
         t0 = time.perf_counter()
         order_tool = cls(
             source, workload, config=config, opt_level=opt_level,
-            opcode_faults=opcode_faults, engine=engine,
+            opcode_faults=opcode_faults, engine=engine, fault_model=model,
         )
         TriggerScheduler(order_tool)
         remaining = [
@@ -327,6 +343,7 @@ def run_campaign_parallel(
             snapshot_dir=None if snapshot_dir is None else str(snapshot_dir),
             engine=engine,
             schedule=schedule,
+            fault_model=model.spec,
         )
         for ci, indices in enumerate(chunks)
     ]

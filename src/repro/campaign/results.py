@@ -45,6 +45,9 @@ class CampaignResult:
     golden_output: tuple[str, ...] = ()
     total_candidates: int = 0
     records: list[ExperimentRecord] = field(default_factory=list)
+    #: canonical fault-model spec the campaign ran under (repro.fi.models);
+    #: defaults keep pre-model results and files meaningful.
+    fault_model: str = "single-bit"
 
     def add(self, record: ExperimentRecord, keep_record: bool = False) -> None:
         """Tally one finished experiment (shared by the sequential runner,

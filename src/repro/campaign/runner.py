@@ -57,6 +57,7 @@ def make_tool(
     events: EventLog | None = None,
     engine: str | None = None,
     schedule: str = "index",
+    fault_model: str | None = None,
 ) -> FITool:
     """Build a configured tool; ``snapshot_interval`` (``None`` = off,
     ``0`` = auto) attaches the snapshot fast path, with ``snapshot_dir``
@@ -64,7 +65,8 @@ def make_tool(
     execution engine (``None`` = environment/default).  ``schedule`` only
     retunes the auto snapshot interval: trigger-ordered campaigns serve
     tails from in-memory forks, so the persistent store keeps coarse
-    resume points only."""
+    resume points only.  ``fault_model`` is a :mod:`repro.fi.models` spec
+    (``None`` = the paper's single-bit default)."""
     try:
         cls = TOOL_CLASSES[tool_name]
     except KeyError:
@@ -73,7 +75,7 @@ def make_tool(
         ) from None
     tool = cls(
         source, workload, config=config, opt_level=opt_level,
-        opcode_faults=opcode_faults, engine=engine,
+        opcode_faults=opcode_faults, engine=engine, fault_model=fault_model,
     )
     if snapshot_interval is not None:
         tool.enable_snapshots(
@@ -141,6 +143,7 @@ def _fresh_result(tool: FITool, n: int) -> CampaignResult:
         counts={o: 0 for o in Outcome},
         golden_output=profile.golden_output,
         total_candidates=profile.total_candidates,
+        fault_model=tool.fault_model.spec,
     )
 
 
@@ -180,7 +183,10 @@ def run_campaign(
     result = _fresh_result(tool, n)
     ckpt = try_load_checkpoint(checkpoint_path)
     if ckpt is not None:
-        ckpt.matches(tool.workload, tool.name, n, base_seed, keep_records)
+        ckpt.matches(
+            tool.workload, tool.name, n, base_seed, keep_records,
+            fault_model=tool.fault_model.spec,
+        )
         completed = set(ckpt.completed)
         if ckpt.partial is not None:
             if ckpt.partial.golden_output != profile.golden_output:
@@ -200,6 +206,7 @@ def run_campaign(
             "campaign_start", workload=tool.workload, tool=tool.name, n=n,
             base_seed=base_seed, resumed=len(completed),
             resumed_counts={o.value: k for o, k in result.counts.items()},
+            fault_model=tool.fault_model.spec,
         )
 
     def _save() -> None:
@@ -212,6 +219,7 @@ def run_campaign(
                 keep_records=keep_records,
                 completed=set(completed),
                 partial=result,
+                fault_model=tool.fault_model.spec,
             ),
             checkpoint_path,
         )
@@ -287,7 +295,8 @@ def run_campaign(
             golden_output=list(result.golden_output),
             wall_s=wall,
             experiments_per_sec=(len(completed) / wall) if wall > 0 else 0.0,
-            schedule=schedule, phases=phases.as_dict(), **extra,
+            schedule=schedule, phases=phases.as_dict(),
+            fault_model=tool.fault_model.spec, **extra,
         )
     return result
 
@@ -320,6 +329,7 @@ def run_matrix(
     snapshot_dir: str | Path | None = None,
     engine: str | None = None,
     schedule: str = "index",
+    fault_model: str | None = None,
 ) -> dict[tuple[str, str], CampaignResult]:
     """Run the full (workload x tool) campaign matrix, like the paper's
     44,856-experiment evaluation (14 apps x 3 tools x 1068 samples).
@@ -362,14 +372,14 @@ def run_matrix(
                     checkpoint_every=checkpoint_every, events=events,
                     snapshot_interval=snapshot_interval,
                     snapshot_dir=snapshot_dir, engine=engine,
-                    schedule=schedule,
+                    schedule=schedule, fault_model=fault_model,
                 )
             else:
                 tool = make_tool(
                     tool_name, source, workload, config, opt_level,
                     snapshot_interval=snapshot_interval,
                     snapshot_dir=snapshot_dir, events=events, engine=engine,
-                    schedule=schedule,
+                    schedule=schedule, fault_model=fault_model,
                 )
                 results[(workload, tool_name)] = run_campaign(
                     tool, n, base_seed, keep_records=keep_records,

@@ -208,6 +208,8 @@ class TriggerScheduler:
         #: fast engine's instantiated blocks survive across experiments)
         self._tail_cpu = None
         self._mem_template: bytes | None = None
+        #: plan of the tail currently resuming (rejoin gates on its window)
+        self._tail_plan = None
 
     # -- cursor -------------------------------------------------------------
 
@@ -314,9 +316,17 @@ class TriggerScheduler:
         state equals the golden state at the same absolute step count.
         Before the fault has fired the tail *is* the golden run, so a match
         is vacuous and splicing would skip the injection — never stop then.
+        Likewise while a dwell window is still open (stuck-at models): the
+        fault keeps re-applying, so the tail may not rejoin — and PINFI may
+        not be treated as detached — until the window closes.
         """
         if cpu.fault is None:
             return False
+        plan = self._tail_plan
+        if plan is not None and plan.last_index > plan.target_index:
+            count = getattr(cpu, "_" + self.counter)
+            if count < plan.last_index:
+                return False
         if self._mem_misses >= REJOIN_MAX_MEM_MISSES:
             return False
         ref = self._sync_states.get(cpu.steps)
@@ -413,6 +423,7 @@ class TriggerScheduler:
             served = False
         else:
             plan = tool.plan_from_seed(seed)
+            self._tail_plan = plan
             cpu = self._tail_cpu_for(plan)
             restore_snapshot(cpu, fork)
             self._mem_misses = 0

@@ -308,6 +308,13 @@ def campaign_main(argv: list[str] | None = None) -> int:
                         "point and fork each faulty tail off one shared "
                         "golden cursor; results are bit-identical either "
                         "way)")
+    parser.add_argument("--fault-model", default="single-bit",
+                        metavar="NAME[:PARAMS]",
+                        help="fault model to inject (see refine-db/docs): "
+                        "single-bit (paper default), multi-bit[:k=K,"
+                        "adjacent=1], memory-cell, cache-line, opcode, "
+                        "stuck-at[:value=V,dwell=N]; append ',weighted=1' "
+                        "for residency-weighted trigger sampling")
     parser.add_argument("--events", default=None,
                         help="append JSONL telemetry events to this file")
     parser.add_argument("--save", default=None,
@@ -340,6 +347,16 @@ def campaign_main(argv: list[str] | None = None) -> int:
     args.snapshot_interval = (
         None if args.no_snapshot else args.snapshot_interval
     )
+
+    from repro.fi.models import parse_fault_model
+
+    try:
+        # Canonicalize early so checkpoints, events and the DB all carry
+        # the same spec string regardless of how the user spelled it.
+        args.fault_model = parse_fault_model(args.fault_model).spec
+    except CampaignError as exc:
+        print(f"refine-campaign: error: {exc}", file=sys.stderr)
+        return 2
 
     try:
         moe = margin_of_error(args.samples)
@@ -375,6 +392,7 @@ def campaign_main(argv: list[str] | None = None) -> int:
                 snapshot_interval=args.snapshot_interval,
                 engine=args.engine,
                 schedule=args.schedule,
+                fault_model=args.fault_model,
             )
         if db is not None:
             # The sink streamed every experiment; fill in the metadata the
@@ -415,6 +433,7 @@ def _serve_distributed(args, sources, tools, telemetry):
             snapshot_interval=args.snapshot_interval,
             engine=args.engine,
             schedule=args.schedule,
+            fault_model=args.fault_model,
         )
         for workload, source in sources.items()
         for tool_name in tools
@@ -508,6 +527,11 @@ def report_main(argv: list[str] | None = None) -> int:
         "--artifact", default="all",
         choices=["figure4", "figure5", "table4", "table5", "table6", "all"],
     )
+    parser.add_argument("--fault-models", default=None,
+                        metavar="SPEC[,SPEC...]",
+                        help="instead of the paper artifacts, render a "
+                        "Figure-4-style outcome comparison per fault model "
+                        "(tools that cannot host a model are skipped)")
     args = parser.parse_args(argv)
 
     sources = workload_sources()
@@ -515,6 +539,36 @@ def report_main(argv: list[str] | None = None) -> int:
         sources = {w: sources[w] for w in args.workloads.split(",")}
     names = list(sources)
     tools = list(TOOL_ORDER)
+
+    if args.fault_models is not None:
+        from repro.fi.models import parse_fault_model, resolve_fault_model
+        from repro.fi.tools import TOOL_CLASSES
+        from repro.reporting import render_model_comparison
+
+        try:
+            models = [
+                parse_fault_model(s).spec
+                for s in args.fault_models.split(",")
+            ]
+        except CampaignError as exc:
+            print(f"refine-report: error: {exc}", file=sys.stderr)
+            return 2
+        matrices = {}
+        for model in models:
+            resolved = resolve_fault_model(model)
+            supported = []
+            for t in tools:
+                try:
+                    resolved.check_tool(TOOL_CLASSES[t])
+                except CampaignError:
+                    continue
+                supported.append(t)
+            matrices[model] = run_matrix(
+                sources, supported, args.samples, args.seed,
+                fault_model=model,
+            )
+        print(render_model_comparison(matrices, names, tools))
+        return 0
 
     matrix = run_matrix(sources, tools, args.samples, args.seed)
     out: list[str] = []
@@ -575,6 +629,7 @@ def fuzz_main(argv: list[str] | None = None) -> int:
     from repro.testing.fuzz import DEFAULT_ARTIFACTS_DIR
     from repro.testing.oracles import (
         check_workload_engine_equivalence,
+        check_workload_fault_model_equivalence,
         check_workload_scheduler_equivalence,
         check_workload_zero_interference,
     )
@@ -621,6 +676,14 @@ def fuzz_main(argv: list[str] | None = None) -> int:
                         help="also check that trigger-ordered campaigns are "
                         "bit-identical to index-ordered ones on every "
                         "registered MiniC workload (all tools)")
+    parser.add_argument("--check-fault-models", action="store_true",
+                        help="also check engine- and schedule-equivalence "
+                        "under every registered fault model on every "
+                        "registered MiniC workload")
+    parser.add_argument("--fault-models", default=None,
+                        metavar="SPEC[,SPEC...]",
+                        help="restrict the fault-model pass to these specs "
+                        "(implies --check-fault-models)")
     parser.add_argument("-q", "--quiet", action="store_true")
     args = parser.parse_args(argv)
     if args.snapshot_interval is not None and args.snapshot_interval < 0:
@@ -680,6 +743,34 @@ def fuzz_main(argv: list[str] | None = None) -> int:
                 failed = True
                 print(f"refine-fuzz: schedule-equivalence FAILED for {name}:",
                       file=sys.stderr)
+                print(divergence.describe(), file=sys.stderr)
+    if args.check_fault_models or args.fault_models is not None:
+        from repro.fi.models import parse_fault_model
+
+        models = None
+        if args.fault_models is not None:
+            try:
+                models = tuple(
+                    parse_fault_model(s).spec
+                    for s in args.fault_models.split(",")
+                )
+            except CampaignError as exc:
+                print(f"refine-fuzz: error: {exc}", file=sys.stderr)
+                return 2
+        for name in workload_names():
+            divergence = check_workload_fault_model_equivalence(
+                name, models=models
+            )
+            if divergence is None:
+                if not args.quiet:
+                    print(f"# fault-model-equivalence {name}: OK",
+                          file=sys.stderr)
+            else:
+                failed = True
+                print(
+                    f"refine-fuzz: fault-model-equivalence FAILED for "
+                    f"{name}:", file=sys.stderr,
+                )
                 print(divergence.describe(), file=sys.stderr)
 
     def progress(i, stats):

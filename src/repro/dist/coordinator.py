@@ -121,6 +121,7 @@ def trigger_order_indices(
     tool = TOOL_CLASSES[spec.tool_name](
         spec.source, spec.workload, config=config, opt_level=spec.opt_level,
         opcode_faults=spec.opcode_faults, engine=spec.engine,
+        fault_model=spec.fault_model,
     )
     TriggerScheduler(tool)
     return [
@@ -245,7 +246,7 @@ class Coordinator:
             if ckpt is not None:
                 ckpt.matches(
                     spec.workload, spec.tool_name, spec.n, spec.base_seed,
-                    spec.keep_records,
+                    spec.keep_records, fault_model=spec.fault_model,
                 )
                 cell.completed = set(ckpt.completed)
                 cell.prior = ckpt.partial
@@ -293,6 +294,7 @@ class Coordinator:
                 self._emit(
                     "cell_start", workload=spec.workload, tool=spec.tool_name,
                     n=spec.n, base_seed=spec.base_seed,
+                    fault_model=spec.fault_model,
                     resumed=len(cell.completed),
                     resumed_counts={} if cell.prior is None else {
                         o.value: k for o, k in cell.prior.counts.items()
@@ -643,6 +645,11 @@ class Coordinator:
                     f"fault candidates, coordinator has "
                     f"{reference.total_candidates} — mismatched FIConfig?"
                 )
+        if part.fault_model != spec.fault_model:
+            return (
+                f"worker {worker!r} ran fault model {part.fault_model!r} "
+                f"against a {spec.fault_model!r} cell"
+            )
         return None
 
     def _release(self, task: _Task) -> None:
@@ -720,6 +727,7 @@ class Coordinator:
                 n=spec.n,
                 base_seed=spec.base_seed,
                 keep_records=spec.keep_records,
+                fault_model=spec.fault_model,
                 completed=set(cell.completed),
                 partial=self._merged(cell),
             ),
@@ -745,6 +753,7 @@ class Coordinator:
             total_candidates=cell.result.total_candidates,
             golden_output=list(cell.result.golden_output),
             schedule=spec.schedule,
+            fault_model=spec.fault_model,
             phases=cell.phases.as_dict(),
             **(
                 {"scheduler": dict(cell.scheduler_totals)}

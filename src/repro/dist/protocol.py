@@ -164,6 +164,9 @@ class CampaignSpec:
     #: :mod:`repro.campaign.schedule`).  Absent in messages from older
     #: coordinators, defaulting to ``index``.
     schedule: str = "index"
+    #: canonical fault-model spec (:mod:`repro.fi.models`); absent in
+    #: messages from older coordinators, defaulting to the paper's model.
+    fault_model: str = "single-bit"
 
     def __post_init__(self) -> None:
         if self.n <= 0:
@@ -194,6 +197,13 @@ class CampaignSpec:
             )
         if not 0.0 <= self.opcode_faults <= 1.0:
             raise DistError("opcode_faults must be a probability")
+        from repro.errors import CampaignError
+        from repro.fi.models import parse_fault_model
+
+        try:
+            parse_fault_model(self.fault_model)
+        except CampaignError as exc:
+            raise DistError(str(exc)) from exc
 
     @property
     def key(self) -> tuple[str, str]:
@@ -238,4 +248,5 @@ class CampaignSpec:
             snapshot_dir=snapshot_dir,
             engine=self.engine,
             schedule=self.schedule,
+            fault_model=self.fault_model,
         )

@@ -223,7 +223,7 @@ class Worker:
             tool = TOOL_CLASSES[spec.tool_name](
                 spec.source, spec.workload, config=config,
                 opt_level=spec.opt_level, opcode_faults=spec.opcode_faults,
-                engine=spec.engine,
+                engine=spec.engine, fault_model=spec.fault_model,
             )
             if spec.snapshot_interval is not None and self._use_snapshots:
                 tool.enable_snapshots(

@@ -195,9 +195,14 @@ class FastEngine:
         p_plan = cpu._pin_plan
         p_target = p_plan.target_index if p_plan is not None else 0
         if cpu.fault is not None:
-            # A fault already fired (e.g. before the resume point): plans
-            # are single-shot, nothing left to arm.
-            r_plan = p_plan = None
+            # A fault already fired (e.g. before the resume point).  A plan
+            # stays armed only while its dwell window is still open —
+            # single-shot plans (last_index == target_index) disarm here
+            # exactly as before.
+            if r_plan is not None and rc >= r_plan.last_index:
+                r_plan = None
+            if p_plan is not None and pin >= p_plan.last_index:
+                p_plan = None
 
         if syncs:
             sync_i = bisect_right(syncs, steps)
@@ -243,7 +248,10 @@ class FastEngine:
                 pin = cpu._pin_count
                 attached = cpu._attached
                 if cpu.fault is not None:
-                    r_plan = p_plan = None
+                    if r_plan is not None and rc >= r_plan.last_index:
+                        r_plan = None
+                    if p_plan is not None and pin >= p_plan.last_index:
+                        p_plan = None
                 if on_sync is not None and on_sync(cpu, pc):
                     return None
                 sync_i = bisect_right(syncs, steps)
@@ -284,7 +292,10 @@ class FastEngine:
                 pin = cpu._pin_count
                 attached = cpu._attached
                 if cpu.fault is not None:
-                    r_plan = p_plan = None
+                    if r_plan is not None and rc >= r_plan.last_index:
+                        r_plan = None
+                    if p_plan is not None and pin >= p_plan.last_index:
+                        p_plan = None
                 if steps >= sync_v:
                     # The careful window overshot one or more sync points;
                     # drop them (sync observation is opportunistic).

@@ -31,10 +31,10 @@ from repro.engine import ExecutionEngine, get_engine
 from repro.errors import CampaignError
 from repro.fi.config import FIConfig
 from repro.fi.llfi import llfi_instrument
+from repro.fi.models import FaultModel, resolve_fault_model
 from repro.fi.refine import refine_instrument
 from repro.machine.cpu import CPU, ExecutionResult, FaultPlan
 from repro.machine.loader import LoadedProgram, load_binary
-from repro.utils.rng import SplitMix64
 
 #: PIN-style DBI cost model: translation slowdown while attached, callback
 #: cost per candidate instruction, fixed attach/instrumentation cost.
@@ -88,6 +88,7 @@ class FITool:
         opt_level: str = "O2",
         opcode_faults: float = 0.0,
         engine: str | None = None,
+        fault_model: FaultModel | str | None = None,
     ) -> None:
         self.source = source
         self.workload = workload
@@ -107,6 +108,10 @@ class FITool:
         #: probability that a fault lands in the OP-code encoding instead of
         #: an output register (paper Section 4.5 extension; default off).
         self.opcode_faults = opcode_faults
+        #: pluggable fault model (repro.fi.models); spec string, instance or
+        #: None (single-bit default).  Validated against the tool's level.
+        self.fault_model = resolve_fault_model(fault_model)
+        self.fault_model.check_tool(self)
         self._snapshot_engine = None
 
     # -- compilation (tool-specific) -----------------------------------------
@@ -176,19 +181,11 @@ class FITool:
         )
 
     def plan_from_seed(self, seed: int) -> FaultPlan:
-        """Draw (dynamic instruction, operand, bit) uniformly — the paper's
-        fault model (Section 3.1)."""
-        rng = SplitMix64(seed)
-        target = 1 + rng.randrange(self.profile.total_candidates)
-        plan = FaultPlan(
-            target_index=target,
-            operand_pick=rng.random(),
-            bit_pick=rng.random(),
-            tool=self.name,
-        )
-        if self.opcode_faults:
-            plan.corrupt_opcode = rng.random() < self.opcode_faults
-        return plan
+        """Draw the full fault plan from ``seed`` under the tool's fault
+        model.  The default single-bit model reproduces the paper's uniform
+        (dynamic instruction, operand, bit) draw (Section 3.1) exactly —
+        the historical RNG sequence is part of the contract."""
+        return self.fault_model.plan_from_seed(self, seed)
 
     def inject(self, seed: int) -> InjectionRun:
         """Run one experiment with a single bit flip drawn from ``seed``.

@@ -72,7 +72,15 @@ PARITY_TABLE = tuple(
 @dataclass
 class FaultRecord:
     """One injected fault, with everything needed for replay (the paper's
-    fault log: target instruction, operand, and bit)."""
+    fault log: target instruction, operand, and bit).
+
+    The trailing fields generalize the log beyond the paper's single-bit
+    model (:mod:`repro.fi.models`): ``model`` is the canonical fault-model
+    spec, ``bits`` the full set of flipped positions for multi-bit upsets,
+    ``address`` the corrupted location for memory models, and ``dwell`` the
+    width of a stuck-at window in dynamic candidates.  ``bit`` is ``None``
+    for faults with no single bit index (e.g. cache-line bursts).
+    """
 
     tool: str
     dynamic_index: int
@@ -82,9 +90,13 @@ class FaultRecord:
     instr_text: str
     operand_index: int
     operand_desc: str
-    bit: int
+    bit: int | None
     value_before: object = None
     value_after: object = None
+    model: str = "single-bit"
+    bits: tuple[int, ...] | None = None
+    address: int | None = None
+    dwell: int = 1
 
 
 @dataclass
@@ -129,10 +141,20 @@ class FaultPlan:
     assembly-emitting stage of the real REFINE rejects invalid OP codes, so
     like the paper this is off by default; when enabled the corrupted
     instruction raises an illegal-instruction trap.
+
+    ``model`` selects a pluggable fault model (:mod:`repro.fi.models`).
+    ``None`` is the legacy single-bit path — the hot loop's fast case.  A
+    model plan may span a **dwell window**: every candidate with dynamic
+    count in ``[target_index, last_index]`` applies the fault (single-shot
+    plans have ``last_index == target_index``).  ``picks`` carries any
+    extra pre-drawn uniforms the model needs, and ``state`` is per-run
+    scratch (e.g. the stuck-at site chosen at first application) that tool
+    arming resets.
     """
 
     __slots__ = (
         "target_index", "operand_pick", "bit_pick", "tool", "corrupt_opcode",
+        "last_index", "model", "picks", "state",
     )
 
     def __init__(
@@ -142,12 +164,19 @@ class FaultPlan:
         bit_pick: float,
         tool: str,
         corrupt_opcode: bool = False,
+        model=None,
+        picks: tuple = (),
+        last_index: int | None = None,
     ) -> None:
         self.target_index = target_index
         self.operand_pick = operand_pick
         self.bit_pick = bit_pick
         self.tool = tool
         self.corrupt_opcode = corrupt_opcode
+        self.last_index = target_index if last_index is None else last_index
+        self.model = model
+        self.picks = picks
+        self.state = None
 
     def choose(self, outputs: tuple) -> tuple[int, int, int, int, int]:
         """Select (operand_index, space, reg_index, width, bit)."""
@@ -190,6 +219,10 @@ class CPU:
         #: pc of the instruction currently executing an intrinsic
         self._cur_pc = 0
 
+        #: when set to a list, the loop appends the pc of every dynamic
+        #: candidate it observes (residency recording, repro.fi.models)
+        self._site_trace: list[int] | None = None
+
         # Snapshot recording (armed by repro.snapshot): every
         # ``_snap_every`` dynamic instructions the main loop syncs its
         # local state back into the CPU and calls ``_snap_hook(cpu, pc)``
@@ -208,13 +241,17 @@ class CPU:
         """Attach the DBI tool (candidate counting + optional injection)."""
         self._attached = True
         self._pin_plan = plan
+        if plan is not None:
+            plan.state = None
         self.counts_attached = self.counts
         # Execution counts accumulate into the attached array until detach.
 
     def arm_refine(self, plan: FaultPlan) -> None:
+        plan.state = None
         self._refine_plan = plan
 
     def arm_llfi(self, plan: FaultPlan) -> None:
+        plan.state = None
         self._llfi_plan = plan
 
     def record_snapshots(self, every: int, hook) -> None:
@@ -233,10 +270,26 @@ class CPU:
 
     # -- fault application ----------------------------------------------------
 
+    def _apply_fault(
+        self, plan: FaultPlan, pc: int, outputs: tuple, dynamic_index: int
+    ) -> None:
+        """Apply one fault observation at a register-level candidate site.
+
+        Plans without a model object take the legacy single-bit path
+        (:meth:`_apply_flip`); model plans delegate so multi-bit, memory,
+        and stuck-at semantics live in :mod:`repro.fi.models`.
+        """
+        model = plan.model
+        if model is None:
+            self._apply_flip(plan, pc, outputs, dynamic_index)
+        else:
+            model.apply(self, plan, pc, outputs, dynamic_index)
+
     def _apply_flip(
         self, plan: FaultPlan, pc: int, outputs: tuple, dynamic_index: int
     ) -> None:
         info = self.program.info[pc]
+        model_spec = "single-bit" if plan.model is None else plan.model.spec
         if plan.corrupt_opcode:
             # Section 4.5 extension: the bit lands in the OP-code encoding,
             # yielding an undecodable instruction.
@@ -252,6 +305,7 @@ class CPU:
                 bit=min(int(plan.bit_pick * 8), 7),
                 value_before=info.text,
                 value_after="<invalid opcode>",
+                model=model_spec,
             )
             raise IllegalInstruction("corrupted opcode", pc)
         op_idx, space, reg_idx, width, bit = plan.choose(outputs)
@@ -282,15 +336,24 @@ class CPU:
             bit=bit,
             value_before=before,
             value_after=after,
+            model=model_spec,
         )
 
     # -- LLFI stub hooks (invoked from intrinsics) ---------------------------
 
     def llfi_visit_int(self, value: int, width: int = 64) -> int:
         self._llfi_count += 1
+        if self._site_trace is not None:
+            self._site_trace.append(self._cur_pc)
         plan = self._llfi_plan
-        if plan is None or self._llfi_count != plan.target_index:
+        if plan is None or not (
+            plan.target_index <= self._llfi_count <= plan.last_index
+        ):
             return value
+        if plan.model is not None:
+            return plan.model.apply_value(
+                self, plan, value, width, False, self._llfi_count
+            )
         # LLFI flips a bit of the IR value, uniform over its bit width.
         bit = min(int(plan.bit_pick * width), width - 1)
         after = to_signed64((value & MASK64) ^ (1 << bit))
@@ -313,9 +376,17 @@ class CPU:
 
     def llfi_visit_float(self, value: float) -> float:
         self._llfi_count += 1
+        if self._site_trace is not None:
+            self._site_trace.append(self._cur_pc)
         plan = self._llfi_plan
-        if plan is None or self._llfi_count != plan.target_index:
+        if plan is None or not (
+            plan.target_index <= self._llfi_count <= plan.last_index
+        ):
             return value
+        if plan.model is not None:
+            return plan.model.apply_value(
+                self, plan, value, 64, True, self._llfi_count
+            )
         bit = min(int(plan.bit_pick * 64), 63)
         after = flip_double_bit(value, bit)
         pc = self._cur_pc
@@ -454,6 +525,7 @@ class CPU:
         snap_every = self._snap_every
         snap_hook = self._snap_hook
         snap_at = steps + snap_every if snap_every else 1 << 62
+        site_trace = self._site_trace
 
         try:
             while True:
@@ -846,14 +918,19 @@ class CPU:
                     pc = cur + 1
                 elif op == O.FI_CHECK:
                     refine_count += 1
+                    if site_trace is not None:
+                        site_trace.append(cur)
                     if (
                         refine_plan is not None
-                        and refine_count == refine_plan.target_index
+                        and refine_plan.target_index
+                        <= refine_count
+                        <= refine_plan.last_index
                     ):
                         # Inject into the guarded instruction's outputs
-                        # (flags are live here; sync before flipping).
+                        # (flags are live here; sync before flipping).  A
+                        # dwell window re-applies at every in-window site.
                         self.flags = flags
-                        self._apply_flip(
+                        self._apply_fault(
                             refine_plan, cur, t[1], refine_count
                         )
                         flags = self.flags
@@ -867,20 +944,26 @@ class CPU:
                     raise ExecutionTimeout(f"budget {budget} exhausted", cur)
                 if attached and is_cand[cur]:
                     pin_count += 1
+                    if site_trace is not None:
+                        site_trace.append(cur)
                     if (
                         pin_plan is not None
-                        and pin_count == pin_plan.target_index
+                        and pin_plan.target_index
+                        <= pin_count
+                        <= pin_plan.last_index
                     ):
                         self.flags = flags
-                        self._apply_flip(
+                        self._apply_fault(
                             pin_plan, cur, outputs[cur], pin_count
                         )
                         flags = self.flags
-                        # Detach: instrumentation overhead ends here.
-                        attached = False
-                        self.attached_candidates = pin_count
-                        counts = [0] * n_code
-                        self.counts = counts
+                        if pin_count >= pin_plan.last_index:
+                            # Detach: instrumentation overhead ends once the
+                            # fault's dwell window closes.
+                            attached = False
+                            self.attached_candidates = pin_count
+                            counts = [0] * n_code
+                            self.counts = counts
                 if steps >= snap_at:
                     # Snapshot boundary: sync loop-local state onto the CPU
                     # (after candidate accounting, so pin_count matches the

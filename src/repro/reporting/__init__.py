@@ -3,6 +3,7 @@
 from repro.reporting.figures import (
     render_figure4,
     render_figure5,
+    render_model_comparison,
     render_outcome_panel,
 )
 from repro.reporting.tables import (
@@ -15,6 +16,7 @@ from repro.reporting.tables import (
 __all__ = [
     "render_figure4",
     "render_figure5",
+    "render_model_comparison",
     "render_outcome_panel",
     "matrix_to_csv",
     "render_table4",

@@ -60,6 +60,34 @@ def render_figure4(
     return "\n\n".join(panels)
 
 
+def render_model_comparison(
+    matrices: dict[str, dict[tuple[str, str], CampaignResult]],
+    workloads: list[str],
+    tools: list[str],
+) -> str:
+    """Figure-4-style LLFI/REFINE/PINFI outcome comparison per fault model.
+
+    ``matrices`` maps fault-model spec -> campaign matrix (each run with
+    that model); one Figure-4 panel group is rendered per model so the
+    outcome-distribution shift between models is visible side by side.
+    Cells a model cannot populate (LLFI has no instruction fetch to
+    corrupt under the opcode model) are skipped.
+    """
+    sections = []
+    for model, matrix in matrices.items():
+        panels = []
+        for workload in workloads:
+            per_tool = {
+                t: matrix[(workload, t)]
+                for t in tools if (workload, t) in matrix
+            }
+            if per_tool:
+                panels.append(render_outcome_panel(per_tool, workload))
+        body = "\n\n".join(panels) if panels else "  (no campaigns)"
+        sections.append(f"#### fault model: {model} ####\n{body}")
+    return "\n\n".join(sections)
+
+
 def render_figure5(
     matrix: dict[tuple[str, str], CampaignResult],
     workloads: list[str],

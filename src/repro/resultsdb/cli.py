@@ -100,6 +100,8 @@ def _cmd_query(args) -> int:
                 f"{info.workload:14s} {info.tool:8s} {info.n:>6d} "
                 f"{info.runs:>6d} {counts}"
             )
+            if info.fault_model and info.fault_model != "single-bit":
+                print(f"  .. fault model: {info.fault_model}")
             if info.phases and any(info.phases.values()):
                 bits = " ".join(
                     f"{k.removesuffix('_s')} {info.phases.get(k, 0.0):.2f}s"

@@ -140,25 +140,42 @@ class ResultsDB:
 
     def campaign_id(
         self, workload: str, tool: str, *, n: int, base_seed: int = -1,
-        source: str | None = None,
+        source: str | None = None, fault_model: str | None = None,
     ) -> int:
         """Get-or-create the campaign row for one matrix cell.
 
         The UNIQUE(workload, tool, base_seed, n) constraint makes this
         idempotent: every ingest path (live sink, event-log replay, result
-        JSON import) converges on the same row.
+        JSON import) converges on the same row.  ``fault_model`` is an
+        attribute of the row, not part of its identity: campaigns that
+        differ only by model must use distinct seeds (or sizes); a known
+        model fills in a row whose model was previously unknown, but a
+        *different* known model is a collision and raises rather than
+        silently relabeling someone else's experiments.
         """
         row = self.execute(
-            "SELECT id FROM campaigns WHERE workload=? AND tool=? "
-            "AND base_seed=? AND n=?",
+            "SELECT id, fault_model FROM campaigns WHERE workload=? AND "
+            "tool=? AND base_seed=? AND n=?",
             (workload, tool, base_seed, n),
         ).fetchone()
         if row is not None:
+            if fault_model is not None:
+                if row[1] is not None and row[1] != fault_model:
+                    raise ResultsDBError(
+                        f"campaign {workload}/{tool} (seed={base_seed}, "
+                        f"n={n}) already holds fault model {row[1]!r}; "
+                        f"refusing to ingest {fault_model!r} into it — use "
+                        f"a distinct base seed or campaign size per model"
+                    )
+                self.execute(
+                    "UPDATE campaigns SET fault_model=? WHERE id=?",
+                    (fault_model, row[0]),
+                )
             return row[0]
         cur = self.execute(
-            "INSERT INTO campaigns(workload, tool, n, base_seed, source) "
-            "VALUES (?, ?, ?, ?, ?)",
-            (workload, tool, n, base_seed, source),
+            "INSERT INTO campaigns(workload, tool, n, base_seed, source,"
+            " fault_model) VALUES (?, ?, ?, ?, ?, ?)",
+            (workload, tool, n, base_seed, source, fault_model),
         )
         return cur.lastrowid
 

@@ -81,13 +81,20 @@ def decode_value(text: str | None) -> object:
 
 
 def _fault_row(campaign_id: int, index: int, fault: dict) -> tuple:
+    # ``bit`` predates non-bit-indexed models and stays NOT NULL: a fault
+    # with no single bit position (a cache-line smear) stores -1.
+    bit = fault["bit"]
+    bits = fault.get("bits")
     return (
         campaign_id, index, fault["tool"], fault["dynamic_index"],
         fault["pc"], fault["func"], fault["block"], fault["instr_text"],
         fault_opcode(fault["instr_text"]), fault["operand_index"],
         fault["operand_desc"], operand_kind(fault["operand_desc"]),
-        fault["bit"], _encode_value(fault["value_before"]),
+        -1 if bit is None else bit, _encode_value(fault["value_before"]),
         _encode_value(fault["value_after"]),
+        fault.get("model", "single-bit"),
+        None if bits is None else json.dumps(list(bits)),
+        fault.get("address"), fault.get("dwell", 1),
     )
 
 
@@ -100,8 +107,9 @@ _INSERT_RUN = (
 _INSERT_FAULT = (
     "INSERT OR IGNORE INTO faults(campaign_id, idx, tool, dynamic_index, pc,"
     " func, block, instr_text, opcode, operand_index, operand_desc,"
-    " operand_kind, bit, value_before, value_after)"
-    " VALUES (?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?)"
+    " operand_kind, bit, value_before, value_after, model, bits, address,"
+    " dwell)"
+    " VALUES (?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?)"
 )
 
 
@@ -152,6 +160,7 @@ class DatabaseSink:
                     *key, n=fields["n"],
                     base_seed=fields.get("base_seed", -1),
                     source=self._source,
+                    fault_model=fields.get("fault_model"),
                 )
             elif event == "experiment":
                 self._note_experiment(fields)
@@ -215,6 +224,11 @@ class DatabaseSink:
             self._db.execute(
                 "UPDATE campaigns SET phases=? WHERE id=?",
                 (json.dumps(fields["phases"], sort_keys=True), cid),
+            )
+        if fields.get("fault_model") is not None:
+            self._db.execute(
+                "UPDATE campaigns SET fault_model=? WHERE id=?",
+                (fields["fault_model"], cid),
             )
         self._db.commit()
 
@@ -294,7 +308,7 @@ def ingest_result(
     """
     cid = db.campaign_id(
         result.workload, result.tool, n=result.n, base_seed=base_seed,
-        source=source,
+        source=source, fault_model=result.fault_model,
     )
     db.execute(
         "UPDATE campaigns SET total_candidates=?, golden_output=?,"
@@ -321,8 +335,12 @@ def ingest_result(
                 cid, rec.index, f.tool, f.dynamic_index, f.pc, f.func,
                 f.block, f.instr_text, fault_opcode(f.instr_text),
                 f.operand_index, f.operand_desc, operand_kind(f.operand_desc),
-                f.bit, _encode_value(_value_to_dict(f.value_before)),
+                -1 if f.bit is None else f.bit,
+                _encode_value(_value_to_dict(f.value_before)),
                 _encode_value(_value_to_dict(f.value_after)),
+                f.model,
+                None if f.bits is None else json.dumps(list(f.bits)),
+                f.address, f.dwell,
             ))
     with db.transaction() as conn:
         conn.executemany(_INSERT_RUN, runs)

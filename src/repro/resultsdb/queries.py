@@ -51,13 +51,16 @@ class CampaignInfo:
     #: (translate_s/prefix_s/fork_s/tail_s/classify_s), None when the
     #: campaign predates phase telemetry.
     phases: dict[str, float] | None = None
+    #: :mod:`repro.fi.models` spec (None = log predating fault models,
+    #: which is the single-bit default by construction)
+    fault_model: str | None = None
 
 
 def list_campaigns(db: ResultsDB) -> list[CampaignInfo]:
     """Every campaign in the store, in insertion order."""
     rows = db.execute(
         "SELECT id, workload, tool, n, base_seed, total_cycles,"
-        " total_candidates, source, schedule, phases"
+        " total_candidates, source, schedule, phases, fault_model"
         " FROM campaigns ORDER BY id"
     ).fetchall()
     return [
@@ -67,8 +70,10 @@ def list_campaigns(db: ResultsDB) -> list[CampaignInfo]:
             total_cycles=cycles, total_candidates=cands, source=src,
             schedule=schedule,
             phases=None if phases is None else json.loads(phases),
+            fault_model=model,
         )
-        for cid, w, t, n, seed, cycles, cands, src, schedule, phases in rows
+        for cid, w, t, n, seed, cycles, cands, src, schedule, phases, model
+        in rows
     ]
 
 
@@ -126,13 +131,19 @@ def _fault_records(db: ResultsDB, campaign_id: int) -> dict[int, FaultRecord]:
         idx: FaultRecord(
             tool=tool, dynamic_index=dyn, pc=pc, func=func, block=block,
             instr_text=instr, operand_index=op_idx, operand_desc=op_desc,
-            bit=bit, value_before=decode_value(before),
+            bit=None if bit < 0 else bit,  # -1 = not bit-indexed
+            value_before=decode_value(before),
             value_after=decode_value(after),
+            model="single-bit" if model is None else model,
+            bits=None if bits is None else tuple(json.loads(bits)),
+            address=address,
+            dwell=1 if dwell is None else dwell,
         )
         for idx, tool, dyn, pc, func, block, instr, op_idx, op_desc, bit,
-            before, after in db.execute(
+            before, after, model, bits, address, dwell in db.execute(
             "SELECT idx, tool, dynamic_index, pc, func, block, instr_text,"
-            " operand_index, operand_desc, bit, value_before, value_after"
+            " operand_index, operand_desc, bit, value_before, value_after,"
+            " model, bits, address, dwell"
             " FROM faults WHERE campaign_id=?",
             (campaign_id,),
         )
@@ -151,12 +162,13 @@ def to_campaign_result(db: ResultsDB, campaign_id: int) -> CampaignResult:
     """
     row = db.execute(
         "SELECT workload, tool, n, total_cycles, total_steps, golden_output,"
-        " total_candidates FROM campaigns WHERE id=?",
+        " total_candidates, fault_model FROM campaigns WHERE id=?",
         (campaign_id,),
     ).fetchone()
     if row is None:
         raise ResultsDBError(f"no campaign with id {campaign_id}")
-    workload, tool, n, total_cycles, total_steps, golden, candidates = row
+    (workload, tool, n, total_cycles, total_steps, golden, candidates,
+     fault_model) = row
 
     faults = _fault_records(db, campaign_id)
     records = [
@@ -188,6 +200,7 @@ def to_campaign_result(db: ResultsDB, campaign_id: int) -> CampaignResult:
         total_cycles=total_cycles, total_steps=total_steps,
         golden_output=() if golden is None else tuple(json.loads(golden)),
         total_candidates=0 if candidates is None else candidates,
+        fault_model="single-bit" if fault_model is None else fault_model,
     )
     result.records = records
     return result
@@ -227,6 +240,9 @@ DIMENSIONS = {
     "register": "operand_desc",
     "bit": "bit",
     "trigger": "dynamic_index",
+    # Rows ingested before fault models existed are single-bit by
+    # construction (there was nothing else to run).
+    "model": "COALESCE(model, 'single-bit')",
 }
 
 
@@ -253,7 +269,9 @@ def breakdown(
         if not 1 <= bit_buckets <= 64:
             raise ResultsDBError("bit_buckets must be in [1, 64]")
         width = 64 // bit_buckets
-        expr = f"(bit / {width}) * {width}"
+        # bit = -1 marks faults with no single bit position (cache-line
+        # smears); keep them out of bucket 0 and in their own group.
+        expr = f"CASE WHEN bit < 0 THEN -1 ELSE (bit / {width}) * {width} END"
     rows = db.execute(
         f"SELECT {expr} AS grp, r.outcome_id, COUNT(*), MIN(r.idx)"
         " FROM faults f JOIN runs r"
@@ -264,8 +282,12 @@ def breakdown(
 
     def label(grp) -> str:
         if by == "bit" and bit_buckets is not None:
+            if grp < 0:
+                return "bits[n/a]"  # matches analysis.by_bit_range
             width = 64 // bit_buckets
             return f"bits[{grp:02d}-{min(grp + width - 1, 63):02d}]"
+        if by == "bit" and grp < 0:
+            return "n/a"
         return str(grp)
 
     first_seen: dict[str, int] = {}

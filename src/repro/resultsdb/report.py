@@ -253,11 +253,13 @@ def _campaign_page(db: ResultsDB, info: CampaignInfo) -> str:
         f"<p><a href=\"index.html\">&larr; all campaigns</a></p>"
         f"<h1>{escape(label)}</h1>"
         f"<p class=\"muted\">n = {info.n}, base seed = {info.base_seed}, "
+        f"fault model = {escape(info.fault_model or 'single-bit')}, "
         f"fault candidates = {info.total_candidates or 'unknown'}; "
         f"{escape(engine_bits)}</p>"
         + phase_line
         + _overview_table([info]) + _legend()
         + "<h2>Fault-site sensitivity</h2>"
+        + _breakdown_table(db, info.id, "model", "By fault model")
         + _breakdown_table(db, info.id, "func", "By source function")
         + _breakdown_table(db, info.id, "opcode", "By instruction opcode")
         + _breakdown_table(db, info.id, "kind", "By operand kind")
@@ -278,6 +280,21 @@ def build_report(db: ResultsDB, out_dir: str | Path,
     out.mkdir(parents=True, exist_ok=True)
     infos = list_campaigns(db)
     total_runs = sum(i.runs for i in infos)
+    # Mixed-model stores group the Figure-4 view per fault model, so each
+    # model gets its own LLFI/REFINE/PINFI outcome comparison; a
+    # single-model store keeps the historical single-table layout.
+    models = {i.fault_model or "single-bit" for i in infos}
+    if len(models) > 1:
+        overview = ""
+        for model in sorted(models):
+            group = [i for i in infos if (i.fault_model or "single-bit") == model]
+            overview += (
+                f"<h3>Fault model: <code>{escape(model)}</code></h3>"
+                + _overview_table(group)
+            )
+        overview += _legend()
+    else:
+        overview = _overview_table(infos) + _legend()
     body = (
         f"<h1>{escape(title)}</h1>"
         f"<p class=\"muted\">{len(infos)} campaign(s), "
@@ -285,7 +302,7 @@ def build_report(db: ResultsDB, out_dir: str | Path,
         f"({total_runs} with per-experiment records). "
         f"Store: <code>{escape(db.path)}</code></p>"
         "<h2>Outcome distributions (Figure 4 view)</h2>"
-        + _overview_table(infos) + _legend()
+        + overview
         + _chisq_section(db, infos)
     )
     (out / "index.html").write_text(_page(title, body), encoding="utf-8")

@@ -46,8 +46,15 @@ SCHEMA_VERSION = 1
 #: table -> {column name -> type}.
 ADDITIVE_COLUMNS: dict[str, dict[str, str]] = {
     "campaigns": {
-        "schedule": "TEXT",   # execution order: 'index' / 'trigger'
-        "phases": "TEXT",     # JSON per-phase seconds (campaign_finish)
+        "schedule": "TEXT",     # execution order: 'index' / 'trigger'
+        "phases": "TEXT",       # JSON per-phase seconds (campaign_finish)
+        "fault_model": "TEXT",  # repro.fi.models spec (NULL = old log)
+    },
+    "faults": {
+        "model": "TEXT",        # fault-model spec (NULL = pre-model row)
+        "bits": "TEXT",         # JSON bit list (multi-bit/cache-line)
+        "address": "INTEGER",   # corrupted memory address (memory models)
+        "dwell": "INTEGER",     # stuck-at window length (1 = single shot)
     },
 }
 
@@ -76,6 +83,7 @@ CREATE TABLE IF NOT EXISTS campaigns (
     source           TEXT,              -- provenance: file/flag that fed it
     schedule         TEXT,              -- 'index' / 'trigger' (NULL = old log)
     phases           TEXT,              -- JSON: per-phase seconds breakdown
+    fault_model      TEXT,              -- repro.fi.models spec (NULL = old)
     UNIQUE (workload, tool, base_seed, n)
 );
 
@@ -106,9 +114,13 @@ CREATE TABLE IF NOT EXISTS faults (
     operand_index INTEGER NOT NULL,
     operand_desc  TEXT NOT NULL,        -- register/target, e.g. "ireg:3"
     operand_kind  TEXT NOT NULL,        -- prefix of operand_desc
-    bit           INTEGER NOT NULL,
+    bit           INTEGER NOT NULL,     -- -1 = not bit-indexed (cache-line)
     value_before  TEXT,                 -- tag-encoded JSON (io helpers)
     value_after   TEXT,
+    model         TEXT,                 -- fault-model spec (NULL = pre-model)
+    bits          TEXT,                 -- JSON bit list (multi-bit masks)
+    address       INTEGER,             -- memory address (memory models)
+    dwell         INTEGER,             -- stuck-at window (1 = single shot)
     PRIMARY KEY (campaign_id, idx),
     FOREIGN KEY (campaign_id, idx) REFERENCES runs(campaign_id, idx)
 ) WITHOUT ROWID;

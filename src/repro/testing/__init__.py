@@ -31,6 +31,7 @@ from repro.testing.oracles import (
     SchedulerOracle,
     ZeroInterferenceOracle,
     check_workload_engine_equivalence,
+    check_workload_fault_model_equivalence,
     check_workload_scheduler_equivalence,
     check_workload_zero_interference,
     compiled_outcome,
@@ -55,6 +56,7 @@ __all__ = [
     "SchedulerOracle",
     "ZeroInterferenceOracle",
     "check_workload_engine_equivalence",
+    "check_workload_fault_model_equivalence",
     "check_workload_scheduler_equivalence",
     "check_workload_zero_interference",
     "compiled_outcome",

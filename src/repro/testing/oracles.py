@@ -527,23 +527,47 @@ def check_workload_zero_interference(
     return check_workload_snapshot_equivalence(name, snapshot_interval)
 
 
+def _tool_supports_model(tool_cls, fault_model: str | None) -> bool:
+    """Whether ``tool_cls`` can run ``fault_model`` (e.g. LLFI cannot host
+    opcode corruption); ``None`` means the default model, always fine."""
+    if fault_model is None:
+        return True
+    from repro.errors import CampaignError
+    from repro.fi.models import resolve_fault_model
+
+    try:
+        resolve_fault_model(fault_model).check_tool(tool_cls)
+    except CampaignError:
+        return False
+    return True
+
+
 def check_workload_snapshot_equivalence(
     name: str,
     snapshot_interval: int = 0,
     seeds: range = range(4),
+    fault_model: str | None = None,
 ) -> Divergence | None:
     """Snapshot fast path vs from-scratch injection on one workload.
 
     For every tool, runs the same seeds through a snapshot-enabled tool and
     a plain one and demands identical ``ExecutionResult`` observables
     (outcome behaviour, output, dynamic trace, step and cycle counts).
+    ``fault_model`` (a :mod:`repro.fi.models` spec) runs the comparison
+    under that model; tools that cannot host it are skipped.
     """
     from repro.fi.tools import TOOL_CLASSES, TOOL_ORDER
 
     spec = get_workload(name)
     for tool_name in TOOL_ORDER:
-        scratch = TOOL_CLASSES[tool_name](spec.source, workload=spec.name)
-        snapped = TOOL_CLASSES[tool_name](spec.source, workload=spec.name)
+        if not _tool_supports_model(TOOL_CLASSES[tool_name], fault_model):
+            continue
+        scratch = TOOL_CLASSES[tool_name](
+            spec.source, workload=spec.name, fault_model=fault_model
+        )
+        snapped = TOOL_CLASSES[tool_name](
+            spec.source, workload=spec.name, fault_model=fault_model
+        )
         snapped.enable_snapshots(interval=snapshot_interval)
         for seed in seeds:
             a = scratch.inject(seed)
@@ -572,7 +596,8 @@ def check_workload_snapshot_equivalence(
                     oracle="snapshot",
                     detail=(
                         f"snapshot-served injection diverged from the "
-                        f"from-scratch run ({name}/{tool_name}, "
+                        f"from-scratch run ({name}/{tool_name}"
+                        f"{'/' + fault_model if fault_model else ''}, "
                         f"steps {a.result.steps} vs {b.result.steps}, "
                         f"cycles {a.cycles} vs {b.cycles})"
                     ),
@@ -587,6 +612,7 @@ def check_workload_engine_equivalence(
     name: str,
     snapshot_interval: int | None = None,
     seeds: range = range(4),
+    fault_model: str | None = None,
 ) -> Divergence | None:
     """Fast execution engine vs the reference engine on one workload.
 
@@ -605,12 +631,16 @@ def check_workload_engine_equivalence(
     if snapshot_interval is not None:
         intervals.append(snapshot_interval)
     for tool_name in TOOL_ORDER:
+        if not _tool_supports_model(TOOL_CLASSES[tool_name], fault_model):
+            continue
         for interval in intervals:
             ref = TOOL_CLASSES[tool_name](
-                spec.source, workload=spec.name, engine="reference"
+                spec.source, workload=spec.name, engine="reference",
+                fault_model=fault_model,
             )
             fast = TOOL_CLASSES[tool_name](
-                spec.source, workload=spec.name, engine="fast"
+                spec.source, workload=spec.name, engine="fast",
+                fault_model=fault_model,
             )
             if interval is not None:
                 ref.enable_snapshots(interval=interval)
@@ -658,7 +688,8 @@ def check_workload_engine_equivalence(
                         oracle="engine",
                         detail=(
                             f"fast engine diverged from the reference "
-                            f"engine ({name}/{tool_name}/{mode}, "
+                            f"engine ({name}/{tool_name}/{mode}"
+                            f"{'/' + fault_model if fault_model else ''}, "
                             f"steps {a.result.steps} vs {b.result.steps})"
                         ),
                         expected=expected,
@@ -669,7 +700,7 @@ def check_workload_engine_equivalence(
 
 
 def check_workload_scheduler_equivalence(
-    name: str, n: int = 12
+    name: str, n: int = 12, fault_model: str | None = None
 ) -> Divergence | None:
     """Trigger-ordered campaign vs index-ordered campaign on one workload.
 
@@ -681,17 +712,23 @@ def check_workload_scheduler_equivalence(
     :class:`SchedulerOracle` property, fault injection included.
     """
     from repro.campaign.runner import make_tool, run_campaign
+    from repro.fi.tools import TOOL_CLASSES
 
     spec = get_workload(name)
     for tool_name in ("LLFI", "REFINE", "PINFI"):
+        if not _tool_supports_model(TOOL_CLASSES[tool_name], fault_model):
+            continue
         by_index = run_campaign(
-            make_tool(tool_name, spec.source, spec.name, snapshot_interval=0),
+            make_tool(
+                tool_name, spec.source, spec.name, snapshot_interval=0,
+                fault_model=fault_model,
+            ),
             n, keep_records=True,
         )
         by_trigger = run_campaign(
             make_tool(
                 tool_name, spec.source, spec.name, snapshot_interval=0,
-                schedule="trigger",
+                schedule="trigger", fault_model=fault_model,
             ),
             n, keep_records=True, schedule="trigger",
         )
@@ -717,8 +754,9 @@ def check_workload_scheduler_equivalence(
                     oracle="scheduler",
                     detail=(
                         f"trigger-ordered campaign diverged from the "
-                        f"index-ordered one ({name}/{tool_name}, experiment "
-                        f"{a.index}, field {mismatch!r})"
+                        f"index-ordered one ({name}/{tool_name}"
+                        f"{'/' + fault_model if fault_model else ''}, "
+                        f"experiment {a.index}, field {mismatch!r})"
                     ),
                     seed=a.seed,
                 )
@@ -727,7 +765,43 @@ def check_workload_scheduler_equivalence(
                 oracle="scheduler",
                 detail=(
                     f"trigger-ordered campaign outcome counts diverged "
-                    f"({name}/{tool_name})"
+                    f"({name}/{tool_name}"
+                    f"{'/' + fault_model if fault_model else ''})"
                 ),
             )
+    return None
+
+
+def check_workload_fault_model_equivalence(
+    name: str,
+    models: tuple[str, ...] | None = None,
+    seeds: range = range(3),
+    n: int = 8,
+) -> Divergence | None:
+    """Same seed + same fault model ⇒ identical outcomes everywhere.
+
+    For each fault model (default: one of each registered kind), demands on
+    one workload that (a) the fast and reference engines agree on every
+    injection, and (b) a trigger-ordered campaign is record-for-record
+    identical to an index-ordered one — i.e. the engine- and
+    scheduler-equivalence properties hold under every model, not just the
+    paper's single-bit default.  Tools that cannot host a model (LLFI has
+    no instruction fetch to corrupt) are skipped for that model only.
+    """
+    if models is None:
+        from repro.fi.models import MODEL_ORDER
+
+        models = MODEL_ORDER
+    for model in models:
+        divergence = check_workload_engine_equivalence(
+            name, seeds=seeds, fault_model=model
+        )
+        if divergence is None:
+            divergence = check_workload_scheduler_equivalence(
+                name, n=n, fault_model=model
+            )
+        if divergence is not None:
+            divergence.oracle = "fault-model"
+            divergence.detail = f"[{model}] {divergence.detail}"
+            return divergence
     return None

@@ -134,6 +134,36 @@ class TestFuzzSmoke:
         assert stats.programs == 200
 
 
+class TestFaultModelPass:
+    """The --check-fault-models sweep: tier-1 keeps it bounded (one
+    workload, two models); the nightly deep-fuzz runs all of them."""
+
+    def test_bounded_smoke_passes(self, capsys):
+        from repro.testing import check_workload_fault_model_equivalence
+
+        divergence = check_workload_fault_model_equivalence(
+            "EP", models=["multi-bit", "opcode"], seeds=range(2), n=6
+        )
+        assert divergence is None
+
+    def test_bad_model_spec_is_usage_error(self, capsys):
+        rc = fuzz_main([
+            "--check-fault-models", "--fault-models", "bogus-model",
+            "--count", "0", "-q",
+        ])
+        assert rc == 2
+        assert "unknown fault model" in capsys.readouterr().err
+
+    def test_fault_models_flag_implies_check(self, capsys):
+        # --fault-models alone turns the sweep on (restricted to the
+        # named models); bad specs still fail fast.
+        rc = fuzz_main([
+            "--fault-models", "no-such-model", "--count", "0", "-q",
+        ])
+        assert rc == 2
+        assert "unknown fault model" in capsys.readouterr().err
+
+
 @pytest.mark.slow
 class TestWorkloadZeroInterference:
     """REFINE's core claim, checked on every registered workload."""

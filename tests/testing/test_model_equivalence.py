@@ -1,0 +1,44 @@
+"""Statistical equivalence of the fault-model subsystem across execution
+strategies (ISSUE satellite: the 14x3 matrix over fault models).
+
+Every fault model must produce identical outcomes whichever way an
+experiment is executed — reference interpreter vs fast engine, index vs
+trigger-ordered scheduling — because the evaluation's accuracy claims
+compare *tools*, and any engine/scheduler dependence would confound them.
+
+Tier-1 runs a small smoke subset (two workloads, every model); the full
+14-workload x 3-tool sweep over every model runs under ``-m slow`` in CI.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.fi.models import MODEL_ORDER
+from repro.testing import check_workload_fault_model_equivalence
+from repro.workloads import workload_names
+
+SMOKE_WORKLOADS = ("CG", "lulesh")
+
+
+class TestFaultModelEquivalenceSmoke:
+    @pytest.mark.parametrize("workload", SMOKE_WORKLOADS)
+    @pytest.mark.parametrize("model", MODEL_ORDER)
+    def test_model_equivalent_across_engines_and_schedulers(
+        self, workload, model
+    ):
+        divergence = check_workload_fault_model_equivalence(
+            workload, models=[model], seeds=range(2), n=6
+        )
+        assert divergence is None, divergence.describe()
+
+
+@pytest.mark.slow
+class TestFaultModelEquivalenceFull:
+    """The full matrix: every workload x every model (tools inside the
+    oracle; models a tool cannot host are skipped there)."""
+
+    @pytest.mark.parametrize("workload", workload_names())
+    def test_all_models_equivalent(self, workload):
+        divergence = check_workload_fault_model_equivalence(workload)
+        assert divergence is None, divergence.describe()
