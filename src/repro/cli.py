@@ -6,8 +6,12 @@
 * ``refine-campaign`` — run a fault-injection campaign matrix and dump CSV;
   ``--dist HOST:PORT`` serves it to ``refine-worker`` processes instead of
   running locally.
-* ``refine-worker`` — connect to a ``--dist`` coordinator and run leased
-  campaign slices.
+* ``refine-worker`` — connect to a ``--dist`` coordinator (or a
+  ``refine-service``) and run leased campaign slices; ``--reconnect-window``
+  rides out coordinator restarts.
+* ``refine-service`` — run the persistent campaign service (durable queue,
+  per-tenant quotas, auto-validation, ``--soak`` divergence mining), plus
+  ``status``/``list``/``cancel``/``drain`` control verbs against one.
 * ``refine-report`` — render the paper's figures/tables from a campaign.
 * ``refine-fuzz`` — differential fuzzing of the compiler and the
   zero-interference property (see :mod:`repro.testing`).
@@ -18,6 +22,7 @@ Exit codes: 0 success, 1 campaign/run failure, 2 usage error.
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 
 from repro import __version__
@@ -211,6 +216,30 @@ class _LiveTelemetry(EventLog):
             print(line, file=self._out, flush=True)
 
 
+def _install_drain_handler(coordinator, grace_s: float, label: str) -> None:
+    """SIGTERM/SIGINT -> graceful drain: refuse new leases, let in-flight
+    tasks finish (up to ``grace_s``), checkpoint, then stop.  A second
+    signal falls through to the default handler (immediate death)."""
+    import signal
+
+    def handler(signum, frame):
+        print(
+            f"# {label}: caught {signal.Signals(signum).name}, draining "
+            f"(grace {grace_s:.0f}s; checkpoints will be saved) — "
+            f"signal again to abort",
+            file=sys.stderr,
+        )
+        signal.signal(signal.SIGTERM, signal.SIG_DFL)
+        signal.signal(signal.SIGINT, signal.default_int_handler)
+        coordinator.request_drain(grace_s)
+
+    try:
+        signal.signal(signal.SIGTERM, handler)
+        signal.signal(signal.SIGINT, handler)
+    except ValueError:
+        pass  # not the main thread (tests drive drain directly)
+
+
 def compile_main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(
         prog="refine-compile",
@@ -277,6 +306,18 @@ def campaign_main(argv: list[str] | None = None) -> int:
     parser.add_argument("--lease-timeout", type=float, default=60.0,
                         help="seconds without a heartbeat before a "
                         "distributed task is requeued (--dist only)")
+    parser.add_argument("--submit", metavar="HOST:PORT", default=None,
+                        help="submit this campaign to a running "
+                        "refine-service instead of executing it; prints the "
+                        "campaign id (add --watch to wait for results)")
+    parser.add_argument("--watch", action="store_true",
+                        help="with --submit: poll until the campaign "
+                        "finishes, then print its CSV like a local run")
+    parser.add_argument("--tenant", default="default",
+                        help="tenant to submit as (per-tenant quotas apply)")
+    parser.add_argument("--priority", type=int, default=0,
+                        help="queue priority (higher is admitted first; "
+                        "never preempts a running campaign)")
     parser.add_argument("--keep-records", action="store_true",
                         help="keep per-experiment fault records "
                         "(persisted by --save)")
@@ -357,6 +398,9 @@ def campaign_main(argv: list[str] | None = None) -> int:
     except CampaignError as exc:
         print(f"refine-campaign: error: {exc}", file=sys.stderr)
         return 2
+
+    if args.submit is not None:
+        return _submit_to_service(args, sources, tools)
 
     try:
         moe = margin_of_error(args.samples)
@@ -452,10 +496,105 @@ def _serve_distributed(args, sources, tools, telemetry):
             f"start workers with: refine-worker {bound_host}:{bound_port}",
             file=sys.stderr,
         )
+    _install_drain_handler(
+        coordinator, grace_s=30.0, label="refine-campaign"
+    )
     try:
         return coordinator.wait()
     finally:
         coordinator.stop()
+
+
+def _submit_to_service(args, sources, tools) -> int:
+    """``refine-campaign --submit HOST:PORT [--watch]``: enqueue the
+    campaign on a running refine-service instead of executing it here."""
+    from repro.campaign.io import result_from_dict
+    from repro.dist import parse_address
+    from repro.errors import ServiceError
+    from repro.service import ServiceClient
+
+    try:
+        host, port = parse_address(args.submit)
+    except DistError as exc:
+        print(f"refine-campaign: error: {exc}", file=sys.stderr)
+        return 2
+    request = {
+        "workloads": list(sources), "tools": tools, "n": args.samples,
+        "base_seed": args.seed, "keep_records": args.keep_records,
+        "fi_funcs": args.fi_funcs, "fi_instrs": args.fi_instrs,
+        "snapshot_interval": args.snapshot_interval,
+        "schedule": args.schedule, "fault_model": args.fault_model,
+    }
+    if args.engine is not None:
+        request["engine"] = args.engine
+    client = ServiceClient(host, port)
+    try:
+        cid = client.submit(
+            request, tenant=args.tenant, priority=args.priority
+        )
+    except DistError as exc:
+        print(f"refine-campaign: error: {exc}", file=sys.stderr)
+        return 1
+    if not args.quiet:
+        print(
+            f"# submitted campaign {cid} to {host}:{port} "
+            f"(tenant {args.tenant!r}, priority {args.priority})",
+            file=sys.stderr,
+        )
+    if not args.watch:
+        print(cid)
+        return 0
+
+    last_line = [""]
+
+    def progress(status: dict) -> None:
+        if args.quiet:
+            return
+        state = status["info"]["state"]
+        bits = [f"# campaign {cid}: {state}"]
+        done = total = 0
+        for cell in status.get("progress", {}).values():
+            if cell.get("completed", 0) >= 0 and "n" in cell:
+                done += cell["completed"]
+                total += cell["n"]
+        if total:
+            bits.append(f"{done}/{total} experiment(s)")
+        line = " ".join(bits)
+        if line != last_line[0]:
+            last_line[0] = line
+            print(line, file=sys.stderr)
+
+    try:
+        final = client.watch(cid, timeout=None, callback=progress)
+    except DistError as exc:
+        print(f"refine-campaign: error: {exc}", file=sys.stderr)
+        return 1
+    info = final["info"]
+    if info["state"] != "done":
+        detail = f": {info['error']}" if info.get("error") else ""
+        print(
+            f"refine-campaign: campaign {cid} {info['state']}{detail}",
+            file=sys.stderr,
+        )
+        return 1
+    if info.get("validation") and not args.quiet:
+        print(f"# validation: {info['validation']}", file=sys.stderr)
+    try:
+        fetched = client.fetch(cid)
+    except ServiceError as exc:
+        # Finished but evicted from the result cache (service restarted or
+        # many campaigns later): the verdict above still stands and the
+        # data lives in the service's database.
+        print(f"refine-campaign: note: {exc}", file=sys.stderr)
+        return 0
+    matrix = {}
+    for key, cell in fetched["results"].items():
+        workload, _, tool = key.partition("/")
+        matrix[(workload, tool)] = result_from_dict(cell)
+    if args.save:
+        save_matrix(matrix, args.save)
+    print(matrix_to_csv(matrix))
+    return 0
 
 
 def worker_main(argv: list[str] | None = None) -> int:
@@ -482,6 +621,12 @@ def worker_main(argv: list[str] | None = None) -> int:
     parser.add_argument("--no-snapshot", action="store_true",
                         help="ignore the campaign's snapshot settings and "
                         "run every experiment from instruction 0")
+    parser.add_argument("--reconnect-window", type=float, default=300.0,
+                        metavar="SECONDS",
+                        help="keep redialing an unreachable coordinator "
+                        "(capped exponential backoff with jitter) for this "
+                        "long before giving up — rides out refine-service "
+                        "restarts (0 = die on first connection loss)")
     parser.add_argument("-q", "--quiet", action="store_true")
     args = parser.parse_args(argv)
 
@@ -495,11 +640,16 @@ def worker_main(argv: list[str] | None = None) -> int:
     if args.procs < 1:
         print("refine-worker: error: -j must be >= 1", file=sys.stderr)
         return 2
+    if args.reconnect_window < 0:
+        print("refine-worker: error: --reconnect-window must be >= 0",
+              file=sys.stderr)
+        return 2
     try:
         stats = Worker(
             host, port, procs=args.procs, name=args.name,
             snapshot_dir=args.snapshot_dir,
             use_snapshots=not args.no_snapshot,
+            reconnect_window=args.reconnect_window,
         ).run()
     except (DistError, ReproError) as exc:
         print(f"refine-worker: error: {exc}", file=sys.stderr)
@@ -512,6 +662,276 @@ def worker_main(argv: list[str] | None = None) -> int:
             file=sys.stderr,
         )
     return 0
+
+
+class _ServiceTelemetry(EventLog):
+    """Operator-facing event rendering for ``refine-service serve``.
+
+    The one-shot progress model of :class:`_LiveTelemetry` does not fit a
+    service (there is no fixed total), so this prints one line per
+    campaign/worker lifecycle event and stays silent about the
+    per-experiment stream (which still lands in ``--events`` and the
+    database)."""
+
+    def __init__(self, path=None, quiet=False, out=None):
+        super().__init__(path=path)
+        self._quiet = quiet
+        self._out = out if out is not None else sys.stderr
+
+    def emit(self, event, **fields) -> None:
+        super().emit(event, **fields)
+        if self._quiet:
+            return
+        line = None
+        if event == "campaign_admitted":
+            line = (
+                f"campaign {fields['campaign']} admitted "
+                f"(tenant {fields['tenant']!r}, priority "
+                f"{fields['priority']}, {fields['cells']} cell(s), "
+                f"{fields['experiments']} experiment(s))"
+            )
+        elif event == "campaign_done":
+            line = (
+                f"campaign {fields['campaign']} done — validation: "
+                f"{fields['validation']}"
+            )
+        elif event == "campaign_failed":
+            line = f"campaign {fields['campaign']} FAILED: {fields['error']}"
+        elif event == "campaign_cancelled":
+            line = f"campaign {fields['campaign']} cancelled"
+        elif event == "soak_submit":
+            line = (
+                f"soak round {fields['round']}: queued "
+                f"{'/'.join(fields['workloads'])} x "
+                f"{'/'.join(fields['tools'])} (campaign {fields['campaign']})"
+            )
+        elif event == "worker_join":
+            line = (
+                f"worker {fields['worker']} joined "
+                f"({fields.get('procs', 1)} proc(s))"
+            )
+        elif event == "worker_leave":
+            line = f"worker {fields['worker']} left"
+        elif event == "service_recover":
+            line = (
+                f"recovered {len(fields['campaigns'])} interrupted "
+                f"campaign(s): {fields['campaigns']}"
+            )
+        elif event == "service_error":
+            line = f"service error: {fields['error']}"
+        elif event == "dist_drain":
+            line = f"draining (grace {fields.get('grace_s', 0):.0f}s)"
+        elif event == "dist_drained":
+            line = "drained"
+        if line is not None:
+            print(f"# {line}", file=self._out, flush=True)
+
+
+def _cmd_service_serve(args) -> int:
+    from repro.dist import parse_address
+    from repro.service import ServiceCoordinator
+
+    try:
+        host, port = parse_address(args.listen)
+    except DistError as exc:
+        print(f"refine-service: error: {exc}", file=sys.stderr)
+        return 2
+    telemetry = _ServiceTelemetry(path=args.events, quiet=args.quiet)
+    try:
+        coordinator = ServiceCoordinator(
+            host, port,
+            queue_path=args.queue, db_path=args.db,
+            checkpoint_root=args.checkpoint_dir,
+            tenant_quota=args.tenant_quota,
+            max_active=args.max_active,
+            chunk_size=args.chunk_size,
+            lease_timeout=args.lease_timeout,
+            checkpoint_every=args.checkpoint_every,
+            events=telemetry,
+            soak=args.soak, soak_seed=args.soak_seed, soak_n=args.soak_n,
+            soak_backlog=args.soak_backlog, artifacts_dir=args.artifacts,
+        )
+    except ReproError as exc:
+        print(f"refine-service: error: {exc}", file=sys.stderr)
+        telemetry.close()
+        return 1
+    bound_host, bound_port = coordinator.start()
+    # Always announce the bound address: with ``--listen HOST:0`` the
+    # kernel-assigned port printed here is the only way to reach the
+    # service, so ``-q`` must not swallow it.
+    print(f"# service listening on {bound_host}:{bound_port}",
+          file=sys.stderr)
+    if not args.quiet:
+        print(
+            f"#   workers: refine-worker {bound_host}:{bound_port}\n"
+            f"#   submit:  refine-campaign --submit "
+            f"{bound_host}:{bound_port} -w ... -t ... -n ...\n"
+            f"#   control: refine-service status|list|cancel|drain "
+            f"{bound_host}:{bound_port} ...",
+            file=sys.stderr,
+        )
+    _install_drain_handler(
+        coordinator, grace_s=args.grace, label="refine-service"
+    )
+    try:
+        coordinator.serve_until_stopped()
+    except ReproError as exc:
+        print(f"refine-service: error: {exc}", file=sys.stderr)
+        return 1
+    finally:
+        coordinator.stop()
+        telemetry.close()
+    return 0
+
+
+def _service_client(args):
+    from repro.dist import parse_address
+    from repro.service import ServiceClient
+
+    host, port = parse_address(args.address)
+    return ServiceClient(host, port)
+
+
+def _cmd_service_status(args) -> int:
+    status = _service_client(args).status(args.campaign)
+    info = status["info"]
+    line = (
+        f"campaign {info['id']}: {info['state']} "
+        f"(tenant {info['tenant']!r}, priority {info['priority']}, "
+        f"lifecycle {info['lifecycle']})"
+    )
+    if info.get("validation"):
+        line += f" — validation: {info['validation']}"
+    if info.get("error"):
+        line += f" — error: {info['error']}"
+    print(line)
+    for key, cell in sorted(status.get("progress", {}).items()):
+        if "n" in cell:
+            print(f"  {key}: {cell['completed']}/{cell['n']}")
+    return 0
+
+
+def _cmd_service_list(args) -> int:
+    listing = _service_client(args).list(tenant=args.tenant)
+    counts = listing.get("counts", {})
+    summary = ", ".join(f"{k}={v}" for k, v in sorted(counts.items()))
+    print(f"# queue: {summary or 'empty'}; "
+          f"{len(listing.get('workers', {}))} worker(s) connected"
+          + ("; DRAINING" if listing.get("draining") else ""))
+    if listing.get("sink_error"):
+        print(f"# WARNING results sink: {listing['sink_error']}")
+    for row in listing.get("campaigns", []):
+        flags = " [cancel requested]" if row["cancel_requested"] else ""
+        validation = (
+            f" validation={row['validation']}" if row.get("validation") else ""
+        )
+        print(
+            f"{row['id']:>5d} {row['state']:>10s} prio={row['priority']:<3d} "
+            f"tenant={row['tenant']} lifecycle={row['lifecycle']}"
+            f"{validation}{flags}"
+        )
+    return 0
+
+
+def _cmd_service_cancel(args) -> int:
+    reply = _service_client(args).cancel(args.campaign)
+    if reply.get("cancel_requested"):
+        print(f"# campaign {args.campaign}: cancellation requested "
+              f"(state: {reply['state']})")
+    else:
+        print(f"# campaign {args.campaign} is already terminal "
+              f"(state: {reply['state']})")
+    return 0
+
+
+def _cmd_service_drain(args) -> int:
+    _service_client(args).drain(grace_s=args.grace)
+    print(f"# drain requested (grace {args.grace:.0f}s)")
+    return 0
+
+
+def service_main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="refine-service",
+        description="Persistent multi-tenant campaign service: a durable "
+        "queue served to refine-worker processes, with per-tenant quotas, "
+        "priorities, checkpoint/restart recovery and chi-squared "
+        "auto-validation of every drained campaign.",
+    )
+    _add_version(parser)
+    sub = parser.add_subparsers(dest="verb", required=True)
+
+    p = sub.add_parser("serve", help="run the campaign service")
+    p.add_argument("--listen", metavar="HOST:PORT", default="127.0.0.1:0",
+                   help="bind address (port 0 picks a free port)")
+    p.add_argument("--queue", required=True, metavar="PATH",
+                   help="durable campaign queue (SQLite; created if "
+                   "missing; reopening recovers interrupted campaigns)")
+    p.add_argument("--db", default=None, metavar="PATH",
+                   help="results database: experiments stream in live, "
+                   "validation verdicts and baselines land here")
+    p.add_argument("--checkpoint-dir", default=None, metavar="DIR",
+                   help="per-campaign checkpoint root (restart resumes "
+                   "unfinished campaigns from here)")
+    p.add_argument("--checkpoint-every", type=int,
+                   default=DEFAULT_CHECKPOINT_EVERY)
+    p.add_argument("--lease-timeout", type=float, default=60.0)
+    p.add_argument("--chunk-size", type=int, default=None,
+                   help="experiments per leased task (default: auto)")
+    p.add_argument("--tenant-quota", type=int, default=None,
+                   help="max live campaigns per tenant (default 8)")
+    p.add_argument("--max-active", type=int, default=1,
+                   help="campaigns served to the worker pool at once")
+    p.add_argument("--grace", type=float, default=30.0,
+                   help="drain grace period for SIGTERM/SIGINT and the "
+                   "drain verb")
+    p.add_argument("--soak", action="store_true",
+                   help="soak mode: keep the queue topped up with seeded "
+                   "fuzz campaigns mining for outcome-distribution "
+                   "divergences")
+    p.add_argument("--soak-seed", type=int, default=0x5EED0EF1)
+    p.add_argument("--soak-n", type=int, default=None,
+                   help="experiments per soak cell (default 24)")
+    p.add_argument("--soak-backlog", type=int, default=2,
+                   help="soak campaigns to keep live in the queue")
+    p.add_argument("--artifacts", default=None, metavar="DIR",
+                   help="file soak divergences here as reducer inputs")
+    p.add_argument("--events", default=None,
+                   help="append JSONL telemetry events to this file")
+    p.add_argument("-q", "--quiet", action="store_true")
+    p.set_defaults(func=_cmd_service_serve)
+
+    p = sub.add_parser("status", help="one campaign's state and progress")
+    p.add_argument("address", metavar="HOST:PORT")
+    p.add_argument("campaign", type=int)
+    p.set_defaults(func=_cmd_service_status)
+
+    p = sub.add_parser("list", help="queue snapshot")
+    p.add_argument("address", metavar="HOST:PORT")
+    p.add_argument("--tenant", default=None)
+    p.set_defaults(func=_cmd_service_list)
+
+    p = sub.add_parser("cancel", help="cancel a campaign")
+    p.add_argument("address", metavar="HOST:PORT")
+    p.add_argument("campaign", type=int)
+    p.set_defaults(func=_cmd_service_cancel)
+
+    p = sub.add_parser("drain", help="graceful service shutdown")
+    p.add_argument("address", metavar="HOST:PORT")
+    p.add_argument("--grace", type=float, default=30.0)
+    p.set_defaults(func=_cmd_service_drain)
+
+    args = parser.parse_args(argv)
+    try:
+        return args.func(args)
+    except ReproError as exc:
+        print(f"refine-service: error: {exc}", file=sys.stderr)
+        return 1
+    except BrokenPipeError:
+        # Downstream closed early (e.g. ``refine-service list ... | head``);
+        # detach stdout so the interpreter's shutdown flush stays quiet.
+        os.dup2(os.open(os.devnull, os.O_WRONLY), sys.stdout.fileno())
+        return 0
 
 
 def report_main(argv: list[str] | None = None) -> int:

@@ -24,6 +24,7 @@ from repro.dist.coordinator import (
 )
 from repro.dist.local import LocalCluster
 from repro.dist.protocol import (
+    CONTROL_TYPES,
     PROTOCOL_VERSION,
     CampaignSpec,
     decode_indices,
@@ -42,6 +43,7 @@ __all__ = [
     "backoff_delay",
     "shard_indices",
     "LocalCluster",
+    "CONTROL_TYPES",
     "PROTOCOL_VERSION",
     "CampaignSpec",
     "decode_indices",

@@ -15,7 +15,7 @@ import socket
 from repro.campaign.io import result_to_dict
 from repro.campaign.results import CampaignResult
 from repro.dist.protocol import recv_message, send_message
-from repro.errors import DistError
+from repro.errors import DistConnectionError, DistError
 
 
 def parse_address(address: str) -> tuple[str, int]:
@@ -61,7 +61,7 @@ class CoordinatorClient:
             )
             self._sock.settimeout(None)
         except OSError as exc:
-            raise DistError(
+            raise DistConnectionError(
                 f"cannot reach coordinator at "
                 f"{self._host}:{self._port}: {exc}"
             ) from exc
@@ -121,7 +121,7 @@ class CoordinatorClient:
         send_message(self._sock, message)
         reply = recv_message(self._sock)
         if reply is None:
-            raise DistError("coordinator closed the connection")
+            raise DistConnectionError("coordinator closed the connection")
         if reply["type"] == "error":
             raise DistError(
                 f"coordinator rejected {message['type']}: "

@@ -189,10 +189,11 @@ class Coordinator:
         checkpoint_dir: str | Path | None = None,
         checkpoint_every: int = DEFAULT_CHECKPOINT_EVERY,
         events: EventLog | None = None,
+        allow_empty: bool = False,
     ) -> None:
         if isinstance(specs, CampaignSpec):
             specs = [specs]
-        if not specs:
+        if not specs and not allow_empty:
             raise DistError("coordinator needs at least one campaign spec")
         keys = [spec.key for spec in specs]
         if len(set(keys)) != len(keys):
@@ -225,46 +226,27 @@ class Coordinator:
         self._pending: list[tuple[float, int]] = []  # (not_before, task_id)
         self._workers: dict[str, dict] = {}
         self._worker_seq = 0
+        self._next_task = 0
         self._results: dict[tuple[str, str], CampaignResult] = {}
+        #: task ids of retired (cancelled/collected) cells — a straggler's
+        #: late submit against one of these gets a benign duplicate ack
+        #: instead of a fatal "unknown task" error.
+        self._retired: set[int] = set()
         self._error: Exception | None = None
         self._stopped = False
+        self._draining = False
+        self._drained = False
+        self._drain_thread: threading.Thread | None = None
         self._started = time.monotonic()
+        self._total = 0
 
         self._sock: socket.socket | None = None
         self._accept_thread: threading.Thread | None = None
         self._conns: set[socket.socket] = set()
 
-        next_task = 0
         for spec in specs:
-            ckpt_path = None
-            if checkpoint_dir is not None:
-                ckpt_path = matrix_checkpoint_path(
-                    checkpoint_dir, spec.workload, spec.tool_name
-                )
-            cell = _Cell(spec=spec, ckpt_path=ckpt_path)
-            ckpt = try_load_checkpoint(ckpt_path)
-            if ckpt is not None:
-                ckpt.matches(
-                    spec.workload, spec.tool_name, spec.n, spec.base_seed,
-                    spec.keep_records, fault_model=spec.fault_model,
-                )
-                cell.completed = set(ckpt.completed)
-                cell.prior = ckpt.partial
-                cell.prior_indices = tuple(sorted(cell.completed))
-            self._cells[spec.key] = cell
-            remaining = [i for i in range(spec.n) if i not in cell.completed]
-            if spec.schedule == "trigger" and remaining:
-                remaining = trigger_order_indices(spec, remaining)
-            size = chunk_size or max(
-                1, -(-spec.n // DEFAULT_TASKS_PER_CAMPAIGN)
-            )
-            for indices in shard_indices(remaining, size):
-                task = _Task(task_id=next_task, key=spec.key, indices=indices)
-                self._tasks[next_task] = task
-                heapq.heappush(self._pending, (0.0, next_task))
-                next_task += 1
-
-        self._total = sum(spec.n for spec in specs)
+            cell, remaining = self._prepare_cell(spec, checkpoint_dir)
+            self._install_cell(cell, remaining)
 
     # ------------------------------------------------------------------ API
 
@@ -333,6 +315,11 @@ class Coordinator:
             if not finished:
                 raise DistError(f"campaign did not finish within {timeout}s")
             if len(self._results) != len(self._cells):
+                if self._drained:
+                    raise DistError(
+                        "campaign drained before completion "
+                        "(checkpoints saved)"
+                    )
                 raise DistError("coordinator stopped before completion")
             return dict(self._results)
 
@@ -383,8 +370,226 @@ class Coordinator:
             self._sock.close()
         if self._accept_thread is not None:
             self._accept_thread.join(timeout=5.0)
+        if self._drain_thread is not None:
+            if self._drain_thread is not threading.current_thread():
+                self._drain_thread.join(timeout=5.0)
+            self._drain_thread = None
+
+    @property
+    def draining(self) -> bool:
+        """True once a graceful shutdown has been requested."""
+        return self._draining
+
+    @property
+    def drained(self) -> bool:
+        """True once a graceful shutdown ran to completion (in-flight
+        leases finished or the grace deadline passed; checkpoints saved)."""
+        return self._drained
+
+    def request_drain(self, grace_s: float = 30.0) -> None:
+        """Begin a graceful shutdown (SIGTERM/SIGINT path).
+
+        From this point work requests are answered with ``done`` (no new
+        leases); workers holding leases keep heartbeating and submitting
+        until they finish or ``grace_s`` elapses, then every unfinished
+        cell is checkpointed and the server stops.  Idempotent.
+        """
+        with self._lock:
+            if self._draining or self._stopped:
+                return
+            self._draining = True
+            self._emit("dist_drain", grace_s=grace_s)
+        self._drain_thread = threading.Thread(
+            target=self._drain_loop, args=(grace_s,),
+            name="refine-drain", daemon=True,
+        )
+        self._drain_thread.start()
+
+    def add_cells(
+        self,
+        specs: CampaignSpec | list[CampaignSpec],
+        checkpoint_dir: str | Path | None = None,
+    ) -> list[tuple[str, str]]:
+        """Admit new campaign cells into a live coordinator (service mode).
+
+        Cells resume from ``checkpoint_dir`` exactly like construction-time
+        cells; checkpoint loading and trigger-order resolution (which
+        compiles the cell's tool) happen *before* the coordinator lock is
+        taken so admission never stalls the worker data plane.  Raises
+        :class:`DistError` if any key is already being served.
+        """
+        if isinstance(specs, CampaignSpec):
+            specs = [specs]
+        keys = [spec.key for spec in specs]
+        if len(set(keys)) != len(keys):
+            raise DistError("duplicate (workload, tool) campaign specs")
+        with self._lock:
+            taken = [k for k in keys if k in self._cells]
+            if taken:
+                raise DistError(f"cells already being served: {taken}")
+        prepared = [
+            self._prepare_cell(spec, checkpoint_dir) for spec in specs
+        ]
+        with self._lock:
+            if self._stopped or self._draining:
+                raise DistError("coordinator is shutting down")
+            for cell, remaining in prepared:
+                self._install_cell(cell, remaining)
+                spec = cell.spec
+                self._emit(
+                    "cell_start", workload=spec.workload, tool=spec.tool_name,
+                    n=spec.n, base_seed=spec.base_seed,
+                    fault_model=spec.fault_model,
+                    resumed=len(cell.completed),
+                    resumed_counts={} if cell.prior is None else {
+                        o.value: k for o, k in cell.prior.counts.items()
+                    },
+                )
+                if len(cell.completed) == spec.n:
+                    if cell.prior is None:
+                        raise CampaignError(
+                            "checkpoint claims completion but holds no "
+                            "partial result"
+                        )
+                    self._finish_cell(cell)
+        return keys
+
+    def retire_cells(
+        self, keys: list[tuple[str, str]]
+    ) -> dict[tuple[str, str], CampaignResult | None]:
+        """Remove cells from service (a finished or cancelled campaign).
+
+        Unfinished cells are checkpointed first (a cancelled campaign
+        resubmitted later resumes instead of restarting).  Outstanding task
+        ids are remembered in the retired set so a slow worker's late
+        submit is acknowledged as a duplicate rather than treated as fatal.
+        Returns each cell's merged result so far (``None`` if nothing has
+        completed).  Unknown keys are ignored.
+        """
+        out: dict[tuple[str, str], CampaignResult | None] = {}
+        with self._lock:
+            for key in keys:
+                cell = self._cells.get(tuple(key))
+                if cell is None:
+                    continue
+                if (
+                    cell.result is None
+                    and cell.ckpt_path is not None
+                    and cell.completed
+                ):
+                    self._save_cell(cell)
+                out[cell.spec.key] = (
+                    cell.result if cell.result is not None
+                    else self._merged(cell)
+                )
+                # Only after merging: _merged orders parts via their tasks.
+                del self._cells[cell.spec.key]
+                self._results.pop(cell.spec.key, None)
+                self._total -= cell.spec.n
+                for task_id, task in list(self._tasks.items()):
+                    if task.key == cell.spec.key:
+                        self._release(task)
+                        del self._tasks[task_id]
+                        self._retired.add(task_id)
+        return out
+
+    def worker_health(self) -> dict[str, dict]:
+        """Live per-worker health/throughput snapshot.
+
+        The service's admission control and ``status``/``list`` replies are
+        built from this: connected workers, their lease load, lifetime
+        experiment throughput and failure counts, and how long since each
+        was last heard from.
+        """
+        now = time.monotonic()
+        with self._lock:
+            return {
+                name: {
+                    "procs": info["procs"],
+                    "leased": len(info["tasks"]),
+                    "experiments": info["experiments"],
+                    "tasks_done": info["tasks_done"],
+                    "failures": info["failures"],
+                    "uptime_s": now - info["joined"],
+                    "idle_s": now - info["last_seen"],
+                }
+                for name, info in self._workers.items()
+            }
+
+    def cell_progress(self) -> dict[tuple[str, str], tuple[int, int]]:
+        """Per-cell ``(completed, n)`` experiment counts, live."""
+        with self._lock:
+            return {
+                key: (len(cell.completed), cell.spec.n)
+                for key, cell in self._cells.items()
+            }
 
     # ----------------------------------------------------------- internals
+
+    def _prepare_cell(
+        self, spec: CampaignSpec, checkpoint_dir: str | Path | None
+    ) -> tuple[_Cell, list[int]]:
+        """Build a cell (checkpoint resume + work-order resolution) without
+        touching shared state — safe outside the lock."""
+        ckpt_path = None
+        if checkpoint_dir is not None:
+            ckpt_path = matrix_checkpoint_path(
+                checkpoint_dir, spec.workload, spec.tool_name
+            )
+        cell = _Cell(spec=spec, ckpt_path=ckpt_path)
+        ckpt = try_load_checkpoint(ckpt_path)
+        if ckpt is not None:
+            ckpt.matches(
+                spec.workload, spec.tool_name, spec.n, spec.base_seed,
+                spec.keep_records, fault_model=spec.fault_model,
+            )
+            cell.completed = set(ckpt.completed)
+            cell.prior = ckpt.partial
+            cell.prior_indices = tuple(sorted(cell.completed))
+        remaining = [i for i in range(spec.n) if i not in cell.completed]
+        if spec.schedule == "trigger" and remaining:
+            remaining = trigger_order_indices(spec, remaining)
+        return cell, remaining
+
+    def _install_cell(self, cell: _Cell, remaining: list[int]) -> None:
+        """Register a prepared cell and shard its tasks (lock held, or
+        construction time)."""
+        spec = cell.spec
+        if spec.key in self._cells:
+            raise DistError(f"cell {spec.key} already being served")
+        self._cells[spec.key] = cell
+        self._total += spec.n
+        size = self._chunk_size or max(
+            1, -(-spec.n // DEFAULT_TASKS_PER_CAMPAIGN)
+        )
+        for indices in shard_indices(remaining, size):
+            task = _Task(
+                task_id=self._next_task, key=spec.key, indices=indices
+            )
+            self._tasks[self._next_task] = task
+            heapq.heappush(self._pending, (0.0, self._next_task))
+            self._next_task += 1
+
+    def _drain_loop(self, grace_s: float) -> None:
+        deadline = time.monotonic() + grace_s
+        while time.monotonic() < deadline:
+            with self._lock:
+                if self._error is not None or self._stopped:
+                    return
+                if not any(
+                    t.state == "leased" for t in self._tasks.values()
+                ):
+                    break
+            time.sleep(0.05)
+        with self._lock:
+            self._drained = True
+            self._emit(
+                "dist_drained",
+                leased=sum(
+                    1 for t in self._tasks.values() if t.state == "leased"
+                ),
+            )
+        self.stop()
 
     def _emit(self, event: str, **fields) -> None:
         if self._events is not None:
@@ -421,23 +626,22 @@ class Coordinator:
                     break
                 mtype = message["type"]
                 with self._lock:
-                    if mtype == "hello":
-                        worker, reply = self._handle_hello(message)
-                    elif worker is None:
-                        reply = {"type": "error",
-                                 "message": "expected hello first"}
-                    elif mtype == "request":
-                        reply = self._handle_request(worker)
-                    elif mtype == "heartbeat":
-                        reply = self._handle_heartbeat(worker)
-                    elif mtype == "result":
-                        reply = self._handle_result(worker, message)
-                    elif mtype == "task_failed":
-                        reply = self._handle_failed(worker, message)
-                    else:
+                    try:
+                        worker, reply = self._dispatch(
+                            worker, mtype, message
+                        )
+                    except (KeyError, TypeError, ValueError) as exc:
+                        # A structurally valid frame with garbage fields
+                        # (procs: {}, task_id: [1], missing keys...) is the
+                        # *peer's* bug: reply with a bounded protocol error
+                        # and drop the connection instead of letting the
+                        # handler thread die silently.
                         reply = {
                             "type": "error",
-                            "message": f"unknown message type {mtype!r}",
+                            "message": (
+                                f"malformed {mtype!r} message: "
+                                f"{type(exc).__name__}: {exc}"
+                            ),
                         }
                 send_message(conn, reply)
                 if reply["type"] == "error":
@@ -454,14 +658,44 @@ class Coordinator:
                 if worker is not None:
                     self._on_disconnect(worker)
 
+    def _dispatch(
+        self, worker: str | None, mtype: str, message: dict
+    ) -> tuple[str | None, dict]:
+        """Route one data-plane message (lock held).  Subclasses extend
+        this with control-plane verbs; returns ``(worker, reply)``."""
+        if mtype == "hello":
+            return self._handle_hello(message)
+        if worker is None:
+            return None, {"type": "error", "message": "expected hello first"}
+        info = self._workers.get(worker)
+        if info is not None:
+            info["last_seen"] = time.monotonic()
+        if mtype == "request":
+            return worker, self._handle_request(worker)
+        if mtype == "heartbeat":
+            return worker, self._handle_heartbeat(worker)
+        if mtype == "result":
+            return worker, self._handle_result(worker, message)
+        if mtype == "task_failed":
+            return worker, self._handle_failed(worker, message)
+        return worker, {
+            "type": "error",
+            "message": f"unknown message type {mtype!r}",
+        }
+
     def _handle_hello(self, message: dict) -> tuple[str, dict]:
         requested = message.get("name")
+        if requested is not None and not isinstance(requested, str):
+            raise TypeError("worker name must be a string")
+        procs = int(message.get("procs", 1))
         self._worker_seq += 1
         name = requested or f"worker-{self._worker_seq}"
         if name in self._workers:
             name = f"{name}-{self._worker_seq}"
+        now = time.monotonic()
         self._workers[name] = {
-            "procs": int(message.get("procs", 1)), "tasks": set(),
+            "procs": procs, "tasks": set(), "joined": now, "last_seen": now,
+            "experiments": 0, "tasks_done": 0, "failures": 0,
         }
         self._emit(
             "worker_join", worker=name, procs=self._workers[name]["procs"],
@@ -477,13 +711,18 @@ class Coordinator:
     def _handle_request(self, worker: str) -> dict:
         if self._error is not None:
             return {"type": "error", "message": str(self._error)}
+        if self._draining:
+            # Graceful shutdown: refuse new leases; the worker treats
+            # ``done`` as "campaign over" and exits (or, with a reconnect
+            # window, comes back once the service restarts).
+            return {"type": "done"}
         now = time.monotonic()
         self._sweep(now)
         while self._pending:
             not_before, task_id = self._pending[0]
-            task = self._tasks[task_id]
-            if task.state != "pending":
-                heapq.heappop(self._pending)  # stale entry (completed)
+            task = self._tasks.get(task_id)
+            if task is None or task.state != "pending":
+                heapq.heappop(self._pending)  # stale entry (done/retired)
                 continue
             if not_before > now:
                 break  # earliest backoff not yet elapsed
@@ -505,12 +744,13 @@ class Coordinator:
                 "indices": encode_indices(task.indices),
                 "attempt": task.attempt,
             }
-        if len(self._results) == len(self._cells):
+        if self._campaign_done():
             return {"type": "done"}
         # Nothing leasable now: tell the worker when to ask again (earliest
         # backoff expiry or lease deadline, whichever might free work first).
         horizons = [nb for nb, tid in self._pending
-                    if self._tasks[tid].state == "pending"]
+                    if tid in self._tasks
+                    and self._tasks[tid].state == "pending"]
         horizons.extend(
             t.deadline for t in self._tasks.values() if t.state == "leased"
         )
@@ -525,13 +765,25 @@ class Coordinator:
         info = self._workers.get(worker)
         if info is not None:
             for task_id in info["tasks"]:
-                self._tasks[task_id].deadline = now + self._lease_timeout
+                task = self._tasks.get(task_id)
+                if task is not None:
+                    task.deadline = now + self._lease_timeout
         self._sweep(now)
         return {"type": "ok"}
+
+    def _campaign_done(self) -> bool:
+        """Should an idle work request be answered with ``done``?  The
+        one-shot coordinator finishes with its fixed cell set; a
+        persistent service overrides this (workers wait for the queue)."""
+        return len(self._results) == len(self._cells)
 
     def _handle_result(self, worker: str, message: dict) -> dict:
         task = self._tasks.get(message.get("task_id"))
         if task is None:
+            if message.get("task_id") in self._retired:
+                # The cell was cancelled or collected while this worker was
+                # finishing; its (bit-identical, unwanted) part is dropped.
+                return {"type": "ok", "duplicate": True}
             return {"type": "error", "message": "result for unknown task"}
         cell = self._cells[task.key]
         self._release(task)
@@ -584,6 +836,10 @@ class Coordinator:
         cell.parts[task.task_id] = part
         cell.completed.update(task.indices)
         cell.since_checkpoint += len(task.indices)
+        info = self._workers.get(worker)
+        if info is not None:
+            info["experiments"] += len(task.indices)
+            info["tasks_done"] += 1
         self._emit(
             "task_done", task=task.task_id, worker=worker,
             workload=cell.spec.workload, tool=cell.spec.tool_name,
@@ -607,7 +863,12 @@ class Coordinator:
     def _handle_failed(self, worker: str, message: dict) -> dict:
         task = self._tasks.get(message.get("task_id"))
         if task is None:
+            if message.get("task_id") in self._retired:
+                return {"type": "ok"}
             return {"type": "error", "message": "failure for unknown task"}
+        info = self._workers.get(worker)
+        if info is not None:
+            info["failures"] += 1
         self._release(task)
         if task.state != "done":
             self._requeue(
@@ -696,8 +957,8 @@ class Coordinator:
         # A closed connection is a dead worker: requeue immediately rather
         # than waiting out the heartbeat timeout.
         for task_id in list(info["tasks"]):
-            task = self._tasks[task_id]
-            if task.state == "leased":
+            task = self._tasks.get(task_id)
+            if task is not None and task.state == "leased":
                 self._requeue(task, reason="disconnect")
 
     def _merged(self, cell: _Cell) -> CampaignResult | None:
@@ -760,6 +1021,17 @@ class Coordinator:
                 if cell.scheduler_totals else {}
             ),
         )
+        self._on_cell_complete(cell)
+        self._maybe_finish_all()
+
+    def _on_cell_complete(self, cell: _Cell) -> None:
+        """Hook: one cell just produced its final merged result (lock
+        held).  The service coordinator uses this to advance its queue."""
+
+    def _maybe_finish_all(self) -> None:
+        """Declare the whole run finished once every cell has a result
+        (lock held).  The persistent service never finishes this way —
+        it overrides this with a no-op and lives until drained."""
         if len(self._results) == len(self._cells):
             wall = time.monotonic() - self._started
             self._emit(

@@ -34,6 +34,28 @@ coordinator → worker
 ``error``           ``message`` — fatal; the worker should abort
 ==================  =========================================================
 
+A persistent :class:`~repro.service.ServiceCoordinator` additionally speaks
+a **control plane** on the same port.  Control messages need no ``hello``
+handshake — a control client connects, sends one request, reads one reply
+and hangs up (:func:`repro.service.client.control_call`):
+
+==================  =========================================================
+client → service
+==================  =========================================================
+``submit``          ``request`` (a campaign request dict: workloads, tools,
+                    n, seed, priority, tenant, lifecycle, validation knobs)
+``status``          ``campaign`` (queue id) — one campaign's state + progress
+``list``            optional ``tenant`` — queue snapshot, newest first
+``cancel``          ``campaign`` — cancel queued or running campaign
+``drain``           optional ``grace_s`` — stop admitting, finish in-flight
+                    leases, checkpoint and shut the service down
+``fetch``           ``campaign`` — full merged result of a finished campaign
+                    (used by ``--watch`` and the equivalence tests)
+==================  =========================================================
+
+Control replies are ``ok`` messages carrying the verb's payload
+(``campaign``, ``info``, ``campaigns``, ``result``...) or ``error``.
+
 Experiment indices travel as run-length ``[start, stop)`` ranges (the same
 encoding :mod:`repro.campaign.checkpoint` uses on disk), so a lease for ten
 thousand contiguous experiments is a few bytes, not a few kilobytes.
@@ -49,11 +71,19 @@ from dataclasses import dataclass, fields
 from repro.campaign.parallel import SliceTask
 from repro.campaign.runner import DEFAULT_SEED
 from repro.campaign.schedule import SCHEDULES
-from repro.errors import DistError
+from repro.errors import DistConnectionError, DistError
 from repro.fi.config import INSTR_CLASSES
 from repro.fi.tools import TOOL_CLASSES
 
-PROTOCOL_VERSION = 1
+#: Version 2 added the service control plane (``submit``/``status``/
+#: ``list``/``cancel``/``drain``/``fetch``).  The worker-facing data plane
+#: is unchanged, so version-1 workers interoperate with version-2
+#: coordinators.
+PROTOCOL_VERSION = 2
+
+#: Control-plane verbs a persistent service accepts without a ``hello``
+#: handshake.  The one-shot coordinator rejects all of these.
+CONTROL_TYPES = ("submit", "status", "list", "cancel", "drain", "fetch")
 
 #: Upper bound on one frame; a keep-records part for a huge slice is a few
 #: MiB, so this is generous headroom, while a garbage length prefix (e.g. a
@@ -71,7 +101,9 @@ def send_message(sock: socket.socket, message: dict) -> None:
     try:
         sock.sendall(_HEADER.pack(len(data)) + data)
     except OSError as exc:
-        raise DistError(f"connection lost while sending: {exc}") from exc
+        raise DistConnectionError(
+            f"connection lost while sending: {exc}"
+        ) from exc
 
 
 def _recv_exact(sock: socket.socket, count: int) -> bytes | None:
@@ -81,11 +113,13 @@ def _recv_exact(sock: socket.socket, count: int) -> bytes | None:
         try:
             chunk = sock.recv(count - len(buf))
         except OSError as exc:
-            raise DistError(f"connection lost while receiving: {exc}") from exc
+            raise DistConnectionError(
+                f"connection lost while receiving: {exc}"
+            ) from exc
         if not chunk:
             if not buf:
                 return None
-            raise DistError(
+            raise DistConnectionError(
                 f"connection closed mid-message ({len(buf)}/{count} bytes)"
             )
         buf.extend(chunk)
@@ -103,7 +137,9 @@ def recv_message(sock: socket.socket) -> dict | None:
         raise DistError(f"frame of {length} bytes exceeds protocol limit")
     payload = _recv_exact(sock, length)
     if payload is None:
-        raise DistError("connection closed between header and payload")
+        raise DistConnectionError(
+            "connection closed between header and payload"
+        )
     try:
         message = json.loads(payload.decode("utf-8"))
     except (UnicodeDecodeError, json.JSONDecodeError) as exc:

@@ -16,6 +16,7 @@ used: many nodes, each fully subscribed (Appendix A.4).
 
 from __future__ import annotations
 
+import random
 import time
 from concurrent.futures import (
     FIRST_EXCEPTION,
@@ -34,7 +35,7 @@ from repro.campaign.runner import _fresh_result, run_experiment
 from repro.campaign.schedule import PhaseTimes, TriggerScheduler
 from repro.dist.client import CoordinatorClient
 from repro.dist.protocol import CampaignSpec, decode_indices
-from repro.errors import DistError
+from repro.errors import DistConnectionError, DistError
 from repro.fi.config import FIConfig
 from repro.fi.tools import FITool, TOOL_CLASSES
 
@@ -61,6 +62,14 @@ class Worker:
     ``procs > 1`` splits every leased task across a local process pool.
     ``die_after=k`` is a test failpoint: the worker abruptly drops its
     connection while holding its ``k+1``-th lease, simulating a crash.
+
+    ``reconnect_window=W`` (seconds of *continuous* coordinator downtime
+    tolerated) makes the worker survive coordinator bounces: on a refused
+    connection or a torn socket it retries with capped exponential backoff
+    plus jitter, giving up only after the coordinator has been unreachable
+    for W straight seconds.  ``0`` (the library default) keeps the
+    historical die-on-first-failure behaviour; the ``refine-worker`` CLI
+    defaults it on, so a fleet rides out service restarts.
     """
 
     def __init__(
@@ -73,12 +82,18 @@ class Worker:
         die_after: int | None = None,
         snapshot_dir: str | None = None,
         use_snapshots: bool = True,
+        reconnect_window: float = 0.0,
+        reconnect_base: float = 0.5,
+        reconnect_cap: float = 15.0,
     ) -> None:
         if procs < 1:
             raise DistError("procs must be >= 1")
         self._client = CoordinatorClient(host, port, name=name, procs=procs)
         self._procs = procs
         self._die_after = die_after
+        self._reconnect_window = reconnect_window
+        self._reconnect_base = reconnect_base
+        self._reconnect_cap = reconnect_cap
         #: where golden-run snapshots live on *this* host (specs carry only
         #: the interval; the store path is a per-worker concern).  ``None``
         #: keeps snapshots in-memory per tool; ``use_snapshots=False``
@@ -93,50 +108,129 @@ class Worker:
 
         Raises :class:`DistError` if the coordinator becomes unreachable or
         rejects the worker (campaigns surviving *worker* loss is the
-        coordinator's job; a worker losing its coordinator just stops).
+        coordinator's job; a worker losing its coordinator just stops) —
+        unless a ``reconnect_window`` is set, in which case connection loss
+        triggers backoff-and-retry until the window of continuous downtime
+        is exhausted.
         """
-        self._client.connect()
-        stats = WorkerStats(name=self._client.name)
-        # One slot: the leased task runs here while the protocol thread
-        # keeps heartbeating, so a long slice never looks like a dead worker.
-        runner = ThreadPoolExecutor(
-            max_workers=1, thread_name_prefix=f"{self._client.name}-slice"
-        )
+        stats = WorkerStats(name="")
+        runner: ThreadPoolExecutor | None = None
+        down_since: float | None = None
+        attempt = 0
         try:
             while True:
-                message = self._client.request_task()
-                if message["type"] == "done":
-                    return stats
-                if message["type"] == "wait":
-                    # The coordinator's delay_s is when new work *could*
-                    # appear (a lease deadline, a backoff expiry), but that
-                    # horizon moves — someone may crash, finish or submit
-                    # sooner.  Poll at least once a second so an idle worker
-                    # picks up requeued tasks (and the final done) promptly.
-                    time.sleep(min(message["delay_s"], _MAX_IDLE_POLL_S))
+                try:
+                    self._client.connect()
+                except DistConnectionError as exc:
+                    down_since, attempt = self._backoff_or_raise(
+                        exc, down_since, attempt
+                    )
                     continue
-                if self._die_after is not None and stats.tasks >= self._die_after:
-                    # Failpoint: vanish while holding the lease.
+                down_since, attempt = None, 0
+                stats.name = self._client.name
+                if runner is None:
+                    # One slot: the leased task runs here while the protocol
+                    # thread keeps heartbeating, so a long slice never looks
+                    # like a dead worker.
+                    runner = ThreadPoolExecutor(
+                        max_workers=1,
+                        thread_name_prefix=f"{self._client.name}-slice",
+                    )
+                try:
+                    if self._serve(stats, runner):
+                        return stats
+                except DistConnectionError as exc:
+                    # Connection lost mid-campaign (coordinator bounce,
+                    # network blip).  The coordinator requeues our leases;
+                    # any in-flight slice was discarded by _serve, so a
+                    # reconnected worker can never submit a stale task id
+                    # against a restarted coordinator's fresh numbering.
                     self._client.close()
-                    return stats
-                spec = CampaignSpec.from_dict(message["spec"])
-                indices = decode_indices(message["indices"])
-                future = runner.submit(self._run_task, spec, indices)
-                part = self._await_heartbeating(future, message["task_id"])
-                if part is None:
-                    stats.failures += 1
-                    continue
-                ack = self._client.complete(message["task_id"], part)
-                stats.tasks += 1
-                stats.experiments += len(indices)
-                if ack.get("duplicate"):
-                    stats.duplicates += 1
+                    down_since, attempt = self._backoff_or_raise(
+                        exc, down_since, attempt
+                    )
         finally:
-            runner.shutdown(wait=False, cancel_futures=True)
+            if runner is not None:
+                runner.shutdown(wait=False, cancel_futures=True)
             if self._pool is not None:
                 self._pool.shutdown(wait=False, cancel_futures=True)
                 self._pool = None
             self._client.close()
+
+    def _serve(self, stats: WorkerStats, runner: ThreadPoolExecutor) -> bool:
+        """Drive one connection's lease/run/submit loop.  Returns ``True``
+        when the coordinator says the campaign is done (worker may exit);
+        raises :class:`DistError` when the connection is lost."""
+        while True:
+            message = self._client.request_task()
+            if message["type"] == "done":
+                return True
+            if message["type"] == "wait":
+                # The coordinator's delay_s is when new work *could*
+                # appear (a lease deadline, a backoff expiry), but that
+                # horizon moves — someone may crash, finish or submit
+                # sooner.  Poll at least once a second so an idle worker
+                # picks up requeued tasks (and the final done) promptly.
+                time.sleep(min(message["delay_s"], _MAX_IDLE_POLL_S))
+                continue
+            if self._die_after is not None and stats.tasks >= self._die_after:
+                # Failpoint: vanish while holding the lease.
+                self._client.close()
+                return True
+            spec = CampaignSpec.from_dict(message["spec"])
+            indices = decode_indices(message["indices"])
+            future = runner.submit(self._run_task, spec, indices)
+            try:
+                part = self._await_heartbeating(future, message["task_id"])
+            except DistError:
+                # The slice keeps running in the single-slot runner; drain
+                # it (discarding the result) before reconnecting so the
+                # next lease starts clean and the stale result is never
+                # submitted under a task id the coordinator may have
+                # reissued after a restart.
+                self._discard(future)
+                raise
+            if part is None:
+                stats.failures += 1
+                continue
+            ack = self._client.complete(message["task_id"], part)
+            stats.tasks += 1
+            stats.experiments += len(indices)
+            if ack.get("duplicate"):
+                stats.duplicates += 1
+
+    def _backoff_or_raise(
+        self, exc: DistError, down_since: float | None, attempt: int
+    ) -> tuple[float, int]:
+        """Sleep out one reconnect backoff step, or re-raise ``exc`` when
+        reconnection is disabled / the continuous-downtime window is
+        spent.  Returns the updated ``(down_since, attempt)``."""
+        if self._reconnect_window <= 0:
+            raise exc
+        now = time.monotonic()
+        if down_since is None:
+            down_since = now
+        delay = min(
+            self._reconnect_cap, self._reconnect_base * (2.0 ** attempt)
+        )
+        # Full jitter in [0.5x, 1.5x]: a bounced coordinator is not greeted
+        # by its whole fleet redialing in lockstep.
+        delay *= 0.5 + random.random()
+        if now + delay > down_since + self._reconnect_window:
+            raise DistError(
+                f"coordinator unreachable for {now - down_since:.1f}s "
+                f"(reconnect window {self._reconnect_window:.0f}s): {exc}"
+            ) from exc
+        time.sleep(delay)
+        return down_since, attempt + 1
+
+    @staticmethod
+    def _discard(future: Future) -> None:
+        """Wait out an in-flight slice and drop its result/exception."""
+        try:
+            future.result()
+        except Exception:
+            pass
 
     def _await_heartbeating(
         self, future: Future, task_id: int

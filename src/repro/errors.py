@@ -70,6 +70,21 @@ class DistError(ReproError):
     unreachable coordinator, or a worker/coordinator contract breach)."""
 
 
+class DistConnectionError(DistError):
+    """Transport-level failure: peer unreachable, connection refused, or a
+    socket torn mid-conversation.  Distinguished from plain
+    :class:`DistError` (a *protocol*-level rejection, which is fatal)
+    because connection loss is the one retryable failure — the worker's
+    reconnect loop backs off and redials on this and only this."""
+
+
+class ServiceError(DistError):
+    """Persistent campaign-service failure (queue corruption, quota or
+    admission violation, lifecycle contract breach).  A subclass of
+    :class:`DistError` because the service is the long-lived face of the
+    distributed layer — callers catching the dist family catch this too."""
+
+
 class StatsError(ReproError):
     """Invalid statistical computation request."""
 

@@ -2,10 +2,11 @@
 
 Verbs::
 
-    refine-db ingest  DB --events LOG... --results JSON... [--report DIR]
-    refine-db query   DB [--workload W --tool T --by DIM] [--csv]
-    refine-db report  DB OUT_DIR [--title T]
-    refine-db vacuum  DB
+    refine-db ingest   DB --events LOG... --results JSON... [--report DIR]
+    refine-db query    DB [--workload W --tool T --by DIM] [--csv]
+    refine-db baseline DB [--pin --workload W --tool T]
+    refine-db report   DB OUT_DIR [--title T]
+    refine-db vacuum   DB
 
 ``ingest --report`` builds the HTML report in the same invocation, so a
 full matrix round-trips file -> store -> report in one command.
@@ -102,6 +103,12 @@ def _cmd_query(args) -> int:
             )
             if info.fault_model and info.fault_model != "single-bit":
                 print(f"  .. fault model: {info.fault_model}")
+            if info.validation is not None:
+                p = (
+                    "" if info.validation_p is None
+                    else f" (p={info.validation_p:.4g})"
+                )
+                print(f"  .. validation: {info.validation}{p}")
             if info.phases and any(info.phases.values()):
                 bits = " ".join(
                     f"{k.removesuffix('_s')} {info.phases.get(k, 0.0):.2f}s"
@@ -109,6 +116,49 @@ def _cmd_query(args) -> int:
                               "tail_s", "classify_s")
                 )
                 print(f"  .. [{info.schedule or 'index'}] phases: {bits}")
+    return 0
+
+
+def _cmd_baseline(args) -> int:
+    with ResultsDB(args.db) as db:
+        if args.pin:
+            if args.workload is None or args.tool is None:
+                print("refine-db: baseline --pin needs --workload and --tool",
+                      file=sys.stderr)
+                return 2
+            cid = find_campaign(db, args.workload, args.tool)
+            from repro.resultsdb.queries import outcome_counts
+
+            row = db.execute(
+                "SELECT n, base_seed, fault_model FROM campaigns WHERE id=?",
+                (cid,),
+            ).fetchone()
+            counts = {
+                o.value: k for o, k in outcome_counts(db, cid).items()
+            }
+            db.pin_baseline(
+                args.workload, args.tool,
+                fault_model=row[2] or "single-bit", n=row[0],
+                counts=counts, base_seed=row[1], source="refine-db pin",
+            )
+            db.commit()
+            print(f"# pinned {args.workload}/{args.tool}: {counts}",
+                  file=sys.stderr)
+            return 0
+        baselines = db.baselines()
+        if not baselines:
+            print("# no pinned baselines", file=sys.stderr)
+            return 0
+        print(f"{'workload':14s} {'tool':8s} {'model':12s} {'n':>6s}  counts")
+        for b in baselines:
+            counts = " ".join(
+                f"{o.value}={b['counts'].get(o.value, 0)}"
+                for o in OUTCOME_ORDER
+            )
+            print(
+                f"{b['workload']:14s} {b['tool']:8s} "
+                f"{b['fault_model']:12s} {b['n']:>6d}  {counts}"
+            )
     return 0
 
 
@@ -162,6 +212,18 @@ def main(argv: list[str] | None = None) -> int:
     p.add_argument("--csv", action="store_true",
                    help="dump the whole store as campaign-matrix CSV")
     p.set_defaults(func=_cmd_query)
+
+    p = sub.add_parser(
+        "baseline",
+        help="list pinned validation baselines, or pin one from the store",
+    )
+    p.add_argument("db")
+    p.add_argument("--pin", action="store_true",
+                   help="pin --workload/--tool's stored distribution as the "
+                   "validation baseline")
+    p.add_argument("--workload", default=None)
+    p.add_argument("--tool", default=None)
+    p.set_defaults(func=_cmd_baseline)
 
     p = sub.add_parser("report", help="build the static HTML report")
     p.add_argument("db")

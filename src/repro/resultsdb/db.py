@@ -8,8 +8,10 @@ builders and ad-hoc queries read concurrently.
 
 from __future__ import annotations
 
+import json
 import sqlite3
 import threading
+import time
 from contextlib import contextmanager
 from pathlib import Path
 
@@ -186,3 +188,70 @@ class ResultsDB:
         return self.execute(
             "SELECT COUNT(*) FROM runs WHERE campaign_id=?", (campaign_id,)
         ).fetchone()[0]
+
+    def set_validation(
+        self, campaign_id: int, verdict: str, p_value: float | None = None
+    ) -> None:
+        """Record an auto-validation verdict on a campaign row."""
+        self.execute(
+            "UPDATE campaigns SET validation=?, validation_p=? WHERE id=?",
+            (verdict, p_value, campaign_id),
+        )
+        self.commit()
+
+    # ------------------------------------------------------------ baselines
+
+    def pin_baseline(
+        self, workload: str, tool: str, *, fault_model: str, n: int,
+        counts: dict[str, int], base_seed: int = -1,
+        source: str | None = None,
+    ) -> None:
+        """Pin (or replace) the reference outcome distribution a future
+        campaign of this (workload, tool, fault model) is validated
+        against."""
+        self.execute(
+            "INSERT OR REPLACE INTO baselines(workload, tool, fault_model,"
+            " n, base_seed, counts, source, pinned_at)"
+            " VALUES (?, ?, ?, ?, ?, ?, ?, ?)",
+            (
+                workload, tool, fault_model, n, base_seed,
+                json.dumps(counts, sort_keys=True), source, time.time(),
+            ),
+        )
+        self.commit()
+
+    def get_baseline(
+        self, workload: str, tool: str, fault_model: str
+    ) -> dict | None:
+        """The pinned baseline for one cell, or ``None`` if never pinned.
+
+        Returns ``{"n", "base_seed", "counts", "source", "pinned_at"}``
+        with ``counts`` decoded to ``{outcome name: int}``.
+        """
+        row = self.execute(
+            "SELECT n, base_seed, counts, source, pinned_at FROM baselines"
+            " WHERE workload=? AND tool=? AND fault_model=?",
+            (workload, tool, fault_model),
+        ).fetchone()
+        if row is None:
+            return None
+        return {
+            "n": row[0], "base_seed": row[1],
+            "counts": json.loads(row[2]),
+            "source": row[3], "pinned_at": row[4],
+        }
+
+    def baselines(self) -> list[dict]:
+        """Every pinned baseline, for ``refine-db baseline`` listing."""
+        return [
+            {
+                "workload": r[0], "tool": r[1], "fault_model": r[2],
+                "n": r[3], "base_seed": r[4], "counts": json.loads(r[5]),
+                "source": r[6], "pinned_at": r[7],
+            }
+            for r in self.execute(
+                "SELECT workload, tool, fault_model, n, base_seed, counts,"
+                " source, pinned_at FROM baselines"
+                " ORDER BY workload, tool, fault_model"
+            )
+        ]

@@ -54,13 +54,19 @@ class CampaignInfo:
     #: :mod:`repro.fi.models` spec (None = log predating fault models,
     #: which is the single-bit default by construction)
     fault_model: str | None = None
+    #: Auto-validation verdict ('passed'/'failed'/'pinned'/'skipped'),
+    #: None = never validated (see :mod:`repro.service.validate`).
+    validation: str | None = None
+    #: Chi-squared p-value behind the verdict (None when not tested).
+    validation_p: float | None = None
 
 
 def list_campaigns(db: ResultsDB) -> list[CampaignInfo]:
     """Every campaign in the store, in insertion order."""
     rows = db.execute(
         "SELECT id, workload, tool, n, base_seed, total_cycles,"
-        " total_candidates, source, schedule, phases, fault_model"
+        " total_candidates, source, schedule, phases, fault_model,"
+        " validation, validation_p"
         " FROM campaigns ORDER BY id"
     ).fetchall()
     return [
@@ -71,8 +77,10 @@ def list_campaigns(db: ResultsDB) -> list[CampaignInfo]:
             schedule=schedule,
             phases=None if phases is None else json.loads(phases),
             fault_model=model,
+            validation=validation, validation_p=validation_p,
         )
-        for cid, w, t, n, seed, cycles, cands, src, schedule, phases, model
+        for cid, w, t, n, seed, cycles, cands, src, schedule, phases, model,
+            validation, validation_p
         in rows
     ]
 

@@ -53,7 +53,27 @@ td.k, th.k { text-align: left; font-family: ui-monospace, monospace; }
 .muted { color: #777; font-size: 0.85rem; }
 .sig-yes { color: #c0392b; font-weight: 600; }
 .sig-no { color: #27ae60; }
+.badge { display: inline-block; padding: 0.05rem 0.45rem;
+         border-radius: 0.6rem; font-size: 0.8rem; font-weight: 600; }
+.badge-passed { background: #e8f8ef; color: #27ae60; }
+.badge-failed { background: #fdecea; color: #c0392b; }
+.badge-pinned { background: #eaf2fd; color: #2c6cb0; }
+.badge-skipped { background: #f4f4f4; color: #777; }
 """
+
+
+def _validation_badge(verdict: str | None, p_value: float | None) -> str:
+    """Auto-validation verdict as a colored badge (em-dash when never
+    validated)."""
+    if verdict is None:
+        return "<span class=\"muted\">&mdash;</span>"
+    p = "" if p_value is None else (
+        f" <span class=\"muted\">p={p_value:.3g}</span>"
+    )
+    return (
+        f"<span class=\"badge badge-{escape(verdict)}\">"
+        f"{escape(verdict)}</span>{p}"
+    )
 
 
 def _page(title: str, body: str) -> str:
@@ -105,7 +125,7 @@ def _overview_table(infos: list[CampaignInfo]) -> str:
         "<tr><th class=\"k\">workload</th><th class=\"k\">tool</th>"
         "<th>n</th><th>stored runs</th>"
         + "".join(f"<th>{o.value}</th>" for o in OUTCOME_ORDER)
-        + "<th>distribution</th><th></th></tr>"
+        + "<th>distribution</th><th>validation</th><th></th></tr>"
     )
     rows = []
     for info in infos:
@@ -124,7 +144,9 @@ def _overview_table(infos: list[CampaignInfo]) -> str:
             f"<tr><td class=\"k\">{escape(info.workload)}</td>"
             f"<td class=\"k\">{escape(info.tool)}</td>"
             f"<td>{info.n}</td><td>{info.runs}</td>{cells}"
-            f"<td>{_stacked_bar(info.counts)}</td><td>{link}</td></tr>"
+            f"<td>{_stacked_bar(info.counts)}</td>"
+            f"<td>{_validation_badge(info.validation, info.validation_p)}"
+            f"</td><td>{link}</td></tr>"
         )
     return f"<table>{head}{''.join(rows)}</table>"
 

@@ -49,6 +49,10 @@ ADDITIVE_COLUMNS: dict[str, dict[str, str]] = {
         "schedule": "TEXT",     # execution order: 'index' / 'trigger'
         "phases": "TEXT",       # JSON per-phase seconds (campaign_finish)
         "fault_model": "TEXT",  # repro.fi.models spec (NULL = old log)
+        # Auto-validation verdict from the campaign service:
+        # 'passed' / 'failed' / 'pinned' / 'skipped' (NULL = never validated)
+        "validation": "TEXT",
+        "validation_p": "REAL",  # chi-squared p-value vs the pinned baseline
     },
     "faults": {
         "model": "TEXT",        # fault-model spec (NULL = pre-model row)
@@ -123,6 +127,24 @@ CREATE TABLE IF NOT EXISTS faults (
     dwell         INTEGER,             -- stuck-at window (1 = single shot)
     PRIMARY KEY (campaign_id, idx),
     FOREIGN KEY (campaign_id, idx) REFERENCES runs(campaign_id, idx)
+) WITHOUT ROWID;
+
+-- Pinned reference outcome distributions for auto-validation: one per
+-- (workload, tool, fault model).  The campaign service's validate step
+-- chi-squares a freshly drained campaign against its baseline; 'pinned'
+-- records where the reference came from.  Creation is additive (the
+-- CREATE TABLE IF NOT EXISTS script runs on every open), so pre-service
+-- stores gain the table without a version bump.
+CREATE TABLE IF NOT EXISTS baselines (
+    workload    TEXT NOT NULL,
+    tool        TEXT NOT NULL,
+    fault_model TEXT NOT NULL DEFAULT 'single-bit',
+    n           INTEGER NOT NULL,
+    base_seed   INTEGER NOT NULL DEFAULT -1,
+    counts      TEXT NOT NULL,           -- JSON: outcome name -> count
+    source      TEXT,                    -- provenance (campaign id, file...)
+    pinned_at   REAL,                    -- unix timestamp
+    PRIMARY KEY (workload, tool, fault_model)
 ) WITHOUT ROWID;
 
 CREATE TABLE IF NOT EXISTS tallies (

@@ -1,0 +1,71 @@
+"""Soak-mode campaign generator: seeded divergence mining.
+
+``refine-service --soak`` keeps the queue topped up with small, fully
+deterministic campaigns that sweep the workload × tool matrix under
+rotating base seeds.  Each round is a pure function of ``(soak_seed,
+round_index)`` — the round index is recovered from the queue on restart —
+so a soak service killed and restarted regenerates exactly the campaigns
+it would have run, and any mined divergence replays from its request
+alone.
+
+The mining logic itself lives in :class:`~repro.service.lifecycle.
+SoakLifecycle`: the first visit to a cell pins its baseline; a later
+round whose distribution shifts (strict alpha) is a compiler/simulator
+divergence and is filed as a reducer input.
+"""
+
+from __future__ import annotations
+
+from repro.fi.tools import TOOL_ORDER
+from repro.utils.rng import derive_seed
+from repro.workloads import workload_names
+
+#: Tenant all soak campaigns run under (quota-isolated from real users).
+SOAK_TENANT = "soak"
+
+#: Soak campaigns sit below user work: priority only orders admission, so
+#: a user submit always jumps the soak backlog.
+SOAK_PRIORITY = -10
+
+#: Experiments per soak cell — small on purpose: breadth over depth, and
+#: a cheap cell keeps the queue turning over between user campaigns.
+DEFAULT_SOAK_N = 24
+
+#: Seed-rotation period: after one sweep of the matrix at the pinned base
+#: seed, later sweeps draw fresh seeds (new fault sites, same program).
+_ROTATION = 4
+
+
+def soak_request(
+    round_index: int,
+    *,
+    soak_seed: int,
+    n: int = DEFAULT_SOAK_N,
+    artifacts: str | None = None,
+) -> dict:
+    """The ``round_index``-th soak campaign request (deterministic).
+
+    Rounds walk the workload list and tool order in lockstep; every
+    :data:`_ROTATION` full sweeps the base seed rotates (derived from
+    ``soak_seed`` and the sweep number), so early rounds build baselines
+    and later rounds probe them from fresh fault populations.
+    """
+    workloads = workload_names()
+    cell = round_index % len(workloads)
+    sweep = round_index // len(workloads)
+    tool = TOOL_ORDER[sweep % len(TOOL_ORDER)]
+    rotation = sweep // (_ROTATION * len(TOOL_ORDER))
+    base_seed = derive_seed(soak_seed, "soak", rotation) & 0x7FFFFFFF
+    request = {
+        "workloads": [workloads[cell]],
+        "tools": [tool],
+        "n": n,
+        "base_seed": base_seed,
+        "keep_records": False,
+        "validate": True,
+        # pin on first contact; later rounds regress against the pin
+        "pin_missing": True,
+    }
+    if artifacts is not None:
+        request["artifacts"] = artifacts
+    return request

@@ -3,7 +3,10 @@
 from repro.workloads.registry import (
     WorkloadSpec,
     all_workloads,
+    get_lifecycle,
     get_workload,
+    lifecycle_names,
+    register_lifecycle,
     workload_names,
     workload_sources,
 )
@@ -11,7 +14,10 @@ from repro.workloads.registry import (
 __all__ = [
     "WorkloadSpec",
     "all_workloads",
+    "get_lifecycle",
     "get_workload",
+    "lifecycle_names",
+    "register_lifecycle",
     "workload_names",
     "workload_sources",
 ]

@@ -1,0 +1,247 @@
+"""Protocol hardening: a live coordinator must survive hostile peers.
+
+Every test speaks raw sockets at a real listening coordinator — torn
+frames, oversize headers, garbage JSON, structurally-valid messages with
+nonsense fields — and asserts two things: the offender gets (at most) a
+bounded error reply, and the server keeps serving well-behaved clients
+afterwards.  Framing-layer unit tests (socketpair, no server) live in
+``test_protocol.py``; this file is about the *server's* resilience.
+"""
+
+import json
+import socket
+import struct
+
+import pytest
+
+from repro.dist import CampaignSpec, Coordinator
+from repro.dist.protocol import (
+    MAX_MESSAGE_BYTES,
+    recv_message,
+    send_message,
+)
+from repro.errors import DistError
+from repro.service import ServiceCoordinator
+
+from tests.conftest import DEMO_SOURCE
+
+
+@pytest.fixture
+def coordinator():
+    spec = CampaignSpec(
+        workload="demo", source=DEMO_SOURCE, tool_name="REFINE", n=4
+    )
+    coord = Coordinator([spec], port=0, lease_timeout=30.0)
+    host, port = coord.start()
+    yield host, port
+    coord.stop()
+
+
+@pytest.fixture
+def service(tmp_path):
+    coord = ServiceCoordinator(port=0, queue_path=":memory:")
+    host, port = coord.start()
+    yield host, port
+    coord.stop()
+
+
+def _connect(addr):
+    sock = socket.create_connection(addr, timeout=5.0)
+    sock.settimeout(5.0)
+    return sock
+
+
+def _call(addr, message):
+    """One framed request/reply round trip on a fresh connection."""
+    with _connect(addr) as sock:
+        send_message(sock, message)
+        return recv_message(sock)
+
+
+def _assert_alive(addr):
+    """A well-behaved hello still gets a proper welcome."""
+    reply = _call(addr, {"type": "hello", "procs": 1})
+    assert reply["type"] == "welcome"
+
+
+class TestMalformedFrames:
+    def test_oversize_header_drops_connection_only(self, coordinator):
+        with _connect(coordinator) as sock:
+            sock.sendall(struct.pack(">I", MAX_MESSAGE_BYTES + 1))
+            with pytest.raises((DistError, OSError)):
+                if recv_message(sock) is None:
+                    raise DistError("closed")
+        _assert_alive(coordinator)
+
+    def test_truncated_payload(self, coordinator):
+        payload = json.dumps({"type": "hello"}).encode()
+        with _connect(coordinator) as sock:
+            sock.sendall(struct.pack(">I", len(payload)) + payload[:4])
+        _assert_alive(coordinator)
+
+    def test_garbage_bytes(self, coordinator):
+        with _connect(coordinator) as sock:
+            sock.sendall(b"\xde\xad\xbe\xef" * 64)
+        _assert_alive(coordinator)
+
+    def test_non_json_payload(self, coordinator):
+        body = b"\xff\xfenot json at all"
+        with _connect(coordinator) as sock:
+            sock.sendall(struct.pack(">I", len(body)) + body)
+        _assert_alive(coordinator)
+
+    def test_abrupt_disconnect_mid_session(self, coordinator):
+        with _connect(coordinator) as sock:
+            send_message(sock, {"type": "hello", "procs": 1})
+            recv_message(sock)
+            # Lease a task, then vanish without a word.
+            send_message(sock, {"type": "request"})
+            recv_message(sock)
+        _assert_alive(coordinator)
+
+
+class TestMalformedMessages:
+    def test_unknown_type_gets_bounded_error(self, coordinator):
+        reply = _call(coordinator, {"type": "hello", "procs": 1})
+        assert reply["type"] == "welcome"
+        with _connect(coordinator) as sock:
+            send_message(sock, {"type": "hello", "procs": 1})
+            recv_message(sock)
+            send_message(sock, {"type": "frobnicate"})
+            reply = recv_message(sock)
+        assert reply["type"] == "error"
+        assert "frobnicate" in reply["message"]
+        _assert_alive(coordinator)
+
+    def test_data_plane_before_hello_rejected(self, coordinator):
+        reply = _call(coordinator, {"type": "request"})
+        assert reply["type"] == "error"
+        assert "hello" in reply["message"]
+        _assert_alive(coordinator)
+
+    def test_garbage_hello_fields(self, coordinator):
+        reply = _call(coordinator, {"type": "hello", "name": ["x"], "procs": 1})
+        assert reply["type"] == "error"
+        assert "malformed" in reply["message"]
+        reply = _call(coordinator, {"type": "hello", "procs": {}})
+        assert reply["type"] == "error"
+        _assert_alive(coordinator)
+
+    def test_result_for_unknown_task(self, coordinator):
+        with _connect(coordinator) as sock:
+            send_message(sock, {"type": "hello", "procs": 1})
+            recv_message(sock)
+            send_message(
+                sock, {"type": "result", "task_id": 999, "part": {}}
+            )
+            reply = recv_message(sock)
+        assert reply["type"] == "error"
+        assert "unknown task" in reply["message"]
+        _assert_alive(coordinator)
+
+    def test_result_with_garbage_part(self, coordinator):
+        with _connect(coordinator) as sock:
+            send_message(sock, {"type": "hello", "procs": 1})
+            recv_message(sock)
+            send_message(sock, {"type": "request"})
+            lease = recv_message(sock)
+            assert lease["type"] == "lease"
+            send_message(
+                sock,
+                {"type": "result", "task_id": lease["task_id"],
+                 "part": {"n": "not-a-result"}},
+            )
+            reply = recv_message(sock)
+        assert reply["type"] == "error"
+        _assert_alive(coordinator)
+
+    def test_missing_required_fields(self, coordinator):
+        with _connect(coordinator) as sock:
+            send_message(sock, {"type": "hello", "procs": 1})
+            recv_message(sock)
+            send_message(sock, {"type": "result"})  # no task_id, no part
+            reply = recv_message(sock)
+        assert reply["type"] == "error"
+        _assert_alive(coordinator)
+
+
+class TestMalformedControl:
+    """The service's control verbs reject garbage without dying."""
+
+    def test_submit_without_request(self, service):
+        reply = _call(service, {"type": "submit"})
+        assert reply["type"] == "error"
+        assert "request" in reply["message"]
+        _assert_alive(service)
+
+    def test_submit_non_object_request(self, service):
+        reply = _call(service, {"type": "submit", "request": [1, 2]})
+        assert reply["type"] == "error"
+
+    def test_submit_structurally_invalid_request(self, service):
+        reply = _call(
+            service,
+            {"type": "submit", "request": {"workloads": [], "tools": ["R"],
+                                           "n": 4}},
+        )
+        assert reply["type"] == "error"
+        assert "workloads" in reply["message"]
+
+    def test_submit_unknown_workload(self, service):
+        reply = _call(
+            service,
+            {"type": "submit",
+             "request": {"workloads": ["no-such-prog"], "tools": ["REFINE"],
+                         "n": 2}},
+        )
+        assert reply["type"] == "error"
+        assert "no-such-prog" in reply["message"]
+
+    def test_submit_unknown_lifecycle(self, service):
+        reply = _call(
+            service,
+            {"type": "submit", "lifecycle": "bogus",
+             "request": {"workloads": ["demo"], "tools": ["REFINE"], "n": 2,
+                         "sources": {"demo": "int main() { return 0; }"}}},
+        )
+        assert reply["type"] == "error"
+        assert "bogus" in reply["message"]
+
+    def test_status_of_unknown_campaign(self, service):
+        reply = _call(service, {"type": "status", "campaign": 123})
+        assert reply["type"] == "error"
+        assert "123" in reply["message"]
+
+    def test_status_with_garbage_id(self, service):
+        reply = _call(service, {"type": "status", "campaign": "xyzzy"})
+        assert reply["type"] == "error"
+        assert "malformed" in reply["message"]
+
+    def test_cancel_missing_id(self, service):
+        reply = _call(service, {"type": "cancel"})
+        assert reply["type"] == "error"
+        assert "malformed" in reply["message"]
+
+    def test_fetch_unknown_campaign(self, service):
+        reply = _call(service, {"type": "fetch", "campaign": 9})
+        assert reply["type"] == "error"
+        assert "no cached result" in reply["message"]
+
+    def test_list_with_garbage_tenant(self, service):
+        reply = _call(service, {"type": "list", "tenant": 17})
+        assert reply["type"] == "error"
+        _assert_alive(service)
+
+    def test_server_survives_a_barrage(self, service):
+        for message in (
+            {"type": "frobnicate"},
+            {"type": "submit", "request": 3},
+            {"type": "cancel", "campaign": []},
+            {"type": "drain", "grace_s": "soon"},
+        ):
+            reply = _call(service, message)
+            assert reply["type"] == "error"
+        _assert_alive(service)
+        # And the control plane still works end to end.
+        reply = _call(service, {"type": "list"})
+        assert reply["type"] == "ok"

@@ -1,0 +1,108 @@
+"""Worker reconnect backoff: capped exponential, jittered, windowed.
+
+Pure unit tests against :meth:`Worker._backoff_or_raise` with patched
+clocks — no sockets.  The live coordinator-bounce test is
+``tests/service/test_service.py::TestWorkerReconnect``.
+"""
+
+import pytest
+
+from repro.dist.worker import Worker
+from repro.errors import DistConnectionError, DistError
+
+
+def _worker(**kwargs):
+    kwargs.setdefault("reconnect_base", 0.5)
+    kwargs.setdefault("reconnect_cap", 4.0)
+    return Worker("127.0.0.1", 1, **kwargs)
+
+
+@pytest.fixture
+def no_jitter(monkeypatch):
+    # delay *= 0.5 + random() -> exactly the nominal backoff step
+    monkeypatch.setattr("repro.dist.worker.random.random", lambda: 0.5)
+
+
+@pytest.fixture
+def sleeps(monkeypatch):
+    recorded = []
+    monkeypatch.setattr("repro.dist.worker.time.sleep", recorded.append)
+    return recorded
+
+
+class TestBackoff:
+    def test_disabled_by_default_reraises_immediately(self, sleeps):
+        worker = _worker()  # reconnect_window defaults to 0
+        exc = DistConnectionError("connection refused")
+        with pytest.raises(DistConnectionError):
+            worker._backoff_or_raise(exc, None, 0)
+        assert sleeps == []
+
+    def test_delays_double_up_to_the_cap(self, no_jitter, sleeps):
+        worker = _worker(reconnect_window=3600.0)
+        down, attempt = None, 0
+        for _ in range(6):
+            down, attempt = worker._backoff_or_raise(
+                DistConnectionError("down"), down, attempt
+            )
+        assert sleeps == [0.5, 1.0, 2.0, 4.0, 4.0, 4.0]
+        assert attempt == 6
+
+    def test_jitter_stays_within_half_to_three_halves(
+        self, sleeps, monkeypatch
+    ):
+        worker = _worker(reconnect_window=3600.0)
+        down, attempt = None, 0
+        for _ in range(40):
+            down, attempt = worker._backoff_or_raise(
+                DistConnectionError("down"), down, attempt
+            )
+        for delay, nominal in zip(
+            sleeps, [0.5, 1.0, 2.0] + [4.0] * 37
+        ):
+            assert 0.5 * nominal <= delay <= 1.5 * nominal
+
+    def test_window_measures_continuous_downtime(
+        self, no_jitter, monkeypatch
+    ):
+        clock = [100.0]
+        monkeypatch.setattr(
+            "repro.dist.worker.time.monotonic", lambda: clock[0]
+        )
+        monkeypatch.setattr(
+            "repro.dist.worker.time.sleep",
+            lambda s: clock.__setitem__(0, clock[0] + s),
+        )
+        worker = _worker(reconnect_window=3.0)
+        down, attempt = None, 0
+        with pytest.raises(DistError, match="reconnect window"):
+            while True:
+                down, attempt = worker._backoff_or_raise(
+                    DistConnectionError("down"), down, attempt
+                )
+        # Gave up within the window (never slept past the deadline).
+        assert clock[0] - 100.0 <= 3.0
+
+    def test_successful_reconnect_resets_the_window(
+        self, no_jitter, monkeypatch
+    ):
+        """run() passes down_since=None after any successful connect; a
+        fresh outage must then get the full window again."""
+        clock = [0.0]
+        monkeypatch.setattr(
+            "repro.dist.worker.time.monotonic", lambda: clock[0]
+        )
+        monkeypatch.setattr(
+            "repro.dist.worker.time.sleep",
+            lambda s: clock.__setitem__(0, clock[0] + s),
+        )
+        worker = _worker(reconnect_window=3.0)
+        down, attempt = worker._backoff_or_raise(
+            DistConnectionError("down"), None, 0
+        )
+        assert down == 0.0
+        clock[0] = 1000.0  # much later: outage over, new outage begins
+        down, attempt = worker._backoff_or_raise(
+            DistConnectionError("down again"), None, 0
+        )
+        assert down == 1000.0

@@ -1,0 +1,375 @@
+"""End-to-end campaign service tests on an in-process service.
+
+Real TCP, real queue file, real experiments.  The acceptance bars from
+the service's design:
+
+* a campaign submitted through the service is **bit-identical** to the
+  same campaign run by ``run_campaign`` in one process;
+* ``kill -9`` mid-campaign followed by a restart resumes from durable
+  state with **no duplicated and no lost experiments** (checked against
+  the results database's ``runs`` rows);
+* auto-validation flags a perturbed workload as ``failed`` end to end
+  (queue row, database, HTML report).
+
+The CI "service smoke test" step runs this file with ``-k smoke``.
+"""
+
+import threading
+import time
+
+import pytest
+
+pytestmark = pytest.mark.slow
+
+from repro.campaign import make_tool, run_campaign
+from repro.dist.worker import Worker
+from repro.campaign.classify import OUTCOME_ORDER
+from repro.campaign.io import result_to_dict
+from repro.errors import DistConnectionError, ServiceError
+from repro.resultsdb.db import ResultsDB
+from repro.resultsdb.queries import list_campaigns
+from repro.resultsdb.report import build_report
+from repro.service import (
+    CampaignQueue,
+    LocalService,
+    SOAK_TENANT,
+    ServiceCoordinator,
+    ServiceClient,
+)
+
+from tests.conftest import DEMO_SOURCE
+
+N = 16
+SEED = 20170817
+
+
+def _request(n=N, base_seed=SEED, **extra):
+    req = {
+        "workloads": ["demo"], "tools": ["REFINE"], "n": n,
+        "base_seed": base_seed, "sources": {"demo": DEMO_SOURCE},
+        "keep_records": True,
+    }
+    req.update(extra)
+    return req
+
+
+@pytest.fixture(scope="module")
+def sequential():
+    """Ground truth the service must reproduce bit for bit."""
+    tool = make_tool("REFINE", DEMO_SOURCE, "demo")
+    return run_campaign(tool, n=N, base_seed=SEED, keep_records=True)
+
+
+def _paths(tmp_path):
+    return {
+        "queue_path": tmp_path / "queue.sqlite",
+        "db_path": tmp_path / "results.sqlite",
+        "checkpoint_root": tmp_path / "ckpt",
+    }
+
+
+def _wait_progress(client, cid, at_least, deadline_s=120.0):
+    """Poll until at least ``at_least`` experiments of ``cid`` completed."""
+    deadline = time.monotonic() + deadline_s
+    while time.monotonic() < deadline:
+        status = client.status(cid)
+        done = sum(
+            c["completed"] for c in status.get("progress", {}).values()
+        )
+        state = status["info"]["state"]
+        if done >= at_least and state == "running":
+            return status
+        if state not in ("queued", "populating", "running"):
+            return status
+        time.sleep(0.05)
+    raise AssertionError(f"campaign {cid} never reached {at_least} done")
+
+
+class TestSmoke:
+    def test_submit_watch_fetch_round_trip(self, tmp_path, sequential):
+        with LocalService(workers=2, **_paths(tmp_path)) as svc:
+            cid = svc.client.submit(_request())
+            final = svc.client.watch(cid, timeout=300.0)
+            assert final["info"]["state"] == "done"
+            fetched = svc.client.fetch(cid)
+            assert fetched["results"]["demo/REFINE"] == result_to_dict(
+                sequential
+            )
+            # First contact pins the baseline.
+            assert final["info"]["validation"] == "pinned"
+
+    def test_smoke_equivalence_is_bit_identical(self, tmp_path, sequential):
+        """Whatever the worker count, the service reproduces the
+        sequential run exactly — counts, golden output, fault records."""
+        for workers in (1, 3):
+            with LocalService(
+                workers=workers, queue_path=tmp_path / f"q{workers}.sqlite",
+                chunk_size=3,
+            ) as svc:
+                cid = svc.client.submit(_request())
+                svc.client.watch(cid, timeout=300.0)
+                fetched = svc.client.fetch(cid)
+                assert fetched["results"]["demo/REFINE"] == result_to_dict(
+                    sequential
+                )
+
+
+class TestMultiTenant:
+    def test_quota_rejected_at_the_wire(self, tmp_path):
+        with LocalService(
+            workers=0, queue_path=tmp_path / "q.sqlite", tenant_quota=2
+        ) as svc:
+            svc.client.submit(_request(), tenant="alice")
+            svc.client.submit(_request(), tenant="alice")
+            with pytest.raises(ServiceError, match="quota"):
+                svc.client.submit(_request(), tenant="alice")
+            # Other tenants are unaffected.
+            svc.client.submit(_request(), tenant="bob")
+
+    def test_priority_orders_admission(self, tmp_path):
+        """Pre-load the queue, then start the service: admission must be
+        priority-DESC, FIFO within a band (started_at timestamps)."""
+        paths = _paths(tmp_path)
+        with CampaignQueue(paths["queue_path"]) as queue:
+            low = queue.submit(_request(base_seed=1), priority=0)
+            high = queue.submit(_request(base_seed=2), priority=5)
+            mid = queue.submit(_request(base_seed=3), priority=2)
+        with LocalService(
+            workers=1, max_active=1, queue_path=paths["queue_path"]
+        ) as svc:
+            for cid in (low, high, mid):
+                final = svc.client.watch(cid, timeout=300.0)
+                assert final["info"]["state"] == "done"
+            started = {
+                cid: svc.client.status(cid)["info"]["started_at"]
+                for cid in (low, high, mid)
+            }
+        assert started[high] < started[mid] < started[low]
+
+    def test_cancel_while_running(self, tmp_path):
+        with LocalService(
+            workers=1, chunk_size=1, queue_path=tmp_path / "q.sqlite"
+        ) as svc:
+            cid = svc.client.submit(_request(n=64))
+            _wait_progress(svc.client, cid, 2)
+            reply = svc.client.cancel(cid)
+            assert reply["cancel_requested"]
+            deadline = time.monotonic() + 60.0
+            while time.monotonic() < deadline:
+                state = svc.client.status(cid)["info"]["state"]
+                if state == "cancelled":
+                    break
+                time.sleep(0.05)
+            assert state == "cancelled"
+            # The service moves on: the next campaign still completes.
+            follow = svc.client.submit(_request(n=4))
+            assert (
+                svc.client.watch(follow, timeout=300.0)["info"]["state"]
+                == "done"
+            )
+
+    def test_cancel_while_queued(self, tmp_path):
+        with LocalService(workers=0, queue_path=tmp_path / "q.sqlite") as svc:
+            cid = svc.client.submit(_request())
+            svc.client.cancel(cid)
+            deadline = time.monotonic() + 30.0
+            while time.monotonic() < deadline:
+                state = svc.client.status(cid)["info"]["state"]
+                if state == "cancelled":
+                    break
+                time.sleep(0.05)
+            assert state == "cancelled"
+
+
+class TestRestartRecovery:
+    def test_kill9_resumes_with_no_dup_no_loss(self, tmp_path, sequential):
+        """The headline acceptance test: hard-kill the coordinator
+        mid-campaign, restart on the same durable state, and require the
+        database to end with exactly one row per experiment index."""
+        paths = _paths(tmp_path)
+        big_n = 48  # big enough that the kill lands mid-campaign
+        tool = make_tool("REFINE", DEMO_SOURCE, "demo")
+        ground_truth = run_campaign(
+            tool, n=big_n, base_seed=SEED, keep_records=True
+        )
+        svc = LocalService(
+            workers=1, chunk_size=1, checkpoint_every=1, **paths
+        )
+        try:
+            cid = svc.client.submit(_request(n=big_n))
+            status = _wait_progress(svc.client, cid, 4)
+            assert status["info"]["state"] == "running", (
+                "campaign finished before the kill could land; "
+                "raise big_n"
+            )
+            svc.restart(kill=True)  # kill -9 the coordinator
+            final = svc.client.watch(cid, timeout=300.0)
+            assert final["info"]["state"] == "done"
+            fetched = svc.client.fetch(cid)
+        finally:
+            svc.stop()
+        # Bit-identical despite the crash ...
+        assert fetched["results"]["demo/REFINE"] == result_to_dict(
+            ground_truth
+        )
+        # ... and exactly-once in the durable record: N rows, N distinct
+        # indices — nothing lost, nothing duplicated.
+        with ResultsDB(paths["db_path"]) as db:
+            total, distinct = db.execute(
+                "SELECT COUNT(*), COUNT(DISTINCT idx) FROM runs"
+            ).fetchone()
+        assert total == big_n
+        assert distinct == big_n
+
+    def test_graceful_drain_checkpoints_and_resumes(self, tmp_path):
+        """Drain mid-campaign (the SIGTERM path): the service checkpoints
+        and stops; a restart on the same state finishes the campaign with
+        exactly-once results."""
+        paths = _paths(tmp_path)
+        big_n = 48
+        svc = LocalService(
+            workers=1, chunk_size=1, checkpoint_every=1, **paths
+        )
+        try:
+            cid = svc.client.submit(_request(n=big_n))
+            _wait_progress(svc.client, cid, 2)
+            svc.client.drain(grace_s=30.0)
+            deadline = time.monotonic() + 60.0
+            while time.monotonic() < deadline:
+                try:
+                    svc.client.list()
+                except DistConnectionError:
+                    break  # drained and stopped
+                time.sleep(0.1)
+            svc.restart()  # fresh coordinator, same queue/db/checkpoints
+            final = svc.client.watch(cid, timeout=300.0)
+            assert final["info"]["state"] == "done"
+        finally:
+            svc.stop()
+        with ResultsDB(paths["db_path"]) as db:
+            total, distinct = db.execute(
+                "SELECT COUNT(*), COUNT(DISTINCT idx) FROM runs"
+            ).fetchone()
+        assert total == big_n
+        assert distinct == big_n
+
+
+class TestWorkerReconnect:
+    def test_worker_rides_out_a_coordinator_bounce(self, tmp_path):
+        """A worker with a reconnect window survives the coordinator being
+        hard-killed and rebound on the same port, and finishes the
+        campaign against the restarted service."""
+        paths = _paths(tmp_path)
+        first = ServiceCoordinator(
+            port=0, queue_path=paths["queue_path"],
+            checkpoint_root=paths["checkpoint_root"],
+            chunk_size=1, checkpoint_every=1,
+        )
+        host, port = first.start()
+        stats_box = []
+        worker = Worker(
+            host, port, reconnect_window=60.0,
+            reconnect_base=0.05, reconnect_cap=0.2,
+        )
+        thread = threading.Thread(
+            target=lambda: stats_box.append(worker.run()), daemon=True
+        )
+        thread.start()
+        client = ServiceClient(host, port)
+        cid = client.submit(_request(n=32))
+        _wait_progress(client, cid, 2)
+        first.kill()
+        second = ServiceCoordinator(
+            host=host, port=port, queue_path=paths["queue_path"],
+            checkpoint_root=paths["checkpoint_root"],
+            chunk_size=1, checkpoint_every=1,
+        )
+        try:
+            assert second.start() == (host, port)
+            final = client.watch(cid, timeout=300.0)
+            assert final["info"]["state"] == "done"
+            second.request_drain(grace_s=5.0)
+            thread.join(timeout=60.0)
+            assert not thread.is_alive()
+        finally:
+            second.stop()
+        # The same worker object served both coordinators.
+        assert stats_box and stats_box[0].experiments > 0
+
+
+class TestValidation:
+    def test_perturbed_baseline_flags_failed_everywhere(
+        self, tmp_path, sequential
+    ):
+        """Pin a deliberately wrong baseline, run the real campaign, and
+        require ``validation=failed`` on the queue row, in the database,
+        and in the HTML report."""
+        paths = _paths(tmp_path)
+        counts = {o.value: sequential.frequency(o) for o in OUTCOME_ORDER}
+        least = min(OUTCOME_ORDER, key=lambda o: counts[o.value])
+        perturbed = {o.value: 0 for o in OUTCOME_ORDER}
+        perturbed[least.value] = N
+        with ResultsDB(paths["db_path"]) as db:
+            db.pin_baseline(
+                "demo", "REFINE", fault_model="single-bit", n=N,
+                counts=perturbed, base_seed=SEED, source="test-perturbed",
+            )
+            db.commit()
+        with LocalService(workers=2, **_paths(tmp_path)) as svc:
+            cid = svc.client.submit(_request())
+            final = svc.client.watch(cid, timeout=300.0)
+            assert final["info"]["state"] == "done"
+            assert final["info"]["validation"] == "failed"
+            detail = final["info"]["detail"]
+            assert detail["cells"]["demo/REFINE"]["verdict"] == "failed"
+            assert detail["cells"]["demo/REFINE"]["p_value"] < 0.05
+        with ResultsDB(paths["db_path"]) as db:
+            rows = [
+                info for info in list_campaigns(db)
+                if info.workload == "demo" and info.tool == "REFINE"
+            ]
+            assert rows and rows[0].validation == "failed"
+            index = build_report(db, tmp_path / "report")
+        assert "badge-failed" in index.read_text()
+
+    def test_matching_baseline_passes(self, tmp_path, sequential):
+        paths = _paths(tmp_path)
+        counts = {o.value: sequential.frequency(o) for o in OUTCOME_ORDER}
+        with ResultsDB(paths["db_path"]) as db:
+            db.pin_baseline(
+                "demo", "REFINE", fault_model="single-bit", n=N,
+                counts=counts, base_seed=SEED, source="test-exact",
+            )
+            db.commit()
+        with LocalService(workers=1, **paths) as svc:
+            cid = svc.client.submit(_request())
+            final = svc.client.watch(cid, timeout=300.0)
+        # Identical distributions: either a clean pass or (both 100% one
+        # outcome) a degenerate table the test cannot judge.
+        assert final["info"]["validation"] in ("passed", "skipped")
+
+
+class TestSoak:
+    def test_soak_mode_mines_and_pins(self, tmp_path):
+        """`--soak` keeps the queue topped up with deterministic fuzz
+        campaigns under the soak tenant; first contact pins baselines."""
+        paths = _paths(tmp_path)
+        svc = LocalService(
+            workers=1, soak=True, soak_n=4, soak_backlog=1,
+            artifacts_dir=tmp_path / "artifacts", **paths
+        )
+        try:
+            done_rows = []
+            deadline = time.monotonic() + 240.0
+            while time.monotonic() < deadline and not done_rows:
+                rows = svc.client.list(tenant=SOAK_TENANT)["campaigns"]
+                done_rows = [r for r in rows if r["state"] == "done"]
+                time.sleep(0.2)
+        finally:
+            svc.stop()
+        assert done_rows, "no soak campaign completed in time"
+        row = done_rows[0]
+        assert row["tenant"] == SOAK_TENANT
+        assert row["lifecycle"] == "soak"
+        assert row["priority"] < 0  # below any user work
+        assert row["validation"] in ("pinned", "passed", "skipped")

@@ -1,0 +1,41 @@
+"""Tier-1 service smoke: one tiny campaign through the full stack.
+
+Kept deliberately small (one worker, four experiments, inline source) so
+the default test run exercises submit → queue → admit → lease → validate
+→ fetch end to end; everything heavier is in ``test_service.py`` under
+``-m slow``.
+"""
+
+import pytest
+
+from repro.campaign import make_tool, run_campaign
+from repro.campaign.io import result_to_dict
+from repro.errors import ServiceError
+from repro.service import LocalService
+
+from tests.conftest import DEMO_SOURCE
+
+N = 4
+SEED = 99
+
+
+def test_tiny_campaign_round_trip(tmp_path):
+    tool = make_tool("REFINE", DEMO_SOURCE, "demo")
+    sequential = run_campaign(tool, n=N, base_seed=SEED, keep_records=True)
+    with LocalService(
+        workers=1, queue_path=tmp_path / "queue.sqlite"
+    ) as svc:
+        cid = svc.client.submit({
+            "workloads": ["demo"], "tools": ["REFINE"], "n": N,
+            "base_seed": SEED, "sources": {"demo": DEMO_SOURCE},
+            "keep_records": True,
+        })
+        final = svc.client.watch(cid, timeout=120.0)
+        assert final["info"]["state"] == "done"
+        fetched = svc.client.fetch(cid)
+        assert fetched["results"]["demo/REFINE"] == result_to_dict(sequential)
+        # No results database attached: validation is explicitly skipped.
+        assert final["info"]["validation"] == "skipped"
+        # And a garbage submit is rejected at the wire.
+        with pytest.raises(ServiceError, match="workloads"):
+            svc.client.submit({"tools": ["REFINE"], "n": 1})
